@@ -1,0 +1,28 @@
+//! Figure 2: compute and print the isolation hierarchy, and benchmark the
+//! lattice machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critique_core::lattice::{compare, Hierarchy};
+use critique_core::IsolationLevel;
+use critique_harness::figure2_text;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figure2_text());
+
+    c.bench_function("figure2/compute_hasse", |b| b.iter(Hierarchy::compute));
+    c.bench_function("figure2/paper_drawing", |b| b.iter(Hierarchy::paper_figure2));
+    c.bench_function("figure2/pairwise_compare", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for a in IsolationLevel::ALL {
+                for bb in IsolationLevel::ALL {
+                    count += compare(a, bb) as usize;
+                }
+            }
+            count
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

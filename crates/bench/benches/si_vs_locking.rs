@@ -1,0 +1,83 @@
+//! Section 4.2's qualitative claims, made measurable: Snapshot Isolation vs
+//! the locking levels under varying read/write mix and contention.
+//!
+//! Printed series (once per run) and Criterion measurements:
+//! * committed-transaction throughput per isolation level for read-heavy,
+//!   mixed, and write-heavy workloads;
+//! * abort rate per level under low and high contention (SI aborts are all
+//!   First-Committer-Wins; locking aborts are deadlocks/timeouts);
+//! * the long read-only "audit" probe: blocked or not, and whether the
+//!   total drifted (SI: never blocked, no drift).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use critique_bench::{bench_workload, THROUGHPUT_LEVELS};
+use critique_core::IsolationLevel;
+
+fn print_series() {
+    println!("--- Section 4.2: throughput and abort-rate series ---");
+    for (label, read_fraction, hot) in [
+        ("read-heavy (90% read, low contention)", 0.9, 0.05),
+        ("mixed (50% read, moderate contention)", 0.5, 0.2),
+        ("write-heavy (10% read, high contention)", 0.1, 0.6),
+    ] {
+        println!("workload: {label}");
+        for level in THROUGHPUT_LEVELS {
+            let stats = bench_workload(read_fraction, hot).run(level);
+            println!(
+                "  {:<25} committed={:4}  abort-rate={:5.1}%  (fcw={}, deadlock={}, timeout={})  {:8.0} txn/s",
+                level.name(),
+                stats.committed,
+                stats.abort_rate() * 100.0,
+                stats.aborted_first_committer,
+                stats.aborted_deadlock,
+                stats.aborted_timeout,
+                stats.throughput(),
+            );
+        }
+    }
+    println!("--- long read-only audit probe ---");
+    for level in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::Serializable,
+        IsolationLevel::SnapshotIsolation,
+    ] {
+        let (blocked, drift) = bench_workload(0.5, 0.2).long_reader_probe(level);
+        println!(
+            "  {:<25} blocked={:5}  audit drift={}",
+            level.name(),
+            blocked,
+            drift
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+
+    let mut group = c.benchmark_group("si_vs_locking/throughput");
+    group.sample_size(10);
+    for (mix_label, read_fraction) in [("read_heavy", 0.9), ("write_heavy", 0.1)] {
+        for level in THROUGHPUT_LEVELS {
+            let workload = bench_workload(read_fraction, 0.2);
+            group.bench_with_input(
+                BenchmarkId::new(mix_label, level.name()),
+                &level,
+                |b, level| b.iter(|| workload.run(*level).committed),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("si_vs_locking/high_contention");
+    group.sample_size(10);
+    for level in [IsolationLevel::SnapshotIsolation, IsolationLevel::Serializable] {
+        let workload = bench_workload(0.0, 0.8);
+        group.bench_with_input(BenchmarkId::from_parameter(level.name()), &level, |b, level| {
+            b.iter(|| workload.run(*level).aborted())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Microbenchmarks of the substrates: lock manager, MVCC store, history
+//! notation/graph machinery.  These back the ablation discussion in
+//! DESIGN.md (cost of predicate locks, version-chain reads, detector
+//! scaling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use critique_core::detect;
+use critique_core::locking::LockDuration;
+use critique_history::{DependencyGraph, History, HistoryBuilder};
+use critique_lock::{LockManager, LockMode, LockTarget};
+use critique_storage::{MvStore, Row, RowId, RowPredicate, TimestampOracle, TxnToken};
+
+fn lock_manager(c: &mut Criterion) {
+    c.bench_function("substrate/lock_acquire_release", |b| {
+        let lm = LockManager::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let t = TxnToken(i);
+            for row in 0..8u64 {
+                lm.try_acquire(
+                    t,
+                    LockTarget::item("accounts", RowId(row)),
+                    LockMode::Shared,
+                    &[],
+                    LockDuration::Long,
+                );
+            }
+            lm.release_all(t);
+        })
+    });
+
+    c.bench_function("substrate/predicate_lock_conflict_check", |b| {
+        let lm = LockManager::new();
+        let predicate = RowPredicate::whole_table("accounts");
+        lm.try_acquire(
+            TxnToken(1),
+            LockTarget::predicate(predicate),
+            LockMode::Shared,
+            &[],
+            LockDuration::Long,
+        );
+        let row = Row::new().with("balance", 1);
+        b.iter(|| {
+            lm.conflicts_with(
+                TxnToken(2),
+                &LockTarget::item("accounts", RowId(7)),
+                LockMode::Exclusive,
+                std::slice::from_ref(&row),
+            )
+            .len()
+        })
+    });
+}
+
+fn mvcc_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/mvcc");
+    for versions in [1u64, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_read_depth", versions),
+            &versions,
+            |b, &versions| {
+                let store = MvStore::new();
+                let ts = TimestampOracle::new();
+                let id = store.insert("t", TxnToken(0), Row::new().with("value", 0));
+                store.commit(TxnToken(0), ts.next());
+                for v in 1..versions {
+                    store
+                        .update("t", TxnToken(v), id, Row::new().with("value", v as i64))
+                        .unwrap();
+                    store.commit(TxnToken(v), ts.next());
+                }
+                let early = critique_storage::Timestamp(1);
+                b.iter(|| store.get_committed_as_of("t", id, early).is_some())
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("substrate/mvcc_insert_commit", |b| {
+        let store = MvStore::new();
+        let ts = TimestampOracle::new();
+        let mut i = 1u64;
+        b.iter(|| {
+            i += 1;
+            let t = TxnToken(i);
+            store.insert("t", t, Row::new().with("value", i as i64));
+            store.commit(t, ts.next());
+        })
+    });
+}
+
+fn random_history(txns: u32, ops_per_txn: u32) -> History {
+    // Deterministic pseudo-random interleaving without external RNG state.
+    let mut builder = HistoryBuilder::new();
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut next = || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for round in 0..ops_per_txn {
+        for txn in 1..=txns {
+            let item = format!("x{}", next() % 8);
+            builder = if next() % 2 == 0 {
+                builder.read(txn, item)
+            } else {
+                builder.write(txn, item)
+            };
+            let _ = round;
+        }
+    }
+    for txn in 1..=txns {
+        builder = builder.commit(txn);
+    }
+    builder.build().expect("well-formed")
+}
+
+fn history_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/history");
+    for txns in [4u32, 8, 16] {
+        let history = random_history(txns, 6);
+        group.bench_with_input(BenchmarkId::new("detect_all", txns), &history, |b, h| {
+            b.iter(|| detect::detect_all(h).len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dependency_graph", txns),
+            &history,
+            |b, h| b.iter(|| DependencyGraph::from_history(h).edge_count()),
+        );
+    }
+    group.finish();
+
+    c.bench_function("substrate/notation_roundtrip", |b| {
+        let text = "r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1";
+        b.iter(|| History::parse(text).unwrap().to_notation())
+    });
+}
+
+criterion_group!(benches, lock_manager, mvcc_store, history_analysis);
+criterion_main!(benches);

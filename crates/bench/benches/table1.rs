@@ -1,0 +1,40 @@
+//! Table 1 / Section 3: strict vs broad interpretation analysis of the
+//! canonical histories.  Prints the verdicts once, then benchmarks the
+//! detector + serializability machinery they rely on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critique_core::detect;
+use critique_core::Phenomenon;
+use critique_harness::ansi::ansi_report_text;
+use critique_history::{canonical, conflict_serializable};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ansi_report_text());
+    println!("{}", critique_core::tables::table1().to_text());
+
+    let histories = canonical::all_named();
+    c.bench_function("table1/detect_all_canonical", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for (_, h) in &histories {
+                count += detect::detect_all(h).len();
+            }
+            count
+        })
+    });
+    c.bench_function("table1/serializability_canonical", |b| {
+        b.iter(|| {
+            histories
+                .iter()
+                .filter(|(_, h)| conflict_serializable(h).is_serializable())
+                .count()
+        })
+    });
+    let h1 = canonical::h1();
+    c.bench_function("table1/detect_p1_h1", |b| {
+        b.iter(|| detect::detect(&h1, Phenomenon::P1).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 3: regenerate the P0-P3 matrix from executed scenarios and
+//! benchmark the per-cell observation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critique_core::{IsolationLevel, Phenomenon};
+use critique_harness::matrix::{compare_table3, observe_cell};
+
+fn bench(c: &mut Criterion) {
+    let comparison = compare_table3();
+    println!("{}", critique_harness::observed_table3().to_text());
+    println!("{}", comparison.summary());
+
+    c.bench_function("table3/observe_full_matrix", |b| {
+        b.iter(critique_harness::observed_table3)
+    });
+    c.bench_function("table3/observe_cell_rc_p2", |b| {
+        b.iter(|| observe_cell(IsolationLevel::ReadCommitted, Phenomenon::P2))
+    });
+    c.bench_function("table3/observe_cell_serializable_p3", |b| {
+        b.iter(|| observe_cell(IsolationLevel::Serializable, Phenomenon::P3))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 4: regenerate the full anomaly matrix from executed scenarios,
+//! print the observed-vs-paper comparison, and benchmark each scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use critique_core::IsolationLevel;
+use critique_harness::matrix::compare_table4;
+use critique_workloads::AnomalyScenario;
+
+fn bench(c: &mut Criterion) {
+    let comparison = compare_table4();
+    println!("{}", critique_harness::observed_table4().to_text());
+    println!("{}", comparison.summary());
+
+    let mut group = c.benchmark_group("table4/scenario");
+    for scenario in [
+        AnomalyScenario::DirtyRead,
+        AnomalyScenario::LostUpdate,
+        AnomalyScenario::PhantomAnsi,
+        AnomalyScenario::WriteSkew,
+    ] {
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::Serializable,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(scenario.name().replace(' ', "_"), level.name()),
+                &level,
+                |b, level| b.iter(|| scenario.run(*level).outcome),
+            );
+        }
+    }
+    group.finish();
+
+    c.bench_function("table4/full_matrix", |b| {
+        b.iter(critique_harness::observed_table4)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

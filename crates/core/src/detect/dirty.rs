@@ -1,0 +1,159 @@
+//! P0 (Dirty Write), P1 (Dirty Read, broad), and A1 (Dirty Read, strict).
+
+use super::{termination_bound, Occurrence};
+use crate::phenomena::Phenomenon;
+use critique_history::{History, TxnOutcome};
+
+/// P0 Dirty Write: `w1[x]...w2[x]...(c1 or a1)` — a second transaction
+/// writes a data item after an uncommitted transaction wrote it.
+pub fn dirty_writes(history: &History) -> Vec<Occurrence> {
+    let ops = history.ops();
+    let mut found = Vec::new();
+    for (i, first) in ops.iter().enumerate() {
+        if !first.is_write() {
+            continue;
+        }
+        let Some(item) = first.item() else { continue };
+        let bound = termination_bound(history, first.txn);
+        for (j, second) in ops.iter().enumerate().skip(i + 1) {
+            if j >= bound {
+                break;
+            }
+            if second.txn != first.txn && second.is_write() && second.item() == Some(item) {
+                found.push(Occurrence {
+                    phenomenon: Phenomenon::P0,
+                    txns: vec![first.txn, second.txn],
+                    indices: vec![i, j],
+                    target: item.name().to_string(),
+                });
+            }
+        }
+    }
+    found
+}
+
+/// P1 Dirty Read (broad): `w1[x]...r2[x]...(c1 or a1)` — a transaction
+/// reads a data item written by another transaction that has not yet
+/// committed or aborted.
+pub fn dirty_reads_broad(history: &History) -> Vec<Occurrence> {
+    let ops = history.ops();
+    let mut found = Vec::new();
+    for (i, first) in ops.iter().enumerate() {
+        if !first.is_write() {
+            continue;
+        }
+        let Some(item) = first.item() else { continue };
+        let bound = termination_bound(history, first.txn);
+        for (j, second) in ops.iter().enumerate().skip(i + 1) {
+            if j >= bound {
+                break;
+            }
+            if second.txn != first.txn && second.is_read() && second.item() == Some(item) {
+                found.push(Occurrence {
+                    phenomenon: Phenomenon::P1,
+                    txns: vec![first.txn, second.txn],
+                    indices: vec![i, j],
+                    target: item.name().to_string(),
+                });
+            }
+        }
+    }
+    found
+}
+
+/// A1 Dirty Read (strict): `w1[x]...r2[x]...(a1 and c2 in either order)` —
+/// the writer actually aborts and the reader actually commits, so the
+/// reader has observed data that never existed.
+pub fn dirty_reads_strict(history: &History) -> Vec<Occurrence> {
+    dirty_reads_broad(history)
+        .into_iter()
+        .filter(|occ| {
+            let writer = occ.txns[0];
+            let reader = occ.txns[1];
+            history.outcome(writer) == TxnOutcome::Aborted
+                && history.outcome(reader) == TxnOutcome::Committed
+        })
+        .map(|mut occ| {
+            occ.phenomenon = Phenomenon::A1;
+            occ
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critique_history::History;
+
+    #[test]
+    fn p0_detected_in_overlapping_writes() {
+        let h = History::parse("w1[x] w2[x] c1 c2").unwrap();
+        let occ = dirty_writes(&h);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].indices, vec![0, 1]);
+        assert_eq!(occ[0].target, "x");
+    }
+
+    #[test]
+    fn p0_not_detected_when_first_writer_commits_first() {
+        let h = History::parse("w1[x] c1 w2[x] c2").unwrap();
+        assert!(dirty_writes(&h).is_empty());
+    }
+
+    #[test]
+    fn p0_detected_even_without_terminators() {
+        // Still-active transactions impose no bound; the overlap happened.
+        let h = History::parse("w1[x] w2[x]").unwrap();
+        assert_eq!(dirty_writes(&h).len(), 1);
+    }
+
+    #[test]
+    fn p0_requires_same_item_and_distinct_txns() {
+        let h = History::parse("w1[x] w2[y] w1[x] c1 c2").unwrap();
+        assert!(dirty_writes(&h).is_empty());
+    }
+
+    #[test]
+    fn p1_detected_for_read_of_uncommitted_write() {
+        let h = History::parse("w1[x] r2[x] c1 c2").unwrap();
+        let occ = dirty_reads_broad(&h);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].txns.len(), 2);
+    }
+
+    #[test]
+    fn p1_not_detected_once_writer_committed() {
+        let h = History::parse("w1[x] c1 r2[x] c2").unwrap();
+        assert!(dirty_reads_broad(&h).is_empty());
+    }
+
+    #[test]
+    fn p1_detected_for_cursor_reads_too() {
+        let h = History::parse("w1[x] rc2[x] c1 c2").unwrap();
+        assert_eq!(dirty_reads_broad(&h).len(), 1);
+    }
+
+    #[test]
+    fn a1_requires_writer_abort_and_reader_commit() {
+        // Both commit: P1 but not A1.
+        let both_commit = History::parse("w1[x] r2[x] c1 c2").unwrap();
+        assert!(dirty_reads_strict(&both_commit).is_empty());
+
+        // Writer aborts, reader commits: A1.
+        let strict = History::parse("w1[x] r2[x] a1 c2").unwrap();
+        let occ = dirty_reads_strict(&strict);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].phenomenon, Phenomenon::A1);
+
+        // Writer aborts but reader also aborts: not A1 (nothing was exposed).
+        let both_abort = History::parse("w1[x] r2[x] a1 a2").unwrap();
+        assert!(dirty_reads_strict(&both_abort).is_empty());
+    }
+
+    #[test]
+    fn own_reads_are_not_dirty() {
+        let h = History::parse("w1[x] r1[x] c1").unwrap();
+        assert!(dirty_reads_broad(&h).is_empty());
+        assert!(dirty_writes(&h).is_empty());
+    }
+}

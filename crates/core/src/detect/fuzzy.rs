@@ -1,0 +1,140 @@
+//! P2 (Fuzzy / Non-Repeatable Read, broad) and A2 (strict).
+
+use super::{termination_bound, Occurrence};
+use crate::phenomena::Phenomenon;
+use critique_history::{History, TxnOutcome};
+
+/// P2 Fuzzy Read (broad): `r1[x]...w2[x]...(c1 or a1)` — another
+/// transaction writes a data item that an uncommitted transaction has read.
+pub fn fuzzy_reads_broad(history: &History) -> Vec<Occurrence> {
+    let ops = history.ops();
+    let mut found = Vec::new();
+    for (i, first) in ops.iter().enumerate() {
+        if !first.is_read() {
+            continue;
+        }
+        let Some(item) = first.item() else { continue };
+        let bound = termination_bound(history, first.txn);
+        for (j, second) in ops.iter().enumerate().skip(i + 1) {
+            if j >= bound {
+                break;
+            }
+            if second.txn != first.txn && second.is_write() && second.item() == Some(item) {
+                found.push(Occurrence {
+                    phenomenon: Phenomenon::P2,
+                    txns: vec![first.txn, second.txn],
+                    indices: vec![i, j],
+                    target: item.name().to_string(),
+                });
+            }
+        }
+    }
+    found
+}
+
+/// A2 Fuzzy Read (strict): `r1[x]...w2[x]...c2...r1[x]...c1` — T1 rereads
+/// the item after T2's committed modification, and T1 itself commits.
+pub fn fuzzy_reads_strict(history: &History) -> Vec<Occurrence> {
+    let ops = history.ops();
+    let mut found = Vec::new();
+    for (i, first_read) in ops.iter().enumerate() {
+        if !first_read.is_read() {
+            continue;
+        }
+        let Some(item) = first_read.item() else { continue };
+        let reader = first_read.txn;
+        if history.outcome(reader) != TxnOutcome::Committed {
+            continue;
+        }
+        for (j, write) in ops.iter().enumerate().skip(i + 1) {
+            if !(write.txn != reader && write.is_write() && write.item() == Some(item)) {
+                continue;
+            }
+            let writer = write.txn;
+            let Some(commit_idx) = history.termination_index(writer) else {
+                continue;
+            };
+            if history.outcome(writer) != TxnOutcome::Committed || commit_idx < j {
+                continue;
+            }
+            // Look for a re-read by the same reader after the writer's commit.
+            for (l, reread) in ops.iter().enumerate().skip(commit_idx + 1) {
+                if reread.txn == reader && reread.is_read() && reread.item() == Some(item) {
+                    found.push(Occurrence {
+                        phenomenon: Phenomenon::A2,
+                        txns: vec![reader, writer],
+                        indices: vec![i, j, commit_idx, l],
+                        target: item.name().to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critique_history::History;
+
+    #[test]
+    fn p2_detected_when_item_overwritten_under_reader() {
+        let h = History::parse("r1[x] w2[x] c2 c1").unwrap();
+        let occ = fuzzy_reads_broad(&h);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].target, "x");
+    }
+
+    #[test]
+    fn p2_not_detected_after_reader_commits() {
+        let h = History::parse("r1[x] c1 w2[x] c2").unwrap();
+        assert!(fuzzy_reads_broad(&h).is_empty());
+    }
+
+    #[test]
+    fn p2_counts_cursor_reads() {
+        let h = History::parse("rc1[x] w2[x] c2 c1").unwrap();
+        assert_eq!(fuzzy_reads_broad(&h).len(), 1);
+    }
+
+    #[test]
+    fn a2_requires_reread_after_committed_write() {
+        let full = History::parse("r1[x=50] w2[x=10] c2 r1[x=10] c1").unwrap();
+        let occ = fuzzy_reads_strict(&full);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].indices.len(), 4);
+
+        // No second read: P2 but not A2.
+        let no_reread = History::parse("r1[x=50] w2[x=10] c2 r1[y=10] c1").unwrap();
+        assert!(fuzzy_reads_strict(&no_reread).is_empty());
+        assert!(!fuzzy_reads_broad(&no_reread).is_empty());
+
+        // Reread happens before the writer commits: not A2.
+        let early_reread = History::parse("r1[x=50] w2[x=10] r1[x=10] c2 c1").unwrap();
+        assert!(fuzzy_reads_strict(&early_reread).is_empty());
+
+        // Writer aborts: not A2.
+        let writer_aborts = History::parse("r1[x=50] w2[x=10] a2 r1[x=50] c1").unwrap();
+        assert!(fuzzy_reads_strict(&writer_aborts).is_empty());
+
+        // Reader aborts: not A2.
+        let reader_aborts = History::parse("r1[x=50] w2[x=10] c2 r1[x=10] a1").unwrap();
+        assert!(fuzzy_reads_strict(&reader_aborts).is_empty());
+    }
+
+    #[test]
+    fn own_rewrites_are_not_fuzzy() {
+        let h = History::parse("r1[x] w1[x] r1[x] c1").unwrap();
+        assert!(fuzzy_reads_broad(&h).is_empty());
+        assert!(fuzzy_reads_strict(&h).is_empty());
+    }
+
+    #[test]
+    fn h2_triggers_p2_at_the_overwrite_of_x() {
+        let h2 = critique_history::canonical::h2();
+        let occ = fuzzy_reads_broad(&h2);
+        assert!(occ.iter().any(|o| o.target == "x"));
+    }
+}

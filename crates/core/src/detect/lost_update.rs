@@ -1,0 +1,134 @@
+//! P4 (Lost Update) and P4C (Cursor Lost Update), Section 4.1.
+
+use super::Occurrence;
+use crate::phenomena::Phenomenon;
+use critique_history::{History, OpKind, TxnOutcome};
+
+fn lost_update_pattern(history: &History, cursor_read_required: bool) -> Vec<Occurrence> {
+    let ops = history.ops();
+    let mut found = Vec::new();
+    for (i, first_read) in ops.iter().enumerate() {
+        let read_matches = match &first_read.kind {
+            OpKind::CursorRead(_) => true,
+            OpKind::Read(_) => !cursor_read_required,
+            _ => false,
+        };
+        if !read_matches {
+            continue;
+        }
+        let Some(item) = first_read.item() else { continue };
+        let t1 = first_read.txn;
+        if history.outcome(t1) != TxnOutcome::Committed {
+            continue;
+        }
+        let t1_commit = history
+            .termination_index(t1)
+            .expect("committed transaction has a terminator");
+        for (j, foreign_write) in ops.iter().enumerate().skip(i + 1) {
+            if j >= t1_commit {
+                break;
+            }
+            if foreign_write.txn == t1
+                || !foreign_write.is_write()
+                || foreign_write.item() != Some(item)
+            {
+                continue;
+            }
+            // T1 writes the same item after the foreign write and then commits.
+            for (k, own_write) in ops.iter().enumerate().skip(j + 1) {
+                if k >= t1_commit {
+                    break;
+                }
+                if own_write.txn == t1 && own_write.is_write() && own_write.item() == Some(item) {
+                    let phenomenon = if cursor_read_required {
+                        Phenomenon::P4C
+                    } else {
+                        Phenomenon::P4
+                    };
+                    found.push(Occurrence {
+                        phenomenon,
+                        txns: vec![t1, foreign_write.txn],
+                        indices: vec![i, j, k, t1_commit],
+                        target: item.name().to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    found
+}
+
+/// P4 Lost Update: `r1[x]...w2[x]...w1[x]...c1` — T1 overwrites, based on a
+/// stale read, a value written by T2 in the meantime; T2's update is lost
+/// even if T2 committed.
+pub fn lost_updates(history: &History) -> Vec<Occurrence> {
+    lost_update_pattern(history, false)
+}
+
+/// P4C Cursor Lost Update: `rc1[x]...w2[x]...w1[x]...c1` — the variant of
+/// P4 where T1's read was performed through a cursor positioned on the item
+/// (Cursor Stability prevents exactly this case).
+pub fn cursor_lost_updates(history: &History) -> Vec<Occurrence> {
+    lost_update_pattern(history, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critique_history::History;
+
+    #[test]
+    fn h4_is_a_lost_update() {
+        let h4 = critique_history::canonical::h4();
+        let occ = lost_updates(&h4);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].target, "x");
+        assert!(cursor_lost_updates(&h4).is_empty());
+    }
+
+    #[test]
+    fn h4c_is_a_cursor_lost_update() {
+        let h4c = critique_history::canonical::h4c();
+        assert_eq!(cursor_lost_updates(&h4c).len(), 1);
+        // Every P4C is also a P4.
+        assert_eq!(lost_updates(&h4c).len(), 1);
+    }
+
+    #[test]
+    fn no_lost_update_when_t1_reads_after_t2s_commit() {
+        let h = History::parse("r2[x] w2[x] c2 r1[x] w1[x] c1").unwrap();
+        assert!(lost_updates(&h).is_empty());
+    }
+
+    #[test]
+    fn no_lost_update_when_t1_aborts() {
+        let h = History::parse("r1[x] w2[x] c2 w1[x] a1").unwrap();
+        assert!(lost_updates(&h).is_empty());
+    }
+
+    #[test]
+    fn no_lost_update_without_t1_rewrite() {
+        let h = History::parse("r1[x] w2[x] c2 r1[x] c1").unwrap();
+        assert!(lost_updates(&h).is_empty());
+    }
+
+    #[test]
+    fn lost_update_does_not_require_t2_commit() {
+        // The paper's formula constrains only T1's commit.
+        let h = History::parse("r1[x] w2[x] w1[x] c1 a2").unwrap();
+        assert_eq!(lost_updates(&h).len(), 1);
+    }
+
+    #[test]
+    fn own_read_then_write_is_not_a_lost_update() {
+        let h = History::parse("r1[x] w1[x] c1").unwrap();
+        assert!(lost_updates(&h).is_empty());
+    }
+
+    #[test]
+    fn intervening_write_must_be_on_the_same_item() {
+        let h = History::parse("r1[x] w2[y] w1[x] c1 c2").unwrap();
+        assert!(lost_updates(&h).is_empty());
+    }
+}

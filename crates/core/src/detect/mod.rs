@@ -1,0 +1,206 @@
+//! Detectors: find occurrences of each phenomenon / anomaly in a history.
+//!
+//! Each detector implements the corresponding shorthand formula from the
+//! paper literally — e.g. the P1 detector looks for
+//! `w1[x] … r2[x] …` occurring before T1 commits or aborts.  Detectors
+//! operate on any [`History`]: the canonical hand-written histories from
+//! the paper, histories recorded by the `critique-engine` schedulers, and
+//! randomly generated histories used in property tests.
+
+use crate::phenomena::Phenomenon;
+use critique_history::{History, TxnId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+mod dirty;
+mod fuzzy;
+mod lost_update;
+mod phantom;
+mod skew;
+
+pub use phantom::phantoms_broad_insert_only;
+
+/// One concrete occurrence of a phenomenon within a history.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Occurrence {
+    /// Which phenomenon occurred.
+    pub phenomenon: Phenomenon,
+    /// The transactions involved, in the role order of the paper's formula
+    /// (e.g. for P1: `[T1, T2]` where T1 wrote and T2 read).
+    pub txns: Vec<TxnId>,
+    /// Indices into the history of the operations that witness the pattern.
+    pub indices: Vec<usize>,
+    /// Human-readable description of the witness (item or predicate names).
+    pub target: String,
+}
+
+impl fmt::Display for Occurrence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let txns = self
+            .txns
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(
+            f,
+            "{} on {} involving {} at ops {:?}",
+            self.phenomenon.code(),
+            self.target,
+            txns,
+            self.indices
+        )
+    }
+}
+
+/// Index of the commit/abort of `txn`, or `usize::MAX` if it is still
+/// active at the end of the history.  Phenomena constrain what happens
+/// *before* the first transaction terminates; a still-active transaction
+/// imposes no bound.
+pub(crate) fn termination_bound(history: &History, txn: TxnId) -> usize {
+    history.termination_index(txn).unwrap_or(usize::MAX)
+}
+
+/// Detect all occurrences of a single phenomenon in a history.
+pub fn detect(history: &History, phenomenon: Phenomenon) -> Vec<Occurrence> {
+    match phenomenon {
+        Phenomenon::P0 => dirty::dirty_writes(history),
+        Phenomenon::P1 => dirty::dirty_reads_broad(history),
+        Phenomenon::A1 => dirty::dirty_reads_strict(history),
+        Phenomenon::P2 => fuzzy::fuzzy_reads_broad(history),
+        Phenomenon::A2 => fuzzy::fuzzy_reads_strict(history),
+        Phenomenon::P3 => phantom::phantoms_broad(history),
+        Phenomenon::A3 => phantom::phantoms_strict(history),
+        Phenomenon::P4 => lost_update::lost_updates(history),
+        Phenomenon::P4C => lost_update::cursor_lost_updates(history),
+        Phenomenon::A5A => skew::read_skews(history),
+        Phenomenon::A5B => skew::write_skews(history),
+    }
+}
+
+/// True if the history exhibits at least one occurrence of the phenomenon.
+pub fn exhibits(history: &History, phenomenon: Phenomenon) -> bool {
+    !detect(history, phenomenon).is_empty()
+}
+
+/// Detect every phenomenon, returning the full list of occurrences.
+pub fn detect_all(history: &History) -> Vec<Occurrence> {
+    Phenomenon::ALL
+        .into_iter()
+        .flat_map(|p| detect(history, p))
+        .collect()
+}
+
+/// The set of distinct phenomena exhibited by a history.
+pub fn exhibited_set(history: &History) -> Vec<Phenomenon> {
+    Phenomenon::ALL
+        .into_iter()
+        .filter(|p| exhibits(history, *p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critique_history::canonical;
+
+    #[test]
+    fn h1_exhibits_p1_but_no_strict_anomaly() {
+        let h1 = canonical::h1();
+        assert!(exhibits(&h1, Phenomenon::P1));
+        assert!(!exhibits(&h1, Phenomenon::A1));
+        assert!(!exhibits(&h1, Phenomenon::A2));
+        assert!(!exhibits(&h1, Phenomenon::A3));
+    }
+
+    #[test]
+    fn h2_exhibits_p2_but_not_p1_or_a2() {
+        let h2 = canonical::h2();
+        assert!(exhibits(&h2, Phenomenon::P2));
+        assert!(!exhibits(&h2, Phenomenon::P1));
+        assert!(!exhibits(&h2, Phenomenon::A2));
+        // H2 is in fact the read-skew shape as well.
+        assert!(exhibits(&h2, Phenomenon::A5A));
+    }
+
+    #[test]
+    fn h3_exhibits_p3_but_not_a3() {
+        let h3 = canonical::h3();
+        assert!(exhibits(&h3, Phenomenon::P3));
+        assert!(!exhibits(&h3, Phenomenon::A3));
+    }
+
+    #[test]
+    fn h4_exhibits_lost_update() {
+        let h4 = canonical::h4();
+        assert!(exhibits(&h4, Phenomenon::P4));
+        assert!(exhibits(&h4, Phenomenon::P2));
+        assert!(!exhibits(&h4, Phenomenon::P4C));
+    }
+
+    #[test]
+    fn h4c_exhibits_cursor_lost_update() {
+        let h4c = canonical::h4c();
+        assert!(exhibits(&h4c, Phenomenon::P4C));
+        assert!(exhibits(&h4c, Phenomenon::P4));
+    }
+
+    #[test]
+    fn h5_exhibits_write_skew_only() {
+        let h5 = canonical::h5();
+        assert!(exhibits(&h5, Phenomenon::A5B));
+        assert!(!exhibits(&h5, Phenomenon::P0));
+        assert!(!exhibits(&h5, Phenomenon::P1));
+        assert!(!exhibits(&h5, Phenomenon::A5A));
+        assert!(!exhibits(&h5, Phenomenon::P4));
+        // In the single-valued reading, H5's rw overlaps are P2 occurrences
+        // (the paper: "forbidding P2 also precludes A5B").
+        assert!(exhibits(&h5, Phenomenon::P2));
+    }
+
+    #[test]
+    fn canonical_a_histories_exhibit_their_anomalies() {
+        assert!(exhibits(&canonical::dirty_read_strict(), Phenomenon::A1));
+        assert!(exhibits(&canonical::fuzzy_read_strict(), Phenomenon::A2));
+        assert!(exhibits(&canonical::phantom_strict(), Phenomenon::A3));
+        assert!(exhibits(&canonical::read_skew(), Phenomenon::A5A));
+        assert!(exhibits(&canonical::write_skew(), Phenomenon::A5B));
+        assert!(exhibits(&canonical::dirty_write_constraint(), Phenomenon::P0));
+        assert!(exhibits(&canonical::dirty_write_recovery(), Phenomenon::P0));
+    }
+
+    #[test]
+    fn strict_anomalies_imply_their_broad_phenomena() {
+        for (_, h) in canonical::all_named() {
+            for p in Phenomenon::ALL {
+                if exhibits(&h, p) {
+                    if let Some(broad) = p.broad_form() {
+                        assert!(
+                            exhibits(&h, broad),
+                            "{} exhibits {} but not its broad form {}",
+                            h,
+                            p.code(),
+                            broad.code()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_histories_exhibit_nothing() {
+        let h = History::parse("r1[x] w1[x] c1 r2[x] w2[x] c2 r3[x] c3").unwrap();
+        assert!(detect_all(&h).is_empty());
+        assert!(exhibited_set(&h).is_empty());
+    }
+
+    #[test]
+    fn occurrence_display_is_informative() {
+        let occ = detect(&canonical::h1(), Phenomenon::P1);
+        assert!(!occ.is_empty());
+        let text = occ[0].to_string();
+        assert!(text.contains("P1"));
+        assert!(text.contains("T1"));
+    }
+}

@@ -1,0 +1,161 @@
+//! P3 (Phantom, broad) and A3 (Phantom, strict).
+//!
+//! Note the paper's refinement: ANSI's English statement of P3 prohibits
+//! only *inserts* into a previously read predicate, whereas the paper's P3
+//! prohibits **any** write (insert, update, or delete) affecting an item
+//! satisfying the predicate once the predicate has been read.  The broad
+//! detector follows the paper; [`phantoms_broad_insert_only`] implements the
+//! narrower ANSI reading for comparison.
+
+use super::{termination_bound, Occurrence};
+use crate::phenomena::Phenomenon;
+use critique_history::op::PredicateEffect;
+use critique_history::{History, OpKind, TxnOutcome};
+
+fn phantom_pattern(history: &History, insert_only: bool) -> Vec<Occurrence> {
+    let ops = history.ops();
+    let mut found = Vec::new();
+    for (i, first) in ops.iter().enumerate() {
+        let OpKind::PredicateRead(predicate) = &first.kind else {
+            continue;
+        };
+        let bound = termination_bound(history, first.txn);
+        for (j, second) in ops.iter().enumerate().skip(i + 1) {
+            if j >= bound {
+                break;
+            }
+            if second.txn == first.txn || !second.is_write() {
+                continue;
+            }
+            let affects = second.in_predicates.iter().any(|m| {
+                m.predicate == *predicate
+                    && (!insert_only || m.effect == PredicateEffect::Insert)
+            });
+            if affects {
+                found.push(Occurrence {
+                    phenomenon: Phenomenon::P3,
+                    txns: vec![first.txn, second.txn],
+                    indices: vec![i, j],
+                    target: predicate.name().to_string(),
+                });
+            }
+        }
+    }
+    found
+}
+
+/// P3 Phantom (broad): `r1[P]...w2[y in P]...(c1 or a1)` — any write
+/// affecting the predicate while the reading transaction is still active.
+pub fn phantoms_broad(history: &History) -> Vec<Occurrence> {
+    phantom_pattern(history, false)
+}
+
+/// The strictly-ANSI variant of broad P3 that only counts *inserts* into
+/// the predicate (the reading the paper criticises as too narrow).
+pub fn phantoms_broad_insert_only(history: &History) -> Vec<Occurrence> {
+    phantom_pattern(history, true)
+}
+
+/// A3 Phantom (strict): `r1[P]...w2[y in P]...c2...r1[P]...c1` — T1
+/// re-evaluates the predicate after T2's committed write and T1 commits.
+pub fn phantoms_strict(history: &History) -> Vec<Occurrence> {
+    let ops = history.ops();
+    let mut found = Vec::new();
+    for (i, first) in ops.iter().enumerate() {
+        let OpKind::PredicateRead(predicate) = &first.kind else {
+            continue;
+        };
+        let reader = first.txn;
+        if history.outcome(reader) != TxnOutcome::Committed {
+            continue;
+        }
+        for (j, write) in ops.iter().enumerate().skip(i + 1) {
+            if write.txn == reader || !write.is_write() || !write.affects_predicate(predicate) {
+                continue;
+            }
+            let writer = write.txn;
+            let Some(commit_idx) = history.termination_index(writer) else {
+                continue;
+            };
+            if history.outcome(writer) != TxnOutcome::Committed || commit_idx < j {
+                continue;
+            }
+            for (l, reread) in ops.iter().enumerate().skip(commit_idx + 1) {
+                if reread.txn == reader {
+                    if let OpKind::PredicateRead(p2) = &reread.kind {
+                        if p2 == predicate {
+                            found.push(Occurrence {
+                                phenomenon: Phenomenon::A3,
+                                txns: vec![reader, writer],
+                                indices: vec![i, j, commit_idx, l],
+                                target: predicate.name().to_string(),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critique_history::History;
+
+    #[test]
+    fn p3_detected_for_insert_into_read_predicate() {
+        let h = History::parse("r1[P] w2[insert y to P] c2 c1").unwrap();
+        assert_eq!(phantoms_broad(&h).len(), 1);
+        assert_eq!(phantoms_broad_insert_only(&h).len(), 1);
+    }
+
+    #[test]
+    fn p3_detected_for_update_in_predicate_but_not_by_insert_only_variant() {
+        let h = History::parse("r1[P] w2[y in P] c2 c1").unwrap();
+        assert_eq!(phantoms_broad(&h).len(), 1);
+        assert!(phantoms_broad_insert_only(&h).is_empty());
+    }
+
+    #[test]
+    fn p3_not_detected_after_reader_terminates() {
+        let h = History::parse("r1[P] c1 w2[insert y to P] c2").unwrap();
+        assert!(phantoms_broad(&h).is_empty());
+    }
+
+    #[test]
+    fn p3_requires_matching_predicate() {
+        let h = History::parse("r1[P] w2[insert y to Q] c2 c1").unwrap();
+        assert!(phantoms_broad(&h).is_empty());
+    }
+
+    #[test]
+    fn a3_requires_predicate_reread_after_commit() {
+        let strict = History::parse("r1[P] w2[insert y to P] c2 r1[P] c1").unwrap();
+        let occ = phantoms_strict(&strict);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].phenomenon, Phenomenon::A3);
+
+        // H3: no reread of the predicate, so A3 does not apply.
+        let h3 = critique_history::canonical::h3();
+        assert!(phantoms_strict(&h3).is_empty());
+        assert!(!phantoms_broad(&h3).is_empty());
+
+        // Reread before the writer commits: not A3.
+        let early = History::parse("r1[P] w2[insert y to P] r1[P] c2 c1").unwrap();
+        assert!(phantoms_strict(&early).is_empty());
+
+        // Writer aborts: not A3.
+        let aborted = History::parse("r1[P] w2[insert y to P] a2 r1[P] c1").unwrap();
+        assert!(phantoms_strict(&aborted).is_empty());
+    }
+
+    #[test]
+    fn own_inserts_do_not_create_phantoms() {
+        let h = History::parse("r1[P] w1[insert y to P] r1[P] c1").unwrap();
+        assert!(phantoms_broad(&h).is_empty());
+        assert!(phantoms_strict(&h).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! A5A (Read Skew) and A5B (Write Skew) — the data-item constraint
+//! violation anomalies of Section 4.2.
+
+use super::{termination_bound, Occurrence};
+use crate::phenomena::Phenomenon;
+use critique_history::{History, TxnOutcome};
+
+/// A5A Read Skew: `r1[x]...w2[x]...w2[y]...c2...r1[y]...(c1 or a1)` —
+/// T1 reads `x`, then T2 updates both `x` and `y` and commits, then T1
+/// reads `y`: T1 has observed a mix of old `x` and new `y`, potentially
+/// violating a constraint between them.
+pub fn read_skews(history: &History) -> Vec<Occurrence> {
+    let ops = history.ops();
+    let mut found = Vec::new();
+    for (i, read_x) in ops.iter().enumerate() {
+        if !read_x.is_read() {
+            continue;
+        }
+        let Some(x) = read_x.item() else { continue };
+        let t1 = read_x.txn;
+        let t1_bound = termination_bound(history, t1);
+
+        for (j, write_x) in ops.iter().enumerate().skip(i + 1) {
+            if !(write_x.txn != t1 && write_x.is_write() && write_x.item() == Some(x)) {
+                continue;
+            }
+            let t2 = write_x.txn;
+            if history.outcome(t2) != TxnOutcome::Committed {
+                continue;
+            }
+            let Some(t2_commit) = history.termination_index(t2) else {
+                continue;
+            };
+            if t2_commit < j {
+                continue;
+            }
+            // T2 also writes some other item y before committing…
+            for (k, write_y) in ops.iter().enumerate() {
+                if !(write_y.txn == t2 && write_y.is_write() && k < t2_commit) {
+                    continue;
+                }
+                let Some(y) = write_y.item() else { continue };
+                if y == x {
+                    continue;
+                }
+                // …and T1 reads y after T2's commit but before T1 terminates.
+                for (l, read_y) in ops.iter().enumerate().skip(t2_commit + 1) {
+                    if l >= t1_bound {
+                        break;
+                    }
+                    if read_y.txn == t1 && read_y.is_read() && read_y.item() == Some(y) {
+                        found.push(Occurrence {
+                            phenomenon: Phenomenon::A5A,
+                            txns: vec![t1, t2],
+                            indices: vec![i, j, k, t2_commit, l],
+                            target: format!("{x}, {y}"),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    found.sort_by(|a, b| a.indices.cmp(&b.indices));
+    found.dedup();
+    found
+}
+
+/// A5B Write Skew: `r1[x]...r2[y]...w1[y]...w2[x]...(c1 and c2 occur)` —
+/// two transactions read an overlapping pair of items and then write past
+/// each other, so a constraint spanning `x` and `y` that each preserves in
+/// isolation can be violated jointly (history H5).
+pub fn write_skews(history: &History) -> Vec<Occurrence> {
+    let ops = history.ops();
+    let mut found = Vec::new();
+    for (i, read_x) in ops.iter().enumerate() {
+        if !read_x.is_read() {
+            continue;
+        }
+        let Some(x) = read_x.item() else { continue };
+        let t1 = read_x.txn;
+        if history.outcome(t1) != TxnOutcome::Committed {
+            continue;
+        }
+        for (j, read_y) in ops.iter().enumerate().skip(i + 1) {
+            if !(read_y.txn != t1 && read_y.is_read()) {
+                continue;
+            }
+            let t2 = read_y.txn;
+            if history.outcome(t2) != TxnOutcome::Committed {
+                continue;
+            }
+            let Some(y) = read_y.item() else { continue };
+            if y == x {
+                continue;
+            }
+            // w1[y] after r2[y], then w2[x] after that.
+            for (k, write_y) in ops.iter().enumerate().skip(j + 1) {
+                if !(write_y.txn == t1 && write_y.is_write() && write_y.item() == Some(y)) {
+                    continue;
+                }
+                for (l, write_x) in ops.iter().enumerate().skip(k + 1) {
+                    if write_x.txn == t2 && write_x.is_write() && write_x.item() == Some(x) {
+                        found.push(Occurrence {
+                            phenomenon: Phenomenon::A5B,
+                            txns: vec![t1, t2],
+                            indices: vec![i, j, k, l],
+                            target: format!("{x}, {y}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    found.sort_by(|a, b| a.indices.cmp(&b.indices));
+    found.dedup();
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critique_history::{canonical, History};
+
+    #[test]
+    fn canonical_read_skew_detected() {
+        let h = canonical::read_skew();
+        let occ = read_skews(&h);
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].txns.len(), 2);
+        assert!(occ[0].target.contains('x') && occ[0].target.contains('y'));
+    }
+
+    #[test]
+    fn read_skew_not_detected_when_t1_reads_y_before_t2_commits() {
+        let h = History::parse("r1[x=50] w2[x=10] w2[y=90] r1[y=50] c2 c1").unwrap();
+        assert!(read_skews(&h).is_empty());
+    }
+
+    #[test]
+    fn read_skew_not_detected_when_t2_aborts() {
+        let h = History::parse("r1[x=50] w2[x=10] w2[y=90] a2 r1[y=50] c1").unwrap();
+        assert!(read_skews(&h).is_empty());
+    }
+
+    #[test]
+    fn read_skew_requires_two_distinct_items() {
+        let h = History::parse("r1[x] w2[x] c2 r1[x] c1").unwrap();
+        assert!(read_skews(&h).is_empty());
+    }
+
+    #[test]
+    fn h2_is_a_read_skew() {
+        assert!(!read_skews(&canonical::h2()).is_empty());
+    }
+
+    #[test]
+    fn canonical_write_skew_and_h5_detected() {
+        assert!(!write_skews(&canonical::write_skew()).is_empty());
+        assert!(!write_skews(&canonical::h5()).is_empty());
+    }
+
+    #[test]
+    fn write_skew_requires_both_commits() {
+        let h = History::parse("r1[x] r2[y] w1[y] w2[x] c1 a2").unwrap();
+        assert!(write_skews(&h).is_empty());
+        let h = History::parse("r1[x] r2[y] w1[y] w2[x] a1 c2").unwrap();
+        assert!(write_skews(&h).is_empty());
+    }
+
+    #[test]
+    fn write_skew_requires_crossed_writes() {
+        // Each transaction writes the item it itself read: plain update, no skew.
+        let h = History::parse("r1[x] r2[y] w1[x] w2[y] c1 c2").unwrap();
+        assert!(write_skews(&h).is_empty());
+    }
+
+    #[test]
+    fn write_skew_requires_distinct_items() {
+        let h = History::parse("r1[x] r2[x] w1[x] w2[x] c1 c2").unwrap();
+        assert!(write_skews(&h).is_empty());
+    }
+
+    #[test]
+    fn sequential_updates_are_not_write_skew() {
+        let h = History::parse("r1[x] w1[y] c1 r2[y] w2[x] c2").unwrap();
+        assert!(write_skews(&h).is_empty());
+    }
+}

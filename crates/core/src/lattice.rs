@@ -1,0 +1,430 @@
+//! The isolation hierarchy (the paper's Figure 2) and the
+//! weaker/stronger/incomparable relation.
+//!
+//! The paper's definition (Section 2.3): isolation level L1 is *weaker*
+//! than L2 (`L1 « L2`) if all non-serializable histories that obey the
+//! criteria of L2 also satisfy L1 and there is at least one non-serializable
+//! history possible at L1 but not at L2.  At the granularity of the
+//! characterisation matrix of [`crate::tables`], this becomes a dominance
+//! relation: L1 « L2 iff every phenomenon is at most as possible under L2
+//! as under L1, with at least one strictly less possible.
+
+use crate::level::IsolationLevel;
+use crate::phenomena::{Phenomenon, Possibility};
+use crate::tables::characterization;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The outcome of comparing two isolation levels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Comparison {
+    /// `L1 « L2`: the left level is weaker.
+    Weaker,
+    /// `L1 » L2`: the left level is stronger.
+    Stronger,
+    /// `L1 == L2`: the levels admit the same anomalies.
+    Equivalent,
+    /// `L1 »« L2`: each level allows an anomaly the other forbids
+    /// (e.g. REPEATABLE READ vs Snapshot Isolation, Remark 9).
+    Incomparable,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Comparison::Weaker => "« (weaker)",
+            Comparison::Stronger => "» (stronger)",
+            Comparison::Equivalent => "== (equivalent)",
+            Comparison::Incomparable => "»« (incomparable)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+fn dominates(
+    a: &BTreeMap<Phenomenon, Possibility>,
+    b: &BTreeMap<Phenomenon, Possibility>,
+) -> (bool, bool) {
+    // Returns (a_at_most_b, strictly): every phenomenon at most as possible
+    // under `a` as under `b`, and strictly less possible somewhere.
+    let mut all_leq = true;
+    let mut some_lt = false;
+    for p in Phenomenon::ALL {
+        let pa = a[&p];
+        let pb = b[&p];
+        if pa > pb {
+            all_leq = false;
+        }
+        if pa < pb {
+            some_lt = true;
+        }
+    }
+    (all_leq, some_lt)
+}
+
+/// Compare two isolation levels per the paper's `«` relation.
+pub fn compare(left: IsolationLevel, right: IsolationLevel) -> Comparison {
+    let cl = characterization(left);
+    let cr = characterization(right);
+    let (right_dominated, right_strict) = dominates(&cr, &cl); // right forbids ⊇ left
+    let (left_dominated, left_strict) = dominates(&cl, &cr);
+    match (right_dominated && right_strict, left_dominated && left_strict) {
+        (true, false) => Comparison::Weaker,   // left « right
+        (false, true) => Comparison::Stronger, // left » right
+        (false, false) => {
+            if right_dominated && left_dominated {
+                Comparison::Equivalent
+            } else {
+                Comparison::Incomparable
+            }
+        }
+        (true, true) => unreachable!("a level cannot be both strictly weaker and stronger"),
+    }
+}
+
+/// True iff `left « right` (left is strictly weaker).
+pub fn weaker(left: IsolationLevel, right: IsolationLevel) -> bool {
+    compare(left, right) == Comparison::Weaker
+}
+
+/// True iff `left »« right` (the levels are incomparable).
+pub fn incomparable(left: IsolationLevel, right: IsolationLevel) -> bool {
+    compare(left, right) == Comparison::Incomparable
+}
+
+/// An edge of the Figure 2 hierarchy: `lower « upper`, annotated with the
+/// phenomena that differentiate them (possible at `lower`, less possible at
+/// `upper`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyEdge {
+    /// The weaker level.
+    pub lower: IsolationLevel,
+    /// The stronger level.
+    pub upper: IsolationLevel,
+    /// Phenomena whose possibility strictly decreases from `lower` to
+    /// `upper` — the edge labels of Figure 2.
+    pub differentiating: Vec<Phenomenon>,
+}
+
+/// The isolation hierarchy of Figure 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Hierarchy {
+    levels: Vec<IsolationLevel>,
+    edges: Vec<HierarchyEdge>,
+}
+
+impl Hierarchy {
+    /// Compute the Hasse diagram of the `«` relation over all eight levels:
+    /// an edge `lower → upper` is included when `lower « upper` and no
+    /// third level sits strictly between them.
+    pub fn compute() -> Hierarchy {
+        let levels: Vec<IsolationLevel> = IsolationLevel::ALL.to_vec();
+        let mut edges = Vec::new();
+        for &lower in &levels {
+            for &upper in &levels {
+                if !weaker(lower, upper) {
+                    continue;
+                }
+                let covered = levels.iter().any(|&mid| {
+                    mid != lower && mid != upper && weaker(lower, mid) && weaker(mid, upper)
+                });
+                if !covered {
+                    edges.push(HierarchyEdge {
+                        lower,
+                        upper,
+                        differentiating: differentiating_phenomena(lower, upper),
+                    });
+                }
+            }
+        }
+        Hierarchy { levels, edges }
+    }
+
+    /// The levels in the hierarchy.
+    pub fn levels(&self) -> &[IsolationLevel] {
+        &self.levels
+    }
+
+    /// The Hasse edges, lower level first.
+    pub fn edges(&self) -> &[HierarchyEdge] {
+        &self.edges
+    }
+
+    /// Find the edge between two levels, if it is a covering pair.
+    pub fn edge(&self, lower: IsolationLevel, upper: IsolationLevel) -> Option<&HierarchyEdge> {
+        self.edges
+            .iter()
+            .find(|e| e.lower == lower && e.upper == upper)
+    }
+
+    /// All incomparable pairs (each listed once).
+    pub fn incomparable_pairs(&self) -> Vec<(IsolationLevel, IsolationLevel)> {
+        let mut pairs = Vec::new();
+        for (i, &a) in self.levels.iter().enumerate() {
+            for &b in &self.levels[i + 1..] {
+                if incomparable(a, b) {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// The hierarchy exactly as the paper draws it in Figure 2.
+    ///
+    /// The computed Hasse diagram ([`Hierarchy::compute`]) differs in one
+    /// place: at the granularity of the Table 4 matrix, Oracle Read
+    /// Consistency is dominated by Cursor Stability (every phenomenon is at
+    /// most as possible under Cursor Stability), so the computed diagram
+    /// routes `READ COMMITTED → Oracle Read Consistency → Cursor
+    /// Stability`.  The paper never compares those two levels and draws
+    /// both directly above READ COMMITTED; this constructor reproduces the
+    /// paper's drawing.  Edge labels are the differentiating phenomena.
+    pub fn paper_figure2() -> Hierarchy {
+        use IsolationLevel::*;
+        let pairs = [
+            (Degree0, ReadUncommitted),
+            (ReadUncommitted, ReadCommitted),
+            (ReadCommitted, CursorStability),
+            (ReadCommitted, OracleReadConsistency),
+            (CursorStability, RepeatableRead),
+            (OracleReadConsistency, SnapshotIsolation),
+            (RepeatableRead, Serializable),
+            (SnapshotIsolation, Serializable),
+        ];
+        let edges = pairs
+            .into_iter()
+            .map(|(lower, upper)| HierarchyEdge {
+                lower,
+                upper,
+                differentiating: differentiating_phenomena(lower, upper),
+            })
+            .collect();
+        Hierarchy {
+            levels: IsolationLevel::ALL.to_vec(),
+            edges,
+        }
+    }
+
+    /// Render the hierarchy as Graphviz DOT (Figure 2).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph isolation_hierarchy {\n  rankdir=BT;\n");
+        for level in &self.levels {
+            out.push_str(&format!("  \"{level}\";\n"));
+        }
+        for edge in &self.edges {
+            let label = edge
+                .differentiating
+                .iter()
+                .map(|p| p.code())
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+                edge.lower, edge.upper, label
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render an ASCII summary: one line per edge plus incomparabilities.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("Isolation hierarchy (Figure 2)\n");
+        for edge in &self.edges {
+            let label = edge
+                .differentiating
+                .iter()
+                .map(|p| p.code())
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("  {}  «  {}   [{}]\n", edge.lower, edge.upper, label));
+        }
+        out.push_str("Incomparable pairs:\n");
+        for (a, b) in self.incomparable_pairs() {
+            out.push_str(&format!("  {a}  »«  {b}\n"));
+        }
+        out
+    }
+}
+
+/// The phenomena whose possibility strictly decreases from `lower` to
+/// `upper` — used to label Figure 2 edges.
+pub fn differentiating_phenomena(
+    lower: IsolationLevel,
+    upper: IsolationLevel,
+) -> Vec<Phenomenon> {
+    let cl = characterization(lower);
+    let cu = characterization(upper);
+    Phenomenon::ALL
+        .into_iter()
+        .filter(|p| cu[p] < cl[p])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use IsolationLevel::*;
+
+    #[test]
+    fn remark_1_locking_levels_form_a_chain() {
+        assert!(weaker(ReadUncommitted, ReadCommitted));
+        assert!(weaker(ReadCommitted, RepeatableRead));
+        assert!(weaker(RepeatableRead, Serializable));
+        // And transitively:
+        assert!(weaker(ReadUncommitted, Serializable));
+    }
+
+    #[test]
+    fn remark_7_cursor_stability_sits_between_rc_and_rr() {
+        assert!(weaker(ReadCommitted, CursorStability));
+        assert!(weaker(CursorStability, RepeatableRead));
+    }
+
+    #[test]
+    fn remark_8_read_committed_is_weaker_than_snapshot_isolation() {
+        assert!(weaker(ReadCommitted, SnapshotIsolation));
+        assert_eq!(compare(SnapshotIsolation, ReadCommitted), Comparison::Stronger);
+    }
+
+    #[test]
+    fn remark_9_repeatable_read_and_snapshot_isolation_are_incomparable() {
+        assert!(incomparable(RepeatableRead, SnapshotIsolation));
+        assert!(incomparable(SnapshotIsolation, RepeatableRead));
+    }
+
+    #[test]
+    fn snapshot_isolation_is_weaker_than_serializable() {
+        assert!(weaker(SnapshotIsolation, Serializable));
+    }
+
+    #[test]
+    fn oracle_read_consistency_sits_above_read_committed_and_below_si() {
+        assert!(weaker(ReadCommitted, OracleReadConsistency));
+        assert!(weaker(OracleReadConsistency, SnapshotIsolation));
+    }
+
+    #[test]
+    fn degree0_is_the_bottom_element() {
+        for level in IsolationLevel::ALL {
+            if level != Degree0 {
+                assert!(weaker(Degree0, level), "Degree 0 must be weaker than {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn serializable_is_the_top_element() {
+        for level in IsolationLevel::ALL {
+            if level != Serializable {
+                assert!(weaker(level, Serializable), "{level} must be weaker than SERIALIZABLE");
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric_and_reflexively_equivalent() {
+        for a in IsolationLevel::ALL {
+            assert_eq!(compare(a, a), Comparison::Equivalent);
+            for b in IsolationLevel::ALL {
+                match compare(a, b) {
+                    Comparison::Weaker => assert_eq!(compare(b, a), Comparison::Stronger),
+                    Comparison::Stronger => assert_eq!(compare(b, a), Comparison::Weaker),
+                    Comparison::Equivalent => assert_eq!(compare(b, a), Comparison::Equivalent),
+                    Comparison::Incomparable => {
+                        assert_eq!(compare(b, a), Comparison::Incomparable)
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weaker_is_transitive() {
+        for a in IsolationLevel::ALL {
+            for b in IsolationLevel::ALL {
+                for c in IsolationLevel::ALL {
+                    if weaker(a, b) && weaker(b, c) {
+                        assert!(weaker(a, c), "{a} « {b} « {c} must imply {a} « {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn computed_hierarchy_has_the_expected_covering_edges() {
+        let h = Hierarchy::compute();
+        // The chain edges.
+        assert!(h.edge(Degree0, ReadUncommitted).is_some());
+        assert!(h.edge(ReadUncommitted, ReadCommitted).is_some());
+        assert!(h.edge(ReadCommitted, OracleReadConsistency).is_some());
+        assert!(h.edge(CursorStability, RepeatableRead).is_some());
+        assert!(h.edge(RepeatableRead, Serializable).is_some());
+        assert!(h.edge(SnapshotIsolation, Serializable).is_some());
+        // Non-covering pairs must not appear as edges.
+        assert!(h.edge(ReadUncommitted, Serializable).is_none());
+        assert!(h.edge(Degree0, ReadCommitted).is_none());
+    }
+
+    #[test]
+    fn every_paper_figure2_edge_is_a_weaker_relation() {
+        for edge in Hierarchy::paper_figure2().edges() {
+            assert!(
+                weaker(edge.lower, edge.upper),
+                "{} must be weaker than {}",
+                edge.lower,
+                edge.upper
+            );
+            assert!(!edge.differentiating.is_empty());
+        }
+    }
+
+    #[test]
+    fn figure2_edge_labels_match_the_paper() {
+        let h = Hierarchy::paper_figure2();
+        let labels = |lower, upper| {
+            h.edge(lower, upper)
+                .map(|e| e.differentiating.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(labels(Degree0, ReadUncommitted), vec![Phenomenon::P0]);
+        assert_eq!(
+            labels(ReadUncommitted, ReadCommitted),
+            vec![Phenomenon::P1, Phenomenon::A1]
+        );
+        assert!(labels(ReadCommitted, CursorStability).contains(&Phenomenon::P4C));
+        assert_eq!(labels(RepeatableRead, Serializable), vec![Phenomenon::P3, Phenomenon::A3]);
+        assert_eq!(labels(SnapshotIsolation, Serializable), vec![Phenomenon::P3, Phenomenon::A5B]);
+        // Oracle → SI is labelled with the Section 4.3 differences.
+        let orc_si = labels(OracleReadConsistency, SnapshotIsolation);
+        for expected in [Phenomenon::A3, Phenomenon::A5A, Phenomenon::P4] {
+            assert!(orc_si.contains(&expected), "missing {expected:?}");
+        }
+    }
+
+    #[test]
+    fn incomparable_pairs_include_rr_vs_si() {
+        let h = Hierarchy::compute();
+        let pairs = h.incomparable_pairs();
+        assert!(pairs
+            .iter()
+            .any(|&(a, b)| (a, b) == (RepeatableRead, SnapshotIsolation)
+                || (b, a) == (RepeatableRead, SnapshotIsolation)));
+    }
+
+    #[test]
+    fn renderings_mention_every_level() {
+        let h = Hierarchy::compute();
+        let dot = h.to_dot();
+        let text = h.to_text();
+        for level in IsolationLevel::ALL {
+            assert!(dot.contains(level.name()));
+            assert!(text.contains(level.name()));
+        }
+        assert!(dot.contains("->"));
+        assert!(text.contains("»«"));
+    }
+}

@@ -1,0 +1,324 @@
+//! The isolation level taxonomy.
+//!
+//! The paper works with three families of definitions:
+//!
+//! 1. the **ANSI SQL-92 levels** of Table 1, defined solely by which of the
+//!    three original phenomena (P1/P2/P3 — or, in the strict reading,
+//!    A1/A2/A3) they forbid ([`AnsiLevel`]);
+//! 2. the **locking levels / degrees of consistency** of Table 2 and the
+//!    equivalent corrected phenomenological levels of Table 3;
+//! 3. the **extended levels** of Table 4 and Figure 2, which add Cursor
+//!    Stability, Snapshot Isolation, and Oracle Read Consistency.
+//!
+//! [`IsolationLevel`] enumerates family 2 and 3 (they share rows); the
+//! original, phenomena-only ANSI levels live in [`AnsiLevel`] because the
+//! paper's whole point is that they are *not* the same thing.
+
+use crate::phenomena::{Interpretation, Phenomenon};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The isolation levels characterised by the paper (Tables 2-4, Figure 2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum IsolationLevel {
+    /// [GLPT] Degree 0: only well-formed (short) writes; even dirty writes
+    /// are possible.
+    Degree0,
+    /// Locking READ UNCOMMITTED == Degree 1: long write locks, no read
+    /// locks.
+    ReadUncommitted,
+    /// Locking READ COMMITTED == Degree 2: long write locks, short read
+    /// locks.
+    ReadCommitted,
+    /// Cursor Stability (Section 4.1): READ COMMITTED plus a read lock held
+    /// on the current row of each cursor.
+    CursorStability,
+    /// Oracle Read Consistency (Section 4.3): statement-level snapshots
+    /// with write locks (first-writer-wins).
+    OracleReadConsistency,
+    /// Locking REPEATABLE READ: long item read locks, short predicate read
+    /// locks.
+    RepeatableRead,
+    /// Snapshot Isolation (Section 4.2): transaction-level snapshot reads
+    /// with First-Committer-Wins writes.
+    SnapshotIsolation,
+    /// Locking SERIALIZABLE == Degree 3: long read and write locks on items
+    /// and predicates (full two-phase locking).
+    Serializable,
+}
+
+impl IsolationLevel {
+    /// All levels, ordered roughly from weakest to strongest (the total
+    /// order is only partial — see [`crate::lattice`]).
+    pub const ALL: [IsolationLevel; 8] = [
+        IsolationLevel::Degree0,
+        IsolationLevel::ReadUncommitted,
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::CursorStability,
+        IsolationLevel::OracleReadConsistency,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializable,
+    ];
+
+    /// The rows of Table 4, in the paper's order.
+    pub const TABLE4_ROWS: [IsolationLevel; 6] = [
+        IsolationLevel::ReadUncommitted,
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::CursorStability,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializable,
+    ];
+
+    /// The rows of Table 3 (and Table 2, minus Degree 0 / Cursor Stability).
+    pub const TABLE3_ROWS: [IsolationLevel; 4] = [
+        IsolationLevel::ReadUncommitted,
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::Serializable,
+    ];
+
+    /// The canonical display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IsolationLevel::Degree0 => "Degree 0",
+            IsolationLevel::ReadUncommitted => "READ UNCOMMITTED",
+            IsolationLevel::ReadCommitted => "READ COMMITTED",
+            IsolationLevel::CursorStability => "Cursor Stability",
+            IsolationLevel::OracleReadConsistency => "Oracle Read Consistency",
+            IsolationLevel::RepeatableRead => "REPEATABLE READ",
+            IsolationLevel::SnapshotIsolation => "Snapshot Isolation",
+            IsolationLevel::Serializable => "SERIALIZABLE",
+        }
+    }
+
+    /// Alternative names used in the paper and in industry (degrees of
+    /// consistency, Date's terminology, product names).
+    pub fn aliases(&self) -> &'static [&'static str] {
+        match self {
+            IsolationLevel::Degree0 => &["Degree 0 consistency"],
+            IsolationLevel::ReadUncommitted => &["Degree 1", "Locking READ UNCOMMITTED"],
+            IsolationLevel::ReadCommitted => &["Degree 2", "Locking READ COMMITTED"],
+            IsolationLevel::CursorStability => &["Date's Cursor Stability", "IBM CS"],
+            IsolationLevel::OracleReadConsistency => {
+                &["Oracle Consistent Read", "statement-level snapshot"]
+            }
+            IsolationLevel::RepeatableRead => &["Locking REPEATABLE READ"],
+            IsolationLevel::SnapshotIsolation => &["SI", "InterBase 4", "first-committer-wins"],
+            IsolationLevel::Serializable => &[
+                "Degree 3",
+                "Locking SERIALIZABLE",
+                "Date / DB2 Repeatable Read",
+            ],
+        }
+    }
+
+    /// The [GLPT] degree of consistency this level corresponds to, if any.
+    pub fn degree(&self) -> Option<u8> {
+        match self {
+            IsolationLevel::Degree0 => Some(0),
+            IsolationLevel::ReadUncommitted => Some(1),
+            IsolationLevel::ReadCommitted => Some(2),
+            IsolationLevel::Serializable => Some(3),
+            _ => None,
+        }
+    }
+
+    /// True for the levels implemented by a locking scheduler (Table 2).
+    pub fn is_lock_based(&self) -> bool {
+        !matches!(
+            self,
+            IsolationLevel::SnapshotIsolation | IsolationLevel::OracleReadConsistency
+        )
+    }
+
+    /// True for the multi-version levels of Section 4.2 / 4.3.
+    pub fn is_multiversion(&self) -> bool {
+        !self.is_lock_based()
+    }
+
+    /// Parse a level from its name or a common alias (case-insensitive).
+    pub fn from_name(name: &str) -> Option<IsolationLevel> {
+        let wanted = name.trim().to_ascii_lowercase();
+        IsolationLevel::ALL.into_iter().find(|level| {
+            level.name().to_ascii_lowercase() == wanted
+                || level
+                    .aliases()
+                    .iter()
+                    .any(|a| a.to_ascii_lowercase() == wanted)
+        })
+    }
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The original ANSI SQL-92 isolation levels of Table 1, defined *only* by
+/// the phenomena they forbid.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum AnsiLevel {
+    /// ANSI READ UNCOMMITTED: P1, P2, P3 all possible.
+    ReadUncommitted,
+    /// ANSI READ COMMITTED: P1 not possible.
+    ReadCommitted,
+    /// ANSI REPEATABLE READ: P1, P2 not possible.
+    RepeatableRead,
+    /// ANOMALY SERIALIZABLE: P1, P2, P3 not possible (which, the paper
+    /// shows, still does not imply true serializability).
+    AnomalySerializable,
+}
+
+impl AnsiLevel {
+    /// All ANSI levels, weakest first (the rows of Table 1).
+    pub const ALL: [AnsiLevel; 4] = [
+        AnsiLevel::ReadUncommitted,
+        AnsiLevel::ReadCommitted,
+        AnsiLevel::RepeatableRead,
+        AnsiLevel::AnomalySerializable,
+    ];
+
+    /// Display name as printed in Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnsiLevel::ReadUncommitted => "ANSI READ UNCOMMITTED",
+            AnsiLevel::ReadCommitted => "ANSI READ COMMITTED",
+            AnsiLevel::RepeatableRead => "ANSI REPEATABLE READ",
+            AnsiLevel::AnomalySerializable => "ANOMALY SERIALIZABLE",
+        }
+    }
+
+    /// The phenomena this level forbids, under the chosen interpretation of
+    /// the ANSI definitions (broad → P1/P2/P3, strict → A1/A2/A3).
+    pub fn forbidden(&self, interpretation: Interpretation) -> Vec<Phenomenon> {
+        let (p1, p2, p3) = match interpretation {
+            Interpretation::Broad => (Phenomenon::P1, Phenomenon::P2, Phenomenon::P3),
+            Interpretation::Strict => (Phenomenon::A1, Phenomenon::A2, Phenomenon::A3),
+        };
+        match self {
+            AnsiLevel::ReadUncommitted => vec![],
+            AnsiLevel::ReadCommitted => vec![p1],
+            AnsiLevel::RepeatableRead => vec![p1, p2],
+            AnsiLevel::AnomalySerializable => vec![p1, p2, p3],
+        }
+    }
+
+    /// True if a history obeys this level under the chosen interpretation —
+    /// i.e. exhibits none of the forbidden phenomena.
+    pub fn permits(
+        &self,
+        history: &critique_history::History,
+        interpretation: Interpretation,
+    ) -> bool {
+        self.forbidden(interpretation)
+            .into_iter()
+            .all(|p| !crate::detect::exhibits(history, p))
+    }
+}
+
+impl fmt::Display for AnsiLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critique_history::canonical;
+
+    #[test]
+    fn all_levels_have_distinct_names() {
+        let mut names = std::collections::HashSet::new();
+        for level in IsolationLevel::ALL {
+            assert!(names.insert(level.name()));
+            assert!(!level.aliases().is_empty() || level == IsolationLevel::Degree0);
+        }
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn degrees_match_glpt() {
+        assert_eq!(IsolationLevel::Degree0.degree(), Some(0));
+        assert_eq!(IsolationLevel::ReadUncommitted.degree(), Some(1));
+        assert_eq!(IsolationLevel::ReadCommitted.degree(), Some(2));
+        assert_eq!(IsolationLevel::Serializable.degree(), Some(3));
+        assert_eq!(IsolationLevel::RepeatableRead.degree(), None);
+        assert_eq!(IsolationLevel::SnapshotIsolation.degree(), None);
+    }
+
+    #[test]
+    fn lock_based_vs_multiversion() {
+        assert!(IsolationLevel::Serializable.is_lock_based());
+        assert!(IsolationLevel::CursorStability.is_lock_based());
+        assert!(IsolationLevel::SnapshotIsolation.is_multiversion());
+        assert!(IsolationLevel::OracleReadConsistency.is_multiversion());
+    }
+
+    #[test]
+    fn from_name_accepts_names_and_aliases() {
+        assert_eq!(
+            IsolationLevel::from_name("read committed"),
+            Some(IsolationLevel::ReadCommitted)
+        );
+        assert_eq!(
+            IsolationLevel::from_name("Degree 3"),
+            Some(IsolationLevel::Serializable)
+        );
+        assert_eq!(
+            IsolationLevel::from_name("SI"),
+            Some(IsolationLevel::SnapshotIsolation)
+        );
+        assert_eq!(IsolationLevel::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn ansi_levels_forbid_cumulative_phenomena() {
+        assert!(AnsiLevel::ReadUncommitted
+            .forbidden(Interpretation::Broad)
+            .is_empty());
+        assert_eq!(
+            AnsiLevel::AnomalySerializable.forbidden(Interpretation::Broad),
+            vec![Phenomenon::P1, Phenomenon::P2, Phenomenon::P3]
+        );
+        assert_eq!(
+            AnsiLevel::RepeatableRead.forbidden(Interpretation::Strict),
+            vec![Phenomenon::A1, Phenomenon::A2]
+        );
+    }
+
+    #[test]
+    fn h1_is_permitted_by_anomaly_serializable_under_strict_interpretation() {
+        // The paper's central example: H1 violates no strict anomaly, so the
+        // strict reading of ANSI SERIALIZABLE admits a non-serializable
+        // history.
+        let h1 = canonical::h1();
+        assert!(AnsiLevel::AnomalySerializable.permits(&h1, Interpretation::Strict));
+        // The broad interpretation correctly rejects it.
+        assert!(!AnsiLevel::AnomalySerializable.permits(&h1, Interpretation::Broad));
+        assert!(!AnsiLevel::ReadCommitted.permits(&h1, Interpretation::Broad));
+    }
+
+    #[test]
+    fn h2_discriminates_a2_from_p2() {
+        let h2 = canonical::h2();
+        assert!(AnsiLevel::RepeatableRead.permits(&h2, Interpretation::Strict));
+        assert!(!AnsiLevel::RepeatableRead.permits(&h2, Interpretation::Broad));
+    }
+
+    #[test]
+    fn h3_discriminates_a3_from_p3() {
+        let h3 = canonical::h3();
+        assert!(AnsiLevel::AnomalySerializable.permits(&h3, Interpretation::Strict));
+        assert!(!AnsiLevel::AnomalySerializable.permits(&h3, Interpretation::Broad));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IsolationLevel::SnapshotIsolation.to_string(), "Snapshot Isolation");
+        assert_eq!(AnsiLevel::AnomalySerializable.to_string(), "ANOMALY SERIALIZABLE");
+    }
+}

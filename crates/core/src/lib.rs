@@ -1,0 +1,58 @@
+//! # critique-core
+//!
+//! The primary contribution of *"A Critique of ANSI SQL Isolation Levels"*
+//! (Berenson et al., SIGMOD 1995), as an executable Rust library:
+//!
+//! * the **phenomena and anomalies** — P0 (Dirty Write), P1/A1 (Dirty
+//!   Read), P2/A2 (Fuzzy Read), P3/A3 (Phantom), P4 (Lost Update),
+//!   P4C (Cursor Lost Update), A5A (Read Skew), A5B (Write Skew) — each
+//!   with a *detector* that finds occurrences in any history
+//!   ([`phenomena`], [`detect`]);
+//! * the **isolation level taxonomy**: ANSI phenomena-based levels
+//!   (Table 1), locking levels / degrees of consistency (Table 2),
+//!   the corrected phenomenological levels (Table 3), and the extended
+//!   characterisation including Cursor Stability, Snapshot Isolation and
+//!   Oracle Read Consistency (Table 4) ([`level`], [`tables`],
+//!   [`locking`]);
+//! * the **isolation hierarchy** — the weaker/stronger/incomparable
+//!   relation and the Figure 2 lattice ([`lattice`]).
+//!
+//! ```
+//! use critique_core::prelude::*;
+//! use critique_history::canonical;
+//!
+//! // H1 violates the broad interpretation P1 but none of the strict
+//! // anomalies A1, A2, A3 — the paper's argument for broad interpretations.
+//! let h1 = canonical::h1();
+//! assert!(detect::exhibits(&h1, Phenomenon::P1));
+//! assert!(!detect::exhibits(&h1, Phenomenon::A1));
+//! assert!(!detect::exhibits(&h1, Phenomenon::A2));
+//! assert!(!detect::exhibits(&h1, Phenomenon::A3));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod detect;
+pub mod lattice;
+pub mod level;
+pub mod locking;
+pub mod phenomena;
+pub mod tables;
+
+pub use crate::detect::{detect, detect_all, exhibits, Occurrence};
+pub use crate::lattice::{compare, Comparison, Hierarchy};
+pub use crate::level::IsolationLevel;
+pub use crate::locking::{LockDuration, LockProfile, LockScope};
+pub use crate::phenomena::{Interpretation, Phenomenon, Possibility};
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::detect::{self, detect, detect_all, exhibits, Occurrence};
+    pub use crate::lattice::{compare, Comparison, Hierarchy};
+    pub use crate::level::IsolationLevel;
+    pub use crate::locking::{LockDuration, LockProfile, LockScope};
+    pub use crate::phenomena::{Interpretation, Phenomenon, Possibility};
+    pub use crate::tables;
+}

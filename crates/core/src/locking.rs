@@ -1,0 +1,311 @@
+//! Table 2: locking isolation levels defined by lock scope, mode, and
+//! duration.
+//!
+//! A [`LockProfile`] is the *specification* of a locking isolation level:
+//! what locks a well-behaved transaction must acquire before reading or
+//! writing items and predicates, and how long it must hold them.  The
+//! `critique-engine` locking scheduler executes these profiles directly, so
+//! Table 2 is rendered from the same data structure that drives execution
+//! (this is what makes the paper's Remark 6 — Table 2 ≡ Table 3 — an
+//! executable claim).
+
+use crate::level::IsolationLevel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a lock covers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum LockScope {
+    /// A single data item (record lock).
+    Item,
+    /// A predicate — all items satisfying a `<search condition>`, including
+    /// phantoms.
+    Predicate,
+}
+
+/// How long a lock is held.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum LockDuration {
+    /// Released immediately after the action completes.
+    Short,
+    /// Held while the cursor is positioned on the item (Cursor Stability);
+    /// released when the cursor moves or closes, upgraded to long if the
+    /// row is updated.
+    Cursor,
+    /// Held until after the transaction commits or aborts.
+    Long,
+}
+
+impl fmt::Display for LockDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockDuration::Short => "short duration",
+            LockDuration::Cursor => "held on current of cursor",
+            LockDuration::Long => "long duration",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Whether a lock is required before an access, and for how long it must be
+/// held.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum LockRequirement {
+    /// No lock required (e.g. reads at Degree 0 and Degree 1).
+    NotRequired,
+    /// A well-formed lock of the given duration is required.
+    WellFormed(LockDuration),
+}
+
+impl LockRequirement {
+    /// True when a lock must be acquired at all.
+    pub fn is_required(&self) -> bool {
+        matches!(self, LockRequirement::WellFormed(_))
+    }
+
+    /// The required duration, if a lock is required.
+    pub fn duration(&self) -> Option<LockDuration> {
+        match self {
+            LockRequirement::NotRequired => None,
+            LockRequirement::WellFormed(d) => Some(*d),
+        }
+    }
+}
+
+impl fmt::Display for LockRequirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockRequirement::NotRequired => write!(f, "none required"),
+            LockRequirement::WellFormed(d) => write!(f, "well-formed, {d}"),
+        }
+    }
+}
+
+/// A row of Table 2: the complete lock discipline of a locking isolation
+/// level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LockProfile {
+    /// The level this profile implements.
+    pub level: IsolationLevel,
+    /// Read locks on individual data items.
+    pub read_item: LockRequirement,
+    /// Read locks on predicates.
+    pub read_predicate: LockRequirement,
+    /// Write locks on data items (and predicates — "always the same" per
+    /// Table 2).
+    pub write: LockRequirement,
+}
+
+impl LockProfile {
+    /// The Table 2 profile for a lock-based isolation level.  Returns
+    /// `None` for the multi-version levels (Snapshot Isolation, Oracle Read
+    /// Consistency), which are not defined by locking.
+    pub fn for_level(level: IsolationLevel) -> Option<LockProfile> {
+        use IsolationLevel::*;
+        use LockDuration::*;
+        use LockRequirement::*;
+        let profile = match level {
+            Degree0 => LockProfile {
+                level,
+                read_item: NotRequired,
+                read_predicate: NotRequired,
+                write: WellFormed(Short),
+            },
+            ReadUncommitted => LockProfile {
+                level,
+                read_item: NotRequired,
+                read_predicate: NotRequired,
+                write: WellFormed(Long),
+            },
+            ReadCommitted => LockProfile {
+                level,
+                read_item: WellFormed(Short),
+                read_predicate: WellFormed(Short),
+                write: WellFormed(Long),
+            },
+            CursorStability => LockProfile {
+                level,
+                read_item: WellFormed(Cursor),
+                read_predicate: WellFormed(Short),
+                write: WellFormed(Long),
+            },
+            RepeatableRead => LockProfile {
+                level,
+                read_item: WellFormed(Long),
+                read_predicate: WellFormed(Short),
+                write: WellFormed(Long),
+            },
+            Serializable => LockProfile {
+                level,
+                read_item: WellFormed(Long),
+                read_predicate: WellFormed(Long),
+                write: WellFormed(Long),
+            },
+            SnapshotIsolation | OracleReadConsistency => return None,
+        };
+        Some(profile)
+    }
+
+    /// All rows of Table 2, in the paper's order.
+    pub fn table2() -> Vec<LockProfile> {
+        [
+            IsolationLevel::Degree0,
+            IsolationLevel::ReadUncommitted,
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::CursorStability,
+            IsolationLevel::RepeatableRead,
+            IsolationLevel::Serializable,
+        ]
+        .into_iter()
+        .filter_map(LockProfile::for_level)
+        .collect()
+    }
+
+    /// True when this profile requires full two-phase, well-formed locking
+    /// (the condition of the fundamental serialization theorem).
+    pub fn is_two_phase_well_formed(&self) -> bool {
+        self.read_item == LockRequirement::WellFormed(LockDuration::Long)
+            && self.read_predicate == LockRequirement::WellFormed(LockDuration::Long)
+            && self.write == LockRequirement::WellFormed(LockDuration::Long)
+    }
+
+    /// Render this row as the paper's Table 2 prints it.
+    pub fn describe(&self) -> String {
+        let read = if self.read_item == self.read_predicate {
+            format!("Read locks (items and predicates): {}", self.read_item)
+        } else {
+            format!(
+                "Read locks: items {}; predicates {}",
+                self.read_item, self.read_predicate
+            )
+        };
+        format!(
+            "{}: {}; Write locks (items and predicates): {}",
+            self.level, read, self.write
+        )
+    }
+
+    /// Partial order on profiles: `self` is at least as strict as `other`
+    /// when every lock requirement is at least as strong (required where
+    /// required, and held at least as long).
+    pub fn at_least_as_strict_as(&self, other: &LockProfile) -> bool {
+        fn geq(a: LockRequirement, b: LockRequirement) -> bool {
+            match (a, b) {
+                (_, LockRequirement::NotRequired) => true,
+                (LockRequirement::NotRequired, LockRequirement::WellFormed(_)) => false,
+                (LockRequirement::WellFormed(da), LockRequirement::WellFormed(db)) => da >= db,
+            }
+        }
+        geq(self.read_item, other.read_item)
+            && geq(self.read_predicate, other.read_predicate)
+            && geq(self.write, other.write)
+    }
+}
+
+impl fmt::Display for LockProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_six_rows_in_order() {
+        let rows = LockProfile::table2();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].level, IsolationLevel::Degree0);
+        assert_eq!(rows[5].level, IsolationLevel::Serializable);
+    }
+
+    #[test]
+    fn multiversion_levels_have_no_lock_profile() {
+        assert!(LockProfile::for_level(IsolationLevel::SnapshotIsolation).is_none());
+        assert!(LockProfile::for_level(IsolationLevel::OracleReadConsistency).is_none());
+    }
+
+    #[test]
+    fn degree0_only_requires_short_write_locks() {
+        let p = LockProfile::for_level(IsolationLevel::Degree0).unwrap();
+        assert!(!p.read_item.is_required());
+        assert_eq!(p.write, LockRequirement::WellFormed(LockDuration::Short));
+    }
+
+    #[test]
+    fn all_levels_above_degree0_hold_long_write_locks() {
+        // The paper's Remark 3 / recovery argument: even the weakest locking
+        // systems hold long write locks.
+        for p in LockProfile::table2().into_iter().skip(1) {
+            assert_eq!(
+                p.write,
+                LockRequirement::WellFormed(LockDuration::Long),
+                "{} must hold long write locks",
+                p.level
+            );
+        }
+    }
+
+    #[test]
+    fn only_serializable_is_fully_two_phase_well_formed() {
+        for p in LockProfile::table2() {
+            assert_eq!(
+                p.is_two_phase_well_formed(),
+                p.level == IsolationLevel::Serializable,
+                "{}",
+                p.level
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_grow_monotonically_in_strictness_along_remark1() {
+        let order = [
+            IsolationLevel::ReadUncommitted,
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::RepeatableRead,
+            IsolationLevel::Serializable,
+        ];
+        for pair in order.windows(2) {
+            let weaker = LockProfile::for_level(pair[0]).unwrap();
+            let stronger = LockProfile::for_level(pair[1]).unwrap();
+            assert!(stronger.at_least_as_strict_as(&weaker));
+            assert!(!weaker.at_least_as_strict_as(&stronger));
+        }
+    }
+
+    #[test]
+    fn cursor_stability_sits_between_read_committed_and_repeatable_read() {
+        let rc = LockProfile::for_level(IsolationLevel::ReadCommitted).unwrap();
+        let cs = LockProfile::for_level(IsolationLevel::CursorStability).unwrap();
+        let rr = LockProfile::for_level(IsolationLevel::RepeatableRead).unwrap();
+        assert!(cs.at_least_as_strict_as(&rc));
+        assert!(rr.at_least_as_strict_as(&cs));
+        assert!(!rc.at_least_as_strict_as(&cs));
+        assert!(!cs.at_least_as_strict_as(&rr));
+    }
+
+    #[test]
+    fn descriptions_mention_the_level_and_durations() {
+        let p = LockProfile::for_level(IsolationLevel::RepeatableRead).unwrap();
+        let text = p.describe();
+        assert!(text.contains("REPEATABLE READ"));
+        assert!(text.contains("long duration"));
+        assert!(text.contains("short duration"));
+        let rc = LockProfile::for_level(IsolationLevel::ReadCommitted).unwrap();
+        assert!(rc.describe().contains("items and predicates"));
+    }
+
+    #[test]
+    fn lock_requirement_accessors() {
+        assert!(!LockRequirement::NotRequired.is_required());
+        assert_eq!(LockRequirement::NotRequired.duration(), None);
+        assert_eq!(
+            LockRequirement::WellFormed(LockDuration::Long).duration(),
+            Some(LockDuration::Long)
+        );
+        assert!(LockDuration::Short < LockDuration::Cursor);
+        assert!(LockDuration::Cursor < LockDuration::Long);
+    }
+}

@@ -1,0 +1,294 @@
+//! The phenomena and anomalies catalogued by the paper.
+//!
+//! The paper distinguishes *phenomena* (broad interpretations, which forbid
+//! action subsequences that **might** lead to anomalous behaviour) from
+//! *anomalies* (strict interpretations, which require the unfortunate
+//! outcome to actually materialise).  Section 3 argues that the broad
+//! interpretations are the ones ANSI intended (Remark 4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Broad (phenomenon) vs strict (anomaly) interpretation (Section 2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Interpretation {
+    /// Broad: prohibits an execution sequence if something anomalous
+    /// *might* happen in the future (the `P` definitions).
+    Broad,
+    /// Strict: prohibits only sequences where the anomaly actually occurs
+    /// (the `A` definitions).
+    Strict,
+}
+
+/// Every phenomenon / anomaly defined in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Phenomenon {
+    /// P0 Dirty Write: `w1[x]...w2[x]...(c1 or a1)`.
+    P0,
+    /// P1 Dirty Read (broad): `w1[x]...r2[x]...(c1 or a1)`.
+    P1,
+    /// A1 Dirty Read (strict): `w1[x]...r2[x]...(a1 and c2 in either order)`.
+    A1,
+    /// P2 Fuzzy / Non-Repeatable Read (broad): `r1[x]...w2[x]...(c1 or a1)`.
+    P2,
+    /// A2 Fuzzy Read (strict): `r1[x]...w2[x]...c2...r1[x]...c1`.
+    A2,
+    /// P3 Phantom (broad): `r1[P]...w2[y in P]...(c1 or a1)`.
+    P3,
+    /// A3 Phantom (strict): `r1[P]...w2[y in P]...c2...r1[P]...c1`.
+    A3,
+    /// P4 Lost Update: `r1[x]...w2[x]...w1[x]...c1`.
+    P4,
+    /// P4C Cursor Lost Update: `rc1[x]...w2[x]...w1[x]...c1`.
+    P4C,
+    /// A5A Read Skew: `r1[x]...w2[x]...w2[y]...c2...r1[y]...(c1 or a1)`.
+    A5A,
+    /// A5B Write Skew: `r1[x]...r2[y]...w1[y]...w2[x]...(c1 and c2 occur)`.
+    A5B,
+}
+
+impl Phenomenon {
+    /// All phenomena, in the paper's presentation order.
+    pub const ALL: [Phenomenon; 11] = [
+        Phenomenon::P0,
+        Phenomenon::P1,
+        Phenomenon::A1,
+        Phenomenon::P2,
+        Phenomenon::A2,
+        Phenomenon::P3,
+        Phenomenon::A3,
+        Phenomenon::P4,
+        Phenomenon::P4C,
+        Phenomenon::A5A,
+        Phenomenon::A5B,
+    ];
+
+    /// The columns of Table 4, in the paper's order.
+    pub const TABLE4_COLUMNS: [Phenomenon; 8] = [
+        Phenomenon::P0,
+        Phenomenon::P1,
+        Phenomenon::P4C,
+        Phenomenon::P4,
+        Phenomenon::P2,
+        Phenomenon::P3,
+        Phenomenon::A5A,
+        Phenomenon::A5B,
+    ];
+
+    /// The three original ANSI phenomena in their broad interpretation
+    /// (the columns of Table 1).
+    pub const ANSI_BROAD: [Phenomenon; 3] = [Phenomenon::P1, Phenomenon::P2, Phenomenon::P3];
+
+    /// The three original ANSI phenomena in their strict interpretation.
+    pub const ANSI_STRICT: [Phenomenon; 3] = [Phenomenon::A1, Phenomenon::A2, Phenomenon::A3];
+
+    /// The columns of Table 3 (the paper's corrected ANSI definition).
+    pub const TABLE3_COLUMNS: [Phenomenon; 4] = [
+        Phenomenon::P0,
+        Phenomenon::P1,
+        Phenomenon::P2,
+        Phenomenon::P3,
+    ];
+
+    /// Short identifier (`"P0"`, `"A5B"`, …).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Phenomenon::P0 => "P0",
+            Phenomenon::P1 => "P1",
+            Phenomenon::A1 => "A1",
+            Phenomenon::P2 => "P2",
+            Phenomenon::A2 => "A2",
+            Phenomenon::P3 => "P3",
+            Phenomenon::A3 => "A3",
+            Phenomenon::P4 => "P4",
+            Phenomenon::P4C => "P4C",
+            Phenomenon::A5A => "A5A",
+            Phenomenon::A5B => "A5B",
+        }
+    }
+
+    /// The paper's English name for the phenomenon.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phenomenon::P0 => "Dirty Write",
+            Phenomenon::P1 | Phenomenon::A1 => "Dirty Read",
+            Phenomenon::P2 | Phenomenon::A2 => "Fuzzy Read",
+            Phenomenon::P3 | Phenomenon::A3 => "Phantom",
+            Phenomenon::P4 => "Lost Update",
+            Phenomenon::P4C => "Cursor Lost Update",
+            Phenomenon::A5A => "Read Skew",
+            Phenomenon::A5B => "Write Skew",
+        }
+    }
+
+    /// The paper's shorthand definition.
+    pub fn definition(&self) -> &'static str {
+        match self {
+            Phenomenon::P0 => "w1[x]...w2[x]...(c1 or a1)",
+            Phenomenon::P1 => "w1[x]...r2[x]...(c1 or a1)",
+            Phenomenon::A1 => "w1[x]...r2[x]...(a1 and c2 in either order)",
+            Phenomenon::P2 => "r1[x]...w2[x]...(c1 or a1)",
+            Phenomenon::A2 => "r1[x]...w2[x]...c2...r1[x]...c1",
+            Phenomenon::P3 => "r1[P]...w2[y in P]...(c1 or a1)",
+            Phenomenon::A3 => "r1[P]...w2[y in P]...c2...r1[P]...c1",
+            Phenomenon::P4 => "r1[x]...w2[x]...w1[x]...c1",
+            Phenomenon::P4C => "rc1[x]...w2[x]...w1[x]...c1",
+            Phenomenon::A5A => "r1[x]...w2[x]...w2[y]...c2...r1[y]...(c1 or a1)",
+            Phenomenon::A5B => "r1[x]...r2[y]...w1[y]...w2[x]...(c1 and c2 occur)",
+        }
+    }
+
+    /// Whether this is a broad phenomenon or a strict anomaly.
+    pub fn interpretation(&self) -> Interpretation {
+        match self {
+            Phenomenon::P0
+            | Phenomenon::P1
+            | Phenomenon::P2
+            | Phenomenon::P3
+            | Phenomenon::P4
+            | Phenomenon::P4C => Interpretation::Broad,
+            Phenomenon::A1
+            | Phenomenon::A2
+            | Phenomenon::A3
+            | Phenomenon::A5A
+            | Phenomenon::A5B => Interpretation::Strict,
+        }
+    }
+
+    /// The broad phenomenon generalising this one, if it is a strict
+    /// anomaly of the A1/A2/A3 family (`A1 ⇒ P1`, etc.).  Whenever the
+    /// strict anomaly occurs in a history, the broad phenomenon also occurs.
+    pub fn broad_form(&self) -> Option<Phenomenon> {
+        match self {
+            Phenomenon::A1 => Some(Phenomenon::P1),
+            Phenomenon::A2 => Some(Phenomenon::P2),
+            Phenomenon::A3 => Some(Phenomenon::P3),
+            // A5A and A5B generalise to P2 in single-version histories
+            // (Section 4.2: "forbidding P2 also precludes A5B"; A5A has T2
+            // write an item previously read by uncommitted T1).
+            Phenomenon::A5A | Phenomenon::A5B => Some(Phenomenon::P2),
+            // P4C is a special case of P4, which is itself precluded by P2.
+            Phenomenon::P4C => Some(Phenomenon::P4),
+            Phenomenon::P4 => Some(Phenomenon::P2),
+            _ => None,
+        }
+    }
+
+    /// Parse a code such as `"P0"` or `"a5b"`.
+    pub fn from_code(code: &str) -> Option<Phenomenon> {
+        let code = code.to_ascii_uppercase();
+        Phenomenon::ALL.into_iter().find(|p| p.code() == code)
+    }
+}
+
+impl fmt::Display for Phenomenon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code(), self.name())
+    }
+}
+
+/// Whether a phenomenon can occur at a given isolation level — the cell
+/// values of Tables 1, 3, and 4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Possibility {
+    /// The level excludes the phenomenon entirely.
+    NotPossible,
+    /// The level excludes some but not all variants of the phenomenon
+    /// (Table 4's "Sometimes Possible": e.g. Cursor Stability stops lost
+    /// updates on rows protected by a cursor but not in general; Snapshot
+    /// Isolation stops ANSI-style phantoms but not predicate-constraint
+    /// phantoms).
+    SometimesPossible,
+    /// The level admits histories exhibiting the phenomenon.
+    Possible,
+}
+
+impl Possibility {
+    /// Render as the paper prints it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Possibility::NotPossible => "Not Possible",
+            Possibility::SometimesPossible => "Sometimes Possible",
+            Possibility::Possible => "Possible",
+        }
+    }
+
+    /// True for `Possible` and `SometimesPossible`.
+    pub fn admits_some_history(&self) -> bool {
+        !matches!(self, Possibility::NotPossible)
+    }
+}
+
+impl fmt::Display for Possibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for p in Phenomenon::ALL {
+            assert_eq!(Phenomenon::from_code(p.code()), Some(p));
+            assert_eq!(Phenomenon::from_code(&p.code().to_lowercase()), Some(p));
+        }
+        assert_eq!(Phenomenon::from_code("P9"), None);
+    }
+
+    #[test]
+    fn interpretation_classification() {
+        assert_eq!(Phenomenon::P1.interpretation(), Interpretation::Broad);
+        assert_eq!(Phenomenon::A1.interpretation(), Interpretation::Strict);
+        assert_eq!(Phenomenon::P4C.interpretation(), Interpretation::Broad);
+        assert_eq!(Phenomenon::A5B.interpretation(), Interpretation::Strict);
+    }
+
+    #[test]
+    fn broad_forms() {
+        assert_eq!(Phenomenon::A1.broad_form(), Some(Phenomenon::P1));
+        assert_eq!(Phenomenon::A2.broad_form(), Some(Phenomenon::P2));
+        assert_eq!(Phenomenon::A3.broad_form(), Some(Phenomenon::P3));
+        assert_eq!(Phenomenon::P4C.broad_form(), Some(Phenomenon::P4));
+        assert_eq!(Phenomenon::P0.broad_form(), None);
+        assert_eq!(Phenomenon::P1.broad_form(), None);
+    }
+
+    #[test]
+    fn names_and_definitions_are_nonempty_and_distinct_codes() {
+        let mut codes = std::collections::HashSet::new();
+        for p in Phenomenon::ALL {
+            assert!(!p.name().is_empty());
+            assert!(!p.definition().is_empty());
+            assert!(codes.insert(p.code()));
+        }
+        assert_eq!(codes.len(), 11);
+    }
+
+    #[test]
+    fn table_column_sets() {
+        assert_eq!(Phenomenon::TABLE4_COLUMNS.len(), 8);
+        assert_eq!(Phenomenon::TABLE3_COLUMNS.len(), 4);
+        assert_eq!(Phenomenon::ANSI_BROAD.len(), 3);
+        assert!(Phenomenon::TABLE4_COLUMNS.contains(&Phenomenon::A5B));
+        assert!(!Phenomenon::TABLE3_COLUMNS.contains(&Phenomenon::P4));
+    }
+
+    #[test]
+    fn possibility_ordering_and_labels() {
+        assert!(Possibility::NotPossible < Possibility::SometimesPossible);
+        assert!(Possibility::SometimesPossible < Possibility::Possible);
+        assert_eq!(Possibility::Possible.label(), "Possible");
+        assert!(Possibility::SometimesPossible.admits_some_history());
+        assert!(!Possibility::NotPossible.admits_some_history());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Phenomenon::P0.to_string(), "P0 (Dirty Write)");
+        assert_eq!(Possibility::NotPossible.to_string(), "Not Possible");
+    }
+}

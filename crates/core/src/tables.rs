@@ -1,0 +1,376 @@
+//! The paper's characterisation tables (Tables 1, 3, and 4) as data, plus a
+//! renderer.
+//!
+//! The cells here are the *specification* — what the paper asserts.  The
+//! `critique-harness` crate regenerates the same matrices by running anomaly
+//! scenarios against the `critique-engine` schedulers and compares the two.
+
+use crate::level::{AnsiLevel, IsolationLevel};
+use crate::phenomena::{Phenomenon, Possibility};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A characterisation matrix: isolation levels × phenomena → possibility.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CharacterizationTable {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<Phenomenon>,
+    /// Rows: level label plus one possibility per column.
+    pub rows: Vec<(String, Vec<Possibility>)>,
+}
+
+impl CharacterizationTable {
+    /// Look up a cell by row label and phenomenon.
+    pub fn cell(&self, row_label: &str, column: Phenomenon) -> Option<Possibility> {
+        let col = self.columns.iter().position(|c| *c == column)?;
+        self.rows
+            .iter()
+            .find(|(label, _)| label == row_label)
+            .and_then(|(_, cells)| cells.get(col).copied())
+    }
+
+    /// Render as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str("| Isolation Level |");
+        for c in &self.columns {
+            out.push_str(&format!(" {} {} |", c.code(), c.name()));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for cell in cells {
+                out.push_str(&format!(" {} |", cell.label()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as fixed-width plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths = vec![self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(15)
+            .max("Isolation Level".len())];
+        for (i, c) in self.columns.iter().enumerate() {
+            let header = format!("{} {}", c.code(), c.name());
+            let max_cell = self
+                .rows
+                .iter()
+                .map(|(_, cells)| cells[i].label().len())
+                .max()
+                .unwrap_or(8);
+            widths.push(header.len().max(max_cell));
+        }
+        let mut out = format!("{}\n", self.title);
+        out.push_str(&format!("{:<w$}", "Isolation Level", w = widths[0] + 2));
+        for (i, c) in self.columns.iter().enumerate() {
+            let header = format!("{} {}", c.code(), c.name());
+            out.push_str(&format!("{:<w$}", header, w = widths[i + 1] + 2));
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("{:<w$}", label, w = widths[0] + 2));
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str(&format!("{:<w$}", cell.label(), w = widths[i + 1] + 2));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The paper's full characterisation of an isolation level: the possibility
+/// of **every** phenomenon and anomaly at that level.  Tables 1, 3 and 4
+/// are projections of this map; the Figure 2 hierarchy is computed from it.
+pub fn characterization(level: IsolationLevel) -> BTreeMap<Phenomenon, Possibility> {
+    use IsolationLevel::*;
+    use Phenomenon::*;
+    use Possibility::*;
+
+    let assign = |pairs: &[(Phenomenon, Possibility)]| -> BTreeMap<Phenomenon, Possibility> {
+        let mut map: BTreeMap<Phenomenon, Possibility> =
+            Phenomenon::ALL.into_iter().map(|p| (p, Possible)).collect();
+        for (p, v) in pairs {
+            map.insert(*p, *v);
+        }
+        map
+    };
+
+    match level {
+        // Degree 0 allows even dirty writes — everything is possible.
+        Degree0 => assign(&[]),
+        // Degree 1: long write locks exclude dirty writes.
+        ReadUncommitted => assign(&[(P0, NotPossible)]),
+        // Degree 2: adds well-formed short read locks — no dirty reads.
+        ReadCommitted => assign(&[(P0, NotPossible), (P1, NotPossible), (A1, NotPossible)]),
+        // Cursor Stability: protects the row under the cursor, so cursor
+        // lost updates are impossible and general lost updates / fuzzy
+        // reads / write skew are only "sometimes possible" (a programmer
+        // can parlay cursors into protection for a fixed set of rows).
+        CursorStability => assign(&[
+            (P0, NotPossible),
+            (P1, NotPossible),
+            (A1, NotPossible),
+            (P4C, NotPossible),
+            (P4, SometimesPossible),
+            (P2, SometimesPossible),
+            (A2, SometimesPossible),
+            (A5B, SometimesPossible),
+        ]),
+        // Oracle Read Consistency: statement-level snapshots with write
+        // locks — stronger than READ COMMITTED (no P4C) but admits lost
+        // updates, fuzzy reads, phantoms, and read skew (Section 4.3).
+        OracleReadConsistency => assign(&[
+            (P0, NotPossible),
+            (P1, NotPossible),
+            (A1, NotPossible),
+            (P4C, NotPossible),
+        ]),
+        // Locking REPEATABLE READ: long item read locks leave only the
+        // phantom phenomena possible.
+        RepeatableRead => assign(&[
+            (P0, NotPossible),
+            (P1, NotPossible),
+            (A1, NotPossible),
+            (P2, NotPossible),
+            (A2, NotPossible),
+            (P4, NotPossible),
+            (P4C, NotPossible),
+            (A5A, NotPossible),
+            (A5B, NotPossible),
+        ]),
+        // Snapshot Isolation (Table 4 row + Remark 10): no ANSI anomalies at
+        // all, no lost updates or read skew, but write skew is possible and
+        // predicate-constraint phantoms (the paper's broad P3) remain
+        // "sometimes possible".
+        SnapshotIsolation => assign(&[
+            (P0, NotPossible),
+            (P1, NotPossible),
+            (A1, NotPossible),
+            (P2, NotPossible),
+            (A2, NotPossible),
+            (P3, SometimesPossible),
+            (A3, NotPossible),
+            (P4, NotPossible),
+            (P4C, NotPossible),
+            (A5A, NotPossible),
+            (A5B, Possible),
+        ]),
+        // Degree 3 / full two-phase locking: nothing is possible.
+        Serializable => assign(&Phenomenon::ALL.map(|p| (p, NotPossible))),
+    }
+}
+
+/// Look up a single cell of the full characterisation.
+pub fn possibility(level: IsolationLevel, phenomenon: Phenomenon) -> Possibility {
+    characterization(level)[&phenomenon]
+}
+
+/// Table 1: the original ANSI SQL isolation levels defined in terms of the
+/// three original phenomena.
+pub fn table1() -> CharacterizationTable {
+    use Possibility::*;
+    let rows = AnsiLevel::ALL
+        .into_iter()
+        .map(|level| {
+            let cells = match level {
+                AnsiLevel::ReadUncommitted => vec![Possible, Possible, Possible],
+                AnsiLevel::ReadCommitted => vec![NotPossible, Possible, Possible],
+                AnsiLevel::RepeatableRead => vec![NotPossible, NotPossible, Possible],
+                AnsiLevel::AnomalySerializable => vec![NotPossible, NotPossible, NotPossible],
+            };
+            (level.name().to_string(), cells)
+        })
+        .collect();
+    CharacterizationTable {
+        title: "Table 1. ANSI SQL Isolation Levels Defined in terms of the Three Original Phenomena".to_string(),
+        columns: Phenomenon::ANSI_BROAD.to_vec(),
+        rows,
+    }
+}
+
+/// Table 3: the corrected ANSI isolation levels defined in terms of the
+/// four broad phenomena P0-P3.
+pub fn table3() -> CharacterizationTable {
+    let columns = Phenomenon::TABLE3_COLUMNS.to_vec();
+    let rows = IsolationLevel::TABLE3_ROWS
+        .into_iter()
+        .map(|level| {
+            let ch = characterization(level);
+            (
+                level.name().to_string(),
+                columns.iter().map(|p| ch[p]).collect(),
+            )
+        })
+        .collect();
+    CharacterizationTable {
+        title: "Table 3. ANSI SQL Isolation Levels Defined in terms of the four phenomena"
+            .to_string(),
+        columns,
+        rows,
+    }
+}
+
+/// Table 4: isolation types characterised by the anomalies they allow.
+pub fn table4() -> CharacterizationTable {
+    let columns = Phenomenon::TABLE4_COLUMNS.to_vec();
+    let rows = IsolationLevel::TABLE4_ROWS
+        .into_iter()
+        .map(|level| {
+            let ch = characterization(level);
+            (
+                level.name().to_string(),
+                columns.iter().map(|p| ch[p]).collect(),
+            )
+        })
+        .collect();
+    CharacterizationTable {
+        title: "Table 4. Isolation Types Characterized by Possible Anomalies Allowed".to_string(),
+        columns,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(
+            t.cell("ANSI READ UNCOMMITTED", Phenomenon::P1),
+            Some(Possibility::Possible)
+        );
+        assert_eq!(
+            t.cell("ANSI READ COMMITTED", Phenomenon::P1),
+            Some(Possibility::NotPossible)
+        );
+        assert_eq!(
+            t.cell("ANSI REPEATABLE READ", Phenomenon::P3),
+            Some(Possibility::Possible)
+        );
+        assert_eq!(
+            t.cell("ANOMALY SERIALIZABLE", Phenomenon::P3),
+            Some(Possibility::NotPossible)
+        );
+    }
+
+    #[test]
+    fn table3_forbids_dirty_writes_everywhere() {
+        let t = table3();
+        for (label, _) in &t.rows {
+            assert_eq!(
+                t.cell(label, Phenomenon::P0),
+                Some(Possibility::NotPossible),
+                "{label} must exclude P0"
+            );
+        }
+        assert_eq!(
+            t.cell("READ UNCOMMITTED", Phenomenon::P1),
+            Some(Possibility::Possible)
+        );
+        assert_eq!(
+            t.cell("REPEATABLE READ", Phenomenon::P2),
+            Some(Possibility::NotPossible)
+        );
+        assert_eq!(
+            t.cell("REPEATABLE READ", Phenomenon::P3),
+            Some(Possibility::Possible)
+        );
+        assert_eq!(
+            t.cell("SERIALIZABLE", Phenomenon::P3),
+            Some(Possibility::NotPossible)
+        );
+    }
+
+    #[test]
+    fn table4_matches_the_papers_matrix() {
+        use Phenomenon::*;
+        use Possibility::*;
+        let t = table4();
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.columns.len(), 8);
+
+        // Spot-check every distinguishing cell called out in the paper.
+        assert_eq!(t.cell("READ UNCOMMITTED", P0), Some(NotPossible));
+        assert_eq!(t.cell("READ UNCOMMITTED", P1), Some(Possible));
+        assert_eq!(t.cell("READ COMMITTED", P4), Some(Possible));
+        assert_eq!(t.cell("Cursor Stability", P4C), Some(NotPossible));
+        assert_eq!(t.cell("Cursor Stability", P4), Some(SometimesPossible));
+        assert_eq!(t.cell("Cursor Stability", A5B), Some(SometimesPossible));
+        assert_eq!(t.cell("REPEATABLE READ", P3), Some(Possible));
+        assert_eq!(t.cell("REPEATABLE READ", A5B), Some(NotPossible));
+        assert_eq!(t.cell("Snapshot Isolation", P3), Some(SometimesPossible));
+        assert_eq!(t.cell("Snapshot Isolation", A5A), Some(NotPossible));
+        assert_eq!(t.cell("Snapshot Isolation", A5B), Some(Possible));
+        assert_eq!(t.cell("SERIALIZABLE", A5B), Some(NotPossible));
+    }
+
+    #[test]
+    fn snapshot_isolation_precludes_all_strict_ansi_anomalies() {
+        // Remark 10.
+        for a in Phenomenon::ANSI_STRICT {
+            assert_eq!(
+                possibility(IsolationLevel::SnapshotIsolation, a),
+                Possibility::NotPossible
+            );
+        }
+    }
+
+    #[test]
+    fn serializable_allows_nothing_and_degree0_allows_everything() {
+        for p in Phenomenon::ALL {
+            assert_eq!(
+                possibility(IsolationLevel::Serializable, p),
+                Possibility::NotPossible
+            );
+            assert_eq!(possibility(IsolationLevel::Degree0, p), Possibility::Possible);
+        }
+    }
+
+    #[test]
+    fn oracle_read_consistency_matches_section_4_3() {
+        use IsolationLevel::OracleReadConsistency as ORC;
+        assert_eq!(possibility(ORC, Phenomenon::P4C), Possibility::NotPossible);
+        assert_eq!(possibility(ORC, Phenomenon::P4), Possibility::Possible);
+        assert_eq!(possibility(ORC, Phenomenon::A5A), Possibility::Possible);
+        assert_eq!(possibility(ORC, Phenomenon::P3), Possibility::Possible);
+    }
+
+    #[test]
+    fn renderers_emit_every_row_and_column() {
+        let t = table4();
+        let md = t.to_markdown();
+        let txt = t.to_text();
+        for (label, _) in &t.rows {
+            assert!(md.contains(label));
+            assert!(txt.contains(label));
+        }
+        for c in &t.columns {
+            assert!(md.contains(c.code()));
+            assert!(txt.contains(c.code()));
+        }
+        assert!(md.contains("Sometimes Possible"));
+    }
+
+    #[test]
+    fn cell_lookup_handles_missing_entries() {
+        let t = table1();
+        assert_eq!(t.cell("nonexistent", Phenomenon::P1), None);
+        assert_eq!(t.cell("ANSI READ COMMITTED", Phenomenon::A5B), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Engine configuration.
+
+use critique_core::IsolationLevel;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// What to do when a lock request conflicts with locks held by other
+/// transactions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LockWaitPolicy {
+    /// Return [`crate::TxnError::WouldBlock`] immediately.  This is what the
+    /// deterministic interleaving driver uses: the harness decides whether
+    /// to retry the operation after the blocker finishes.
+    Fail,
+    /// Block until the lock is granted, a deadlock makes this transaction
+    /// the victim, or the timeout expires.  Used by the threaded
+    /// throughput benchmarks.
+    Block {
+        /// Maximum time to wait for a single lock.
+        timeout_ms: u64,
+    },
+}
+
+impl LockWaitPolicy {
+    /// The blocking timeout as a [`Duration`], if blocking.
+    pub fn timeout(&self) -> Option<Duration> {
+        match self {
+            LockWaitPolicy::Fail => None,
+            LockWaitPolicy::Block { timeout_ms } => Some(Duration::from_millis(*timeout_ms)),
+        }
+    }
+}
+
+impl Default for LockWaitPolicy {
+    fn default() -> Self {
+        LockWaitPolicy::Fail
+    }
+}
+
+/// Configuration of a [`crate::Database`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// The isolation level every transaction of this database runs at.
+    pub level: IsolationLevel,
+    /// Lock wait behaviour (ignored by Snapshot Isolation reads, which
+    /// never block).
+    pub lock_wait: LockWaitPolicy,
+    /// Record executed operations into a history (on by default; the
+    /// throughput benchmarks switch it off to measure the schedulers
+    /// themselves).
+    pub record_history: bool,
+}
+
+impl EngineConfig {
+    /// Default configuration for a given isolation level: non-blocking lock
+    /// waits and history recording enabled.
+    pub fn new(level: IsolationLevel) -> Self {
+        EngineConfig {
+            level,
+            lock_wait: LockWaitPolicy::Fail,
+            record_history: true,
+        }
+    }
+
+    /// Switch to blocking lock waits with the given timeout.
+    pub fn blocking(mut self, timeout_ms: u64) -> Self {
+        self.lock_wait = LockWaitPolicy::Block { timeout_ms };
+        self
+    }
+
+    /// Disable history recording.
+    pub fn without_history(mut self) -> Self {
+        self.record_history = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let cfg = EngineConfig::new(IsolationLevel::ReadCommitted);
+        assert_eq!(cfg.level, IsolationLevel::ReadCommitted);
+        assert_eq!(cfg.lock_wait, LockWaitPolicy::Fail);
+        assert!(cfg.record_history);
+        assert_eq!(LockWaitPolicy::default(), LockWaitPolicy::Fail);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = EngineConfig::new(IsolationLevel::Serializable)
+            .blocking(250)
+            .without_history();
+        assert_eq!(cfg.lock_wait, LockWaitPolicy::Block { timeout_ms: 250 });
+        assert_eq!(cfg.lock_wait.timeout(), Some(Duration::from_millis(250)));
+        assert!(!cfg.record_history);
+        assert_eq!(LockWaitPolicy::Fail.timeout(), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! SQL cursors (Section 4.1).
+//!
+//! A cursor materialises the rows matching a `<search condition>` at open
+//! time and is then advanced with FETCH.  Under Cursor Stability the engine
+//! keeps a read lock on the row the cursor is currently positioned on; the
+//! lock moves with the cursor and is upgraded to a long write lock if the
+//! row is updated through the cursor.
+
+use critique_storage::{Row, RowId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an open cursor within a transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct CursorId(pub u64);
+
+impl fmt::Display for CursorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cursor{}", self.0)
+    }
+}
+
+/// Internal cursor state.
+#[derive(Clone, Debug)]
+pub(crate) struct CursorState {
+    /// Table the cursor ranges over.
+    pub(crate) table: String,
+    /// Row ids and their values as of the open (the "members of a cursor
+    /// set are as of the time of the Open Cursor").
+    pub(crate) rows: Vec<(RowId, Row)>,
+    /// Index of the current row; `None` before the first FETCH.
+    pub(crate) position: Option<usize>,
+    /// False once the cursor has been closed.
+    pub(crate) open: bool,
+}
+
+impl CursorState {
+    pub(crate) fn new(table: String, rows: Vec<(RowId, Row)>) -> Self {
+        CursorState {
+            table,
+            rows,
+            position: None,
+            open: true,
+        }
+    }
+
+    /// Advance to the next row, returning its id if any.
+    pub(crate) fn advance(&mut self) -> Option<RowId> {
+        let next = match self.position {
+            None => 0,
+            Some(p) => p + 1,
+        };
+        if next < self.rows.len() {
+            self.position = Some(next);
+            Some(self.rows[next].0)
+        } else {
+            self.position = Some(self.rows.len());
+            None
+        }
+    }
+
+    /// The row id the cursor is currently positioned on.
+    #[allow(dead_code)] // exercised by unit tests; production code reads `position` directly
+    pub(crate) fn current(&self) -> Option<RowId> {
+        self.position
+            .and_then(|p| self.rows.get(p))
+            .map(|(id, _)| *id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> CursorState {
+        CursorState::new(
+            "t".to_string(),
+            vec![
+                (RowId(1), Row::new().with("value", 1)),
+                (RowId(2), Row::new().with("value", 2)),
+            ],
+        )
+    }
+
+    #[test]
+    fn advances_through_rows_and_past_the_end() {
+        let mut c = state();
+        assert_eq!(c.current(), None);
+        assert_eq!(c.advance(), Some(RowId(1)));
+        assert_eq!(c.current(), Some(RowId(1)));
+        assert_eq!(c.advance(), Some(RowId(2)));
+        assert_eq!(c.advance(), None);
+        assert_eq!(c.current(), None);
+        // Stays exhausted.
+        assert_eq!(c.advance(), None);
+    }
+
+    #[test]
+    fn empty_cursor_is_immediately_exhausted() {
+        let mut c = CursorState::new("t".to_string(), vec![]);
+        assert_eq!(c.advance(), None);
+        assert_eq!(c.current(), None);
+        assert!(c.open);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CursorId(3).to_string(), "cursor3");
+    }
+}

@@ -1,0 +1,182 @@
+//! The database facade: one storage engine + one concurrency control
+//! discipline + one recorded history.
+
+use crate::config::EngineConfig;
+use crate::recorder::HistoryRecorder;
+use crate::txn::Transaction;
+use critique_core::locking::LockProfile;
+use critique_core::IsolationLevel;
+use critique_history::History;
+use critique_lock::LockManager;
+use critique_storage::{MvStore, Row, RowId, RowPredicate, TimestampOracle, TxnToken};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub(crate) struct DbInner {
+    pub(crate) config: EngineConfig,
+    pub(crate) profile: Option<LockProfile>,
+    pub(crate) store: MvStore,
+    pub(crate) locks: LockManager,
+    pub(crate) ts: TimestampOracle,
+    pub(crate) recorder: HistoryRecorder,
+    next_txn: AtomicU64,
+}
+
+/// A database instance running every transaction at one isolation level.
+///
+/// `Database` is cheap to clone (it is an `Arc` underneath) and safe to
+/// share across threads; the threaded benchmark drivers clone one instance
+/// into each worker.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+impl Database {
+    /// Create a database running at `level` with the default configuration
+    /// (non-blocking lock waits, history recording on).
+    pub fn new(level: IsolationLevel) -> Self {
+        Self::with_config(EngineConfig::new(level))
+    }
+
+    /// Create a database with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Database {
+            inner: Arc::new(DbInner {
+                profile: LockProfile::for_level(config.level),
+                store: MvStore::new(),
+                locks: LockManager::new(),
+                ts: TimestampOracle::new(),
+                recorder: HistoryRecorder::new(config.record_history),
+                next_txn: AtomicU64::new(1),
+                config,
+            }),
+        }
+    }
+
+    /// The isolation level of this database.
+    pub fn level(&self) -> IsolationLevel {
+        self.inner.config.level
+    }
+
+    /// The configuration of this database.
+    pub fn config(&self) -> EngineConfig {
+        self.inner.config
+    }
+
+    /// Begin a new transaction.
+    pub fn begin(&self) -> Transaction {
+        let token = TxnToken(self.inner.next_txn.fetch_add(1, Ordering::SeqCst));
+        Transaction::new(Arc::clone(&self.inner), token)
+    }
+
+    /// The history of operations executed so far (across all transactions).
+    pub fn recorded_history(&self) -> History {
+        self.inner.recorder.history()
+    }
+
+    /// Forget the recorded history (useful between scenario phases; setup
+    /// transactions would otherwise pollute phenomenon analysis).
+    pub fn clear_history(&self) {
+        self.inner.recorder.clear();
+    }
+
+    /// Read the latest committed version of a row, outside any transaction
+    /// (used by workloads to check final state and constraints).
+    pub fn read_committed(&self, table: &str, row: RowId) -> Option<Row> {
+        self.inner.store.get_latest_committed(table, row)
+    }
+
+    /// Scan the latest committed rows matching a predicate, outside any
+    /// transaction.
+    pub fn scan_committed(&self, predicate: &RowPredicate) -> Vec<(RowId, Row)> {
+        self.inner.store.scan_latest_committed(predicate)
+    }
+
+    /// Sum an integer column over the latest committed rows matching a
+    /// predicate.
+    pub fn sum_committed(&self, predicate: &RowPredicate, column: &str) -> i64 {
+        self.scan_committed(predicate)
+            .iter()
+            .filter_map(|(_, row)| row.get_int(column))
+            .sum()
+    }
+
+    /// Count the latest committed rows matching a predicate.
+    pub fn count_committed(&self, predicate: &RowPredicate) -> usize {
+        self.scan_committed(predicate).len()
+    }
+
+    /// Direct access to the underlying store (read-only uses in tests and
+    /// benches; transactions should go through [`Database::begin`]).
+    pub fn store(&self) -> &MvStore {
+        &self.inner.store
+    }
+
+    /// Number of locks currently held across all transactions.
+    pub fn locks_held(&self) -> usize {
+        self.inner.locks.total_held()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("level", &self.inner.config.level)
+            .field("lock_wait", &self.inner.config.lock_wait)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_hands_out_distinct_tokens() {
+        let db = Database::new(IsolationLevel::Serializable);
+        let t1 = db.begin();
+        let t2 = db.begin();
+        assert_ne!(t1.token(), t2.token());
+        assert_eq!(db.level(), IsolationLevel::Serializable);
+    }
+
+    #[test]
+    fn committed_readers_see_committed_data_only() {
+        let db = Database::new(IsolationLevel::ReadCommitted);
+        let t1 = db.begin();
+        let id = t1.insert("accounts", Row::new().with("balance", 10)).unwrap();
+        assert!(db.read_committed("accounts", id).is_none());
+        t1.commit().unwrap();
+        assert_eq!(
+            db.read_committed("accounts", id).unwrap().get_int("balance"),
+            Some(10)
+        );
+        let all = RowPredicate::whole_table("accounts");
+        assert_eq!(db.sum_committed(&all, "balance"), 10);
+        assert_eq!(db.count_committed(&all), 1);
+    }
+
+    #[test]
+    fn clear_history_resets_recording() {
+        let db = Database::new(IsolationLevel::Serializable);
+        let t = db.begin();
+        t.insert("t", Row::new().with("value", 1)).unwrap();
+        t.commit().unwrap();
+        assert!(!db.recorded_history().is_empty());
+        db.clear_history();
+        assert!(db.recorded_history().is_empty());
+    }
+
+    #[test]
+    fn cloned_handles_share_state() {
+        let db = Database::new(IsolationLevel::SnapshotIsolation);
+        let db2 = db.clone();
+        let t = db.begin();
+        let id = t.insert("t", Row::new().with("value", 7)).unwrap();
+        t.commit().unwrap();
+        assert_eq!(db2.read_committed("t", id).unwrap().get_int("value"), Some(7));
+        assert_eq!(db2.locks_held(), 0);
+        assert!(format!("{db2:?}").contains("SnapshotIsolation"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Transaction errors.
+
+use critique_storage::{RowId, StorageError, TxnToken};
+use std::fmt;
+
+/// Errors returned by transaction operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TxnError {
+    /// The operation needs a lock held by other transactions and the
+    /// database runs with [`crate::LockWaitPolicy::Fail`].  The operation
+    /// had no effect and may be retried once the blockers finish.
+    WouldBlock {
+        /// Transactions holding conflicting locks.
+        blockers: Vec<TxnToken>,
+    },
+    /// The transaction was chosen as a deadlock victim and has been
+    /// aborted.
+    Deadlock,
+    /// A blocking lock wait timed out; the transaction has been aborted.
+    LockTimeout,
+    /// Snapshot Isolation First-Committer-Wins: another transaction that
+    /// committed during this transaction's execution interval also wrote
+    /// this row, so this transaction has been aborted (Section 4.2).
+    FirstCommitterConflict {
+        /// Table of the conflicting row.
+        table: String,
+        /// The conflicting row.
+        row: RowId,
+    },
+    /// The transaction already committed or aborted.
+    AlreadyTerminated,
+    /// The row under the cursor changed (and was committed) after the
+    /// cursor captured it.  Returned by Oracle Read Consistency's
+    /// first-writer-wins handling of `UPDATE … WHERE CURRENT OF`: the
+    /// statement must be restarted against a fresh snapshot instead of
+    /// blindly overwriting the newer value (this is what makes P4C "Not
+    /// Possible" at Read Consistency, Section 4.3).
+    StaleCursor {
+        /// Table of the stale row.
+        table: String,
+        /// The stale row.
+        row: RowId,
+    },
+    /// The referenced cursor does not exist or is closed.
+    NoSuchCursor,
+    /// The cursor is not positioned on a row (fetch before first / after
+    /// last).
+    CursorNotPositioned,
+    /// An underlying storage error (missing table or row).
+    Storage(StorageError),
+}
+
+impl TxnError {
+    /// True for errors that terminated the transaction (the caller must
+    /// start a new one).
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            TxnError::Deadlock
+                | TxnError::LockTimeout
+                | TxnError::FirstCommitterConflict { .. }
+                | TxnError::AlreadyTerminated
+        )
+    }
+
+    /// True if the operation may simply be retried later (lock conflict
+    /// under the non-blocking policy).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TxnError::WouldBlock { .. })
+    }
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::WouldBlock { blockers } => {
+                write!(f, "operation would block on {} transaction(s)", blockers.len())
+            }
+            TxnError::Deadlock => write!(f, "aborted as deadlock victim"),
+            TxnError::LockTimeout => write!(f, "aborted after lock wait timeout"),
+            TxnError::FirstCommitterConflict { table, row } => {
+                write!(f, "first-committer-wins conflict on {table}{row}")
+            }
+            TxnError::AlreadyTerminated => write!(f, "transaction already committed or aborted"),
+            TxnError::StaleCursor { table, row } => {
+                write!(f, "row {table}{row} changed since the cursor captured it")
+            }
+            TxnError::NoSuchCursor => write!(f, "no such cursor"),
+            TxnError::CursorNotPositioned => write!(f, "cursor is not positioned on a row"),
+            TxnError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<StorageError> for TxnError {
+    fn from(e: StorageError) -> Self {
+        TxnError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(TxnError::Deadlock.is_fatal());
+        assert!(TxnError::LockTimeout.is_fatal());
+        assert!(TxnError::AlreadyTerminated.is_fatal());
+        assert!(TxnError::FirstCommitterConflict {
+            table: "t".into(),
+            row: RowId(0)
+        }
+        .is_fatal());
+        assert!(!TxnError::WouldBlock { blockers: vec![] }.is_fatal());
+        assert!(TxnError::WouldBlock { blockers: vec![] }.is_retryable());
+        assert!(!TxnError::Deadlock.is_retryable());
+    }
+
+    #[test]
+    fn display_and_conversion() {
+        let e: TxnError = StorageError::NoSuchTable("x".into()).into();
+        assert!(e.to_string().contains("no such table"));
+        assert!(TxnError::Deadlock.to_string().contains("deadlock"));
+        assert!(TxnError::WouldBlock {
+            blockers: vec![TxnToken(1)]
+        }
+        .to_string()
+        .contains("1 transaction"));
+    }
+}

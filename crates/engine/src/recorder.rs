@@ -1,0 +1,243 @@
+//! Recording executed operations as a [`critique_history::History`].
+//!
+//! The recorder is what turns engine executions into material the
+//! `critique-core` detectors can analyse.  Item operations are recorded
+//! with names of the form `table.rowid`; predicate reads are recorded under
+//! the predicate's display name; writes are annotated with the predicates
+//! they affect by testing the before/after row images against every
+//! predicate that has been read on this database so far (this reproduces
+//! the paper's `w2[y in P]` / `w2[insert y to P]` annotations from observed
+//! behaviour).
+
+use critique_history::op::Op;
+use critique_history::{History, TxnId};
+use critique_storage::{Row, RowId, RowPredicate, TxnToken};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+fn item_name(table: &str, row: RowId) -> String {
+    format!("{}.{}", table, row.0)
+}
+
+/// Annotates and accumulates operations executed by the engine.
+#[derive(Default)]
+pub struct HistoryRecorder {
+    inner: Mutex<RecorderInner>,
+}
+
+#[derive(Default)]
+struct RecorderInner {
+    ops: Vec<Op>,
+    /// Every predicate that has been read, keyed by display name.
+    predicates: BTreeMap<String, RowPredicate>,
+    enabled: bool,
+}
+
+impl HistoryRecorder {
+    /// A recorder; `enabled` mirrors
+    /// [`crate::EngineConfig::record_history`].
+    pub fn new(enabled: bool) -> Self {
+        HistoryRecorder {
+            inner: Mutex::new(RecorderInner {
+                enabled,
+                ..Default::default()
+            }),
+        }
+    }
+
+    fn txn_id(token: TxnToken) -> u32 {
+        u32::try_from(token.0).unwrap_or(u32::MAX)
+    }
+
+    /// Record an item read.
+    pub fn read(&self, txn: TxnToken, table: &str, row: RowId, value: Option<&Row>) {
+        self.push(Self::annotate_value(
+            Op::read(Self::txn_id(txn), item_name(table, row)),
+            value,
+        ));
+    }
+
+    /// Record a cursor read (FETCH).
+    pub fn cursor_read(&self, txn: TxnToken, table: &str, row: RowId, value: Option<&Row>) {
+        self.push(Self::annotate_value(
+            Op::cursor_read(Self::txn_id(txn), item_name(table, row)),
+            value,
+        ));
+    }
+
+    /// Record a predicate read, registering the predicate for later write
+    /// annotation.
+    pub fn predicate_read(&self, txn: TxnToken, predicate: &RowPredicate) {
+        let mut inner = self.inner.lock();
+        inner
+            .predicates
+            .entry(predicate.name())
+            .or_insert_with(|| predicate.clone());
+        if inner.enabled {
+            let op = Op::predicate_read(Self::txn_id(txn), predicate.name());
+            inner.ops.push(op);
+        }
+    }
+
+    /// Record a write (insert, update, or delete), annotating predicate
+    /// membership from the before/after images.
+    pub fn write(
+        &self,
+        txn: TxnToken,
+        table: &str,
+        row: RowId,
+        before: Option<&Row>,
+        after: Option<&Row>,
+        through_cursor: bool,
+    ) {
+        let mut inner = self.inner.lock();
+        if !inner.enabled {
+            return;
+        }
+        let id = Self::txn_id(txn);
+        let mut op = if through_cursor {
+            Op::cursor_write(id, item_name(table, row))
+        } else {
+            Op::write(id, item_name(table, row))
+        };
+        op = Self::annotate_value(op, after);
+        let is_insert = before.is_none();
+        for predicate in inner.predicates.values() {
+            let after_matches = after.is_some_and(|r| predicate.matches(table, r));
+            let before_matches = before.is_some_and(|r| predicate.matches(table, r));
+            if is_insert && after_matches {
+                op = op.inserting_into(predicate.name());
+            } else if before_matches || after_matches {
+                op = op.mutating_in(predicate.name());
+            }
+        }
+        inner.ops.push(op);
+    }
+
+    /// Record a commit.
+    pub fn commit(&self, txn: TxnToken) {
+        self.push(Op::commit(Self::txn_id(txn)));
+    }
+
+    /// Record an abort.
+    pub fn abort(&self, txn: TxnToken) {
+        self.push(Op::abort(Self::txn_id(txn)));
+    }
+
+    fn annotate_value(op: Op, row: Option<&Row>) -> Op {
+        match row.and_then(|r| r.get_int("value").or_else(|| r.get_int("balance"))) {
+            Some(v) => op.with_value(v),
+            None => op,
+        }
+    }
+
+    fn push(&self, op: Op) {
+        let mut inner = self.inner.lock();
+        if inner.enabled {
+            inner.ops.push(op);
+        }
+    }
+
+    /// The history recorded so far.
+    pub fn history(&self) -> History {
+        History::from_ops_unchecked(self.inner.lock().ops.clone())
+    }
+
+    /// Discard everything recorded so far (predicate registrations are
+    /// kept).
+    pub fn clear(&self) {
+        self.inner.lock().ops.clear();
+    }
+
+    /// Transactions that appear in the recorded history.
+    pub fn transactions(&self) -> Vec<TxnId> {
+        self.history().transactions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critique_core::{detect, Phenomenon};
+    use critique_storage::Condition;
+
+    #[test]
+    fn records_reads_writes_and_terminators() {
+        let rec = HistoryRecorder::new(true);
+        let row = Row::new().with("balance", 50);
+        rec.read(TxnToken(1), "accounts", RowId(0), Some(&row));
+        rec.write(TxnToken(1), "accounts", RowId(0), Some(&row), Some(&Row::new().with("balance", 10)), false);
+        rec.commit(TxnToken(1));
+        let h = rec.history();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.to_notation(), "r1[accounts.0=50] w1[accounts.0=10] c1");
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = HistoryRecorder::new(false);
+        rec.read(TxnToken(1), "t", RowId(0), None);
+        rec.commit(TxnToken(1));
+        assert!(rec.history().is_empty());
+    }
+
+    #[test]
+    fn writes_are_annotated_against_previously_read_predicates() {
+        let rec = HistoryRecorder::new(true);
+        let active = RowPredicate::new("employees", Condition::eq("active", true));
+        rec.predicate_read(TxnToken(1), &active);
+        // T2 inserts a new active employee: recorded as an insert into P.
+        let new_row = Row::new().with("active", true);
+        rec.write(TxnToken(2), "employees", RowId(7), None, Some(&new_row), false);
+        rec.commit(TxnToken(2));
+        rec.commit(TxnToken(1));
+        let h = rec.history();
+        // The recorded history exhibits the broad phantom P3.
+        assert!(detect::exhibits(&h, Phenomenon::P3));
+        assert!(!detect::exhibits(&h, Phenomenon::A3));
+    }
+
+    #[test]
+    fn updates_moving_rows_out_of_a_predicate_still_count_as_mutations() {
+        let rec = HistoryRecorder::new(true);
+        let active = RowPredicate::new("employees", Condition::eq("active", true));
+        rec.predicate_read(TxnToken(1), &active);
+        let before = Row::new().with("active", true);
+        let after = Row::new().with("active", false);
+        rec.write(TxnToken(2), "employees", RowId(3), Some(&before), Some(&after), false);
+        rec.commit(TxnToken(2));
+        rec.commit(TxnToken(1));
+        assert!(detect::exhibits(&rec.history(), Phenomenon::P3));
+    }
+
+    #[test]
+    fn unrelated_writes_are_not_annotated() {
+        let rec = HistoryRecorder::new(true);
+        let active = RowPredicate::new("employees", Condition::eq("active", true));
+        rec.predicate_read(TxnToken(1), &active);
+        let row = Row::new().with("balance", 10);
+        rec.write(TxnToken(2), "accounts", RowId(1), None, Some(&row), false);
+        rec.commit(TxnToken(2));
+        rec.commit(TxnToken(1));
+        assert!(!detect::exhibits(&rec.history(), Phenomenon::P3));
+    }
+
+    #[test]
+    fn cursor_ops_and_values_round_trip() {
+        let rec = HistoryRecorder::new(true);
+        let row = Row::new().with("value", 100);
+        rec.cursor_read(TxnToken(1), "t", RowId(0), Some(&row));
+        rec.write(TxnToken(1), "t", RowId(0), Some(&row), Some(&Row::new().with("value", 130)), true);
+        rec.commit(TxnToken(1));
+        assert_eq!(rec.history().to_notation(), "rc1[t.0=100] wc1[t.0=130] c1");
+    }
+
+    #[test]
+    fn clear_resets_operations() {
+        let rec = HistoryRecorder::new(true);
+        rec.read(TxnToken(1), "t", RowId(0), None);
+        rec.clear();
+        assert!(rec.history().is_empty());
+        assert!(rec.transactions().is_empty());
+    }
+}

@@ -1,0 +1,612 @@
+//! Transactions: the per-isolation-level access paths.
+
+use crate::cursor::{CursorId, CursorState};
+use crate::db::DbInner;
+use crate::error::TxnError;
+use crate::LockWaitPolicy;
+use critique_core::locking::{LockDuration, LockRequirement};
+use critique_core::IsolationLevel;
+use critique_lock::{AcquireError, LockMode, LockOutcome, LockTarget};
+use critique_storage::{Row, RowId, RowPredicate, Timestamp, TxnToken};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The lifecycle state of a transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TxnStatus {
+    /// Still running.
+    Active,
+    /// Successfully committed.
+    Committed,
+    /// Rolled back (voluntarily, as a deadlock/timeout victim, or by
+    /// First-Committer-Wins).
+    Aborted,
+}
+
+struct TxnState {
+    status: TxnStatus,
+    cursors: BTreeMap<CursorId, CursorState>,
+    next_cursor: u64,
+}
+
+/// A transaction handle.
+///
+/// All operations are non-panicking and return [`TxnError`] on conflict;
+/// under the default [`LockWaitPolicy::Fail`] policy a lock conflict leaves
+/// the transaction active so the caller (the deterministic interleaving
+/// driver) can retry the operation after the blocker finishes.
+pub struct Transaction {
+    db: Arc<DbInner>,
+    token: TxnToken,
+    start_ts: Timestamp,
+    state: Mutex<TxnState>,
+}
+
+impl Transaction {
+    pub(crate) fn new(db: Arc<DbInner>, token: TxnToken) -> Self {
+        let start_ts = db.ts.current();
+        Transaction {
+            db,
+            token,
+            start_ts,
+            state: Mutex::new(TxnState {
+                status: TxnStatus::Active,
+                cursors: BTreeMap::new(),
+                next_cursor: 0,
+            }),
+        }
+    }
+
+    /// The storage-level token identifying this transaction.
+    pub fn token(&self) -> TxnToken {
+        self.token
+    }
+
+    /// The start timestamp (the snapshot point under Snapshot Isolation).
+    pub fn start_timestamp(&self) -> Timestamp {
+        self.start_ts
+    }
+
+    /// The isolation level this transaction runs at.
+    pub fn level(&self) -> IsolationLevel {
+        self.db.config.level
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> TxnStatus {
+        self.state.lock().status
+    }
+
+    /// True while the transaction may still issue operations.
+    pub fn is_active(&self) -> bool {
+        self.status() == TxnStatus::Active
+    }
+
+    fn ensure_active(&self) -> Result<(), TxnError> {
+        if self.is_active() {
+            Ok(())
+        } else {
+            Err(TxnError::AlreadyTerminated)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lock acquisition respecting the configured wait policy.
+    // ------------------------------------------------------------------
+
+    fn acquire(
+        &self,
+        target: LockTarget,
+        mode: LockMode,
+        images: &[Row],
+        duration: LockDuration,
+    ) -> Result<(), TxnError> {
+        match self.db.config.lock_wait {
+            LockWaitPolicy::Fail => {
+                match self.db.locks.try_acquire(self.token, target, mode, images, duration) {
+                    LockOutcome::Granted => Ok(()),
+                    LockOutcome::WouldBlock { holders } => {
+                        Err(TxnError::WouldBlock { blockers: holders })
+                    }
+                }
+            }
+            LockWaitPolicy::Block { timeout_ms } => {
+                match self.db.locks.acquire(
+                    self.token,
+                    target,
+                    mode,
+                    images,
+                    duration,
+                    Duration::from_millis(timeout_ms),
+                ) {
+                    Ok(()) => Ok(()),
+                    Err(AcquireError::Deadlock { .. }) => {
+                        self.rollback_internal();
+                        Err(TxnError::Deadlock)
+                    }
+                    Err(AcquireError::Timeout) => {
+                        self.rollback_internal();
+                        Err(TxnError::LockTimeout)
+                    }
+                }
+            }
+        }
+    }
+
+    fn read_item_requirement(&self) -> LockRequirement {
+        self.db
+            .profile
+            .map(|p| p.read_item)
+            .unwrap_or(LockRequirement::NotRequired)
+    }
+
+    fn read_predicate_requirement(&self) -> LockRequirement {
+        self.db
+            .profile
+            .map(|p| p.read_predicate)
+            .unwrap_or(LockRequirement::NotRequired)
+    }
+
+    fn write_requirement(&self) -> LockRequirement {
+        match self.db.config.level {
+            // Oracle Read Consistency covers writes with long write locks
+            // (first-writer-wins, Section 4.3).
+            IsolationLevel::OracleReadConsistency => {
+                LockRequirement::WellFormed(LockDuration::Long)
+            }
+            // Snapshot Isolation takes no locks; conflicts are resolved at
+            // commit by First-Committer-Wins.
+            IsolationLevel::SnapshotIsolation => LockRequirement::NotRequired,
+            _ => self
+                .db
+                .profile
+                .map(|p| p.write)
+                .unwrap_or(LockRequirement::NotRequired),
+        }
+    }
+
+    /// Acquire a read lock on an item if the level requires one.  `cursor`
+    /// selects the cursor-duration variant used by FETCH.
+    fn lock_for_read(&self, table: &str, row: RowId, cursor: bool) -> Result<LockDuration, TxnError> {
+        match self.read_item_requirement() {
+            LockRequirement::NotRequired => Ok(LockDuration::Short),
+            LockRequirement::WellFormed(duration) => {
+                let effective = match (duration, cursor) {
+                    // Plain reads at Cursor Stability behave like READ
+                    // COMMITTED (short locks); only FETCH holds the lock
+                    // while the cursor is positioned on the row.
+                    (LockDuration::Cursor, false) => LockDuration::Short,
+                    (d, _) => d,
+                };
+                self.acquire(
+                    LockTarget::item(table, row),
+                    LockMode::Shared,
+                    &[],
+                    effective,
+                )?;
+                Ok(effective)
+            }
+        }
+    }
+
+    fn release_after_short_read(&self, duration: LockDuration) {
+        if duration == LockDuration::Short && self.read_item_requirement().is_required() {
+            self.db.locks.release_short(self.token);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads.
+    // ------------------------------------------------------------------
+
+    /// Read a single row.  Returns `Ok(None)` if the row does not exist (or
+    /// is deleted) in this transaction's view.
+    pub fn read(&self, table: &str, row: RowId) -> Result<Option<Row>, TxnError> {
+        self.ensure_active()?;
+        let value = match self.db.config.level {
+            IsolationLevel::SnapshotIsolation => {
+                self.db.store.get_visible(table, row, self.token, self.start_ts)
+            }
+            IsolationLevel::OracleReadConsistency => {
+                let stmt_ts = self.db.ts.current();
+                self.db.store.get_visible(table, row, self.token, stmt_ts)
+            }
+            _ => {
+                let duration = self.lock_for_read(table, row, false)?;
+                let value = self.db.store.get_latest_any(table, row);
+                self.db.recorder.read(self.token, table, row, value.as_ref());
+                self.release_after_short_read(duration);
+                return Ok(value);
+            }
+        };
+        self.db.recorder.read(self.token, table, row, value.as_ref());
+        Ok(value)
+    }
+
+    /// Read the set of rows satisfying a predicate (a `<search condition>`).
+    pub fn read_where(&self, predicate: &RowPredicate) -> Result<Vec<(RowId, Row)>, TxnError> {
+        self.ensure_active()?;
+        let rows = match self.db.config.level {
+            IsolationLevel::SnapshotIsolation => {
+                self.db.store.scan_visible(predicate, self.token, self.start_ts)
+            }
+            IsolationLevel::OracleReadConsistency => {
+                let stmt_ts = self.db.ts.current();
+                self.db.store.scan_visible(predicate, self.token, stmt_ts)
+            }
+            _ => {
+                let requirement = self.read_predicate_requirement();
+                if let LockRequirement::WellFormed(duration) = requirement {
+                    self.acquire(
+                        LockTarget::predicate(predicate.clone()),
+                        LockMode::Shared,
+                        &[],
+                        duration,
+                    )?;
+                }
+                let rows = self.db.store.scan_latest_any(predicate);
+                self.db.recorder.predicate_read(self.token, predicate);
+                if requirement == LockRequirement::WellFormed(LockDuration::Short) {
+                    self.db.locks.release_short(self.token);
+                }
+                return Ok(rows);
+            }
+        };
+        self.db.recorder.predicate_read(self.token, predicate);
+        Ok(rows)
+    }
+
+    /// Sum an integer column over the rows this transaction sees as
+    /// satisfying the predicate.
+    pub fn sum_where(&self, predicate: &RowPredicate, column: &str) -> Result<i64, TxnError> {
+        Ok(self
+            .read_where(predicate)?
+            .iter()
+            .filter_map(|(_, row)| row.get_int(column))
+            .sum())
+    }
+
+    // ------------------------------------------------------------------
+    // Writes.
+    // ------------------------------------------------------------------
+
+    fn visible_before_image(&self, table: &str, row: RowId) -> Option<Row> {
+        match self.db.config.level {
+            IsolationLevel::SnapshotIsolation => {
+                self.db.store.get_visible(table, row, self.token, self.start_ts)
+            }
+            IsolationLevel::OracleReadConsistency => {
+                let stmt_ts = self.db.ts.current();
+                self.db.store.get_visible(table, row, self.token, stmt_ts)
+            }
+            _ => self.db.store.get_latest_any(table, row),
+        }
+    }
+
+    /// Insert a new row, returning its id.
+    pub fn insert(&self, table: &str, row: Row) -> Result<RowId, TxnError> {
+        self.ensure_active()?;
+        let write_req = self.write_requirement();
+        if let LockRequirement::WellFormed(duration) = write_req {
+            // Guard lock on a per-transaction phantom item: it only
+            // conflicts with predicate locks whose condition the new row
+            // satisfies, which is exactly the phantom-prevention test.
+            let guard = LockTarget::item(table, RowId(u64::MAX - self.token.0));
+            self.acquire(
+                guard.clone(),
+                LockMode::Exclusive,
+                std::slice::from_ref(&row),
+                duration,
+            )?;
+            let id = self.db.store.insert(table, self.token, row.clone());
+            self.acquire(
+                LockTarget::item(table, id),
+                LockMode::Exclusive,
+                std::slice::from_ref(&row),
+                duration,
+            )?;
+            self.db.locks.release_target(self.token, &guard);
+            self.db.recorder.write(self.token, table, id, None, Some(&row), false);
+            if duration == LockDuration::Short {
+                self.db.locks.release_short(self.token);
+            }
+            Ok(id)
+        } else {
+            let id = self.db.store.insert(table, self.token, row.clone());
+            self.db.recorder.write(self.token, table, id, None, Some(&row), false);
+            Ok(id)
+        }
+    }
+
+    /// Update a row: the given columns are merged over the row as this
+    /// transaction sees it (UPDATE … SET semantics).
+    pub fn update(&self, table: &str, row: RowId, changes: Row) -> Result<(), TxnError> {
+        self.write_row(table, row, changes, false)
+    }
+
+    fn write_row(
+        &self,
+        table: &str,
+        row: RowId,
+        changes: Row,
+        through_cursor: bool,
+    ) -> Result<(), TxnError> {
+        self.ensure_active()?;
+        let before = self.visible_before_image(table, row);
+        let new_row = match &before {
+            Some(b) => b.updated_with(&changes),
+            None => changes,
+        };
+        if let LockRequirement::WellFormed(duration) = self.write_requirement() {
+            let mut images = vec![new_row.clone()];
+            if let Some(b) = &before {
+                images.push(b.clone());
+            }
+            self.acquire(
+                LockTarget::item(table, row),
+                LockMode::Exclusive,
+                &images,
+                duration,
+            )?;
+            self.db.store.update(table, self.token, row, new_row.clone())?;
+            self.db
+                .recorder
+                .write(self.token, table, row, before.as_ref(), Some(&new_row), through_cursor);
+            if duration == LockDuration::Short {
+                self.db.locks.release_short(self.token);
+            }
+        } else {
+            self.db.store.update(table, self.token, row, new_row.clone())?;
+            self.db
+                .recorder
+                .write(self.token, table, row, before.as_ref(), Some(&new_row), through_cursor);
+        }
+        Ok(())
+    }
+
+    /// Delete a row.
+    pub fn delete(&self, table: &str, row: RowId) -> Result<(), TxnError> {
+        self.ensure_active()?;
+        let before = self.visible_before_image(table, row);
+        if let LockRequirement::WellFormed(duration) = self.write_requirement() {
+            let images: Vec<Row> = before.clone().into_iter().collect();
+            self.acquire(
+                LockTarget::item(table, row),
+                LockMode::Exclusive,
+                &images,
+                duration,
+            )?;
+            self.db.store.delete(table, self.token, row)?;
+            self.db
+                .recorder
+                .write(self.token, table, row, before.as_ref(), None, false);
+            if duration == LockDuration::Short {
+                self.db.locks.release_short(self.token);
+            }
+        } else {
+            self.db.store.delete(table, self.token, row)?;
+            self.db
+                .recorder
+                .write(self.token, table, row, before.as_ref(), None, false);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Cursors (Section 4.1).
+    // ------------------------------------------------------------------
+
+    /// Open a cursor over the rows satisfying `predicate`.
+    pub fn open_cursor(&self, predicate: &RowPredicate) -> Result<CursorId, TxnError> {
+        let rows = self.read_where(predicate)?;
+        let mut state = self.state.lock();
+        let id = CursorId(state.next_cursor);
+        state.next_cursor += 1;
+        state
+            .cursors
+            .insert(id, CursorState::new(predicate.table.clone(), rows));
+        Ok(id)
+    }
+
+    /// FETCH the next row from a cursor.  Returns `Ok(None)` when the
+    /// cursor is exhausted.
+    pub fn fetch(&self, cursor: CursorId) -> Result<Option<(RowId, Row)>, TxnError> {
+        self.ensure_active()?;
+        let (table, next, captured, previous) = {
+            let mut state = self.state.lock();
+            let cur = state.cursors.get_mut(&cursor).ok_or(TxnError::NoSuchCursor)?;
+            if !cur.open {
+                return Err(TxnError::NoSuchCursor);
+            }
+            let previous = cur
+                .position
+                .and_then(|p| cur.rows.get(p))
+                .map(|(id, _)| *id);
+            let next = cur.advance();
+            let captured = cur
+                .position
+                .and_then(|p| cur.rows.get(p))
+                .map(|(_, row)| row.clone());
+            let table = cur.table.clone();
+            let previous = previous.filter(|prev| {
+                Some(*prev) != next && !Self::other_cursor_holds(&state, cursor, &table, *prev)
+            });
+            (table, next, captured, previous)
+        };
+        let Some(row_id) = next else {
+            // Past the end: the cursor no longer holds its position lock.
+            if let Some(prev) = previous {
+                self.db
+                    .locks
+                    .release_cursor_target(self.token, &LockTarget::item(&table, prev));
+            }
+            return Ok(None);
+        };
+        let value = match self.db.config.level {
+            // Snapshot Isolation keeps reading from the transaction's
+            // snapshot; Read Consistency serves the value as of the Open
+            // Cursor (Section 4.3).
+            IsolationLevel::SnapshotIsolation => {
+                self.db
+                    .store
+                    .get_visible(&table, row_id, self.token, self.start_ts)
+            }
+            IsolationLevel::OracleReadConsistency => captured,
+            _ => {
+                let duration = self.lock_for_read(&table, row_id, true)?;
+                if duration == LockDuration::Cursor {
+                    // The lock travels with the cursor: drop the previous
+                    // row's cursor lock, keep the current one.
+                    if let Some(prev) = previous {
+                        self.db
+                            .locks
+                            .release_cursor_target(self.token, &LockTarget::item(&table, prev));
+                    }
+                }
+                let value = self.db.store.get_latest_any(&table, row_id);
+                self.db
+                    .recorder
+                    .cursor_read(self.token, &table, row_id, value.as_ref());
+                self.release_after_short_read(duration);
+                return Ok(value.map(|row| (row_id, row)));
+            }
+        };
+        self.db
+            .recorder
+            .cursor_read(self.token, &table, row_id, value.as_ref());
+        Ok(value.map(|row| (row_id, row)))
+    }
+
+    /// Update the row the cursor is currently positioned on (UPDATE …
+    /// WHERE CURRENT OF).
+    pub fn update_current(&self, cursor: CursorId, changes: Row) -> Result<(), TxnError> {
+        self.ensure_active()?;
+        let (table, row_id, captured) = {
+            let state = self.state.lock();
+            let cur = state.cursors.get(&cursor).ok_or(TxnError::NoSuchCursor)?;
+            if !cur.open {
+                return Err(TxnError::NoSuchCursor);
+            }
+            match cur.position.and_then(|p| cur.rows.get(p)) {
+                Some((id, row)) => (cur.table.clone(), *id, row.clone()),
+                None => return Err(TxnError::CursorNotPositioned),
+            }
+        };
+        if self.db.config.level == IsolationLevel::OracleReadConsistency {
+            // First-writer-wins at statement level: if another transaction
+            // committed a newer version of the row after the cursor
+            // captured it, the positioned update must restart instead of
+            // overwriting the newer value.
+            let current = self.db.store.get_latest_committed(&table, row_id);
+            if current.as_ref() != Some(&captured) {
+                return Err(TxnError::StaleCursor {
+                    table,
+                    row: row_id,
+                });
+            }
+        }
+        self.write_row(&table, row_id, changes, true)
+    }
+
+    /// Close a cursor, releasing its position lock.
+    pub fn close_cursor(&self, cursor: CursorId) -> Result<(), TxnError> {
+        let mut state = self.state.lock();
+        let cur = state.cursors.get_mut(&cursor).ok_or(TxnError::NoSuchCursor)?;
+        cur.open = false;
+        let table = cur.table.clone();
+        let position = cur.position.and_then(|p| cur.rows.get(p)).map(|(id, _)| *id);
+        let release = position
+            .filter(|id| !Self::other_cursor_holds(&state, cursor, &table, *id));
+        drop(state);
+        if let Some(id) = release {
+            self.db
+                .locks
+                .release_cursor_target(self.token, &LockTarget::item(&table, id));
+        }
+        Ok(())
+    }
+
+    /// True when another open cursor of this transaction is currently
+    /// positioned on the given row (its cursor lock must then be kept).
+    fn other_cursor_holds(state: &TxnState, cursor: CursorId, table: &str, row: RowId) -> bool {
+        state.cursors.iter().any(|(id, cur)| {
+            *id != cursor
+                && cur.open
+                && cur.table == table
+                && cur
+                    .position
+                    .and_then(|p| cur.rows.get(p))
+                    .map(|(r, _)| *r == row)
+                    .unwrap_or(false)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Termination.
+    // ------------------------------------------------------------------
+
+    /// Commit.  Under Snapshot Isolation this runs the First-Committer-Wins
+    /// check and aborts the transaction (returning
+    /// [`TxnError::FirstCommitterConflict`]) if another transaction that
+    /// committed during this one's execution interval wrote the same data.
+    pub fn commit(&self) -> Result<(), TxnError> {
+        self.ensure_active()?;
+        if self.db.config.level == IsolationLevel::SnapshotIsolation {
+            if let Some((table, row)) = self
+                .db
+                .store
+                .first_committer_conflict(self.token, self.start_ts)
+            {
+                self.rollback_internal();
+                return Err(TxnError::FirstCommitterConflict { table, row });
+            }
+        }
+        let commit_ts = self.db.ts.next();
+        self.db.store.commit(self.token, commit_ts);
+        self.db.locks.release_all(self.token);
+        self.db.recorder.commit(self.token);
+        self.state.lock().status = TxnStatus::Committed;
+        Ok(())
+    }
+
+    /// Roll back, restoring before images and releasing all locks.
+    pub fn abort(&self) -> Result<(), TxnError> {
+        self.ensure_active()?;
+        self.rollback_internal();
+        Ok(())
+    }
+
+    fn rollback_internal(&self) {
+        let mut state = self.state.lock();
+        if state.status != TxnStatus::Active {
+            return;
+        }
+        state.status = TxnStatus::Aborted;
+        drop(state);
+        self.db.store.abort(self.token);
+        self.db.locks.release_all(self.token);
+        self.db.recorder.abort(self.token);
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if self.is_active() {
+            self.rollback_internal();
+        }
+    }
+}
+
+impl std::fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("token", &self.token)
+            .field("level", &self.db.config.level)
+            .field("start_ts", &self.start_ts)
+            .field("status", &self.status())
+            .finish()
+    }
+}

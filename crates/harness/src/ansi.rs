@@ -1,0 +1,154 @@
+//! The Table 1 / Section 3 analysis: strict vs broad interpretations of the
+//! ANSI phenomena, exercised on the paper's canonical histories.
+
+use critique_core::level::AnsiLevel;
+use critique_core::{detect, Interpretation, Phenomenon};
+use critique_history::{canonical, conflict_serializable, History};
+use serde::{Deserialize, Serialize};
+
+/// The verdict for one canonical history against one ANSI level.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AnsiHistoryVerdict {
+    /// The paper's name for the history (H1, H2, …).
+    pub history: String,
+    /// The shorthand notation.
+    pub notation: String,
+    /// True if the history is conflict-serializable.
+    pub serializable: bool,
+    /// The ANSI level under examination.
+    pub level: String,
+    /// Whether the level admits the history under the strict (A1-A3)
+    /// interpretation.
+    pub admitted_strict: bool,
+    /// Whether the level admits the history under the broad (P1-P3)
+    /// interpretation.
+    pub admitted_broad: bool,
+    /// Phenomena the history exhibits.
+    pub exhibited: Vec<Phenomenon>,
+}
+
+impl AnsiHistoryVerdict {
+    /// The paper's headline problem: a non-serializable history admitted by
+    /// the level (under the strict reading this happens for H1/H2/H3 at
+    /// ANOMALY SERIALIZABLE).
+    pub fn is_counterexample(&self) -> bool {
+        !self.serializable && self.admitted_strict
+    }
+}
+
+fn verdict(name: &str, history: &History, level: AnsiLevel) -> AnsiHistoryVerdict {
+    AnsiHistoryVerdict {
+        history: name.to_string(),
+        notation: history.to_notation(),
+        serializable: conflict_serializable(history).is_serializable(),
+        level: level.name().to_string(),
+        admitted_strict: level.permits(history, Interpretation::Strict),
+        admitted_broad: level.permits(history, Interpretation::Broad),
+        exhibited: detect::exhibited_set(history),
+    }
+}
+
+/// The Section 3 analysis: every canonical history against every ANSI
+/// level, under both interpretations.
+pub fn ansi_interpretation_report() -> Vec<AnsiHistoryVerdict> {
+    let histories = [
+        ("H1", canonical::h1()),
+        ("H2", canonical::h2()),
+        ("H3", canonical::h3()),
+        ("H4", canonical::h4()),
+        ("H5", canonical::h5()),
+    ];
+    let mut verdicts = Vec::new();
+    for (name, history) in &histories {
+        for level in AnsiLevel::ALL {
+            verdicts.push(verdict(name, history, level));
+        }
+    }
+    verdicts
+}
+
+/// Render the report as text, highlighting the paper's counterexamples.
+pub fn ansi_report_text() -> String {
+    let mut out = String::from(
+        "Section 3: strict (A1-A3) vs broad (P1-P3) readings of the ANSI phenomena\n",
+    );
+    for v in ansi_interpretation_report() {
+        out.push_str(&format!(
+            "  {:3} at {:25}  serializable={:5}  admitted: strict={:5} broad={:5}{}\n",
+            v.history,
+            v.level,
+            v.serializable,
+            v.admitted_strict,
+            v.admitted_broad,
+            if v.is_counterexample() {
+                "   <-- non-serializable yet admitted (needs broad reading)"
+            } else {
+                ""
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict_for(history: &str, level: &str) -> AnsiHistoryVerdict {
+        ansi_interpretation_report()
+            .into_iter()
+            .find(|v| v.history == history && v.level == level)
+            .expect("verdict present")
+    }
+
+    #[test]
+    fn h1_is_the_papers_central_counterexample() {
+        let v = verdict_for("H1", "ANOMALY SERIALIZABLE");
+        assert!(!v.serializable);
+        assert!(v.admitted_strict, "H1 violates no strict anomaly");
+        assert!(!v.admitted_broad, "the broad reading correctly rejects H1");
+        assert!(v.is_counterexample());
+    }
+
+    #[test]
+    fn h2_discriminates_repeatable_read_interpretations() {
+        let v = verdict_for("H2", "ANSI REPEATABLE READ");
+        assert!(!v.serializable);
+        assert!(v.admitted_strict);
+        assert!(!v.admitted_broad);
+    }
+
+    #[test]
+    fn h3_discriminates_phantom_interpretations() {
+        let v = verdict_for("H3", "ANOMALY SERIALIZABLE");
+        assert!(v.admitted_strict);
+        assert!(!v.admitted_broad);
+    }
+
+    #[test]
+    fn read_uncommitted_admits_everything() {
+        for name in ["H1", "H2", "H3", "H4", "H5"] {
+            let v = verdict_for(name, "ANSI READ UNCOMMITTED");
+            assert!(v.admitted_strict && v.admitted_broad);
+        }
+    }
+
+    #[test]
+    fn h5_write_skew_slips_past_even_the_broad_ansi_reading() {
+        // H5 exhibits no P0/P1 and no phantom; the broad ANSI phenomena do
+        // not exclude it — the paper's motivation for A5B.
+        let v = verdict_for("H5", "ANSI READ COMMITTED");
+        assert!(!v.serializable);
+        assert!(v.admitted_broad);
+        assert!(v.exhibited.contains(&Phenomenon::A5B));
+    }
+
+    #[test]
+    fn report_text_mentions_every_history_and_counterexamples() {
+        let text = ansi_report_text();
+        for name in ["H1", "H2", "H3", "H4", "H5"] {
+            assert!(text.contains(name));
+        }
+        assert!(text.contains("non-serializable yet admitted"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Print Figure 2 (the isolation hierarchy) as text, or as Graphviz DOT
+//! with `--dot`.
+
+use critique_harness::figure::{figure2_dot, figure2_text};
+
+fn main() {
+    if std::env::args().any(|a| a == "--dot") {
+        println!("{}", figure2_dot());
+    } else {
+        println!("{}", figure2_text());
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerate Tables 1-4 from executed scenarios and compare each cell
+//! with the paper.  Pass `--json` for machine-readable output.
+
+use critique_harness::ReproductionReport;
+
+fn main() {
+    let report = ReproductionReport::generate();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.to_text());
+    }
+    if !report.fully_matches_paper() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 2: the isolation hierarchy.
+
+use critique_core::lattice::Hierarchy;
+
+/// Figure 2 rendered as text: the paper's drawing (edges annotated with the
+/// differentiating phenomena) followed by the Hasse diagram computed from
+/// the characterisation matrix, plus the incomparable pairs.
+pub fn figure2_text() -> String {
+    let paper = Hierarchy::paper_figure2();
+    let computed = Hierarchy::compute();
+    let mut out = String::from("Figure 2: isolation hierarchy (paper drawing)\n");
+    for edge in paper.edges() {
+        let labels = edge
+            .differentiating
+            .iter()
+            .map(|p| p.code())
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!("  {}  «  {}   [{}]\n", edge.lower, edge.upper, labels));
+    }
+    out.push_str("\nComputed Hasse diagram of the characterisation matrix\n");
+    out.push_str(&computed.to_text());
+    out
+}
+
+/// Figure 2 as Graphviz DOT (the paper's drawing).
+pub fn figure2_dot() -> String {
+    Hierarchy::paper_figure2().to_dot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_contains_the_key_relations() {
+        let text = figure2_text();
+        assert!(text.contains("READ COMMITTED  «  Snapshot Isolation")
+            || text.contains("READ COMMITTED  «  Cursor Stability"));
+        assert!(text.contains("»«"), "incomparable pairs listed");
+        assert!(text.contains("Snapshot Isolation  «  SERIALIZABLE"));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let dot = figure2_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("Snapshot Isolation"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

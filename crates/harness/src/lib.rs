@@ -1,0 +1,32 @@
+//! # critique-harness
+//!
+//! Regenerates every table and figure in the paper's presentation from
+//! *executed* behaviour:
+//!
+//! * [`matrix`] — runs the anomaly scenarios of `critique-workloads`
+//!   against every scheduler and rebuilds the possibility matrices of
+//!   Tables 3 and 4 (and the extended matrix including Degree 0 and Oracle
+//!   Read Consistency), comparing each observed cell with the paper's.
+//! * [`ansi`] — the Table 1 analysis: which canonical histories each ANSI
+//!   level admits under the strict (A1-A3) vs broad (P1-P3)
+//!   interpretations — the paper's Section 3 argument in executable form.
+//! * [`figure`] — renders Figure 2 (the isolation hierarchy) as text and
+//!   Graphviz DOT, from both the paper's drawing and the computed Hasse
+//!   diagram.
+//! * [`report`] — bundles everything into a single
+//!   [`report::ReproductionReport`] with text and JSON output; the
+//!   `repro-tables` and `repro-figure2` binaries print it.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod ansi;
+pub mod figure;
+pub mod matrix;
+pub mod report;
+
+pub use crate::ansi::{ansi_interpretation_report, AnsiHistoryVerdict};
+pub use crate::figure::figure2_text;
+pub use crate::matrix::{observed_table3, observed_table4, CellComparison, MatrixComparison};
+pub use crate::report::ReproductionReport;

@@ -1,0 +1,248 @@
+//! Rebuilding the possibility matrices (Tables 3 and 4) from executions.
+
+use critique_core::tables::{self, CharacterizationTable};
+use critique_core::{IsolationLevel, Phenomenon, Possibility};
+use critique_workloads::{AnomalyScenario, ScenarioOutcome};
+use serde::{Deserialize, Serialize};
+
+/// The scenario variants whose outcomes decide the cell for a phenomenon.
+/// When the variants disagree at a level, the cell is "Sometimes Possible"
+/// (e.g. Cursor Stability prevents the cursor-protected variants only).
+fn variants_for(phenomenon: Phenomenon) -> Vec<AnomalyScenario> {
+    match phenomenon {
+        Phenomenon::P0 => vec![AnomalyScenario::DirtyWrite],
+        Phenomenon::P1 | Phenomenon::A1 => vec![AnomalyScenario::DirtyRead],
+        Phenomenon::P4C => vec![AnomalyScenario::CursorLostUpdate],
+        Phenomenon::P4 => vec![AnomalyScenario::LostUpdate, AnomalyScenario::CursorLostUpdate],
+        Phenomenon::P2 | Phenomenon::A2 => vec![
+            AnomalyScenario::FuzzyRead,
+            AnomalyScenario::FuzzyReadCursorProtected,
+        ],
+        Phenomenon::P3 | Phenomenon::A3 => vec![
+            AnomalyScenario::PhantomAnsi,
+            AnomalyScenario::PhantomPredicateConstraint,
+        ],
+        Phenomenon::A5A => vec![AnomalyScenario::ReadSkew],
+        Phenomenon::A5B => vec![
+            AnomalyScenario::WriteSkew,
+            AnomalyScenario::WriteSkewCursorProtected,
+        ],
+    }
+}
+
+/// Observe the possibility of one phenomenon at one level by executing its
+/// scenario variants.
+pub fn observe_cell(level: IsolationLevel, phenomenon: Phenomenon) -> Possibility {
+    let outcomes: Vec<ScenarioOutcome> = variants_for(phenomenon)
+        .into_iter()
+        .map(|s| s.run(level).outcome)
+        .collect();
+    let anomalies = outcomes.iter().filter(|o| o.is_anomaly()).count();
+    if anomalies == 0 {
+        Possibility::NotPossible
+    } else if anomalies == outcomes.len() {
+        Possibility::Possible
+    } else {
+        Possibility::SometimesPossible
+    }
+}
+
+fn observed_table(
+    title: &str,
+    rows: &[IsolationLevel],
+    columns: &[Phenomenon],
+) -> CharacterizationTable {
+    CharacterizationTable {
+        title: title.to_string(),
+        columns: columns.to_vec(),
+        rows: rows
+            .iter()
+            .map(|level| {
+                (
+                    level.name().to_string(),
+                    columns.iter().map(|p| observe_cell(*level, *p)).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Table 3, regenerated from executions.
+pub fn observed_table3() -> CharacterizationTable {
+    observed_table(
+        "Table 3 (observed): isolation levels vs P0-P3, from executed scenarios",
+        &IsolationLevel::TABLE3_ROWS,
+        &Phenomenon::TABLE3_COLUMNS,
+    )
+}
+
+/// Table 4, regenerated from executions.
+pub fn observed_table4() -> CharacterizationTable {
+    observed_table(
+        "Table 4 (observed): isolation types vs possible anomalies, from executed scenarios",
+        &IsolationLevel::TABLE4_ROWS,
+        &Phenomenon::TABLE4_COLUMNS,
+    )
+}
+
+/// The extended matrix including Degree 0 and Oracle Read Consistency.
+pub fn observed_extended() -> CharacterizationTable {
+    observed_table(
+        "Extended matrix (observed): all eight isolation types",
+        &IsolationLevel::ALL,
+        &Phenomenon::TABLE4_COLUMNS,
+    )
+}
+
+/// One cell compared between the paper and the observed execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellComparison {
+    /// Row label (isolation level name).
+    pub level: String,
+    /// Column phenomenon.
+    pub phenomenon: Phenomenon,
+    /// The paper's cell.
+    pub paper: Possibility,
+    /// The observed cell.
+    pub observed: Possibility,
+}
+
+impl CellComparison {
+    /// True when observed behaviour matches the paper.
+    pub fn matches(&self) -> bool {
+        self.paper == self.observed
+    }
+}
+
+/// Comparison of a full observed matrix against the paper's.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatrixComparison {
+    /// Table caption.
+    pub title: String,
+    /// Every cell, paper vs observed.
+    pub cells: Vec<CellComparison>,
+}
+
+impl MatrixComparison {
+    /// Compare an observed table against the paper's specification table
+    /// (matching rows by label and columns by phenomenon).
+    pub fn compare(paper: &CharacterizationTable, observed: &CharacterizationTable) -> Self {
+        let mut cells = Vec::new();
+        for (label, _) in &observed.rows {
+            for column in &observed.columns {
+                let (Some(o), Some(p)) = (observed.cell(label, *column), paper.cell(label, *column))
+                else {
+                    continue;
+                };
+                cells.push(CellComparison {
+                    level: label.clone(),
+                    phenomenon: *column,
+                    paper: p,
+                    observed: o,
+                });
+            }
+        }
+        MatrixComparison {
+            title: observed.title.clone(),
+            cells,
+        }
+    }
+
+    /// Number of cells that match the paper.
+    pub fn matching(&self) -> usize {
+        self.cells.iter().filter(|c| c.matches()).count()
+    }
+
+    /// Total number of compared cells.
+    pub fn total(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cells that disagree with the paper.
+    pub fn mismatches(&self) -> Vec<&CellComparison> {
+        self.cells.iter().filter(|c| !c.matches()).collect()
+    }
+
+    /// Render a short textual summary.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{}: {}/{} cells match the paper\n",
+            self.title,
+            self.matching(),
+            self.total()
+        );
+        for cell in self.mismatches() {
+            out.push_str(&format!(
+                "  MISMATCH {} / {}: paper says {}, observed {}\n",
+                cell.level,
+                cell.phenomenon.code(),
+                cell.paper,
+                cell.observed
+            ));
+        }
+        out
+    }
+}
+
+/// Compare the observed Table 4 against the paper's Table 4.
+pub fn compare_table4() -> MatrixComparison {
+    MatrixComparison::compare(&tables::table4(), &observed_table4())
+}
+
+/// Compare the observed Table 3 against the paper's Table 3.
+pub fn compare_table3() -> MatrixComparison {
+    MatrixComparison::compare(&tables::table3(), &observed_table3())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_table4_matches_the_paper_exactly() {
+        let cmp = compare_table4();
+        assert_eq!(cmp.total(), 6 * 8);
+        assert!(
+            cmp.mismatches().is_empty(),
+            "observed Table 4 deviates from the paper:\n{}",
+            cmp.summary()
+        );
+    }
+
+    #[test]
+    fn observed_table3_matches_the_paper_exactly() {
+        let cmp = compare_table3();
+        assert_eq!(cmp.total(), 4 * 4);
+        assert!(cmp.mismatches().is_empty(), "{}", cmp.summary());
+    }
+
+    #[test]
+    fn extended_matrix_covers_all_levels() {
+        let t = observed_extended();
+        assert_eq!(t.rows.len(), 8);
+        // Degree 0 admits dirty writes; SERIALIZABLE admits nothing.
+        assert_eq!(
+            t.cell("Degree 0", Phenomenon::P0),
+            Some(Possibility::Possible)
+        );
+        for p in Phenomenon::TABLE4_COLUMNS {
+            assert_eq!(t.cell("SERIALIZABLE", p), Some(Possibility::NotPossible));
+        }
+    }
+
+    #[test]
+    fn observe_cell_handles_sometimes_possible() {
+        assert_eq!(
+            observe_cell(IsolationLevel::CursorStability, Phenomenon::P4),
+            Possibility::SometimesPossible
+        );
+        assert_eq!(
+            observe_cell(IsolationLevel::SnapshotIsolation, Phenomenon::P3),
+            Possibility::SometimesPossible
+        );
+        assert_eq!(
+            observe_cell(IsolationLevel::ReadCommitted, Phenomenon::P4),
+            Possibility::Possible
+        );
+    }
+}

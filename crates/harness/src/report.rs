@@ -1,0 +1,102 @@
+//! The full reproduction report.
+
+use crate::ansi::{ansi_interpretation_report, ansi_report_text, AnsiHistoryVerdict};
+use crate::figure::figure2_text;
+use crate::matrix::{compare_table3, compare_table4, MatrixComparison};
+use critique_core::locking::LockProfile;
+use critique_core::tables;
+use serde::{Deserialize, Serialize};
+
+/// Everything the harness reproduces, in one structure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReproductionReport {
+    /// Section 3 / Table 1: strict vs broad interpretation verdicts.
+    pub ansi_verdicts: Vec<AnsiHistoryVerdict>,
+    /// Table 2: the lock profiles, rendered.
+    pub table2: Vec<String>,
+    /// Table 3 observed-vs-paper comparison.
+    pub table3: MatrixComparison,
+    /// Table 4 observed-vs-paper comparison.
+    pub table4: MatrixComparison,
+    /// Figure 2 rendering.
+    pub figure2: String,
+}
+
+impl ReproductionReport {
+    /// Run every reproduction and collect the results.
+    pub fn generate() -> Self {
+        ReproductionReport {
+            ansi_verdicts: ansi_interpretation_report(),
+            table2: LockProfile::table2()
+                .into_iter()
+                .map(|p| p.describe())
+                .collect(),
+            table3: compare_table3(),
+            table4: compare_table4(),
+            figure2: figure2_text(),
+        }
+    }
+
+    /// True when every observed cell matches the paper.
+    pub fn fully_matches_paper(&self) -> bool {
+        self.table3.mismatches().is_empty() && self.table4.mismatches().is_empty()
+    }
+
+    /// Render the report as human-readable text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== A Critique of ANSI SQL Isolation Levels — reproduction report ===\n\n");
+        out.push_str(&ansi_report_text());
+        out.push('\n');
+        out.push_str(&tables::table1().to_text());
+        out.push('\n');
+        out.push_str("Table 2. Locking isolation levels (lock scope / mode / duration)\n");
+        for row in &self.table2 {
+            out.push_str(&format!("  {row}\n"));
+        }
+        out.push('\n');
+        out.push_str(&tables::table3().to_text());
+        out.push('\n');
+        out.push_str(&self.table3.summary());
+        out.push('\n');
+        out.push_str(&tables::table4().to_text());
+        out.push('\n');
+        out.push_str(&self.table4.summary());
+        out.push('\n');
+        out.push_str(&self.figure2);
+        out.push_str(&format!(
+            "\nOverall: observed behaviour {} the paper's characterisation.\n",
+            if self.fully_matches_paper() {
+                "matches"
+            } else {
+                "DEVIATES FROM"
+            }
+        ));
+        out
+    }
+
+    /// Render as JSON (for EXPERIMENTS.md tooling).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_matches_the_paper_and_serialises() {
+        let report = ReproductionReport::generate();
+        assert!(report.fully_matches_paper(), "{}", report.to_text());
+        assert_eq!(report.table2.len(), 6);
+        assert!(!report.ansi_verdicts.is_empty());
+        let text = report.to_text();
+        assert!(text.contains("Table 4"));
+        assert!(text.contains("Figure 2"));
+        assert!(text.contains("matches"));
+        let json = report.to_json();
+        assert!(json.contains("\"table4\""));
+        let _extended = crate::matrix::observed_extended();
+    }
+}

@@ -1,0 +1,273 @@
+//! The canonical histories used throughout the paper.
+//!
+//! Each function returns exactly the history printed in the paper (values
+//! included), so tests and benchmarks elsewhere in the workspace can refer
+//! to "H1", "H5", etc. without re-typing the notation.
+
+use crate::history::History;
+use crate::mv::MvHistory;
+
+/// H1 (Section 3): the classical inconsistent-analysis history.  T1
+/// transfers $40 from `x` to `y` while T2 reads a total balance of 60.
+/// Non-serializable, yet violates none of the strict anomalies A1, A2, A3.
+///
+/// ```text
+/// r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1
+/// ```
+pub fn h1() -> History {
+    History::parse("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1")
+        .expect("H1 is well-formed")
+}
+
+/// H2 (Section 3): inconsistent analysis where T1 sees a total balance of
+/// 140.  Violates P2 but not A2 (no item is read twice).
+///
+/// ```text
+/// r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1
+/// ```
+pub fn h2() -> History {
+    History::parse("r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1")
+        .expect("H2 is well-formed")
+}
+
+/// H3 (Section 3): the phantom history.  T1 reads the predicate of active
+/// employees, T2 inserts a new active employee and updates the employee
+/// count `z`, then T1 reads `z` and sees a discrepancy.  Violates P3 but not
+/// A3 (the predicate is never re-evaluated).
+///
+/// ```text
+/// r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1
+/// ```
+pub fn h3() -> History {
+    History::parse("r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1").expect("H3 is well-formed")
+}
+
+/// H4 (Section 4.1): the lost-update history.  T2's increment of 20 is
+/// overwritten by T1's increment of 30 based on a stale read.
+///
+/// ```text
+/// r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1
+/// ```
+pub fn h4() -> History {
+    History::parse("r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1").expect("H4 is well-formed")
+}
+
+/// The cursor-stability variant of H4 (Section 4.1): T1 holds a cursor on
+/// `x`, which would block T2's intervening write; shown here as the history
+/// that phenomenon P4C forbids.
+///
+/// ```text
+/// rc1[x=100] w2[x=120] c2 wc1[x=130] c1
+/// ```
+pub fn h4c() -> History {
+    History::parse("rc1[x=100] w2[x=120] c2 wc1[x=130] c1").expect("H4C is well-formed")
+}
+
+/// H5 (Section 4.2): write skew.  Both transactions read `x` and `y`
+/// (constraint: x + y > 0), then T1 writes `y` and T2 writes `x`; both
+/// commit and the constraint is violated.  Allowed by Snapshot Isolation.
+///
+/// ```text
+/// r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2
+/// ```
+pub fn h5() -> History {
+    History::parse("r1[x=50] r1[y=50] r2[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2")
+        .expect("H5 is well-formed")
+}
+
+/// H1 executed under Snapshot Isolation (Section 4.2) — a multi-version
+/// history in which both transactions read initial versions and T1 installs
+/// new versions of `x` and `y`.  Its dataflow is serializable.
+///
+/// ```text
+/// r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1
+/// ```
+pub fn h1_si() -> MvHistory {
+    MvHistory::parse("r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1")
+        .expect("H1.SI is well-formed")
+}
+
+/// The single-valued mapping of [`h1_si`] given in the paper (Section 4.2).
+///
+/// ```text
+/// r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1
+/// ```
+pub fn h1_si_sv() -> History {
+    History::parse("r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1")
+        .expect("H1.SI.SV is well-formed")
+}
+
+/// The dirty-write constraint-violation example from Section 3's discussion
+/// of P0: T1 writes 1 to both `x` and `y`, T2 writes 2 to both, and the
+/// interleaving leaves x=2, y=1, violating the constraint x = y.
+///
+/// ```text
+/// w1[x=1] w2[x=2] w2[y=2] c2 w1[y=1] c1
+/// ```
+pub fn dirty_write_constraint() -> History {
+    History::parse("w1[x=1] w2[x=2] w2[y=2] c2 w1[y=1] c1").expect("well-formed")
+}
+
+/// The dirty-write recovery example from Section 3: after `w1[x] w2[x] a1`
+/// the system cannot undo T1 by restoring its before-image without wiping
+/// out T2's update.
+///
+/// ```text
+/// w1[x] w2[x] a1
+/// ```
+pub fn dirty_write_recovery() -> History {
+    History::parse("w1[x] w2[x] a1").expect("well-formed")
+}
+
+/// A minimal dirty-read (A1 strict) history: T2 reads T1's uncommitted
+/// write and commits, then T1 aborts.
+///
+/// ```text
+/// w1[x=10] r2[x=10] c2 a1
+/// ```
+pub fn dirty_read_strict() -> History {
+    History::parse("w1[x=10] r2[x=10] c2 a1").expect("well-formed")
+}
+
+/// A minimal fuzzy-read (A2 strict) history: T1 rereads `x` after T2's
+/// committed update and sees a different value.
+///
+/// ```text
+/// r1[x=50] w2[x=10] c2 r1[x=10] c1
+/// ```
+pub fn fuzzy_read_strict() -> History {
+    History::parse("r1[x=50] w2[x=10] c2 r1[x=10] c1").expect("well-formed")
+}
+
+/// A minimal phantom (A3 strict) history: T1 rereads predicate `P` after
+/// T2's committed insert and sees a different set.
+///
+/// ```text
+/// r1[P] w2[insert y to P] c2 r1[P] c1
+/// ```
+pub fn phantom_strict() -> History {
+    History::parse("r1[P] w2[insert y to P] c2 r1[P] c1").expect("well-formed")
+}
+
+/// A minimal read-skew (A5A) history: T1 reads `x`, T2 updates `x` and `y`
+/// consistently and commits, then T1 reads the new `y` — an inconsistent
+/// pair.
+///
+/// ```text
+/// r1[x=50] w2[x=10] w2[y=90] c2 r1[y=90] c1
+/// ```
+pub fn read_skew() -> History {
+    History::parse("r1[x=50] w2[x=10] w2[y=90] c2 r1[y=90] c1").expect("well-formed")
+}
+
+/// A minimal write-skew (A5B) history in the paper's A5B shape:
+/// `r1[x]...r2[y]...w1[y]...w2[x]` with both committing.
+///
+/// ```text
+/// r1[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2
+/// ```
+pub fn write_skew() -> History {
+    History::parse("r1[x=50] r2[y=50] w1[y=-40] w2[x=-40] c1 c2").expect("well-formed")
+}
+
+/// All canonical single-version histories, with their paper names.
+pub fn all_named() -> Vec<(&'static str, History)> {
+    vec![
+        ("H1", h1()),
+        ("H2", h2()),
+        ("H3", h3()),
+        ("H4", h4()),
+        ("H4C", h4c()),
+        ("H5", h5()),
+        ("H1.SI.SV", h1_si_sv()),
+        ("P0-constraint", dirty_write_constraint()),
+        ("P0-recovery", dirty_write_recovery()),
+        ("A1", dirty_read_strict()),
+        ("A2", fuzzy_read_strict()),
+        ("A3", phantom_strict()),
+        ("A5A", read_skew()),
+        ("A5B", write_skew()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::si_to_single_version;
+    use crate::serializability::conflict_serializable;
+
+    #[test]
+    fn all_canonical_histories_are_well_formed_and_complete_where_expected() {
+        for (name, h) in all_named() {
+            assert!(!h.is_empty(), "{name} should not be empty");
+            // Re-parse from notation to confirm round-trip stability.
+            let reparsed = History::parse(&h.to_notation()).unwrap();
+            assert_eq!(h, reparsed, "{name} should round-trip");
+        }
+    }
+
+    #[test]
+    fn the_inconsistent_analysis_histories_are_not_serializable() {
+        for (name, h) in [("H1", h1()), ("H2", h2()), ("H3", h3()), ("H5", h5())] {
+            assert!(
+                !conflict_serializable(&h).is_serializable(),
+                "{name} must be non-serializable"
+            );
+        }
+    }
+
+    #[test]
+    fn h4_is_not_serializable() {
+        assert!(!conflict_serializable(&h4()).is_serializable());
+    }
+
+    #[test]
+    fn h1_si_maps_to_h1_si_sv() {
+        assert_eq!(si_to_single_version(&h1_si()).to_notation(), h1_si_sv().to_notation());
+    }
+
+    #[test]
+    fn h1_si_sv_is_serializable() {
+        assert!(conflict_serializable(&h1_si_sv()).is_serializable());
+    }
+
+    #[test]
+    fn h1_totals_show_inconsistent_analysis() {
+        // T2's reads in H1 sum to 60, not 100 — the paper's point.
+        let h = h1();
+        let t2_reads: i64 = h
+            .ops()
+            .iter()
+            .filter(|op| op.txn.0 == 2 && op.is_read())
+            .filter_map(|op| op.value.map(|v| v.0))
+            .sum();
+        assert_eq!(t2_reads, 60);
+    }
+
+    #[test]
+    fn h2_totals_show_inconsistent_analysis() {
+        let h = h2();
+        let t1_reads: i64 = h
+            .ops()
+            .iter()
+            .filter(|op| op.txn.0 == 1 && op.is_read())
+            .filter_map(|op| op.value.map(|v| v.0))
+            .sum();
+        assert_eq!(t1_reads, 140);
+    }
+
+    #[test]
+    fn h5_violates_the_positive_sum_constraint() {
+        // Final values: x = -40 (T2), y = -40 (T1); sum is negative.
+        let h = h5();
+        let last = |item: &str| {
+            h.ops()
+                .iter()
+                .rev()
+                .find(|op| op.is_write() && op.item().map(|i| i.name()) == Some(item))
+                .and_then(|op| op.value.map(|v| v.0))
+                .unwrap()
+        };
+        assert!(last("x") + last("y") < 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The MV → SV mapping used to place Snapshot Isolation in the isolation
+//! hierarchy.
+//!
+//! Section 4.2 of the paper: *"In [OOBBGM], we show that all Snapshot
+//! Isolation histories can be mapped to single-valued histories while
+//! preserving dataflow dependencies."*  The device is simple: a Snapshot
+//! Isolation transaction performs all of its reads against the committed
+//! state as of its start timestamp and installs all of its writes at its
+//! commit timestamp.  The equivalent single-valued history therefore places
+//! each transaction's reads at its start point and its writes immediately
+//! before its commit, e.g. the paper's `H1.SI` maps to `H1.SI.SV`:
+//!
+//! ```text
+//! H1.SI:    r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1
+//! H1.SI.SV: r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1
+//! ```
+
+use crate::history::History;
+use crate::mv::MvHistory;
+use crate::op::{Op, OpKind, TxnId};
+use std::collections::BTreeMap;
+
+/// Map a multi-version (Snapshot Isolation) history to the equivalent
+/// single-valued history: each transaction's reads are placed at its start
+/// point (its first action) and its writes immediately before its
+/// commit/abort, preserving the relative order of start and commit points.
+///
+/// Version annotations are dropped; value annotations are preserved.
+pub fn si_to_single_version(mv: &MvHistory) -> History {
+    let history = mv.as_history();
+    let ops = history.ops();
+
+    #[derive(Default)]
+    struct TxnBlocks {
+        start_index: usize,
+        reads: Vec<Op>,
+        writes: Vec<Op>,
+        terminator: Option<Op>,
+        terminator_index: usize,
+    }
+
+    let mut blocks: BTreeMap<TxnId, TxnBlocks> = BTreeMap::new();
+    for (index, op) in ops.iter().enumerate() {
+        let block = blocks.entry(op.txn).or_insert_with(|| TxnBlocks {
+            start_index: index,
+            terminator_index: ops.len(),
+            ..Default::default()
+        });
+        let mut stripped = op.clone();
+        stripped.version = None;
+        match &op.kind {
+            OpKind::Read(_) | OpKind::CursorRead(_) | OpKind::PredicateRead(_) => {
+                block.reads.push(stripped);
+            }
+            OpKind::Write(_) | OpKind::CursorWrite(_) => block.writes.push(stripped),
+            OpKind::Commit | OpKind::Abort => {
+                block.terminator = Some(stripped);
+                block.terminator_index = index;
+            }
+        }
+    }
+
+    // Emit events in order of their position in the original history:
+    // (start_index, reads of txn) and (terminator_index, writes + terminator).
+    let mut events: Vec<(usize, u8, Vec<Op>)> = Vec::new();
+    for (txn, block) in blocks {
+        let _ = txn;
+        events.push((block.start_index, 0, block.reads));
+        let mut tail = block.writes;
+        if let Some(term) = block.terminator {
+            tail.push(term);
+        }
+        events.push((block.terminator_index, 1, tail));
+    }
+    events.sort_by_key(|(index, phase, _)| (*index, *phase));
+
+    let ops: Vec<Op> = events.into_iter().flat_map(|(_, _, ops)| ops).collect();
+    History::from_ops_unchecked(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serializability::conflict_serializable;
+
+    const H1_SI: &str = "r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1";
+    const H1_SI_SV: &str = "r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1";
+
+    #[test]
+    fn maps_h1_si_to_the_papers_sv_history() {
+        let mv = MvHistory::parse(H1_SI).unwrap();
+        let sv = si_to_single_version(&mv);
+        assert_eq!(sv.to_notation(), H1_SI_SV);
+    }
+
+    #[test]
+    fn mapped_h1_si_is_serializable() {
+        let mv = MvHistory::parse(H1_SI).unwrap();
+        let sv = si_to_single_version(&mv);
+        let report = conflict_serializable(&sv);
+        assert!(report.is_serializable());
+        assert_eq!(report.serial_order.unwrap(), vec![TxnId(2), TxnId(1)]);
+    }
+
+    #[test]
+    fn single_transaction_maps_to_reads_then_writes() {
+        let mv = MvHistory::parse("r1[x0=1] w1[x1=2] r1[y0=3] w1[y1=4] c1").unwrap();
+        let sv = si_to_single_version(&mv);
+        assert_eq!(sv.to_notation(), "r1[x=1] r1[y=3] w1[x=2] w1[y=4] c1");
+    }
+
+    #[test]
+    fn aborted_transaction_keeps_abort_terminator() {
+        let mv = MvHistory::parse("r1[x0=1] w1[x1=2] a1").unwrap();
+        let sv = si_to_single_version(&mv);
+        assert_eq!(sv.to_notation(), "r1[x=1] w1[x=2] a1");
+    }
+
+    #[test]
+    fn write_skew_h5_dataflow_is_preserved() {
+        // H5 as an MV history: both transactions read initial versions and
+        // write their own versions.  The SV mapping keeps it non-serializable.
+        let mv = MvHistory::parse(
+            "r1[x0=50] r1[y0=50] r2[x0=50] r2[y0=50] w1[y1=-40] w2[x2=-40] c1 c2",
+        )
+        .unwrap();
+        assert!(mv.obeys_snapshot_visibility());
+        let sv = si_to_single_version(&mv);
+        assert!(!conflict_serializable(&sv).is_serializable());
+    }
+
+    #[test]
+    fn values_survive_the_mapping_and_versions_are_dropped() {
+        let mv = MvHistory::parse(H1_SI).unwrap();
+        let sv = si_to_single_version(&mv);
+        assert!(sv.ops().iter().all(|op| op.version.is_none()));
+        assert!(sv.ops().iter().filter(|op| !op.kind.is_terminator()).all(|op| op.value.is_some()));
+    }
+}

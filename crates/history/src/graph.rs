@@ -1,0 +1,471 @@
+//! Conflicts, dependency graphs, and cycle detection.
+//!
+//! Two actions in a history *conflict* if they are performed by distinct
+//! transactions on the same data item and at least one of them is a write
+//! (Section 2.1).  Conflicting actions can also occur on a set of data items
+//! covered by a predicate: a predicate read conflicts with any write that
+//! inserts, updates, or deletes an item covered by that predicate.
+//!
+//! The dependency graph has the committed transactions as nodes and an edge
+//! T1 → T2 whenever some action of T1 conflicts with and precedes an action
+//! of T2.  A history is (conflict-)serializable iff this graph is acyclic.
+
+use crate::history::History;
+use crate::op::{Op, OpKind, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The flavour of a conflict between two operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum ConflictKind {
+    /// Write followed by a read of the same item (wr: T2 reads T1's write).
+    WriteRead,
+    /// Read followed by a write of the same item (rw anti-dependency).
+    ReadWrite,
+    /// Write followed by a write of the same item (ww).
+    WriteWrite,
+    /// Predicate read followed by a write affecting the predicate
+    /// (predicate rw anti-dependency — the phantom conflict).
+    PredicateReadWrite,
+    /// Write affecting a predicate followed by a read of that predicate
+    /// (predicate wr dependency).
+    WritePredicateRead,
+}
+
+impl fmt::Display for ConflictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConflictKind::WriteRead => "wr",
+            ConflictKind::ReadWrite => "rw",
+            ConflictKind::WriteWrite => "ww",
+            ConflictKind::PredicateReadWrite => "rw(P)",
+            ConflictKind::WritePredicateRead => "wr(P)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A conflict between two operations at specific positions in a history.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Conflict {
+    /// Index of the earlier operation.
+    pub first_index: usize,
+    /// Index of the later operation.
+    pub second_index: usize,
+    /// Transaction performing the earlier operation.
+    pub first_txn: TxnId,
+    /// Transaction performing the later operation.
+    pub second_txn: TxnId,
+    /// The kind of conflict.
+    pub kind: ConflictKind,
+    /// Human-readable description of the conflicting target (item or
+    /// predicate name).
+    pub target: String,
+}
+
+/// Decide whether two operations conflict, and how.
+///
+/// `first` must precede `second` in the history.  Returns `None` when the
+/// operations do not conflict (same transaction, disjoint items, both reads,
+/// or terminators).
+pub fn conflict_between(first: &Op, second: &Op) -> Option<ConflictKind> {
+    if first.txn == second.txn {
+        return None;
+    }
+    if first.kind.is_terminator() || second.kind.is_terminator() {
+        return None;
+    }
+
+    // Item-level conflicts (cursor ops behave as reads/writes of the item).
+    if let (Some(a), Some(b)) = (first.item(), second.item()) {
+        if a == b {
+            match (first.is_write(), second.is_write()) {
+                (true, true) => return Some(ConflictKind::WriteWrite),
+                (true, false) => return Some(ConflictKind::WriteRead),
+                (false, true) => return Some(ConflictKind::ReadWrite),
+                (false, false) => {}
+            }
+        }
+    }
+
+    // Predicate read → write affecting the predicate.
+    if let OpKind::PredicateRead(p) = &first.kind {
+        if second.is_write() && second.affects_predicate(p) {
+            return Some(ConflictKind::PredicateReadWrite);
+        }
+    }
+    // Write affecting a predicate → later predicate read.
+    if let OpKind::PredicateRead(p) = &second.kind {
+        if first.is_write() && first.affects_predicate(p) {
+            return Some(ConflictKind::WritePredicateRead);
+        }
+    }
+
+    None
+}
+
+/// An edge of the dependency graph: `from` precedes and conflicts with `to`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source transaction.
+    pub from: TxnId,
+    /// Destination transaction.
+    pub to: TxnId,
+    /// All conflicts contributing to this edge.
+    pub conflicts: Vec<Conflict>,
+}
+
+/// The dependency graph of a history (Section 2.1).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    nodes: BTreeSet<TxnId>,
+    edges: BTreeMap<(TxnId, TxnId), Vec<Conflict>>,
+}
+
+impl DependencyGraph {
+    /// Build the dependency graph over the *committed* transactions of the
+    /// history, as the paper defines it.
+    pub fn from_history(history: &History) -> Self {
+        Self::build(history, true)
+    }
+
+    /// Build a dependency graph over *all* transactions (committed, aborted
+    /// and still-active).  Useful for analysing phenomena, which — unlike
+    /// anomalies — constrain histories before outcomes are known.
+    pub fn from_history_all(history: &History) -> Self {
+        Self::build(history, false)
+    }
+
+    fn build(history: &History, committed_only: bool) -> Self {
+        let committed: BTreeSet<TxnId> = history.committed().into_iter().collect();
+        let include = |txn: TxnId| !committed_only || committed.contains(&txn);
+
+        let mut nodes: BTreeSet<TxnId> = BTreeSet::new();
+        for txn in history.transactions() {
+            if include(txn) {
+                nodes.insert(txn);
+            }
+        }
+
+        let ops = history.ops();
+        let mut edges: BTreeMap<(TxnId, TxnId), Vec<Conflict>> = BTreeMap::new();
+        for i in 0..ops.len() {
+            for j in (i + 1)..ops.len() {
+                let (a, b) = (&ops[i], &ops[j]);
+                if !include(a.txn) || !include(b.txn) {
+                    continue;
+                }
+                if let Some(kind) = conflict_between(a, b) {
+                    let target = match kind {
+                        ConflictKind::PredicateReadWrite => a
+                            .predicate()
+                            .map(|p| p.name().to_string())
+                            .unwrap_or_default(),
+                        ConflictKind::WritePredicateRead => b
+                            .predicate()
+                            .map(|p| p.name().to_string())
+                            .unwrap_or_default(),
+                        _ => a.item().map(|i| i.name().to_string()).unwrap_or_default(),
+                    };
+                    edges.entry((a.txn, b.txn)).or_default().push(Conflict {
+                        first_index: i,
+                        second_index: j,
+                        first_txn: a.txn,
+                        second_txn: b.txn,
+                        kind,
+                        target,
+                    });
+                }
+            }
+        }
+        DependencyGraph { nodes, edges }
+    }
+
+    /// The transactions in the graph.
+    pub fn nodes(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// The edges of the graph.
+    pub fn edges(&self) -> Vec<Edge> {
+        self.edges
+            .iter()
+            .map(|((from, to), conflicts)| Edge {
+                from: *from,
+                to: *to,
+                conflicts: conflicts.clone(),
+            })
+            .collect()
+    }
+
+    /// True if there is an edge `from → to`.
+    pub fn has_edge(&self, from: TxnId, to: TxnId) -> bool {
+        self.edges.contains_key(&(from, to))
+    }
+
+    /// All conflicts on the edge `from → to`.
+    pub fn conflicts(&self, from: TxnId, to: TxnId) -> &[Conflict] {
+        self.edges
+            .get(&(from, to))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Find a cycle, if one exists, returned as a sequence of transactions
+    /// `t0 → t1 → … → t0`.
+    pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<TxnId, Color> =
+            self.nodes.iter().map(|t| (*t, Color::White)).collect();
+        let succ: BTreeMap<TxnId, Vec<TxnId>> = {
+            let mut m: BTreeMap<TxnId, Vec<TxnId>> = BTreeMap::new();
+            for (from, to) in self.edges.keys() {
+                m.entry(*from).or_default().push(*to);
+            }
+            m
+        };
+
+        fn dfs(
+            node: TxnId,
+            color: &mut BTreeMap<TxnId, Color>,
+            succ: &BTreeMap<TxnId, Vec<TxnId>>,
+            stack: &mut Vec<TxnId>,
+        ) -> Option<Vec<TxnId>> {
+            color.insert(node, Color::Gray);
+            stack.push(node);
+            if let Some(nexts) = succ.get(&node) {
+                for &next in nexts {
+                    match color.get(&next).copied().unwrap_or(Color::White) {
+                        Color::Gray => {
+                            // Found a cycle: slice the stack from `next`.
+                            let pos = stack.iter().position(|t| *t == next).unwrap_or(0);
+                            let mut cycle = stack[pos..].to_vec();
+                            cycle.push(next);
+                            return Some(cycle);
+                        }
+                        Color::White => {
+                            if let Some(c) = dfs(next, color, succ, stack) {
+                                return Some(c);
+                            }
+                        }
+                        Color::Black => {}
+                    }
+                }
+            }
+            stack.pop();
+            color.insert(node, Color::Black);
+            None
+        }
+
+        let nodes: Vec<TxnId> = self.nodes.iter().copied().collect();
+        for node in nodes {
+            if color.get(&node).copied() == Some(Color::White) {
+                let mut stack = Vec::new();
+                if let Some(c) = dfs(node, &mut color, &succ, &mut stack) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// True if the graph has no cycle.
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// A topological order of the transactions (an equivalent serial order),
+    /// if the graph is acyclic.
+    pub fn topological_order(&self) -> Option<Vec<TxnId>> {
+        let mut in_degree: BTreeMap<TxnId, usize> =
+            self.nodes.iter().map(|t| (*t, 0)).collect();
+        for (_, to) in self.edges.keys() {
+            *in_degree.entry(*to).or_insert(0) += 1;
+        }
+        let mut ready: Vec<TxnId> = in_degree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(t, _)| *t)
+            .collect();
+        ready.sort();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(node) = ready.pop() {
+            order.push(node);
+            for ((from, to), _) in self.edges.iter() {
+                if *from == node {
+                    let d = in_degree.get_mut(to).expect("node present");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(*to);
+                    }
+                }
+            }
+            ready.sort();
+        }
+        if order.len() == self.nodes.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Render the graph in Graphviz DOT format (edges labelled with the
+    /// conflict kinds and targets).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph dependencies {\n");
+        for node in &self.nodes {
+            out.push_str(&format!("  \"{node}\";\n"));
+        }
+        for ((from, to), conflicts) in &self.edges {
+            let label = conflicts
+                .iter()
+                .map(|c| format!("{}[{}]", c.kind, c.target))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("  \"{from}\" -> \"{to}\" [label=\"{label}\"];\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflicts_require_distinct_transactions_and_a_write() {
+        let r1 = Op::read(1u32, "x");
+        let r2 = Op::read(2u32, "x");
+        let w1 = Op::write(1u32, "x");
+        let w2 = Op::write(2u32, "x");
+        assert_eq!(conflict_between(&r1, &r2), None);
+        assert_eq!(conflict_between(&r1, &w1), None); // same transaction
+        assert_eq!(conflict_between(&w1, &r2), Some(ConflictKind::WriteRead));
+        assert_eq!(conflict_between(&r1, &w2), Some(ConflictKind::ReadWrite));
+        assert_eq!(conflict_between(&w1, &w2), Some(ConflictKind::WriteWrite));
+    }
+
+    #[test]
+    fn disjoint_items_do_not_conflict() {
+        let w1 = Op::write(1u32, "x");
+        let w2 = Op::write(2u32, "y");
+        assert_eq!(conflict_between(&w1, &w2), None);
+    }
+
+    #[test]
+    fn cursor_ops_conflict_like_item_ops() {
+        let rc1 = Op::cursor_read(1u32, "x");
+        let w2 = Op::write(2u32, "x");
+        assert_eq!(conflict_between(&rc1, &w2), Some(ConflictKind::ReadWrite));
+        let wc1 = Op::cursor_write(1u32, "x");
+        assert_eq!(conflict_between(&wc1, &w2), Some(ConflictKind::WriteWrite));
+    }
+
+    #[test]
+    fn predicate_conflicts() {
+        let rp = Op::predicate_read(1u32, "P");
+        let ins = Op::write(2u32, "y").inserting_into("P");
+        let other = Op::write(2u32, "y").inserting_into("Q");
+        assert_eq!(
+            conflict_between(&rp, &ins),
+            Some(ConflictKind::PredicateReadWrite)
+        );
+        assert_eq!(
+            conflict_between(&ins, &rp),
+            Some(ConflictKind::WritePredicateRead)
+        );
+        assert_eq!(conflict_between(&rp, &other), None);
+    }
+
+    #[test]
+    fn terminators_never_conflict() {
+        let c1 = Op::commit(1u32);
+        let w2 = Op::write(2u32, "x");
+        assert_eq!(conflict_between(&c1, &w2), None);
+        assert_eq!(conflict_between(&w2, &c1), None);
+    }
+
+    #[test]
+    fn h1_graph_has_cycle() {
+        let h = History::parse("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1")
+            .unwrap();
+        let g = DependencyGraph::from_history(&h);
+        assert_eq!(g.node_count(), 2);
+        assert!(g.has_edge(TxnId(1), TxnId(2))); // w1[x] → r2[x]
+        assert!(g.has_edge(TxnId(2), TxnId(1))); // r2[y] → w1[y]
+        assert!(!g.is_acyclic());
+        let cycle = g.find_cycle().unwrap();
+        assert!(cycle.len() >= 3);
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn serial_history_graph_is_acyclic_with_topo_order() {
+        let h = History::parse("r1[x] w1[x] c1 r2[x] w2[y] c2").unwrap();
+        let g = DependencyGraph::from_history(&h);
+        assert!(g.is_acyclic());
+        assert_eq!(g.topological_order().unwrap(), vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn committed_only_graph_excludes_aborted() {
+        let h = History::parse("w1[x] r2[x] a1 c2").unwrap();
+        let g = DependencyGraph::from_history(&h);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        let g_all = DependencyGraph::from_history_all(&h);
+        assert_eq!(g_all.node_count(), 2);
+        assert!(g_all.has_edge(TxnId(1), TxnId(2)));
+    }
+
+    #[test]
+    fn conflicts_accessor_and_edges() {
+        let h = History::parse("w1[x] r2[x] w2[x] c1 c2").unwrap();
+        let g = DependencyGraph::from_history(&h);
+        let cs = g.conflicts(TxnId(1), TxnId(2));
+        assert_eq!(cs.len(), 2); // wr on x and ww on x
+        assert!(cs.iter().any(|c| c.kind == ConflictKind::WriteRead));
+        assert!(cs.iter().any(|c| c.kind == ConflictKind::WriteWrite));
+        assert_eq!(g.edges().len(), 1);
+        assert!(g.conflicts(TxnId(2), TxnId(1)).is_empty());
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_labels() {
+        let h = History::parse("w1[x] r2[x] c1 c2").unwrap();
+        let g = DependencyGraph::from_history(&h);
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("\"T1\" -> \"T2\""));
+        assert!(dot.contains("wr[x]"));
+    }
+
+    #[test]
+    fn three_txn_cycle_detected() {
+        // T1 → T2 → T3 → T1
+        let h = History::parse("w1[a] r2[a] w2[b] r3[b] w3[c] r1[c] c1 c2 c3").unwrap();
+        let g = DependencyGraph::from_history(&h);
+        assert!(!g.is_acyclic());
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() == 4);
+    }
+}

@@ -1,0 +1,512 @@
+//! Single-version histories: linear interleavings of transaction actions.
+
+use crate::item::{Item, Predicate};
+use crate::notation;
+use crate::op::{Op, OpKind, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The final outcome of a transaction within a history.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TxnOutcome {
+    /// The transaction committed (`c i` appears).
+    Committed,
+    /// The transaction aborted (`a i` appears).
+    Aborted,
+    /// The history ends while the transaction is still active.
+    Active,
+}
+
+/// Errors raised when constructing an ill-formed history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HistoryError {
+    /// An action by a transaction appears after that transaction committed
+    /// or aborted.
+    ActionAfterTermination {
+        /// Offending transaction.
+        txn: TxnId,
+        /// Index of the offending action in the history.
+        index: usize,
+    },
+    /// A transaction commits or aborts more than once.
+    DuplicateTermination {
+        /// Offending transaction.
+        txn: TxnId,
+        /// Index of the second terminator.
+        index: usize,
+    },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::ActionAfterTermination { txn, index } => write!(
+                f,
+                "action at index {index} by {txn} occurs after {txn} terminated"
+            ),
+            HistoryError::DuplicateTermination { txn, index } => {
+                write!(f, "duplicate commit/abort for {txn} at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+/// A history: a linear ordering of the actions of a set of transactions
+/// (Section 2.1 of the paper).
+///
+/// Histories are immutable once built; construct them with
+/// [`History::new`], [`HistoryBuilder`], or [`History::parse`].
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct History {
+    ops: Vec<Op>,
+}
+
+impl History {
+    /// Build a history from a sequence of operations, validating
+    /// well-formedness (no action after termination, at most one
+    /// terminator per transaction).
+    pub fn new(ops: Vec<Op>) -> Result<Self, HistoryError> {
+        let mut terminated: BTreeSet<TxnId> = BTreeSet::new();
+        for (index, op) in ops.iter().enumerate() {
+            if terminated.contains(&op.txn) {
+                if op.kind.is_terminator() {
+                    return Err(HistoryError::DuplicateTermination { txn: op.txn, index });
+                }
+                return Err(HistoryError::ActionAfterTermination { txn: op.txn, index });
+            }
+            if op.kind.is_terminator() {
+                terminated.insert(op.txn);
+            }
+        }
+        Ok(History { ops })
+    }
+
+    /// Build a history without validation.  Intended for engine recorders
+    /// that guarantee well-formedness by construction.
+    pub fn from_ops_unchecked(ops: Vec<Op>) -> Self {
+        History { ops }
+    }
+
+    /// Parse the paper's shorthand notation, e.g.
+    /// `"r1[x=50] w1[x=10] r2[x=10] c2 c1"`.
+    pub fn parse(text: &str) -> Result<Self, notation::NotationError> {
+        notation::parse_history(text)
+    }
+
+    /// The operations of the history, in order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the history contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// All transactions that appear in the history, in id order.
+    pub fn transactions(&self) -> Vec<TxnId> {
+        let set: BTreeSet<TxnId> = self.ops.iter().map(|op| op.txn).collect();
+        set.into_iter().collect()
+    }
+
+    /// The outcome of each transaction.
+    pub fn outcomes(&self) -> BTreeMap<TxnId, TxnOutcome> {
+        let mut map: BTreeMap<TxnId, TxnOutcome> = BTreeMap::new();
+        for op in &self.ops {
+            let entry = map.entry(op.txn).or_insert(TxnOutcome::Active);
+            match op.kind {
+                OpKind::Commit => *entry = TxnOutcome::Committed,
+                OpKind::Abort => *entry = TxnOutcome::Aborted,
+                _ => {}
+            }
+        }
+        map
+    }
+
+    /// The outcome of a single transaction (Active if it never appears).
+    pub fn outcome(&self, txn: TxnId) -> TxnOutcome {
+        self.outcomes().get(&txn).copied().unwrap_or(TxnOutcome::Active)
+    }
+
+    /// Transactions that committed.
+    pub fn committed(&self) -> Vec<TxnId> {
+        self.outcomes()
+            .into_iter()
+            .filter(|(_, o)| *o == TxnOutcome::Committed)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Transactions that aborted.
+    pub fn aborted(&self) -> Vec<TxnId> {
+        self.outcomes()
+            .into_iter()
+            .filter(|(_, o)| *o == TxnOutcome::Aborted)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// True when every transaction in the history has committed or aborted.
+    pub fn is_complete(&self) -> bool {
+        self.outcomes().values().all(|o| *o != TxnOutcome::Active)
+    }
+
+    /// The operations of one transaction, in history order, with their
+    /// indices.
+    pub fn ops_of(&self, txn: TxnId) -> Vec<(usize, &Op)> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.txn == txn)
+            .collect()
+    }
+
+    /// Index of the commit/abort of `txn`, if present.
+    pub fn termination_index(&self, txn: TxnId) -> Option<usize> {
+        self.ops
+            .iter()
+            .position(|op| op.txn == txn && op.kind.is_terminator())
+    }
+
+    /// All data items referenced anywhere in the history.
+    pub fn items(&self) -> BTreeSet<Item> {
+        self.ops
+            .iter()
+            .filter_map(|op| op.item().cloned())
+            .collect()
+    }
+
+    /// All predicates read anywhere in the history.
+    pub fn predicates(&self) -> BTreeSet<Predicate> {
+        self.ops
+            .iter()
+            .filter_map(|op| op.predicate().cloned())
+            .collect()
+    }
+
+    /// Restrict the history to the actions of committed transactions
+    /// (the projection used when building the dependency graph,
+    /// Section 2.1).
+    pub fn committed_projection(&self) -> History {
+        let committed: BTreeSet<TxnId> = self.committed().into_iter().collect();
+        History {
+            ops: self
+                .ops
+                .iter()
+                .filter(|op| committed.contains(&op.txn))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// A serial history over the same transactions in the given order:
+    /// each transaction's actions run back-to-back.
+    pub fn serialize_in_order(&self, order: &[TxnId]) -> History {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for txn in order {
+            ops.extend(self.ops_of(*txn).into_iter().map(|(_, op)| op.clone()));
+        }
+        History { ops }
+    }
+
+    /// True if the history is serial: transactions execute one at a time,
+    /// with no interleaving.
+    pub fn is_serial(&self) -> bool {
+        let mut seen_terminated: BTreeSet<TxnId> = BTreeSet::new();
+        let mut current: Option<TxnId> = None;
+        for op in &self.ops {
+            match current {
+                Some(t) if t == op.txn => {
+                    if op.kind.is_terminator() {
+                        seen_terminated.insert(t);
+                        current = None;
+                    }
+                }
+                Some(_) => return false,
+                None => {
+                    if seen_terminated.contains(&op.txn) {
+                        return false;
+                    }
+                    if op.kind.is_terminator() {
+                        seen_terminated.insert(op.txn);
+                    } else {
+                        current = Some(op.txn);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Append another history's operations (used by recorders that stitch
+    /// phases together).  No validation is performed.
+    pub fn concat(&self, other: &History) -> History {
+        let mut ops = self.ops.clone();
+        ops.extend(other.ops.iter().cloned());
+        History { ops }
+    }
+
+    /// Render in the paper's shorthand notation.
+    pub fn to_notation(&self) -> String {
+        notation::format_history(self)
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_notation())
+    }
+}
+
+impl IntoIterator for History {
+    type Item = Op;
+    type IntoIter = std::vec::IntoIter<Op>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a History {
+    type Item = &'a Op;
+    type IntoIter = std::slice::Iter<'a, Op>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+/// Incremental builder for histories, convenient in tests and recorders.
+///
+/// ```
+/// use critique_history::prelude::*;
+///
+/// let h = HistoryBuilder::new()
+///     .read(1, "x")
+///     .write(1, "x")
+///     .commit(1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(h.len(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HistoryBuilder {
+    ops: Vec<Op>,
+}
+
+impl HistoryBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an arbitrary operation.
+    pub fn op(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Append `r txn[item]`.
+    pub fn read(self, txn: u32, item: impl Into<Item>) -> Self {
+        self.op(Op::read(txn, item))
+    }
+
+    /// Append `r txn[item=value]`.
+    pub fn read_v(self, txn: u32, item: impl Into<Item>, value: i64) -> Self {
+        self.op(Op::read(txn, item).with_value(value))
+    }
+
+    /// Append `w txn[item]`.
+    pub fn write(self, txn: u32, item: impl Into<Item>) -> Self {
+        self.op(Op::write(txn, item))
+    }
+
+    /// Append `w txn[item=value]`.
+    pub fn write_v(self, txn: u32, item: impl Into<Item>, value: i64) -> Self {
+        self.op(Op::write(txn, item).with_value(value))
+    }
+
+    /// Append a predicate read `r txn[P]`.
+    pub fn predicate_read(self, txn: u32, predicate: impl Into<Predicate>) -> Self {
+        self.op(Op::predicate_read(txn, predicate))
+    }
+
+    /// Append a write that inserts a new item into `predicate`.
+    pub fn insert_into(
+        self,
+        txn: u32,
+        item: impl Into<Item>,
+        predicate: impl Into<Predicate>,
+    ) -> Self {
+        self.op(Op::write(txn, item).inserting_into(predicate))
+    }
+
+    /// Append a write that mutates an item already covered by `predicate`.
+    pub fn write_in(
+        self,
+        txn: u32,
+        item: impl Into<Item>,
+        predicate: impl Into<Predicate>,
+    ) -> Self {
+        self.op(Op::write(txn, item).mutating_in(predicate))
+    }
+
+    /// Append a cursor read `rc txn[item]`.
+    pub fn cursor_read(self, txn: u32, item: impl Into<Item>) -> Self {
+        self.op(Op::cursor_read(txn, item))
+    }
+
+    /// Append a cursor write `wc txn[item]`.
+    pub fn cursor_write(self, txn: u32, item: impl Into<Item>) -> Self {
+        self.op(Op::cursor_write(txn, item))
+    }
+
+    /// Append `c txn`.
+    pub fn commit(self, txn: u32) -> Self {
+        self.op(Op::commit(txn))
+    }
+
+    /// Append `a txn`.
+    pub fn abort(self, txn: u32) -> Self {
+        self.op(Op::abort(txn))
+    }
+
+    /// Finish, validating well-formedness.
+    pub fn build(self) -> Result<History, HistoryError> {
+        History::new(self.ops)
+    }
+
+    /// Finish without validation.
+    pub fn build_unchecked(self) -> History {
+        History::from_ops_unchecked(self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h1() -> History {
+        History::parse("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1").unwrap()
+    }
+
+    #[test]
+    fn transactions_and_outcomes() {
+        let h = h1();
+        assert_eq!(h.transactions(), vec![TxnId(1), TxnId(2)]);
+        assert_eq!(h.outcome(TxnId(1)), TxnOutcome::Committed);
+        assert_eq!(h.outcome(TxnId(2)), TxnOutcome::Committed);
+        assert_eq!(h.outcome(TxnId(9)), TxnOutcome::Active);
+        assert!(h.is_complete());
+        assert_eq!(h.committed().len(), 2);
+        assert!(h.aborted().is_empty());
+    }
+
+    #[test]
+    fn aborted_and_active_transactions() {
+        let h = History::parse("w1[x] r2[x] a1").unwrap();
+        assert_eq!(h.outcome(TxnId(1)), TxnOutcome::Aborted);
+        assert_eq!(h.outcome(TxnId(2)), TxnOutcome::Active);
+        assert!(!h.is_complete());
+        assert_eq!(h.aborted(), vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn rejects_action_after_commit() {
+        let err = HistoryBuilder::new()
+            .read(1, "x")
+            .commit(1)
+            .write(1, "y")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HistoryError::ActionAfterTermination { txn: TxnId(1), index: 2 }));
+        assert!(err.to_string().contains("T1"));
+    }
+
+    #[test]
+    fn rejects_duplicate_commit() {
+        let err = HistoryBuilder::new()
+            .read(1, "x")
+            .commit(1)
+            .commit(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HistoryError::DuplicateTermination { txn: TxnId(1), index: 2 }));
+    }
+
+    #[test]
+    fn ops_of_and_termination_index() {
+        let h = h1();
+        let t1_ops = h.ops_of(TxnId(1));
+        assert_eq!(t1_ops.len(), 5);
+        assert_eq!(t1_ops[0].0, 0);
+        assert_eq!(h.termination_index(TxnId(2)), Some(4));
+        assert_eq!(h.termination_index(TxnId(1)), Some(7));
+    }
+
+    #[test]
+    fn items_and_predicates() {
+        let h = History::parse("r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1").unwrap();
+        let items = h.items();
+        assert!(items.contains(&Item::new("y")));
+        assert!(items.contains(&Item::new("z")));
+        assert_eq!(h.predicates().len(), 1);
+    }
+
+    #[test]
+    fn committed_projection_drops_aborted_and_active() {
+        let h = History::parse("w1[x] r2[x] w3[y] a1 c2").unwrap();
+        let proj = h.committed_projection();
+        assert_eq!(proj.transactions(), vec![TxnId(2)]);
+        assert_eq!(proj.len(), 2);
+    }
+
+    #[test]
+    fn serial_detection() {
+        let serial = History::parse("r1[x] w1[y] c1 r2[y] c2").unwrap();
+        assert!(serial.is_serial());
+        let interleaved = h1();
+        assert!(!interleaved.is_serial());
+        // Returning to an earlier transaction after it terminated is not serial.
+        let weird = History::parse("r1[x] c1 r2[y] c2").unwrap();
+        assert!(weird.is_serial());
+    }
+
+    #[test]
+    fn serialize_in_order_produces_serial_history() {
+        let h = h1();
+        let serial = h.serialize_in_order(&[TxnId(2), TxnId(1)]);
+        assert!(serial.is_serial());
+        assert_eq!(serial.len(), h.len());
+        assert_eq!(serial.ops()[0].txn, TxnId(2));
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = History::parse("r1[x]").unwrap();
+        let b = History::parse("c1").unwrap();
+        let joined = a.concat(&b);
+        assert_eq!(joined.len(), 2);
+        assert!(joined.is_complete());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let h = h1();
+        let reparsed = History::parse(&h.to_string()).unwrap();
+        assert_eq!(h, reparsed);
+    }
+
+    #[test]
+    fn iteration() {
+        let h = History::parse("r1[x] c1").unwrap();
+        assert_eq!((&h).into_iter().count(), 2);
+        assert_eq!(h.into_iter().count(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Data items, values, and predicates.
+//!
+//! Following [EGLT] and the paper's Section 2.1, a *data item* is taken in a
+//! broad sense: a row, a page, a whole table, or any named lockable entity.
+//! A *predicate* names a set of data items — both those currently in the
+//! database and "phantom" items that would satisfy the predicate if they
+//! were inserted.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::fmt;
+
+/// A named data item (the paper's `x`, `y`, `z`, …).
+///
+/// Items compare by name.  Engine-recorded histories use fully qualified
+/// names such as `accounts.7.balance`; hand-written histories typically use
+/// single letters.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Item(Cow<'static, str>);
+
+impl Item {
+    /// Create a new item from any string-like name.
+    pub fn new(name: impl Into<Cow<'static, str>>) -> Self {
+        Item(name.into())
+    }
+
+    /// The item's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Item({})", self.0)
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&'static str> for Item {
+    fn from(s: &'static str) -> Self {
+        Item::new(s)
+    }
+}
+
+impl From<String> for Item {
+    fn from(s: String) -> Self {
+        Item::new(s)
+    }
+}
+
+/// The value observed by a read or installed by a write.
+///
+/// The paper annotates histories with integer values (`r1[x=50]`); engine
+/// recorded histories may carry arbitrary integers or remain unannotated.
+/// Values are optional everywhere: structural phenomena (P0–P3) do not
+/// depend on them, but the inconsistent-analysis examples (H1, H2, H5) and
+/// the constraint-violation anomalies (A5A, A5B) are easier to demonstrate
+/// with concrete numbers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct Value(pub i64);
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value(v)
+    }
+}
+
+/// A named predicate (the paper's `P`) — a `<search condition>` naming a
+/// possibly infinite set of data items.
+///
+/// For the purposes of history analysis the predicate is identified by name;
+/// whether a particular write "falls in" the predicate is recorded on the
+/// write operation itself (see [`crate::op::Op::in_predicates`]).  This
+/// mirrors the paper's notation `w2[y in P]` / `w2[insert y to P]`: the
+/// history records the membership fact rather than re-evaluating a search
+/// condition.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Predicate(Cow<'static, str>);
+
+impl Predicate {
+    /// Create a predicate with the given name.
+    pub fn new(name: impl Into<Cow<'static, str>>) -> Self {
+        Predicate(name.into())
+    }
+
+    /// The predicate's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Predicate({})", self.0)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&'static str> for Predicate {
+    fn from(s: &'static str) -> Self {
+        Predicate::new(s)
+    }
+}
+
+impl From<String> for Predicate {
+    fn from(s: String) -> Self {
+        Predicate::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn item_equality_is_by_name() {
+        assert_eq!(Item::new("x"), Item::new(String::from("x")));
+        assert_ne!(Item::new("x"), Item::new("y"));
+    }
+
+    #[test]
+    fn item_display_and_debug() {
+        let i = Item::new("accounts.7.balance");
+        assert_eq!(i.to_string(), "accounts.7.balance");
+        assert_eq!(format!("{i:?}"), "Item(accounts.7.balance)");
+        assert_eq!(i.name(), "accounts.7.balance");
+    }
+
+    #[test]
+    fn items_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(Item::new("x"));
+        set.insert(Item::new("x"));
+        set.insert(Item::new("y"));
+        assert_eq!(set.len(), 2);
+        assert!(Item::new("a") < Item::new("b"));
+    }
+
+    #[test]
+    fn value_conversions() {
+        let v: Value = 42.into();
+        assert_eq!(v, Value(42));
+        assert_eq!(v.to_string(), "42");
+    }
+
+    #[test]
+    fn predicate_identity() {
+        let p = Predicate::new("ActiveEmployees");
+        assert_eq!(p.name(), "ActiveEmployees");
+        assert_eq!(p, Predicate::new("ActiveEmployees"));
+        assert_ne!(p, Predicate::new("P"));
+        assert_eq!(format!("{p:?}"), "Predicate(ActiveEmployees)");
+    }
+}

@@ -1,0 +1,72 @@
+//! # critique-history
+//!
+//! Transaction histories in the style of *"A Critique of ANSI SQL Isolation
+//! Levels"* (Berenson et al., SIGMOD 1995).
+//!
+//! A [`History`] is a linear interleaving of the actions of a set of
+//! transactions: reads, writes, predicate reads, cursor reads/writes,
+//! commits and aborts.  The crate provides:
+//!
+//! * the operation model ([`op`]) and data-item model ([`item`]),
+//! * the paper's shorthand notation (`"r1[x=50] w1[x=10] c1"`) — parser and
+//!   formatter ([`notation`]),
+//! * single- and multi-version histories ([`history`], [`mv`]),
+//! * conflict/dependency graphs and serializability checks ([`graph`],
+//!   [`serializability`]),
+//! * the MV → SV mapping the paper uses to place Snapshot Isolation in the
+//!   isolation hierarchy ([`equivalence`]),
+//! * every canonical history used in the paper (H1, H1.SI, H2, H3, H4, H5,
+//!   and the dirty-write / recovery examples) ([`canonical`]).
+//!
+//! Phenomenon *detectors* (P0–P3, A1–A3, P4, P4C, A5A, A5B) live in
+//! `critique-core`; this crate only models histories and their structure.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use critique_history::prelude::*;
+//!
+//! // The paper's H1: non-serializable inconsistent analysis.
+//! let h1 = History::parse(
+//!     "r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1",
+//! ).unwrap();
+//! assert_eq!(h1.transactions().len(), 2);
+//! assert!(!conflict_serializable(&h1).is_serializable());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod canonical;
+pub mod equivalence;
+pub mod graph;
+pub mod history;
+pub mod item;
+pub mod mv;
+pub mod notation;
+pub mod op;
+pub mod serializability;
+
+pub use crate::graph::{Conflict, ConflictKind, DependencyGraph, Edge};
+pub use crate::history::{History, HistoryBuilder, HistoryError, TxnOutcome};
+pub use crate::item::{Item, Predicate, Value};
+pub use crate::mv::{MvHistory, MvRead, VersionId};
+pub use crate::notation::{format_history, parse_history, NotationError};
+pub use crate::op::{Op, OpKind, TxnId};
+pub use crate::serializability::{
+    conflict_serializable, view_equivalent, SerializabilityReport,
+};
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::canonical;
+    pub use crate::graph::{Conflict, ConflictKind, DependencyGraph, Edge};
+    pub use crate::history::{History, HistoryBuilder, HistoryError, TxnOutcome};
+    pub use crate::item::{Item, Predicate, Value};
+    pub use crate::mv::{MvHistory, MvRead, VersionId};
+    pub use crate::op::{Op, OpKind, TxnId};
+    pub use crate::serializability::{
+        conflict_serializable, view_equivalent, SerializabilityReport,
+    };
+}

@@ -1,0 +1,298 @@
+//! Multi-version (MV) histories.
+//!
+//! In a multi-version system, several versions of a data item may exist at
+//! one time and every read must be explicit about which version it observes
+//! (Section 2.2 and 4.2 of the paper; [BHG] Chapter 5).  The paper writes
+//! versions as subscripts: `x0` is the initial version of `x`, `x1` the
+//! version installed by transaction 1, and so on — e.g. history `H1.SI`:
+//!
+//! ```text
+//! r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1
+//! ```
+//!
+//! An [`MvHistory`] wraps a [`History`] whose item operations carry version
+//! annotations, and exposes the reads-from structure needed for the paper's
+//! MV → SV mapping (see [`crate::equivalence`]).
+
+use crate::history::History;
+use crate::item::Item;
+use crate::notation::{self, NotationError};
+use crate::op::{Op, OpKind, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A specific version of a data item: `x0`, `x1`, …
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct VersionId {
+    /// The item.
+    pub item: Item,
+    /// The version number; by the paper's convention version 0 is the
+    /// initial (pre-history) version and version *i* was installed by
+    /// transaction *i*.
+    pub version: u32,
+}
+
+impl fmt::Display for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.item, self.version)
+    }
+}
+
+/// A read in an MV history together with the version it observed.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MvRead {
+    /// The reading transaction.
+    pub txn: TxnId,
+    /// The version read.
+    pub version: VersionId,
+    /// Index of the read in the underlying history.
+    pub index: usize,
+}
+
+/// Errors constructing an MV history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MvError {
+    /// An item read or write is missing a version annotation.
+    MissingVersion {
+        /// Index of the unannotated operation.
+        index: usize,
+    },
+    /// The underlying notation failed to parse.
+    Notation(NotationError),
+}
+
+impl fmt::Display for MvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvError::MissingVersion { index } => {
+                write!(f, "operation at index {index} lacks a version annotation")
+            }
+            MvError::Notation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MvError {}
+
+impl From<NotationError> for MvError {
+    fn from(e: NotationError) -> Self {
+        MvError::Notation(e)
+    }
+}
+
+/// A multi-version history.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MvHistory {
+    history: History,
+}
+
+impl MvHistory {
+    /// Wrap an annotated [`History`], checking that every item read and
+    /// write carries a version annotation.
+    pub fn new(history: History) -> Result<Self, MvError> {
+        for (index, op) in history.ops().iter().enumerate() {
+            let needs_version = matches!(
+                op.kind,
+                OpKind::Read(_) | OpKind::Write(_) | OpKind::CursorRead(_) | OpKind::CursorWrite(_)
+            );
+            if needs_version && op.version.is_none() {
+                return Err(MvError::MissingVersion { index });
+            }
+        }
+        Ok(MvHistory { history })
+    }
+
+    /// Parse the paper's MV notation, e.g.
+    /// `"r1[x0=50] w1[x1=10] r2[x0=50] c2 c1"`.
+    pub fn parse(text: &str) -> Result<Self, MvError> {
+        Self::new(notation::parse_mv_history(text)?)
+    }
+
+    /// The underlying (annotated) history.
+    pub fn as_history(&self) -> &History {
+        &self.history
+    }
+
+    /// The operations of the history.
+    pub fn ops(&self) -> &[Op] {
+        self.history.ops()
+    }
+
+    /// All reads together with the versions they observed.
+    pub fn reads(&self) -> Vec<MvRead> {
+        self.history
+            .ops()
+            .iter()
+            .enumerate()
+            .filter_map(|(index, op)| match (&op.kind, op.version) {
+                (OpKind::Read(item) | OpKind::CursorRead(item), Some(version)) => Some(MvRead {
+                    txn: op.txn,
+                    version: VersionId {
+                        item: item.clone(),
+                        version,
+                    },
+                    index,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The versions installed by each transaction, in write order.
+    pub fn versions_written(&self) -> BTreeMap<TxnId, Vec<VersionId>> {
+        let mut map: BTreeMap<TxnId, Vec<VersionId>> = BTreeMap::new();
+        for op in self.history.ops() {
+            if let (OpKind::Write(item) | OpKind::CursorWrite(item), Some(version)) =
+                (&op.kind, op.version)
+            {
+                map.entry(op.txn).or_default().push(VersionId {
+                    item: item.clone(),
+                    version,
+                });
+            }
+        }
+        map
+    }
+
+    /// The transaction that installed a given version, by the convention
+    /// that version *i* (for *i* > 0) is installed by transaction *i*.
+    /// Returns `None` for the initial version 0.
+    pub fn installer(&self, version: &VersionId) -> Option<TxnId> {
+        if version.version == 0 {
+            None
+        } else {
+            Some(TxnId(version.version))
+        }
+    }
+
+    /// Check the paper's reading convention: every version a transaction
+    /// reads was either the initial version (0), one of its own writes, or a
+    /// version installed by a transaction that committed before the reader's
+    /// first action (its start timestamp).  This is the Snapshot Isolation
+    /// visibility rule; canonical SI histories satisfy it.
+    pub fn obeys_snapshot_visibility(&self) -> bool {
+        let ops = self.history.ops();
+        // Start index of each transaction.
+        let mut start: BTreeMap<TxnId, usize> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            start.entry(op.txn).or_insert(i);
+        }
+        // Commit index of each transaction.
+        let commit: BTreeMap<TxnId, usize> = self
+            .history
+            .transactions()
+            .into_iter()
+            .filter_map(|t| self.history.termination_index(t).map(|i| (t, i)))
+            .collect();
+
+        for read in self.reads() {
+            if read.version.version == 0 {
+                continue;
+            }
+            let writer = TxnId(read.version.version);
+            if writer == read.txn {
+                continue; // reads its own write
+            }
+            let reader_start = start.get(&read.txn).copied().unwrap_or(0);
+            match commit.get(&writer) {
+                Some(commit_idx) if *commit_idx < reader_start => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Render in the paper's MV notation.
+    pub fn to_notation(&self) -> String {
+        notation::format_history(&self.history)
+    }
+}
+
+impl fmt::Display for MvHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H1_SI: &str = "r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1";
+
+    #[test]
+    fn parses_and_round_trips_h1_si() {
+        let mv = MvHistory::parse(H1_SI).unwrap();
+        assert_eq!(mv.to_notation(), H1_SI);
+        assert_eq!(mv.ops().len(), 8);
+    }
+
+    #[test]
+    fn rejects_missing_versions() {
+        let h = History::parse("r1[x=50] c1").unwrap();
+        let err = MvHistory::new(h).unwrap_err();
+        assert!(matches!(err, MvError::MissingVersion { index: 0 }));
+        assert!(err.to_string().contains("index 0"));
+    }
+
+    #[test]
+    fn reads_capture_versions() {
+        let mv = MvHistory::parse(H1_SI).unwrap();
+        let reads = mv.reads();
+        assert_eq!(reads.len(), 4);
+        assert!(reads
+            .iter()
+            .all(|r| r.version.version == 0), "all reads in H1.SI observe initial versions");
+    }
+
+    #[test]
+    fn versions_written_by_transaction() {
+        let mv = MvHistory::parse(H1_SI).unwrap();
+        let written = mv.versions_written();
+        assert_eq!(written[&TxnId(1)].len(), 2);
+        assert!(written.get(&TxnId(2)).is_none());
+    }
+
+    #[test]
+    fn installer_convention() {
+        let mv = MvHistory::parse(H1_SI).unwrap();
+        let v0 = VersionId {
+            item: Item::new("x"),
+            version: 0,
+        };
+        let v1 = VersionId {
+            item: Item::new("x"),
+            version: 1,
+        };
+        assert_eq!(mv.installer(&v0), None);
+        assert_eq!(mv.installer(&v1), Some(TxnId(1)));
+        assert_eq!(v1.to_string(), "x1");
+    }
+
+    #[test]
+    fn h1_si_obeys_snapshot_visibility() {
+        let mv = MvHistory::parse(H1_SI).unwrap();
+        assert!(mv.obeys_snapshot_visibility());
+    }
+
+    #[test]
+    fn reading_uncommitted_foreign_version_violates_visibility() {
+        // T2 reads x1 (installed by T1) before T1 commits.
+        let mv = MvHistory::parse("w1[x1=10] r2[x1=10] c2 c1").unwrap();
+        assert!(!mv.obeys_snapshot_visibility());
+    }
+
+    #[test]
+    fn reading_own_write_is_allowed() {
+        let mv = MvHistory::parse("w1[x1=10] r1[x1=10] c1").unwrap();
+        assert!(mv.obeys_snapshot_visibility());
+    }
+
+    #[test]
+    fn reading_version_committed_after_start_violates_visibility() {
+        // T2 starts (r2[y0]) before T1 commits, yet reads T1's version of x.
+        let mv = MvHistory::parse("r2[y0=1] w1[x1=10] c1 r2[x1=10] c2").unwrap();
+        assert!(!mv.obeys_snapshot_visibility());
+    }
+}

@@ -1,0 +1,419 @@
+//! Parser and formatter for the paper's shorthand history notation.
+//!
+//! The notation, introduced in Section 2.2 of the paper:
+//!
+//! * `w1[x]` — write by transaction 1 on data item `x`
+//! * `r2[x]` — read of `x` by transaction 2
+//! * `r1[x=50]` — read observing value 50
+//! * `r1[P]` — read of the set of items satisfying predicate `P`
+//!   (identifiers starting with an uppercase letter are predicates)
+//! * `w2[insert y to P]` — write that inserts a new item `y` satisfying `P`
+//! * `w2[y in P]` — write to an item `y` covered by predicate `P`
+//! * `rc1[x]` / `wc1[x]` — cursor read / cursor write (Section 4.1)
+//! * `c1` / `a1` — commit / abort
+//! * `r1[x0=50]`, `w1[x1=10]` — multi-version reads/writes where the
+//!   trailing digits denote the version (Section 4.2); enabled by
+//!   [`parse_mv_history`] and [`NotationOptions::versions`].
+//!
+//! Tokens are separated by whitespace.  `parse_history` round-trips with
+//! [`format_history`].
+
+use crate::history::{History, HistoryError};
+use crate::item::Value;
+use crate::op::{Op, OpKind, PredicateEffect, TxnId};
+use std::fmt;
+
+/// Errors from parsing the shorthand notation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NotationError {
+    /// A token could not be understood.
+    BadToken {
+        /// The offending token text.
+        token: String,
+        /// Explanation of what was expected.
+        reason: String,
+    },
+    /// The token stream parsed but the resulting history is ill-formed.
+    BadHistory(HistoryError),
+}
+
+impl fmt::Display for NotationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotationError::BadToken { token, reason } => {
+                write!(f, "cannot parse token `{token}`: {reason}")
+            }
+            NotationError::BadHistory(e) => write!(f, "ill-formed history: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NotationError {}
+
+impl From<HistoryError> for NotationError {
+    fn from(e: HistoryError) -> Self {
+        NotationError::BadHistory(e)
+    }
+}
+
+/// Options controlling how the notation is interpreted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NotationOptions {
+    /// When true, trailing digits on item names are interpreted as version
+    /// numbers (multi-version histories such as `H1.SI`).
+    pub versions: bool,
+}
+
+fn bad(token: &str, reason: impl Into<String>) -> NotationError {
+    NotationError::BadToken {
+        token: token.to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn is_predicate_name(name: &str) -> bool {
+    name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Split `x0` into (`x`, Some(0)) when version parsing is enabled.
+fn split_version(name: &str, options: NotationOptions) -> (String, Option<u32>) {
+    if !options.versions {
+        return (name.to_string(), None);
+    }
+    let split_at = name
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| c.is_ascii_digit())
+        .map(|(i, _)| i)
+        .last();
+    match split_at {
+        Some(i) if i > 0 => {
+            let (base, digits) = name.split_at(i);
+            (base.to_string(), digits.parse::<u32>().ok())
+        }
+        _ => (name.to_string(), None),
+    }
+}
+
+fn parse_value(text: &str, token: &str) -> Result<Value, NotationError> {
+    text.parse::<i64>()
+        .map(Value)
+        .map_err(|_| bad(token, format!("`{text}` is not an integer value")))
+}
+
+/// Parse the bracket body of a read or write token.
+fn parse_target(
+    txn: TxnId,
+    body: &str,
+    is_write: bool,
+    cursor: bool,
+    token: &str,
+    options: NotationOptions,
+) -> Result<Op, NotationError> {
+    let body = body.trim();
+
+    // `insert y to P`
+    if let Some(rest) = body.strip_prefix("insert ") {
+        if !is_write {
+            return Err(bad(token, "`insert … to …` is only valid in a write"));
+        }
+        let mut parts = rest.split(" to ");
+        let item = parts
+            .next()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| bad(token, "missing item in `insert … to …`"))?;
+        let pred = parts
+            .next()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| bad(token, "missing predicate in `insert … to …`"))?;
+        return Ok(Op::write(txn.0, item.to_string()).inserting_into(pred.to_string()));
+    }
+
+    // `y in P`
+    if let Some((item, pred)) = body.split_once(" in ") {
+        if !is_write {
+            return Err(bad(token, "`… in P` is only valid in a write"));
+        }
+        return Ok(Op::write(txn.0, item.trim().to_string()).mutating_in(pred.trim().to_string()));
+    }
+
+    // `x`, `x=50`, `x0=50`, `P`
+    let (name, value) = match body.split_once('=') {
+        Some((n, v)) => (n.trim(), Some(parse_value(v.trim(), token)?)),
+        None => (body, None),
+    };
+    if name.is_empty() {
+        return Err(bad(token, "empty target"));
+    }
+
+    if !is_write && !cursor && is_predicate_name(name) {
+        let mut op = Op::predicate_read(txn.0, name.to_string());
+        op.value = value;
+        return Ok(op);
+    }
+
+    let (base, version) = split_version(name, options);
+    let mut op = match (is_write, cursor) {
+        (false, false) => Op::read(txn.0, base),
+        (true, false) => Op::write(txn.0, base),
+        (false, true) => Op::cursor_read(txn.0, base),
+        (true, true) => Op::cursor_write(txn.0, base),
+    };
+    op.value = value;
+    op.version = version;
+    Ok(op)
+}
+
+fn parse_token(token: &str, options: NotationOptions) -> Result<Op, NotationError> {
+    let token = token.trim();
+
+    // Commit / abort: c1, a2
+    if let Some(num) = token.strip_prefix('c').filter(|s| s.chars().all(|c| c.is_ascii_digit())) {
+        if !num.is_empty() {
+            let id: u32 = num.parse().map_err(|_| bad(token, "bad transaction id"))?;
+            return Ok(Op::commit(id));
+        }
+    }
+    if let Some(num) = token.strip_prefix('a').filter(|s| s.chars().all(|c| c.is_ascii_digit())) {
+        if !num.is_empty() {
+            let id: u32 = num.parse().map_err(|_| bad(token, "bad transaction id"))?;
+            return Ok(Op::abort(id));
+        }
+    }
+
+    // Reads / writes, optionally through a cursor: r1[..], w1[..], rc1[..], wc1[..]
+    let open = token
+        .find('[')
+        .ok_or_else(|| bad(token, "expected `[` in read/write token"))?;
+    let close = token
+        .rfind(']')
+        .ok_or_else(|| bad(token, "expected closing `]`"))?;
+    if close < open {
+        return Err(bad(token, "`]` before `[`"));
+    }
+    let head = &token[..open];
+    let body = &token[open + 1..close];
+
+    let (is_write, cursor, digits) = if let Some(d) = head.strip_prefix("rc") {
+        (false, true, d)
+    } else if let Some(d) = head.strip_prefix("wc") {
+        (true, true, d)
+    } else if let Some(d) = head.strip_prefix('r') {
+        (false, false, d)
+    } else if let Some(d) = head.strip_prefix('w') {
+        (true, false, d)
+    } else {
+        return Err(bad(token, "expected r, w, rc, wc, c, or a prefix"));
+    };
+
+    if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+        return Err(bad(token, "expected a transaction id after the action letter"));
+    }
+    let txn = TxnId(digits.parse().map_err(|_| bad(token, "bad transaction id"))?);
+
+    parse_target(txn, body, is_write, cursor, token, options)
+}
+
+/// Parse a whitespace-separated sequence of tokens into a [`History`].
+pub fn parse_history(text: &str) -> Result<History, NotationError> {
+    parse_history_with(text, NotationOptions::default())
+}
+
+/// Parse a multi-version history: trailing digits on item names become
+/// version annotations (`r1[x0=50]` reads version 0 of `x`).
+pub fn parse_mv_history(text: &str) -> Result<History, NotationError> {
+    parse_history_with(text, NotationOptions { versions: true })
+}
+
+/// Parse with explicit [`NotationOptions`].
+pub fn parse_history_with(
+    text: &str,
+    options: NotationOptions,
+) -> Result<History, NotationError> {
+    let mut ops = Vec::new();
+    for token in tokenize(text) {
+        ops.push(parse_token(&token, options)?);
+    }
+    Ok(History::new(ops)?)
+}
+
+/// Split the input into tokens, treating whitespace inside `[...]` as part
+/// of the token (so `w2[insert y to P]` is one token).
+fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0usize;
+    for c in text.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                current.push(c);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Format one operation in the shorthand notation.
+pub fn format_op(op: &Op) -> String {
+    let txn = op.txn.0;
+    let annot = |name: &str| -> String {
+        let versioned = match op.version {
+            Some(v) => format!("{name}{v}"),
+            None => name.to_string(),
+        };
+        match op.value {
+            Some(v) => format!("{versioned}={v}"),
+            None => versioned,
+        }
+    };
+    match &op.kind {
+        OpKind::Read(i) => format!("r{txn}[{}]", annot(i.name())),
+        OpKind::Write(i) => {
+            if let Some(m) = op.in_predicates.first() {
+                match m.effect {
+                    PredicateEffect::Insert => {
+                        format!("w{txn}[insert {} to {}]", i.name(), m.predicate.name())
+                    }
+                    PredicateEffect::Mutate => {
+                        format!("w{txn}[{} in {}]", i.name(), m.predicate.name())
+                    }
+                }
+            } else {
+                format!("w{txn}[{}]", annot(i.name()))
+            }
+        }
+        OpKind::PredicateRead(p) => format!("r{txn}[{}]", p.name()),
+        OpKind::CursorRead(i) => format!("rc{txn}[{}]", annot(i.name())),
+        OpKind::CursorWrite(i) => format!("wc{txn}[{}]", annot(i.name())),
+        OpKind::Commit => format!("c{txn}"),
+        OpKind::Abort => format!("a{txn}"),
+    }
+}
+
+/// Format a full history in the shorthand notation.
+pub fn format_history(history: &History) -> String {
+    history
+        .ops()
+        .iter()
+        .map(format_op)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{Item, Predicate};
+    use crate::op::OpKind;
+
+    #[test]
+    fn parses_simple_reads_writes_and_terminators() {
+        let h = parse_history("r1[x] w2[y] c1 a2").unwrap();
+        assert_eq!(h.len(), 4);
+        assert!(matches!(h.ops()[0].kind, OpKind::Read(_)));
+        assert!(matches!(h.ops()[1].kind, OpKind::Write(_)));
+        assert!(matches!(h.ops()[2].kind, OpKind::Commit));
+        assert!(matches!(h.ops()[3].kind, OpKind::Abort));
+        assert_eq!(h.ops()[3].txn, TxnId(2));
+    }
+
+    #[test]
+    fn parses_values_including_negative() {
+        let h = parse_history("r1[x=50] w1[y=-40]").unwrap();
+        assert_eq!(h.ops()[0].value, Some(Value(50)));
+        assert_eq!(h.ops()[1].value, Some(Value(-40)));
+    }
+
+    #[test]
+    fn parses_predicate_reads_and_predicate_writes() {
+        let h = parse_history("r1[P] w2[insert y to P] w2[z in P] c2 r1[P] c1").unwrap();
+        assert_eq!(h.ops()[0].predicate(), Some(&Predicate::new("P")));
+        assert!(h.ops()[1].affects_predicate(&Predicate::new("P")));
+        assert_eq!(h.ops()[1].item(), Some(&Item::new("y")));
+        assert_eq!(h.ops()[1].in_predicates[0].effect, PredicateEffect::Insert);
+        assert_eq!(h.ops()[2].in_predicates[0].effect, PredicateEffect::Mutate);
+    }
+
+    #[test]
+    fn parses_cursor_ops() {
+        let h = parse_history("rc1[x=100] w2[x=120] c2 wc1[x=130] c1").unwrap();
+        assert!(matches!(h.ops()[0].kind, OpKind::CursorRead(_)));
+        assert!(matches!(h.ops()[3].kind, OpKind::CursorWrite(_)));
+        assert_eq!(h.ops()[0].value, Some(Value(100)));
+    }
+
+    #[test]
+    fn parses_mv_versions_only_when_enabled() {
+        let sv = parse_history("r1[x0=50]").unwrap();
+        assert_eq!(sv.ops()[0].item(), Some(&Item::new("x0")));
+        assert_eq!(sv.ops()[0].version, None);
+
+        let mv = parse_mv_history("r1[x0=50] w1[x1=10] c1").unwrap();
+        assert_eq!(mv.ops()[0].item(), Some(&Item::new("x")));
+        assert_eq!(mv.ops()[0].version, Some(0));
+        assert_eq!(mv.ops()[1].version, Some(1));
+    }
+
+    #[test]
+    fn rejects_garbage_tokens() {
+        assert!(parse_history("q1[x]").is_err());
+        assert!(parse_history("r[x]").is_err());
+        assert!(parse_history("r1 x").is_err());
+        assert!(parse_history("r1[x").is_err());
+        assert!(parse_history("r1[]").is_err());
+        assert!(parse_history("r1[x=abc]").is_err());
+        assert!(parse_history("r1[insert y to P]").is_err());
+        let err = parse_history("zz").unwrap_err();
+        assert!(err.to_string().contains("zz"));
+    }
+
+    #[test]
+    fn rejects_ill_formed_history() {
+        let err = parse_history("c1 r1[x]").unwrap_err();
+        assert!(matches!(err, NotationError::BadHistory(_)));
+    }
+
+    #[test]
+    fn round_trips_paper_histories() {
+        let texts = [
+            "r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1",
+            "r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1",
+            "r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1",
+            "r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1",
+            "rc1[x=100] w2[x=120] c2 wc1[x=130] c1",
+        ];
+        for text in texts {
+            let h = parse_history(text).unwrap();
+            assert_eq!(format_history(&h), text, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn round_trips_mv_history() {
+        let text = "r1[x0=50] w1[x1=10] r2[x0=50] r2[y0=50] c2 r1[y0=50] w1[y1=90] c1";
+        let h = parse_mv_history(text).unwrap();
+        assert_eq!(format_history(&h), text);
+    }
+
+    #[test]
+    fn commit_requires_id() {
+        assert!(parse_history("c").is_err());
+        assert!(parse_history("a").is_err());
+    }
+}

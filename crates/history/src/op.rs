@@ -1,0 +1,328 @@
+//! Operations (actions) that make up a history.
+
+use crate::item::{Item, Predicate, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transaction identifier (the subscript in `r1[x]`, `w2[y]`, `c1`, …).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct TxnId(pub u32);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u32> for TxnId {
+    fn from(v: u32) -> Self {
+        TxnId(v)
+    }
+}
+
+/// The kind of an action, mirroring the paper's notation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `r i[x]` — read of a single data item.
+    Read(Item),
+    /// `w i[x]` — write (insert, update, or delete) of a single data item.
+    Write(Item),
+    /// `r i[P]` — read of the set of data items satisfying predicate `P`.
+    PredicateRead(Predicate),
+    /// `rc i[x]` — read of item `x` through a cursor (Section 4.1); the
+    /// cursor remains positioned on `x` until it moves or is closed.
+    CursorRead(Item),
+    /// `wc i[x]` — write of the current item of the cursor (Section 4.1).
+    CursorWrite(Item),
+    /// `c i` — commit.
+    Commit,
+    /// `a i` — abort (ROLLBACK).
+    Abort,
+}
+
+impl OpKind {
+    /// The item this operation touches, if it is an item-level operation.
+    pub fn item(&self) -> Option<&Item> {
+        match self {
+            OpKind::Read(i)
+            | OpKind::Write(i)
+            | OpKind::CursorRead(i)
+            | OpKind::CursorWrite(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The predicate this operation reads, if it is a predicate read.
+    pub fn predicate(&self) -> Option<&Predicate> {
+        match self {
+            OpKind::PredicateRead(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// True for `Read`, `PredicateRead`, and `CursorRead`.
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Read(_) | OpKind::PredicateRead(_) | OpKind::CursorRead(_)
+        )
+    }
+
+    /// True for `Write` and `CursorWrite`.
+    pub fn is_write(&self) -> bool {
+        matches!(self, OpKind::Write(_) | OpKind::CursorWrite(_))
+    }
+
+    /// True for `Commit` and `Abort`.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, OpKind::Commit | OpKind::Abort)
+    }
+}
+
+/// How a write relates to a predicate, for phantom analysis.
+///
+/// The paper's broad P3 covers *any* write (insert, update, delete) that
+/// affects an item satisfying a previously read predicate.  The strict ANSI
+/// reading of P3 covers only inserts.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PredicateEffect {
+    /// The write inserts a new item that satisfies the predicate
+    /// (`w2[insert y to P]`).
+    Insert,
+    /// The write updates or deletes an existing item covered by the
+    /// predicate (`w2[y in P]`).
+    Mutate,
+}
+
+/// A write's relationship to a named predicate.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PredicateMembership {
+    /// The predicate affected.
+    pub predicate: Predicate,
+    /// Whether the write is an insert into the predicate or a mutation of an
+    /// item already covered by it.
+    pub effect: PredicateEffect,
+}
+
+/// A single action in a history.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Op {
+    /// The transaction performing the action.
+    pub txn: TxnId,
+    /// What the action does.
+    pub kind: OpKind,
+    /// Value observed (reads) or installed (writes), when annotated.
+    pub value: Option<Value>,
+    /// For multi-version histories: the version read or created
+    /// (`r1[x0=50]`, `w1[x1=10]`).  `None` in single-version histories.
+    pub version: Option<u32>,
+    /// Predicates this *write* affects (empty for reads and terminators).
+    pub in_predicates: Vec<PredicateMembership>,
+}
+
+impl Op {
+    /// A plain read of `item`.
+    pub fn read(txn: impl Into<TxnId>, item: impl Into<Item>) -> Self {
+        Op {
+            txn: txn.into(),
+            kind: OpKind::Read(item.into()),
+            value: None,
+            version: None,
+            in_predicates: Vec::new(),
+        }
+    }
+
+    /// A plain write of `item`.
+    pub fn write(txn: impl Into<TxnId>, item: impl Into<Item>) -> Self {
+        Op {
+            txn: txn.into(),
+            kind: OpKind::Write(item.into()),
+            value: None,
+            version: None,
+            in_predicates: Vec::new(),
+        }
+    }
+
+    /// A predicate read of `predicate`.
+    pub fn predicate_read(txn: impl Into<TxnId>, predicate: impl Into<Predicate>) -> Self {
+        Op {
+            txn: txn.into(),
+            kind: OpKind::PredicateRead(predicate.into()),
+            value: None,
+            version: None,
+            in_predicates: Vec::new(),
+        }
+    }
+
+    /// A cursor read of `item` (Section 4.1).
+    pub fn cursor_read(txn: impl Into<TxnId>, item: impl Into<Item>) -> Self {
+        Op {
+            txn: txn.into(),
+            kind: OpKind::CursorRead(item.into()),
+            value: None,
+            version: None,
+            in_predicates: Vec::new(),
+        }
+    }
+
+    /// A cursor write of `item` (Section 4.1).
+    pub fn cursor_write(txn: impl Into<TxnId>, item: impl Into<Item>) -> Self {
+        Op {
+            txn: txn.into(),
+            kind: OpKind::CursorWrite(item.into()),
+            value: None,
+            version: None,
+            in_predicates: Vec::new(),
+        }
+    }
+
+    /// A commit action.
+    pub fn commit(txn: impl Into<TxnId>) -> Self {
+        Op {
+            txn: txn.into(),
+            kind: OpKind::Commit,
+            value: None,
+            version: None,
+            in_predicates: Vec::new(),
+        }
+    }
+
+    /// An abort (ROLLBACK) action.
+    pub fn abort(txn: impl Into<TxnId>) -> Self {
+        Op {
+            txn: txn.into(),
+            kind: OpKind::Abort,
+            value: None,
+            version: None,
+            in_predicates: Vec::new(),
+        }
+    }
+
+    /// Annotate the operation with an observed/installed value.
+    pub fn with_value(mut self, value: impl Into<Value>) -> Self {
+        self.value = Some(value.into());
+        self
+    }
+
+    /// Annotate the operation with a version number (MV histories).
+    pub fn with_version(mut self, version: u32) -> Self {
+        self.version = Some(version);
+        self
+    }
+
+    /// Mark this write as inserting a new item into `predicate`.
+    pub fn inserting_into(mut self, predicate: impl Into<Predicate>) -> Self {
+        self.in_predicates.push(PredicateMembership {
+            predicate: predicate.into(),
+            effect: PredicateEffect::Insert,
+        });
+        self
+    }
+
+    /// Mark this write as mutating (updating/deleting) an item covered by
+    /// `predicate`.
+    pub fn mutating_in(mut self, predicate: impl Into<Predicate>) -> Self {
+        self.in_predicates.push(PredicateMembership {
+            predicate: predicate.into(),
+            effect: PredicateEffect::Mutate,
+        });
+        self
+    }
+
+    /// The item touched, if any.
+    pub fn item(&self) -> Option<&Item> {
+        self.kind.item()
+    }
+
+    /// The predicate read, if any.
+    pub fn predicate(&self) -> Option<&Predicate> {
+        self.kind.predicate()
+    }
+
+    /// True if this is any kind of read.
+    pub fn is_read(&self) -> bool {
+        self.kind.is_read()
+    }
+
+    /// True if this is any kind of write.
+    pub fn is_write(&self) -> bool {
+        self.kind.is_write()
+    }
+
+    /// True if this write affects (inserts into or mutates within) the given
+    /// predicate.
+    pub fn affects_predicate(&self, predicate: &Predicate) -> bool {
+        self.in_predicates.iter().any(|m| &m.predicate == predicate)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::notation::format_op(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_kinds() {
+        assert!(matches!(Op::read(1u32, "x").kind, OpKind::Read(_)));
+        assert!(matches!(Op::write(1u32, "x").kind, OpKind::Write(_)));
+        assert!(matches!(
+            Op::predicate_read(1u32, "P").kind,
+            OpKind::PredicateRead(_)
+        ));
+        assert!(matches!(Op::cursor_read(1u32, "x").kind, OpKind::CursorRead(_)));
+        assert!(matches!(Op::cursor_write(1u32, "x").kind, OpKind::CursorWrite(_)));
+        assert!(matches!(Op::commit(1u32).kind, OpKind::Commit));
+        assert!(matches!(Op::abort(1u32).kind, OpKind::Abort));
+    }
+
+    #[test]
+    fn read_write_classification() {
+        assert!(Op::read(1u32, "x").is_read());
+        assert!(Op::cursor_read(1u32, "x").is_read());
+        assert!(Op::predicate_read(1u32, "P").is_read());
+        assert!(!Op::read(1u32, "x").is_write());
+        assert!(Op::write(1u32, "x").is_write());
+        assert!(Op::cursor_write(1u32, "x").is_write());
+        assert!(Op::commit(1u32).kind.is_terminator());
+        assert!(Op::abort(1u32).kind.is_terminator());
+    }
+
+    #[test]
+    fn value_and_version_annotations() {
+        let op = Op::read(1u32, "x").with_value(50).with_version(0);
+        assert_eq!(op.value, Some(Value(50)));
+        assert_eq!(op.version, Some(0));
+    }
+
+    #[test]
+    fn predicate_membership_annotations() {
+        let op = Op::write(2u32, "y").inserting_into("P");
+        assert!(op.affects_predicate(&Predicate::new("P")));
+        assert!(!op.affects_predicate(&Predicate::new("Q")));
+        assert_eq!(op.in_predicates[0].effect, PredicateEffect::Insert);
+
+        let op = Op::write(2u32, "y").mutating_in("P");
+        assert_eq!(op.in_predicates[0].effect, PredicateEffect::Mutate);
+    }
+
+    #[test]
+    fn item_accessor() {
+        assert_eq!(Op::read(1u32, "x").item(), Some(&Item::new("x")));
+        assert_eq!(Op::commit(1u32).item(), None);
+        assert_eq!(
+            Op::predicate_read(1u32, "P").predicate(),
+            Some(&Predicate::new("P"))
+        );
+    }
+
+    #[test]
+    fn txn_id_display() {
+        assert_eq!(TxnId(3).to_string(), "T3");
+        assert_eq!(TxnId::from(7u32), TxnId(7));
+    }
+}

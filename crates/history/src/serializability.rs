@@ -1,0 +1,248 @@
+//! Conflict-serializability and view-equivalence checks.
+
+use crate::graph::DependencyGraph;
+use crate::history::History;
+use crate::item::{Item, Predicate};
+use crate::op::{OpKind, TxnId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The result of a serializability check.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SerializabilityReport {
+    /// True when the committed projection's dependency graph is acyclic.
+    serializable: bool,
+    /// An equivalent serial order of the committed transactions, when one
+    /// exists.
+    pub serial_order: Option<Vec<TxnId>>,
+    /// A witness cycle in the dependency graph, when the history is not
+    /// serializable.
+    pub cycle: Option<Vec<TxnId>>,
+}
+
+impl SerializabilityReport {
+    /// True if the history is conflict-serializable.
+    pub fn is_serializable(&self) -> bool {
+        self.serializable
+    }
+}
+
+/// Check conflict-serializability of a history via the Serializability
+/// Theorem: the history is serializable iff the dependency graph over its
+/// committed transactions is acyclic (Section 2.1, [BHG Theorem 3.6]).
+pub fn conflict_serializable(history: &History) -> SerializabilityReport {
+    let graph = DependencyGraph::from_history(history);
+    match graph.find_cycle() {
+        Some(cycle) => SerializabilityReport {
+            serializable: false,
+            serial_order: None,
+            cycle: Some(cycle),
+        },
+        None => SerializabilityReport {
+            serializable: true,
+            serial_order: graph.topological_order(),
+            cycle: None,
+        },
+    }
+}
+
+/// The source of the value observed by a read.
+#[derive(Clone, PartialEq, Eq, Debug, PartialOrd, Ord)]
+enum ReadSource {
+    /// The read observed the initial (pre-history) database state.
+    Initial,
+    /// The read observed the most recent preceding write by this
+    /// transaction.
+    Txn(TxnId),
+}
+
+/// The reads-from relation of a history's committed projection.
+///
+/// For each read (identified by reading transaction, item, and occurrence
+/// number), records which transaction's write it observed.  Used by
+/// [`view_equivalent`].
+fn reads_from(history: &History) -> BTreeMap<(TxnId, Item, usize), ReadSource> {
+    let proj = history.committed_projection();
+    let mut last_writer: BTreeMap<Item, TxnId> = BTreeMap::new();
+    let mut occurrence: BTreeMap<(TxnId, Item), usize> = BTreeMap::new();
+    let mut result = BTreeMap::new();
+
+    for op in proj.ops() {
+        match &op.kind {
+            OpKind::Read(item) | OpKind::CursorRead(item) => {
+                let n = occurrence.entry((op.txn, item.clone())).or_insert(0);
+                let source = match last_writer.get(item) {
+                    Some(t) => ReadSource::Txn(*t),
+                    None => ReadSource::Initial,
+                };
+                result.insert((op.txn, item.clone(), *n), source);
+                *n += 1;
+            }
+            OpKind::Write(item) | OpKind::CursorWrite(item) => {
+                last_writer.insert(item.clone(), op.txn);
+            }
+            _ => {}
+        }
+    }
+    result
+}
+
+/// The final writer of each item in the committed projection.
+fn final_writes(history: &History) -> BTreeMap<Item, TxnId> {
+    let proj = history.committed_projection();
+    let mut map = BTreeMap::new();
+    for op in proj.ops() {
+        if op.is_write() {
+            if let Some(item) = op.item() {
+                map.insert(item.clone(), op.txn);
+            }
+        }
+    }
+    map
+}
+
+/// The set of committed writers that affected each predicate before each
+/// predicate read (identified by reading transaction, predicate, occurrence).
+fn predicate_observations(
+    history: &History,
+) -> BTreeMap<(TxnId, Predicate, usize), BTreeSet<TxnId>> {
+    let proj = history.committed_projection();
+    let mut writers: BTreeMap<Predicate, BTreeSet<TxnId>> = BTreeMap::new();
+    let mut occurrence: BTreeMap<(TxnId, Predicate), usize> = BTreeMap::new();
+    let mut result = BTreeMap::new();
+
+    for op in proj.ops() {
+        if let OpKind::PredicateRead(p) = &op.kind {
+            let n = occurrence.entry((op.txn, p.clone())).or_insert(0);
+            result.insert(
+                (op.txn, p.clone(), *n),
+                writers.get(p).cloned().unwrap_or_default(),
+            );
+            *n += 1;
+        } else if op.is_write() {
+            for m in &op.in_predicates {
+                writers.entry(m.predicate.clone()).or_default().insert(op.txn);
+            }
+        }
+    }
+    result
+}
+
+/// True when two histories are *view equivalent*: they have the same
+/// committed transactions, the same reads-from relation (including predicate
+/// reads), and the same final writes ([BHG] Chapter 5; used by the paper to
+/// map Snapshot Isolation MV histories to single-valued histories).
+pub fn view_equivalent(a: &History, b: &History) -> bool {
+    let a_txns: BTreeSet<TxnId> = a.committed().into_iter().collect();
+    let b_txns: BTreeSet<TxnId> = b.committed().into_iter().collect();
+    if a_txns != b_txns {
+        return false;
+    }
+    reads_from(a) == reads_from(b)
+        && final_writes(a) == final_writes(b)
+        && predicate_observations(a) == predicate_observations(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h1_is_not_serializable() {
+        let h1 = History::parse("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1")
+            .unwrap();
+        let report = conflict_serializable(&h1);
+        assert!(!report.is_serializable());
+        assert!(report.cycle.is_some());
+        assert!(report.serial_order.is_none());
+    }
+
+    #[test]
+    fn h2_is_not_serializable() {
+        let h2 = History::parse(
+            "r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1",
+        )
+        .unwrap();
+        assert!(!conflict_serializable(&h2).is_serializable());
+    }
+
+    #[test]
+    fn h3_is_not_serializable_with_predicate_conflicts() {
+        let h3 = History::parse("r1[P] w2[insert y to P] r2[z] w2[z] c2 r1[z] c1").unwrap();
+        assert!(!conflict_serializable(&h3).is_serializable());
+    }
+
+    #[test]
+    fn serial_histories_are_serializable() {
+        let h = History::parse("r1[x] w1[y] c1 r2[y] w2[x] c2").unwrap();
+        let report = conflict_serializable(&h);
+        assert!(report.is_serializable());
+        assert_eq!(report.serial_order.unwrap(), vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn interleaved_but_serializable() {
+        // Reads of disjoint items interleaved — no conflicts at all.
+        let h = History::parse("r1[x] r2[y] w1[x] w2[y] c1 c2").unwrap();
+        assert!(conflict_serializable(&h).is_serializable());
+    }
+
+    #[test]
+    fn aborted_transactions_do_not_affect_serializability() {
+        // T2 aborts, so its conflicting ops are ignored.
+        let h = History::parse("r1[x] w2[x] r2[y] w1[y] a2 c1").unwrap();
+        assert!(conflict_serializable(&h).is_serializable());
+    }
+
+    #[test]
+    fn view_equivalence_of_identical_histories() {
+        let h = History::parse("w1[x] c1 r2[x] c2").unwrap();
+        assert!(view_equivalent(&h, &h));
+    }
+
+    #[test]
+    fn view_equivalence_detects_different_reads_from() {
+        let a = History::parse("w1[x] c1 r2[x] c2").unwrap();
+        let b = History::parse("r2[x] w1[x] c1 c2").unwrap();
+        assert!(!view_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn view_equivalence_detects_different_final_writes() {
+        let a = History::parse("w1[x] w2[x] c1 c2").unwrap();
+        let b = History::parse("w2[x] w1[x] c1 c2").unwrap();
+        assert!(!view_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn view_equivalence_requires_same_committed_set() {
+        let a = History::parse("w1[x] c1").unwrap();
+        let b = History::parse("w1[x] a1").unwrap();
+        assert!(!view_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn view_equivalence_tracks_predicate_observations() {
+        let a = History::parse("r1[P] w2[insert y to P] c2 c1").unwrap();
+        let b = History::parse("w2[insert y to P] c2 r1[P] c1").unwrap();
+        assert!(!view_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn paper_h1si_sv_mapping_is_serializable() {
+        // H1.SI.SV from Section 4.2.
+        let h = History::parse("r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1")
+            .unwrap();
+        let report = conflict_serializable(&h);
+        assert!(report.is_serializable());
+        assert_eq!(report.serial_order.unwrap(), vec![TxnId(2), TxnId(1)]);
+    }
+
+    #[test]
+    fn reads_from_counts_multiple_reads_of_same_item() {
+        // T1 reads x twice: once initial, once after T2's committed write.
+        let a = History::parse("r1[x] w2[x] c2 r1[x] c1").unwrap();
+        let b = History::parse("r1[x] r1[x] w2[x] c2 c1").unwrap();
+        assert!(!view_equivalent(&a, &b));
+    }
+}

@@ -1,0 +1,177 @@
+//! Waits-for graph and deadlock detection.
+//!
+//! When a lock request cannot be granted, the requesting transaction waits
+//! for the current holders.  A cycle in the waits-for graph is a deadlock;
+//! the manager picks a victim (the youngest transaction in the cycle, i.e.
+//! the one with the largest token) and rejects its request so its scheduler
+//! can abort it.
+
+use critique_storage::TxnToken;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A waits-for graph between transactions.
+#[derive(Clone, Debug, Default)]
+pub struct WaitsForGraph {
+    edges: BTreeMap<TxnToken, BTreeSet<TxnToken>>,
+}
+
+impl WaitsForGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `waiter` waits for `holder`.
+    pub fn add_wait(&mut self, waiter: TxnToken, holder: TxnToken) {
+        if waiter != holder {
+            self.edges.entry(waiter).or_default().insert(holder);
+        }
+    }
+
+    /// Replace the full set of transactions `waiter` is waiting for.
+    pub fn set_waits(&mut self, waiter: TxnToken, holders: impl IntoIterator<Item = TxnToken>) {
+        let set: BTreeSet<TxnToken> = holders.into_iter().filter(|h| *h != waiter).collect();
+        if set.is_empty() {
+            self.edges.remove(&waiter);
+        } else {
+            self.edges.insert(waiter, set);
+        }
+    }
+
+    /// Remove `waiter`'s outgoing edges (it is no longer waiting).
+    pub fn clear_waits(&mut self, waiter: TxnToken) {
+        self.edges.remove(&waiter);
+    }
+
+    /// Remove a transaction entirely (it committed or aborted).
+    pub fn remove(&mut self, txn: TxnToken) {
+        self.edges.remove(&txn);
+        for holders in self.edges.values_mut() {
+            holders.remove(&txn);
+        }
+        self.edges.retain(|_, holders| !holders.is_empty());
+    }
+
+    /// The transactions `waiter` currently waits for.
+    pub fn waits_of(&self, waiter: TxnToken) -> Vec<TxnToken> {
+        self.edges
+            .get(&waiter)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Find a cycle containing `start`, if one exists, as a list of
+    /// transactions `start → … → start`.
+    pub fn find_cycle_from(&self, start: TxnToken) -> Option<Vec<TxnToken>> {
+        let mut path = vec![start];
+        let mut on_path: BTreeSet<TxnToken> = [start].into();
+        self.dfs(start, start, &mut path, &mut on_path)
+    }
+
+    fn dfs(
+        &self,
+        current: TxnToken,
+        start: TxnToken,
+        path: &mut Vec<TxnToken>,
+        on_path: &mut BTreeSet<TxnToken>,
+    ) -> Option<Vec<TxnToken>> {
+        if let Some(nexts) = self.edges.get(&current) {
+            for &next in nexts {
+                if next == start {
+                    let mut cycle = path.clone();
+                    cycle.push(start);
+                    return Some(cycle);
+                }
+                if on_path.insert(next) {
+                    path.push(next);
+                    if let Some(cycle) = self.dfs(next, start, path, on_path) {
+                        return Some(cycle);
+                    }
+                    path.pop();
+                    on_path.remove(&next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Find any deadlock cycle in the graph.
+    pub fn find_any_cycle(&self) -> Option<Vec<TxnToken>> {
+        self.edges
+            .keys()
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .find_map(|t| self.find_cycle_from(t))
+    }
+
+    /// Choose the deadlock victim for a cycle: the youngest transaction
+    /// (largest token), a simple deterministic policy.
+    pub fn choose_victim(cycle: &[TxnToken]) -> Option<TxnToken> {
+        cycle.iter().copied().max()
+    }
+
+    /// Number of waiting transactions.
+    pub fn waiter_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cycle_in_a_chain() {
+        let mut g = WaitsForGraph::new();
+        g.add_wait(TxnToken(1), TxnToken(2));
+        g.add_wait(TxnToken(2), TxnToken(3));
+        assert!(g.find_any_cycle().is_none());
+        assert!(g.find_cycle_from(TxnToken(1)).is_none());
+        assert_eq!(g.waits_of(TxnToken(1)), vec![TxnToken(2)]);
+    }
+
+    #[test]
+    fn two_party_deadlock_detected() {
+        let mut g = WaitsForGraph::new();
+        g.add_wait(TxnToken(1), TxnToken(2));
+        g.add_wait(TxnToken(2), TxnToken(1));
+        let cycle = g.find_cycle_from(TxnToken(1)).unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.contains(&TxnToken(2)));
+        assert_eq!(WaitsForGraph::choose_victim(&cycle), Some(TxnToken(2)));
+    }
+
+    #[test]
+    fn three_party_deadlock_detected() {
+        let mut g = WaitsForGraph::new();
+        g.add_wait(TxnToken(1), TxnToken(2));
+        g.add_wait(TxnToken(2), TxnToken(3));
+        g.add_wait(TxnToken(3), TxnToken(1));
+        assert!(g.find_any_cycle().is_some());
+        // Removing one participant breaks the cycle.
+        g.remove(TxnToken(3));
+        assert!(g.find_any_cycle().is_none());
+    }
+
+    #[test]
+    fn self_waits_are_ignored() {
+        let mut g = WaitsForGraph::new();
+        g.add_wait(TxnToken(1), TxnToken(1));
+        assert!(g.find_any_cycle().is_none());
+        assert_eq!(g.waiter_count(), 0);
+    }
+
+    #[test]
+    fn set_and_clear_waits() {
+        let mut g = WaitsForGraph::new();
+        g.set_waits(TxnToken(1), [TxnToken(2), TxnToken(3)]);
+        assert_eq!(g.waits_of(TxnToken(1)).len(), 2);
+        g.set_waits(TxnToken(1), [TxnToken(2)]);
+        assert_eq!(g.waits_of(TxnToken(1)), vec![TxnToken(2)]);
+        g.clear_waits(TxnToken(1));
+        assert_eq!(g.waiter_count(), 0);
+        g.set_waits(TxnToken(1), []);
+        assert_eq!(g.waiter_count(), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # critique-lock
+//!
+//! The lock manager behind the locking isolation levels of Table 2.
+//!
+//! Transactions request **Shared** (read) and **Exclusive** (write) locks on
+//! *data items* or on *predicates* (Section 2.3).  Two locks by different
+//! transactions conflict if they cover a common (possibly phantom) data item
+//! and at least one of them is exclusive.  The lock manager supports:
+//!
+//! * item locks and predicate locks, with item-vs-predicate conflicts
+//!   decided against the row images supplied by the caller;
+//! * short, cursor, and long durations (the engine releases short locks
+//!   after each action, cursor locks when the cursor moves, long locks at
+//!   commit/abort — exactly the knobs Table 2 varies);
+//! * non-blocking [`LockManager::try_acquire`] for the deterministic
+//!   interleaving driver, and blocking [`LockManager::acquire`] with
+//!   waits-for deadlock detection for the threaded benchmarks.
+//!
+//! ```
+//! use critique_lock::prelude::*;
+//! use critique_storage::prelude::*;
+//!
+//! let locks = LockManager::new();
+//! let t1 = TxnToken(1);
+//! let t2 = TxnToken(2);
+//! let x = LockTarget::item("accounts", RowId(0));
+//!
+//! assert!(locks.try_acquire(t1, x.clone(), LockMode::Exclusive, &[], LockDuration::Long).is_granted());
+//! // A conflicting request by another transaction must wait.
+//! assert!(!locks.try_acquire(t2, x.clone(), LockMode::Shared, &[], LockDuration::Long).is_granted());
+//! locks.release_all(t1);
+//! assert!(locks.try_acquire(t2, x, LockMode::Shared, &[], LockDuration::Long).is_granted());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod deadlock;
+pub mod manager;
+pub mod mode;
+pub mod target;
+
+pub use crate::deadlock::WaitsForGraph;
+pub use crate::manager::{AcquireError, LockManager, LockOutcome};
+pub use crate::mode::LockMode;
+pub use crate::target::LockTarget;
+pub use critique_core::locking::LockDuration;
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::deadlock::WaitsForGraph;
+    pub use crate::manager::{AcquireError, LockManager, LockOutcome};
+    pub use crate::mode::LockMode;
+    pub use crate::target::LockTarget;
+    pub use critique_core::locking::LockDuration;
+}

@@ -1,0 +1,518 @@
+//! The lock manager.
+
+use crate::deadlock::WaitsForGraph;
+use crate::mode::LockMode;
+use crate::target::LockTarget;
+use critique_core::locking::LockDuration;
+use critique_storage::{Row, TxnToken};
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::time::Duration;
+
+/// One granted lock.
+#[derive(Clone, Debug)]
+struct HeldLock {
+    holder: TxnToken,
+    target: LockTarget,
+    mode: LockMode,
+    duration: LockDuration,
+    /// Row images associated with an item lock (the values read, or the
+    /// before/after images of a write) — used to evaluate conflicts against
+    /// predicate locks.
+    images: Vec<Row>,
+}
+
+/// Result of a non-blocking acquisition attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock was granted (or was already held).
+    Granted,
+    /// The request conflicts with locks held by these transactions.
+    WouldBlock {
+        /// Current holders of conflicting locks.
+        holders: Vec<TxnToken>,
+    },
+}
+
+impl LockOutcome {
+    /// True if the lock was granted.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, LockOutcome::Granted)
+    }
+
+    /// The conflicting holders, if the request would block.
+    pub fn blockers(&self) -> &[TxnToken] {
+        match self {
+            LockOutcome::Granted => &[],
+            LockOutcome::WouldBlock { holders } => holders,
+        }
+    }
+}
+
+/// Errors from a blocking acquisition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AcquireError {
+    /// The requester was chosen as the victim of a deadlock cycle and must
+    /// abort.
+    Deadlock {
+        /// The cycle that was detected.
+        cycle: Vec<TxnToken>,
+    },
+    /// The lock could not be acquired within the timeout.
+    Timeout,
+}
+
+impl fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcquireError::Deadlock { cycle } => {
+                write!(f, "deadlock victim; cycle of {} transactions", cycle.len().saturating_sub(1))
+            }
+            AcquireError::Timeout => write!(f, "lock wait timeout"),
+        }
+    }
+}
+
+impl std::error::Error for AcquireError {}
+
+#[derive(Default)]
+struct Inner {
+    held: Vec<HeldLock>,
+    waits: WaitsForGraph,
+}
+
+/// The lock manager: a table of granted locks plus a waits-for graph.
+#[derive(Default)]
+pub struct LockManager {
+    inner: Mutex<Inner>,
+    released: Condvar,
+}
+
+impl LockManager {
+    /// An empty lock manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn conflicting_holders(
+        inner: &Inner,
+        txn: TxnToken,
+        target: &LockTarget,
+        mode: LockMode,
+        images: &[Row],
+    ) -> Vec<TxnToken> {
+        let mut holders: Vec<TxnToken> = inner
+            .held
+            .iter()
+            .filter(|lock| lock.holder != txn)
+            .filter(|lock| lock.mode.conflicts_with(mode))
+            .filter(|lock| lock.target.overlaps(&lock.images, target, images))
+            .map(|lock| lock.holder)
+            .collect();
+        holders.sort();
+        holders.dedup();
+        holders
+    }
+
+    fn grant(inner: &mut Inner, txn: TxnToken, target: LockTarget, mode: LockMode, duration: LockDuration, images: &[Row]) {
+        if let Some(existing) = inner
+            .held
+            .iter_mut()
+            .find(|lock| lock.holder == txn && lock.target == target)
+        {
+            existing.mode = existing.mode.max(mode);
+            existing.duration = existing.duration.max(duration);
+            existing.images.extend_from_slice(images);
+        } else {
+            inner.held.push(HeldLock {
+                holder: txn,
+                target,
+                mode,
+                duration,
+                images: images.to_vec(),
+            });
+        }
+    }
+
+    /// Attempt to acquire a lock without blocking.
+    pub fn try_acquire(
+        &self,
+        txn: TxnToken,
+        target: LockTarget,
+        mode: LockMode,
+        images: &[Row],
+        duration: LockDuration,
+    ) -> LockOutcome {
+        let mut inner = self.inner.lock();
+        let holders = Self::conflicting_holders(&inner, txn, &target, mode, images);
+        if holders.is_empty() {
+            Self::grant(&mut inner, txn, target, mode, duration, images);
+            LockOutcome::Granted
+        } else {
+            LockOutcome::WouldBlock { holders }
+        }
+    }
+
+    /// Acquire a lock, blocking until it is granted, the requester becomes
+    /// a deadlock victim, or `timeout` expires.
+    pub fn acquire(
+        &self,
+        txn: TxnToken,
+        target: LockTarget,
+        mode: LockMode,
+        images: &[Row],
+        duration: LockDuration,
+        timeout: Duration,
+    ) -> Result<(), AcquireError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            let holders = Self::conflicting_holders(&inner, txn, &target, mode, images);
+            if holders.is_empty() {
+                Self::grant(&mut inner, txn, target, mode, duration, images);
+                inner.waits.clear_waits(txn);
+                return Ok(());
+            }
+            inner.waits.set_waits(txn, holders);
+            if let Some(cycle) = inner.waits.find_cycle_from(txn) {
+                if WaitsForGraph::choose_victim(&cycle) == Some(txn) {
+                    inner.waits.clear_waits(txn);
+                    return Err(AcquireError::Deadlock { cycle });
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                inner.waits.clear_waits(txn);
+                return Err(AcquireError::Timeout);
+            }
+            // Re-check periodically so deadlocks formed after we went to
+            // sleep are still detected.
+            let wait = (deadline - now).min(Duration::from_millis(10));
+            self.released.wait_for(&mut inner, wait);
+        }
+    }
+
+    /// Release every lock held by `txn` (commit or abort) and wake waiters.
+    pub fn release_all(&self, txn: TxnToken) {
+        let mut inner = self.inner.lock();
+        inner.held.retain(|lock| lock.holder != txn);
+        inner.waits.remove(txn);
+        drop(inner);
+        self.released.notify_all();
+    }
+
+    /// Release `txn`'s short-duration locks (called after each action at
+    /// the levels whose profile uses short read locks).
+    pub fn release_short(&self, txn: TxnToken) {
+        let mut inner = self.inner.lock();
+        inner
+            .held
+            .retain(|lock| !(lock.holder == txn && lock.duration == LockDuration::Short));
+        drop(inner);
+        self.released.notify_all();
+    }
+
+    /// Release `txn`'s cursor-duration locks (the cursor moved or closed).
+    /// A lock on `keep` (the new cursor position) is retained.
+    pub fn release_cursor(&self, txn: TxnToken, keep: Option<&LockTarget>) {
+        let mut inner = self.inner.lock();
+        inner.held.retain(|lock| {
+            !(lock.holder == txn
+                && lock.duration == LockDuration::Cursor
+                && Some(&lock.target) != keep)
+        });
+        drop(inner);
+        self.released.notify_all();
+    }
+
+    /// Release `txn`'s lock on `target` only if it is a cursor-duration
+    /// lock (used when a cursor moves off a row: a lock that was meanwhile
+    /// upgraded to long duration by an update must survive).
+    pub fn release_cursor_target(&self, txn: TxnToken, target: &LockTarget) {
+        let mut inner = self.inner.lock();
+        inner.held.retain(|lock| {
+            !(lock.holder == txn
+                && &lock.target == target
+                && lock.duration == LockDuration::Cursor)
+        });
+        drop(inner);
+        self.released.notify_all();
+    }
+
+    /// Release one specific lock held by `txn`.
+    pub fn release_target(&self, txn: TxnToken, target: &LockTarget) {
+        let mut inner = self.inner.lock();
+        inner
+            .held
+            .retain(|lock| !(lock.holder == txn && &lock.target == target));
+        drop(inner);
+        self.released.notify_all();
+    }
+
+    /// The transactions currently holding locks that would conflict with
+    /// the given request.
+    pub fn conflicts_with(
+        &self,
+        txn: TxnToken,
+        target: &LockTarget,
+        mode: LockMode,
+        images: &[Row],
+    ) -> Vec<TxnToken> {
+        let inner = self.inner.lock();
+        Self::conflicting_holders(&inner, txn, target, mode, images)
+    }
+
+    /// Number of locks currently held by `txn`.
+    pub fn held_by(&self, txn: TxnToken) -> usize {
+        self.inner
+            .lock()
+            .held
+            .iter()
+            .filter(|l| l.holder == txn)
+            .count()
+    }
+
+    /// Total number of granted locks.
+    pub fn total_held(&self) -> usize {
+        self.inner.lock().held.len()
+    }
+
+    /// True if `txn` holds a lock on `target` with at least the given mode.
+    pub fn holds(&self, txn: TxnToken, target: &LockTarget, mode: LockMode) -> bool {
+        self.inner
+            .lock()
+            .held
+            .iter()
+            .any(|l| l.holder == txn && &l.target == target && l.mode.covers(mode))
+    }
+}
+
+impl fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("LockManager")
+            .field("held", &inner.held.len())
+            .field("waiters", &inner.waits.waiter_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critique_storage::{Condition, RowId, RowPredicate};
+    use std::sync::Arc;
+
+    fn item(row: u64) -> LockTarget {
+        LockTarget::item("t", RowId(row))
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let lm = LockManager::new();
+        assert!(lm
+            .try_acquire(TxnToken(1), item(0), LockMode::Shared, &[], LockDuration::Long)
+            .is_granted());
+        assert!(lm
+            .try_acquire(TxnToken(2), item(0), LockMode::Shared, &[], LockDuration::Long)
+            .is_granted());
+        assert_eq!(lm.total_held(), 2);
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_everything() {
+        let lm = LockManager::new();
+        assert!(lm
+            .try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long)
+            .is_granted());
+        let read = lm.try_acquire(TxnToken(2), item(0), LockMode::Shared, &[], LockDuration::Long);
+        assert_eq!(read.blockers(), &[TxnToken(1)]);
+        let write =
+            lm.try_acquire(TxnToken(2), item(0), LockMode::Exclusive, &[], LockDuration::Long);
+        assert!(!write.is_granted());
+        // Different item is fine.
+        assert!(lm
+            .try_acquire(TxnToken(2), item(1), LockMode::Exclusive, &[], LockDuration::Long)
+            .is_granted());
+    }
+
+    #[test]
+    fn reacquisition_and_upgrade_by_the_same_transaction() {
+        let lm = LockManager::new();
+        assert!(lm
+            .try_acquire(TxnToken(1), item(0), LockMode::Shared, &[], LockDuration::Short)
+            .is_granted());
+        assert!(lm
+            .try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long)
+            .is_granted());
+        assert_eq!(lm.held_by(TxnToken(1)), 1);
+        assert!(lm.holds(TxnToken(1), &item(0), LockMode::Exclusive));
+        // The upgraded lock now has long duration: release_short keeps it.
+        lm.release_short(TxnToken(1));
+        assert_eq!(lm.held_by(TxnToken(1)), 1);
+    }
+
+    #[test]
+    fn upgrade_blocks_when_another_reader_holds_the_item() {
+        let lm = LockManager::new();
+        assert!(lm
+            .try_acquire(TxnToken(1), item(0), LockMode::Shared, &[], LockDuration::Long)
+            .is_granted());
+        assert!(lm
+            .try_acquire(TxnToken(2), item(0), LockMode::Shared, &[], LockDuration::Long)
+            .is_granted());
+        let upgrade =
+            lm.try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long);
+        assert_eq!(upgrade.blockers(), &[TxnToken(2)]);
+    }
+
+    #[test]
+    fn release_all_unblocks_waiters() {
+        let lm = LockManager::new();
+        assert!(lm
+            .try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long)
+            .is_granted());
+        lm.release_all(TxnToken(1));
+        assert_eq!(lm.total_held(), 0);
+        assert!(lm
+            .try_acquire(TxnToken(2), item(0), LockMode::Exclusive, &[], LockDuration::Long)
+            .is_granted());
+    }
+
+    #[test]
+    fn duration_specific_release() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnToken(1), item(0), LockMode::Shared, &[], LockDuration::Short);
+        lm.try_acquire(TxnToken(1), item(1), LockMode::Shared, &[], LockDuration::Cursor);
+        lm.try_acquire(TxnToken(1), item(2), LockMode::Exclusive, &[], LockDuration::Long);
+        assert_eq!(lm.held_by(TxnToken(1)), 3);
+        lm.release_short(TxnToken(1));
+        assert_eq!(lm.held_by(TxnToken(1)), 2);
+        lm.release_cursor(TxnToken(1), None);
+        assert_eq!(lm.held_by(TxnToken(1)), 1);
+        lm.release_target(TxnToken(1), &item(2));
+        assert_eq!(lm.held_by(TxnToken(1)), 0);
+    }
+
+    #[test]
+    fn cursor_release_keeps_the_new_position() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnToken(1), item(0), LockMode::Shared, &[], LockDuration::Cursor);
+        lm.try_acquire(TxnToken(1), item(1), LockMode::Shared, &[], LockDuration::Cursor);
+        lm.release_cursor(TxnToken(1), Some(&item(1)));
+        assert!(!lm.holds(TxnToken(1), &item(0), LockMode::Shared));
+        assert!(lm.holds(TxnToken(1), &item(1), LockMode::Shared));
+    }
+
+    #[test]
+    fn predicate_lock_blocks_matching_item_writes() {
+        let lm = LockManager::new();
+        let active = RowPredicate::new("employees", Condition::eq("active", true));
+        assert!(lm
+            .try_acquire(
+                TxnToken(1),
+                LockTarget::predicate(active),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long
+            )
+            .is_granted());
+
+        // Inserting an active employee conflicts…
+        let new_active = Row::new().with("active", true);
+        let blocked = lm.try_acquire(
+            TxnToken(2),
+            LockTarget::item("employees", RowId(5)),
+            LockMode::Exclusive,
+            std::slice::from_ref(&new_active),
+            LockDuration::Long,
+        );
+        assert_eq!(blocked.blockers(), &[TxnToken(1)]);
+
+        // …but an inactive one does not.
+        let inactive = Row::new().with("active", false);
+        assert!(lm
+            .try_acquire(
+                TxnToken(2),
+                LockTarget::item("employees", RowId(6)),
+                LockMode::Exclusive,
+                std::slice::from_ref(&inactive),
+                LockDuration::Long,
+            )
+            .is_granted());
+    }
+
+    #[test]
+    fn blocking_acquire_times_out() {
+        let lm = LockManager::new();
+        lm.try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long);
+        let err = lm
+            .acquire(
+                TxnToken(2),
+                item(0),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long,
+                Duration::from_millis(30),
+            )
+            .unwrap_err();
+        assert_eq!(err, AcquireError::Timeout);
+    }
+
+    #[test]
+    fn blocking_acquire_succeeds_when_holder_releases() {
+        let lm = Arc::new(LockManager::new());
+        lm.try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long);
+
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            lm2.acquire(
+                TxnToken(2),
+                item(0),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long,
+                Duration::from_secs(5),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        lm.release_all(TxnToken(1));
+        assert_eq!(waiter.join().unwrap(), Ok(()));
+        assert!(lm.holds(TxnToken(2), &item(0), LockMode::Shared));
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_the_victim_is_the_youngest() {
+        let lm = Arc::new(LockManager::new());
+        // T1 holds x, T2 holds y.
+        lm.try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long);
+        lm.try_acquire(TxnToken(2), item(1), LockMode::Exclusive, &[], LockDuration::Long);
+
+        // T1 waits for y on another thread; T2 then requests x → deadlock.
+        let lm1 = Arc::clone(&lm);
+        let t1 = std::thread::spawn(move || {
+            lm1.acquire(
+                TxnToken(1),
+                item(1),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long,
+                Duration::from_secs(5),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let result = lm.acquire(
+            TxnToken(2),
+            item(0),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+            Duration::from_secs(5),
+        );
+        // T2 (youngest) is the victim.
+        assert!(matches!(result, Err(AcquireError::Deadlock { .. })));
+        // After the victim aborts (releases its locks), T1 proceeds.
+        lm.release_all(TxnToken(2));
+        assert_eq!(t1.join().unwrap(), Ok(()));
+    }
+}

@@ -1,0 +1,66 @@
+//! Lock modes and their compatibility.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lock modes: Read (Share) and Write (Exclusive), Section 2.3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Read lock — compatible with other read locks.
+    Shared,
+    /// Write lock — conflicts with every other lock.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Two locks by *different* transactions on the same target conflict if
+    /// at least one of them is a write lock.
+    pub fn conflicts_with(&self, other: LockMode) -> bool {
+        matches!(
+            (self, other),
+            (LockMode::Exclusive, _) | (_, LockMode::Exclusive)
+        )
+    }
+
+    /// True if holding `self` is sufficient for a new request of `wanted`
+    /// by the same transaction (Exclusive covers Shared).
+    pub fn covers(&self, wanted: LockMode) -> bool {
+        *self >= wanted
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Shared => write!(f, "S"),
+            LockMode::Exclusive => write!(f, "X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        assert!(!LockMode::Shared.conflicts_with(LockMode::Shared));
+        assert!(LockMode::Shared.conflicts_with(LockMode::Exclusive));
+        assert!(LockMode::Exclusive.conflicts_with(LockMode::Shared));
+        assert!(LockMode::Exclusive.conflicts_with(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn coverage() {
+        assert!(LockMode::Exclusive.covers(LockMode::Shared));
+        assert!(LockMode::Exclusive.covers(LockMode::Exclusive));
+        assert!(LockMode::Shared.covers(LockMode::Shared));
+        assert!(!LockMode::Shared.covers(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(LockMode::Shared.to_string(), "S");
+        assert_eq!(LockMode::Exclusive.to_string(), "X");
+    }
+}

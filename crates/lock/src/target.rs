@@ -1,0 +1,169 @@
+//! Lock targets: data items and predicates.
+
+use critique_storage::{Row, RowId, RowPredicate};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a lock covers: a single data item (record lock) or a predicate —
+/// "effectively a lock on all data items satisfying the `<search
+/// condition>`", including phantom items not currently in the database
+/// (Section 2.3).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LockTarget {
+    /// A single row of a table.
+    Item {
+        /// Table name.
+        table: String,
+        /// Row id within the table.
+        row: RowId,
+    },
+    /// A predicate over a table.
+    Predicate(RowPredicate),
+}
+
+impl LockTarget {
+    /// An item target.
+    pub fn item(table: &str, row: RowId) -> Self {
+        LockTarget::Item {
+            table: table.to_string(),
+            row,
+        }
+    }
+
+    /// A predicate target.
+    pub fn predicate(predicate: RowPredicate) -> Self {
+        LockTarget::Predicate(predicate)
+    }
+
+    /// The table this target ranges over.
+    pub fn table(&self) -> &str {
+        match self {
+            LockTarget::Item { table, .. } => table,
+            LockTarget::Predicate(p) => &p.table,
+        }
+    }
+
+    /// True if this target is the exact same item as `other` (two item
+    /// targets on the same table/row).
+    pub fn same_item(&self, other: &LockTarget) -> bool {
+        matches!(
+            (self, other),
+            (
+                LockTarget::Item { table: ta, row: ra },
+                LockTarget::Item { table: tb, row: rb }
+            ) if ta == tb && ra == rb
+        )
+    }
+
+    /// Decide whether two lock targets *cover a common data item*, which is
+    /// the scope half of the conflict test (the mode half is
+    /// [`crate::mode::LockMode::conflicts_with`]).
+    ///
+    /// * item vs item: same table and row;
+    /// * predicate vs predicate: conservative — same table (a precise
+    ///   satisfiability test would only reduce conflicts, never add any);
+    /// * item vs predicate: decided against the row images supplied by the
+    ///   caller for the item (before/after images of the write, or the
+    ///   value read).  If no images are supplied the test is conservative
+    ///   and any same-table pair overlaps.
+    pub fn overlaps(&self, self_images: &[Row], other: &LockTarget, other_images: &[Row]) -> bool {
+        match (self, other) {
+            (LockTarget::Item { .. }, LockTarget::Item { .. }) => self.same_item(other),
+            (LockTarget::Predicate(a), LockTarget::Predicate(b)) => a.may_overlap(b),
+            (LockTarget::Predicate(p), LockTarget::Item { table, .. }) => {
+                Self::predicate_item_overlap(p, table, other_images)
+            }
+            (LockTarget::Item { table, .. }, LockTarget::Predicate(p)) => {
+                Self::predicate_item_overlap(p, table, self_images)
+            }
+        }
+    }
+
+    fn predicate_item_overlap(predicate: &RowPredicate, table: &str, images: &[Row]) -> bool {
+        if predicate.table != table {
+            return false;
+        }
+        if images.is_empty() {
+            // Conservative: unknown contents might satisfy the predicate.
+            return true;
+        }
+        images.iter().any(|row| predicate.matches(table, row))
+    }
+}
+
+impl fmt::Display for LockTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockTarget::Item { table, row } => write!(f, "{table}{row}"),
+            LockTarget::Predicate(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critique_storage::Condition;
+
+    fn active_predicate() -> RowPredicate {
+        RowPredicate::new("employees", Condition::eq("active", true))
+    }
+
+    #[test]
+    fn item_vs_item_overlap_requires_same_row() {
+        let a = LockTarget::item("t", RowId(1));
+        let b = LockTarget::item("t", RowId(1));
+        let c = LockTarget::item("t", RowId(2));
+        let d = LockTarget::item("u", RowId(1));
+        assert!(a.overlaps(&[], &b, &[]));
+        assert!(!a.overlaps(&[], &c, &[]));
+        assert!(!a.overlaps(&[], &d, &[]));
+        assert!(a.same_item(&b));
+        assert!(!a.same_item(&c));
+    }
+
+    #[test]
+    fn predicate_vs_predicate_overlap_is_per_table() {
+        let a = LockTarget::predicate(active_predicate());
+        let b = LockTarget::predicate(RowPredicate::whole_table("employees"));
+        let c = LockTarget::predicate(RowPredicate::whole_table("accounts"));
+        assert!(a.overlaps(&[], &b, &[]));
+        assert!(!a.overlaps(&[], &c, &[]));
+    }
+
+    #[test]
+    fn predicate_vs_item_uses_row_images() {
+        let p = LockTarget::predicate(active_predicate());
+        let item = LockTarget::item("employees", RowId(3));
+        let matching = Row::new().with("active", true);
+        let non_matching = Row::new().with("active", false);
+
+        assert!(p.overlaps(&[], &item, std::slice::from_ref(&matching)));
+        assert!(!p.overlaps(&[], &item, std::slice::from_ref(&non_matching)));
+        // Either image matching is enough (e.g. an update moving a row out
+        // of the predicate still conflicts).
+        assert!(p.overlaps(&[], &item, &[non_matching.clone(), matching.clone()]));
+        // Unknown images are treated conservatively.
+        assert!(p.overlaps(&[], &item, &[]));
+        // Symmetric case: item lock held, predicate requested.
+        assert!(item.overlaps(&[matching], &p, &[]));
+        assert!(!item.overlaps(&[non_matching], &p, &[]));
+    }
+
+    #[test]
+    fn predicate_vs_item_on_other_table_never_overlaps() {
+        let p = LockTarget::predicate(active_predicate());
+        let item = LockTarget::item("accounts", RowId(0));
+        assert!(!p.overlaps(&[], &item, &[]));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let p = LockTarget::predicate(active_predicate());
+        assert_eq!(p.table(), "employees");
+        let i = LockTarget::item("accounts", RowId(7));
+        assert_eq!(i.table(), "accounts");
+        assert_eq!(i.to_string(), "accounts#7");
+        assert!(p.to_string().contains("employees["));
+    }
+}

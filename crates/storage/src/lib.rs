@@ -1,0 +1,72 @@
+//! # critique-storage
+//!
+//! A small multi-version row store: the storage substrate underneath every
+//! scheduler in the workspace.
+//!
+//! The paper's isolation levels place requirements on *when a transaction
+//! may observe which version of a data item*:
+//!
+//! * the locking levels of Table 2 operate on the latest version, relying
+//!   on locks to prevent conflicting access — but they still need
+//!   **before images** so that a rollback can undo updates (the paper's
+//!   P0/recovery argument in Section 3);
+//! * Snapshot Isolation (Section 4.2) needs **version chains** with commit
+//!   timestamps so a transaction can read the committed state as of its
+//!   start timestamp, and needs to know which items were written by
+//!   transactions that committed during its execution interval
+//!   (First-Committer-Wins);
+//! * Oracle Read Consistency (Section 4.3) needs the same chains, queried
+//!   at statement granularity.
+//!
+//! The store is deliberately simple — an in-memory map of tables → rows →
+//! version chains — but implements exactly those visibility rules, plus
+//! predicate scans over row values so the phantom scenarios can be executed
+//! rather than merely narrated.
+//!
+//! ```
+//! use critique_storage::prelude::*;
+//!
+//! let store = MvStore::new();
+//! let ts = TimestampOracle::new();
+//!
+//! // Transaction 1 inserts a row and commits at timestamp 1.
+//! let t1 = TxnToken(1);
+//! let row = Row::new().with("balance", 50);
+//! let id = store.insert("accounts", t1, row);
+//! store.commit(t1, ts.next());
+//!
+//! // A later snapshot sees the committed row.
+//! let snap = store.snapshot(ts.current());
+//! assert_eq!(snap.get("accounts", id).unwrap().get_int("balance"), Some(50));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod predicate;
+pub mod row;
+pub mod snapshot;
+pub mod store;
+pub mod timestamp;
+pub mod value;
+pub mod version;
+
+pub use crate::predicate::{Comparison, Condition, RowPredicate};
+pub use crate::row::{Row, RowId};
+pub use crate::snapshot::Snapshot;
+pub use crate::store::{MvStore, StorageError, TableName, WriteKind};
+pub use crate::timestamp::{Timestamp, TimestampOracle, TxnToken};
+pub use crate::value::ColumnValue;
+pub use crate::version::{Version, VersionChain};
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::predicate::{Comparison, Condition, RowPredicate};
+    pub use crate::row::{Row, RowId};
+    pub use crate::snapshot::Snapshot;
+    pub use crate::store::{MvStore, StorageError, TableName, WriteKind};
+    pub use crate::timestamp::{Timestamp, TimestampOracle, TxnToken};
+    pub use crate::value::ColumnValue;
+    pub use crate::version::{Version, VersionChain};
+}

@@ -1,0 +1,271 @@
+//! Predicates over rows: the `<search condition>`s of the paper.
+//!
+//! A [`RowPredicate`] names a table and a condition tree over column
+//! values.  It covers both rows currently in the table and "phantom" rows
+//! that would satisfy the condition if inserted — the engine uses
+//! [`RowPredicate::matches`] to decide whether a write falls inside a
+//! predicate a concurrent transaction has read, which is what drives both
+//! predicate locking (Table 2) and phantom detection (P3/A3).
+
+use crate::row::Row;
+use crate::value::ColumnValue;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators usable in a condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Comparison {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Comparison {
+    fn evaluate(&self, ordering: Option<Ordering>, different_types: bool) -> bool {
+        match (self, ordering) {
+            (Comparison::Eq, Some(Ordering::Equal)) => true,
+            (Comparison::Ne, Some(o)) => o != Ordering::Equal,
+            (Comparison::Ne, None) => different_types, // incomparable values are not equal
+            (Comparison::Lt, Some(Ordering::Less)) => true,
+            (Comparison::Le, Some(Ordering::Less | Ordering::Equal)) => true,
+            (Comparison::Gt, Some(Ordering::Greater)) => true,
+            (Comparison::Ge, Some(Ordering::Greater | Ordering::Equal)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Comparison::Eq => "=",
+            Comparison::Ne => "<>",
+            Comparison::Lt => "<",
+            Comparison::Le => "<=",
+            Comparison::Gt => ">",
+            Comparison::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean condition over a row.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Condition {
+    /// Always true — the whole-table predicate.
+    True,
+    /// Compare a column against a constant.  Rows lacking the column, or
+    /// with an incomparable type, do not satisfy the comparison (SQL
+    /// three-valued logic collapsed to false).
+    Compare {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: Comparison,
+        /// Constant to compare against.
+        value: ColumnValue,
+    },
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+    /// Negation.
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    /// `column op value`.
+    pub fn compare(column: &str, op: Comparison, value: impl Into<ColumnValue>) -> Condition {
+        Condition::Compare {
+            column: column.to_string(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// `column = value`.
+    pub fn eq(column: &str, value: impl Into<ColumnValue>) -> Condition {
+        Condition::compare(column, Comparison::Eq, value)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Condition) -> Condition {
+        Condition::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Condition) -> Condition {
+        Condition::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    pub fn negate(self) -> Condition {
+        Condition::Not(Box::new(self))
+    }
+
+    /// Evaluate against a row.
+    pub fn matches(&self, row: &Row) -> bool {
+        match self {
+            Condition::True => true,
+            Condition::Compare { column, op, value } => match row.get(column) {
+                Some(actual) => {
+                    let different_types =
+                        std::mem::discriminant(actual) != std::mem::discriminant(value);
+                    op.evaluate(actual.compare(value), different_types)
+                }
+                None => false,
+            },
+            Condition::And(a, b) => a.matches(row) && b.matches(row),
+            Condition::Or(a, b) => a.matches(row) || b.matches(row),
+            Condition::Not(inner) => !inner.matches(row),
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::True => write!(f, "TRUE"),
+            Condition::Compare { column, op, value } => write!(f, "{column} {op} {value}"),
+            Condition::And(a, b) => write!(f, "({a} AND {b})"),
+            Condition::Or(a, b) => write!(f, "({a} OR {b})"),
+            Condition::Not(inner) => write!(f, "NOT ({inner})"),
+        }
+    }
+}
+
+/// A named predicate over one table.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RowPredicate {
+    /// The table the `<search condition>` ranges over.
+    pub table: String,
+    /// The condition.
+    pub condition: Condition,
+}
+
+impl RowPredicate {
+    /// Create a predicate over `table` with the given condition.
+    pub fn new(table: &str, condition: Condition) -> Self {
+        RowPredicate {
+            table: table.to_string(),
+            condition,
+        }
+    }
+
+    /// The whole-table predicate.
+    pub fn whole_table(table: &str) -> Self {
+        RowPredicate::new(table, Condition::True)
+    }
+
+    /// True when a row of `table` satisfies the predicate.  Rows of other
+    /// tables never match.
+    pub fn matches(&self, table: &str, row: &Row) -> bool {
+        self.table == table && self.condition.matches(row)
+    }
+
+    /// A stable display name used when recording predicate reads in
+    /// histories (e.g. `"employees[active = true]"`).
+    pub fn name(&self) -> String {
+        format!("{}[{}]", self.table, self.condition)
+    }
+
+    /// Two predicates *may overlap* when they range over the same table.
+    /// This is the conservative test a predicate lock manager needs: a
+    /// precise satisfiability check is unnecessary for the paper's
+    /// scenarios, and conservatism only ever blocks more, never less, which
+    /// preserves correctness of the locking levels.
+    pub fn may_overlap(&self, other: &RowPredicate) -> bool {
+        self.table == other.table
+    }
+}
+
+impl fmt::Display for RowPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employee(active: bool, hours: i64) -> Row {
+        Row::new().with("active", active).with("hours", hours)
+    }
+
+    #[test]
+    fn comparisons_on_ints() {
+        let row = Row::new().with("x", 10);
+        assert!(Condition::compare("x", Comparison::Eq, 10).matches(&row));
+        assert!(Condition::compare("x", Comparison::Ne, 11).matches(&row));
+        assert!(Condition::compare("x", Comparison::Lt, 11).matches(&row));
+        assert!(Condition::compare("x", Comparison::Le, 10).matches(&row));
+        assert!(Condition::compare("x", Comparison::Gt, 9).matches(&row));
+        assert!(Condition::compare("x", Comparison::Ge, 10).matches(&row));
+        assert!(!Condition::compare("x", Comparison::Gt, 10).matches(&row));
+    }
+
+    #[test]
+    fn missing_columns_and_type_mismatches_do_not_match() {
+        let row = Row::new().with("x", 10);
+        assert!(!Condition::eq("y", 10).matches(&row));
+        assert!(!Condition::eq("x", "ten").matches(&row));
+        assert!(!Condition::compare("x", Comparison::Lt, "ten").matches(&row));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let row = employee(true, 5);
+        let active = Condition::eq("active", true);
+        let overworked = Condition::compare("hours", Comparison::Gt, 8);
+        assert!(active.clone().and(overworked.clone().negate()).matches(&row));
+        assert!(active.clone().or(overworked.clone()).matches(&row));
+        assert!(!active.negate().matches(&row));
+        assert!(Condition::True.matches(&row));
+    }
+
+    #[test]
+    fn row_predicate_scopes_to_table() {
+        let p = RowPredicate::new("employees", Condition::eq("active", true));
+        assert!(p.matches("employees", &employee(true, 3)));
+        assert!(!p.matches("employees", &employee(false, 3)));
+        assert!(!p.matches("contractors", &employee(true, 3)));
+        assert!(p.may_overlap(&RowPredicate::whole_table("employees")));
+        assert!(!p.may_overlap(&RowPredicate::whole_table("accounts")));
+    }
+
+    #[test]
+    fn names_are_stable_and_descriptive() {
+        let p = RowPredicate::new(
+            "tasks",
+            Condition::eq("project", "apollo").and(Condition::compare(
+                "hours",
+                Comparison::Le,
+                8,
+            )),
+        );
+        let name = p.name();
+        assert!(name.starts_with("tasks["));
+        assert!(name.contains("project = 'apollo'"));
+        assert!(name.contains("hours <= 8"));
+        assert_eq!(name, p.to_string());
+    }
+
+    #[test]
+    fn ne_on_incomparable_types_is_true() {
+        // x = 10 (Int); compare Ne against a Text constant: values are of
+        // different types, hence "not equal".
+        let row = Row::new().with("x", 10);
+        assert!(Condition::compare("x", Comparison::Ne, "ten").matches(&row));
+    }
+}

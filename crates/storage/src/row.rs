@@ -1,0 +1,144 @@
+//! Rows and row identifiers.
+
+use crate::value::ColumnValue;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a row within a table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A row: an ordered map of column name → value.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Row {
+    columns: BTreeMap<String, ColumnValue>,
+}
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style column assignment.
+    pub fn with(mut self, column: &str, value: impl Into<ColumnValue>) -> Self {
+        self.columns.insert(column.to_string(), value.into());
+        self
+    }
+
+    /// Set a column in place.
+    pub fn set(&mut self, column: &str, value: impl Into<ColumnValue>) {
+        self.columns.insert(column.to_string(), value.into());
+    }
+
+    /// Get a column value.
+    pub fn get(&self, column: &str) -> Option<&ColumnValue> {
+        self.columns.get(column)
+    }
+
+    /// Get an integer column.
+    pub fn get_int(&self, column: &str) -> Option<i64> {
+        self.get(column).and_then(ColumnValue::as_int)
+    }
+
+    /// Get a text column.
+    pub fn get_text(&self, column: &str) -> Option<&str> {
+        self.get(column).and_then(ColumnValue::as_text)
+    }
+
+    /// Get a boolean column.
+    pub fn get_bool(&self, column: &str) -> Option<bool> {
+        self.get(column).and_then(ColumnValue::as_bool)
+    }
+
+    /// Column names in order.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, &ColumnValue)> {
+        self.columns.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Merge another row's columns into this one (the other wins on
+    /// conflicts) — the semantics of an UPDATE statement's SET list.
+    pub fn updated_with(&self, changes: &Row) -> Row {
+        let mut merged = self.clone();
+        for (k, v) in &changes.columns {
+            merged.columns.insert(k.clone(), v.clone());
+        }
+        merged
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let row = Row::new()
+            .with("balance", 50)
+            .with("owner", "alice")
+            .with("active", true);
+        assert_eq!(row.get_int("balance"), Some(50));
+        assert_eq!(row.get_text("owner"), Some("alice"));
+        assert_eq!(row.get_bool("active"), Some(true));
+        assert_eq!(row.get("missing"), None);
+        assert_eq!(row.len(), 3);
+        assert!(!row.is_empty());
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut row = Row::new().with("x", 1);
+        row.set("x", 2);
+        assert_eq!(row.get_int("x"), Some(2));
+    }
+
+    #[test]
+    fn updated_with_merges() {
+        let base = Row::new().with("balance", 100).with("owner", "bob");
+        let changes = Row::new().with("balance", 70);
+        let merged = base.updated_with(&changes);
+        assert_eq!(merged.get_int("balance"), Some(70));
+        assert_eq!(merged.get_text("owner"), Some("bob"));
+        // Original unchanged.
+        assert_eq!(base.get_int("balance"), Some(100));
+    }
+
+    #[test]
+    fn display_lists_columns() {
+        let row = Row::new().with("a", 1).with("b", "x");
+        let text = row.to_string();
+        assert!(text.contains("a: 1"));
+        assert!(text.contains("b: 'x'"));
+        assert_eq!(RowId(7).to_string(), "#7");
+    }
+}

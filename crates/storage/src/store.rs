@@ -1,0 +1,559 @@
+//! The multi-version store: tables of row version chains.
+
+use crate::predicate::RowPredicate;
+use crate::row::{Row, RowId};
+use crate::timestamp::{Timestamp, TxnToken};
+use crate::version::VersionChain;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A table name.
+pub type TableName = String;
+
+/// The kind of write a transaction performed on a row — used by the engine
+/// to decide whether the write inserts into or mutates within a predicate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum WriteKind {
+    /// A new row was created.
+    Insert,
+    /// An existing row's contents were replaced.
+    Update,
+    /// The row was deleted (tombstone installed).
+    Delete,
+}
+
+/// Errors returned by the store.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StorageError {
+    /// The referenced table does not exist.
+    NoSuchTable(TableName),
+    /// The referenced row does not exist in the table.
+    NoSuchRow(TableName, RowId),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            StorageError::NoSuchRow(t, id) => write!(f, "no such row: {t}{id}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[derive(Default)]
+struct TableData {
+    next_row_id: u64,
+    rows: BTreeMap<RowId, VersionChain>,
+}
+
+#[derive(Default)]
+struct Inner {
+    tables: BTreeMap<TableName, TableData>,
+    /// Rows written by each in-flight transaction, in write order.
+    writes: BTreeMap<TxnToken, Vec<(TableName, RowId, WriteKind)>>,
+}
+
+/// An in-memory multi-version row store.
+///
+/// All methods take `&self`; the store is internally synchronised with a
+/// read-write lock, so it can be shared between threads (the threaded
+/// benchmark drivers rely on this).
+#[derive(Default)]
+pub struct MvStore {
+    inner: RwLock<Inner>,
+}
+
+impl MvStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table if it does not already exist.
+    pub fn create_table(&self, table: &str) {
+        let mut inner = self.inner.write();
+        inner.tables.entry(table.to_string()).or_default();
+    }
+
+    /// All table names.
+    pub fn tables(&self) -> Vec<TableName> {
+        self.inner.read().tables.keys().cloned().collect()
+    }
+
+    /// All row ids currently allocated in a table (whatever their
+    /// visibility).
+    pub fn row_ids(&self, table: &str) -> Vec<RowId> {
+        self.inner
+            .read()
+            .tables
+            .get(table)
+            .map(|t| t.rows.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Insert a new row as an uncommitted version by `writer`, returning
+    /// its id.  The table is created on demand.
+    pub fn insert(&self, table: &str, writer: TxnToken, row: Row) -> RowId {
+        let mut inner = self.inner.write();
+        let data = inner.tables.entry(table.to_string()).or_default();
+        let id = RowId(data.next_row_id);
+        data.next_row_id += 1;
+        data.rows.entry(id).or_default().install(writer, Some(row));
+        inner
+            .writes
+            .entry(writer)
+            .or_default()
+            .push((table.to_string(), id, WriteKind::Insert));
+        id
+    }
+
+    /// Install a new uncommitted version of an existing row.
+    pub fn update(
+        &self,
+        table: &str,
+        writer: TxnToken,
+        id: RowId,
+        row: Row,
+    ) -> Result<(), StorageError> {
+        self.write_version(table, writer, id, Some(row), WriteKind::Update)
+    }
+
+    /// Install an uncommitted tombstone for an existing row.
+    pub fn delete(&self, table: &str, writer: TxnToken, id: RowId) -> Result<(), StorageError> {
+        self.write_version(table, writer, id, None, WriteKind::Delete)
+    }
+
+    fn write_version(
+        &self,
+        table: &str,
+        writer: TxnToken,
+        id: RowId,
+        row: Option<Row>,
+        kind: WriteKind,
+    ) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        let data = inner
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let chain = data
+            .rows
+            .get_mut(&id)
+            .ok_or_else(|| StorageError::NoSuchRow(table.to_string(), id))?;
+        chain.install(writer, row);
+        inner
+            .writes
+            .entry(writer)
+            .or_default()
+            .push((table.to_string(), id, kind));
+        Ok(())
+    }
+
+    fn read_row<F>(&self, table: &str, id: RowId, pick: F) -> Option<Row>
+    where
+        F: Fn(&VersionChain) -> Option<Row>,
+    {
+        let inner = self.inner.read();
+        inner
+            .tables
+            .get(table)
+            .and_then(|t| t.rows.get(&id))
+            .and_then(|chain| pick(chain))
+    }
+
+    /// Read the most recent version regardless of commit state (a dirty
+    /// read).  Returns `None` if the row does not exist or its latest
+    /// version is a tombstone.
+    pub fn get_latest_any(&self, table: &str, id: RowId) -> Option<Row> {
+        self.read_row(table, id, |c| c.latest_any().and_then(|v| v.row.clone()))
+    }
+
+    /// Read the most recent committed version.
+    pub fn get_latest_committed(&self, table: &str, id: RowId) -> Option<Row> {
+        self.read_row(table, id, |c| {
+            c.latest_committed().and_then(|v| v.row.clone())
+        })
+    }
+
+    /// Read the version committed as of `ts`.
+    pub fn get_committed_as_of(&self, table: &str, id: RowId, ts: Timestamp) -> Option<Row> {
+        self.read_row(table, id, |c| {
+            c.committed_as_of(ts).and_then(|v| v.row.clone())
+        })
+    }
+
+    /// Read with Snapshot Isolation visibility: `reader`'s own uncommitted
+    /// write if any, otherwise the version committed as of `start_ts`.
+    pub fn get_visible(
+        &self,
+        table: &str,
+        id: RowId,
+        reader: TxnToken,
+        start_ts: Timestamp,
+    ) -> Option<Row> {
+        self.read_row(table, id, |c| {
+            c.visible_for(reader, start_ts).and_then(|v| v.row.clone())
+        })
+    }
+
+    fn scan<F>(&self, predicate: &RowPredicate, pick: F) -> Vec<(RowId, Row)>
+    where
+        F: Fn(&VersionChain) -> Option<Row>,
+    {
+        let inner = self.inner.read();
+        let Some(data) = inner.tables.get(&predicate.table) else {
+            return Vec::new();
+        };
+        data.rows
+            .iter()
+            .filter_map(|(id, chain)| {
+                pick(chain)
+                    .filter(|row| predicate.matches(&predicate.table, row))
+                    .map(|row| (*id, row))
+            })
+            .collect()
+    }
+
+    /// Scan the rows satisfying `predicate` in the latest committed state.
+    pub fn scan_latest_committed(&self, predicate: &RowPredicate) -> Vec<(RowId, Row)> {
+        self.scan(predicate, |c| {
+            c.latest_committed().and_then(|v| v.row.clone())
+        })
+    }
+
+    /// Scan the rows satisfying `predicate`, dirty reads included.
+    pub fn scan_latest_any(&self, predicate: &RowPredicate) -> Vec<(RowId, Row)> {
+        self.scan(predicate, |c| c.latest_any().and_then(|v| v.row.clone()))
+    }
+
+    /// Scan with Snapshot Isolation visibility.
+    pub fn scan_visible(
+        &self,
+        predicate: &RowPredicate,
+        reader: TxnToken,
+        start_ts: Timestamp,
+    ) -> Vec<(RowId, Row)> {
+        self.scan(predicate, |c| {
+            c.visible_for(reader, start_ts).and_then(|v| v.row.clone())
+        })
+    }
+
+    /// Scan the committed state as of `ts`.
+    pub fn scan_committed_as_of(
+        &self,
+        predicate: &RowPredicate,
+        ts: Timestamp,
+    ) -> Vec<(RowId, Row)> {
+        self.scan(predicate, |c| {
+            c.committed_as_of(ts).and_then(|v| v.row.clone())
+        })
+    }
+
+    /// The rows written so far by an in-flight transaction, in write order.
+    pub fn writes_of(&self, writer: TxnToken) -> Vec<(TableName, RowId, WriteKind)> {
+        self.inner
+            .read()
+            .writes
+            .get(&writer)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The First-Committer-Wins check (Section 4.2): returns the first of
+    /// `writer`'s written rows that was also written by a transaction that
+    /// committed after `start_ts`, if any.  A non-`None` result means
+    /// `writer` must abort rather than commit.
+    pub fn first_committer_conflict(
+        &self,
+        writer: TxnToken,
+        start_ts: Timestamp,
+    ) -> Option<(TableName, RowId)> {
+        let inner = self.inner.read();
+        let writes = inner.writes.get(&writer)?;
+        for (table, id, _) in writes {
+            if let Some(chain) = inner.tables.get(table).and_then(|t| t.rows.get(id)) {
+                if chain.committed_after(start_ts, writer) {
+                    return Some((table.clone(), *id));
+                }
+            }
+        }
+        None
+    }
+
+    /// True if any row written by `writer` currently has an uncommitted
+    /// version installed by a *different* transaction (used by
+    /// first-writer-wins style schedulers).
+    pub fn has_foreign_uncommitted_on_writes(&self, writer: TxnToken) -> bool {
+        let inner = self.inner.read();
+        let Some(writes) = inner.writes.get(&writer) else {
+            return false;
+        };
+        writes.iter().any(|(table, id, _)| {
+            inner
+                .tables
+                .get(table)
+                .and_then(|t| t.rows.get(id))
+                .is_some_and(|chain| chain.has_foreign_uncommitted(writer))
+        })
+    }
+
+    /// Commit all of `writer`'s versions at timestamp `ts`.
+    pub fn commit(&self, writer: TxnToken, ts: Timestamp) {
+        let mut inner = self.inner.write();
+        let writes = inner.writes.remove(&writer).unwrap_or_default();
+        for (table, id, _) in writes {
+            if let Some(chain) = inner.tables.get_mut(&table).and_then(|t| t.rows.get_mut(&id)) {
+                chain.commit(writer, ts);
+            }
+        }
+    }
+
+    /// Roll back all of `writer`'s uncommitted versions (before images
+    /// become current again).
+    pub fn abort(&self, writer: TxnToken) {
+        let mut inner = self.inner.write();
+        let writes = inner.writes.remove(&writer).unwrap_or_default();
+        for (table, id, _) in writes {
+            if let Some(chain) = inner.tables.get_mut(&table).and_then(|t| t.rows.get_mut(&id)) {
+                chain.abort(writer);
+            }
+        }
+    }
+
+    /// A read-only snapshot view of the committed state as of `ts`.
+    pub fn snapshot(&self, ts: Timestamp) -> crate::snapshot::Snapshot<'_> {
+        crate::snapshot::Snapshot::new(self, ts)
+    }
+
+    /// Number of rows whose latest committed version exists (i.e. not
+    /// deleted) in `table`.
+    pub fn committed_row_count(&self, table: &str) -> usize {
+        let inner = self.inner.read();
+        inner
+            .tables
+            .get(table)
+            .map(|t| {
+                t.rows
+                    .values()
+                    .filter(|c| c.latest_committed().map(|v| !v.is_tombstone()).unwrap_or(false))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Total number of versions across all chains (storage footprint
+    /// metric used by the benches).
+    pub fn version_count(&self) -> usize {
+        let inner = self.inner.read();
+        inner
+            .tables
+            .values()
+            .flat_map(|t| t.rows.values())
+            .map(|c| c.len())
+            .sum()
+    }
+}
+
+impl fmt::Debug for MvStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("MvStore")
+            .field("tables", &inner.tables.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Condition, RowPredicate};
+
+    fn balance_row(v: i64) -> Row {
+        Row::new().with("balance", v)
+    }
+
+    #[test]
+    fn insert_commit_read_cycle() {
+        let store = MvStore::new();
+        let id = store.insert("accounts", TxnToken(1), balance_row(50));
+        assert!(store.get_latest_committed("accounts", id).is_none());
+        assert_eq!(
+            store.get_latest_any("accounts", id).unwrap().get_int("balance"),
+            Some(50)
+        );
+        store.commit(TxnToken(1), Timestamp(1));
+        assert_eq!(
+            store
+                .get_latest_committed("accounts", id)
+                .unwrap()
+                .get_int("balance"),
+            Some(50)
+        );
+    }
+
+    #[test]
+    fn update_requires_existing_row() {
+        let store = MvStore::new();
+        store.create_table("accounts");
+        let err = store
+            .update("accounts", TxnToken(1), RowId(99), balance_row(1))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::NoSuchRow(_, _)));
+        let err = store
+            .update("missing", TxnToken(1), RowId(0), balance_row(1))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::NoSuchTable(_)));
+    }
+
+    #[test]
+    fn abort_restores_before_image() {
+        let store = MvStore::new();
+        let id = store.insert("accounts", TxnToken(1), balance_row(100));
+        store.commit(TxnToken(1), Timestamp(1));
+        store
+            .update("accounts", TxnToken(2), id, balance_row(999))
+            .unwrap();
+        assert_eq!(
+            store.get_latest_any("accounts", id).unwrap().get_int("balance"),
+            Some(999)
+        );
+        store.abort(TxnToken(2));
+        assert_eq!(
+            store.get_latest_any("accounts", id).unwrap().get_int("balance"),
+            Some(100)
+        );
+        assert!(store.writes_of(TxnToken(2)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_reads_ignore_later_commits() {
+        let store = MvStore::new();
+        let id = store.insert("accounts", TxnToken(1), balance_row(50));
+        store.commit(TxnToken(1), Timestamp(1));
+        store
+            .update("accounts", TxnToken(2), id, balance_row(10))
+            .unwrap();
+        store.commit(TxnToken(2), Timestamp(5));
+
+        assert_eq!(
+            store
+                .get_committed_as_of("accounts", id, Timestamp(1))
+                .unwrap()
+                .get_int("balance"),
+            Some(50)
+        );
+        assert_eq!(
+            store
+                .get_committed_as_of("accounts", id, Timestamp(5))
+                .unwrap()
+                .get_int("balance"),
+            Some(10)
+        );
+        assert_eq!(
+            store
+                .get_visible("accounts", id, TxnToken(9), Timestamp(2))
+                .unwrap()
+                .get_int("balance"),
+            Some(50)
+        );
+    }
+
+    #[test]
+    fn deleted_rows_disappear_from_committed_reads() {
+        let store = MvStore::new();
+        let id = store.insert("accounts", TxnToken(1), balance_row(50));
+        store.commit(TxnToken(1), Timestamp(1));
+        store.delete("accounts", TxnToken(2), id).unwrap();
+        store.commit(TxnToken(2), Timestamp(2));
+        assert!(store.get_latest_committed("accounts", id).is_none());
+        assert_eq!(store.committed_row_count("accounts"), 0);
+        // Time travel still sees it.
+        assert!(store.get_committed_as_of("accounts", id, Timestamp(1)).is_some());
+    }
+
+    #[test]
+    fn predicate_scans_respect_visibility() {
+        let store = MvStore::new();
+        let active = RowPredicate::new("employees", Condition::eq("active", true));
+        let e1 = store.insert("employees", TxnToken(1), Row::new().with("active", true));
+        store.insert("employees", TxnToken(1), Row::new().with("active", false));
+        store.commit(TxnToken(1), Timestamp(1));
+
+        // T2 inserts a new active employee but has not committed.
+        store.insert("employees", TxnToken(2), Row::new().with("active", true));
+
+        let committed = store.scan_latest_committed(&active);
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].0, e1);
+
+        let dirty = store.scan_latest_any(&active);
+        assert_eq!(dirty.len(), 2);
+
+        let si_view = store.scan_visible(&active, TxnToken(3), Timestamp(1));
+        assert_eq!(si_view.len(), 1);
+        let own_view = store.scan_visible(&active, TxnToken(2), Timestamp(1));
+        assert_eq!(own_view.len(), 2);
+
+        store.commit(TxnToken(2), Timestamp(2));
+        assert_eq!(store.scan_committed_as_of(&active, Timestamp(1)).len(), 1);
+        assert_eq!(store.scan_committed_as_of(&active, Timestamp(2)).len(), 2);
+    }
+
+    #[test]
+    fn first_committer_conflict_detection() {
+        let store = MvStore::new();
+        let id = store.insert("accounts", TxnToken(1), balance_row(100));
+        store.commit(TxnToken(1), Timestamp(1));
+
+        // T2 and T3 both start at ts 1 and write the same row.
+        store
+            .update("accounts", TxnToken(2), id, balance_row(120))
+            .unwrap();
+        store
+            .update("accounts", TxnToken(3), id, balance_row(130))
+            .unwrap();
+        // T2 commits first.
+        store.commit(TxnToken(2), Timestamp(2));
+        // T3 must now fail the first-committer-wins check.
+        let conflict = store.first_committer_conflict(TxnToken(3), Timestamp(1));
+        assert_eq!(conflict, Some(("accounts".to_string(), id)));
+        // A transaction with no writes has no conflict.
+        assert!(store.first_committer_conflict(TxnToken(9), Timestamp(0)).is_none());
+    }
+
+    #[test]
+    fn foreign_uncommitted_write_detection() {
+        let store = MvStore::new();
+        let id = store.insert("accounts", TxnToken(1), balance_row(100));
+        store.commit(TxnToken(1), Timestamp(1));
+        store
+            .update("accounts", TxnToken(2), id, balance_row(120))
+            .unwrap();
+        store
+            .update("accounts", TxnToken(3), id, balance_row(130))
+            .unwrap();
+        assert!(store.has_foreign_uncommitted_on_writes(TxnToken(2)));
+        assert!(store.has_foreign_uncommitted_on_writes(TxnToken(3)));
+        store.abort(TxnToken(2));
+        assert!(!store.has_foreign_uncommitted_on_writes(TxnToken(3)));
+    }
+
+    #[test]
+    fn bookkeeping_counters() {
+        let store = MvStore::new();
+        assert_eq!(store.version_count(), 0);
+        let id = store.insert("t", TxnToken(1), balance_row(1));
+        store.commit(TxnToken(1), Timestamp(1));
+        store.update("t", TxnToken(2), id, balance_row(2)).unwrap();
+        store.commit(TxnToken(2), Timestamp(2));
+        assert_eq!(store.version_count(), 2);
+        assert_eq!(store.committed_row_count("t"), 1);
+        assert_eq!(store.tables(), vec!["t".to_string()]);
+        assert_eq!(store.row_ids("t"), vec![id]);
+        assert!(store.row_ids("missing").is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Column values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A value stored in one column of a row.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ColumnValue {
+    /// 64-bit signed integer (account balances, counters, hours…).
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean flag (e.g. `active` in the employee phantom example).
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl ColumnValue {
+    /// The integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ColumnValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The text content, if this is a `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            ColumnValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ColumnValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, ColumnValue::Null)
+    }
+
+    /// SQL-style comparison: values of different types (or NULLs) are
+    /// incomparable and return `None`.
+    pub fn compare(&self, other: &ColumnValue) -> Option<Ordering> {
+        match (self, other) {
+            (ColumnValue::Int(a), ColumnValue::Int(b)) => Some(a.cmp(b)),
+            (ColumnValue::Text(a), ColumnValue::Text(b)) => Some(a.cmp(b)),
+            (ColumnValue::Bool(a), ColumnValue::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ColumnValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnValue::Int(v) => write!(f, "{v}"),
+            ColumnValue::Text(s) => write!(f, "'{s}'"),
+            ColumnValue::Bool(b) => write!(f, "{b}"),
+            ColumnValue::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for ColumnValue {
+    fn from(v: i64) -> Self {
+        ColumnValue::Int(v)
+    }
+}
+
+impl From<i32> for ColumnValue {
+    fn from(v: i32) -> Self {
+        ColumnValue::Int(v as i64)
+    }
+}
+
+impl From<&str> for ColumnValue {
+    fn from(v: &str) -> Self {
+        ColumnValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for ColumnValue {
+    fn from(v: String) -> Self {
+        ColumnValue::Text(v)
+    }
+}
+
+impl From<bool> for ColumnValue {
+    fn from(v: bool) -> Self {
+        ColumnValue::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ColumnValue::from(5i64), ColumnValue::Int(5));
+        assert_eq!(ColumnValue::from(5i32), ColumnValue::Int(5));
+        assert_eq!(ColumnValue::from("hi"), ColumnValue::Text("hi".into()));
+        assert_eq!(ColumnValue::from(true), ColumnValue::Bool(true));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(ColumnValue::Int(7).as_int(), Some(7));
+        assert_eq!(ColumnValue::Int(7).as_text(), None);
+        assert_eq!(ColumnValue::Text("a".into()).as_text(), Some("a"));
+        assert_eq!(ColumnValue::Bool(true).as_bool(), Some(true));
+        assert!(ColumnValue::Null.is_null());
+        assert!(!ColumnValue::Int(0).is_null());
+    }
+
+    #[test]
+    fn comparisons_are_typed() {
+        assert_eq!(
+            ColumnValue::Int(1).compare(&ColumnValue::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            ColumnValue::Text("b".into()).compare(&ColumnValue::Text("a".into())),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(ColumnValue::Int(1).compare(&ColumnValue::Text("1".into())), None);
+        assert_eq!(ColumnValue::Null.compare(&ColumnValue::Null), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ColumnValue::Int(-3).to_string(), "-3");
+        assert_eq!(ColumnValue::Text("x".into()).to_string(), "'x'");
+        assert_eq!(ColumnValue::Null.to_string(), "NULL");
+        assert_eq!(ColumnValue::Bool(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,277 @@
+//! Version chains: the multi-version representation of a single row.
+
+use crate::row::Row;
+use crate::timestamp::{Timestamp, TxnToken};
+use serde::{Deserialize, Serialize};
+
+/// One version of a row.
+///
+/// `row == None` is a tombstone (the row was deleted by the writer).
+/// `commit_ts == None` means the writing transaction has not yet committed;
+/// aborting removes the version entirely.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Version {
+    /// The transaction that installed this version.
+    pub writer: TxnToken,
+    /// The row contents, or `None` for a delete.
+    pub row: Option<Row>,
+    /// The writer's commit timestamp, once it has committed.
+    pub commit_ts: Option<Timestamp>,
+}
+
+impl Version {
+    /// True once the writing transaction has committed.
+    pub fn is_committed(&self) -> bool {
+        self.commit_ts.is_some()
+    }
+
+    /// True if this version deletes the row.
+    pub fn is_tombstone(&self) -> bool {
+        self.row.is_none()
+    }
+}
+
+/// The ordered list of versions of one row, oldest first.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct VersionChain {
+    versions: Vec<Version>,
+}
+
+impl VersionChain {
+    /// An empty chain (a row that has never existed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All versions, oldest first.
+    pub fn versions(&self) -> &[Version] {
+        &self.versions
+    }
+
+    /// Install a new uncommitted version by `writer`.
+    pub fn install(&mut self, writer: TxnToken, row: Option<Row>) {
+        self.versions.push(Version {
+            writer,
+            row,
+            commit_ts: None,
+        });
+    }
+
+    /// Mark all of `writer`'s versions as committed at `ts`.
+    pub fn commit(&mut self, writer: TxnToken, ts: Timestamp) {
+        for v in &mut self.versions {
+            if v.writer == writer && v.commit_ts.is_none() {
+                v.commit_ts = Some(ts);
+            }
+        }
+    }
+
+    /// Remove all uncommitted versions installed by `writer` (rollback —
+    /// the before image, i.e. the previous committed version, becomes
+    /// current again).
+    pub fn abort(&mut self, writer: TxnToken) {
+        self.versions
+            .retain(|v| !(v.writer == writer && v.commit_ts.is_none()));
+    }
+
+    /// The most recent version regardless of commit status — what a reader
+    /// with no read locks at Degree 0/1 would observe (dirty reads).
+    pub fn latest_any(&self) -> Option<&Version> {
+        self.versions.last()
+    }
+
+    /// The most recent committed version.
+    pub fn latest_committed(&self) -> Option<&Version> {
+        self.versions.iter().rev().find(|v| v.is_committed())
+    }
+
+    /// The most recent version committed at or before `ts` — the Snapshot
+    /// Isolation read rule for a transaction whose Start-Timestamp is `ts`.
+    pub fn committed_as_of(&self, ts: Timestamp) -> Option<&Version> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| matches!(v.commit_ts, Some(c) if c <= ts))
+    }
+
+    /// The version visible to `reader` under Snapshot Isolation: its own
+    /// most recent uncommitted version if it has written the row, otherwise
+    /// the version committed as of `start_ts` ("the transaction's writes
+    /// will also be reflected in this snapshot", Section 4.2).
+    pub fn visible_for(&self, reader: TxnToken, start_ts: Timestamp) -> Option<&Version> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.writer == reader && !v.is_committed())
+            .or_else(|| self.committed_as_of(start_ts))
+    }
+
+    /// The committed row contents immediately before `writer`'s first
+    /// uncommitted version — the before image a recovery system would
+    /// restore on rollback.
+    pub fn before_image(&self, writer: TxnToken) -> Option<&Version> {
+        let first_own = self
+            .versions
+            .iter()
+            .position(|v| v.writer == writer && !v.is_committed())?;
+        self.versions[..first_own]
+            .iter()
+            .rev()
+            .find(|v| v.is_committed())
+    }
+
+    /// True if any *other* transaction committed a version of this row with
+    /// a commit timestamp strictly greater than `start_ts` — the
+    /// First-Committer-Wins test of Section 4.2.
+    pub fn committed_after(&self, start_ts: Timestamp, excluding: TxnToken) -> bool {
+        self.versions.iter().any(|v| {
+            v.writer != excluding && matches!(v.commit_ts, Some(c) if c > start_ts)
+        })
+    }
+
+    /// True if some transaction other than `writer` currently holds an
+    /// uncommitted version of this row.
+    pub fn has_foreign_uncommitted(&self, writer: TxnToken) -> bool {
+        self.versions
+            .iter()
+            .any(|v| v.writer != writer && !v.is_committed())
+    }
+
+    /// Number of versions in the chain.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True if the chain holds no versions.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(balance: i64) -> Row {
+        Row::new().with("balance", balance)
+    }
+
+    #[test]
+    fn install_commit_and_visibility() {
+        let mut chain = VersionChain::new();
+        chain.install(TxnToken(1), Some(row(50)));
+        assert!(chain.latest_committed().is_none());
+        assert_eq!(chain.latest_any().unwrap().writer, TxnToken(1));
+
+        chain.commit(TxnToken(1), Timestamp(5));
+        assert!(chain.latest_committed().unwrap().is_committed());
+        assert!(chain.committed_as_of(Timestamp(4)).is_none());
+        assert_eq!(
+            chain
+                .committed_as_of(Timestamp(5))
+                .and_then(|v| v.row.as_ref())
+                .and_then(|r| r.get_int("balance")),
+            Some(50)
+        );
+    }
+
+    #[test]
+    fn snapshot_visibility_prefers_own_uncommitted_writes() {
+        let mut chain = VersionChain::new();
+        chain.install(TxnToken(1), Some(row(50)));
+        chain.commit(TxnToken(1), Timestamp(1));
+        chain.install(TxnToken(2), Some(row(10)));
+
+        // T2 sees its own write; T3 (start ts 1) sees the committed 50.
+        let t2_view = chain.visible_for(TxnToken(2), Timestamp(1)).unwrap();
+        assert_eq!(t2_view.row.as_ref().unwrap().get_int("balance"), Some(10));
+        let t3_view = chain.visible_for(TxnToken(3), Timestamp(1)).unwrap();
+        assert_eq!(t3_view.row.as_ref().unwrap().get_int("balance"), Some(50));
+    }
+
+    #[test]
+    fn snapshot_visibility_ignores_versions_committed_after_start() {
+        let mut chain = VersionChain::new();
+        chain.install(TxnToken(1), Some(row(50)));
+        chain.commit(TxnToken(1), Timestamp(1));
+        chain.install(TxnToken(2), Some(row(90)));
+        chain.commit(TxnToken(2), Timestamp(5));
+
+        // A reader that started at ts 2 still sees 50 (updates by
+        // transactions committing after its start are invisible).
+        let view = chain.visible_for(TxnToken(9), Timestamp(2)).unwrap();
+        assert_eq!(view.row.as_ref().unwrap().get_int("balance"), Some(50));
+        // A reader starting at ts 5 sees 90.
+        let view = chain.visible_for(TxnToken(9), Timestamp(5)).unwrap();
+        assert_eq!(view.row.as_ref().unwrap().get_int("balance"), Some(90));
+    }
+
+    #[test]
+    fn abort_restores_the_before_image() {
+        let mut chain = VersionChain::new();
+        chain.install(TxnToken(1), Some(row(100)));
+        chain.commit(TxnToken(1), Timestamp(1));
+        chain.install(TxnToken(2), Some(row(200)));
+
+        let before = chain.before_image(TxnToken(2)).unwrap();
+        assert_eq!(before.row.as_ref().unwrap().get_int("balance"), Some(100));
+
+        chain.abort(TxnToken(2));
+        assert_eq!(chain.len(), 1);
+        assert_eq!(
+            chain
+                .latest_any()
+                .and_then(|v| v.row.as_ref())
+                .and_then(|r| r.get_int("balance")),
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn tombstones_mark_deletes() {
+        let mut chain = VersionChain::new();
+        chain.install(TxnToken(1), Some(row(1)));
+        chain.commit(TxnToken(1), Timestamp(1));
+        chain.install(TxnToken(2), None);
+        chain.commit(TxnToken(2), Timestamp(2));
+        assert!(chain.latest_committed().unwrap().is_tombstone());
+        // As of ts 1 the row still exists.
+        assert!(!chain.committed_as_of(Timestamp(1)).unwrap().is_tombstone());
+    }
+
+    #[test]
+    fn first_committer_wins_check() {
+        let mut chain = VersionChain::new();
+        chain.install(TxnToken(1), Some(row(100)));
+        chain.commit(TxnToken(1), Timestamp(1));
+        chain.install(TxnToken(2), Some(row(120)));
+        chain.commit(TxnToken(2), Timestamp(5));
+
+        // T3 started at ts 2; T2 committed at ts 5 > 2 — conflict.
+        assert!(chain.committed_after(Timestamp(2), TxnToken(3)));
+        // A transaction that started at ts 5 or later sees no conflict.
+        assert!(!chain.committed_after(Timestamp(5), TxnToken(3)));
+        // A transaction's own commit does not conflict with itself.
+        assert!(!chain.committed_after(Timestamp(2), TxnToken(2)));
+    }
+
+    #[test]
+    fn foreign_uncommitted_detection() {
+        let mut chain = VersionChain::new();
+        chain.install(TxnToken(1), Some(row(1)));
+        assert!(chain.has_foreign_uncommitted(TxnToken(2)));
+        assert!(!chain.has_foreign_uncommitted(TxnToken(1)));
+        chain.commit(TxnToken(1), Timestamp(1));
+        assert!(!chain.has_foreign_uncommitted(TxnToken(2)));
+    }
+
+    #[test]
+    fn empty_chain_reports_nothing() {
+        let chain = VersionChain::new();
+        assert!(chain.is_empty());
+        assert!(chain.latest_any().is_none());
+        assert!(chain.latest_committed().is_none());
+        assert!(chain.committed_as_of(Timestamp(10)).is_none());
+        assert!(chain.before_image(TxnToken(1)).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Bank-account fixtures: the paper's running example.
+//!
+//! Histories H1, H2, H4, and H5 all play out over two account balances `x`
+//! and `y` whose sum is an invariant (100 in H1/H2, "x + y must stay
+//! positive" in H5).  [`BankFixture`] seeds that data and provides the
+//! transfer / audit transactions used throughout the examples, harness, and
+//! benchmarks.
+
+use critique_core::IsolationLevel;
+use critique_engine::{Database, TxnError};
+use critique_storage::{Row, RowId, RowPredicate};
+
+/// A database with a two-account `accounts` table.
+pub struct BankFixture {
+    /// The database (shared handle).
+    pub db: Database,
+    /// First account (the paper's `x`).
+    pub x: RowId,
+    /// Second account (the paper's `y`).
+    pub y: RowId,
+}
+
+impl BankFixture {
+    /// Seed a fresh database at `level` with `x = y = initial`.
+    pub fn new(level: IsolationLevel, initial: i64) -> Self {
+        Self::with_database(Database::new(level), initial)
+    }
+
+    /// Seed an existing database with `x = y = initial`.
+    pub fn with_database(db: Database, initial: i64) -> Self {
+        let setup = db.begin();
+        let x = setup
+            .insert("accounts", Row::new().with("balance", initial))
+            .expect("setup insert");
+        let y = setup
+            .insert("accounts", Row::new().with("balance", initial))
+            .expect("setup insert");
+        setup.commit().expect("setup commit");
+        db.clear_history();
+        BankFixture { db, x, y }
+    }
+
+    /// The whole-table predicate over `accounts`.
+    pub fn all_accounts() -> RowPredicate {
+        RowPredicate::whole_table("accounts")
+    }
+
+    /// The committed balance of an account.
+    pub fn balance(&self, account: RowId) -> i64 {
+        self.db
+            .read_committed("accounts", account)
+            .and_then(|row| row.get_int("balance"))
+            .unwrap_or(0)
+    }
+
+    /// The committed total balance.
+    pub fn total(&self) -> i64 {
+        self.db.sum_committed(&Self::all_accounts(), "balance")
+    }
+
+    /// Run a complete transfer of `amount` from `x` to `y` in its own
+    /// transaction (the paper's T1 in H1).  Returns the commit result.
+    pub fn transfer(&self, amount: i64) -> Result<(), TxnError> {
+        let t = self.db.begin();
+        let from = t
+            .read("accounts", self.x)?
+            .and_then(|r| r.get_int("balance"))
+            .unwrap_or(0);
+        t.update("accounts", self.x, Row::new().with("balance", from - amount))?;
+        let to = t
+            .read("accounts", self.y)?
+            .and_then(|r| r.get_int("balance"))
+            .unwrap_or(0);
+        t.update("accounts", self.y, Row::new().with("balance", to + amount))?;
+        t.commit()
+    }
+
+    /// Run an audit transaction that reads both balances and returns the
+    /// total it observed (the paper's T2 in H1 — inconsistent analysis
+    /// reads a total of 60).
+    pub fn audit(&self) -> Result<i64, TxnError> {
+        let t = self.db.begin();
+        let x = t
+            .read("accounts", self.x)?
+            .and_then(|r| r.get_int("balance"))
+            .unwrap_or(0);
+        let y = t
+            .read("accounts", self.y)?
+            .and_then(|r| r.get_int("balance"))
+            .unwrap_or(0);
+        t.commit()?;
+        Ok(x + y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_seeds_two_accounts() {
+        let bank = BankFixture::new(IsolationLevel::Serializable, 50);
+        assert_eq!(bank.balance(bank.x), 50);
+        assert_eq!(bank.balance(bank.y), 50);
+        assert_eq!(bank.total(), 100);
+        assert!(bank.db.recorded_history().is_empty());
+    }
+
+    #[test]
+    fn transfer_preserves_the_total() {
+        let bank = BankFixture::new(IsolationLevel::Serializable, 50);
+        bank.transfer(40).unwrap();
+        assert_eq!(bank.balance(bank.x), 10);
+        assert_eq!(bank.balance(bank.y), 90);
+        assert_eq!(bank.total(), 100);
+    }
+
+    #[test]
+    fn audit_on_a_quiescent_database_sees_the_invariant() {
+        for level in IsolationLevel::ALL {
+            let bank = BankFixture::new(level, 50);
+            assert_eq!(bank.audit().unwrap(), 100, "at {level}");
+            bank.transfer(25).unwrap();
+            assert_eq!(bank.audit().unwrap(), 100, "at {level}");
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! A randomised, multi-threaded mixed workload.
+//!
+//! Section 4.2 of the paper argues qualitatively about Snapshot Isolation's
+//! "optimistic" behaviour: read-only transactions never block and are never
+//! blocked, readers do not block updates, but long-running update
+//! transactions competing with short high-contention updates are likely to
+//! lose First-Committer-Wins races and abort.  [`MixedWorkload`] provides a
+//! parameterised workload (read/write mix, contention level, transaction
+//! length, thread count) whose [`WorkloadStats`] make those claims
+//! measurable; the `si_vs_locking` benchmark sweeps it across isolation
+//! levels.
+
+use critique_core::IsolationLevel;
+use critique_engine::{Database, EngineConfig, TxnError};
+use critique_storage::{Row, RowId, RowPredicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Parameters of the mixed workload.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MixedWorkload {
+    /// Number of rows in the `accounts` table.
+    pub accounts: usize,
+    /// Fraction of transactions that only read.
+    pub read_fraction: f64,
+    /// Number of row operations per transaction.
+    pub ops_per_txn: usize,
+    /// Fraction of accesses directed at a single "hot" row (contention).
+    pub hot_fraction: f64,
+    /// Transactions issued by each worker thread.
+    pub txns_per_thread: usize,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Random seed (the workload is deterministic given the seed and the
+    /// thread interleaving).
+    pub seed: u64,
+}
+
+impl Default for MixedWorkload {
+    fn default() -> Self {
+        MixedWorkload {
+            accounts: 64,
+            read_fraction: 0.5,
+            ops_per_txn: 4,
+            hot_fraction: 0.2,
+            txns_per_thread: 200,
+            threads: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregate statistics from a workload run.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Aborts caused by First-Committer-Wins (Snapshot Isolation).
+    pub aborted_first_committer: u64,
+    /// Aborts caused by deadlock victimhood.
+    pub aborted_deadlock: u64,
+    /// Aborts caused by lock-wait timeouts.
+    pub aborted_timeout: u64,
+    /// Reads executed (committed or not).
+    pub reads: u64,
+    /// Writes executed (committed or not).
+    pub writes: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl WorkloadStats {
+    /// Total aborted transactions.
+    pub fn aborted(&self) -> u64 {
+        self.aborted_first_committer + self.aborted_deadlock + self.aborted_timeout
+    }
+
+    /// Total attempted transactions.
+    pub fn attempted(&self) -> u64 {
+        self.committed + self.aborted()
+    }
+
+    /// Fraction of attempted transactions that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        if self.attempted() == 0 {
+            0.0
+        } else {
+            self.aborted() as f64 / self.attempted() as f64
+        }
+    }
+
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            self.committed as f64
+        } else {
+            self.committed as f64 / secs
+        }
+    }
+
+    fn merge(&mut self, other: &WorkloadStats) {
+        self.committed += other.committed;
+        self.aborted_first_committer += other.aborted_first_committer;
+        self.aborted_deadlock += other.aborted_deadlock;
+        self.aborted_timeout += other.aborted_timeout;
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+impl MixedWorkload {
+    /// Seed a database for this workload (every account starts at 100) and
+    /// return it together with the row ids.
+    pub fn seed_database(&self, level: IsolationLevel) -> (Database, Vec<RowId>) {
+        let config = EngineConfig::new(level).blocking(200).without_history();
+        let db = Database::with_config(config);
+        let setup = db.begin();
+        let ids: Vec<RowId> = (0..self.accounts)
+            .map(|_| {
+                setup
+                    .insert("accounts", Row::new().with("balance", 100))
+                    .expect("seed insert")
+            })
+            .collect();
+        setup.commit().expect("seed commit");
+        (db, ids)
+    }
+
+    fn pick_account<'a>(&self, rng: &mut StdRng, ids: &'a [RowId]) -> &'a RowId {
+        if rng.gen_bool(self.hot_fraction.clamp(0.0, 1.0)) {
+            &ids[0]
+        } else {
+            &ids[rng.gen_range(0..ids.len())]
+        }
+    }
+
+    fn run_one(
+        &self,
+        db: &Database,
+        ids: &[RowId],
+        rng: &mut StdRng,
+        stats: &mut WorkloadStats,
+    ) {
+        let read_only = rng.gen_bool(self.read_fraction.clamp(0.0, 1.0));
+        let txn = db.begin();
+        let mut failed: Option<TxnError> = None;
+        for _ in 0..self.ops_per_txn {
+            let id = *self.pick_account(rng, ids);
+            let read = txn.read("accounts", id);
+            stats.reads += 1;
+            let balance = match read {
+                Ok(row) => row.and_then(|r| r.get_int("balance")).unwrap_or(100),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            };
+            if !read_only {
+                let delta: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+                stats.writes += 1;
+                if let Err(e) =
+                    txn.update("accounts", id, Row::new().with("balance", balance + delta))
+                {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        let outcome = match failed {
+            None => txn.commit(),
+            Some(e) => {
+                if txn.is_active() {
+                    let _ = txn.abort();
+                }
+                Err(e)
+            }
+        };
+        match outcome {
+            Ok(()) => stats.committed += 1,
+            Err(TxnError::FirstCommitterConflict { .. }) => stats.aborted_first_committer += 1,
+            Err(TxnError::Deadlock) => stats.aborted_deadlock += 1,
+            Err(TxnError::LockTimeout) => stats.aborted_timeout += 1,
+            Err(_) => stats.aborted_timeout += 1,
+        }
+    }
+
+    /// Run the workload against a fresh database at `level`, using real
+    /// threads and the blocking lock-wait policy.
+    pub fn run(&self, level: IsolationLevel) -> WorkloadStats {
+        let (db, ids) = self.seed_database(level);
+        let start = Instant::now();
+        let mut totals = WorkloadStats::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|worker| {
+                    let db = db.clone();
+                    let ids = ids.clone();
+                    let spec = *self;
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(worker as u64));
+                        let mut stats = WorkloadStats::default();
+                        for _ in 0..spec.txns_per_thread {
+                            spec.run_one(&db, &ids, &mut rng, &mut stats);
+                        }
+                        stats
+                    })
+                })
+                .collect();
+            for handle in handles {
+                totals.merge(&handle.join().expect("worker thread"));
+            }
+        });
+        totals.elapsed = start.elapsed();
+        totals
+    }
+
+    /// Run a long read-only "audit" transaction (summing every account)
+    /// while `writers` short update transactions run to completion, and
+    /// report whether the audit had to wait or abort.  This is the
+    /// Section 4.2 claim that SI never blocks read-only transactions.
+    pub fn long_reader_probe(&self, level: IsolationLevel) -> (bool, i64) {
+        let (db, ids) = self.seed_database(level);
+        let all = RowPredicate::whole_table("accounts");
+        let expected: i64 = 100 * self.accounts as i64;
+
+        let reader = db.begin();
+        // Interleave: read half the table, let writers run, read the rest.
+        let mut total = 0i64;
+        let mut blocked = false;
+        for id in ids.iter().take(self.accounts / 2) {
+            match reader.read("accounts", *id) {
+                Ok(row) => total += row.and_then(|r| r.get_int("balance")).unwrap_or(0),
+                Err(_) => blocked = true,
+            }
+        }
+        for id in ids.iter().skip(self.accounts / 2).take(4) {
+            let w = db.begin();
+            if let Ok(Some(row)) = w.read("accounts", *id) {
+                let b = row.get_int("balance").unwrap_or(100);
+                let _ = w.update("accounts", *id, Row::new().with("balance", b + 10));
+            }
+            let _ = w.commit();
+        }
+        for id in ids.iter().skip(self.accounts / 2) {
+            match reader.read("accounts", *id) {
+                Ok(row) => total += row.and_then(|r| r.get_int("balance")).unwrap_or(0),
+                Err(_) => blocked = true,
+            }
+        }
+        let _ = reader.commit();
+        let _ = all;
+        (blocked, total - expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MixedWorkload {
+        MixedWorkload {
+            accounts: 16,
+            read_fraction: 0.5,
+            ops_per_txn: 3,
+            hot_fraction: 0.3,
+            txns_per_thread: 30,
+            threads: 3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn workload_completes_at_every_level() {
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::RepeatableRead,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::Serializable,
+        ] {
+            let stats = small().run(level);
+            assert_eq!(stats.attempted(), 90, "at {level}");
+            assert!(stats.committed > 0, "at {level}");
+            assert!(stats.reads > 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_isolation_aborts_are_first_committer_wins_only() {
+        let mut spec = small();
+        spec.read_fraction = 0.0;
+        spec.hot_fraction = 0.9; // heavy contention on one row
+        let stats = spec.run(IsolationLevel::SnapshotIsolation);
+        // Snapshot Isolation takes no locks, so the only abort reason is
+        // First-Committer-Wins (whether any occur depends on how much the
+        // worker threads actually overlap on this machine).
+        assert_eq!(stats.aborted_deadlock, 0);
+        assert_eq!(stats.aborted_timeout, 0);
+        assert_eq!(stats.committed + stats.aborted_first_committer, stats.attempted());
+    }
+
+    #[test]
+    fn read_only_workload_never_aborts_under_snapshot_isolation() {
+        let mut spec = small();
+        spec.read_fraction = 1.0;
+        let stats = spec.run(IsolationLevel::SnapshotIsolation);
+        assert_eq!(stats.aborted(), 0);
+        assert_eq!(stats.committed, stats.attempted());
+        assert_eq!(stats.writes, 0);
+    }
+
+    #[test]
+    fn long_reader_is_never_blocked_under_snapshot_isolation() {
+        let (blocked, drift) = small().long_reader_probe(IsolationLevel::SnapshotIsolation);
+        assert!(!blocked);
+        // The audit sees the snapshot as of its start: no drift.
+        assert_eq!(drift, 0);
+    }
+
+    #[test]
+    fn long_reader_sees_drift_under_read_committed() {
+        let (blocked, drift) = small().long_reader_probe(IsolationLevel::ReadCommitted);
+        assert!(!blocked);
+        // Each committed +10 update that lands in the second half of the
+        // scan is visible: the audit total drifts away from the invariant.
+        assert!(drift > 0);
+    }
+
+    #[test]
+    fn stats_arithmetic() {
+        let stats = WorkloadStats {
+            committed: 80,
+            aborted_first_committer: 10,
+            aborted_deadlock: 5,
+            aborted_timeout: 5,
+            reads: 300,
+            writes: 150,
+            elapsed: Duration::from_secs(2),
+        };
+        assert_eq!(stats.aborted(), 20);
+        assert_eq!(stats.attempted(), 100);
+        assert!((stats.abort_rate() - 0.2).abs() < 1e-9);
+        assert!((stats.throughput() - 40.0).abs() < 1e-9);
+    }
+}

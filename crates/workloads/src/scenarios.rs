@@ -1,0 +1,818 @@
+//! One executable scenario per phenomenon column of Table 4.
+//!
+//! Each scenario drives two transactions through the exact interleaving the
+//! paper uses to define the phenomenon (H1-H5 and friends) against a
+//! [`Database`] at a chosen isolation level, and then decides — from the
+//! *observed values and final state*, not from the paper's table — whether
+//! the anomalous outcome materialised.
+//!
+//! When a step is refused with [`TxnError::WouldBlock`] (the locking
+//! schedulers under the non-blocking policy), the scenario lets the other
+//! transaction finish and then retries the blocked step, which is what a
+//! real lock scheduler's wait queue would do; when both transactions are
+//! blocked on each other (a deadlock), one of them is aborted.  Snapshot
+//! Isolation aborts (First-Committer-Wins) and Read Consistency statement
+//! restarts likewise count as "the mechanism prevented the anomaly".
+
+use critique_core::{IsolationLevel, Phenomenon};
+use critique_engine::{Database, Transaction, TxnError};
+use critique_storage::{Condition, Row, RowId, RowPredicate};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether the anomalous outcome was observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ScenarioOutcome {
+    /// The anomaly materialised (e.g. an update was lost, a constraint was
+    /// violated, an inconsistent total was read).
+    Anomaly,
+    /// The concurrency control prevented the anomaly (by blocking,
+    /// aborting, or snapshotting).
+    Prevented,
+}
+
+impl ScenarioOutcome {
+    /// True if the anomaly occurred.
+    pub fn is_anomaly(&self) -> bool {
+        matches!(self, ScenarioOutcome::Anomaly)
+    }
+}
+
+impl fmt::Display for ScenarioOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioOutcome::Anomaly => write!(f, "anomaly"),
+            ScenarioOutcome::Prevented => write!(f, "prevented"),
+        }
+    }
+}
+
+/// The result of running one scenario at one isolation level.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Which scenario ran.
+    pub scenario: AnomalyScenario,
+    /// The isolation level it ran at.
+    pub level: IsolationLevel,
+    /// Whether the anomaly was observed.
+    pub outcome: ScenarioOutcome,
+    /// Human-readable explanation of what happened.
+    pub detail: String,
+}
+
+/// The anomaly scenarios, one (or two — a plain and a cursor-protected
+/// variant) per column of Table 4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AnomalyScenario {
+    /// P0: two transactions write `x` and `y` in opposite orders
+    /// (constraint `x = y`).
+    DirtyWrite,
+    /// P1/A1: an audit reads while a transfer is uncommitted and later
+    /// rolled back (history H1 with an abort).
+    DirtyRead,
+    /// P4C: the H4C cursor lost update.
+    CursorLostUpdate,
+    /// P4: the H4 lost update.
+    LostUpdate,
+    /// P2/A2: a non-repeatable read of a single item.
+    FuzzyRead,
+    /// P2 with the reader protecting the row with a cursor (Cursor
+    /// Stability's "sometimes" case).
+    FuzzyReadCursorProtected,
+    /// P3/A3: the ANSI phantom — re-reading a predicate after a matching
+    /// insert.
+    PhantomAnsi,
+    /// P3 as a predicate constraint violation: two transactions each insert
+    /// a task after checking `SUM(hours) <= 8` (the Section 4.2 example
+    /// that Snapshot Isolation does *not* prevent).
+    PhantomPredicateConstraint,
+    /// A5A: read skew across a committed two-item update (H2).
+    ReadSkew,
+    /// A5B: write skew violating `x + y > 0` (H5).
+    WriteSkew,
+    /// A5B with both items protected by cursors (Cursor Stability's
+    /// "sometimes" case).
+    WriteSkewCursorProtected,
+}
+
+impl AnomalyScenario {
+    /// Every scenario.
+    pub const ALL: [AnomalyScenario; 11] = [
+        AnomalyScenario::DirtyWrite,
+        AnomalyScenario::DirtyRead,
+        AnomalyScenario::CursorLostUpdate,
+        AnomalyScenario::LostUpdate,
+        AnomalyScenario::FuzzyRead,
+        AnomalyScenario::FuzzyReadCursorProtected,
+        AnomalyScenario::PhantomAnsi,
+        AnomalyScenario::PhantomPredicateConstraint,
+        AnomalyScenario::ReadSkew,
+        AnomalyScenario::WriteSkew,
+        AnomalyScenario::WriteSkewCursorProtected,
+    ];
+
+    /// The phenomenon this scenario witnesses.
+    pub fn phenomenon(&self) -> Phenomenon {
+        match self {
+            AnomalyScenario::DirtyWrite => Phenomenon::P0,
+            AnomalyScenario::DirtyRead => Phenomenon::P1,
+            AnomalyScenario::CursorLostUpdate => Phenomenon::P4C,
+            AnomalyScenario::LostUpdate => Phenomenon::P4,
+            AnomalyScenario::FuzzyRead | AnomalyScenario::FuzzyReadCursorProtected => {
+                Phenomenon::P2
+            }
+            AnomalyScenario::PhantomAnsi | AnomalyScenario::PhantomPredicateConstraint => {
+                Phenomenon::P3
+            }
+            AnomalyScenario::ReadSkew => Phenomenon::A5A,
+            AnomalyScenario::WriteSkew | AnomalyScenario::WriteSkewCursorProtected => {
+                Phenomenon::A5B
+            }
+        }
+    }
+
+    /// A short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnomalyScenario::DirtyWrite => "dirty write (P0)",
+            AnomalyScenario::DirtyRead => "dirty read (P1)",
+            AnomalyScenario::CursorLostUpdate => "cursor lost update (P4C)",
+            AnomalyScenario::LostUpdate => "lost update (P4)",
+            AnomalyScenario::FuzzyRead => "fuzzy read (P2)",
+            AnomalyScenario::FuzzyReadCursorProtected => "fuzzy read, cursor protected (P2)",
+            AnomalyScenario::PhantomAnsi => "ANSI phantom (P3/A3)",
+            AnomalyScenario::PhantomPredicateConstraint => "predicate-constraint phantom (P3)",
+            AnomalyScenario::ReadSkew => "read skew (A5A)",
+            AnomalyScenario::WriteSkew => "write skew (A5B)",
+            AnomalyScenario::WriteSkewCursorProtected => "write skew, cursor protected (A5B)",
+        }
+    }
+
+    /// Run the scenario against a fresh database at the given level.
+    pub fn run(&self, level: IsolationLevel) -> ScenarioResult {
+        let outcome = match self {
+            AnomalyScenario::DirtyWrite => dirty_write(level),
+            AnomalyScenario::DirtyRead => dirty_read(level),
+            AnomalyScenario::CursorLostUpdate => cursor_lost_update(level),
+            AnomalyScenario::LostUpdate => lost_update(level),
+            AnomalyScenario::FuzzyRead => fuzzy_read(level, false),
+            AnomalyScenario::FuzzyReadCursorProtected => fuzzy_read(level, true),
+            AnomalyScenario::PhantomAnsi => phantom_ansi(level),
+            AnomalyScenario::PhantomPredicateConstraint => phantom_constraint(level),
+            AnomalyScenario::ReadSkew => read_skew(level),
+            AnomalyScenario::WriteSkew => write_skew(level, false),
+            AnomalyScenario::WriteSkewCursorProtected => write_skew(level, true),
+        };
+        ScenarioResult {
+            scenario: *self,
+            level,
+            outcome: outcome.0,
+            detail: outcome.1,
+        }
+    }
+}
+
+impl fmt::Display for AnomalyScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------
+
+fn accounts_db(level: IsolationLevel, x0: i64, y0: i64) -> (Database, RowId, RowId) {
+    let db = Database::new(level);
+    let setup = db.begin();
+    let x = setup.insert("accounts", Row::new().with("balance", x0)).unwrap();
+    let y = setup.insert("accounts", Row::new().with("balance", y0)).unwrap();
+    setup.commit().unwrap();
+    db.clear_history();
+    (db, x, y)
+}
+
+fn balance(db: &Database, row: RowId) -> i64 {
+    db.read_committed("accounts", row)
+        .and_then(|r| r.get_int("balance"))
+        .unwrap_or(0)
+}
+
+fn set_balance(t: &Transaction, row: RowId, v: i64) -> Result<(), TxnError> {
+    t.update("accounts", row, Row::new().with("balance", v))
+}
+
+fn read_balance(t: &Transaction, row: RowId) -> Result<Option<i64>, TxnError> {
+    Ok(t.read("accounts", row)?.and_then(|r| r.get_int("balance")))
+}
+
+/// Is the error a lock conflict under the non-blocking policy?
+fn blocked<T>(result: &Result<T, TxnError>) -> bool {
+    matches!(result, Err(TxnError::WouldBlock { .. }))
+}
+
+// ---------------------------------------------------------------------
+// P0 — dirty write.
+// ---------------------------------------------------------------------
+
+fn dirty_write(level: IsolationLevel) -> (ScenarioOutcome, String) {
+    // Constraint: x = y.  T1 writes 1 to both, T2 writes 2 to both,
+    // interleaved as in the paper's Section 3 example.
+    let (db, x, y) = accounts_db(level, 0, 0);
+    let t1 = db.begin();
+    let t2 = db.begin();
+
+    let _ = set_balance(&t1, x, 1);
+    let t2_wrote = !blocked(&set_balance(&t2, x, 2));
+    if t2_wrote {
+        let _ = set_balance(&t2, y, 2);
+        let _ = t2.commit();
+        let _ = set_balance(&t1, y, 1);
+        let _ = t1.commit();
+    } else {
+        // T2 waits for T1: finish T1 first, then replay T2 serially.
+        let _ = set_balance(&t1, y, 1);
+        let _ = t1.commit();
+        let _ = set_balance(&t2, x, 2);
+        let _ = set_balance(&t2, y, 2);
+        let _ = t2.commit();
+    }
+    let (fx, fy) = (balance(&db, x), balance(&db, y));
+    if fx != fy {
+        (
+            ScenarioOutcome::Anomaly,
+            format!("constraint x = y violated: x={fx}, y={fy}"),
+        )
+    } else {
+        (ScenarioOutcome::Prevented, format!("x = y = {fx} preserved"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// P1 — dirty read.
+// ---------------------------------------------------------------------
+
+fn dirty_read(level: IsolationLevel) -> (ScenarioOutcome, String) {
+    // T1 moves 40 from x to y but rolls back; the audit T2 runs in the
+    // middle.  A dirty read shows up as an audited total different from 100.
+    let (db, x, y) = accounts_db(level, 50, 50);
+    let t1 = db.begin();
+    let _ = set_balance(&t1, x, 10);
+
+    let t2 = db.begin();
+    let mut seen_x = read_balance(&t2, x);
+    if blocked(&seen_x) {
+        // The reader waits for the writer; T1 rolls back first.
+        t1.abort().unwrap();
+        seen_x = read_balance(&t2, x);
+    }
+    let seen_x = seen_x.unwrap_or(None).unwrap_or(0);
+    let seen_y = read_balance(&t2, y).unwrap_or(None).unwrap_or(0);
+    let _ = t2.commit();
+    if t1.is_active() {
+        let _ = set_balance(&t1, y, 90);
+        t1.abort().unwrap();
+    }
+    let total = seen_x + seen_y;
+    if total != 100 {
+        (
+            ScenarioOutcome::Anomaly,
+            format!("audit read uncommitted data: total {total} instead of 100"),
+        )
+    } else {
+        (ScenarioOutcome::Prevented, "audit saw the invariant total 100".to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// P4C / P4 — lost updates.
+// ---------------------------------------------------------------------
+
+fn cursor_lost_update(level: IsolationLevel) -> (ScenarioOutcome, String) {
+    // H4C: rc1[x=100] w2[x=120] c2 wc1[x=130] c1.
+    let (db, x, _) = accounts_db(level, 100, 0);
+    let all = RowPredicate::whole_table("accounts");
+    let t1 = db.begin();
+    let cursor = match t1.open_cursor(&all) {
+        Ok(c) => c,
+        Err(_) => return (ScenarioOutcome::Prevented, "cursor open blocked".into()),
+    };
+    let fetched = t1.fetch(cursor).ok().flatten();
+    let captured = fetched
+        .as_ref()
+        .and_then(|(_, row)| row.get_int("balance"))
+        .unwrap_or(100);
+
+    let t2 = db.begin();
+    let t2_write = set_balance(&t2, x, 120);
+    let t2_committed;
+    if blocked(&t2_write) {
+        // Cursor Stability (and stronger): the writer waits until T1 ends.
+        let _ = t1.update_current(cursor, Row::new().with("balance", captured + 30));
+        let _ = t1.commit();
+        let _ = set_balance(&t2, x, 120);
+        t2_committed = t2.commit().is_ok();
+    } else {
+        t2_committed = t2.commit().is_ok();
+        let positioned = t1.update_current(cursor, Row::new().with("balance", captured + 30));
+        match positioned {
+            Ok(()) => {
+                let _ = t1.commit();
+            }
+            Err(_) => {
+                // Stale-cursor restart or block: the anomaly is prevented.
+                let _ = t1.commit();
+            }
+        }
+    }
+    let final_balance = balance(&db, x);
+    if t2_committed && final_balance == captured + 30 {
+        (
+            ScenarioOutcome::Anomaly,
+            format!("T2's committed write of 120 was lost; final balance {final_balance}"),
+        )
+    } else {
+        (
+            ScenarioOutcome::Prevented,
+            format!("no blind overwrite; final balance {final_balance}"),
+        )
+    }
+}
+
+fn lost_update(level: IsolationLevel) -> (ScenarioOutcome, String) {
+    // H4: r1[x=100] r2[x=100] w2[x=120] c2 w1[x=130] c1.
+    let (db, x, _) = accounts_db(level, 100, 0);
+    let t1 = db.begin();
+    let t2 = db.begin();
+    let r1 = read_balance(&t1, x).unwrap_or(None).unwrap_or(100);
+    let r2 = read_balance(&t2, x).unwrap_or(None).unwrap_or(100);
+
+    let w2 = set_balance(&t2, x, r2 + 20);
+    let mut t2_committed = false;
+    if blocked(&w2) {
+        // T2 waits on T1's long read lock; T1 finishes first.
+        let w1 = set_balance(&t1, x, r1 + 30);
+        if blocked(&w1) {
+            // Mutual block (both hold read locks): deadlock — abort T2.
+            t2.abort().unwrap();
+            let _ = set_balance(&t1, x, r1 + 30);
+            let _ = t1.commit();
+        } else {
+            let _ = t1.commit();
+            let _ = set_balance(&t2, x, r2 + 20);
+            t2_committed = t2.commit().is_ok();
+        }
+    } else {
+        t2_committed = t2.commit().is_ok();
+        let w1 = set_balance(&t1, x, r1 + 30);
+        if !blocked(&w1) {
+            let _ = t1.commit();
+        } else {
+            let _ = t1.abort();
+        }
+    }
+    let final_balance = balance(&db, x);
+    if t2_committed && final_balance == r1 + 30 {
+        (
+            ScenarioOutcome::Anomaly,
+            format!("T2's increment lost: final balance {final_balance} reflects only T1"),
+        )
+    } else {
+        (
+            ScenarioOutcome::Prevented,
+            format!("both increments preserved or conflict resolved; final {final_balance}"),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// P2 — fuzzy read (plain and cursor-protected).
+// ---------------------------------------------------------------------
+
+fn fuzzy_read(level: IsolationLevel, through_cursor: bool) -> (ScenarioOutcome, String) {
+    let (db, x, y) = accounts_db(level, 50, 50);
+    let all = RowPredicate::whole_table("accounts");
+    let t1 = db.begin();
+
+    // First read of x, optionally holding the row with a cursor.
+    let (first, cursor) = if through_cursor {
+        let c = match t1.open_cursor(&all) {
+            Ok(c) => c,
+            Err(_) => return (ScenarioOutcome::Prevented, "cursor open blocked".into()),
+        };
+        let v = t1
+            .fetch(c)
+            .ok()
+            .flatten()
+            .and_then(|(_, row)| row.get_int("balance"))
+            .unwrap_or(50);
+        (v, Some(c))
+    } else {
+        (read_balance(&t1, x).unwrap_or(None).unwrap_or(50), None)
+    };
+
+    // T2 transfers 40 from x to y and commits.
+    let t2 = db.begin();
+    let moved = set_balance(&t2, x, 10);
+    if blocked(&moved) {
+        // The writer waits until T1 commits: reads stayed repeatable.
+        let second = if let Some(c) = cursor {
+            let _ = c;
+            first
+        } else {
+            read_balance(&t1, x).unwrap_or(None).unwrap_or(first)
+        };
+        let _ = t1.commit();
+        let _ = set_balance(&t2, x, 10);
+        let _ = set_balance(&t2, y, 90);
+        let _ = t2.commit();
+        return if second == first {
+            (
+                ScenarioOutcome::Prevented,
+                format!("both reads returned {first}"),
+            )
+        } else {
+            (
+                ScenarioOutcome::Anomaly,
+                format!("re-read changed from {first} to {second}"),
+            )
+        };
+    }
+    let _ = set_balance(&t2, y, 90);
+    let _ = t2.commit();
+
+    // T1 re-reads x.
+    let second = read_balance(&t1, x).unwrap_or(None).unwrap_or(first);
+    let _ = t1.commit();
+    if second != first {
+        (
+            ScenarioOutcome::Anomaly,
+            format!("re-read changed from {first} to {second}"),
+        )
+    } else {
+        (
+            ScenarioOutcome::Prevented,
+            format!("both reads returned {first}"),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// P3 — phantoms.
+// ---------------------------------------------------------------------
+
+fn employees_db(level: IsolationLevel) -> (Database, RowPredicate) {
+    let db = Database::new(level);
+    let setup = db.begin();
+    setup
+        .insert("employees", Row::new().with("active", true).with("value", 1))
+        .unwrap();
+    setup
+        .insert("employees", Row::new().with("active", false).with("value", 1))
+        .unwrap();
+    setup.commit().unwrap();
+    db.clear_history();
+    (db, RowPredicate::new("employees", Condition::eq("active", true)))
+}
+
+fn phantom_ansi(level: IsolationLevel) -> (ScenarioOutcome, String) {
+    let (db, active) = employees_db(level);
+    let t1 = db.begin();
+    let first = match t1.read_where(&active) {
+        Ok(rows) => rows.len(),
+        Err(_) => return (ScenarioOutcome::Prevented, "predicate read blocked".into()),
+    };
+
+    let t2 = db.begin();
+    let insert = t2.insert("employees", Row::new().with("active", true).with("value", 1));
+    if blocked(&insert) {
+        // SERIALIZABLE: the insert waits for the predicate lock.
+        let second = t1.read_where(&active).map(|r| r.len()).unwrap_or(first);
+        let _ = t1.commit();
+        let _ = t2.insert("employees", Row::new().with("active", true).with("value", 1));
+        let _ = t2.commit();
+        return if second == first {
+            (ScenarioOutcome::Prevented, format!("both scans returned {first} rows"))
+        } else {
+            (ScenarioOutcome::Anomaly, format!("scan grew from {first} to {second} rows"))
+        };
+    }
+    let _ = t2.commit();
+    let second = t1.read_where(&active).map(|r| r.len()).unwrap_or(first);
+    let _ = t1.commit();
+    if second != first {
+        (
+            ScenarioOutcome::Anomaly,
+            format!("phantom appeared: scan grew from {first} to {second} rows"),
+        )
+    } else {
+        (
+            ScenarioOutcome::Prevented,
+            format!("both scans returned {first} rows"),
+        )
+    }
+}
+
+fn phantom_constraint(level: IsolationLevel) -> (ScenarioOutcome, String) {
+    // Constraint: the tasks matching the predicate may not exceed 8 hours
+    // in total.  Both transactions check (sum = 7) and insert a one-hour
+    // task (the Section 4.2 scenario Snapshot Isolation does not prevent).
+    let db = Database::new(level);
+    let setup = db.begin();
+    setup
+        .insert("tasks", Row::new().with("project", "apollo").with("hours", 7))
+        .unwrap();
+    setup.commit().unwrap();
+    db.clear_history();
+    let apollo = RowPredicate::new("tasks", Condition::eq("project", "apollo"));
+
+    let t1 = db.begin();
+    let t2 = db.begin();
+    let sum1 = t1.sum_where(&apollo, "hours").unwrap_or(7);
+    let sum2 = t2.sum_where(&apollo, "hours").unwrap_or(7);
+
+    let insert = |t: &Transaction, sum: i64| -> bool {
+        if sum + 1 > 8 {
+            return false; // the application itself refuses
+        }
+        let attempt = t.insert("tasks", Row::new().with("project", "apollo").with("hours", 1));
+        if blocked(&attempt) {
+            false
+        } else {
+            t.commit().is_ok()
+        }
+    };
+    let first_inserted = insert(&t1, sum1);
+    let second_inserted = insert(&t2, sum2);
+    let _ = (first_inserted, second_inserted);
+
+    let final_sum = db.sum_committed(&apollo, "hours");
+    if final_sum > 8 {
+        (
+            ScenarioOutcome::Anomaly,
+            format!("constraint SUM(hours) <= 8 violated: {final_sum}"),
+        )
+    } else {
+        (
+            ScenarioOutcome::Prevented,
+            format!("constraint holds: SUM(hours) = {final_sum}"),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// A5A — read skew.
+// ---------------------------------------------------------------------
+
+fn read_skew(level: IsolationLevel) -> (ScenarioOutcome, String) {
+    let (db, x, y) = accounts_db(level, 50, 50);
+    let t1 = db.begin();
+    let seen_x = read_balance(&t1, x).unwrap_or(None).unwrap_or(50);
+
+    let t2 = db.begin();
+    let moved = set_balance(&t2, x, 10);
+    if blocked(&moved) {
+        // REPEATABLE READ and stronger: the transfer waits for the reader.
+        let seen_y = read_balance(&t1, y).unwrap_or(None).unwrap_or(50);
+        let _ = t1.commit();
+        let _ = set_balance(&t2, x, 10);
+        let _ = set_balance(&t2, y, 90);
+        let _ = t2.commit();
+        return if seen_x + seen_y == 100 {
+            (ScenarioOutcome::Prevented, "reader saw a consistent total of 100".into())
+        } else {
+            (
+                ScenarioOutcome::Anomaly,
+                format!("reader saw inconsistent total {}", seen_x + seen_y),
+            )
+        };
+    }
+    let _ = set_balance(&t2, y, 90);
+    let _ = t2.commit();
+    let seen_y = read_balance(&t1, y).unwrap_or(None).unwrap_or(50);
+    let _ = t1.commit();
+    let total = seen_x + seen_y;
+    if total != 100 {
+        (
+            ScenarioOutcome::Anomaly,
+            format!("reader saw old x and new y: total {total}"),
+        )
+    } else {
+        (ScenarioOutcome::Prevented, "reader saw a consistent total of 100".into())
+    }
+}
+
+// ---------------------------------------------------------------------
+// A5B — write skew (plain and cursor-protected).
+// ---------------------------------------------------------------------
+
+fn write_skew(level: IsolationLevel, through_cursors: bool) -> (ScenarioOutcome, String) {
+    // Constraint: x + y > 0 (each starts at 50; each transaction withdraws
+    // 90 from one account after checking the combined balance).
+    let (db, x, y) = accounts_db(level, 50, 50);
+    let t1 = db.begin();
+    let t2 = db.begin();
+
+    let read_both = |t: &Transaction| -> Result<i64, TxnError> {
+        if through_cursors {
+            let all = RowPredicate::whole_table("accounts");
+            let cx = t.open_cursor(&all)?;
+            let first = t.fetch(cx)?.and_then(|(_, r)| r.get_int("balance")).unwrap_or(50);
+            let cy = t.open_cursor(&all)?;
+            t.fetch(cy)?;
+            let second = t
+                .fetch(cy)?
+                .and_then(|(_, r)| r.get_int("balance"))
+                .unwrap_or(50);
+            Ok(first + second)
+        } else {
+            let a = t.read("accounts", x)?.and_then(|r| r.get_int("balance")).unwrap_or(50);
+            let b = t.read("accounts", y)?.and_then(|r| r.get_int("balance")).unwrap_or(50);
+            Ok(a + b)
+        }
+    };
+
+    let sum1 = match read_both(&t1) {
+        Ok(s) => s,
+        Err(_) => return (ScenarioOutcome::Prevented, "reads blocked".into()),
+    };
+    let sum2 = match read_both(&t2) {
+        Ok(s) => s,
+        Err(_) => {
+            // T2 cannot even read: finish T1 serially; no skew possible.
+            if sum1 - 90 > 0 {
+                let _ = set_balance(&t1, y, 50 - 90);
+                let _ = t1.commit();
+            }
+            return (ScenarioOutcome::Prevented, "second reader blocked".into());
+        }
+    };
+
+    let withdraw = |t: &Transaction, from: RowId, sum: i64| -> bool {
+        if sum - 90 <= 0 {
+            return false;
+        }
+        let attempt = set_balance(t, from, 50 - 90);
+        if blocked(&attempt) {
+            let _ = t.abort();
+            false
+        } else {
+            t.commit().is_ok()
+        }
+    };
+    let w1 = withdraw(&t1, y, sum1);
+    let w2 = withdraw(&t2, x, sum2);
+    let _ = (w1, w2);
+
+    let final_sum = balance(&db, x) + balance(&db, y);
+    if final_sum <= 0 {
+        (
+            ScenarioOutcome::Anomaly,
+            format!("constraint x + y > 0 violated: {final_sum}"),
+        )
+    } else {
+        (
+            ScenarioOutcome::Prevented,
+            format!("constraint holds: x + y = {final_sum}"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use IsolationLevel::*;
+    use ScenarioOutcome::*;
+
+    fn outcome(scenario: AnomalyScenario, level: IsolationLevel) -> ScenarioOutcome {
+        scenario.run(level).outcome
+    }
+
+    #[test]
+    fn dirty_write_only_at_degree0() {
+        assert_eq!(outcome(AnomalyScenario::DirtyWrite, Degree0), Anomaly);
+        for level in [ReadUncommitted, ReadCommitted, RepeatableRead, SnapshotIsolation, Serializable] {
+            assert_eq!(outcome(AnomalyScenario::DirtyWrite, level), Prevented, "{level}");
+        }
+    }
+
+    #[test]
+    fn dirty_read_only_below_read_committed() {
+        assert_eq!(outcome(AnomalyScenario::DirtyRead, ReadUncommitted), Anomaly);
+        for level in [ReadCommitted, CursorStability, RepeatableRead, SnapshotIsolation, OracleReadConsistency, Serializable] {
+            assert_eq!(outcome(AnomalyScenario::DirtyRead, level), Prevented, "{level}");
+        }
+    }
+
+    #[test]
+    fn lost_updates_match_table4() {
+        for level in [ReadUncommitted, ReadCommitted, CursorStability, OracleReadConsistency] {
+            assert_eq!(outcome(AnomalyScenario::LostUpdate, level), Anomaly, "{level}");
+        }
+        for level in [RepeatableRead, SnapshotIsolation, Serializable] {
+            assert_eq!(outcome(AnomalyScenario::LostUpdate, level), Prevented, "{level}");
+        }
+    }
+
+    #[test]
+    fn cursor_lost_updates_match_table4() {
+        for level in [ReadUncommitted, ReadCommitted] {
+            assert_eq!(outcome(AnomalyScenario::CursorLostUpdate, level), Anomaly, "{level}");
+        }
+        for level in [CursorStability, RepeatableRead, SnapshotIsolation, OracleReadConsistency, Serializable] {
+            assert_eq!(outcome(AnomalyScenario::CursorLostUpdate, level), Prevented, "{level}");
+        }
+    }
+
+    #[test]
+    fn fuzzy_reads_match_table4() {
+        for level in [ReadUncommitted, ReadCommitted, CursorStability, OracleReadConsistency] {
+            assert_eq!(outcome(AnomalyScenario::FuzzyRead, level), Anomaly, "{level}");
+        }
+        for level in [RepeatableRead, SnapshotIsolation, Serializable] {
+            assert_eq!(outcome(AnomalyScenario::FuzzyRead, level), Prevented, "{level}");
+        }
+        // The cursor-protected variant is what Cursor Stability prevents.
+        assert_eq!(
+            outcome(AnomalyScenario::FuzzyReadCursorProtected, CursorStability),
+            Prevented
+        );
+        assert_eq!(
+            outcome(AnomalyScenario::FuzzyReadCursorProtected, ReadCommitted),
+            Anomaly
+        );
+    }
+
+    #[test]
+    fn ansi_phantoms_match_table4() {
+        for level in [ReadUncommitted, ReadCommitted, CursorStability, RepeatableRead, OracleReadConsistency] {
+            assert_eq!(outcome(AnomalyScenario::PhantomAnsi, level), Anomaly, "{level}");
+        }
+        for level in [SnapshotIsolation, Serializable] {
+            assert_eq!(outcome(AnomalyScenario::PhantomAnsi, level), Prevented, "{level}");
+        }
+    }
+
+    #[test]
+    fn predicate_constraint_phantoms_catch_snapshot_isolation() {
+        assert_eq!(
+            outcome(AnomalyScenario::PhantomPredicateConstraint, SnapshotIsolation),
+            Anomaly
+        );
+        assert_eq!(
+            outcome(AnomalyScenario::PhantomPredicateConstraint, RepeatableRead),
+            Anomaly
+        );
+        assert_eq!(
+            outcome(AnomalyScenario::PhantomPredicateConstraint, Serializable),
+            Prevented
+        );
+    }
+
+    #[test]
+    fn read_skew_matches_table4() {
+        for level in [ReadUncommitted, ReadCommitted, CursorStability, OracleReadConsistency] {
+            assert_eq!(outcome(AnomalyScenario::ReadSkew, level), Anomaly, "{level}");
+        }
+        for level in [RepeatableRead, SnapshotIsolation, Serializable] {
+            assert_eq!(outcome(AnomalyScenario::ReadSkew, level), Prevented, "{level}");
+        }
+    }
+
+    #[test]
+    fn write_skew_matches_table4() {
+        for level in [ReadUncommitted, ReadCommitted, CursorStability, SnapshotIsolation, OracleReadConsistency] {
+            assert_eq!(outcome(AnomalyScenario::WriteSkew, level), Anomaly, "{level}");
+        }
+        for level in [RepeatableRead, Serializable] {
+            assert_eq!(outcome(AnomalyScenario::WriteSkew, level), Prevented, "{level}");
+        }
+        // Protecting both rows with cursors makes Cursor Stability prevent it.
+        assert_eq!(
+            outcome(AnomalyScenario::WriteSkewCursorProtected, CursorStability),
+            Prevented
+        );
+        assert_eq!(
+            outcome(AnomalyScenario::WriteSkewCursorProtected, ReadCommitted),
+            Anomaly
+        );
+    }
+
+    #[test]
+    fn serializable_prevents_every_scenario() {
+        for scenario in AnomalyScenario::ALL {
+            assert_eq!(outcome(scenario, Serializable), Prevented, "{scenario}");
+        }
+    }
+
+    #[test]
+    fn scenario_metadata_is_consistent() {
+        for scenario in AnomalyScenario::ALL {
+            assert!(!scenario.name().is_empty());
+            let result = scenario.run(IsolationLevel::Serializable);
+            assert_eq!(result.scenario, scenario);
+            assert_eq!(result.level, IsolationLevel::Serializable);
+            assert!(!result.detail.is_empty());
+        }
+    }
+}

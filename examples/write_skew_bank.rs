@@ -1,0 +1,114 @@
+//! Write skew (history H5): a bank allows individual balances to go
+//! negative as long as the *sum* of a customer's accounts stays positive.
+//! Two concurrent withdrawals each check the constraint and proceed — under
+//! Snapshot Isolation both commit and the constraint is violated; under
+//! SERIALIZABLE (or REPEATABLE READ) one of them is stopped.
+//!
+//! ```bash
+//! cargo run --example write_skew_bank
+//! ```
+
+use ansi_isolation_critique::prelude::*;
+use critique_storage::Row;
+
+fn run(level: IsolationLevel) -> (i64, &'static str) {
+    let db = Database::new(level);
+    let setup = db.begin();
+    let x = setup.insert("accounts", Row::new().with("balance", 50)).unwrap();
+    let y = setup.insert("accounts", Row::new().with("balance", 50)).unwrap();
+    setup.commit().unwrap();
+
+    let withdraw = |victim, other| -> &'static str {
+        let t = db.begin();
+        let read = |row| {
+            t.read("accounts", row)
+                .ok()
+                .flatten()
+                .and_then(|r| r.get_int("balance"))
+        };
+        let (Some(a), Some(b)) = (read(victim), read(other)) else {
+            let _ = t.abort();
+            return "blocked while checking";
+        };
+        if a + b - 90 <= 0 {
+            let _ = t.abort();
+            return "refused by application";
+        }
+        match t.update("accounts", victim, Row::new().with("balance", a - 90)) {
+            Ok(()) => match t.commit() {
+                Ok(()) => "committed",
+                Err(TxnError::FirstCommitterConflict { .. }) => "aborted (first-committer-wins)",
+                Err(_) => "aborted",
+            },
+            Err(TxnError::WouldBlock { .. }) => {
+                let _ = t.abort();
+                "blocked by a lock"
+            }
+            Err(_) => "aborted",
+        }
+    };
+
+    // The two withdrawals run "concurrently": both perform their reads
+    // before either writes (the H5 interleaving).
+    let t1 = db.begin();
+    let t2 = db.begin();
+    let r = |t: &Transaction, row| {
+        t.read("accounts", row)
+            .ok()
+            .flatten()
+            .and_then(|r| r.get_int("balance"))
+            .unwrap_or(50)
+    };
+    let sum1 = r(&t1, x) + r(&t1, y);
+    let sum2 = r(&t2, x) + r(&t2, y);
+    let outcome1 = if sum1 > 90 {
+        match t1
+            .update("accounts", y, Row::new().with("balance", 50 - 90))
+            .and_then(|_| t1.commit())
+        {
+            Ok(()) => "committed",
+            Err(TxnError::WouldBlock { .. }) => "blocked",
+            Err(_) => "aborted",
+        }
+    } else {
+        "refused"
+    };
+    let outcome2 = if sum2 > 90 {
+        match t2
+            .update("accounts", x, Row::new().with("balance", 50 - 90))
+            .and_then(|_| t2.commit())
+        {
+            Ok(()) => "committed",
+            Err(TxnError::WouldBlock { .. }) => "blocked",
+            Err(_) => "aborted",
+        }
+    } else {
+        "refused"
+    };
+    let _ = withdraw; // the helper documents the intended application logic
+
+    let total = db.sum_committed(&critique_storage::RowPredicate::whole_table("accounts"), "balance");
+    let detail = match (outcome1, outcome2) {
+        ("committed", "committed") => "both withdrawals committed",
+        _ => "one withdrawal was stopped",
+    };
+    (total, detail)
+}
+
+fn main() {
+    println!("Write skew (H5): constraint is x + y > 0, both start at 50, each txn withdraws 90\n");
+    for level in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializable,
+    ] {
+        let (total, detail) = run(level);
+        let verdict = if total > 0 { "constraint holds" } else { "CONSTRAINT VIOLATED" };
+        println!(
+            "  {:<22} final x + y = {:<5} ({detail}) -> {verdict}",
+            level.name(),
+            total
+        );
+    }
+}

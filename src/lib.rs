@@ -1,0 +1,61 @@
+//! # ansi-isolation-critique
+//!
+//! A full, executable reproduction of *"A Critique of ANSI SQL Isolation
+//! Levels"* (Berenson, Bernstein, Gray, Melton, O'Neil, O'Neil — SIGMOD
+//! 1995).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`history`] — transaction histories, the paper's shorthand notation,
+//!   dependency graphs, serializability, multi-version histories and the
+//!   MV→SV mapping (crate `critique-history`);
+//! * [`core`] — the phenomena P0-P3 / A1-A3 / P4 / P4C / A5A / A5B with
+//!   detectors, the isolation level taxonomy, locking profiles (Table 2),
+//!   the characterisation tables (Tables 1, 3, 4) and the Figure 2
+//!   hierarchy (crate `critique-core`);
+//! * [`storage`] — the multi-version row store (crate `critique-storage`);
+//! * [`lock`] — the lock manager with item/predicate locks and deadlock
+//!   detection (crate `critique-lock`);
+//! * [`engine`] — the transaction engine with locking, Cursor Stability,
+//!   Snapshot Isolation, and Oracle Read Consistency schedulers (crate
+//!   `critique-engine`);
+//! * [`workloads`] — anomaly scenarios and the mixed concurrent workload
+//!   (crate `critique-workloads`);
+//! * [`harness`] — the table/figure reproduction harness (crate
+//!   `critique-harness`).
+//!
+//! ```
+//! use ansi_isolation_critique::prelude::*;
+//!
+//! // Run the paper's lost-update scenario under Snapshot Isolation:
+//! // First-Committer-Wins prevents it.
+//! let result = AnomalyScenario::LostUpdate.run(IsolationLevel::SnapshotIsolation);
+//! assert!(!result.outcome.is_anomaly());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use critique_core as core;
+pub use critique_engine as engine;
+pub use critique_harness as harness;
+pub use critique_history as history;
+pub use critique_lock as lock;
+pub use critique_storage as storage;
+pub use critique_workloads as workloads;
+
+/// The most commonly used types across the workspace, in one import.
+pub mod prelude {
+    pub use critique_core::prelude::*;
+    pub use critique_engine::prelude::*;
+    pub use critique_harness::ReproductionReport;
+    pub use critique_history::prelude::*;
+    // `critique_storage::Comparison` (the predicate operator) is left out to
+    // avoid clashing with `critique_core::lattice::Comparison`; reach it via
+    // `critique_storage::Comparison` when needed.
+    pub use critique_storage::prelude::{
+        ColumnValue, Condition, MvStore, Row, RowId, RowPredicate, Snapshot, StorageError,
+        TableName, Timestamp, TimestampOracle, TxnToken, Version, VersionChain, WriteKind,
+    };
+    pub use critique_workloads::prelude::*;
+}

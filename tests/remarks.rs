@@ -1,0 +1,179 @@
+//! The paper's ten Remarks, each checked mechanically against the
+//! implementation.
+
+use ansi_isolation_critique::prelude::*;
+use critique_core::lattice::{compare, incomparable, weaker};
+use critique_core::level::AnsiLevel;
+use critique_core::locking::{LockDuration, LockProfile, LockRequirement};
+use critique_core::tables;
+use critique_history::canonical;
+
+#[test]
+fn remark_1_the_locking_levels_form_a_strict_chain() {
+    use IsolationLevel::*;
+    let chain = [ReadUncommitted, ReadCommitted, RepeatableRead, Serializable];
+    for pair in chain.windows(2) {
+        assert!(weaker(pair[0], pair[1]), "{} « {}", pair[0], pair[1]);
+    }
+}
+
+#[test]
+fn remark_2_and_6_locking_levels_are_at_least_as_strong_as_the_phenomenological_ones() {
+    // The locking profile of each Table 3 row forbids exactly the phenomena
+    // the phenomenological definition forbids: executing the profiles
+    // (observed Table 3) reproduces the specification (Table 3).
+    let cmp = ansi_isolation_critique::harness::matrix::compare_table3();
+    assert!(cmp.mismatches().is_empty(), "{}", cmp.summary());
+}
+
+#[test]
+fn remark_3_every_level_above_degree_0_excludes_dirty_writes() {
+    for level in IsolationLevel::ALL {
+        if level == IsolationLevel::Degree0 {
+            continue;
+        }
+        assert_eq!(
+            tables::possibility(level, Phenomenon::P0),
+            Possibility::NotPossible,
+            "{level}"
+        );
+        let observed = AnomalyScenario::DirtyWrite.run(level);
+        assert!(!observed.outcome.is_anomaly(), "{level}: {}", observed.detail);
+    }
+}
+
+#[test]
+fn remark_4_the_broad_interpretations_are_required() {
+    // H1, H2, H3 are non-serializable but admitted by the strict readings.
+    for (history, level) in [
+        (canonical::h1(), AnsiLevel::AnomalySerializable),
+        (canonical::h2(), AnsiLevel::RepeatableRead),
+        (canonical::h3(), AnsiLevel::AnomalySerializable),
+    ] {
+        assert!(!conflict_serializable(&history).is_serializable());
+        assert!(level.permits(&history, Interpretation::Strict));
+        assert!(!level.permits(&history, Interpretation::Broad));
+    }
+}
+
+#[test]
+fn remark_5_the_corrected_definitions_add_p0_and_use_broad_phenomena() {
+    let table3 = tables::table3();
+    for (label, _) in &table3.rows {
+        assert_eq!(
+            table3.cell(label, Phenomenon::P0),
+            Some(Possibility::NotPossible)
+        );
+    }
+}
+
+#[test]
+fn remark_6_lock_profiles_and_phenomena_tables_agree() {
+    // SERIALIZABLE is the only two-phase well-formed profile, and it is the
+    // only row of Table 3 that forbids every phenomenon.
+    for profile in LockProfile::table2() {
+        let forbids_everything = Phenomenon::TABLE3_COLUMNS
+            .iter()
+            .all(|p| tables::possibility(profile.level, *p) == Possibility::NotPossible);
+        assert_eq!(
+            profile.is_two_phase_well_formed(),
+            forbids_everything && profile.level == IsolationLevel::Serializable,
+            "{}",
+            profile.level
+        );
+    }
+    // Long write locks everywhere above Degree 0 (the recovery argument).
+    for profile in LockProfile::table2().into_iter().skip(1) {
+        assert_eq!(
+            profile.write,
+            LockRequirement::WellFormed(LockDuration::Long)
+        );
+    }
+}
+
+#[test]
+fn remark_7_cursor_stability_sits_strictly_between_rc_and_rr() {
+    assert!(weaker(IsolationLevel::ReadCommitted, IsolationLevel::CursorStability));
+    assert!(weaker(IsolationLevel::CursorStability, IsolationLevel::RepeatableRead));
+    // And the executable evidence: P4C possible at RC, not at CS; P4 still
+    // sometimes possible at CS, never at RR.
+    assert!(AnomalyScenario::CursorLostUpdate
+        .run(IsolationLevel::ReadCommitted)
+        .outcome
+        .is_anomaly());
+    assert!(!AnomalyScenario::CursorLostUpdate
+        .run(IsolationLevel::CursorStability)
+        .outcome
+        .is_anomaly());
+    assert!(AnomalyScenario::LostUpdate
+        .run(IsolationLevel::CursorStability)
+        .outcome
+        .is_anomaly());
+    assert!(!AnomalyScenario::LostUpdate
+        .run(IsolationLevel::RepeatableRead)
+        .outcome
+        .is_anomaly());
+}
+
+#[test]
+fn remark_8_read_committed_is_strictly_weaker_than_snapshot_isolation() {
+    assert!(weaker(IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation));
+    // Executable witness: read skew (A5A) occurs at READ COMMITTED but not
+    // under Snapshot Isolation.
+    assert!(AnomalyScenario::ReadSkew
+        .run(IsolationLevel::ReadCommitted)
+        .outcome
+        .is_anomaly());
+    assert!(!AnomalyScenario::ReadSkew
+        .run(IsolationLevel::SnapshotIsolation)
+        .outcome
+        .is_anomaly());
+}
+
+#[test]
+fn remark_9_repeatable_read_and_snapshot_isolation_are_incomparable() {
+    assert!(incomparable(
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::SnapshotIsolation
+    ));
+    // Executable witnesses in both directions: SI allows write skew which
+    // RR prevents; RR allows ANSI phantoms which SI prevents.
+    assert!(AnomalyScenario::WriteSkew
+        .run(IsolationLevel::SnapshotIsolation)
+        .outcome
+        .is_anomaly());
+    assert!(!AnomalyScenario::WriteSkew
+        .run(IsolationLevel::RepeatableRead)
+        .outcome
+        .is_anomaly());
+    assert!(AnomalyScenario::PhantomAnsi
+        .run(IsolationLevel::RepeatableRead)
+        .outcome
+        .is_anomaly());
+    assert!(!AnomalyScenario::PhantomAnsi
+        .run(IsolationLevel::SnapshotIsolation)
+        .outcome
+        .is_anomaly());
+}
+
+#[test]
+fn remark_10_anomaly_serializable_is_weaker_than_snapshot_isolation() {
+    // Snapshot Isolation excludes all three strict ANSI anomalies...
+    for anomaly in Phenomenon::ANSI_STRICT {
+        assert_eq!(
+            tables::possibility(IsolationLevel::SnapshotIsolation, anomaly),
+            Possibility::NotPossible
+        );
+    }
+    // ...yet it is not serializable: the predicate-constraint phantom and
+    // write skew still occur.
+    assert!(AnomalyScenario::PhantomPredicateConstraint
+        .run(IsolationLevel::SnapshotIsolation)
+        .outcome
+        .is_anomaly());
+    assert!(weaker(IsolationLevel::SnapshotIsolation, IsolationLevel::Serializable));
+    assert_eq!(
+        compare(IsolationLevel::Serializable, IsolationLevel::SnapshotIsolation),
+        critique_core::lattice::Comparison::Stronger
+    );
+}
