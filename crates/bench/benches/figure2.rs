@@ -10,7 +10,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", figure2_text());
 
     c.bench_function("figure2/compute_hasse", |b| b.iter(Hierarchy::compute));
-    c.bench_function("figure2/paper_drawing", |b| b.iter(Hierarchy::paper_figure2));
+    c.bench_function("figure2/paper_drawing", |b| {
+        b.iter(Hierarchy::paper_figure2)
+    });
     c.bench_function("figure2/pairwise_compare", |b| {
         b.iter(|| {
             let mut count = 0usize;

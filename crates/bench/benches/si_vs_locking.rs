@@ -70,11 +70,16 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("si_vs_locking/high_contention");
     group.sample_size(10);
-    for level in [IsolationLevel::SnapshotIsolation, IsolationLevel::Serializable] {
+    for level in [
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializable,
+    ] {
         let workload = bench_workload(0.0, 0.8);
-        group.bench_with_input(BenchmarkId::from_parameter(level.name()), &level, |b, level| {
-            b.iter(|| workload.run(*level).aborted())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.name()),
+            &level,
+            |b, level| b.iter(|| workload.run(*level).aborted()),
+        );
     }
     group.finish();
 }

@@ -41,7 +41,9 @@ pub fn fuzzy_reads_strict(history: &History) -> Vec<Occurrence> {
         if !first_read.is_read() {
             continue;
         }
-        let Some(item) = first_read.item() else { continue };
+        let Some(item) = first_read.item() else {
+            continue;
+        };
         let reader = first_read.txn;
         if history.outcome(reader) != TxnOutcome::Committed {
             continue;

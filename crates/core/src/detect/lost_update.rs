@@ -16,7 +16,9 @@ fn lost_update_pattern(history: &History, cursor_read_required: bool) -> Vec<Occ
         if !read_matches {
             continue;
         }
-        let Some(item) = first_read.item() else { continue };
+        let Some(item) = first_read.item() else {
+            continue;
+        };
         let t1 = first_read.txn;
         if history.outcome(t1) != TxnOutcome::Committed {
             continue;

@@ -165,7 +165,10 @@ mod tests {
         assert!(exhibits(&canonical::phantom_strict(), Phenomenon::A3));
         assert!(exhibits(&canonical::read_skew(), Phenomenon::A5A));
         assert!(exhibits(&canonical::write_skew(), Phenomenon::A5B));
-        assert!(exhibits(&canonical::dirty_write_constraint(), Phenomenon::P0));
+        assert!(exhibits(
+            &canonical::dirty_write_constraint(),
+            Phenomenon::P0
+        ));
         assert!(exhibits(&canonical::dirty_write_recovery(), Phenomenon::P0));
     }
 

@@ -28,8 +28,7 @@ fn phantom_pattern(history: &History, insert_only: bool) -> Vec<Occurrence> {
                 continue;
             }
             let affects = second.in_predicates.iter().any(|m| {
-                m.predicate == *predicate
-                    && (!insert_only || m.effect == PredicateEffect::Insert)
+                m.predicate == *predicate && (!insert_only || m.effect == PredicateEffect::Insert)
             });
             if affects {
                 found.push(Occurrence {

@@ -69,7 +69,10 @@ pub fn compare(left: IsolationLevel, right: IsolationLevel) -> Comparison {
     let cr = characterization(right);
     let (right_dominated, right_strict) = dominates(&cr, &cl); // right forbids ⊇ left
     let (left_dominated, left_strict) = dominates(&cl, &cr);
-    match (right_dominated && right_strict, left_dominated && left_strict) {
+    match (
+        right_dominated && right_strict,
+        left_dominated && left_strict,
+    ) {
         (true, false) => Comparison::Weaker,   // left « right
         (false, true) => Comparison::Stronger, // left » right
         (false, false) => {
@@ -239,7 +242,10 @@ impl Hierarchy {
                 .map(|p| p.code())
                 .collect::<Vec<_>>()
                 .join(", ");
-            out.push_str(&format!("  {}  «  {}   [{}]\n", edge.lower, edge.upper, label));
+            out.push_str(&format!(
+                "  {}  «  {}   [{}]\n",
+                edge.lower, edge.upper, label
+            ));
         }
         out.push_str("Incomparable pairs:\n");
         for (a, b) in self.incomparable_pairs() {
@@ -251,10 +257,7 @@ impl Hierarchy {
 
 /// The phenomena whose possibility strictly decreases from `lower` to
 /// `upper` — used to label Figure 2 edges.
-pub fn differentiating_phenomena(
-    lower: IsolationLevel,
-    upper: IsolationLevel,
-) -> Vec<Phenomenon> {
+pub fn differentiating_phenomena(lower: IsolationLevel, upper: IsolationLevel) -> Vec<Phenomenon> {
     let cl = characterization(lower);
     let cu = characterization(upper);
     Phenomenon::ALL
@@ -286,7 +289,10 @@ mod tests {
     #[test]
     fn remark_8_read_committed_is_weaker_than_snapshot_isolation() {
         assert!(weaker(ReadCommitted, SnapshotIsolation));
-        assert_eq!(compare(SnapshotIsolation, ReadCommitted), Comparison::Stronger);
+        assert_eq!(
+            compare(SnapshotIsolation, ReadCommitted),
+            Comparison::Stronger
+        );
     }
 
     #[test]
@@ -310,7 +316,10 @@ mod tests {
     fn degree0_is_the_bottom_element() {
         for level in IsolationLevel::ALL {
             if level != Degree0 {
-                assert!(weaker(Degree0, level), "Degree 0 must be weaker than {level}");
+                assert!(
+                    weaker(Degree0, level),
+                    "Degree 0 must be weaker than {level}"
+                );
             }
         }
     }
@@ -319,7 +328,10 @@ mod tests {
     fn serializable_is_the_top_element() {
         for level in IsolationLevel::ALL {
             if level != Serializable {
-                assert!(weaker(level, Serializable), "{level} must be weaker than SERIALIZABLE");
+                assert!(
+                    weaker(level, Serializable),
+                    "{level} must be weaker than SERIALIZABLE"
+                );
             }
         }
     }
@@ -396,8 +408,14 @@ mod tests {
             vec![Phenomenon::P1, Phenomenon::A1]
         );
         assert!(labels(ReadCommitted, CursorStability).contains(&Phenomenon::P4C));
-        assert_eq!(labels(RepeatableRead, Serializable), vec![Phenomenon::P3, Phenomenon::A3]);
-        assert_eq!(labels(SnapshotIsolation, Serializable), vec![Phenomenon::P3, Phenomenon::A5B]);
+        assert_eq!(
+            labels(RepeatableRead, Serializable),
+            vec![Phenomenon::P3, Phenomenon::A3]
+        );
+        assert_eq!(
+            labels(SnapshotIsolation, Serializable),
+            vec![Phenomenon::P3, Phenomenon::A5B]
+        );
         // Oracle → SI is labelled with the Section 4.3 differences.
         let orc_si = labels(OracleReadConsistency, SnapshotIsolation);
         for expected in [Phenomenon::A3, Phenomenon::A5A, Phenomenon::P4] {

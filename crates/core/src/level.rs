@@ -318,7 +318,13 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(IsolationLevel::SnapshotIsolation.to_string(), "Snapshot Isolation");
-        assert_eq!(AnsiLevel::AnomalySerializable.to_string(), "ANOMALY SERIALIZABLE");
+        assert_eq!(
+            IsolationLevel::SnapshotIsolation.to_string(),
+            "Snapshot Isolation"
+        );
+        assert_eq!(
+            AnsiLevel::AnomalySerializable.to_string(),
+            "ANOMALY SERIALIZABLE"
+        );
     }
 }

@@ -195,7 +195,9 @@ pub fn table1() -> CharacterizationTable {
         })
         .collect();
     CharacterizationTable {
-        title: "Table 1. ANSI SQL Isolation Levels Defined in terms of the Three Original Phenomena".to_string(),
+        title:
+            "Table 1. ANSI SQL Isolation Levels Defined in terms of the Three Original Phenomena"
+                .to_string(),
         columns: Phenomenon::ANSI_BROAD.to_vec(),
         rows,
     }
@@ -338,7 +340,10 @@ mod tests {
                 possibility(IsolationLevel::Serializable, p),
                 Possibility::NotPossible
             );
-            assert_eq!(possibility(IsolationLevel::Degree0, p), Possibility::Possible);
+            assert_eq!(
+                possibility(IsolationLevel::Degree0, p),
+                Possibility::Possible
+            );
         }
     }
 

@@ -145,11 +145,15 @@ mod tests {
     fn committed_readers_see_committed_data_only() {
         let db = Database::new(IsolationLevel::ReadCommitted);
         let t1 = db.begin();
-        let id = t1.insert("accounts", Row::new().with("balance", 10)).unwrap();
+        let id = t1
+            .insert("accounts", Row::new().with("balance", 10))
+            .unwrap();
         assert!(db.read_committed("accounts", id).is_none());
         t1.commit().unwrap();
         assert_eq!(
-            db.read_committed("accounts", id).unwrap().get_int("balance"),
+            db.read_committed("accounts", id)
+                .unwrap()
+                .get_int("balance"),
             Some(10)
         );
         let all = RowPredicate::whole_table("accounts");
@@ -175,7 +179,10 @@ mod tests {
         let t = db.begin();
         let id = t.insert("t", Row::new().with("value", 7)).unwrap();
         t.commit().unwrap();
-        assert_eq!(db2.read_committed("t", id).unwrap().get_int("value"), Some(7));
+        assert_eq!(
+            db2.read_committed("t", id).unwrap().get_int("value"),
+            Some(7)
+        );
         assert_eq!(db2.locks_held(), 0);
         assert!(format!("{db2:?}").contains("SnapshotIsolation"));
     }

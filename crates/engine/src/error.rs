@@ -74,7 +74,11 @@ impl fmt::Display for TxnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TxnError::WouldBlock { blockers } => {
-                write!(f, "operation would block on {} transaction(s)", blockers.len())
+                write!(
+                    f,
+                    "operation would block on {} transaction(s)",
+                    blockers.len()
+                )
             }
             TxnError::Deadlock => write!(f, "aborted as deadlock victim"),
             TxnError::LockTimeout => write!(f, "aborted after lock wait timeout"),

@@ -166,7 +166,14 @@ mod tests {
         let rec = HistoryRecorder::new(true);
         let row = Row::new().with("balance", 50);
         rec.read(TxnToken(1), "accounts", RowId(0), Some(&row));
-        rec.write(TxnToken(1), "accounts", RowId(0), Some(&row), Some(&Row::new().with("balance", 10)), false);
+        rec.write(
+            TxnToken(1),
+            "accounts",
+            RowId(0),
+            Some(&row),
+            Some(&Row::new().with("balance", 10)),
+            false,
+        );
         rec.commit(TxnToken(1));
         let h = rec.history();
         assert_eq!(h.len(), 3);
@@ -188,7 +195,14 @@ mod tests {
         rec.predicate_read(TxnToken(1), &active);
         // T2 inserts a new active employee: recorded as an insert into P.
         let new_row = Row::new().with("active", true);
-        rec.write(TxnToken(2), "employees", RowId(7), None, Some(&new_row), false);
+        rec.write(
+            TxnToken(2),
+            "employees",
+            RowId(7),
+            None,
+            Some(&new_row),
+            false,
+        );
         rec.commit(TxnToken(2));
         rec.commit(TxnToken(1));
         let h = rec.history();
@@ -204,7 +218,14 @@ mod tests {
         rec.predicate_read(TxnToken(1), &active);
         let before = Row::new().with("active", true);
         let after = Row::new().with("active", false);
-        rec.write(TxnToken(2), "employees", RowId(3), Some(&before), Some(&after), false);
+        rec.write(
+            TxnToken(2),
+            "employees",
+            RowId(3),
+            Some(&before),
+            Some(&after),
+            false,
+        );
         rec.commit(TxnToken(2));
         rec.commit(TxnToken(1));
         assert!(detect::exhibits(&rec.history(), Phenomenon::P3));
@@ -227,7 +248,14 @@ mod tests {
         let rec = HistoryRecorder::new(true);
         let row = Row::new().with("value", 100);
         rec.cursor_read(TxnToken(1), "t", RowId(0), Some(&row));
-        rec.write(TxnToken(1), "t", RowId(0), Some(&row), Some(&Row::new().with("value", 130)), true);
+        rec.write(
+            TxnToken(1),
+            "t",
+            RowId(0),
+            Some(&row),
+            Some(&Row::new().with("value", 130)),
+            true,
+        );
         rec.commit(TxnToken(1));
         assert_eq!(rec.history().to_notation(), "rc1[t.0=100] wc1[t.0=130] c1");
     }

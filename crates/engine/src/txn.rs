@@ -106,7 +106,11 @@ impl Transaction {
     ) -> Result<(), TxnError> {
         match self.db.config.lock_wait {
             LockWaitPolicy::Fail => {
-                match self.db.locks.try_acquire(self.token, target, mode, images, duration) {
+                match self
+                    .db
+                    .locks
+                    .try_acquire(self.token, target, mode, images, duration)
+                {
                     LockOutcome::Granted => Ok(()),
                     LockOutcome::WouldBlock { holders } => {
                         Err(TxnError::WouldBlock { blockers: holders })
@@ -170,7 +174,12 @@ impl Transaction {
 
     /// Acquire a read lock on an item if the level requires one.  `cursor`
     /// selects the cursor-duration variant used by FETCH.
-    fn lock_for_read(&self, table: &str, row: RowId, cursor: bool) -> Result<LockDuration, TxnError> {
+    fn lock_for_read(
+        &self,
+        table: &str,
+        row: RowId,
+        cursor: bool,
+    ) -> Result<LockDuration, TxnError> {
         match self.read_item_requirement() {
             LockRequirement::NotRequired => Ok(LockDuration::Short),
             LockRequirement::WellFormed(duration) => {
@@ -208,7 +217,9 @@ impl Transaction {
         self.ensure_active()?;
         let value = match self.db.config.level {
             IsolationLevel::SnapshotIsolation => {
-                self.db.store.get_visible(table, row, self.token, self.start_ts)
+                self.db
+                    .store
+                    .get_visible(table, row, self.token, self.start_ts)
             }
             IsolationLevel::OracleReadConsistency => {
                 let stmt_ts = self.db.ts.current();
@@ -217,12 +228,16 @@ impl Transaction {
             _ => {
                 let duration = self.lock_for_read(table, row, false)?;
                 let value = self.db.store.get_latest_any(table, row);
-                self.db.recorder.read(self.token, table, row, value.as_ref());
+                self.db
+                    .recorder
+                    .read(self.token, table, row, value.as_ref());
                 self.release_after_short_read(duration);
                 return Ok(value);
             }
         };
-        self.db.recorder.read(self.token, table, row, value.as_ref());
+        self.db
+            .recorder
+            .read(self.token, table, row, value.as_ref());
         Ok(value)
     }
 
@@ -231,7 +246,9 @@ impl Transaction {
         self.ensure_active()?;
         let rows = match self.db.config.level {
             IsolationLevel::SnapshotIsolation => {
-                self.db.store.scan_visible(predicate, self.token, self.start_ts)
+                self.db
+                    .store
+                    .scan_visible(predicate, self.token, self.start_ts)
             }
             IsolationLevel::OracleReadConsistency => {
                 let stmt_ts = self.db.ts.current();
@@ -276,7 +293,9 @@ impl Transaction {
     fn visible_before_image(&self, table: &str, row: RowId) -> Option<Row> {
         match self.db.config.level {
             IsolationLevel::SnapshotIsolation => {
-                self.db.store.get_visible(table, row, self.token, self.start_ts)
+                self.db
+                    .store
+                    .get_visible(table, row, self.token, self.start_ts)
             }
             IsolationLevel::OracleReadConsistency => {
                 let stmt_ts = self.db.ts.current();
@@ -309,14 +328,18 @@ impl Transaction {
                 duration,
             )?;
             self.db.locks.release_target(self.token, &guard);
-            self.db.recorder.write(self.token, table, id, None, Some(&row), false);
+            self.db
+                .recorder
+                .write(self.token, table, id, None, Some(&row), false);
             if duration == LockDuration::Short {
                 self.db.locks.release_short(self.token);
             }
             Ok(id)
         } else {
             let id = self.db.store.insert(table, self.token, row.clone());
-            self.db.recorder.write(self.token, table, id, None, Some(&row), false);
+            self.db
+                .recorder
+                .write(self.token, table, id, None, Some(&row), false);
             Ok(id)
         }
     }
@@ -351,18 +374,32 @@ impl Transaction {
                 &images,
                 duration,
             )?;
-            self.db.store.update(table, self.token, row, new_row.clone())?;
             self.db
-                .recorder
-                .write(self.token, table, row, before.as_ref(), Some(&new_row), through_cursor);
+                .store
+                .update(table, self.token, row, new_row.clone())?;
+            self.db.recorder.write(
+                self.token,
+                table,
+                row,
+                before.as_ref(),
+                Some(&new_row),
+                through_cursor,
+            );
             if duration == LockDuration::Short {
                 self.db.locks.release_short(self.token);
             }
         } else {
-            self.db.store.update(table, self.token, row, new_row.clone())?;
             self.db
-                .recorder
-                .write(self.token, table, row, before.as_ref(), Some(&new_row), through_cursor);
+                .store
+                .update(table, self.token, row, new_row.clone())?;
+            self.db.recorder.write(
+                self.token,
+                table,
+                row,
+                before.as_ref(),
+                Some(&new_row),
+                through_cursor,
+            );
         }
         Ok(())
     }
@@ -417,7 +454,10 @@ impl Transaction {
         self.ensure_active()?;
         let (table, next, captured, previous) = {
             let mut state = self.state.lock();
-            let cur = state.cursors.get_mut(&cursor).ok_or(TxnError::NoSuchCursor)?;
+            let cur = state
+                .cursors
+                .get_mut(&cursor)
+                .ok_or(TxnError::NoSuchCursor)?;
             if !cur.open {
                 return Err(TxnError::NoSuchCursor);
             }
@@ -502,10 +542,7 @@ impl Transaction {
             // overwriting the newer value.
             let current = self.db.store.get_latest_committed(&table, row_id);
             if current.as_ref() != Some(&captured) {
-                return Err(TxnError::StaleCursor {
-                    table,
-                    row: row_id,
-                });
+                return Err(TxnError::StaleCursor { table, row: row_id });
             }
         }
         self.write_row(&table, row_id, changes, true)
@@ -514,12 +551,17 @@ impl Transaction {
     /// Close a cursor, releasing its position lock.
     pub fn close_cursor(&self, cursor: CursorId) -> Result<(), TxnError> {
         let mut state = self.state.lock();
-        let cur = state.cursors.get_mut(&cursor).ok_or(TxnError::NoSuchCursor)?;
+        let cur = state
+            .cursors
+            .get_mut(&cursor)
+            .ok_or(TxnError::NoSuchCursor)?;
         cur.open = false;
         let table = cur.table.clone();
-        let position = cur.position.and_then(|p| cur.rows.get(p)).map(|(id, _)| *id);
-        let release = position
-            .filter(|id| !Self::other_cursor_holds(&state, cursor, &table, *id));
+        let position = cur
+            .position
+            .and_then(|p| cur.rows.get(p))
+            .map(|(id, _)| *id);
+        let release = position.filter(|id| !Self::other_cursor_holds(&state, cursor, &table, *id));
         drop(state);
         if let Some(id) = release {
             self.db

@@ -38,10 +38,12 @@ fn degree0_allows_dirty_writes() {
     let (db, x, _) = bank(IsolationLevel::Degree0);
     let t1 = db.begin();
     let t2 = db.begin();
-    t1.update("accounts", x, Row::new().with("balance", 1)).unwrap();
+    t1.update("accounts", x, Row::new().with("balance", 1))
+        .unwrap();
     // Degree 0 holds only short write locks, so T2 may overwrite T1's
     // uncommitted write.
-    t2.update("accounts", x, Row::new().with("balance", 2)).unwrap();
+    t2.update("accounts", x, Row::new().with("balance", 2))
+        .unwrap();
     t2.commit().unwrap();
     t1.commit().unwrap();
     assert!(detect::exhibits(&db.recorded_history(), Phenomenon::P0));
@@ -52,7 +54,8 @@ fn read_uncommitted_prevents_dirty_writes_but_allows_dirty_reads() {
     let (db, x, _) = bank(IsolationLevel::ReadUncommitted);
     let t1 = db.begin();
     let t2 = db.begin();
-    t1.update("accounts", x, Row::new().with("balance", 10)).unwrap();
+    t1.update("accounts", x, Row::new().with("balance", 10))
+        .unwrap();
     // Long write locks: the second writer blocks.
     let blocked = t2.update("accounts", x, Row::new().with("balance", 20));
     assert!(matches!(blocked, Err(TxnError::WouldBlock { .. })));
@@ -72,7 +75,8 @@ fn read_committed_prevents_dirty_reads() {
     let (db, x, _) = bank(IsolationLevel::ReadCommitted);
     let t1 = db.begin();
     let t2 = db.begin();
-    t1.update("accounts", x, Row::new().with("balance", 10)).unwrap();
+    t1.update("accounts", x, Row::new().with("balance", 10))
+        .unwrap();
     // The read lock request conflicts with T1's long write lock.
     assert!(matches!(
         t2.read("accounts", x),
@@ -93,7 +97,8 @@ fn snapshot_isolation_reads_never_block_and_never_see_dirty_data() {
     let (db, x, _) = bank(IsolationLevel::SnapshotIsolation);
     let t1 = db.begin();
     let t2 = db.begin();
-    t1.update("accounts", x, Row::new().with("balance", 10)).unwrap();
+    t1.update("accounts", x, Row::new().with("balance", 10))
+        .unwrap();
     // T2 is not blocked and sees the committed snapshot value.
     assert_eq!(
         t2.read("accounts", x).unwrap().unwrap().get_int("balance"),
@@ -122,13 +127,21 @@ fn read_committed_allows_fuzzy_reads_and_read_skew() {
     let t1 = db.begin();
     let t2 = db.begin();
     // T1 reads x = 50 (short lock, released immediately).
-    assert_eq!(t1.read("accounts", x).unwrap().unwrap().get_int("balance"), Some(50));
+    assert_eq!(
+        t1.read("accounts", x).unwrap().unwrap().get_int("balance"),
+        Some(50)
+    );
     // T2 transfers 40 from x to y and commits.
-    t2.update("accounts", x, Row::new().with("balance", 10)).unwrap();
-    t2.update("accounts", y, Row::new().with("balance", 90)).unwrap();
+    t2.update("accounts", x, Row::new().with("balance", 10))
+        .unwrap();
+    t2.update("accounts", y, Row::new().with("balance", 90))
+        .unwrap();
     t2.commit().unwrap();
     // T1 now reads y = 90: inconsistent total of 140 (the paper's H2).
-    assert_eq!(t1.read("accounts", y).unwrap().unwrap().get_int("balance"), Some(90));
+    assert_eq!(
+        t1.read("accounts", y).unwrap().unwrap().get_int("balance"),
+        Some(90)
+    );
     t1.commit().unwrap();
     let h = db.recorded_history();
     assert!(detect::exhibits(&h, Phenomenon::P2));
@@ -140,14 +153,18 @@ fn repeatable_read_prevents_fuzzy_reads() {
     let (db, x, _) = bank(IsolationLevel::RepeatableRead);
     let t1 = db.begin();
     let t2 = db.begin();
-    assert_eq!(t1.read("accounts", x).unwrap().unwrap().get_int("balance"), Some(50));
+    assert_eq!(
+        t1.read("accounts", x).unwrap().unwrap().get_int("balance"),
+        Some(50)
+    );
     // T1 holds a long read lock on x, so T2's update blocks.
     assert!(matches!(
         t2.update("accounts", x, Row::new().with("balance", 10)),
         Err(TxnError::WouldBlock { .. })
     ));
     t1.commit().unwrap();
-    t2.update("accounts", x, Row::new().with("balance", 10)).unwrap();
+    t2.update("accounts", x, Row::new().with("balance", 10))
+        .unwrap();
     t2.commit().unwrap();
     let h = db.recorded_history();
     assert!(!detect::exhibits(&h, Phenomenon::P2));
@@ -158,13 +175,25 @@ fn snapshot_isolation_prevents_read_skew() {
     let (db, x, y) = bank(IsolationLevel::SnapshotIsolation);
     let t1 = db.begin();
     let t2 = db.begin();
-    let seen_x = t1.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap();
-    t2.update("accounts", x, Row::new().with("balance", 10)).unwrap();
-    t2.update("accounts", y, Row::new().with("balance", 90)).unwrap();
+    let seen_x = t1
+        .read("accounts", x)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap();
+    t2.update("accounts", x, Row::new().with("balance", 10))
+        .unwrap();
+    t2.update("accounts", y, Row::new().with("balance", 90))
+        .unwrap();
     t2.commit().unwrap();
     // T1 still sees the old, consistent pair: the total it observes is the
     // invariant 100, not the skewed 140 of the READ COMMITTED run.
-    let seen_y = t1.read("accounts", y).unwrap().unwrap().get_int("balance").unwrap();
+    let seen_y = t1
+        .read("accounts", y)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap();
     assert_eq!(seen_x + seen_y, 100);
     t1.commit().unwrap();
 }
@@ -174,12 +203,20 @@ fn oracle_read_consistency_allows_read_skew_across_statements() {
     let (db, x, y) = bank(IsolationLevel::OracleReadConsistency);
     let t1 = db.begin();
     let t2 = db.begin();
-    assert_eq!(t1.read("accounts", x).unwrap().unwrap().get_int("balance"), Some(50));
-    t2.update("accounts", x, Row::new().with("balance", 10)).unwrap();
-    t2.update("accounts", y, Row::new().with("balance", 90)).unwrap();
+    assert_eq!(
+        t1.read("accounts", x).unwrap().unwrap().get_int("balance"),
+        Some(50)
+    );
+    t2.update("accounts", x, Row::new().with("balance", 10))
+        .unwrap();
+    t2.update("accounts", y, Row::new().with("balance", 90))
+        .unwrap();
     t2.commit().unwrap();
     // Each statement gets a fresh snapshot, so the second read sees 90.
-    assert_eq!(t1.read("accounts", y).unwrap().unwrap().get_int("balance"), Some(90));
+    assert_eq!(
+        t1.read("accounts", y).unwrap().unwrap().get_int("balance"),
+        Some(90)
+    );
     t1.commit().unwrap();
     assert!(detect::exhibits(&db.recorded_history(), Phenomenon::A5A));
 }
@@ -193,11 +230,23 @@ fn read_committed_loses_updates_like_h4() {
     let (db, x, _) = bank(IsolationLevel::ReadCommitted);
     let t1 = db.begin();
     let t2 = db.begin();
-    let v1 = t1.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap();
-    let v2 = t2.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap();
-    t2.update("accounts", x, Row::new().with("balance", v2 + 20)).unwrap();
+    let v1 = t1
+        .read("accounts", x)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap();
+    let v2 = t2
+        .read("accounts", x)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap();
+    t2.update("accounts", x, Row::new().with("balance", v2 + 20))
+        .unwrap();
     t2.commit().unwrap();
-    t1.update("accounts", x, Row::new().with("balance", v1 + 30)).unwrap();
+    t1.update("accounts", x, Row::new().with("balance", v1 + 30))
+        .unwrap();
     t1.commit().unwrap();
     // T2's +20 is lost: the final balance reflects only T1's +30.
     assert_eq!(balance(&db, x), 80);
@@ -209,11 +258,23 @@ fn snapshot_isolation_first_committer_wins_prevents_lost_updates() {
     let (db, x, _) = bank(IsolationLevel::SnapshotIsolation);
     let t1 = db.begin();
     let t2 = db.begin();
-    let v1 = t1.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap();
-    let v2 = t2.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap();
-    t2.update("accounts", x, Row::new().with("balance", v2 + 20)).unwrap();
+    let v1 = t1
+        .read("accounts", x)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap();
+    let v2 = t2
+        .read("accounts", x)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap();
+    t2.update("accounts", x, Row::new().with("balance", v2 + 20))
+        .unwrap();
     t2.commit().unwrap();
-    t1.update("accounts", x, Row::new().with("balance", v1 + 30)).unwrap();
+    t1.update("accounts", x, Row::new().with("balance", v1 + 30))
+        .unwrap();
     let err = t1.commit().unwrap_err();
     assert!(matches!(err, TxnError::FirstCommitterConflict { .. }));
     assert_eq!(t1.status(), TxnStatus::Aborted);
@@ -252,10 +313,14 @@ fn cursor_stability_prevents_cursor_lost_updates() {
         Err(TxnError::WouldBlock { .. })
     ));
     // T1 updates through the cursor and commits; no update is lost.
-    t1.update_current(c, Row::new().with("balance", first.get_int("balance").unwrap() + 30))
-        .unwrap();
+    t1.update_current(
+        c,
+        Row::new().with("balance", first.get_int("balance").unwrap() + 30),
+    )
+    .unwrap();
     t1.commit().unwrap();
-    t2.update("accounts", x, Row::new().with("balance", 120)).unwrap();
+    t2.update("accounts", x, Row::new().with("balance", 120))
+        .unwrap();
     t2.commit().unwrap();
     let h = db.recorded_history();
     assert!(!detect::exhibits(&h, Phenomenon::P4C));
@@ -270,13 +335,15 @@ fn cursor_stability_lock_moves_with_the_cursor() {
     t1.fetch(c).unwrap().unwrap(); // positioned on x
     t1.fetch(c).unwrap().unwrap(); // moves to y, releasing the lock on x
     let t2 = db.begin();
-    t2.update("accounts", x, Row::new().with("balance", 5)).unwrap();
+    t2.update("accounts", x, Row::new().with("balance", 5))
+        .unwrap();
     assert!(matches!(
         t2.update("accounts", y, Row::new().with("balance", 5)),
         Err(TxnError::WouldBlock { .. })
     ));
     t1.close_cursor(c).unwrap();
-    t2.update("accounts", y, Row::new().with("balance", 5)).unwrap();
+    t2.update("accounts", y, Row::new().with("balance", 5))
+        .unwrap();
     t2.commit().unwrap();
     t1.commit().unwrap();
 }
@@ -291,10 +358,14 @@ fn read_committed_cursorless_engines_lose_cursor_updates() {
     let c = t1.open_cursor(&all).unwrap();
     let (_, first) = t1.fetch(c).unwrap().unwrap();
     let t2 = db.begin();
-    t2.update("accounts", x, Row::new().with("balance", 120)).unwrap();
-    t2.commit().unwrap();
-    t1.update_current(c, Row::new().with("balance", first.get_int("balance").unwrap() + 30))
+    t2.update("accounts", x, Row::new().with("balance", 120))
         .unwrap();
+    t2.commit().unwrap();
+    t1.update_current(
+        c,
+        Row::new().with("balance", first.get_int("balance").unwrap() + 30),
+    )
+    .unwrap();
     t1.commit().unwrap();
     assert_eq!(balance(&db, x), 80);
     assert!(detect::exhibits(&db.recorded_history(), Phenomenon::P4C));
@@ -308,11 +379,14 @@ fn oracle_read_consistency_rejects_stale_positioned_updates() {
     let c = t1.open_cursor(&all).unwrap();
     t1.fetch(c).unwrap().unwrap();
     let t2 = db.begin();
-    t2.update("accounts", x, Row::new().with("balance", 120)).unwrap();
+    t2.update("accounts", x, Row::new().with("balance", 120))
+        .unwrap();
     t2.commit().unwrap();
     // The positioned update sees that the row moved on and restarts
     // instead of blindly overwriting (first-writer-wins).
-    let err = t1.update_current(c, Row::new().with("balance", 130)).unwrap_err();
+    let err = t1
+        .update_current(c, Row::new().with("balance", 130))
+        .unwrap_err();
     assert!(matches!(err, TxnError::StaleCursor { .. }));
     t1.commit().unwrap();
     assert_eq!(balance(&db, x), 120);
@@ -327,10 +401,16 @@ fn employee_db(level: IsolationLevel) -> Database {
     let db = Database::new(level);
     let setup = db.begin();
     setup
-        .insert("employees", Row::new().with("active", true).with("value", 1))
+        .insert(
+            "employees",
+            Row::new().with("active", true).with("value", 1),
+        )
         .unwrap();
     setup
-        .insert("employees", Row::new().with("active", false).with("value", 1))
+        .insert(
+            "employees",
+            Row::new().with("active", false).with("value", 1),
+        )
         .unwrap();
     setup.commit().unwrap();
     db.clear_history();
@@ -350,8 +430,11 @@ fn repeatable_read_allows_phantoms() {
     // The predicate read lock is short at REPEATABLE READ, so a concurrent
     // insert of a matching row is allowed.
     let t2 = db.begin();
-    t2.insert("employees", Row::new().with("active", true).with("value", 1))
-        .unwrap();
+    t2.insert(
+        "employees",
+        Row::new().with("active", true).with("value", 1),
+    )
+    .unwrap();
     t2.commit().unwrap();
     let second = t1.read_where(&active_employees()).unwrap();
     assert_eq!(second.len(), 2, "the phantom appears on re-read");
@@ -368,11 +451,17 @@ fn serializable_prevents_phantoms_with_long_predicate_locks() {
     assert_eq!(t1.read_where(&active_employees()).unwrap().len(), 1);
     let t2 = db.begin();
     // Inserting an active employee conflicts with T1's predicate lock.
-    let blocked = t2.insert("employees", Row::new().with("active", true).with("value", 1));
+    let blocked = t2.insert(
+        "employees",
+        Row::new().with("active", true).with("value", 1),
+    );
     assert!(matches!(blocked, Err(TxnError::WouldBlock { .. })));
     // Inserting a non-matching row is fine.
-    t2.insert("employees", Row::new().with("active", false).with("value", 1))
-        .unwrap();
+    t2.insert(
+        "employees",
+        Row::new().with("active", false).with("value", 1),
+    )
+    .unwrap();
     t2.commit().unwrap();
     assert_eq!(t1.read_where(&active_employees()).unwrap().len(), 1);
     t1.commit().unwrap();
@@ -385,8 +474,11 @@ fn snapshot_isolation_has_no_ansi_phantoms() {
     let t1 = db.begin();
     assert_eq!(t1.read_where(&active_employees()).unwrap().len(), 1);
     let t2 = db.begin();
-    t2.insert("employees", Row::new().with("active", true).with("value", 1))
-        .unwrap();
+    t2.insert(
+        "employees",
+        Row::new().with("active", true).with("value", 1),
+    )
+    .unwrap();
     t2.commit().unwrap();
     // T1 re-reads the predicate and still sees the old set: no ANSI-style
     // phantom (A3), the "most remarkable" property of Remark 10.
@@ -407,14 +499,34 @@ fn snapshot_isolation_allows_write_skew() {
     let (db, x, y) = bank(IsolationLevel::SnapshotIsolation);
     let t1 = db.begin();
     let t2 = db.begin();
-    let sum1 = t1.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap()
-        + t1.read("accounts", y).unwrap().unwrap().get_int("balance").unwrap();
-    let sum2 = t2.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap()
-        + t2.read("accounts", y).unwrap().unwrap().get_int("balance").unwrap();
+    let sum1 = t1
+        .read("accounts", x)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap()
+        + t1.read("accounts", y)
+            .unwrap()
+            .unwrap()
+            .get_int("balance")
+            .unwrap();
+    let sum2 = t2
+        .read("accounts", x)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap()
+        + t2.read("accounts", y)
+            .unwrap()
+            .unwrap()
+            .get_int("balance")
+            .unwrap();
     // Each transaction withdraws 90, believing the constraint x + y > 0
     // still holds afterwards.
-    t1.update("accounts", y, Row::new().with("balance", sum1 / 2 - 90)).unwrap();
-    t2.update("accounts", x, Row::new().with("balance", sum2 / 2 - 90)).unwrap();
+    t1.update("accounts", y, Row::new().with("balance", sum1 / 2 - 90))
+        .unwrap();
+    t2.update("accounts", x, Row::new().with("balance", sum2 / 2 - 90))
+        .unwrap();
     t1.commit().unwrap();
     // Disjoint write sets: first-committer-wins does not fire.
     t2.commit().unwrap();
@@ -442,7 +554,8 @@ fn serializable_prevents_write_skew() {
     ));
     // The harness resolves this by aborting one of them; here we abort T2.
     t2.abort().unwrap();
-    t1.update("accounts", y, Row::new().with("balance", -40)).unwrap();
+    t1.update("accounts", y, Row::new().with("balance", -40))
+        .unwrap();
     t1.commit().unwrap();
     assert!(balance(&db, x) + balance(&db, y) > 0);
     assert!(!detect::exhibits(&db.recorded_history(), Phenomenon::A5B));
@@ -456,13 +569,15 @@ fn serializable_prevents_write_skew() {
 fn rollback_restores_before_images() {
     let (db, x, _) = bank(IsolationLevel::Serializable);
     let t1 = db.begin();
-    t1.update("accounts", x, Row::new().with("balance", 999)).unwrap();
+    t1.update("accounts", x, Row::new().with("balance", 999))
+        .unwrap();
     t1.abort().unwrap();
     assert_eq!(balance(&db, x), 50);
     // A dropped active transaction is rolled back automatically.
     {
         let t2 = db.begin();
-        t2.update("accounts", x, Row::new().with("balance", 777)).unwrap();
+        t2.update("accounts", x, Row::new().with("balance", 777))
+            .unwrap();
     }
     assert_eq!(balance(&db, x), 50);
 }
@@ -473,16 +588,27 @@ fn serializable_preserves_the_transfer_invariant() {
     // state before or after the transfer, never a total of 60.
     let (db, x, y) = bank(IsolationLevel::Serializable);
     let t1 = db.begin();
-    t1.update("accounts", x, Row::new().with("balance", 10)).unwrap();
+    t1.update("accounts", x, Row::new().with("balance", 10))
+        .unwrap();
     let t2 = db.begin();
     assert!(matches!(
         t2.read("accounts", x),
         Err(TxnError::WouldBlock { .. })
     ));
-    t1.update("accounts", y, Row::new().with("balance", 90)).unwrap();
+    t1.update("accounts", y, Row::new().with("balance", 90))
+        .unwrap();
     t1.commit().unwrap();
-    let total = t2.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap()
-        + t2.read("accounts", y).unwrap().unwrap().get_int("balance").unwrap();
+    let total = t2
+        .read("accounts", x)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap()
+        + t2.read("accounts", y)
+            .unwrap()
+            .unwrap()
+            .get_int("balance")
+            .unwrap();
     assert_eq!(total, 100);
     t2.commit().unwrap();
 }
@@ -495,15 +621,24 @@ fn snapshot_isolation_supports_time_travel_reads() {
     let old_reader = db.begin();
     for i in 0..5 {
         let w = db.begin();
-        w.update("accounts", x, Row::new().with("balance", 100 + i)).unwrap();
+        w.update("accounts", x, Row::new().with("balance", 100 + i))
+            .unwrap();
         w.commit().unwrap();
     }
     assert_eq!(
-        old_reader.read("accounts", x).unwrap().unwrap().get_int("balance"),
+        old_reader
+            .read("accounts", x)
+            .unwrap()
+            .unwrap()
+            .get_int("balance"),
         Some(50)
     );
     assert_eq!(
-        old_reader.read("accounts", y).unwrap().unwrap().get_int("balance"),
+        old_reader
+            .read("accounts", y)
+            .unwrap()
+            .unwrap()
+            .get_int("balance"),
         Some(50)
     );
     old_reader.commit().unwrap();
@@ -515,7 +650,10 @@ fn operations_after_termination_are_rejected() {
     let (db, x, _) = bank(IsolationLevel::ReadCommitted);
     let t = db.begin();
     t.commit().unwrap();
-    assert!(matches!(t.read("accounts", x), Err(TxnError::AlreadyTerminated)));
+    assert!(matches!(
+        t.read("accounts", x),
+        Err(TxnError::AlreadyTerminated)
+    ));
     assert!(matches!(t.commit(), Err(TxnError::AlreadyTerminated)));
     assert!(matches!(t.abort(), Err(TxnError::AlreadyTerminated)));
 }
@@ -526,10 +664,22 @@ fn locking_serializable_histories_are_conflict_serializable() {
     // A little workload of sequential transfers.
     for i in 0..5 {
         let t = db.begin();
-        let bx = t.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap();
-        let by = t.read("accounts", y).unwrap().unwrap().get_int("balance").unwrap();
-        t.update("accounts", x, Row::new().with("balance", bx - i)).unwrap();
-        t.update("accounts", y, Row::new().with("balance", by + i)).unwrap();
+        let bx = t
+            .read("accounts", x)
+            .unwrap()
+            .unwrap()
+            .get_int("balance")
+            .unwrap();
+        let by = t
+            .read("accounts", y)
+            .unwrap()
+            .unwrap()
+            .get_int("balance")
+            .unwrap();
+        t.update("accounts", x, Row::new().with("balance", bx - i))
+            .unwrap();
+        t.update("accounts", y, Row::new().with("balance", by + i))
+            .unwrap();
         t.commit().unwrap();
     }
     let report = critique_history::conflict_serializable(&db.recorded_history());

@@ -69,9 +69,8 @@ pub fn ansi_interpretation_report() -> Vec<AnsiHistoryVerdict> {
 
 /// Render the report as text, highlighting the paper's counterexamples.
 pub fn ansi_report_text() -> String {
-    let mut out = String::from(
-        "Section 3: strict (A1-A3) vs broad (P1-P3) readings of the ANSI phenomena\n",
-    );
+    let mut out =
+        String::from("Section 3: strict (A1-A3) vs broad (P1-P3) readings of the ANSI phenomena\n");
     for v in ansi_interpretation_report() {
         out.push_str(&format!(
             "  {:3} at {:25}  serializable={:5}  admitted: strict={:5} broad={:5}{}\n",

@@ -16,7 +16,10 @@ pub fn figure2_text() -> String {
             .map(|p| p.code())
             .collect::<Vec<_>>()
             .join(", ");
-        out.push_str(&format!("  {}  «  {}   [{}]\n", edge.lower, edge.upper, labels));
+        out.push_str(&format!(
+            "  {}  «  {}   [{}]\n",
+            edge.lower, edge.upper, labels
+        ));
     }
     out.push_str("\nComputed Hasse diagram of the characterisation matrix\n");
     out.push_str(&computed.to_text());
@@ -35,8 +38,10 @@ mod tests {
     #[test]
     fn text_contains_the_key_relations() {
         let text = figure2_text();
-        assert!(text.contains("READ COMMITTED  «  Snapshot Isolation")
-            || text.contains("READ COMMITTED  «  Cursor Stability"));
+        assert!(
+            text.contains("READ COMMITTED  «  Snapshot Isolation")
+                || text.contains("READ COMMITTED  «  Cursor Stability")
+        );
         assert!(text.contains("»«"), "incomparable pairs listed");
         assert!(text.contains("Snapshot Isolation  «  SERIALIZABLE"));
     }

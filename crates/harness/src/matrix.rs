@@ -13,7 +13,10 @@ fn variants_for(phenomenon: Phenomenon) -> Vec<AnomalyScenario> {
         Phenomenon::P0 => vec![AnomalyScenario::DirtyWrite],
         Phenomenon::P1 | Phenomenon::A1 => vec![AnomalyScenario::DirtyRead],
         Phenomenon::P4C => vec![AnomalyScenario::CursorLostUpdate],
-        Phenomenon::P4 => vec![AnomalyScenario::LostUpdate, AnomalyScenario::CursorLostUpdate],
+        Phenomenon::P4 => vec![
+            AnomalyScenario::LostUpdate,
+            AnomalyScenario::CursorLostUpdate,
+        ],
         Phenomenon::P2 | Phenomenon::A2 => vec![
             AnomalyScenario::FuzzyRead,
             AnomalyScenario::FuzzyReadCursorProtected,
@@ -130,7 +133,8 @@ impl MatrixComparison {
         let mut cells = Vec::new();
         for (label, _) in &observed.rows {
             for column in &observed.columns {
-                let (Some(o), Some(p)) = (observed.cell(label, *column), paper.cell(label, *column))
+                let (Some(o), Some(p)) =
+                    (observed.cell(label, *column), paper.cell(label, *column))
                 else {
                     continue;
                 };

@@ -76,14 +76,166 @@ impl ReproductionReport {
     }
 
     /// Render as JSON (for EXPERIMENTS.md tooling).
+    ///
+    /// Hand-rolled: the offline build ships a no-op `serde` shim, so the
+    /// report writes its own JSON instead of going through `serde_json`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+        let verdicts = self
+            .ansi_verdicts
+            .iter()
+            .map(|v| {
+                let exhibited = v
+                    .exhibited
+                    .iter()
+                    .map(|p| json_string(p.code()))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "    {{\"history\": {}, \"notation\": {}, \"serializable\": {}, \"level\": {}, \"admitted_strict\": {}, \"admitted_broad\": {}, \"exhibited\": [{}]}}",
+                    json_string(&v.history),
+                    json_string(&v.notation),
+                    v.serializable,
+                    json_string(&v.level),
+                    v.admitted_strict,
+                    v.admitted_broad,
+                    exhibited,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let table2 = self
+            .table2
+            .iter()
+            .map(|row| format!("    {}", json_string(row)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"ansi_verdicts\": [\n{verdicts}\n  ],\n  \"table2\": [\n{table2}\n  ],\n  \"table3\": {},\n  \"table4\": {},\n  \"figure2\": {}\n}}",
+            matrix_json(&self.table3),
+            matrix_json(&self.table4),
+            json_string(&self.figure2),
+        )
     }
+}
+
+fn matrix_json(matrix: &MatrixComparison) -> String {
+    let cells = matrix
+        .cells
+        .iter()
+        .map(|c| {
+            format!(
+                "      {{\"level\": {}, \"phenomenon\": {}, \"paper\": {}, \"observed\": {}, \"matches\": {}}}",
+                json_string(&c.level),
+                json_string(c.phenomenon.code()),
+                json_string(&c.paper.to_string()),
+                json_string(&c.observed.to_string()),
+                c.matches(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n    \"title\": {},\n    \"matching\": {},\n    \"total\": {},\n    \"cells\": [\n{cells}\n    ]\n  }}",
+        json_string(&matrix.title),
+        matrix.matching(),
+        matrix.total(),
+    )
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Minimal strict JSON validator: returns the rest after one value, or
+    /// `Err` at the byte offset that is not valid JSON.  Guards the
+    /// hand-rolled `to_json` against escaping/format regressions that a
+    /// substring check would miss.
+    fn json_value(s: &str) -> Result<&str, usize> {
+        let t = s.trim_start();
+        let err = |rest: &str| Err(s.len() - rest.len());
+        match t.as_bytes().first() {
+            Some(b'{') => json_seq(&t[1..], '}', |s| {
+                let rest = json_value(s)?;
+                let rest = rest.trim_start();
+                match rest.strip_prefix(':') {
+                    Some(rest) => json_value(rest),
+                    None => Err(0),
+                }
+            }),
+            Some(b'[') => json_seq(&t[1..], ']', json_value),
+            Some(b'"') => {
+                let mut chars = t[1..].char_indices();
+                while let Some((i, c)) = chars.next() {
+                    match c {
+                        '"' => return Ok(&t[i + 2..]),
+                        '\\' => {
+                            if chars.next().is_none() {
+                                return err(&t[i..]);
+                            }
+                        }
+                        c if (c as u32) < 0x20 => return err(&t[i..]),
+                        _ => {}
+                    }
+                }
+                err("")
+            }
+            _ => {
+                for literal in ["true", "false", "null"] {
+                    if let Some(rest) = t.strip_prefix(literal) {
+                        return Ok(rest);
+                    }
+                }
+                let digits = t
+                    .find(|c: char| !c.is_ascii_digit() && !"-+.eE".contains(c))
+                    .unwrap_or(t.len());
+                if digits == 0 {
+                    err(t)
+                } else {
+                    Ok(&t[digits..])
+                }
+            }
+        }
+    }
+
+    /// Comma-separated `item`s (each validating one element or key/value
+    /// pair) up to the closing delimiter.
+    fn json_seq(
+        mut s: &str,
+        close: char,
+        item: impl Fn(&str) -> Result<&str, usize>,
+    ) -> Result<&str, usize> {
+        if let Some(rest) = s.trim_start().strip_prefix(close) {
+            return Ok(rest);
+        }
+        loop {
+            s = item(s)?.trim_start();
+            if let Some(rest) = s.strip_prefix(',') {
+                s = rest;
+            } else if let Some(rest) = s.strip_prefix(close) {
+                return Ok(rest);
+            } else {
+                return Err(0);
+            }
+        }
+    }
 
     #[test]
     fn report_matches_the_paper_and_serialises() {
@@ -98,5 +250,35 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"table4\""));
         let _extended = crate::matrix::observed_extended();
+    }
+
+    #[test]
+    fn to_json_emits_strictly_valid_json() {
+        let json = ReproductionReport::generate().to_json();
+        match json_value(&json) {
+            Ok(rest) => assert!(rest.trim().is_empty(), "trailing garbage: {rest:.60}"),
+            Err(_) => panic!("to_json produced invalid JSON:\n{json}"),
+        }
+    }
+
+    #[test]
+    fn json_validator_rejects_malformed_documents() {
+        for bad in [
+            "{\"a\": }",
+            "[1, 2",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "{\"a\": 1,}",
+            "nul",
+        ] {
+            let ok = matches!(json_value(bad), Ok(rest) if rest.trim().is_empty());
+            assert!(!ok, "validator accepted malformed input: {bad}");
+        }
+        for good in ["{}", "[]", "{\"a\": [1, -2.5e3, \"x\\n\", true, null]}"] {
+            assert!(
+                matches!(json_value(good), Ok(rest) if rest.trim().is_empty()),
+                "validator rejected valid input: {good}"
+            );
+        }
     }
 }

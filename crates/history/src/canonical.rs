@@ -223,7 +223,10 @@ mod tests {
 
     #[test]
     fn h1_si_maps_to_h1_si_sv() {
-        assert_eq!(si_to_single_version(&h1_si()).to_notation(), h1_si_sv().to_notation());
+        assert_eq!(
+            si_to_single_version(&h1_si()).to_notation(),
+            h1_si_sv().to_notation()
+        );
     }
 
     #[test]

@@ -120,10 +120,9 @@ mod tests {
     fn write_skew_h5_dataflow_is_preserved() {
         // H5 as an MV history: both transactions read initial versions and
         // write their own versions.  The SV mapping keeps it non-serializable.
-        let mv = MvHistory::parse(
-            "r1[x0=50] r1[y0=50] r2[x0=50] r2[y0=50] w1[y1=-40] w2[x2=-40] c1 c2",
-        )
-        .unwrap();
+        let mv =
+            MvHistory::parse("r1[x0=50] r1[y0=50] r2[x0=50] r2[y0=50] w1[y1=-40] w2[x2=-40] c1 c2")
+                .unwrap();
         assert!(mv.obeys_snapshot_visibility());
         let sv = si_to_single_version(&mv);
         assert!(!conflict_serializable(&sv).is_serializable());
@@ -134,6 +133,10 @@ mod tests {
         let mv = MvHistory::parse(H1_SI).unwrap();
         let sv = si_to_single_version(&mv);
         assert!(sv.ops().iter().all(|op| op.version.is_none()));
-        assert!(sv.ops().iter().filter(|op| !op.kind.is_terminator()).all(|op| op.value.is_some()));
+        assert!(sv
+            .ops()
+            .iter()
+            .filter(|op| !op.kind.is_terminator())
+            .all(|op| op.value.is_some()));
     }
 }

@@ -293,8 +293,7 @@ impl DependencyGraph {
     /// A topological order of the transactions (an equivalent serial order),
     /// if the graph is acyclic.
     pub fn topological_order(&self) -> Option<Vec<TxnId>> {
-        let mut in_degree: BTreeMap<TxnId, usize> =
-            self.nodes.iter().map(|t| (*t, 0)).collect();
+        let mut in_degree: BTreeMap<TxnId, usize> = self.nodes.iter().map(|t| (*t, 0)).collect();
         for (_, to) in self.edges.keys() {
             *in_degree.entry(*to).or_insert(0) += 1;
         }
@@ -404,8 +403,8 @@ mod tests {
 
     #[test]
     fn h1_graph_has_cycle() {
-        let h = History::parse("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1")
-            .unwrap();
+        let h =
+            History::parse("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1").unwrap();
         let g = DependencyGraph::from_history(&h);
         assert_eq!(g.node_count(), 2);
         assert!(g.has_edge(TxnId(1), TxnId(2))); // w1[x] → r2[x]

@@ -133,7 +133,10 @@ impl History {
 
     /// The outcome of a single transaction (Active if it never appears).
     pub fn outcome(&self, txn: TxnId) -> TxnOutcome {
-        self.outcomes().get(&txn).copied().unwrap_or(TxnOutcome::Active)
+        self.outcomes()
+            .get(&txn)
+            .copied()
+            .unwrap_or(TxnOutcome::Active)
     }
 
     /// Transactions that committed.
@@ -425,7 +428,13 @@ mod tests {
             .write(1, "y")
             .build()
             .unwrap_err();
-        assert!(matches!(err, HistoryError::ActionAfterTermination { txn: TxnId(1), index: 2 }));
+        assert!(matches!(
+            err,
+            HistoryError::ActionAfterTermination {
+                txn: TxnId(1),
+                index: 2
+            }
+        ));
         assert!(err.to_string().contains("T1"));
     }
 
@@ -437,7 +446,13 @@ mod tests {
             .commit(1)
             .build()
             .unwrap_err();
-        assert!(matches!(err, HistoryError::DuplicateTermination { txn: TxnId(1), index: 2 }));
+        assert!(matches!(
+            err,
+            HistoryError::DuplicateTermination {
+                txn: TxnId(1),
+                index: 2
+            }
+        ));
     }
 
     #[test]

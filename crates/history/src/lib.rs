@@ -54,9 +54,7 @@ pub use crate::item::{Item, Predicate, Value};
 pub use crate::mv::{MvHistory, MvRead, VersionId};
 pub use crate::notation::{format_history, parse_history, NotationError};
 pub use crate::op::{Op, OpKind, TxnId};
-pub use crate::serializability::{
-    conflict_serializable, view_equivalent, SerializabilityReport,
-};
+pub use crate::serializability::{conflict_serializable, view_equivalent, SerializabilityReport};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {

@@ -241,9 +241,10 @@ mod tests {
         let mv = MvHistory::parse(H1_SI).unwrap();
         let reads = mv.reads();
         assert_eq!(reads.len(), 4);
-        assert!(reads
-            .iter()
-            .all(|r| r.version.version == 0), "all reads in H1.SI observe initial versions");
+        assert!(
+            reads.iter().all(|r| r.version.version == 0),
+            "all reads in H1.SI observe initial versions"
+        );
     }
 
     #[test]

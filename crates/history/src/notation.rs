@@ -170,13 +170,19 @@ fn parse_token(token: &str, options: NotationOptions) -> Result<Op, NotationErro
     let token = token.trim();
 
     // Commit / abort: c1, a2
-    if let Some(num) = token.strip_prefix('c').filter(|s| s.chars().all(|c| c.is_ascii_digit())) {
+    if let Some(num) = token
+        .strip_prefix('c')
+        .filter(|s| s.chars().all(|c| c.is_ascii_digit()))
+    {
         if !num.is_empty() {
             let id: u32 = num.parse().map_err(|_| bad(token, "bad transaction id"))?;
             return Ok(Op::commit(id));
         }
     }
-    if let Some(num) = token.strip_prefix('a').filter(|s| s.chars().all(|c| c.is_ascii_digit())) {
+    if let Some(num) = token
+        .strip_prefix('a')
+        .filter(|s| s.chars().all(|c| c.is_ascii_digit()))
+    {
         if !num.is_empty() {
             let id: u32 = num.parse().map_err(|_| bad(token, "bad transaction id"))?;
             return Ok(Op::abort(id));
@@ -209,9 +215,16 @@ fn parse_token(token: &str, options: NotationOptions) -> Result<Op, NotationErro
     };
 
     if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
-        return Err(bad(token, "expected a transaction id after the action letter"));
+        return Err(bad(
+            token,
+            "expected a transaction id after the action letter",
+        ));
     }
-    let txn = TxnId(digits.parse().map_err(|_| bad(token, "bad transaction id"))?);
+    let txn = TxnId(
+        digits
+            .parse()
+            .map_err(|_| bad(token, "bad transaction id"))?,
+    );
 
     parse_target(txn, body, is_write, cursor, token, options)
 }
@@ -228,10 +241,7 @@ pub fn parse_mv_history(text: &str) -> Result<History, NotationError> {
 }
 
 /// Parse with explicit [`NotationOptions`].
-pub fn parse_history_with(
-    text: &str,
-    options: NotationOptions,
-) -> Result<History, NotationError> {
+pub fn parse_history_with(text: &str, options: NotationOptions) -> Result<History, NotationError> {
     let mut ops = Vec::new();
     for token in tokenize(text) {
         ops.push(parse_token(&token, options)?);

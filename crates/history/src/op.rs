@@ -44,10 +44,9 @@ impl OpKind {
     /// The item this operation touches, if it is an item-level operation.
     pub fn item(&self) -> Option<&Item> {
         match self {
-            OpKind::Read(i)
-            | OpKind::Write(i)
-            | OpKind::CursorRead(i)
-            | OpKind::CursorWrite(i) => Some(i),
+            OpKind::Read(i) | OpKind::Write(i) | OpKind::CursorRead(i) | OpKind::CursorWrite(i) => {
+                Some(i)
+            }
             _ => None,
         }
     }
@@ -274,8 +273,14 @@ mod tests {
             Op::predicate_read(1u32, "P").kind,
             OpKind::PredicateRead(_)
         ));
-        assert!(matches!(Op::cursor_read(1u32, "x").kind, OpKind::CursorRead(_)));
-        assert!(matches!(Op::cursor_write(1u32, "x").kind, OpKind::CursorWrite(_)));
+        assert!(matches!(
+            Op::cursor_read(1u32, "x").kind,
+            OpKind::CursorRead(_)
+        ));
+        assert!(matches!(
+            Op::cursor_write(1u32, "x").kind,
+            OpKind::CursorWrite(_)
+        ));
         assert!(matches!(Op::commit(1u32).kind, OpKind::Commit));
         assert!(matches!(Op::abort(1u32).kind, OpKind::Abort));
     }

@@ -121,7 +121,10 @@ fn predicate_observations(
             *n += 1;
         } else if op.is_write() {
             for m in &op.in_predicates {
-                writers.entry(m.predicate.clone()).or_default().insert(op.txn);
+                writers
+                    .entry(m.predicate.clone())
+                    .or_default()
+                    .insert(op.txn);
             }
         }
     }
@@ -149,8 +152,8 @@ mod tests {
 
     #[test]
     fn h1_is_not_serializable() {
-        let h1 = History::parse("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1")
-            .unwrap();
+        let h1 =
+            History::parse("r1[x=50] w1[x=10] r2[x=10] r2[y=50] c2 r1[y=50] w1[y=90] c1").unwrap();
         let report = conflict_serializable(&h1);
         assert!(!report.is_serializable());
         assert!(report.cycle.is_some());
@@ -159,10 +162,8 @@ mod tests {
 
     #[test]
     fn h2_is_not_serializable() {
-        let h2 = History::parse(
-            "r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1",
-        )
-        .unwrap();
+        let h2 =
+            History::parse("r1[x=50] r2[x=50] w2[x=10] r2[y=50] w2[y=90] c2 r1[y=90] c1").unwrap();
         assert!(!conflict_serializable(&h2).is_serializable());
     }
 
@@ -231,8 +232,8 @@ mod tests {
     #[test]
     fn paper_h1si_sv_mapping_is_serializable() {
         // H1.SI.SV from Section 4.2.
-        let h = History::parse("r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1")
-            .unwrap();
+        let h =
+            History::parse("r1[x=50] r1[y=50] r2[x=50] r2[y=50] c2 w1[x=10] w1[y=90] c1").unwrap();
         let report = conflict_serializable(&h);
         assert!(report.is_serializable());
         assert_eq!(report.serial_order.unwrap(), vec![TxnId(2), TxnId(1)]);

@@ -66,7 +66,11 @@ impl fmt::Display for AcquireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AcquireError::Deadlock { cycle } => {
-                write!(f, "deadlock victim; cycle of {} transactions", cycle.len().saturating_sub(1))
+                write!(
+                    f,
+                    "deadlock victim; cycle of {} transactions",
+                    cycle.len().saturating_sub(1)
+                )
             }
             AcquireError::Timeout => write!(f, "lock wait timeout"),
         }
@@ -114,7 +118,14 @@ impl LockManager {
         holders
     }
 
-    fn grant(inner: &mut Inner, txn: TxnToken, target: LockTarget, mode: LockMode, duration: LockDuration, images: &[Row]) {
+    fn grant(
+        inner: &mut Inner,
+        txn: TxnToken,
+        target: LockTarget,
+        mode: LockMode,
+        duration: LockDuration,
+        images: &[Row],
+    ) {
         if let Some(existing) = inner
             .held
             .iter_mut()
@@ -231,9 +242,7 @@ impl LockManager {
     pub fn release_cursor_target(&self, txn: TxnToken, target: &LockTarget) {
         let mut inner = self.inner.lock();
         inner.held.retain(|lock| {
-            !(lock.holder == txn
-                && &lock.target == target
-                && lock.duration == LockDuration::Cursor)
+            !(lock.holder == txn && &lock.target == target && lock.duration == LockDuration::Cursor)
         });
         drop(inner);
         self.released.notify_all();
@@ -311,10 +320,22 @@ mod tests {
     fn shared_locks_are_compatible() {
         let lm = LockManager::new();
         assert!(lm
-            .try_acquire(TxnToken(1), item(0), LockMode::Shared, &[], LockDuration::Long)
+            .try_acquire(
+                TxnToken(1),
+                item(0),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long
+            )
             .is_granted());
         assert!(lm
-            .try_acquire(TxnToken(2), item(0), LockMode::Shared, &[], LockDuration::Long)
+            .try_acquire(
+                TxnToken(2),
+                item(0),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long
+            )
             .is_granted());
         assert_eq!(lm.total_held(), 2);
     }
@@ -323,16 +344,39 @@ mod tests {
     fn exclusive_conflicts_with_everything() {
         let lm = LockManager::new();
         assert!(lm
-            .try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long)
+            .try_acquire(
+                TxnToken(1),
+                item(0),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long
+            )
             .is_granted());
-        let read = lm.try_acquire(TxnToken(2), item(0), LockMode::Shared, &[], LockDuration::Long);
+        let read = lm.try_acquire(
+            TxnToken(2),
+            item(0),
+            LockMode::Shared,
+            &[],
+            LockDuration::Long,
+        );
         assert_eq!(read.blockers(), &[TxnToken(1)]);
-        let write =
-            lm.try_acquire(TxnToken(2), item(0), LockMode::Exclusive, &[], LockDuration::Long);
+        let write = lm.try_acquire(
+            TxnToken(2),
+            item(0),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
         assert!(!write.is_granted());
         // Different item is fine.
         assert!(lm
-            .try_acquire(TxnToken(2), item(1), LockMode::Exclusive, &[], LockDuration::Long)
+            .try_acquire(
+                TxnToken(2),
+                item(1),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long
+            )
             .is_granted());
     }
 
@@ -340,10 +384,22 @@ mod tests {
     fn reacquisition_and_upgrade_by_the_same_transaction() {
         let lm = LockManager::new();
         assert!(lm
-            .try_acquire(TxnToken(1), item(0), LockMode::Shared, &[], LockDuration::Short)
+            .try_acquire(
+                TxnToken(1),
+                item(0),
+                LockMode::Shared,
+                &[],
+                LockDuration::Short
+            )
             .is_granted());
         assert!(lm
-            .try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long)
+            .try_acquire(
+                TxnToken(1),
+                item(0),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long
+            )
             .is_granted());
         assert_eq!(lm.held_by(TxnToken(1)), 1);
         assert!(lm.holds(TxnToken(1), &item(0), LockMode::Exclusive));
@@ -356,13 +412,30 @@ mod tests {
     fn upgrade_blocks_when_another_reader_holds_the_item() {
         let lm = LockManager::new();
         assert!(lm
-            .try_acquire(TxnToken(1), item(0), LockMode::Shared, &[], LockDuration::Long)
+            .try_acquire(
+                TxnToken(1),
+                item(0),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long
+            )
             .is_granted());
         assert!(lm
-            .try_acquire(TxnToken(2), item(0), LockMode::Shared, &[], LockDuration::Long)
+            .try_acquire(
+                TxnToken(2),
+                item(0),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long
+            )
             .is_granted());
-        let upgrade =
-            lm.try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long);
+        let upgrade = lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
         assert_eq!(upgrade.blockers(), &[TxnToken(2)]);
     }
 
@@ -370,21 +443,51 @@ mod tests {
     fn release_all_unblocks_waiters() {
         let lm = LockManager::new();
         assert!(lm
-            .try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long)
+            .try_acquire(
+                TxnToken(1),
+                item(0),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long
+            )
             .is_granted());
         lm.release_all(TxnToken(1));
         assert_eq!(lm.total_held(), 0);
         assert!(lm
-            .try_acquire(TxnToken(2), item(0), LockMode::Exclusive, &[], LockDuration::Long)
+            .try_acquire(
+                TxnToken(2),
+                item(0),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long
+            )
             .is_granted());
     }
 
     #[test]
     fn duration_specific_release() {
         let lm = LockManager::new();
-        lm.try_acquire(TxnToken(1), item(0), LockMode::Shared, &[], LockDuration::Short);
-        lm.try_acquire(TxnToken(1), item(1), LockMode::Shared, &[], LockDuration::Cursor);
-        lm.try_acquire(TxnToken(1), item(2), LockMode::Exclusive, &[], LockDuration::Long);
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Shared,
+            &[],
+            LockDuration::Short,
+        );
+        lm.try_acquire(
+            TxnToken(1),
+            item(1),
+            LockMode::Shared,
+            &[],
+            LockDuration::Cursor,
+        );
+        lm.try_acquire(
+            TxnToken(1),
+            item(2),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
         assert_eq!(lm.held_by(TxnToken(1)), 3);
         lm.release_short(TxnToken(1));
         assert_eq!(lm.held_by(TxnToken(1)), 2);
@@ -397,8 +500,20 @@ mod tests {
     #[test]
     fn cursor_release_keeps_the_new_position() {
         let lm = LockManager::new();
-        lm.try_acquire(TxnToken(1), item(0), LockMode::Shared, &[], LockDuration::Cursor);
-        lm.try_acquire(TxnToken(1), item(1), LockMode::Shared, &[], LockDuration::Cursor);
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Shared,
+            &[],
+            LockDuration::Cursor,
+        );
+        lm.try_acquire(
+            TxnToken(1),
+            item(1),
+            LockMode::Shared,
+            &[],
+            LockDuration::Cursor,
+        );
         lm.release_cursor(TxnToken(1), Some(&item(1)));
         assert!(!lm.holds(TxnToken(1), &item(0), LockMode::Shared));
         assert!(lm.holds(TxnToken(1), &item(1), LockMode::Shared));
@@ -445,7 +560,13 @@ mod tests {
     #[test]
     fn blocking_acquire_times_out() {
         let lm = LockManager::new();
-        lm.try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long);
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
         let err = lm
             .acquire(
                 TxnToken(2),
@@ -462,7 +583,13 @@ mod tests {
     #[test]
     fn blocking_acquire_succeeds_when_holder_releases() {
         let lm = Arc::new(LockManager::new());
-        lm.try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long);
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
 
         let lm2 = Arc::clone(&lm);
         let waiter = std::thread::spawn(move || {
@@ -485,8 +612,20 @@ mod tests {
     fn deadlock_is_detected_and_the_victim_is_the_youngest() {
         let lm = Arc::new(LockManager::new());
         // T1 holds x, T2 holds y.
-        lm.try_acquire(TxnToken(1), item(0), LockMode::Exclusive, &[], LockDuration::Long);
-        lm.try_acquire(TxnToken(2), item(1), LockMode::Exclusive, &[], LockDuration::Long);
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
+        lm.try_acquire(
+            TxnToken(2),
+            item(1),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
 
         // T1 waits for y on another thread; T2 then requests x → deadlock.
         let lm1 = Arc::clone(&lm);

@@ -228,7 +228,10 @@ mod tests {
         let row = employee(true, 5);
         let active = Condition::eq("active", true);
         let overworked = Condition::compare("hours", Comparison::Gt, 8);
-        assert!(active.clone().and(overworked.clone().negate()).matches(&row));
+        assert!(active
+            .clone()
+            .and(overworked.clone().negate())
+            .matches(&row));
         assert!(active.clone().or(overworked.clone()).matches(&row));
         assert!(!active.negate().matches(&row));
         assert!(Condition::True.matches(&row));
@@ -248,11 +251,7 @@ mod tests {
     fn names_are_stable_and_descriptive() {
         let p = RowPredicate::new(
             "tasks",
-            Condition::eq("project", "apollo").and(Condition::compare(
-                "hours",
-                Comparison::Le,
-                8,
-            )),
+            Condition::eq("project", "apollo").and(Condition::compare("hours", Comparison::Le, 8)),
         );
         let name = p.name();
         assert!(name.starts_with("tasks["));

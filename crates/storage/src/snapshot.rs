@@ -70,8 +70,16 @@ mod tests {
 
     fn seeded_store() -> MvStore {
         let store = MvStore::new();
-        store.insert("accounts", TxnToken(1), Row::new().with("balance", 50).with("owner", "x"));
-        store.insert("accounts", TxnToken(1), Row::new().with("balance", 50).with("owner", "y"));
+        store.insert(
+            "accounts",
+            TxnToken(1),
+            Row::new().with("balance", 50).with("owner", "x"),
+        );
+        store.insert(
+            "accounts",
+            TxnToken(1),
+            Row::new().with("balance", 50).with("owner", "y"),
+        );
         store.commit(TxnToken(1), Timestamp(1));
         store
     }
@@ -87,10 +95,20 @@ mod tests {
         // A later transfer does not change what the old snapshot sees.
         let ids = store.row_ids("accounts");
         store
-            .update("accounts", TxnToken(2), ids[0], Row::new().with("balance", 10).with("owner", "x"))
+            .update(
+                "accounts",
+                TxnToken(2),
+                ids[0],
+                Row::new().with("balance", 10).with("owner", "x"),
+            )
             .unwrap();
         store
-            .update("accounts", TxnToken(2), ids[1], Row::new().with("balance", 90).with("owner", "y"))
+            .update(
+                "accounts",
+                TxnToken(2),
+                ids[1],
+                Row::new().with("balance", 90).with("owner", "y"),
+            )
             .unwrap();
         store.commit(TxnToken(2), Timestamp(5));
 

@@ -306,7 +306,11 @@ impl MvStore {
         let mut inner = self.inner.write();
         let writes = inner.writes.remove(&writer).unwrap_or_default();
         for (table, id, _) in writes {
-            if let Some(chain) = inner.tables.get_mut(&table).and_then(|t| t.rows.get_mut(&id)) {
+            if let Some(chain) = inner
+                .tables
+                .get_mut(&table)
+                .and_then(|t| t.rows.get_mut(&id))
+            {
                 chain.commit(writer, ts);
             }
         }
@@ -318,7 +322,11 @@ impl MvStore {
         let mut inner = self.inner.write();
         let writes = inner.writes.remove(&writer).unwrap_or_default();
         for (table, id, _) in writes {
-            if let Some(chain) = inner.tables.get_mut(&table).and_then(|t| t.rows.get_mut(&id)) {
+            if let Some(chain) = inner
+                .tables
+                .get_mut(&table)
+                .and_then(|t| t.rows.get_mut(&id))
+            {
                 chain.abort(writer);
             }
         }
@@ -339,7 +347,11 @@ impl MvStore {
             .map(|t| {
                 t.rows
                     .values()
-                    .filter(|c| c.latest_committed().map(|v| !v.is_tombstone()).unwrap_or(false))
+                    .filter(|c| {
+                        c.latest_committed()
+                            .map(|v| !v.is_tombstone())
+                            .unwrap_or(false)
+                    })
                     .count()
             })
             .unwrap_or(0)
@@ -382,7 +394,10 @@ mod tests {
         let id = store.insert("accounts", TxnToken(1), balance_row(50));
         assert!(store.get_latest_committed("accounts", id).is_none());
         assert_eq!(
-            store.get_latest_any("accounts", id).unwrap().get_int("balance"),
+            store
+                .get_latest_any("accounts", id)
+                .unwrap()
+                .get_int("balance"),
             Some(50)
         );
         store.commit(TxnToken(1), Timestamp(1));
@@ -418,12 +433,18 @@ mod tests {
             .update("accounts", TxnToken(2), id, balance_row(999))
             .unwrap();
         assert_eq!(
-            store.get_latest_any("accounts", id).unwrap().get_int("balance"),
+            store
+                .get_latest_any("accounts", id)
+                .unwrap()
+                .get_int("balance"),
             Some(999)
         );
         store.abort(TxnToken(2));
         assert_eq!(
-            store.get_latest_any("accounts", id).unwrap().get_int("balance"),
+            store
+                .get_latest_any("accounts", id)
+                .unwrap()
+                .get_int("balance"),
             Some(100)
         );
         assert!(store.writes_of(TxnToken(2)).is_empty());
@@ -472,7 +493,9 @@ mod tests {
         assert!(store.get_latest_committed("accounts", id).is_none());
         assert_eq!(store.committed_row_count("accounts"), 0);
         // Time travel still sees it.
-        assert!(store.get_committed_as_of("accounts", id, Timestamp(1)).is_some());
+        assert!(store
+            .get_committed_as_of("accounts", id, Timestamp(1))
+            .is_some());
     }
 
     #[test]
@@ -522,7 +545,9 @@ mod tests {
         let conflict = store.first_committer_conflict(TxnToken(3), Timestamp(1));
         assert_eq!(conflict, Some(("accounts".to_string(), id)));
         // A transaction with no writes has no conflict.
-        assert!(store.first_committer_conflict(TxnToken(9), Timestamp(0)).is_none());
+        assert!(store
+            .first_committer_conflict(TxnToken(9), Timestamp(0))
+            .is_none());
     }
 
     #[test]

@@ -21,9 +21,7 @@ impl fmt::Display for Timestamp {
 
 /// A token identifying the transaction that installed a version.  Engine
 /// transaction ids map 1:1 onto tokens.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct TxnToken(pub u64);
 
 impl fmt::Display for TxnToken {

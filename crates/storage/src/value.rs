@@ -132,7 +132,10 @@ mod tests {
             ColumnValue::Text("b".into()).compare(&ColumnValue::Text("a".into())),
             Some(Ordering::Greater)
         );
-        assert_eq!(ColumnValue::Int(1).compare(&ColumnValue::Text("1".into())), None);
+        assert_eq!(
+            ColumnValue::Int(1).compare(&ColumnValue::Text("1".into())),
+            None
+        );
         assert_eq!(ColumnValue::Null.compare(&ColumnValue::Null), None);
     }
 

@@ -124,9 +124,9 @@ impl VersionChain {
     /// a commit timestamp strictly greater than `start_ts` — the
     /// First-Committer-Wins test of Section 4.2.
     pub fn committed_after(&self, start_ts: Timestamp, excluding: TxnToken) -> bool {
-        self.versions.iter().any(|v| {
-            v.writer != excluding && matches!(v.commit_ts, Some(c) if c > start_ts)
-        })
+        self.versions
+            .iter()
+            .any(|v| v.writer != excluding && matches!(v.commit_ts, Some(c) if c > start_ts))
     }
 
     /// True if some transaction other than `writer` currently holds an

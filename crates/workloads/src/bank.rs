@@ -66,7 +66,11 @@ impl BankFixture {
             .read("accounts", self.x)?
             .and_then(|r| r.get_int("balance"))
             .unwrap_or(0);
-        t.update("accounts", self.x, Row::new().with("balance", from - amount))?;
+        t.update(
+            "accounts",
+            self.x,
+            Row::new().with("balance", from - amount),
+        )?;
         let to = t
             .read("accounts", self.y)?
             .and_then(|r| r.get_int("balance"))

@@ -137,13 +137,7 @@ impl MixedWorkload {
         }
     }
 
-    fn run_one(
-        &self,
-        db: &Database,
-        ids: &[RowId],
-        rng: &mut StdRng,
-        stats: &mut WorkloadStats,
-    ) {
+    fn run_one(&self, db: &Database, ids: &[RowId], rng: &mut StdRng, stats: &mut WorkloadStats) {
         let read_only = rng.gen_bool(self.read_fraction.clamp(0.0, 1.0));
         let txn = db.begin();
         let mut failed: Option<TxnError> = None;
@@ -298,7 +292,10 @@ mod tests {
         // worker threads actually overlap on this machine).
         assert_eq!(stats.aborted_deadlock, 0);
         assert_eq!(stats.aborted_timeout, 0);
-        assert_eq!(stats.committed + stats.aborted_first_committer, stats.attempted());
+        assert_eq!(
+            stats.committed + stats.aborted_first_committer,
+            stats.attempted()
+        );
     }
 
     #[test]

@@ -185,8 +185,12 @@ impl fmt::Display for AnomalyScenario {
 fn accounts_db(level: IsolationLevel, x0: i64, y0: i64) -> (Database, RowId, RowId) {
     let db = Database::new(level);
     let setup = db.begin();
-    let x = setup.insert("accounts", Row::new().with("balance", x0)).unwrap();
-    let y = setup.insert("accounts", Row::new().with("balance", y0)).unwrap();
+    let x = setup
+        .insert("accounts", Row::new().with("balance", x0))
+        .unwrap();
+    let y = setup
+        .insert("accounts", Row::new().with("balance", y0))
+        .unwrap();
     setup.commit().unwrap();
     db.clear_history();
     (db, x, y)
@@ -244,7 +248,10 @@ fn dirty_write(level: IsolationLevel) -> (ScenarioOutcome, String) {
             format!("constraint x = y violated: x={fx}, y={fy}"),
         )
     } else {
-        (ScenarioOutcome::Prevented, format!("x = y = {fx} preserved"))
+        (
+            ScenarioOutcome::Prevented,
+            format!("x = y = {fx} preserved"),
+        )
     }
 }
 
@@ -280,7 +287,10 @@ fn dirty_read(level: IsolationLevel) -> (ScenarioOutcome, String) {
             format!("audit read uncommitted data: total {total} instead of 100"),
         )
     } else {
-        (ScenarioOutcome::Prevented, "audit saw the invariant total 100".to_string())
+        (
+            ScenarioOutcome::Prevented,
+            "audit saw the invariant total 100".to_string(),
+        )
     }
 }
 
@@ -465,14 +475,23 @@ fn employees_db(level: IsolationLevel) -> (Database, RowPredicate) {
     let db = Database::new(level);
     let setup = db.begin();
     setup
-        .insert("employees", Row::new().with("active", true).with("value", 1))
+        .insert(
+            "employees",
+            Row::new().with("active", true).with("value", 1),
+        )
         .unwrap();
     setup
-        .insert("employees", Row::new().with("active", false).with("value", 1))
+        .insert(
+            "employees",
+            Row::new().with("active", false).with("value", 1),
+        )
         .unwrap();
     setup.commit().unwrap();
     db.clear_history();
-    (db, RowPredicate::new("employees", Condition::eq("active", true)))
+    (
+        db,
+        RowPredicate::new("employees", Condition::eq("active", true)),
+    )
 }
 
 fn phantom_ansi(level: IsolationLevel) -> (ScenarioOutcome, String) {
@@ -484,17 +503,29 @@ fn phantom_ansi(level: IsolationLevel) -> (ScenarioOutcome, String) {
     };
 
     let t2 = db.begin();
-    let insert = t2.insert("employees", Row::new().with("active", true).with("value", 1));
+    let insert = t2.insert(
+        "employees",
+        Row::new().with("active", true).with("value", 1),
+    );
     if blocked(&insert) {
         // SERIALIZABLE: the insert waits for the predicate lock.
         let second = t1.read_where(&active).map(|r| r.len()).unwrap_or(first);
         let _ = t1.commit();
-        let _ = t2.insert("employees", Row::new().with("active", true).with("value", 1));
+        let _ = t2.insert(
+            "employees",
+            Row::new().with("active", true).with("value", 1),
+        );
         let _ = t2.commit();
         return if second == first {
-            (ScenarioOutcome::Prevented, format!("both scans returned {first} rows"))
+            (
+                ScenarioOutcome::Prevented,
+                format!("both scans returned {first} rows"),
+            )
         } else {
-            (ScenarioOutcome::Anomaly, format!("scan grew from {first} to {second} rows"))
+            (
+                ScenarioOutcome::Anomaly,
+                format!("scan grew from {first} to {second} rows"),
+            )
         };
     }
     let _ = t2.commit();
@@ -520,7 +551,10 @@ fn phantom_constraint(level: IsolationLevel) -> (ScenarioOutcome, String) {
     let db = Database::new(level);
     let setup = db.begin();
     setup
-        .insert("tasks", Row::new().with("project", "apollo").with("hours", 7))
+        .insert(
+            "tasks",
+            Row::new().with("project", "apollo").with("hours", 7),
+        )
         .unwrap();
     setup.commit().unwrap();
     db.clear_history();
@@ -535,7 +569,10 @@ fn phantom_constraint(level: IsolationLevel) -> (ScenarioOutcome, String) {
         if sum + 1 > 8 {
             return false; // the application itself refuses
         }
-        let attempt = t.insert("tasks", Row::new().with("project", "apollo").with("hours", 1));
+        let attempt = t.insert(
+            "tasks",
+            Row::new().with("project", "apollo").with("hours", 1),
+        );
         if blocked(&attempt) {
             false
         } else {
@@ -579,7 +616,10 @@ fn read_skew(level: IsolationLevel) -> (ScenarioOutcome, String) {
         let _ = set_balance(&t2, y, 90);
         let _ = t2.commit();
         return if seen_x + seen_y == 100 {
-            (ScenarioOutcome::Prevented, "reader saw a consistent total of 100".into())
+            (
+                ScenarioOutcome::Prevented,
+                "reader saw a consistent total of 100".into(),
+            )
         } else {
             (
                 ScenarioOutcome::Anomaly,
@@ -598,7 +638,10 @@ fn read_skew(level: IsolationLevel) -> (ScenarioOutcome, String) {
             format!("reader saw old x and new y: total {total}"),
         )
     } else {
-        (ScenarioOutcome::Prevented, "reader saw a consistent total of 100".into())
+        (
+            ScenarioOutcome::Prevented,
+            "reader saw a consistent total of 100".into(),
+        )
     }
 }
 
@@ -617,7 +660,10 @@ fn write_skew(level: IsolationLevel, through_cursors: bool) -> (ScenarioOutcome,
         if through_cursors {
             let all = RowPredicate::whole_table("accounts");
             let cx = t.open_cursor(&all)?;
-            let first = t.fetch(cx)?.and_then(|(_, r)| r.get_int("balance")).unwrap_or(50);
+            let first = t
+                .fetch(cx)?
+                .and_then(|(_, r)| r.get_int("balance"))
+                .unwrap_or(50);
             let cy = t.open_cursor(&all)?;
             t.fetch(cy)?;
             let second = t
@@ -626,8 +672,14 @@ fn write_skew(level: IsolationLevel, through_cursors: bool) -> (ScenarioOutcome,
                 .unwrap_or(50);
             Ok(first + second)
         } else {
-            let a = t.read("accounts", x)?.and_then(|r| r.get_int("balance")).unwrap_or(50);
-            let b = t.read("accounts", y)?.and_then(|r| r.get_int("balance")).unwrap_or(50);
+            let a = t
+                .read("accounts", x)?
+                .and_then(|r| r.get_int("balance"))
+                .unwrap_or(50);
+            let b = t
+                .read("accounts", y)?
+                .and_then(|r| r.get_int("balance"))
+                .unwrap_or(50);
             Ok(a + b)
         }
     };
@@ -691,46 +743,110 @@ mod tests {
     #[test]
     fn dirty_write_only_at_degree0() {
         assert_eq!(outcome(AnomalyScenario::DirtyWrite, Degree0), Anomaly);
-        for level in [ReadUncommitted, ReadCommitted, RepeatableRead, SnapshotIsolation, Serializable] {
-            assert_eq!(outcome(AnomalyScenario::DirtyWrite, level), Prevented, "{level}");
+        for level in [
+            ReadUncommitted,
+            ReadCommitted,
+            RepeatableRead,
+            SnapshotIsolation,
+            Serializable,
+        ] {
+            assert_eq!(
+                outcome(AnomalyScenario::DirtyWrite, level),
+                Prevented,
+                "{level}"
+            );
         }
     }
 
     #[test]
     fn dirty_read_only_below_read_committed() {
-        assert_eq!(outcome(AnomalyScenario::DirtyRead, ReadUncommitted), Anomaly);
-        for level in [ReadCommitted, CursorStability, RepeatableRead, SnapshotIsolation, OracleReadConsistency, Serializable] {
-            assert_eq!(outcome(AnomalyScenario::DirtyRead, level), Prevented, "{level}");
+        assert_eq!(
+            outcome(AnomalyScenario::DirtyRead, ReadUncommitted),
+            Anomaly
+        );
+        for level in [
+            ReadCommitted,
+            CursorStability,
+            RepeatableRead,
+            SnapshotIsolation,
+            OracleReadConsistency,
+            Serializable,
+        ] {
+            assert_eq!(
+                outcome(AnomalyScenario::DirtyRead, level),
+                Prevented,
+                "{level}"
+            );
         }
     }
 
     #[test]
     fn lost_updates_match_table4() {
-        for level in [ReadUncommitted, ReadCommitted, CursorStability, OracleReadConsistency] {
-            assert_eq!(outcome(AnomalyScenario::LostUpdate, level), Anomaly, "{level}");
+        for level in [
+            ReadUncommitted,
+            ReadCommitted,
+            CursorStability,
+            OracleReadConsistency,
+        ] {
+            assert_eq!(
+                outcome(AnomalyScenario::LostUpdate, level),
+                Anomaly,
+                "{level}"
+            );
         }
         for level in [RepeatableRead, SnapshotIsolation, Serializable] {
-            assert_eq!(outcome(AnomalyScenario::LostUpdate, level), Prevented, "{level}");
+            assert_eq!(
+                outcome(AnomalyScenario::LostUpdate, level),
+                Prevented,
+                "{level}"
+            );
         }
     }
 
     #[test]
     fn cursor_lost_updates_match_table4() {
         for level in [ReadUncommitted, ReadCommitted] {
-            assert_eq!(outcome(AnomalyScenario::CursorLostUpdate, level), Anomaly, "{level}");
+            assert_eq!(
+                outcome(AnomalyScenario::CursorLostUpdate, level),
+                Anomaly,
+                "{level}"
+            );
         }
-        for level in [CursorStability, RepeatableRead, SnapshotIsolation, OracleReadConsistency, Serializable] {
-            assert_eq!(outcome(AnomalyScenario::CursorLostUpdate, level), Prevented, "{level}");
+        for level in [
+            CursorStability,
+            RepeatableRead,
+            SnapshotIsolation,
+            OracleReadConsistency,
+            Serializable,
+        ] {
+            assert_eq!(
+                outcome(AnomalyScenario::CursorLostUpdate, level),
+                Prevented,
+                "{level}"
+            );
         }
     }
 
     #[test]
     fn fuzzy_reads_match_table4() {
-        for level in [ReadUncommitted, ReadCommitted, CursorStability, OracleReadConsistency] {
-            assert_eq!(outcome(AnomalyScenario::FuzzyRead, level), Anomaly, "{level}");
+        for level in [
+            ReadUncommitted,
+            ReadCommitted,
+            CursorStability,
+            OracleReadConsistency,
+        ] {
+            assert_eq!(
+                outcome(AnomalyScenario::FuzzyRead, level),
+                Anomaly,
+                "{level}"
+            );
         }
         for level in [RepeatableRead, SnapshotIsolation, Serializable] {
-            assert_eq!(outcome(AnomalyScenario::FuzzyRead, level), Prevented, "{level}");
+            assert_eq!(
+                outcome(AnomalyScenario::FuzzyRead, level),
+                Prevented,
+                "{level}"
+            );
         }
         // The cursor-protected variant is what Cursor Stability prevents.
         assert_eq!(
@@ -745,18 +861,35 @@ mod tests {
 
     #[test]
     fn ansi_phantoms_match_table4() {
-        for level in [ReadUncommitted, ReadCommitted, CursorStability, RepeatableRead, OracleReadConsistency] {
-            assert_eq!(outcome(AnomalyScenario::PhantomAnsi, level), Anomaly, "{level}");
+        for level in [
+            ReadUncommitted,
+            ReadCommitted,
+            CursorStability,
+            RepeatableRead,
+            OracleReadConsistency,
+        ] {
+            assert_eq!(
+                outcome(AnomalyScenario::PhantomAnsi, level),
+                Anomaly,
+                "{level}"
+            );
         }
         for level in [SnapshotIsolation, Serializable] {
-            assert_eq!(outcome(AnomalyScenario::PhantomAnsi, level), Prevented, "{level}");
+            assert_eq!(
+                outcome(AnomalyScenario::PhantomAnsi, level),
+                Prevented,
+                "{level}"
+            );
         }
     }
 
     #[test]
     fn predicate_constraint_phantoms_catch_snapshot_isolation() {
         assert_eq!(
-            outcome(AnomalyScenario::PhantomPredicateConstraint, SnapshotIsolation),
+            outcome(
+                AnomalyScenario::PhantomPredicateConstraint,
+                SnapshotIsolation
+            ),
             Anomaly
         );
         assert_eq!(
@@ -771,21 +904,48 @@ mod tests {
 
     #[test]
     fn read_skew_matches_table4() {
-        for level in [ReadUncommitted, ReadCommitted, CursorStability, OracleReadConsistency] {
-            assert_eq!(outcome(AnomalyScenario::ReadSkew, level), Anomaly, "{level}");
+        for level in [
+            ReadUncommitted,
+            ReadCommitted,
+            CursorStability,
+            OracleReadConsistency,
+        ] {
+            assert_eq!(
+                outcome(AnomalyScenario::ReadSkew, level),
+                Anomaly,
+                "{level}"
+            );
         }
         for level in [RepeatableRead, SnapshotIsolation, Serializable] {
-            assert_eq!(outcome(AnomalyScenario::ReadSkew, level), Prevented, "{level}");
+            assert_eq!(
+                outcome(AnomalyScenario::ReadSkew, level),
+                Prevented,
+                "{level}"
+            );
         }
     }
 
     #[test]
     fn write_skew_matches_table4() {
-        for level in [ReadUncommitted, ReadCommitted, CursorStability, SnapshotIsolation, OracleReadConsistency] {
-            assert_eq!(outcome(AnomalyScenario::WriteSkew, level), Anomaly, "{level}");
+        for level in [
+            ReadUncommitted,
+            ReadCommitted,
+            CursorStability,
+            SnapshotIsolation,
+            OracleReadConsistency,
+        ] {
+            assert_eq!(
+                outcome(AnomalyScenario::WriteSkew, level),
+                Anomaly,
+                "{level}"
+            );
         }
         for level in [RepeatableRead, Serializable] {
-            assert_eq!(outcome(AnomalyScenario::WriteSkew, level), Prevented, "{level}");
+            assert_eq!(
+                outcome(AnomalyScenario::WriteSkew, level),
+                Prevented,
+                "{level}"
+            );
         }
         // Protecting both rows with cursors makes Cursor Stability prevent it.
         assert_eq!(

@@ -15,8 +15,12 @@ use critique_storage::Row;
 fn audited_total(level: IsolationLevel) -> i64 {
     let db = Database::new(level);
     let setup = db.begin();
-    let x = setup.insert("accounts", Row::new().with("balance", 50)).unwrap();
-    let y = setup.insert("accounts", Row::new().with("balance", 50)).unwrap();
+    let x = setup
+        .insert("accounts", Row::new().with("balance", 50))
+        .unwrap();
+    let y = setup
+        .insert("accounts", Row::new().with("balance", 50))
+        .unwrap();
     setup.commit().unwrap();
 
     // T1 transfers 40 from x to y; T2 audits in the middle.
@@ -46,7 +50,16 @@ fn main() {
     println!("(the invariant is 100; anything else is the paper's 'inconsistent analysis')\n");
     for level in IsolationLevel::ALL {
         let total = audited_total(level);
-        let verdict = if total == 100 { "consistent" } else { "INCONSISTENT" };
-        println!("  {:<26} audit total = {:<4} {}", level.name(), total, verdict);
+        let verdict = if total == 100 {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        };
+        println!(
+            "  {:<26} audit total = {:<4} {}",
+            level.name(),
+            total,
+            verdict
+        );
     }
 }

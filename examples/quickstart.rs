@@ -12,22 +12,41 @@ fn main() {
     // 1. A database running at READ COMMITTED.
     let db = Database::new(IsolationLevel::ReadCommitted);
     let setup = db.begin();
-    let x = setup.insert("accounts", Row::new().with("balance", 50)).unwrap();
-    let y = setup.insert("accounts", Row::new().with("balance", 50)).unwrap();
+    let x = setup
+        .insert("accounts", Row::new().with("balance", 50))
+        .unwrap();
+    let y = setup
+        .insert("accounts", Row::new().with("balance", 50))
+        .unwrap();
     setup.commit().unwrap();
     db.clear_history();
 
     // 2. Interleave a transfer (T1) with an audit (T2) — the paper's H2.
     let t1 = db.begin();
     let t2 = db.begin();
-    let seen_x = t2.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap();
-    t1.update("accounts", x, Row::new().with("balance", 10)).unwrap();
-    t1.update("accounts", y, Row::new().with("balance", 90)).unwrap();
+    let seen_x = t2
+        .read("accounts", x)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap();
+    t1.update("accounts", x, Row::new().with("balance", 10))
+        .unwrap();
+    t1.update("accounts", y, Row::new().with("balance", 90))
+        .unwrap();
     t1.commit().unwrap();
-    let seen_y = t2.read("accounts", y).unwrap().unwrap().get_int("balance").unwrap();
+    let seen_y = t2
+        .read("accounts", y)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap();
     t2.commit().unwrap();
 
-    println!("audit at READ COMMITTED observed x + y = {}", seen_x + seen_y);
+    println!(
+        "audit at READ COMMITTED observed x + y = {}",
+        seen_x + seen_y
+    );
 
     // 3. The recorded history, in the paper's notation, and the phenomena
     //    it exhibits.
@@ -43,19 +62,38 @@ fn main() {
     //    snapshot.
     let db = Database::new(IsolationLevel::SnapshotIsolation);
     let setup = db.begin();
-    let x = setup.insert("accounts", Row::new().with("balance", 50)).unwrap();
-    let y = setup.insert("accounts", Row::new().with("balance", 50)).unwrap();
+    let x = setup
+        .insert("accounts", Row::new().with("balance", 50))
+        .unwrap();
+    let y = setup
+        .insert("accounts", Row::new().with("balance", 50))
+        .unwrap();
     setup.commit().unwrap();
 
     let t1 = db.begin();
     let t2 = db.begin();
-    let seen_x = t2.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap();
-    t1.update("accounts", x, Row::new().with("balance", 10)).unwrap();
-    t1.update("accounts", y, Row::new().with("balance", 90)).unwrap();
+    let seen_x = t2
+        .read("accounts", x)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap();
+    t1.update("accounts", x, Row::new().with("balance", 10))
+        .unwrap();
+    t1.update("accounts", y, Row::new().with("balance", 90))
+        .unwrap();
     t1.commit().unwrap();
-    let seen_y = t2.read("accounts", y).unwrap().unwrap().get_int("balance").unwrap();
+    let seen_y = t2
+        .read("accounts", y)
+        .unwrap()
+        .unwrap()
+        .get_int("balance")
+        .unwrap();
     t2.commit().unwrap();
-    println!("audit at Snapshot Isolation observed x + y = {}", seen_x + seen_y);
+    println!(
+        "audit at Snapshot Isolation observed x + y = {}",
+        seen_x + seen_y
+    );
 
     // 5. The paper's canonical histories are built in; check H1 directly.
     let h1 = critique_history::canonical::h1();

@@ -12,7 +12,9 @@ use critique_storage::Row;
 fn main() {
     let db = Database::new(IsolationLevel::SnapshotIsolation);
     let setup = db.begin();
-    let account = setup.insert("accounts", Row::new().with("balance", 100)).unwrap();
+    let account = setup
+        .insert("accounts", Row::new().with("balance", 100))
+        .unwrap();
     setup.commit().unwrap();
 
     // The historian starts now and keeps its snapshot for the whole run.
@@ -28,7 +30,11 @@ fn main() {
             .get_int("balance")
             .unwrap();
         teller
-            .update("accounts", account, Row::new().with("balance", balance + 10))
+            .update(
+                "accounts",
+                account,
+                Row::new().with("balance", balance + 10),
+            )
             .unwrap();
         teller.commit().unwrap();
         if i % 5 == 0 {

@@ -14,8 +14,12 @@ use critique_storage::Row;
 fn run(level: IsolationLevel) -> (i64, &'static str) {
     let db = Database::new(level);
     let setup = db.begin();
-    let x = setup.insert("accounts", Row::new().with("balance", 50)).unwrap();
-    let y = setup.insert("accounts", Row::new().with("balance", 50)).unwrap();
+    let x = setup
+        .insert("accounts", Row::new().with("balance", 50))
+        .unwrap();
+    let y = setup
+        .insert("accounts", Row::new().with("balance", 50))
+        .unwrap();
     setup.commit().unwrap();
 
     let withdraw = |victim, other| -> &'static str {
@@ -87,7 +91,10 @@ fn run(level: IsolationLevel) -> (i64, &'static str) {
     };
     let _ = withdraw; // the helper documents the intended application logic
 
-    let total = db.sum_committed(&critique_storage::RowPredicate::whole_table("accounts"), "balance");
+    let total = db.sum_committed(
+        &critique_storage::RowPredicate::whole_table("accounts"),
+        "balance",
+    );
     let detail = match (outcome1, outcome2) {
         ("committed", "committed") => "both withdrawals committed",
         _ => "one withdrawal was stopped",
@@ -104,7 +111,11 @@ fn main() {
         IsolationLevel::Serializable,
     ] {
         let (total, detail) = run(level);
-        let verdict = if total > 0 { "constraint holds" } else { "CONSTRAINT VIOLATED" };
+        let verdict = if total > 0 {
+            "constraint holds"
+        } else {
+            "CONSTRAINT VIOLATED"
+        };
         println!(
             "  {:<22} final x + y = {:<5} ({detail}) -> {verdict}",
             level.name(),

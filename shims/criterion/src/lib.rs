@@ -1,0 +1,280 @@
+//! Offline shim for `criterion`.
+//!
+//! crates.io is unreachable in this build environment, so this crate
+//! provides a minimal benchmark harness with the API surface the workspace's
+//! benches use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `bench_with_input` / `sample_size` / `finish`, [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — each benchmark is warmed up briefly,
+//! then timed over enough iterations to fill a short measurement window, and
+//! the mean time per iteration is printed.  No statistics, plots, or
+//! baseline comparisons; the point is that `cargo bench` runs and reports
+//! plausible numbers without the real dependency.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement.
+pub struct Bencher<'a> {
+    report_label: &'a str,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, printing mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = (self.measurement.as_secs_f64() / per_iter.max(1e-9)).clamp(1.0, 1e7);
+
+        let iters = target as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        let mean = elapsed.as_secs_f64() / iters as f64;
+        println!(
+            "bench: {:<55} {:>14}/iter ({} iterations)",
+            self.report_label,
+            format_time(mean),
+            iters
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Top-level benchmark driver, handed to every target function.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(30),
+            measurement: Duration::from_millis(120),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher {
+            report_label: id,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement = self.measurement;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    /// Group-scoped measurement window (real criterion scopes
+    /// `measurement_time` to the group, so the shim does too).
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall-clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrink or stretch the timing window for this group only.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement = time;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchIdLike>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        let mut bencher = Bencher {
+            report_label: &label,
+            warm_up: self.criterion.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let mut bencher = Bencher {
+            report_label: &label,
+            warm_up: self.criterion.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// End the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Something convertible into a benchmark label within a group.
+pub struct BenchIdLike(String);
+
+impl From<&str> for BenchIdLike {
+    fn from(s: &str) -> Self {
+        BenchIdLike(s.to_string())
+    }
+}
+
+impl From<String> for BenchIdLike {
+    fn from(s: String) -> Self {
+        BenchIdLike(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchIdLike {
+    fn from(id: BenchmarkId) -> Self {
+        BenchIdLike(id.id)
+    }
+}
+
+/// Collect benchmark target functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(2),
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, n| {
+            b.iter(|| total += n)
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(format_time(2e-9).ends_with("ns"));
+        assert!(format_time(2e-6).ends_with("µs"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2.0).ends_with(" s"));
+    }
+}

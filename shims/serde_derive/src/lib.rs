@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal stand-in: the `Serialize` / `Deserialize` derives accept the
+//! same attribute grammar but expand to nothing — the shim `serde` crate
+//! blanket-implements its marker traits for every type.  Data-structure
+//! serialisation in-tree (e.g. the harness report's JSON output) is
+//! hand-rolled instead.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; the shim `serde::Serialize` is a blanket
+/// marker trait, so nothing needs to be generated.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; see [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -37,7 +37,10 @@ fn detectors_characterise_each_canonical_history_as_the_paper_describes() {
             assert!(detect::exhibits(history, *p), "{name} must exhibit {p}");
         }
         for p in *must_not_have {
-            assert!(!detect::exhibits(history, *p), "{name} must not exhibit {p}");
+            assert!(
+                !detect::exhibits(history, *p),
+                "{name} must not exhibit {p}"
+            );
         }
     }
 }
@@ -74,10 +77,30 @@ fn executed_serializable_runs_stay_serializable_and_anomaly_free() {
 
     for i in 0..4 {
         let t = db.begin();
-        let bx = t.read("accounts", x).unwrap().unwrap().get_int("balance").unwrap();
-        let by = t.read("accounts", y).unwrap().unwrap().get_int("balance").unwrap();
-        t.update("accounts", x, critique_storage::Row::new().with("balance", bx - i)).unwrap();
-        t.update("accounts", y, critique_storage::Row::new().with("balance", by + i)).unwrap();
+        let bx = t
+            .read("accounts", x)
+            .unwrap()
+            .unwrap()
+            .get_int("balance")
+            .unwrap();
+        let by = t
+            .read("accounts", y)
+            .unwrap()
+            .unwrap()
+            .get_int("balance")
+            .unwrap();
+        t.update(
+            "accounts",
+            x,
+            critique_storage::Row::new().with("balance", bx - i),
+        )
+        .unwrap();
+        t.update(
+            "accounts",
+            y,
+            critique_storage::Row::new().with("balance", by + i),
+        )
+        .unwrap();
         t.commit().unwrap();
     }
     let history = db.recorded_history();

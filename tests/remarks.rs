@@ -38,7 +38,11 @@ fn remark_3_every_level_above_degree_0_excludes_dirty_writes() {
             "{level}"
         );
         let observed = AnomalyScenario::DirtyWrite.run(level);
-        assert!(!observed.outcome.is_anomaly(), "{level}: {}", observed.detail);
+        assert!(
+            !observed.outcome.is_anomaly(),
+            "{level}: {}",
+            observed.detail
+        );
     }
 }
 
@@ -93,8 +97,14 @@ fn remark_6_lock_profiles_and_phenomena_tables_agree() {
 
 #[test]
 fn remark_7_cursor_stability_sits_strictly_between_rc_and_rr() {
-    assert!(weaker(IsolationLevel::ReadCommitted, IsolationLevel::CursorStability));
-    assert!(weaker(IsolationLevel::CursorStability, IsolationLevel::RepeatableRead));
+    assert!(weaker(
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::CursorStability
+    ));
+    assert!(weaker(
+        IsolationLevel::CursorStability,
+        IsolationLevel::RepeatableRead
+    ));
     // And the executable evidence: P4C possible at RC, not at CS; P4 still
     // sometimes possible at CS, never at RR.
     assert!(AnomalyScenario::CursorLostUpdate
@@ -117,7 +127,10 @@ fn remark_7_cursor_stability_sits_strictly_between_rc_and_rr() {
 
 #[test]
 fn remark_8_read_committed_is_strictly_weaker_than_snapshot_isolation() {
-    assert!(weaker(IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation));
+    assert!(weaker(
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::SnapshotIsolation
+    ));
     // Executable witness: read skew (A5A) occurs at READ COMMITTED but not
     // under Snapshot Isolation.
     assert!(AnomalyScenario::ReadSkew
@@ -171,9 +184,15 @@ fn remark_10_anomaly_serializable_is_weaker_than_snapshot_isolation() {
         .run(IsolationLevel::SnapshotIsolation)
         .outcome
         .is_anomaly());
-    assert!(weaker(IsolationLevel::SnapshotIsolation, IsolationLevel::Serializable));
+    assert!(weaker(
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializable
+    ));
     assert_eq!(
-        compare(IsolationLevel::Serializable, IsolationLevel::SnapshotIsolation),
+        compare(
+            IsolationLevel::Serializable,
+            IsolationLevel::SnapshotIsolation
+        ),
         critique_core::lattice::Comparison::Stronger
     );
 }

@@ -1,0 +1,131 @@
+//! Workspace smoke test: drive one (or two) anomaly scenarios per isolation
+//! level through the public facade and assert the Table 4 verdicts.
+//!
+//! Everything here goes through `ansi_isolation_critique::prelude` only —
+//! if a re-export goes missing in the facade, this file stops compiling.
+
+use ansi_isolation_critique::prelude::*;
+
+fn outcome(scenario: AnomalyScenario, level: IsolationLevel) -> ScenarioOutcome {
+    scenario.run(level).outcome
+}
+
+#[test]
+fn degree0_even_admits_dirty_writes() {
+    assert!(outcome(AnomalyScenario::DirtyWrite, IsolationLevel::Degree0).is_anomaly());
+}
+
+#[test]
+fn read_uncommitted_admits_dirty_reads_but_not_dirty_writes() {
+    // Table 4 row 1: P0 Not Possible, P1 Possible.
+    assert!(!outcome(AnomalyScenario::DirtyWrite, IsolationLevel::ReadUncommitted).is_anomaly());
+    assert!(outcome(AnomalyScenario::DirtyRead, IsolationLevel::ReadUncommitted).is_anomaly());
+}
+
+#[test]
+fn read_committed_stops_dirty_reads_but_loses_updates() {
+    // Table 4 row 2: P1 Not Possible, P4 Possible.
+    assert!(!outcome(AnomalyScenario::DirtyRead, IsolationLevel::ReadCommitted).is_anomaly());
+    assert!(outcome(AnomalyScenario::LostUpdate, IsolationLevel::ReadCommitted).is_anomaly());
+}
+
+#[test]
+fn cursor_stability_protects_exactly_the_cursor_variant() {
+    // Table 4 row 3: P4C Not Possible yet P4 "Sometimes Possible" — the
+    // cursor-protected lost update is stopped, the plain one is not.
+    assert!(!outcome(
+        AnomalyScenario::CursorLostUpdate,
+        IsolationLevel::CursorStability
+    )
+    .is_anomaly());
+    assert!(outcome(AnomalyScenario::LostUpdate, IsolationLevel::CursorStability).is_anomaly());
+}
+
+#[test]
+fn oracle_read_consistency_stops_cursor_lost_updates_but_not_plain_ones() {
+    // Table 4 row 4: P1 Not Possible, P4C Not Possible, P4 Possible.
+    assert!(!outcome(
+        AnomalyScenario::DirtyRead,
+        IsolationLevel::OracleReadConsistency
+    )
+    .is_anomaly());
+    assert!(!outcome(
+        AnomalyScenario::CursorLostUpdate,
+        IsolationLevel::OracleReadConsistency
+    )
+    .is_anomaly());
+    assert!(outcome(
+        AnomalyScenario::LostUpdate,
+        IsolationLevel::OracleReadConsistency
+    )
+    .is_anomaly());
+}
+
+#[test]
+fn repeatable_read_admits_only_phantoms() {
+    // Table 4 row 5: P2 Not Possible, P3 Possible.
+    assert!(!outcome(AnomalyScenario::FuzzyRead, IsolationLevel::RepeatableRead).is_anomaly());
+    assert!(outcome(AnomalyScenario::PhantomAnsi, IsolationLevel::RepeatableRead).is_anomaly());
+}
+
+#[test]
+fn snapshot_isolation_stops_lost_update_but_admits_write_skew() {
+    // Table 4 row 6 — the paper's headline about SI: First-Committer-Wins
+    // makes P4 Not Possible, while A5B (Write Skew) remains Possible.
+    assert!(!outcome(
+        AnomalyScenario::LostUpdate,
+        IsolationLevel::SnapshotIsolation
+    )
+    .is_anomaly());
+    assert!(outcome(
+        AnomalyScenario::WriteSkew,
+        IsolationLevel::SnapshotIsolation
+    )
+    .is_anomaly());
+    // And the Section 4.2 predicate-constraint phantom also slips through.
+    assert!(outcome(
+        AnomalyScenario::PhantomPredicateConstraint,
+        IsolationLevel::SnapshotIsolation
+    )
+    .is_anomaly());
+}
+
+#[test]
+fn serializable_prevents_every_scenario() {
+    // Table 4 bottom row: everything Not Possible.
+    for scenario in AnomalyScenario::ALL {
+        assert!(
+            !outcome(scenario, IsolationLevel::Serializable).is_anomaly(),
+            "SERIALIZABLE must prevent {scenario:?}"
+        );
+    }
+}
+
+#[test]
+fn every_scenario_outcome_is_consistent_with_the_papers_table4() {
+    // Cross-check the full matrix through the facade: wherever the paper
+    // says Not Possible the scenario must be prevented, wherever it says
+    // Possible the scenario must materialise; "Sometimes Possible" cells
+    // are exactly the ones where the plain and cursor-protected variants
+    // disagree, so individual variants are allowed either outcome there.
+    let paper = tables::table4();
+    for level in IsolationLevel::TABLE4_ROWS {
+        for scenario in AnomalyScenario::ALL {
+            let Some(cell) = paper.cell(level.name(), scenario.phenomenon()) else {
+                continue;
+            };
+            let observed = outcome(scenario, level);
+            match cell {
+                Possibility::NotPossible => assert!(
+                    !observed.is_anomaly(),
+                    "{scenario:?} at {level} must be prevented (paper: Not Possible)"
+                ),
+                Possibility::Possible => assert!(
+                    observed.is_anomaly(),
+                    "{scenario:?} at {level} must materialise (paper: Possible)"
+                ),
+                Possibility::SometimesPossible => {}
+            }
+        }
+    }
+}
