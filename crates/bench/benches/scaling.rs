@@ -1,0 +1,58 @@
+//! Thread-count scaling sweep: the sharded substrate's win, measured.
+//!
+//! Runs [`critique_workloads::ScalingReport`] over 1/2/4/8 workers at READ
+//! COMMITTED, for the sharded substrate and for the `shards = 1`
+//! configuration that reproduces the old global-lock layout, prints the
+//! series, and writes the hand-rolled JSON to `BENCH_scaling.json` at the
+//! workspace root so the perf trajectory is tracked from PR to PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use critique_bench::{scaling_workload, SCALING_THREADS};
+use critique_core::IsolationLevel;
+use critique_workloads::ScalingReport;
+
+/// Where the machine-readable sweep results land (workspace root).
+const OUTPUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+
+fn run_sweep() -> ScalingReport {
+    ScalingReport::run(
+        scaling_workload(),
+        IsolationLevel::ReadCommitted,
+        &SCALING_THREADS,
+        &[
+            (scaling_workload().shards, "sharded"),
+            (1, "single-shard baseline"),
+        ],
+        3,
+    )
+}
+
+fn print_and_record() {
+    let report = run_sweep();
+    print!("{}", report.to_text());
+    match std::fs::write(OUTPUT_PATH, report.to_json()) {
+        Ok(()) => println!("scaling sweep recorded in {OUTPUT_PATH}"),
+        Err(e) => eprintln!("could not write {OUTPUT_PATH}: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_and_record();
+
+    // Criterion view of the same shape: one committed-throughput
+    // measurement per worker count on the sharded substrate.
+    let mut group = c.benchmark_group("scaling/read_committed");
+    group.sample_size(10);
+    for threads in SCALING_THREADS {
+        let workload = scaling_workload().with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &workload,
+            |b, workload| b.iter(|| workload.run(IsolationLevel::ReadCommitted).committed),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

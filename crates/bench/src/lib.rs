@@ -40,5 +40,28 @@ pub fn bench_workload(read_fraction: f64, hot_fraction: f64) -> MixedWorkload {
         txns_per_thread: 50,
         threads: 4,
         seed: 99,
+        think_micros: 0,
+        shards: critique_storage::DEFAULT_SHARDS,
     }
 }
+
+/// The workload behind the thread-count scaling sweep (`BENCH_scaling.json`):
+/// mostly-read, low contention, and — crucially — non-zero client think
+/// time, so throughput is bounded by how many transactions the substrate
+/// lets overlap rather than by a single worker's CPU speed.
+pub fn scaling_workload() -> MixedWorkload {
+    MixedWorkload {
+        accounts: 256,
+        read_fraction: 0.7,
+        ops_per_txn: 4,
+        hot_fraction: 0.05,
+        txns_per_thread: 120,
+        threads: 1,
+        seed: 1995,
+        think_micros: 250,
+        shards: critique_storage::DEFAULT_SHARDS,
+    }
+}
+
+/// The worker counts the scaling sweep visits.
+pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];

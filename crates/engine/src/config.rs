@@ -6,11 +6,12 @@ use std::time::Duration;
 
 /// What to do when a lock request conflicts with locks held by other
 /// transactions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub enum LockWaitPolicy {
     /// Return [`crate::TxnError::WouldBlock`] immediately.  This is what the
     /// deterministic interleaving driver uses: the harness decides whether
     /// to retry the operation after the blocker finishes.
+    #[default]
     Fail,
     /// Block until the lock is granted, a deadlock makes this transaction
     /// the victim, or the timeout expires.  Used by the threaded
@@ -31,12 +32,6 @@ impl LockWaitPolicy {
     }
 }
 
-impl Default for LockWaitPolicy {
-    fn default() -> Self {
-        LockWaitPolicy::Fail
-    }
-}
-
 /// Configuration of a [`crate::Database`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -49,16 +44,23 @@ pub struct EngineConfig {
     /// throughput benchmarks switch it off to measure the schedulers
     /// themselves).
     pub record_history: bool,
+    /// Number of shards the substrate is partitioned into: the store's
+    /// version-chain shards, the lock manager's item-lock shards, and the
+    /// history recorder's buffers.  `1` degenerates to the old
+    /// global-lock layout (useful as a contention baseline); clamped to at
+    /// least 1.
+    pub shards: usize,
 }
 
 impl EngineConfig {
     /// Default configuration for a given isolation level: non-blocking lock
-    /// waits and history recording enabled.
+    /// waits, history recording enabled, default shard count.
     pub fn new(level: IsolationLevel) -> Self {
         EngineConfig {
             level,
             lock_wait: LockWaitPolicy::Fail,
             record_history: true,
+            shards: critique_storage::DEFAULT_SHARDS,
         }
     }
 
@@ -73,6 +75,12 @@ impl EngineConfig {
         self.record_history = false;
         self
     }
+
+    /// Override the substrate shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -85,7 +93,16 @@ mod tests {
         assert_eq!(cfg.level, IsolationLevel::ReadCommitted);
         assert_eq!(cfg.lock_wait, LockWaitPolicy::Fail);
         assert!(cfg.record_history);
+        assert_eq!(cfg.shards, critique_storage::DEFAULT_SHARDS);
         assert_eq!(LockWaitPolicy::default(), LockWaitPolicy::Fail);
+    }
+
+    #[test]
+    fn shard_override_is_clamped() {
+        let cfg = EngineConfig::new(IsolationLevel::ReadCommitted).with_shards(0);
+        assert_eq!(cfg.shards, 1);
+        let cfg = EngineConfig::new(IsolationLevel::ReadCommitted).with_shards(4);
+        assert_eq!(cfg.shards, 4);
     }
 
     #[test]

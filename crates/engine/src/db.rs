@@ -9,6 +9,7 @@ use critique_core::IsolationLevel;
 use critique_history::History;
 use critique_lock::LockManager;
 use critique_storage::{MvStore, Row, RowId, RowPredicate, TimestampOracle, TxnToken};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -19,6 +20,14 @@ pub(crate) struct DbInner {
     pub(crate) locks: LockManager,
     pub(crate) ts: TimestampOracle,
     pub(crate) recorder: HistoryRecorder,
+    /// Serialises the commit sequence (validate → reserve timestamp →
+    /// stamp chains → publish).  With the store sharded, stamping is no
+    /// longer atomic on its own; holding this lock across reserve+stamp
+    /// keeps commits atomically visible to snapshot readers (publication
+    /// happens only after every chain is stamped, in timestamp order) and
+    /// makes the Snapshot Isolation First-Committer-Wins check atomic with
+    /// the commit it guards.  Reads, writes, and aborts never take it.
+    pub(crate) commit_seq: Mutex<()>,
     next_txn: AtomicU64,
 }
 
@@ -44,10 +53,11 @@ impl Database {
         Database {
             inner: Arc::new(DbInner {
                 profile: LockProfile::for_level(config.level),
-                store: MvStore::new(),
-                locks: LockManager::new(),
+                store: MvStore::with_shards(config.shards),
+                locks: LockManager::with_shards(config.shards),
                 ts: TimestampOracle::new(),
-                recorder: HistoryRecorder::new(config.record_history),
+                recorder: HistoryRecorder::with_shards(config.record_history, config.shards),
+                commit_seq: Mutex::new(()),
                 next_txn: AtomicU64::new(1),
                 config,
             }),
@@ -66,7 +76,12 @@ impl Database {
 
     /// Begin a new transaction.
     pub fn begin(&self) -> Transaction {
-        let token = TxnToken(self.inner.next_txn.fetch_add(1, Ordering::SeqCst));
+        // Relaxed: this counter is a pure id allocator.  `fetch_add` is
+        // atomic at any ordering, so tokens are unique (and monotonic in
+        // the counter's own modification order, which is all deadlock
+        // victim selection needs); nothing synchronises *through* the
+        // token, so no acquire/release edges are required.
+        let token = TxnToken(self.inner.next_txn.fetch_add(1, Ordering::Relaxed));
         Transaction::new(Arc::clone(&self.inner), token)
     }
 

@@ -12,37 +12,67 @@
 use critique_history::op::Op;
 use critique_history::{History, TxnId};
 use critique_storage::{Row, RowId, RowPredicate, TxnToken};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn item_name(table: &str, row: RowId) -> String {
     format!("{}.{}", table, row.0)
 }
 
 /// Annotates and accumulates operations executed by the engine.
-#[derive(Default)]
+///
+/// Operations are collected into per-shard buffers selected by the
+/// recording transaction's token — so concurrent transactions don't
+/// serialise on one mutex — and each op is stamped with a ticket from a
+/// global sequence counter.  [`HistoryRecorder::history`] merges the
+/// buffers by ticket, reconstructing the real-time total order (for a
+/// single-threaded scenario run this is exactly the program order the old
+/// single-buffer recorder produced).
 pub struct HistoryRecorder {
-    inner: Mutex<RecorderInner>,
+    enabled: bool,
+    /// The merge key: a logical timestamp drawn per recorded op.
+    next_ticket: AtomicU64,
+    /// Every predicate that has been read, keyed by display name — shared
+    /// by all shards because write annotation must see every predicate
+    /// regardless of which transaction read it.
+    predicates: RwLock<BTreeMap<String, RowPredicate>>,
+    shards: Box<[OpBuffer]>,
 }
 
-#[derive(Default)]
-struct RecorderInner {
-    ops: Vec<Op>,
-    /// Every predicate that has been read, keyed by display name.
-    predicates: BTreeMap<String, RowPredicate>,
-    enabled: bool,
+/// One shard's buffer of `(sequence ticket, op)` pairs.
+type OpBuffer = Mutex<Vec<(u64, Op)>>;
+
+impl Default for HistoryRecorder {
+    fn default() -> Self {
+        Self::new(false)
+    }
 }
 
 impl HistoryRecorder {
-    /// A recorder; `enabled` mirrors
+    /// A recorder with the default shard count; `enabled` mirrors
     /// [`crate::EngineConfig::record_history`].
     pub fn new(enabled: bool) -> Self {
+        Self::with_shards(enabled, critique_storage::DEFAULT_SHARDS)
+    }
+
+    /// A recorder with an explicit shard count (clamped to at least 1).
+    pub fn with_shards(enabled: bool, shards: usize) -> Self {
         HistoryRecorder {
-            inner: Mutex::new(RecorderInner {
-                enabled,
-                ..Default::default()
-            }),
+            enabled,
+            next_ticket: AtomicU64::new(0),
+            predicates: RwLock::new(BTreeMap::new()),
+            shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
         }
+    }
+
+    fn shard_for(&self, txn: TxnToken) -> &OpBuffer {
+        &self.shards[(txn.0 % self.shards.len() as u64) as usize]
+    }
+
+    fn record(&self, txn: TxnToken, op: Op) {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.shard_for(txn).lock().push((ticket, op));
     }
 
     fn txn_id(token: TxnToken) -> u32 {
@@ -51,31 +81,38 @@ impl HistoryRecorder {
 
     /// Record an item read.
     pub fn read(&self, txn: TxnToken, table: &str, row: RowId, value: Option<&Row>) {
-        self.push(Self::annotate_value(
-            Op::read(Self::txn_id(txn), item_name(table, row)),
-            value,
-        ));
+        if !self.enabled {
+            return;
+        }
+        self.record(
+            txn,
+            Self::annotate_value(Op::read(Self::txn_id(txn), item_name(table, row)), value),
+        );
     }
 
     /// Record a cursor read (FETCH).
     pub fn cursor_read(&self, txn: TxnToken, table: &str, row: RowId, value: Option<&Row>) {
-        self.push(Self::annotate_value(
-            Op::cursor_read(Self::txn_id(txn), item_name(table, row)),
-            value,
-        ));
+        if !self.enabled {
+            return;
+        }
+        self.record(
+            txn,
+            Self::annotate_value(
+                Op::cursor_read(Self::txn_id(txn), item_name(table, row)),
+                value,
+            ),
+        );
     }
 
     /// Record a predicate read, registering the predicate for later write
     /// annotation.
     pub fn predicate_read(&self, txn: TxnToken, predicate: &RowPredicate) {
-        let mut inner = self.inner.lock();
-        inner
-            .predicates
+        self.predicates
+            .write()
             .entry(predicate.name())
             .or_insert_with(|| predicate.clone());
-        if inner.enabled {
-            let op = Op::predicate_read(Self::txn_id(txn), predicate.name());
-            inner.ops.push(op);
+        if self.enabled {
+            self.record(txn, Op::predicate_read(Self::txn_id(txn), predicate.name()));
         }
     }
 
@@ -90,8 +127,7 @@ impl HistoryRecorder {
         after: Option<&Row>,
         through_cursor: bool,
     ) {
-        let mut inner = self.inner.lock();
-        if !inner.enabled {
+        if !self.enabled {
             return;
         }
         let id = Self::txn_id(txn);
@@ -102,26 +138,33 @@ impl HistoryRecorder {
         };
         op = Self::annotate_value(op, after);
         let is_insert = before.is_none();
-        for predicate in inner.predicates.values() {
-            let after_matches = after.is_some_and(|r| predicate.matches(table, r));
-            let before_matches = before.is_some_and(|r| predicate.matches(table, r));
-            if is_insert && after_matches {
-                op = op.inserting_into(predicate.name());
-            } else if before_matches || after_matches {
-                op = op.mutating_in(predicate.name());
+        {
+            let predicates = self.predicates.read();
+            for predicate in predicates.values() {
+                let after_matches = after.is_some_and(|r| predicate.matches(table, r));
+                let before_matches = before.is_some_and(|r| predicate.matches(table, r));
+                if is_insert && after_matches {
+                    op = op.inserting_into(predicate.name());
+                } else if before_matches || after_matches {
+                    op = op.mutating_in(predicate.name());
+                }
             }
         }
-        inner.ops.push(op);
+        self.record(txn, op);
     }
 
     /// Record a commit.
     pub fn commit(&self, txn: TxnToken) {
-        self.push(Op::commit(Self::txn_id(txn)));
+        if self.enabled {
+            self.record(txn, Op::commit(Self::txn_id(txn)));
+        }
     }
 
     /// Record an abort.
     pub fn abort(&self, txn: TxnToken) {
-        self.push(Op::abort(Self::txn_id(txn)));
+        if self.enabled {
+            self.record(txn, Op::abort(Self::txn_id(txn)));
+        }
     }
 
     fn annotate_value(op: Op, row: Option<&Row>) -> Op {
@@ -131,22 +174,24 @@ impl HistoryRecorder {
         }
     }
 
-    fn push(&self, op: Op) {
-        let mut inner = self.inner.lock();
-        if inner.enabled {
-            inner.ops.push(op);
-        }
-    }
-
-    /// The history recorded so far.
+    /// The history recorded so far: the per-shard buffers merged by their
+    /// global sequence tickets.
     pub fn history(&self) -> History {
-        History::from_ops_unchecked(self.inner.lock().ops.clone())
+        let mut stamped: Vec<(u64, Op)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.lock().clone())
+            .collect();
+        stamped.sort_unstable_by_key(|(ticket, _)| *ticket);
+        History::from_ops_unchecked(stamped.into_iter().map(|(_, op)| op).collect())
     }
 
     /// Discard everything recorded so far (predicate registrations are
     /// kept).
     pub fn clear(&self) {
-        self.inner.lock().ops.clear();
+        for shard in self.shards.iter() {
+            shard.lock().clear();
+        }
     }
 
     /// Transactions that appear in the recorded history.

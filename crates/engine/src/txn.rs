@@ -596,18 +596,30 @@ impl Transaction {
     /// committed during this one's execution interval wrote the same data.
     pub fn commit(&self) -> Result<(), TxnError> {
         self.ensure_active()?;
-        if self.db.config.level == IsolationLevel::SnapshotIsolation {
-            if let Some((table, row)) = self
-                .db
-                .store
-                .first_committer_conflict(self.token, self.start_ts)
-            {
-                self.rollback_internal();
-                return Err(TxnError::FirstCommitterConflict { table, row });
+        {
+            // The commit sequence: validate, reserve a timestamp, stamp
+            // every written chain, publish.  One committer at a time —
+            // publication in timestamp order is what keeps a multi-row
+            // commit atomically visible to snapshot readers even though
+            // the chains live in different store shards; and running the
+            // First-Committer-Wins check inside the same sequence means
+            // two racing SI writers can never both pass it.
+            let commit_guard = self.db.commit_seq.lock();
+            if self.db.config.level == IsolationLevel::SnapshotIsolation {
+                if let Some((table, row)) = self
+                    .db
+                    .store
+                    .first_committer_conflict(self.token, self.start_ts)
+                {
+                    drop(commit_guard);
+                    self.rollback_internal();
+                    return Err(TxnError::FirstCommitterConflict { table, row });
+                }
             }
+            let commit_ts = self.db.ts.reserve();
+            self.db.store.commit(self.token, commit_ts);
+            self.db.ts.publish(commit_ts);
         }
-        let commit_ts = self.db.ts.next();
-        self.db.store.commit(self.token, commit_ts);
         self.db.locks.release_all(self.token);
         self.db.recorder.commit(self.token);
         self.state.lock().status = TxnStatus::Committed;

@@ -1,0 +1,286 @@
+//! Threaded stress for the engine on the sharded substrate, plus
+//! conformance checks that the shard count is invisible to semantics.
+
+use critique_core::IsolationLevel;
+use critique_engine::{Database, EngineConfig, TxnError};
+use critique_storage::{Row, RowId, RowPredicate};
+
+const WORKERS: usize = 8;
+
+/// Disjoint-row increments at READ COMMITTED with blocking waits: every
+/// committed update must survive — a write lost between the sharded store,
+/// the sharded lock tables, and commit would leave a counter short.
+#[test]
+fn threaded_disjoint_writers_lose_nothing() {
+    for shards in [1, 4, 16] {
+        let config = EngineConfig::new(IsolationLevel::ReadCommitted)
+            .blocking(2_000)
+            .without_history()
+            .with_shards(shards);
+        let db = Database::with_config(config);
+        let setup = db.begin();
+        let ids: Vec<RowId> = (0..WORKERS)
+            .map(|_| {
+                setup
+                    .insert("counters", Row::new().with("value", 0))
+                    .unwrap()
+            })
+            .collect();
+        setup.commit().unwrap();
+
+        let rounds = 50i64;
+        std::thread::scope(|scope| {
+            for (worker, id) in ids.iter().enumerate() {
+                let db = db.clone();
+                let id = *id;
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        let txn = db.begin();
+                        let value = txn
+                            .read("counters", id)
+                            .unwrap()
+                            .and_then(|r| r.get_int("value"))
+                            .unwrap();
+                        txn.update("counters", id, Row::new().with("value", value + 1))
+                            .unwrap();
+                        txn.commit().unwrap();
+                    }
+                    let _ = worker;
+                });
+            }
+        });
+
+        for id in &ids {
+            assert_eq!(
+                db.read_committed("counters", *id).unwrap().get_int("value"),
+                Some(rounds),
+                "shards={shards}"
+            );
+        }
+        assert_eq!(db.locks_held(), 0, "shards={shards}");
+    }
+}
+
+/// Contended increments on one hot row at SERIALIZABLE: long read + write
+/// locks make each read-modify-write atomic, so the final value must equal
+/// the number of committed increments even though every transaction fights
+/// over the same shard entry.
+#[test]
+fn threaded_hot_row_increments_are_exact_under_serializable() {
+    let config = EngineConfig::new(IsolationLevel::Serializable)
+        .blocking(5_000)
+        .without_history()
+        .with_shards(8);
+    let db = Database::with_config(config);
+    let setup = db.begin();
+    let hot = setup
+        .insert("counters", Row::new().with("value", 0))
+        .unwrap();
+    setup.commit().unwrap();
+
+    let per_worker = 20i64;
+    let committed: i64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let db = db.clone();
+                scope.spawn(move || {
+                    let mut committed = 0i64;
+                    let mut remaining = per_worker;
+                    while remaining > 0 {
+                        let txn = db.begin();
+                        let outcome = txn
+                            .read("counters", hot)
+                            .and_then(|row| {
+                                let value = row.and_then(|r| r.get_int("value")).unwrap();
+                                txn.update("counters", hot, Row::new().with("value", value + 1))
+                            })
+                            .and_then(|()| txn.commit());
+                        match outcome {
+                            Ok(()) => {
+                                committed += 1;
+                                remaining -= 1;
+                            }
+                            // Deadlock/timeout victims retry; the increment
+                            // did not commit, so nothing is lost.
+                            Err(TxnError::Deadlock | TxnError::LockTimeout) => {}
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                    committed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    assert_eq!(committed, WORKERS as i64 * per_worker);
+    assert_eq!(
+        db.read_committed("counters", hot).unwrap().get_int("value"),
+        Some(committed)
+    );
+}
+
+/// The recorder's per-shard buffers merge back into the exact program
+/// order for a deterministic run, whatever the shard count — the recorded
+/// notation must be byte-identical across configurations.
+#[test]
+fn recorded_history_is_identical_at_every_shard_count() {
+    let run = |shards: usize| -> String {
+        let db = Database::with_config(
+            EngineConfig::new(IsolationLevel::ReadCommitted).with_shards(shards),
+        );
+        let t1 = db.begin();
+        let a = t1
+            .insert("accounts", Row::new().with("balance", 50))
+            .unwrap();
+        let b = t1
+            .insert("accounts", Row::new().with("balance", 70))
+            .unwrap();
+        t1.commit().unwrap();
+        let t2 = db.begin();
+        let t3 = db.begin();
+        t2.read("accounts", a).unwrap();
+        t3.read("accounts", b).unwrap();
+        t2.update("accounts", a, Row::new().with("balance", 10))
+            .unwrap();
+        t3.update("accounts", b, Row::new().with("balance", 90))
+            .unwrap();
+        t3.commit().unwrap();
+        t2.commit().unwrap();
+        let all = RowPredicate::whole_table("accounts");
+        let t4 = db.begin();
+        t4.read_where(&all).unwrap();
+        t4.commit().unwrap();
+        db.recorded_history().to_notation()
+    };
+    let reference = run(1);
+    assert!(!reference.is_empty());
+    for shards in [2, 5, 16] {
+        assert_eq!(run(shards), reference, "shards={shards}");
+    }
+}
+
+/// Threaded recording: with history on, the merged history contains every
+/// commit exactly once and one terminator per transaction.
+#[test]
+fn threaded_recording_drops_no_operations() {
+    let config = EngineConfig::new(IsolationLevel::SnapshotIsolation)
+        .blocking(1_000)
+        .with_shards(8);
+    let db = Database::with_config(config);
+    let setup = db.begin();
+    let ids: Vec<RowId> = (0..WORKERS)
+        .map(|_| setup.insert("t", Row::new().with("value", 0)).unwrap())
+        .collect();
+    setup.commit().unwrap();
+    db.clear_history();
+
+    let per_worker = 25;
+    std::thread::scope(|scope| {
+        for (worker, id) in ids.iter().enumerate() {
+            let db = db.clone();
+            let id = *id;
+            scope.spawn(move || {
+                for round in 0..per_worker {
+                    let txn = db.begin();
+                    txn.read("t", id).unwrap();
+                    txn.update("t", id, Row::new().with("value", round as i64))
+                        .unwrap();
+                    txn.commit().unwrap();
+                }
+                let _ = worker;
+            });
+        }
+    });
+
+    let history = db.recorded_history();
+    let committed = history
+        .ops()
+        .iter()
+        .filter(|op| matches!(op.kind, critique_history::op::OpKind::Commit))
+        .count();
+    assert_eq!(committed, WORKERS * per_worker);
+    // read + write + commit per transaction, nothing dropped in the merge.
+    assert_eq!(history.len(), 3 * WORKERS * per_worker);
+}
+
+/// Multi-row commits are atomically visible across shards: writers move
+/// money between the two rows of their pair (sum constant per pair) while
+/// Snapshot Isolation readers repeatedly sum the whole table.  A commit
+/// published before all of its chains were stamped would let a reader see
+/// a debit without its credit — the commit sequence (reserve → stamp →
+/// publish) forbids that at any shard count.
+#[test]
+fn snapshot_readers_never_observe_torn_commits() {
+    for shards in [2, 16] {
+        let config = EngineConfig::new(IsolationLevel::SnapshotIsolation)
+            .blocking(1_000)
+            .without_history()
+            .with_shards(shards);
+        let db = Database::with_config(config);
+        let pairs = 4usize;
+        let per_row = 100i64;
+        let setup = db.begin();
+        let ids: Vec<RowId> = (0..2 * pairs)
+            .map(|_| {
+                setup
+                    .insert("accounts", Row::new().with("balance", per_row))
+                    .unwrap()
+            })
+            .collect();
+        setup.commit().unwrap();
+        let expected = per_row * 2 * pairs as i64;
+        let all = RowPredicate::whole_table("accounts");
+
+        std::thread::scope(|scope| {
+            // One transfer thread per pair: disjoint write sets, so no
+            // First-Committer-Wins aborts — every transfer commits.
+            for pair in 0..pairs {
+                let db = db.clone();
+                let (a, b) = (ids[2 * pair], ids[2 * pair + 1]);
+                scope.spawn(move || {
+                    for i in 0..200i64 {
+                        let txn = db.begin();
+                        let read = |id| {
+                            txn.read("accounts", id)
+                                .unwrap()
+                                .and_then(|r: Row| r.get_int("balance"))
+                                .unwrap()
+                        };
+                        let (x, y) = (read(a), read(b));
+                        let delta = 1 + (i % 7);
+                        txn.update("accounts", a, Row::new().with("balance", x - delta))
+                            .unwrap();
+                        txn.update("accounts", b, Row::new().with("balance", y + delta))
+                            .unwrap();
+                        txn.commit().unwrap();
+                    }
+                });
+            }
+            // Reader threads: every snapshot sum must equal the invariant.
+            for _ in 0..2 {
+                let db = db.clone();
+                let all = all.clone();
+                scope.spawn(move || {
+                    for _ in 0..400 {
+                        let txn = db.begin();
+                        let sum = txn.sum_where(&all, "balance").unwrap();
+                        assert_eq!(sum, expected, "torn commit observed (shards={shards})");
+                        txn.commit().unwrap();
+                    }
+                });
+            }
+        });
+
+        let total: i64 = ids
+            .iter()
+            .map(|id| {
+                db.read_committed("accounts", *id)
+                    .unwrap()
+                    .get_int("balance")
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, expected);
+    }
+}

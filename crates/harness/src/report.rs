@@ -186,11 +186,10 @@ mod tests {
                 while let Some((i, c)) = chars.next() {
                     match c {
                         '"' => return Ok(&t[i + 2..]),
-                        '\\' => {
-                            if chars.next().is_none() {
-                                return err(&t[i..]);
-                            }
-                        }
+                        // The guard consumes the escaped character either
+                        // way; only a trailing lone backslash is an error.
+                        '\\' if chars.next().is_none() => return err(&t[i..]),
+                        '\\' => {}
                         c if (c as u32) < 0x20 => return err(&t[i..]),
                         _ => {}
                     }

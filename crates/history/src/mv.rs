@@ -252,7 +252,7 @@ mod tests {
         let mv = MvHistory::parse(H1_SI).unwrap();
         let written = mv.versions_written();
         assert_eq!(written[&TxnId(1)].len(), 2);
-        assert!(written.get(&TxnId(2)).is_none());
+        assert!(!written.contains_key(&TxnId(2)));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod mode;
 pub mod target;
 
 pub use crate::deadlock::WaitsForGraph;
-pub use crate::manager::{AcquireError, LockManager, LockOutcome};
+pub use crate::manager::{AcquireError, LockManager, LockOutcome, DEFAULT_LOCK_SHARDS};
 pub use crate::mode::LockMode;
 pub use crate::target::LockTarget;
 pub use critique_core::locking::LockDuration;
@@ -50,7 +50,7 @@ pub use critique_core::locking::LockDuration;
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::deadlock::WaitsForGraph;
-    pub use crate::manager::{AcquireError, LockManager, LockOutcome};
+    pub use crate::manager::{AcquireError, LockManager, LockOutcome, DEFAULT_LOCK_SHARDS};
     pub use crate::mode::LockMode;
     pub use crate::target::LockTarget;
     pub use critique_core::locking::LockDuration;

@@ -1,13 +1,55 @@
-//! The lock manager.
+//! The lock manager: sharded item-lock tables plus per-table predicate
+//! domains.
+//!
+//! The manager used to be a single `Mutex` around one linear `Vec` of
+//! granted locks, which serialised every acquire/release in the workspace
+//! and made the threaded benchmarks measure that mutex rather than the
+//! locking disciplines.  The sharded layout splits the state three ways:
+//!
+//! * **item locks** live in `N` shards, each a mutex-protected hash table
+//!   indexed by the `(table, row)` of the [`LockTarget`]; acquiring or
+//!   releasing a row lock touches exactly one shard, and each shard has its
+//!   own condvar so a release only wakes the waiters parked on that shard;
+//! * **predicate locks** keep a **per-table domain** rather than living in
+//!   any shard: a predicate covers phantom rows that do not exist yet and
+//!   therefore have no shard, so the phantom-prevention check must see an
+//!   insert no matter which shard its row hashes to.  An item grant on a
+//!   table with a live predicate domain checks that domain under its mutex;
+//!   a predicate grant scans every shard for conflicting item locks on its
+//!   table;
+//! * the **waits-for graph** is global, behind its own mutex, and is used
+//!   only for deadlock detection — it is touched only when a request
+//!   actually blocks.
+//!
+//! Grants stay atomic in the presence of sharding: a predicate acquisition
+//! first publishes its table's domain and a provisional live-predicate
+//! count (holding the domain mutex), then scans the shards in order; an
+//! item acquisition that sees no live predicate locks for its table
+//! re-checks the count *after* locking its shard and restarts through the
+//! domain path if one appeared.  Whichever of the two ordered their
+//! critical sections on the shard first is seen by the other, so a
+//! conflicting pair can never both be granted — and a table with no
+//! predicate history (or whose predicate locks have all been released)
+//! costs item grants nothing beyond their own shard mutex.
 
 use crate::deadlock::WaitsForGraph;
 use crate::mode::LockMode;
 use crate::target::LockTarget;
 use critique_core::locking::LockDuration;
-use critique_storage::{Row, TxnToken};
-use parking_lot::{Condvar, Mutex};
+use critique_storage::{Row, RowId, TxnToken};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Default number of item-lock shards — tied to the store's shard count so
+/// `LockManager::new()` and `MvStore::new()` stay in sync with the single
+/// `EngineConfig::shards` knob.
+pub const DEFAULT_LOCK_SHARDS: usize = critique_storage::DEFAULT_SHARDS;
 
 /// One granted lock.
 #[derive(Clone, Debug)]
@@ -20,6 +62,20 @@ struct HeldLock {
     /// before/after images of a write) — used to evaluate conflicts against
     /// predicate locks.
     images: Vec<Row>,
+}
+
+impl HeldLock {
+    fn conflicts(
+        &self,
+        txn: TxnToken,
+        target: &LockTarget,
+        mode: LockMode,
+        images: &[Row],
+    ) -> bool {
+        self.holder != txn
+            && self.mode.conflicts_with(mode)
+            && self.target.overlaps(&self.images, target, images)
+    }
 }
 
 /// Result of a non-blocking acquisition attempt.
@@ -79,69 +135,381 @@ impl fmt::Display for AcquireError {
 
 impl std::error::Error for AcquireError {}
 
+/// Item locks whose `(table, row)` hashes into this shard, bucketed by that
+/// hash.  Buckets keep the full target, so hash collisions merely share a
+/// bucket — conflict tests always re-check [`LockTarget::overlaps`].
 #[derive(Default)]
-struct Inner {
-    held: Vec<HeldLock>,
-    waits: WaitsForGraph,
+struct ShardInner {
+    buckets: HashMap<u64, Vec<HeldLock>>,
 }
 
-/// The lock manager: a table of granted locks plus a waits-for graph.
-#[derive(Default)]
-pub struct LockManager {
-    inner: Mutex<Inner>,
+struct LockShard {
+    inner: Mutex<ShardInner>,
     released: Condvar,
 }
 
+/// The predicate locks on one table, plus the condvar predicate waiters
+/// park on.  Domains are created on the first predicate *grant attempt*
+/// for a table and never removed.
+#[derive(Default)]
+struct TableDomain {
+    inner: Mutex<Vec<HeldLock>>,
+    /// Lock-free gate for the item fast path: the number of predicate
+    /// locks currently held on the table, bumped *provisionally* (before
+    /// the shard scan) during a grant attempt and restored to the list
+    /// length afterwards.  Item grants that read 0 while holding their
+    /// shard mutex may skip the domain mutex entirely — see the ordering
+    /// argument in [`LockManager::attempt_item`].
+    live: AtomicUsize,
+    released: Condvar,
+}
+
+/// Where one transaction's locks live: the shards holding its item locks
+/// and the tables where it holds predicate locks.  Entries may be stale
+/// after partial releases (a listed shard that no longer holds any of the
+/// transaction's locks) — release paths treat the index as a superset.
+#[derive(Clone, Default)]
+struct TxnIndex {
+    shards: BTreeSet<usize>,
+    tables: BTreeSet<String>,
+}
+
+type IndexPartition = Mutex<BTreeMap<TxnToken, TxnIndex>>;
+
+/// The lock manager: sharded item-lock tables, per-table predicate
+/// domains, and a global waits-for graph for deadlock detection.
+pub struct LockManager {
+    shards: Box<[LockShard]>,
+    domains: RwLock<BTreeMap<String, Arc<TableDomain>>>,
+    /// Process-wide count of live predicate locks (sum of every domain's
+    /// `live`), maintained with the same provisional bump-before-scan
+    /// protocol.  Item grants load this once instead of touching the
+    /// `domains` RwLock — with no predicate activity anywhere (the common
+    /// case on the hot path) an item grant costs one uncontended atomic
+    /// load plus its own shard mutex.
+    live_predicates: AtomicUsize,
+    index: Box<[IndexPartition]>,
+    waits: Mutex<WaitsForGraph>,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_LOCK_SHARDS)
+    }
+}
+
+fn item_key(table: &str, row: RowId) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    table.hash(&mut hasher);
+    row.0.hash(&mut hasher);
+    hasher.finish()
+}
+
+fn merge_or_push(locks: &mut Vec<HeldLock>, lock: HeldLock) {
+    if let Some(existing) = locks
+        .iter_mut()
+        .find(|held| held.holder == lock.holder && held.target == lock.target)
+    {
+        existing.mode = existing.mode.max(lock.mode);
+        existing.duration = existing.duration.max(lock.duration);
+        existing.images.extend(lock.images);
+    } else {
+        locks.push(lock);
+    }
+}
+
+fn sorted_holders(mut holders: Vec<TxnToken>) -> Vec<TxnToken> {
+    holders.sort();
+    holders.dedup();
+    holders
+}
+
 impl LockManager {
-    /// An empty lock manager.
+    /// An empty lock manager with [`DEFAULT_LOCK_SHARDS`] shards.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn conflicting_holders(
-        inner: &Inner,
+    /// An empty lock manager with an explicit shard count (clamped to at
+    /// least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        LockManager {
+            shards: (0..shards)
+                .map(|_| LockShard {
+                    inner: Mutex::new(ShardInner::default()),
+                    released: Condvar::new(),
+                })
+                .collect(),
+            domains: RwLock::new(BTreeMap::new()),
+            live_predicates: AtomicUsize::new(0),
+            index: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            waits: Mutex::new(WaitsForGraph::new()),
+        }
+    }
+
+    /// Number of item-lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(&self, key: u64) -> usize {
+        (key % self.shards.len() as u64) as usize
+    }
+
+    fn domain(&self, table: &str) -> Option<Arc<TableDomain>> {
+        self.domains.read().get(table).cloned()
+    }
+
+    fn domain_or_create(&self, table: &str) -> Arc<TableDomain> {
+        if let Some(domain) = self.domain(table) {
+            return domain;
+        }
+        let mut domains = self.domains.write();
+        Arc::clone(domains.entry(table.to_string()).or_default())
+    }
+
+    fn index_partition(&self, txn: TxnToken) -> &IndexPartition {
+        &self.index[(txn.0 % self.index.len() as u64) as usize]
+    }
+
+    fn register_shard(&self, txn: TxnToken, shard: usize) {
+        self.index_partition(txn)
+            .lock()
+            .entry(txn)
+            .or_default()
+            .shards
+            .insert(shard);
+    }
+
+    fn register_table(&self, txn: TxnToken, table: &str) {
+        let mut partition = self.index_partition(txn).lock();
+        let entry = partition.entry(txn).or_default();
+        if !entry.tables.contains(table) {
+            entry.tables.insert(table.to_string());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict checks and grants.
+    // ------------------------------------------------------------------
+
+    /// Attempt an item-lock grant.  `grant` selects between `try_acquire`
+    /// (grant when conflict-free) and `conflicts_with` (check only).
+    fn attempt_item(
+        &self,
         txn: TxnToken,
         target: &LockTarget,
         mode: LockMode,
         images: &[Row],
+        duration: LockDuration,
+        grant: bool,
     ) -> Vec<TxnToken> {
-        let mut holders: Vec<TxnToken> = inner
-            .held
-            .iter()
-            .filter(|lock| lock.holder != txn)
-            .filter(|lock| lock.mode.conflicts_with(mode))
-            .filter(|lock| lock.target.overlaps(&lock.images, target, images))
-            .map(|lock| lock.holder)
-            .collect();
-        holders.sort();
-        holders.dedup();
+        let LockTarget::Item { table, row } = target else {
+            unreachable!("attempt_item called with a predicate target");
+        };
+        let key = item_key(table, *row);
+        let shard = &self.shards[self.shard_index(key)];
+        // The fast-path gate: the global live-predicate count first (one
+        // uncontended atomic load, no `domains` RwLock touch), and only if
+        // some predicate lock exists anywhere, this table's domain.
+        let live_predicates = |manager: &Self| -> bool {
+            manager.live_predicates.load(Ordering::SeqCst) > 0
+                && manager
+                    .domain(table)
+                    .is_some_and(|d| d.live.load(Ordering::SeqCst) > 0)
+        };
+        loop {
+            // Lock order: domain before shard, always.  When the table has
+            // no *live* predicate locks we lock the shard alone, then
+            // re-check under the shard mutex: a predicate grant attempt
+            // publishes its provisional counts (global, then per-domain)
+            // *before* scanning the shards, so whichever of the two
+            // ordered its critical section on this shard first is visible
+            // to the other — the conflicting pair can never both be
+            // granted.
+            if live_predicates(self) {
+                // Re-fetch under the ordering-significant path: the domain
+                // Arc must outlive its guard.
+                let domain = self.domain(table).expect("domains are never removed");
+                let domain_guard = domain.inner.lock();
+                let mut shard_guard = shard.inner.lock();
+                return Self::check_and_grant_item(
+                    &mut shard_guard,
+                    Some(domain_guard.as_slice()),
+                    key,
+                    txn,
+                    target,
+                    mode,
+                    images,
+                    duration,
+                    grant,
+                );
+            }
+            let mut shard_guard = shard.inner.lock();
+            if live_predicates(self) {
+                drop(shard_guard);
+                continue;
+            }
+            return Self::check_and_grant_item(
+                &mut shard_guard,
+                None,
+                key,
+                txn,
+                target,
+                mode,
+                images,
+                duration,
+                grant,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_and_grant_item(
+        shard: &mut ShardInner,
+        predicates: Option<&[HeldLock]>,
+        key: u64,
+        txn: TxnToken,
+        target: &LockTarget,
+        mode: LockMode,
+        images: &[Row],
+        duration: LockDuration,
+        grant: bool,
+    ) -> Vec<TxnToken> {
+        let mut holders: Vec<TxnToken> = Vec::new();
+        if let Some(bucket) = shard.buckets.get(&key) {
+            holders.extend(
+                bucket
+                    .iter()
+                    .filter(|held| held.conflicts(txn, target, mode, images))
+                    .map(|held| held.holder),
+            );
+        }
+        if let Some(predicates) = predicates {
+            holders.extend(
+                predicates
+                    .iter()
+                    .filter(|held| held.conflicts(txn, target, mode, images))
+                    .map(|held| held.holder),
+            );
+        }
+        let holders = sorted_holders(holders);
+        if grant && holders.is_empty() {
+            merge_or_push(
+                shard.buckets.entry(key).or_default(),
+                HeldLock {
+                    holder: txn,
+                    target: target.clone(),
+                    mode,
+                    duration,
+                    images: images.to_vec(),
+                },
+            );
+        }
         holders
     }
 
-    fn grant(
-        inner: &mut Inner,
+    /// Attempt a predicate-lock grant: conflicts come from the table's
+    /// domain (other predicates) and from item locks on the table in every
+    /// shard.  A grant holds the domain mutex across the whole scan with
+    /// the provisional `live` count already published, so no item grant on
+    /// this table can slip past the scan front.  A check-only call
+    /// (`grant == false`) never creates the domain and never bumps `live`
+    /// — it must not pessimise future item grants on the table.
+    fn attempt_predicate(
+        &self,
         txn: TxnToken,
-        target: LockTarget,
+        target: &LockTarget,
         mode: LockMode,
-        duration: LockDuration,
         images: &[Row],
-    ) {
-        if let Some(existing) = inner
-            .held
-            .iter_mut()
-            .find(|lock| lock.holder == txn && lock.target == target)
-        {
-            existing.mode = existing.mode.max(mode);
-            existing.duration = existing.duration.max(duration);
-            existing.images.extend_from_slice(images);
+        duration: LockDuration,
+        grant: bool,
+    ) -> Vec<TxnToken> {
+        let table = target.table();
+        let domain = if grant {
+            Some(self.domain_or_create(table))
         } else {
-            inner.held.push(HeldLock {
-                holder: txn,
-                target,
-                mode,
-                duration,
-                images: images.to_vec(),
-            });
+            self.domain(table)
+        };
+        let mut domain_guard = domain.as_ref().map(|d| d.inner.lock());
+        let before_len = domain_guard.as_ref().map(|g| g.len()).unwrap_or(0);
+        if grant {
+            let domain = domain.as_ref().expect("grant path created the domain");
+            // Provisional: divert concurrent item fast paths to the domain
+            // mutex before we start scanning the shards — the global gate
+            // first, then the per-table one.
+            self.live_predicates.fetch_add(1, Ordering::SeqCst);
+            domain.live.store(before_len + 1, Ordering::SeqCst);
+        }
+        let mut holders: Vec<TxnToken> = domain_guard
+            .as_ref()
+            .map(|guard| guard.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .filter(|held| held.conflicts(txn, target, mode, images))
+            .map(|held| held.holder)
+            .collect();
+        for shard in self.shards.iter() {
+            let shard_guard = shard.inner.lock();
+            holders.extend(
+                shard_guard
+                    .buckets
+                    .values()
+                    .flatten()
+                    .filter(|held| held.conflicts(txn, target, mode, images))
+                    .map(|held| held.holder),
+            );
+        }
+        let holders = sorted_holders(holders);
+        if grant {
+            let domain = domain.as_ref().expect("grant path created the domain");
+            let guard = domain_guard.as_mut().expect("guard taken above");
+            if holders.is_empty() {
+                merge_or_push(
+                    guard,
+                    HeldLock {
+                        holder: txn,
+                        target: target.clone(),
+                        mode,
+                        duration,
+                        images: images.to_vec(),
+                    },
+                );
+            }
+            // Settle the gates to the actual count (the provisional +1
+            // goes away on refusal or merge, stays — as the new entry — on
+            // a fresh grant).
+            domain.live.store(guard.len(), Ordering::SeqCst);
+            if guard.len() == before_len {
+                self.live_predicates.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        holders
+    }
+
+    fn attempt(
+        &self,
+        txn: TxnToken,
+        target: &LockTarget,
+        mode: LockMode,
+        images: &[Row],
+        duration: LockDuration,
+        grant: bool,
+    ) -> Vec<TxnToken> {
+        match target {
+            LockTarget::Item { table, row } => {
+                if grant {
+                    self.register_shard(txn, self.shard_index(item_key(table, *row)));
+                }
+                self.attempt_item(txn, target, mode, images, duration, grant)
+            }
+            LockTarget::Predicate(_) => {
+                if grant {
+                    self.register_table(txn, target.table());
+                }
+                self.attempt_predicate(txn, target, mode, images, duration, grant)
+            }
         }
     }
 
@@ -154,10 +522,8 @@ impl LockManager {
         images: &[Row],
         duration: LockDuration,
     ) -> LockOutcome {
-        let mut inner = self.inner.lock();
-        let holders = Self::conflicting_holders(&inner, txn, &target, mode, images);
+        let holders = self.attempt(txn, &target, mode, images, duration, true);
         if holders.is_empty() {
-            Self::grant(&mut inner, txn, target, mode, duration, images);
             LockOutcome::Granted
         } else {
             LockOutcome::WouldBlock { holders }
@@ -176,87 +542,182 @@ impl LockManager {
         timeout: Duration,
     ) -> Result<(), AcquireError> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.inner.lock();
         loop {
-            let holders = Self::conflicting_holders(&inner, txn, &target, mode, images);
+            let holders = self.attempt(txn, &target, mode, images, duration, true);
             if holders.is_empty() {
-                Self::grant(&mut inner, txn, target, mode, duration, images);
-                inner.waits.clear_waits(txn);
+                self.waits.lock().clear_waits(txn);
                 return Ok(());
             }
-            inner.waits.set_waits(txn, holders);
-            if let Some(cycle) = inner.waits.find_cycle_from(txn) {
-                if WaitsForGraph::choose_victim(&cycle) == Some(txn) {
-                    inner.waits.clear_waits(txn);
-                    return Err(AcquireError::Deadlock { cycle });
+            {
+                let mut waits = self.waits.lock();
+                waits.set_waits(txn, holders);
+                if let Some(cycle) = waits.find_cycle_from(txn) {
+                    if WaitsForGraph::choose_victim(&cycle) == Some(txn) {
+                        waits.clear_waits(txn);
+                        return Err(AcquireError::Deadlock { cycle });
+                    }
                 }
             }
             let now = std::time::Instant::now();
             if now >= deadline {
-                inner.waits.clear_waits(txn);
+                self.waits.lock().clear_waits(txn);
                 return Err(AcquireError::Timeout);
             }
-            // Re-check periodically so deadlocks formed after we went to
-            // sleep are still detected.
+            // Park on the condvar covering the contended state.  The wait
+            // re-polls at least every 10ms so deadlocks formed after we
+            // went to sleep — and wakeups lost between the conflict check
+            // and the park — are still noticed promptly.
             let wait = (deadline - now).min(Duration::from_millis(10));
-            self.released.wait_for(&mut inner, wait);
+            match &target {
+                LockTarget::Item { table, row } => {
+                    let shard = &self.shards[self.shard_index(item_key(table, *row))];
+                    let mut guard = shard.inner.lock();
+                    shard.released.wait_for(&mut guard, wait);
+                }
+                LockTarget::Predicate(_) => {
+                    let domain = self.domain_or_create(target.table());
+                    let mut guard = domain.inner.lock();
+                    domain.released.wait_for(&mut guard, wait);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Releases.
+    // ------------------------------------------------------------------
+
+    /// Remove the locks of `txn` matching `keep == false` from every place
+    /// the index says the transaction holds locks, waking the relevant
+    /// waiters.  Returns the index entry if `take_index` asked to retire it.
+    fn release_where<F>(&self, txn: TxnToken, take_index: bool, mut remove: F)
+    where
+        F: FnMut(&HeldLock) -> bool,
+    {
+        let index = {
+            let mut partition = self.index_partition(txn).lock();
+            if take_index {
+                partition.remove(&txn)
+            } else {
+                // Clone the superset; stale entries cost one empty scan.
+                partition.get(&txn).cloned()
+            }
+        };
+        let Some(index) = index else {
+            return;
+        };
+        // Tables whose domains may have predicate waiters parked on them:
+        // any table this transaction held an item lock on.
+        let mut touched_tables: BTreeSet<String> = BTreeSet::new();
+        let mut released_anything = false;
+        for &shard_idx in &index.shards {
+            let shard = &self.shards[shard_idx];
+            let mut removed_any = false;
+            {
+                let mut guard = shard.inner.lock();
+                guard.buckets.retain(|_, bucket| {
+                    bucket.retain(|held| {
+                        let gone = held.holder == txn && remove(held);
+                        if gone {
+                            removed_any = true;
+                            touched_tables.insert(held.target.table().to_string());
+                        }
+                        !gone
+                    });
+                    !bucket.is_empty()
+                });
+            }
+            if removed_any {
+                released_anything = true;
+                shard.released.notify_all();
+            }
+        }
+        let mut released_predicate = false;
+        for table in &index.tables {
+            if let Some(domain) = self.domain(table) {
+                let removed = {
+                    let mut guard = domain.inner.lock();
+                    let before = guard.len();
+                    guard.retain(|held| !(held.holder == txn && remove(held)));
+                    // Settle the item fast-path gates to the surviving
+                    // count (under the domain mutex, like every other
+                    // `live` mutation).
+                    domain.live.store(guard.len(), Ordering::SeqCst);
+                    before - guard.len()
+                };
+                if removed > 0 {
+                    self.live_predicates.fetch_sub(removed, Ordering::SeqCst);
+                    released_predicate = true;
+                    domain.released.notify_all();
+                }
+            }
+        }
+        // Predicate waiters conflicting with a released *item* lock are
+        // parked on their table's domain condvar.
+        for table in &touched_tables {
+            if let Some(domain) = self.domain(table) {
+                domain.released.notify_all();
+            }
+        }
+        // Item waiters blocked by a released *predicate* lock can be parked
+        // on any shard; predicate releases are rare, so wake them all.
+        if released_predicate {
+            released_anything = true;
+            for shard in self.shards.iter() {
+                shard.released.notify_all();
+            }
+        }
+        // Prune waits-for edges that pointed at the releasing transaction:
+        // they may describe conflicts that just evaporated, and a stale
+        // edge can fabricate a phantom deadlock cycle.  Any waiter that is
+        // still genuinely blocked re-adds its edges on its next poll
+        // (≤10ms), so deadlock detection is delayed at most one poll,
+        // never lost.
+        if released_anything {
+            let mut waits = self.waits.lock();
+            if waits.waiter_count() > 0 {
+                waits.remove(txn);
+            }
         }
     }
 
     /// Release every lock held by `txn` (commit or abort) and wake waiters.
     pub fn release_all(&self, txn: TxnToken) {
-        let mut inner = self.inner.lock();
-        inner.held.retain(|lock| lock.holder != txn);
-        inner.waits.remove(txn);
-        drop(inner);
-        self.released.notify_all();
+        self.release_where(txn, true, |_| true);
+        self.waits.lock().remove(txn);
     }
 
     /// Release `txn`'s short-duration locks (called after each action at
     /// the levels whose profile uses short read locks).
     pub fn release_short(&self, txn: TxnToken) {
-        let mut inner = self.inner.lock();
-        inner
-            .held
-            .retain(|lock| !(lock.holder == txn && lock.duration == LockDuration::Short));
-        drop(inner);
-        self.released.notify_all();
+        self.release_where(txn, false, |held| held.duration == LockDuration::Short);
     }
 
     /// Release `txn`'s cursor-duration locks (the cursor moved or closed).
     /// A lock on `keep` (the new cursor position) is retained.
     pub fn release_cursor(&self, txn: TxnToken, keep: Option<&LockTarget>) {
-        let mut inner = self.inner.lock();
-        inner.held.retain(|lock| {
-            !(lock.holder == txn
-                && lock.duration == LockDuration::Cursor
-                && Some(&lock.target) != keep)
+        self.release_where(txn, false, |held| {
+            held.duration == LockDuration::Cursor && Some(&held.target) != keep
         });
-        drop(inner);
-        self.released.notify_all();
     }
 
     /// Release `txn`'s lock on `target` only if it is a cursor-duration
     /// lock (used when a cursor moves off a row: a lock that was meanwhile
     /// upgraded to long duration by an update must survive).
     pub fn release_cursor_target(&self, txn: TxnToken, target: &LockTarget) {
-        let mut inner = self.inner.lock();
-        inner.held.retain(|lock| {
-            !(lock.holder == txn && &lock.target == target && lock.duration == LockDuration::Cursor)
+        self.release_where(txn, false, |held| {
+            &held.target == target && held.duration == LockDuration::Cursor
         });
-        drop(inner);
-        self.released.notify_all();
     }
 
     /// Release one specific lock held by `txn`.
     pub fn release_target(&self, txn: TxnToken, target: &LockTarget) {
-        let mut inner = self.inner.lock();
-        inner
-            .held
-            .retain(|lock| !(lock.holder == txn && &lock.target == target));
-        drop(inner);
-        self.released.notify_all();
+        self.release_where(txn, false, |held| &held.target == target);
     }
+
+    // ------------------------------------------------------------------
+    // Queries.
+    // ------------------------------------------------------------------
 
     /// The transactions currently holding locks that would conflict with
     /// the given request.
@@ -267,41 +728,88 @@ impl LockManager {
         mode: LockMode,
         images: &[Row],
     ) -> Vec<TxnToken> {
-        let inner = self.inner.lock();
-        Self::conflicting_holders(&inner, txn, target, mode, images)
+        self.attempt(txn, target, mode, images, LockDuration::Short, false)
+    }
+
+    /// Visit every lock currently held by `txn`.
+    fn for_each_held<F>(&self, txn: TxnToken, mut visit: F)
+    where
+        F: FnMut(&HeldLock),
+    {
+        let index = {
+            let partition = self.index_partition(txn).lock();
+            partition.get(&txn).cloned()
+        };
+        let Some(index) = index else {
+            return;
+        };
+        for &shard_idx in &index.shards {
+            let guard = self.shards[shard_idx].inner.lock();
+            for held in guard.buckets.values().flatten() {
+                if held.holder == txn {
+                    visit(held);
+                }
+            }
+        }
+        for table in &index.tables {
+            if let Some(domain) = self.domain(table) {
+                let guard = domain.inner.lock();
+                for held in guard.iter() {
+                    if held.holder == txn {
+                        visit(held);
+                    }
+                }
+            }
+        }
     }
 
     /// Number of locks currently held by `txn`.
     pub fn held_by(&self, txn: TxnToken) -> usize {
-        self.inner
-            .lock()
-            .held
-            .iter()
-            .filter(|l| l.holder == txn)
-            .count()
+        let mut count = 0;
+        self.for_each_held(txn, |_| count += 1);
+        count
     }
 
     /// Total number of granted locks.
     pub fn total_held(&self) -> usize {
-        self.inner.lock().held.len()
+        let items: usize = self
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .inner
+                    .lock()
+                    .buckets
+                    .values()
+                    .map(|bucket| bucket.len())
+                    .sum::<usize>()
+            })
+            .sum();
+        let predicates: usize = self
+            .domains
+            .read()
+            .values()
+            .map(|domain| domain.inner.lock().len())
+            .sum();
+        items + predicates
     }
 
     /// True if `txn` holds a lock on `target` with at least the given mode.
     pub fn holds(&self, txn: TxnToken, target: &LockTarget, mode: LockMode) -> bool {
-        self.inner
-            .lock()
-            .held
-            .iter()
-            .any(|l| l.holder == txn && &l.target == target && l.mode.covers(mode))
+        let mut found = false;
+        self.for_each_held(txn, |held| {
+            found |= &held.target == target && held.mode.covers(mode);
+        });
+        found
     }
 }
 
 impl fmt::Debug for LockManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("LockManager")
-            .field("held", &inner.held.len())
-            .field("waiters", &inner.waits.waiter_count())
+            .field("shards", &self.shards.len())
+            .field("held", &self.total_held())
+            .field("waiters", &self.waits.lock().waiter_count())
             .finish()
     }
 }
@@ -555,6 +1063,38 @@ mod tests {
                 LockDuration::Long,
             )
             .is_granted());
+    }
+
+    #[test]
+    fn item_lock_blocks_matching_predicate_no_matter_the_shard() {
+        // The phantom-prevention direction across shards: an exclusive item
+        // lock (a write in flight) must block a predicate read even though
+        // the predicate lives in the per-table domain and the item lock in
+        // whatever shard its row hashed to.
+        for shards in [1, 3, 16] {
+            let lm = LockManager::with_shards(shards);
+            let matching = Row::new().with("active", true);
+            for row in 0..8 {
+                assert!(lm
+                    .try_acquire(
+                        TxnToken(1),
+                        LockTarget::item("employees", RowId(row)),
+                        LockMode::Exclusive,
+                        std::slice::from_ref(&matching),
+                        LockDuration::Long,
+                    )
+                    .is_granted());
+            }
+            let active = RowPredicate::new("employees", Condition::eq("active", true));
+            let blocked = lm.try_acquire(
+                TxnToken(2),
+                LockTarget::predicate(active),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long,
+            );
+            assert_eq!(blocked.blockers(), &[TxnToken(1)], "shards={shards}");
+        }
     }
 
     #[test]

@@ -18,10 +18,12 @@
 //! * Oracle Read Consistency (Section 4.3) needs the same chains, queried
 //!   at statement granularity.
 //!
-//! The store is deliberately simple — an in-memory map of tables → rows →
-//! version chains — but implements exactly those visibility rules, plus
-//! predicate scans over row values so the phantom scenarios can be executed
-//! rather than merely narrated.
+//! The store keeps the visibility rules deliberately simple — tables →
+//! rows → version chains, plus predicate scans over row values so the
+//! phantom scenarios can be executed rather than merely narrated — but the
+//! representation is hash-partitioned into shards (see [`store::MvStore`])
+//! with per-table atomic row-id allocation, so concurrent transactions on
+//! different rows never serialise on a global lock.
 //!
 //! ```
 //! use critique_storage::prelude::*;
@@ -55,7 +57,7 @@ pub mod version;
 pub use crate::predicate::{Comparison, Condition, RowPredicate};
 pub use crate::row::{Row, RowId};
 pub use crate::snapshot::Snapshot;
-pub use crate::store::{MvStore, StorageError, TableName, WriteKind};
+pub use crate::store::{MvStore, StorageError, TableName, WriteKind, DEFAULT_SHARDS};
 pub use crate::timestamp::{Timestamp, TimestampOracle, TxnToken};
 pub use crate::value::ColumnValue;
 pub use crate::version::{Version, VersionChain};
@@ -65,7 +67,7 @@ pub mod prelude {
     pub use crate::predicate::{Comparison, Condition, RowPredicate};
     pub use crate::row::{Row, RowId};
     pub use crate::snapshot::Snapshot;
-    pub use crate::store::{MvStore, StorageError, TableName, WriteKind};
+    pub use crate::store::{MvStore, StorageError, TableName, WriteKind, DEFAULT_SHARDS};
     pub use crate::timestamp::{Timestamp, TimestampOracle, TxnToken};
     pub use crate::value::ColumnValue;
     pub use crate::version::{Version, VersionChain};

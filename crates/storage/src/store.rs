@@ -1,16 +1,43 @@
-//! The multi-version store: tables of row version chains.
+//! The multi-version store: tables of row version chains, hash-partitioned
+//! into shards.
+//!
+//! The store used to be a single `RwLock` around every table, which meant
+//! the threaded benchmark drivers measured that mutex instead of the
+//! concurrency-control disciplines above it.  The sharded layout removes
+//! the chokepoint while keeping the visibility semantics identical:
+//!
+//! * a **table registry** maps each interned table name (`Arc<str>`) to its
+//!   metadata; row ids are allocated from a per-table atomic counter, so
+//!   inserts into different tables — or even the same table — never contend
+//!   on a global lock;
+//! * row version chains live in `N` **shards**, each behind its own
+//!   `RwLock`, selected by hashing `(table, row id)`; point reads and
+//!   writes touch exactly one shard, scans visit each shard once and merge
+//!   in row-id order (so scan output is byte-identical to the old
+//!   single-map store);
+//! * the per-transaction **write sets** (the rows a transaction has written,
+//!   in order — the input to commit, abort, and First-Committer-Wins) live
+//!   in their own partitions keyed by `TxnToken`, so bookkeeping for one
+//!   transaction never blocks another's reads.
 
 use crate::predicate::RowPredicate;
 use crate::row::{Row, RowId};
 use crate::timestamp::{Timestamp, TxnToken};
 use crate::version::VersionChain;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A table name.
 pub type TableName = String;
+
+/// Default number of store shards (and write-set partitions).
+pub const DEFAULT_SHARDS: usize = 16;
 
 /// The kind of write a transaction performed on a row — used by the engine
 /// to decide whether the write inserts into or mutates within a predicate.
@@ -44,70 +71,160 @@ impl fmt::Display for StorageError {
 
 impl std::error::Error for StorageError {}
 
-#[derive(Default)]
-struct TableData {
-    next_row_id: u64,
-    rows: BTreeMap<RowId, VersionChain>,
+/// Per-table metadata: the interned name and the row-id allocator.  Row ids
+/// are handed out by `fetch_add` on an atomic, so concurrent inserters into
+/// the same table get distinct, gap-free ids without taking any shard lock.
+struct TableMeta {
+    name: Arc<str>,
+    next_row_id: AtomicU64,
 }
 
+/// One write performed by an in-flight transaction.  The table name is a
+/// clone of the interned `Arc<str>` — recording a write allocates no new
+/// `String`.
+type OwnedWrite = (Arc<str>, RowId, WriteKind);
+
+/// The version chains whose `(table, row)` pair hashes into this shard.
 #[derive(Default)]
-struct Inner {
-    tables: BTreeMap<TableName, TableData>,
-    /// Rows written by each in-flight transaction, in write order.
-    writes: BTreeMap<TxnToken, Vec<(TableName, RowId, WriteKind)>>,
+struct Shard {
+    tables: HashMap<Arc<str>, BTreeMap<RowId, VersionChain>>,
 }
 
-/// An in-memory multi-version row store.
+type WriteSet = BTreeMap<TxnToken, Vec<OwnedWrite>>;
+
+/// An in-memory multi-version row store, hash-partitioned into shards.
 ///
-/// All methods take `&self`; the store is internally synchronised with a
-/// read-write lock, so it can be shared between threads (the threaded
-/// benchmark drivers rely on this).
-#[derive(Default)]
+/// All methods take `&self`; each shard is internally synchronised with its
+/// own read-write lock, so the store can be shared between threads (the
+/// threaded benchmark drivers rely on this) and operations on rows in
+/// different shards proceed in parallel.
 pub struct MvStore {
-    inner: RwLock<Inner>,
+    /// Interned table names → metadata, sorted so [`MvStore::tables`] is
+    /// deterministic.
+    registry: RwLock<BTreeMap<Arc<str>, Arc<TableMeta>>>,
+    shards: Box<[RwLock<Shard>]>,
+    write_sets: Box<[Mutex<WriteSet>]>,
+}
+
+impl Default for MvStore {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
+fn chain_hash(table: &str, id: RowId) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    table.hash(&mut hasher);
+    id.0.hash(&mut hasher);
+    hasher.finish()
 }
 
 impl MvStore {
-    /// An empty store.
+    /// An empty store with [`DEFAULT_SHARDS`] shards.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty store with an explicit shard count (clamped to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        MvStore {
+            registry: RwLock::new(BTreeMap::new()),
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            write_sets: (0..shards).map(|_| Mutex::new(WriteSet::new())).collect(),
+        }
+    }
+
+    /// Number of shards the store is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, table: &str, id: RowId) -> &RwLock<Shard> {
+        &self.shards[(chain_hash(table, id) % self.shards.len() as u64) as usize]
+    }
+
+    fn write_set_for(&self, writer: TxnToken) -> &Mutex<WriteSet> {
+        &self.write_sets[(writer.0 % self.write_sets.len() as u64) as usize]
+    }
+
+    fn meta(&self, table: &str) -> Option<Arc<TableMeta>> {
+        self.registry.read().get(table).cloned()
+    }
+
+    /// Look up the interned metadata for a table, creating it on first use.
+    fn intern(&self, table: &str) -> Arc<TableMeta> {
+        if let Some(meta) = self.meta(table) {
+            return meta;
+        }
+        let mut registry = self.registry.write();
+        if let Some(meta) = registry.get(table) {
+            return Arc::clone(meta);
+        }
+        let name: Arc<str> = Arc::from(table);
+        let meta = Arc::new(TableMeta {
+            name: Arc::clone(&name),
+            next_row_id: AtomicU64::new(0),
+        });
+        registry.insert(name, Arc::clone(&meta));
+        meta
+    }
+
+    fn record_write(&self, writer: TxnToken, write: OwnedWrite) {
+        self.write_set_for(writer)
+            .lock()
+            .entry(writer)
+            .or_default()
+            .push(write);
+    }
+
     /// Create a table if it does not already exist.
     pub fn create_table(&self, table: &str) {
-        let mut inner = self.inner.write();
-        inner.tables.entry(table.to_string()).or_default();
+        self.intern(table);
     }
 
     /// All table names.
     pub fn tables(&self) -> Vec<TableName> {
-        self.inner.read().tables.keys().cloned().collect()
+        self.registry.read().keys().map(|k| k.to_string()).collect()
     }
 
     /// All row ids currently allocated in a table (whatever their
-    /// visibility).
+    /// visibility), in ascending order.
     pub fn row_ids(&self, table: &str) -> Vec<RowId> {
-        self.inner
-            .read()
-            .tables
-            .get(table)
-            .map(|t| t.rows.keys().copied().collect())
-            .unwrap_or_default()
+        let mut ids: Vec<RowId> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .tables
+                    .get(table)
+                    .map(|rows| rows.keys().copied().collect::<Vec<_>>())
+                    .unwrap_or_default()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Insert a new row as an uncommitted version by `writer`, returning
     /// its id.  The table is created on demand.
     pub fn insert(&self, table: &str, writer: TxnToken, row: Row) -> RowId {
-        let mut inner = self.inner.write();
-        let data = inner.tables.entry(table.to_string()).or_default();
-        let id = RowId(data.next_row_id);
-        data.next_row_id += 1;
-        data.rows.entry(id).or_default().install(writer, Some(row));
-        inner
-            .writes
-            .entry(writer)
-            .or_default()
-            .push((table.to_string(), id, WriteKind::Insert));
+        let meta = self.intern(table);
+        // Relaxed is enough: the id only needs to be unique, and the shard
+        // lock below publishes the chain before any reader can observe it.
+        let id = RowId(meta.next_row_id.fetch_add(1, Ordering::Relaxed));
+        {
+            let mut shard = self.shard_for(table, id).write();
+            shard
+                .tables
+                .entry(Arc::clone(&meta.name))
+                .or_default()
+                .entry(id)
+                .or_default()
+                .install(writer, Some(row));
+        }
+        self.record_write(writer, (Arc::clone(&meta.name), id, WriteKind::Insert));
         id
     }
 
@@ -135,21 +252,19 @@ impl MvStore {
         row: Option<Row>,
         kind: WriteKind,
     ) -> Result<(), StorageError> {
-        let mut inner = self.inner.write();
-        let data = inner
-            .tables
-            .get_mut(table)
+        let meta = self
+            .meta(table)
             .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
-        let chain = data
-            .rows
-            .get_mut(&id)
-            .ok_or_else(|| StorageError::NoSuchRow(table.to_string(), id))?;
-        chain.install(writer, row);
-        inner
-            .writes
-            .entry(writer)
-            .or_default()
-            .push((table.to_string(), id, kind));
+        {
+            let mut shard = self.shard_for(table, id).write();
+            let chain = shard
+                .tables
+                .get_mut(table)
+                .and_then(|rows| rows.get_mut(&id))
+                .ok_or_else(|| StorageError::NoSuchRow(table.to_string(), id))?;
+            chain.install(writer, row);
+        }
+        self.record_write(writer, (Arc::clone(&meta.name), id, kind));
         Ok(())
     }
 
@@ -157,12 +272,12 @@ impl MvStore {
     where
         F: Fn(&VersionChain) -> Option<Row>,
     {
-        let inner = self.inner.read();
-        inner
+        let shard = self.shard_for(table, id).read();
+        shard
             .tables
             .get(table)
-            .and_then(|t| t.rows.get(&id))
-            .and_then(|chain| pick(chain))
+            .and_then(|rows| rows.get(&id))
+            .and_then(pick)
     }
 
     /// Read the most recent version regardless of commit state (a dirty
@@ -200,22 +315,32 @@ impl MvStore {
         })
     }
 
+    /// Visit each shard once, collect the matching rows, and merge in
+    /// row-id order so the result is identical to the old single-map scan.
     fn scan<F>(&self, predicate: &RowPredicate, pick: F) -> Vec<(RowId, Row)>
     where
         F: Fn(&VersionChain) -> Option<Row>,
     {
-        let inner = self.inner.read();
-        let Some(data) = inner.tables.get(&predicate.table) else {
-            return Vec::new();
-        };
-        data.rows
+        let mut rows: Vec<(RowId, Row)> = self
+            .shards
             .iter()
-            .filter_map(|(id, chain)| {
-                pick(chain)
-                    .filter(|row| predicate.matches(&predicate.table, row))
-                    .map(|row| (*id, row))
+            .flat_map(|shard| {
+                let shard = shard.read();
+                let Some(chains) = shard.tables.get(predicate.table.as_str()) else {
+                    return Vec::new();
+                };
+                chains
+                    .iter()
+                    .filter_map(|(id, chain)| {
+                        pick(chain)
+                            .filter(|row| predicate.matches(&predicate.table, row))
+                            .map(|row| (*id, row))
+                    })
+                    .collect()
             })
-            .collect()
+            .collect();
+        rows.sort_unstable_by_key(|(id, _)| *id);
+        rows
     }
 
     /// Scan the rows satisfying `predicate` in the latest committed state.
@@ -255,9 +380,22 @@ impl MvStore {
 
     /// The rows written so far by an in-flight transaction, in write order.
     pub fn writes_of(&self, writer: TxnToken) -> Vec<(TableName, RowId, WriteKind)> {
-        self.inner
-            .read()
-            .writes
+        self.write_set_for(writer)
+            .lock()
+            .get(&writer)
+            .map(|writes| {
+                writes
+                    .iter()
+                    .map(|(table, id, kind)| (table.to_string(), *id, *kind))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of a transaction's write set with the interned names.
+    fn owned_writes_of(&self, writer: TxnToken) -> Vec<OwnedWrite> {
+        self.write_set_for(writer)
+            .lock()
             .get(&writer)
             .cloned()
             .unwrap_or_default()
@@ -272,13 +410,15 @@ impl MvStore {
         writer: TxnToken,
         start_ts: Timestamp,
     ) -> Option<(TableName, RowId)> {
-        let inner = self.inner.read();
-        let writes = inner.writes.get(&writer)?;
-        for (table, id, _) in writes {
-            if let Some(chain) = inner.tables.get(table).and_then(|t| t.rows.get(id)) {
-                if chain.committed_after(start_ts, writer) {
-                    return Some((table.clone(), *id));
-                }
+        for (table, id, _) in self.owned_writes_of(writer) {
+            let shard = self.shard_for(&table, id).read();
+            let conflict = shard
+                .tables
+                .get(&*table)
+                .and_then(|rows| rows.get(&id))
+                .is_some_and(|chain| chain.committed_after(start_ts, writer));
+            if conflict {
+                return Some((table.to_string(), id));
             }
         }
         None
@@ -288,30 +428,47 @@ impl MvStore {
     /// version installed by a *different* transaction (used by
     /// first-writer-wins style schedulers).
     pub fn has_foreign_uncommitted_on_writes(&self, writer: TxnToken) -> bool {
-        let inner = self.inner.read();
-        let Some(writes) = inner.writes.get(&writer) else {
-            return false;
-        };
-        writes.iter().any(|(table, id, _)| {
-            inner
+        self.owned_writes_of(writer).iter().any(|(table, id, _)| {
+            let shard = self.shard_for(table, *id).read();
+            shard
                 .tables
-                .get(table)
-                .and_then(|t| t.rows.get(id))
+                .get(&**table)
+                .and_then(|rows| rows.get(id))
                 .is_some_and(|chain| chain.has_foreign_uncommitted(writer))
         })
     }
 
+    /// Group a write set by shard index so commit/abort lock each shard
+    /// exactly once, in ascending order.
+    fn writes_by_shard(&self, writes: &[OwnedWrite]) -> BTreeMap<usize, Vec<(Arc<str>, RowId)>> {
+        let mut by_shard: BTreeMap<usize, Vec<(Arc<str>, RowId)>> = BTreeMap::new();
+        for (table, id, _) in writes {
+            let idx = (chain_hash(table, *id) % self.shards.len() as u64) as usize;
+            by_shard
+                .entry(idx)
+                .or_default()
+                .push((Arc::clone(table), *id));
+        }
+        by_shard
+    }
+
     /// Commit all of `writer`'s versions at timestamp `ts`.
     pub fn commit(&self, writer: TxnToken, ts: Timestamp) {
-        let mut inner = self.inner.write();
-        let writes = inner.writes.remove(&writer).unwrap_or_default();
-        for (table, id, _) in writes {
-            if let Some(chain) = inner
-                .tables
-                .get_mut(&table)
-                .and_then(|t| t.rows.get_mut(&id))
-            {
-                chain.commit(writer, ts);
+        let writes = self
+            .write_set_for(writer)
+            .lock()
+            .remove(&writer)
+            .unwrap_or_default();
+        for (idx, rows) in self.writes_by_shard(&writes) {
+            let mut shard = self.shards[idx].write();
+            for (table, id) in rows {
+                if let Some(chain) = shard
+                    .tables
+                    .get_mut(&table)
+                    .and_then(|rows| rows.get_mut(&id))
+                {
+                    chain.commit(writer, ts);
+                }
             }
         }
     }
@@ -319,15 +476,21 @@ impl MvStore {
     /// Roll back all of `writer`'s uncommitted versions (before images
     /// become current again).
     pub fn abort(&self, writer: TxnToken) {
-        let mut inner = self.inner.write();
-        let writes = inner.writes.remove(&writer).unwrap_or_default();
-        for (table, id, _) in writes {
-            if let Some(chain) = inner
-                .tables
-                .get_mut(&table)
-                .and_then(|t| t.rows.get_mut(&id))
-            {
-                chain.abort(writer);
+        let writes = self
+            .write_set_for(writer)
+            .lock()
+            .remove(&writer)
+            .unwrap_or_default();
+        for (idx, rows) in self.writes_by_shard(&writes) {
+            let mut shard = self.shards[idx].write();
+            for (table, id) in rows {
+                if let Some(chain) = shard
+                    .tables
+                    .get_mut(&table)
+                    .and_then(|rows| rows.get_mut(&id))
+                {
+                    chain.abort(writer);
+                }
             }
         }
     }
@@ -340,41 +503,50 @@ impl MvStore {
     /// Number of rows whose latest committed version exists (i.e. not
     /// deleted) in `table`.
     pub fn committed_row_count(&self, table: &str) -> usize {
-        let inner = self.inner.read();
-        inner
-            .tables
-            .get(table)
-            .map(|t| {
-                t.rows
-                    .values()
-                    .filter(|c| {
-                        c.latest_committed()
-                            .map(|v| !v.is_tombstone())
-                            .unwrap_or(false)
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .read()
+                    .tables
+                    .get(table)
+                    .map(|rows| {
+                        rows.values()
+                            .filter(|c| {
+                                c.latest_committed()
+                                    .map(|v| !v.is_tombstone())
+                                    .unwrap_or(false)
+                            })
+                            .count()
                     })
-                    .count()
+                    .unwrap_or(0)
             })
-            .unwrap_or(0)
+            .sum()
     }
 
     /// Total number of versions across all chains (storage footprint
     /// metric used by the benches).
     pub fn version_count(&self) -> usize {
-        let inner = self.inner.read();
-        inner
-            .tables
-            .values()
-            .flat_map(|t| t.rows.values())
-            .map(|c| c.len())
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .read()
+                    .tables
+                    .values()
+                    .flat_map(|rows| rows.values())
+                    .map(|c| c.len())
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
 
 impl fmt::Debug for MvStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.read();
         f.debug_struct("MvStore")
-            .field("tables", &inner.tables.keys().collect::<Vec<_>>())
+            .field("shards", &self.shards.len())
+            .field("tables", &self.registry.read().keys().collect::<Vec<_>>())
             .finish()
     }
 }
@@ -580,5 +752,61 @@ mod tests {
         assert_eq!(store.tables(), vec!["t".to_string()]);
         assert_eq!(store.row_ids("t"), vec![id]);
         assert!(store.row_ids("missing").is_empty());
+    }
+
+    #[test]
+    fn row_ids_are_sequential_and_sorted_across_shards() {
+        // With several shards the chains scatter, but id allocation is a
+        // per-table counter and row_ids() must come back sorted and
+        // gap-free exactly like the single-map store.
+        for shards in [1, 2, 7, 16] {
+            let store = MvStore::with_shards(shards);
+            assert_eq!(store.shard_count(), shards);
+            let ids: Vec<RowId> = (0..40)
+                .map(|_| store.insert("t", TxnToken(1), balance_row(0)))
+                .collect();
+            assert_eq!(ids, (0..40).map(RowId).collect::<Vec<_>>());
+            assert_eq!(store.row_ids("t"), ids);
+        }
+    }
+
+    #[test]
+    fn row_id_allocation_is_per_table() {
+        let store = MvStore::new();
+        let a0 = store.insert("a", TxnToken(1), balance_row(0));
+        let b0 = store.insert("b", TxnToken(1), balance_row(0));
+        let a1 = store.insert("a", TxnToken(1), balance_row(0));
+        assert_eq!((a0, b0, a1), (RowId(0), RowId(0), RowId(1)));
+    }
+
+    #[test]
+    fn scans_merge_shards_in_row_id_order() {
+        let store = MvStore::with_shards(4);
+        for i in 0..32 {
+            store.insert("t", TxnToken(1), balance_row(i));
+        }
+        store.commit(TxnToken(1), Timestamp(1));
+        let all = RowPredicate::whole_table("t");
+        let rows = store.scan_latest_committed(&all);
+        assert_eq!(rows.len(), 32);
+        for (i, (id, row)) in rows.iter().enumerate() {
+            assert_eq!(*id, RowId(i as u64));
+            assert_eq!(row.get_int("balance"), Some(i as i64));
+        }
+    }
+
+    #[test]
+    fn single_shard_store_still_works() {
+        let store = MvStore::with_shards(0); // clamped to 1
+        assert_eq!(store.shard_count(), 1);
+        let id = store.insert("t", TxnToken(1), balance_row(5));
+        store.commit(TxnToken(1), Timestamp(1));
+        assert_eq!(
+            store
+                .get_latest_committed("t", id)
+                .unwrap()
+                .get_int("balance"),
+            Some(5)
+        );
     }
 }

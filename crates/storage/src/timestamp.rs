@@ -32,9 +32,20 @@ impl fmt::Display for TxnToken {
 
 /// Monotonic source of timestamps, shared by all transactions of a
 /// database instance.
+///
+/// Allocation and *publication* are separate so a sharded store can make
+/// commits atomically visible: a committer reserves a timestamp, stamps
+/// its version chains shard by shard, and only then publishes — snapshots
+/// taken "now" ([`TimestampOracle::current`]) never include a timestamp
+/// whose chains are still being stamped.  [`TimestampOracle::next`]
+/// reserves and publishes in one step for callers (tests, benches, direct
+/// store users) that stamp under their own discipline.
 #[derive(Debug, Default)]
 pub struct TimestampOracle {
-    next: AtomicU64,
+    /// The next timestamp to hand out.
+    allocated: AtomicU64,
+    /// The largest timestamp whose commit is fully visible.
+    published: AtomicU64,
 }
 
 impl TimestampOracle {
@@ -42,19 +53,36 @@ impl TimestampOracle {
     /// for "the beginning of time" — the initial database state).
     pub fn new() -> Self {
         TimestampOracle {
-            next: AtomicU64::new(1),
+            allocated: AtomicU64::new(1),
+            published: AtomicU64::new(0),
         }
     }
 
-    /// Allocate the next timestamp.
+    /// Allocate and immediately publish the next timestamp.
     pub fn next(&self) -> Timestamp {
-        Timestamp(self.next.fetch_add(1, Ordering::SeqCst))
+        let ts = self.reserve();
+        self.publish(ts);
+        ts
     }
 
-    /// The most recently allocated timestamp (0 if none has been handed
-    /// out).  A snapshot taken "now" uses this value.
+    /// Allocate the next timestamp without publishing it: `current()`
+    /// stays behind until [`TimestampOracle::publish`] is called, so
+    /// readers starting in between cannot observe a half-stamped commit.
+    pub fn reserve(&self) -> Timestamp {
+        Timestamp(self.allocated.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Publish a reserved timestamp: snapshots taken from now on may
+    /// include it.  Callers must have finished installing everything the
+    /// timestamp stamps.
+    pub fn publish(&self, ts: Timestamp) {
+        self.published.fetch_max(ts.0, Ordering::SeqCst);
+    }
+
+    /// The most recent *published* timestamp (0 if none).  A snapshot
+    /// taken "now" uses this value.
     pub fn current(&self) -> Timestamp {
-        Timestamp(self.next.load(Ordering::SeqCst).saturating_sub(1))
+        Timestamp(self.published.load(Ordering::SeqCst))
     }
 }
 
@@ -103,5 +131,21 @@ mod tests {
     fn display_formats() {
         assert_eq!(Timestamp(4).to_string(), "ts4");
         assert_eq!(TxnToken(2).to_string(), "txn2");
+    }
+
+    #[test]
+    fn reserved_timestamps_stay_invisible_until_published() {
+        let oracle = TimestampOracle::new();
+        let a = oracle.next();
+        let b = oracle.reserve();
+        // A snapshot taken while `b`'s commit is being stamped must not
+        // include it yet.
+        assert_eq!(oracle.current(), a);
+        oracle.publish(b);
+        assert_eq!(oracle.current(), b);
+        // Publication is monotonic: re-publishing an older timestamp never
+        // moves `current` backwards.
+        oracle.publish(a);
+        assert_eq!(oracle.current(), b);
     }
 }

@@ -1,0 +1,453 @@
+//! Stress and conformance tests for the sharded store.
+//!
+//! Two families:
+//!
+//! * **threaded stress** — many writers hammer the per-table row-id
+//!   allocator, the shard locks, and the write-set partitions at once; the
+//!   assertions are "no lost row ids" (allocation stays gap-free and
+//!   unique) and "no lost committed writes" (every committed version is
+//!   visible afterwards, across whatever shard its row hashed to);
+//! * **model conformance** — a property test drives the sharded store and
+//!   a single-map reference model (built on the same [`VersionChain`]
+//!   type, mirroring the pre-sharding layout) through random operation
+//!   sequences and requires every read surface to agree.
+
+use critique_storage::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Threaded stress.
+// ---------------------------------------------------------------------
+
+const THREADS: u64 = 8;
+
+#[test]
+fn concurrent_inserts_lose_no_row_ids() {
+    for shards in [1, 4, 16] {
+        let store = Arc::new(MvStore::with_shards(shards));
+        let per_thread = 200u64;
+        std::thread::scope(|scope| {
+            for worker in 0..THREADS {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let txn = TxnToken(worker + 1);
+                    for i in 0..per_thread {
+                        let marker = (worker * per_thread + i) as i64;
+                        store.insert("accounts", txn, Row::new().with("marker", marker));
+                    }
+                    store.commit(txn, Timestamp(worker + 1));
+                });
+            }
+        });
+        let total = THREADS * per_thread;
+        let ids = store.row_ids("accounts");
+        assert_eq!(ids.len() as u64, total, "shards={shards}");
+        // Gap-free and unique: ids are exactly 0..total.
+        assert_eq!(
+            ids,
+            (0..total).map(RowId).collect::<Vec<_>>(),
+            "shards={shards}"
+        );
+        assert_eq!(store.committed_row_count("accounts") as u64, total);
+        assert_eq!(store.version_count() as u64, total);
+    }
+}
+
+#[test]
+fn concurrent_commits_lose_no_writes() {
+    // Each worker owns a disjoint slice of rows and runs many small
+    // update-commit transactions against them; afterwards every row must
+    // carry its worker's final value — a write lost by commit racing on a
+    // shared shard would show up as a stale balance.
+    let store = Arc::new(MvStore::with_shards(8));
+    let rows_per_worker = 16u64;
+    let rounds = 25u64;
+    let setup = TxnToken(1);
+    let total_rows = THREADS * rows_per_worker;
+    let ids: Vec<RowId> = (0..total_rows)
+        .map(|_| store.insert("accounts", setup, Row::new().with("balance", 0)))
+        .collect();
+    store.commit(setup, Timestamp(1));
+
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            let store = Arc::clone(&store);
+            let ids = ids.clone();
+            scope.spawn(move || {
+                let mine = &ids[(worker * rows_per_worker) as usize
+                    ..((worker + 1) * rows_per_worker) as usize];
+                for round in 1..=rounds {
+                    // Distinct token per (worker, round); commit timestamps
+                    // just need to be unique and increasing per worker.
+                    let txn = TxnToken(100 + worker * rounds + round);
+                    for id in mine {
+                        store
+                            .update(
+                                "accounts",
+                                txn,
+                                *id,
+                                Row::new().with("balance", round as i64),
+                            )
+                            .expect("own row exists");
+                    }
+                    store.commit(txn, Timestamp(10 + worker * rounds + round));
+                }
+            });
+        }
+    });
+
+    for (i, id) in ids.iter().enumerate() {
+        let row = store
+            .get_latest_committed("accounts", *id)
+            .unwrap_or_else(|| panic!("row {i} lost"));
+        assert_eq!(row.get_int("balance"), Some(rounds as i64), "row {i}");
+    }
+    // Every version every transaction installed is still accounted for.
+    assert_eq!(
+        store.version_count() as u64,
+        total_rows + THREADS * rounds * rows_per_worker
+    );
+}
+
+#[test]
+fn concurrent_aborts_restore_before_images() {
+    let store = Arc::new(MvStore::with_shards(4));
+    let setup = TxnToken(1);
+    let ids: Vec<RowId> = (0..64)
+        .map(|_| store.insert("t", setup, Row::new().with("balance", 7)))
+        .collect();
+    store.commit(setup, Timestamp(1));
+
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            let store = Arc::clone(&store);
+            let ids = ids.clone();
+            scope.spawn(move || {
+                for round in 0..20u64 {
+                    let txn = TxnToken(100 + worker * 20 + round);
+                    for id in ids.iter().skip(worker as usize % 4).step_by(4) {
+                        store
+                            .update("t", txn, *id, Row::new().with("balance", -1))
+                            .expect("row exists");
+                    }
+                    store.abort(txn);
+                    assert!(store.writes_of(txn).is_empty());
+                }
+            });
+        }
+    });
+
+    for id in &ids {
+        assert_eq!(
+            store
+                .get_latest_committed("t", *id)
+                .unwrap()
+                .get_int("balance"),
+            Some(7)
+        );
+    }
+    assert_eq!(store.version_count(), 64);
+}
+
+// ---------------------------------------------------------------------
+// Model conformance: the sharded store vs a single-map reference.
+// ---------------------------------------------------------------------
+
+/// The pre-sharding layout: one map of tables → rows → version chains plus
+/// one write side-map, reusing the workspace's `VersionChain` so the
+/// per-version semantics are the known-good seed semantics by construction.
+#[derive(Default)]
+struct ModelStore {
+    tables: BTreeMap<String, ModelTable>,
+    writes: BTreeMap<TxnToken, Vec<(String, RowId, WriteKind)>>,
+}
+
+#[derive(Default)]
+struct ModelTable {
+    next_row_id: u64,
+    rows: BTreeMap<RowId, VersionChain>,
+}
+
+impl ModelStore {
+    fn insert(&mut self, table: &str, writer: TxnToken, row: Row) -> RowId {
+        let data = self.tables.entry(table.to_string()).or_default();
+        let id = RowId(data.next_row_id);
+        data.next_row_id += 1;
+        data.rows.entry(id).or_default().install(writer, Some(row));
+        self.writes
+            .entry(writer)
+            .or_default()
+            .push((table.to_string(), id, WriteKind::Insert));
+        id
+    }
+
+    fn write_version(
+        &mut self,
+        table: &str,
+        writer: TxnToken,
+        id: RowId,
+        row: Option<Row>,
+        kind: WriteKind,
+    ) -> Result<(), ()> {
+        let chain = self
+            .tables
+            .get_mut(table)
+            .and_then(|t| t.rows.get_mut(&id))
+            .ok_or(())?;
+        chain.install(writer, row);
+        self.writes
+            .entry(writer)
+            .or_default()
+            .push((table.to_string(), id, kind));
+        Ok(())
+    }
+
+    fn commit(&mut self, writer: TxnToken, ts: Timestamp) {
+        for (table, id, _) in self.writes.remove(&writer).unwrap_or_default() {
+            if let Some(chain) = self
+                .tables
+                .get_mut(&table)
+                .and_then(|t| t.rows.get_mut(&id))
+            {
+                chain.commit(writer, ts);
+            }
+        }
+    }
+
+    fn abort(&mut self, writer: TxnToken) {
+        for (table, id, _) in self.writes.remove(&writer).unwrap_or_default() {
+            if let Some(chain) = self
+                .tables
+                .get_mut(&table)
+                .and_then(|t| t.rows.get_mut(&id))
+            {
+                chain.abort(writer);
+            }
+        }
+    }
+
+    fn chain(&self, table: &str, id: RowId) -> Option<&VersionChain> {
+        self.tables.get(table).and_then(|t| t.rows.get(&id))
+    }
+
+    fn first_committer_conflict(
+        &self,
+        writer: TxnToken,
+        start_ts: Timestamp,
+    ) -> Option<(String, RowId)> {
+        let writes = self.writes.get(&writer)?;
+        for (table, id, _) in writes {
+            if let Some(chain) = self.chain(table, *id) {
+                if chain.committed_after(start_ts, writer) {
+                    return Some((table.clone(), *id));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// One step of a random schedule.  Decoded from the integer tuples the
+/// proptest strategy generates.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Insert { table: usize, txn: u64, value: i64 },
+    Update { table: usize, txn: u64, row: u64 },
+    Delete { table: usize, txn: u64, row: u64 },
+    Commit { txn: u64 },
+    Abort { txn: u64 },
+}
+
+const TABLES: [&str; 2] = ["accounts", "employees"];
+
+fn decode(kind: u32, table: u32, txn: u32, row: u32) -> Step {
+    let table = (table % 2) as usize;
+    let txn = u64::from(txn % 4) + 1;
+    let row = u64::from(row % 8);
+    match kind % 6 {
+        0 | 1 => Step::Insert {
+            table,
+            txn,
+            value: i64::from(kind) + row as i64,
+        },
+        2 | 3 => Step::Update { table, txn, row },
+        4 => {
+            if row % 2 == 0 {
+                Step::Delete { table, txn, row }
+            } else {
+                Step::Commit { txn }
+            }
+        }
+        _ => {
+            if row % 2 == 0 {
+                Step::Commit { txn }
+            } else {
+                Step::Abort { txn }
+            }
+        }
+    }
+}
+
+/// Apply one step to both stores and check the write-path results agree.
+fn apply(step: Step, sharded: &MvStore, model: &mut ModelStore, next_ts: &mut u64) {
+    match step {
+        Step::Insert { table, txn, value } => {
+            let row = Row::new().with("balance", value);
+            let a = sharded.insert(TABLES[table], TxnToken(txn), row.clone());
+            let b = model.insert(TABLES[table], TxnToken(txn), row);
+            prop_assert_eq!(a, b, "insert row id");
+        }
+        Step::Update { table, txn, row } => {
+            let new = Row::new().with("balance", -(row as i64));
+            let a = sharded.update(TABLES[table], TxnToken(txn), RowId(row), new.clone());
+            let b = model.write_version(
+                TABLES[table],
+                TxnToken(txn),
+                RowId(row),
+                Some(new),
+                WriteKind::Update,
+            );
+            prop_assert_eq!(a.is_ok(), b.is_ok(), "update outcome");
+        }
+        Step::Delete { table, txn, row } => {
+            let a = sharded.delete(TABLES[table], TxnToken(txn), RowId(row));
+            let b = model.write_version(
+                TABLES[table],
+                TxnToken(txn),
+                RowId(row),
+                None,
+                WriteKind::Delete,
+            );
+            prop_assert_eq!(a.is_ok(), b.is_ok(), "delete outcome");
+        }
+        Step::Commit { txn } => {
+            *next_ts += 1;
+            sharded.commit(TxnToken(txn), Timestamp(*next_ts));
+            model.commit(TxnToken(txn), Timestamp(*next_ts));
+        }
+        Step::Abort { txn } => {
+            sharded.abort(TxnToken(txn));
+            model.abort(TxnToken(txn));
+        }
+    }
+}
+
+fn assert_same_visible_state(sharded: &MvStore, model: &ModelStore, max_ts: u64) {
+    let pick_row = |v: Option<&Version>| v.and_then(|v| v.row.clone());
+    for table in TABLES {
+        let model_ids: Vec<RowId> = model
+            .tables
+            .get(table)
+            .map(|t| t.rows.keys().copied().collect())
+            .unwrap_or_default();
+        prop_assert_eq!(
+            sharded.row_ids(table),
+            model_ids.clone(),
+            "row ids of {}",
+            table
+        );
+
+        for id in model_ids {
+            let chain = model.chain(table, id).expect("model id");
+            prop_assert_eq!(
+                sharded.get_latest_any(table, id),
+                pick_row(chain.latest_any()),
+                "latest_any {}{:?}",
+                table,
+                id
+            );
+            prop_assert_eq!(
+                sharded.get_latest_committed(table, id),
+                pick_row(chain.latest_committed()),
+                "latest_committed {}{:?}",
+                table,
+                id
+            );
+            for ts in 0..=max_ts {
+                prop_assert_eq!(
+                    sharded.get_committed_as_of(table, id, Timestamp(ts)),
+                    pick_row(chain.committed_as_of(Timestamp(ts))),
+                    "as_of ts{} {}{:?}",
+                    ts,
+                    table,
+                    id
+                );
+            }
+            for reader in 1..=4u64 {
+                prop_assert_eq!(
+                    sharded.get_visible(table, id, TxnToken(reader), Timestamp(max_ts)),
+                    pick_row(chain.visible_for(TxnToken(reader), Timestamp(max_ts))),
+                    "visible_for txn{} {}{:?}",
+                    reader,
+                    table,
+                    id
+                );
+            }
+        }
+
+        // Scans agree, in order, including predicate filtering.
+        let all = RowPredicate::whole_table(table);
+        let model_scan: Vec<(RowId, Row)> = model
+            .tables
+            .get(table)
+            .map(|t| {
+                t.rows
+                    .iter()
+                    .filter_map(|(id, chain)| {
+                        pick_row(chain.latest_committed()).map(|row| (*id, row))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        prop_assert_eq!(
+            sharded.scan_latest_committed(&all),
+            model_scan,
+            "scan {}",
+            table
+        );
+    }
+
+    for txn in 1..=4u64 {
+        prop_assert_eq!(
+            sharded.writes_of(TxnToken(txn)),
+            model
+                .writes
+                .get(&TxnToken(txn))
+                .cloned()
+                .unwrap_or_default(),
+            "writes_of txn{}",
+            txn
+        );
+        for ts in [0, max_ts / 2, max_ts] {
+            prop_assert_eq!(
+                sharded.first_committer_conflict(TxnToken(txn), Timestamp(ts)),
+                model.first_committer_conflict(TxnToken(txn), Timestamp(ts)),
+                "fcw txn{} ts{}",
+                txn,
+                ts
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random op sequences leave the sharded store and the single-map
+    /// reference in identical visible states, at every shard count.
+    #[test]
+    fn sharded_store_matches_single_map_semantics(
+        steps in proptest::collection::vec((0u32..6, 0u32..2, 0u32..4, 0u32..8), 1..60),
+        shards in 1u32..17,
+    ) {
+        let sharded = MvStore::with_shards(shards as usize);
+        let mut model = ModelStore::default();
+        let mut next_ts = 0u64;
+        for (kind, table, txn, row) in steps {
+            apply(decode(kind, table, txn, row), &sharded, &mut model, &mut next_ts);
+        }
+        assert_same_visible_state(&sharded, &model, next_ts.max(1));
+    }
+}

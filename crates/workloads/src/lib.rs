@@ -13,9 +13,14 @@
 //! * [`bank`] — the H1/H2 bank-transfer fixtures (inconsistent analysis)
 //!   and helpers shared by examples and benchmarks.
 //! * [`mixed`] — a randomised multi-threaded workload (configurable
-//!   read/write mix, contention, and transaction length) with throughput
-//!   and abort statistics, used by the Snapshot-Isolation-vs-locking
-//!   benchmarks that back the qualitative claims of Section 4.2.
+//!   read/write mix, contention, transaction length, and client think
+//!   time) with throughput and abort statistics, used by the
+//!   Snapshot-Isolation-vs-locking benchmarks that back the qualitative
+//!   claims of Section 4.2.
+//! * [`scaling`] — a thread-count scaling sweep over the mixed workload
+//!   comparing the sharded substrate against the single-shard (global
+//!   lock) baseline, rendered as text and as the hand-rolled JSON behind
+//!   `BENCH_scaling.json`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,15 +28,18 @@
 
 pub mod bank;
 pub mod mixed;
+pub mod scaling;
 pub mod scenarios;
 
 pub use crate::bank::BankFixture;
 pub use crate::mixed::{MixedWorkload, WorkloadStats};
+pub use crate::scaling::{ScalingPoint, ScalingReport, ScalingSeries};
 pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::bank::BankFixture;
     pub use crate::mixed::{MixedWorkload, WorkloadStats};
+    pub use crate::scaling::{ScalingPoint, ScalingReport, ScalingSeries};
     pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 }

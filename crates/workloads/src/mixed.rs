@@ -36,6 +36,15 @@ pub struct MixedWorkload {
     /// Random seed (the workload is deterministic given the seed and the
     /// thread interleaving).
     pub seed: u64,
+    /// Client "think time" in microseconds before each row operation
+    /// (0 = none).  Think time models the gaps real clients leave between
+    /// statements; with it, throughput is bounded by how many transactions
+    /// the substrate lets *overlap*, which is what the thread-count scaling
+    /// sweep measures.
+    pub think_micros: u64,
+    /// Substrate shard count handed to [`EngineConfig::with_shards`].
+    /// `1` reproduces the old global-lock layout as a baseline.
+    pub shards: usize,
 }
 
 impl Default for MixedWorkload {
@@ -48,6 +57,8 @@ impl Default for MixedWorkload {
             txns_per_thread: 200,
             threads: 4,
             seed: 42,
+            think_micros: 0,
+            shards: critique_storage::DEFAULT_SHARDS,
         }
     }
 }
@@ -112,10 +123,20 @@ impl WorkloadStats {
 }
 
 impl MixedWorkload {
+    /// This workload with a different worker count (used by the scaling
+    /// sweep).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Seed a database for this workload (every account starts at 100) and
     /// return it together with the row ids.
     pub fn seed_database(&self, level: IsolationLevel) -> (Database, Vec<RowId>) {
-        let config = EngineConfig::new(level).blocking(200).without_history();
+        let config = EngineConfig::new(level)
+            .blocking(200)
+            .without_history()
+            .with_shards(self.shards);
         let db = Database::with_config(config);
         let setup = db.begin();
         let ids: Vec<RowId> = (0..self.accounts)
@@ -142,6 +163,9 @@ impl MixedWorkload {
         let txn = db.begin();
         let mut failed: Option<TxnError> = None;
         for _ in 0..self.ops_per_txn {
+            if self.think_micros > 0 {
+                std::thread::sleep(Duration::from_micros(self.think_micros));
+            }
             let id = *self.pick_account(rng, ids);
             let read = txn.read("accounts", id);
             stats.reads += 1;
@@ -263,6 +287,8 @@ mod tests {
             txns_per_thread: 30,
             threads: 3,
             seed: 7,
+            think_micros: 0,
+            shards: critique_storage::DEFAULT_SHARDS,
         }
     }
 

@@ -46,8 +46,7 @@ proptest! {
     }
 
     #[test]
-    fn serial_histories_exhibit_no_phenomena(order in Just(()), history in arbitrary_history()) {
-        let _ = order;
+    fn serial_histories_exhibit_no_phenomena(_order in Just(()), history in arbitrary_history()) {
         // Serialise the same transactions: no phenomenon may remain.
         let txns = history.transactions();
         let serial = history.serialize_in_order(&txns);
