@@ -1,37 +1,50 @@
-//! Thread-count scaling sweep: the sharded substrate's win, measured.
+//! Thread-count scaling sweeps and the contended-handoff comparison.
 //!
 //! Runs [`critique_workloads::ScalingReport`] over 1/2/4/8 workers at READ
-//! COMMITTED, for the sharded substrate and for the `shards = 1`
-//! configuration that reproduces the old global-lock layout, prints the
-//! series, and writes the hand-rolled JSON to `BENCH_scaling.json` at the
-//! workspace root so the perf trajectory is tracked from PR to PR.
+//! COMMITTED, SNAPSHOT ISOLATION, and SERIALIZABLE — for the sharded
+//! substrate and for the `shards = 1` configuration that reproduces the
+//! old global-lock layout — plus the [`HandoffComparison`]: a hot-key
+//! workload under FIFO direct handoff vs the wake-all baseline, so the
+//! event-driven wait-queue's win is recorded next to the sweeps.  The
+//! whole suite is written as hand-rolled JSON to `BENCH_scaling.json` at
+//! the workspace root so the perf trajectory is tracked from PR to PR.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use critique_bench::{scaling_workload, SCALING_THREADS};
+use critique_bench::{handoff_workload, scaling_workload, SCALING_LEVELS, SCALING_THREADS};
 use critique_core::IsolationLevel;
-use critique_workloads::ScalingReport;
+use critique_workloads::{HandoffComparison, ScalingReport, ScalingSuite};
 
-/// Where the machine-readable sweep results land (workspace root).
+/// Where the machine-readable suite results land (workspace root).
 const OUTPUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
 
-fn run_sweep() -> ScalingReport {
-    ScalingReport::run(
-        scaling_workload(),
-        IsolationLevel::ReadCommitted,
-        &SCALING_THREADS,
-        &[
-            (scaling_workload().shards, "sharded"),
-            (1, "single-shard baseline"),
-        ],
-        3,
-    )
+fn run_suite() -> ScalingSuite {
+    let sweeps = SCALING_LEVELS
+        .into_iter()
+        .map(|level| {
+            ScalingReport::run(
+                scaling_workload(),
+                level,
+                &SCALING_THREADS,
+                &[
+                    (scaling_workload().shards, "sharded"),
+                    (1, "single-shard baseline"),
+                ],
+                3,
+            )
+        })
+        .collect();
+    let handoff = HandoffComparison::run(handoff_workload(), IsolationLevel::Serializable, 3);
+    ScalingSuite {
+        sweeps,
+        handoff: Some(handoff),
+    }
 }
 
 fn print_and_record() {
-    let report = run_sweep();
-    print!("{}", report.to_text());
-    match std::fs::write(OUTPUT_PATH, report.to_json()) {
-        Ok(()) => println!("scaling sweep recorded in {OUTPUT_PATH}"),
+    let suite = run_suite();
+    print!("{}", suite.to_text());
+    match std::fs::write(OUTPUT_PATH, suite.to_json()) {
+        Ok(()) => println!("scaling suite recorded in {OUTPUT_PATH}"),
         Err(e) => eprintln!("could not write {OUTPUT_PATH}: {e}"),
     }
 }
@@ -49,6 +62,22 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::from_parameter(threads),
             &workload,
             |b, workload| b.iter(|| workload.run(IsolationLevel::ReadCommitted).committed),
+        );
+    }
+    group.finish();
+
+    // And the handoff comparison as its own criterion group.
+    let mut group = c.benchmark_group("scaling/contended_handoff");
+    group.sample_size(10);
+    for policy in [
+        critique_engine::GrantPolicy::DirectHandoff,
+        critique_engine::GrantPolicy::WakeAll,
+    ] {
+        let workload = handoff_workload().with_grant(policy);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &workload,
+            |b, workload| b.iter(|| workload.run(IsolationLevel::Serializable).committed),
         );
     }
     group.finish();

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 use critique_core::IsolationLevel;
+use critique_engine::GrantPolicy;
 use critique_workloads::MixedWorkload;
 
 /// The isolation levels compared in the throughput studies.
@@ -42,6 +43,7 @@ pub fn bench_workload(read_fraction: f64, hot_fraction: f64) -> MixedWorkload {
         seed: 99,
         think_micros: 0,
         shards: critique_storage::DEFAULT_SHARDS,
+        grant: GrantPolicy::DirectHandoff,
     }
 }
 
@@ -60,8 +62,38 @@ pub fn scaling_workload() -> MixedWorkload {
         seed: 1995,
         think_micros: 250,
         shards: critique_storage::DEFAULT_SHARDS,
+        grant: GrantPolicy::DirectHandoff,
     }
 }
 
 /// The worker counts the scaling sweep visits.
 pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The isolation levels the scaling sweep visits (the ROADMAP's "scaling
+/// sweep breadth": READ COMMITTED alone says nothing about how the
+/// snapshot and two-phase-locking schedulers scale).
+pub const SCALING_LEVELS: [IsolationLevel; 3] = [
+    IsolationLevel::ReadCommitted,
+    IsolationLevel::SnapshotIsolation,
+    IsolationLevel::Serializable,
+];
+
+/// The workload behind the contended-handoff comparison: every worker
+/// hammers one hot row with read-modify-write transactions under
+/// SERIALIZABLE, so committed throughput is bounded by how fast a release
+/// reaches the next waiter — exactly what [`GrantPolicy::DirectHandoff`]
+/// vs [`GrantPolicy::WakeAll`] changes.
+pub fn handoff_workload() -> MixedWorkload {
+    MixedWorkload {
+        accounts: 4,
+        read_fraction: 0.0,
+        ops_per_txn: 2,
+        hot_fraction: 1.0,
+        txns_per_thread: 150,
+        threads: 8,
+        seed: 1995,
+        think_micros: 0,
+        shards: critique_storage::DEFAULT_SHARDS,
+        grant: GrantPolicy::DirectHandoff,
+    }
+}

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use critique_core::IsolationLevel;
+pub use critique_lock::GrantPolicy;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -50,6 +51,11 @@ pub struct EngineConfig {
     /// global-lock layout (useful as a contention baseline); clamped to at
     /// least 1.
     pub shards: usize,
+    /// How released locks are handed to blocked waiters (only observable
+    /// under [`LockWaitPolicy::Block`]): FIFO direct handoff by default,
+    /// or the wake-all thundering-herd baseline the contended-handoff
+    /// benchmark compares against.
+    pub grant: GrantPolicy,
 }
 
 impl EngineConfig {
@@ -61,12 +67,19 @@ impl EngineConfig {
             lock_wait: LockWaitPolicy::Fail,
             record_history: true,
             shards: critique_storage::DEFAULT_SHARDS,
+            grant: GrantPolicy::default(),
         }
     }
 
     /// Switch to blocking lock waits with the given timeout.
     pub fn blocking(mut self, timeout_ms: u64) -> Self {
         self.lock_wait = LockWaitPolicy::Block { timeout_ms };
+        self
+    }
+
+    /// Override the contended-grant policy.
+    pub fn with_grant_policy(mut self, grant: GrantPolicy) -> Self {
+        self.grant = grant;
         self
     }
 
@@ -94,7 +107,15 @@ mod tests {
         assert_eq!(cfg.lock_wait, LockWaitPolicy::Fail);
         assert!(cfg.record_history);
         assert_eq!(cfg.shards, critique_storage::DEFAULT_SHARDS);
+        assert_eq!(cfg.grant, GrantPolicy::DirectHandoff);
         assert_eq!(LockWaitPolicy::default(), LockWaitPolicy::Fail);
+    }
+
+    #[test]
+    fn grant_policy_override() {
+        let cfg =
+            EngineConfig::new(IsolationLevel::Serializable).with_grant_policy(GrantPolicy::WakeAll);
+        assert_eq!(cfg.grant, GrantPolicy::WakeAll);
     }
 
     #[test]

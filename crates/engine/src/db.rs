@@ -54,7 +54,7 @@ impl Database {
             inner: Arc::new(DbInner {
                 profile: LockProfile::for_level(config.level),
                 store: MvStore::with_shards(config.shards),
-                locks: LockManager::with_shards(config.shards),
+                locks: LockManager::with_shards(config.shards).with_policy(config.grant),
                 ts: TimestampOracle::new(),
                 recorder: HistoryRecorder::with_shards(config.record_history, config.shards),
                 commit_seq: Mutex::new(()),

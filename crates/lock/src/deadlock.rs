@@ -1,10 +1,14 @@
 //! Waits-for graph and deadlock detection.
 //!
 //! When a lock request cannot be granted, the requesting transaction waits
-//! for the current holders.  A cycle in the waits-for graph is a deadlock;
-//! the manager picks a victim (the youngest transaction in the cycle, i.e.
-//! the one with the largest token) and rejects its request so its scheduler
-//! can abort it.
+//! for the current holders.  A cycle in the waits-for graph is a deadlock.
+//! The manager maintains the graph incrementally — edges are inserted the
+//! moment a request blocks and refreshed when a release sweep visits a
+//! still-blocked waiter — and runs the cycle check at insertion: the
+//! request whose edges *close* the cycle is the victim, so every reported
+//! cycle starts and ends with the victim itself.  ([`WaitsForGraph::choose_victim`]
+//! implements the classic youngest-in-cycle policy as a standalone helper;
+//! the shipped scheduler does not use it.)
 
 use critique_storage::TxnToken;
 use std::collections::{BTreeMap, BTreeSet};
@@ -105,8 +109,10 @@ impl WaitsForGraph {
             .find_map(|t| self.find_cycle_from(t))
     }
 
-    /// Choose the deadlock victim for a cycle: the youngest transaction
-    /// (largest token), a simple deterministic policy.
+    /// The classic youngest-transaction victim policy (largest token).
+    /// Kept as a standalone helper for comparison and analysis; the lock
+    /// manager itself victimises the cycle-closing request instead, which
+    /// needs no policy choice at all.
     pub fn choose_victim(cycle: &[TxnToken]) -> Option<TxnToken> {
         cycle.iter().copied().max()
     }

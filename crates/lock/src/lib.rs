@@ -13,8 +13,11 @@
 //!   after each action, cursor locks when the cursor moves, long locks at
 //!   commit/abort — exactly the knobs Table 2 varies);
 //! * non-blocking [`LockManager::try_acquire`] for the deterministic
-//!   interleaving driver, and blocking [`LockManager::acquire`] with
-//!   waits-for deadlock detection for the threaded benchmarks.
+//!   interleaving driver, and blocking [`LockManager::acquire`] for the
+//!   threaded workloads: blocked requests park on event-driven per-lock
+//!   FIFO wait-queues ([`waitqueue`]) and are handed released locks
+//!   directly, with incremental (detect-on-insert) waits-for deadlock
+//!   detection — no re-poll timer anywhere in the wait path.
 //!
 //! ```
 //! use critique_lock::prelude::*;
@@ -40,11 +43,13 @@ pub mod deadlock;
 pub mod manager;
 pub mod mode;
 pub mod target;
+pub mod waitqueue;
 
 pub use crate::deadlock::WaitsForGraph;
 pub use crate::manager::{AcquireError, LockManager, LockOutcome, DEFAULT_LOCK_SHARDS};
 pub use crate::mode::LockMode;
 pub use crate::target::LockTarget;
+pub use crate::waitqueue::{requests_conflict, sweep_plan, GrantPolicy, QueuedRequest};
 pub use critique_core::locking::LockDuration;
 
 /// Convenient glob-import of the most commonly used types.
@@ -53,5 +58,6 @@ pub mod prelude {
     pub use crate::manager::{AcquireError, LockManager, LockOutcome, DEFAULT_LOCK_SHARDS};
     pub use crate::mode::LockMode;
     pub use crate::target::LockTarget;
+    pub use crate::waitqueue::{requests_conflict, sweep_plan, GrantPolicy, QueuedRequest};
     pub use critique_core::locking::LockDuration;
 }

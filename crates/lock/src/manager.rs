@@ -1,5 +1,5 @@
 //! The lock manager: sharded item-lock tables plus per-table predicate
-//! domains.
+//! domains, with event-driven FIFO wait-queues for contended locks.
 //!
 //! The manager used to be a single `Mutex` around one linear `Vec` of
 //! granted locks, which serialised every acquire/release in the workspace
@@ -8,8 +8,7 @@
 //!
 //! * **item locks** live in `N` shards, each a mutex-protected hash table
 //!   indexed by the `(table, row)` of the [`LockTarget`]; acquiring or
-//!   releasing a row lock touches exactly one shard, and each shard has its
-//!   own condvar so a release only wakes the waiters parked on that shard;
+//!   releasing a row lock touches exactly one shard;
 //! * **predicate locks** keep a **per-table domain** rather than living in
 //!   any shard: a predicate covers phantom rows that do not exist yet and
 //!   therefore have no shard, so the phantom-prevention check must see an
@@ -17,9 +16,20 @@
 //!   table with a live predicate domain checks that domain under its mutex;
 //!   a predicate grant scans every shard for conflicting item locks on its
 //!   table;
-//! * the **waits-for graph** is global, behind its own mutex, and is used
-//!   only for deadlock detection — it is touched only when a request
-//!   actually blocks.
+//! * **blocked requests** park on the [`crate::waitqueue`] wait-set: one
+//!   FIFO queue per contended lock, plus the waits-for graph, behind a
+//!   single mutex that is touched only when a request actually blocks.
+//!
+//! Contended handoff is **event-driven**.  A blocked [`LockManager::acquire`]
+//! enqueues a waiter handle and parks on the handle's own condvar; a
+//! release sweeps the queues of the tables it touched in FIFO order and,
+//! under [`GrantPolicy::DirectHandoff`], installs each compatible grant on
+//! the waiter's behalf before waking it.  A parked waiter is woken only by
+//! a delivered grant, a deadlock verdict, or its own deadline — there is no
+//! re-poll timer anywhere in the wait path.  Deadlock detection is
+//! incremental: waits-for edges are inserted the moment a request blocks
+//! (and refreshed when a sweep visits the waiter), the cycle check runs on
+//! insertion, and the request whose edges **close** a cycle is the victim.
 //!
 //! Grants stay atomic in the presence of sharding: a predicate acquisition
 //! first publishes its table's domain and a provisional live-predicate
@@ -31,20 +41,26 @@
 //! conflicting pair can never both be granted — and a table with no
 //! predicate history (or whose predicate locks have all been released)
 //! costs item grants nothing beyond their own shard mutex.
+//!
+//! Lock order, outermost first: wait-set mutex → predicate domain mutex →
+//! item shard mutex → waiter cell / transaction index partition.  Release
+//! paths drop their shard/domain guards before taking the wait-set mutex.
 
-use crate::deadlock::WaitsForGraph;
 use crate::mode::LockMode;
 use crate::target::LockTarget;
+use crate::waitqueue::{
+    requests_conflict, sweep_scan, GrantPolicy, QueueKey, Verdict, WaitInner, WaitSet, Waiter,
+};
 use critique_core::locking::LockDuration;
 use critique_storage::{Row, RowId, TxnToken};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default number of item-lock shards — tied to the store's shard count so
 /// `LockManager::new()` and `MvStore::new()` stay in sync with the single
@@ -108,8 +124,8 @@ impl LockOutcome {
 /// Errors from a blocking acquisition.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AcquireError {
-    /// The requester was chosen as the victim of a deadlock cycle and must
-    /// abort.
+    /// The requester's wait closed a deadlock cycle and it must abort.
+    /// The cycle starts and ends with the victim itself.
     Deadlock {
         /// The cycle that was detected.
         cycle: Vec<TxnToken>,
@@ -143,14 +159,8 @@ struct ShardInner {
     buckets: HashMap<u64, Vec<HeldLock>>,
 }
 
-struct LockShard {
-    inner: Mutex<ShardInner>,
-    released: Condvar,
-}
-
-/// The predicate locks on one table, plus the condvar predicate waiters
-/// park on.  Domains are created on the first predicate *grant attempt*
-/// for a table and never removed.
+/// The predicate locks on one table.  Domains are created on the first
+/// predicate *grant attempt* for a table and never removed.
 #[derive(Default)]
 struct TableDomain {
     inner: Mutex<Vec<HeldLock>>,
@@ -161,7 +171,6 @@ struct TableDomain {
     /// shard mutex may skip the domain mutex entirely — see the ordering
     /// argument in [`LockManager::attempt_item`].
     live: AtomicUsize,
-    released: Condvar,
 }
 
 /// Where one transaction's locks live: the shards holding its item locks
@@ -177,9 +186,10 @@ struct TxnIndex {
 type IndexPartition = Mutex<BTreeMap<TxnToken, TxnIndex>>;
 
 /// The lock manager: sharded item-lock tables, per-table predicate
-/// domains, and a global waits-for graph for deadlock detection.
+/// domains, event-driven FIFO wait-queues, and an incrementally maintained
+/// waits-for graph for deadlock detection.
 pub struct LockManager {
-    shards: Box<[LockShard]>,
+    shards: Box<[Mutex<ShardInner>]>,
     domains: RwLock<BTreeMap<String, Arc<TableDomain>>>,
     /// Process-wide count of live predicate locks (sum of every domain's
     /// `live`), maintained with the same provisional bump-before-scan
@@ -189,7 +199,8 @@ pub struct LockManager {
     /// load plus its own shard mutex.
     live_predicates: AtomicUsize,
     index: Box<[IndexPartition]>,
-    waits: Mutex<WaitsForGraph>,
+    wait: WaitSet,
+    policy: GrantPolicy,
 }
 
 impl Default for LockManager {
@@ -203,6 +214,18 @@ fn item_key(table: &str, row: RowId) -> u64 {
     table.hash(&mut hasher);
     row.0.hash(&mut hasher);
     hasher.finish()
+}
+
+fn queue_key(target: &LockTarget) -> QueueKey {
+    match target {
+        LockTarget::Item { table, row } => QueueKey::Item {
+            table: table.clone(),
+            bucket: item_key(table, *row),
+        },
+        LockTarget::Predicate(p) => QueueKey::Predicate {
+            table: p.table.clone(),
+        },
+    }
 }
 
 fn merge_or_push(locks: &mut Vec<HeldLock>, lock: HeldLock) {
@@ -231,21 +254,30 @@ impl LockManager {
     }
 
     /// An empty lock manager with an explicit shard count (clamped to at
-    /// least 1).
+    /// least 1) and the default [`GrantPolicy`].
     pub fn with_shards(shards: usize) -> Self {
         let shards = shards.max(1);
         LockManager {
             shards: (0..shards)
-                .map(|_| LockShard {
-                    inner: Mutex::new(ShardInner::default()),
-                    released: Condvar::new(),
-                })
+                .map(|_| Mutex::new(ShardInner::default()))
                 .collect(),
             domains: RwLock::new(BTreeMap::new()),
             live_predicates: AtomicUsize::new(0),
             index: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
-            waits: Mutex::new(WaitsForGraph::new()),
+            wait: WaitSet::new(),
+            policy: GrantPolicy::DirectHandoff,
         }
+    }
+
+    /// This manager with a different contended-grant policy.
+    pub fn with_policy(mut self, policy: GrantPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The contended-grant policy in effect.
+    pub fn policy(&self) -> GrantPolicy {
+        self.policy
     }
 
     /// Number of item-lock shards.
@@ -333,7 +365,7 @@ impl LockManager {
                 // Arc must outlive its guard.
                 let domain = self.domain(table).expect("domains are never removed");
                 let domain_guard = domain.inner.lock();
-                let mut shard_guard = shard.inner.lock();
+                let mut shard_guard = shard.lock();
                 return Self::check_and_grant_item(
                     &mut shard_guard,
                     Some(domain_guard.as_slice()),
@@ -346,7 +378,7 @@ impl LockManager {
                     grant,
                 );
             }
-            let mut shard_guard = shard.inner.lock();
+            let mut shard_guard = shard.lock();
             if live_predicates(self) {
                 drop(shard_guard);
                 continue;
@@ -451,7 +483,7 @@ impl LockManager {
             .map(|held| held.holder)
             .collect();
         for shard in self.shards.iter() {
-            let shard_guard = shard.inner.lock();
+            let shard_guard = shard.lock();
             holders.extend(
                 shard_guard
                     .buckets
@@ -530,8 +562,14 @@ impl LockManager {
         }
     }
 
-    /// Acquire a lock, blocking until it is granted, the requester becomes
-    /// a deadlock victim, or `timeout` expires.
+    /// Acquire a lock, blocking until it is granted, the wait closes a
+    /// deadlock cycle (the requester is then the victim), or `timeout`
+    /// expires.
+    ///
+    /// A blocked request enqueues on its lock's FIFO wait-queue and parks
+    /// on its own handle.  It is woken only by a grant installed on its
+    /// behalf (or a retry nudge under [`GrantPolicy::WakeAll`]), a
+    /// deadlock verdict, or the deadline — never by a timer.
     pub fn acquire(
         &self,
         txn: TxnToken,
@@ -541,43 +579,181 @@ impl LockManager {
         duration: LockDuration,
         timeout: Duration,
     ) -> Result<(), AcquireError> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
+        // Uncontended fast path: never touches the wait-set.
+        if self
+            .attempt(txn, &target, mode, images, duration, true)
+            .is_empty()
+        {
+            return Ok(());
+        }
+        let key = queue_key(&target);
+        let waiter = Arc::new(Waiter::new(
+            txn,
+            target.clone(),
+            mode,
+            images.to_vec(),
+            duration,
+        ));
+        self.wait.enqueue(key.clone(), Arc::clone(&waiter));
         loop {
+            let mut wait = self.wait.lock();
+            // A sweep may have decided our request while we were off the
+            // mutex (it dequeued us and cleared our edges before
+            // delivering).
+            let (epoch, verdict) = waiter.snapshot();
+            match verdict {
+                Verdict::Granted => return Ok(()),
+                Verdict::Victim(cycle) => return Err(AcquireError::Deadlock { cycle }),
+                Verdict::Waiting => {}
+            }
+            // Re-attempt with the queue entry published and the wait-set
+            // mutex held: a release between our last attempt and this one
+            // has either already granted us (caught above) or is about to
+            // sweep (serialised behind this mutex) — a wakeup can never
+            // fall between the conflict check and the park.
             let holders = self.attempt(txn, &target, mode, images, duration, true);
             if holders.is_empty() {
-                self.waits.lock().clear_waits(txn);
+                self.retire_waiter(&mut wait, &key, txn);
                 return Ok(());
             }
-            {
-                let mut waits = self.waits.lock();
-                waits.set_waits(txn, holders);
-                if let Some(cycle) = waits.find_cycle_from(txn) {
-                    if WaitsForGraph::choose_victim(&cycle) == Some(txn) {
-                        waits.clear_waits(txn);
-                        return Err(AcquireError::Deadlock { cycle });
-                    }
-                }
+            // Insert this request's waits-for edges: the conflicting
+            // holders plus any earlier queued waiter FIFO holds us behind.
+            let mut blockers = holders;
+            blockers.extend(wait.queue_blockers(&key, txn));
+            wait.graph.set_waits(txn, blockers);
+            // Detect-on-insert: if these edges close a cycle, this request
+            // is the cycle-closing one and therefore the victim.  Edges of
+            // other parked waiters may predate grants that barged past
+            // them, so when the quick check finds nothing and other
+            // waiters exist, refresh the whole (small, bounded by the
+            // thread count) waiter population and look again — with every
+            // edge fresh at insertion time, a cycle is found the moment
+            // its last wait begins.
+            let mut cycle = wait.graph.find_cycle_from(txn);
+            if cycle.is_none() && wait.waiter_count() > 1 {
+                self.refresh_waiter_edges(&mut wait);
+                cycle = wait.graph.find_cycle_from(txn);
             }
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                self.waits.lock().clear_waits(txn);
+            if let Some(cycle) = cycle {
+                self.retire_and_resweep(&mut wait, &key, txn, &target);
+                return Err(AcquireError::Deadlock { cycle });
+            }
+            if Instant::now() >= deadline {
+                self.retire_and_resweep(&mut wait, &key, txn, &target);
                 return Err(AcquireError::Timeout);
             }
-            // Park on the condvar covering the contended state.  The wait
-            // re-polls at least every 10ms so deadlocks formed after we
-            // went to sleep — and wakeups lost between the conflict check
-            // and the park — are still noticed promptly.
-            let wait = (deadline - now).min(Duration::from_millis(10));
-            match &target {
-                LockTarget::Item { table, row } => {
-                    let shard = &self.shards[self.shard_index(item_key(table, *row))];
-                    let mut guard = shard.inner.lock();
-                    shard.released.wait_for(&mut guard, wait);
+            drop(wait);
+            waiter.park(epoch, deadline);
+        }
+    }
+
+    /// Remove `txn`'s waiter and its waits-for edges (grant found on
+    /// retry, timeout, or victimhood) under the wait-set guard.
+    fn retire_waiter(&self, wait: &mut WaitInner, key: &QueueKey, txn: TxnToken) {
+        self.wait.dequeue(wait, key, txn);
+        wait.graph.clear_waits(txn);
+    }
+
+    /// Retire a waiter whose *request* is abandoned (timeout or deadlock
+    /// victim), then re-sweep its queue: a follower may have been FIFO
+    /// held-back only by the vanished request, and with no poll it would
+    /// otherwise sleep until its own deadline.
+    fn retire_and_resweep(
+        &self,
+        wait: &mut WaitInner,
+        key: &QueueKey,
+        txn: TxnToken,
+        target: &LockTarget,
+    ) {
+        self.retire_waiter(wait, key, txn);
+        let mut tables = BTreeSet::new();
+        tables.insert(target.table().to_string());
+        self.sweep_locked(wait, &tables);
+    }
+
+    /// Recompute the waits-for edges of every parked waiter from the real
+    /// lock state (check-only attempts).  Called before a cycle verdict is
+    /// trusted and by sweeps, so the incremental graph can never hold a
+    /// stale edge long enough to fabricate or hide a deadlock.
+    fn refresh_waiter_edges(&self, wait: &mut WaitInner) {
+        for waiter in wait.all_waiters() {
+            if !waiter.is_waiting() {
+                continue;
+            }
+            let mut blockers = self.attempt(
+                waiter.txn,
+                &waiter.target,
+                waiter.mode,
+                &waiter.images,
+                waiter.duration,
+                false,
+            );
+            blockers.extend(wait.queue_blockers(&queue_key(&waiter.target), waiter.txn));
+            wait.graph.set_waits(waiter.txn, blockers);
+        }
+    }
+
+    /// Hand released locks to waiters: sweep every queue on the touched
+    /// tables in FIFO order.  Under [`GrantPolicy::DirectHandoff`] each
+    /// eligible request is granted here, on the releasing thread, and the
+    /// waiter is woken with the lock already installed; under
+    /// [`GrantPolicy::WakeAll`] every waiter on the touched tables is
+    /// nudged to race for the locks itself.
+    fn sweep(&self, tables: &BTreeSet<String>) {
+        if !self.wait.has_waiters() {
+            return;
+        }
+        let mut wait = self.wait.lock();
+        self.sweep_locked(&mut wait, tables);
+    }
+
+    /// [`LockManager::sweep`] under an already-held wait-set guard.
+    fn sweep_locked(&self, wait: &mut WaitInner, tables: &BTreeSet<String>) {
+        let keys = wait.keys_for_tables(tables.iter());
+        for key in keys {
+            let queue = wait.queue(&key);
+            match self.policy {
+                GrantPolicy::WakeAll => {
+                    for waiter in &queue {
+                        waiter.nudge();
+                    }
                 }
-                LockTarget::Predicate(_) => {
-                    let domain = self.domain_or_create(target.table());
-                    let mut guard = domain.inner.lock();
-                    domain.released.wait_for(&mut guard, wait);
+                GrantPolicy::DirectHandoff => {
+                    let requests: Vec<_> = queue.iter().map(|w| w.request()).collect();
+                    sweep_scan(
+                        queue.len(),
+                        |j, i| {
+                            queue[j].is_waiting() && requests_conflict(&requests[j], &requests[i])
+                        },
+                        |i| {
+                            let w = &queue[i];
+                            if !w.is_waiting() {
+                                return false;
+                            }
+                            let holders =
+                                self.attempt(w.txn, &w.target, w.mode, &w.images, w.duration, true);
+                            if holders.is_empty() {
+                                self.retire_waiter(wait, &key, w.txn);
+                                w.deliver(Verdict::Granted);
+                                true
+                            } else {
+                                // Still blocked: refresh this waiter's
+                                // edges; a refreshed edge set can close a
+                                // cycle (detect-on-insert), in which case
+                                // this pending request is the closer and
+                                // the victim.
+                                let mut blockers = holders;
+                                blockers.extend(wait.queue_blockers(&key, w.txn));
+                                wait.graph.set_waits(w.txn, blockers);
+                                if let Some(cycle) = wait.graph.find_cycle_from(w.txn) {
+                                    self.retire_waiter(wait, &key, w.txn);
+                                    w.deliver(Verdict::Victim(cycle));
+                                }
+                                false
+                            }
+                        },
+                    );
                 }
             }
         }
@@ -587,9 +763,9 @@ impl LockManager {
     // Releases.
     // ------------------------------------------------------------------
 
-    /// Remove the locks of `txn` matching `keep == false` from every place
-    /// the index says the transaction holds locks, waking the relevant
-    /// waiters.  Returns the index entry if `take_index` asked to retire it.
+    /// Remove the locks of `txn` matching `remove` from every place the
+    /// index says the transaction holds locks, then hand the freed locks
+    /// to waiters via [`LockManager::sweep`].
     fn release_where<F>(&self, txn: TxnToken, take_index: bool, mut remove: F)
     where
         F: FnMut(&HeldLock) -> bool,
@@ -606,33 +782,22 @@ impl LockManager {
         let Some(index) = index else {
             return;
         };
-        // Tables whose domains may have predicate waiters parked on them:
-        // any table this transaction held an item lock on.
+        // Tables a removed lock ranged over: conflicts never cross tables,
+        // so these name exactly the wait-queues the sweep must visit.
         let mut touched_tables: BTreeSet<String> = BTreeSet::new();
-        let mut released_anything = false;
         for &shard_idx in &index.shards {
-            let shard = &self.shards[shard_idx];
-            let mut removed_any = false;
-            {
-                let mut guard = shard.inner.lock();
-                guard.buckets.retain(|_, bucket| {
-                    bucket.retain(|held| {
-                        let gone = held.holder == txn && remove(held);
-                        if gone {
-                            removed_any = true;
-                            touched_tables.insert(held.target.table().to_string());
-                        }
-                        !gone
-                    });
-                    !bucket.is_empty()
+            let mut guard = self.shards[shard_idx].lock();
+            guard.buckets.retain(|_, bucket| {
+                bucket.retain(|held| {
+                    let gone = held.holder == txn && remove(held);
+                    if gone {
+                        touched_tables.insert(held.target.table().to_string());
+                    }
+                    !gone
                 });
-            }
-            if removed_any {
-                released_anything = true;
-                shard.released.notify_all();
-            }
+                !bucket.is_empty()
+            });
         }
-        let mut released_predicate = false;
         for table in &index.tables {
             if let Some(domain) = self.domain(table) {
                 let removed = {
@@ -647,44 +812,33 @@ impl LockManager {
                 };
                 if removed > 0 {
                     self.live_predicates.fetch_sub(removed, Ordering::SeqCst);
-                    released_predicate = true;
-                    domain.released.notify_all();
+                    touched_tables.insert(table.clone());
                 }
             }
         }
-        // Predicate waiters conflicting with a released *item* lock are
-        // parked on their table's domain condvar.
-        for table in &touched_tables {
-            if let Some(domain) = self.domain(table) {
-                domain.released.notify_all();
-            }
-        }
-        // Item waiters blocked by a released *predicate* lock can be parked
-        // on any shard; predicate releases are rare, so wake them all.
-        if released_predicate {
-            released_anything = true;
-            for shard in self.shards.iter() {
-                shard.released.notify_all();
-            }
-        }
-        // Prune waits-for edges that pointed at the releasing transaction:
-        // they may describe conflicts that just evaporated, and a stale
-        // edge can fabricate a phantom deadlock cycle.  Any waiter that is
-        // still genuinely blocked re-adds its edges on its next poll
-        // (≤10ms), so deadlock detection is delayed at most one poll,
-        // never lost.
-        if released_anything {
-            let mut waits = self.waits.lock();
-            if waits.waiter_count() > 0 {
-                waits.remove(txn);
-            }
+        // Event-driven handoff: grants are installed for (or raced by) the
+        // waiters parked on the touched tables.  No condvar broadcast, no
+        // waiter-side re-scan.  The waits-for edges of every visited
+        // still-blocked waiter are re-derived from the real lock state in
+        // the same pass, which replaces the old release-time stale-edge
+        // pruning: an edge set may lag reality between refreshes (a grant
+        // can barge in while a waiter is parked), but every cycle verdict
+        // is preceded by a full refresh, so lagging edges can neither
+        // fabricate nor hide a deadlock.
+        if !touched_tables.is_empty() {
+            self.sweep(&touched_tables);
         }
     }
 
-    /// Release every lock held by `txn` (commit or abort) and wake waiters.
+    /// Release every lock held by `txn` (commit or abort) and hand them to
+    /// waiters.
     pub fn release_all(&self, txn: TxnToken) {
         self.release_where(txn, true, |_| true);
-        self.waits.lock().remove(txn);
+        if self.wait.has_waiters() {
+            // Retire the transaction's node outright; the sweep above
+            // already re-pointed any waiter that was blocked on it.
+            self.wait.lock().graph.remove(txn);
+        }
     }
 
     /// Release `txn`'s short-duration locks (called after each action at
@@ -731,6 +885,14 @@ impl LockManager {
         self.attempt(txn, target, mode, images, LockDuration::Short, false)
     }
 
+    /// Number of requests currently parked on wait-queues.
+    pub fn queued_waiters(&self) -> usize {
+        if !self.wait.has_waiters() {
+            return 0;
+        }
+        self.wait.lock().waiter_count()
+    }
+
     /// Visit every lock currently held by `txn`.
     fn for_each_held<F>(&self, txn: TxnToken, mut visit: F)
     where
@@ -744,7 +906,7 @@ impl LockManager {
             return;
         };
         for &shard_idx in &index.shards {
-            let guard = self.shards[shard_idx].inner.lock();
+            let guard = self.shards[shard_idx].lock();
             for held in guard.buckets.values().flatten() {
                 if held.holder == txn {
                     visit(held);
@@ -777,7 +939,6 @@ impl LockManager {
             .iter()
             .map(|shard| {
                 shard
-                    .inner
                     .lock()
                     .buckets
                     .values()
@@ -808,8 +969,9 @@ impl fmt::Debug for LockManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LockManager")
             .field("shards", &self.shards.len())
+            .field("policy", &self.policy)
             .field("held", &self.total_held())
-            .field("waiters", &self.waits.lock().waiter_count())
+            .field("waiters", &self.queued_waiters())
             .finish()
     }
 }
@@ -1118,6 +1280,8 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, AcquireError::Timeout);
+        // The timed-out waiter left no queue entry or graph node behind.
+        assert_eq!(lm.queued_waiters(), 0);
     }
 
     #[test]
@@ -1146,10 +1310,133 @@ mod tests {
         lm.release_all(TxnToken(1));
         assert_eq!(waiter.join().unwrap(), Ok(()));
         assert!(lm.holds(TxnToken(2), &item(0), LockMode::Shared));
+        assert_eq!(lm.queued_waiters(), 0);
     }
 
     #[test]
-    fn deadlock_is_detected_and_the_victim_is_the_youngest() {
+    fn wake_all_policy_also_completes_handoffs() {
+        let lm = Arc::new(LockManager::new().with_policy(GrantPolicy::WakeAll));
+        assert_eq!(lm.policy(), GrantPolicy::WakeAll);
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || {
+            lm2.acquire(
+                TxnToken(2),
+                item(0),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long,
+                Duration::from_secs(5),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        lm.release_all(TxnToken(1));
+        assert_eq!(waiter.join().unwrap(), Ok(()));
+        assert!(lm.holds(TxnToken(2), &item(0), LockMode::Exclusive));
+    }
+
+    #[test]
+    fn direct_handoff_grants_waiters_in_fifo_order() {
+        let lm = Arc::new(LockManager::new());
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
+        let order = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let mut handles = Vec::new();
+        // Three exclusive waiters arrive in a staggered, known order.
+        for t in [10u64, 11, 12] {
+            let lm2 = Arc::clone(&lm);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                lm2.acquire(
+                    TxnToken(t),
+                    item(0),
+                    LockMode::Exclusive,
+                    &[],
+                    LockDuration::Long,
+                    Duration::from_secs(10),
+                )
+                .unwrap();
+                order.lock().push(t);
+                lm2.release_all(TxnToken(t));
+            }));
+            // Wait until the waiter is actually parked before starting the
+            // next one, so arrival order is deterministic.
+            while lm.queued_waiters() < (t - 9) as usize {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        lm.release_all(TxnToken(1));
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // Each release hands the lock to the longest-waiting request.
+        assert_eq!(*order.lock(), vec![10, 11, 12]);
+        assert_eq!(lm.queued_waiters(), 0);
+        assert_eq!(lm.total_held(), 0);
+    }
+
+    #[test]
+    fn follower_is_reswept_when_a_held_back_waiter_times_out() {
+        // Holder keeps S(x).  W1 requests X(x) with a short deadline and
+        // times out; W2 (S(x), compatible with the holder) was FIFO
+        // held-back behind W1 and must be granted the moment W1's request
+        // vanishes — not at W2's own deadline.
+        let lm = Arc::new(LockManager::new());
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Shared,
+            &[],
+            LockDuration::Long,
+        );
+        let lm1 = Arc::clone(&lm);
+        let w1 = std::thread::spawn(move || {
+            lm1.acquire(
+                TxnToken(2),
+                item(0),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long,
+                Duration::from_millis(100),
+            )
+        });
+        while lm.queued_waiters() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let lm2 = Arc::clone(&lm);
+        let start = Instant::now();
+        let w2 = std::thread::spawn(move || {
+            lm2.acquire(
+                TxnToken(3),
+                item(0),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long,
+                Duration::from_secs(30),
+            )
+        });
+        assert_eq!(w1.join().unwrap(), Err(AcquireError::Timeout));
+        assert_eq!(w2.join().unwrap(), Ok(()));
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "W2 slept to its deadline: the retire did not re-sweep"
+        );
+        assert!(lm.holds(TxnToken(3), &item(0), LockMode::Shared));
+    }
+
+    #[test]
+    fn deadlock_victim_is_the_cycle_closer() {
         let lm = Arc::new(LockManager::new());
         // T1 holds x, T2 holds y.
         lm.try_acquire(
@@ -1167,7 +1454,8 @@ mod tests {
             LockDuration::Long,
         );
 
-        // T1 waits for y on another thread; T2 then requests x → deadlock.
+        // T1 waits for y on another thread; T2 then requests x, closing
+        // the cycle — so T2 is the victim.
         let lm1 = Arc::clone(&lm);
         let t1 = std::thread::spawn(move || {
             lm1.acquire(
@@ -1179,7 +1467,9 @@ mod tests {
                 Duration::from_secs(5),
             )
         });
-        std::thread::sleep(Duration::from_millis(20));
+        while lm.queued_waiters() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         let result = lm.acquire(
             TxnToken(2),
             item(0),
@@ -1188,10 +1478,116 @@ mod tests {
             LockDuration::Long,
             Duration::from_secs(5),
         );
-        // T2 (youngest) is the victim.
-        assert!(matches!(result, Err(AcquireError::Deadlock { .. })));
+        let Err(AcquireError::Deadlock { cycle }) = result else {
+            panic!("expected a deadlock verdict, got {result:?}");
+        };
+        // The cycle is reported from the victim's own request: it starts
+        // and ends with the cycle-closing transaction.
+        assert_eq!(cycle.first(), Some(&TxnToken(2)));
+        assert_eq!(cycle.last(), Some(&TxnToken(2)));
+        assert!(cycle.contains(&TxnToken(1)));
         // After the victim aborts (releases its locks), T1 proceeds.
         lm.release_all(TxnToken(2));
         assert_eq!(t1.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn upgrade_deadlock_is_detected_at_the_second_request() {
+        let lm = Arc::new(LockManager::new());
+        // Both transactions hold shared locks on the same item.
+        for t in [1u64, 2] {
+            assert!(lm
+                .try_acquire(
+                    TxnToken(t),
+                    item(0),
+                    LockMode::Shared,
+                    &[],
+                    LockDuration::Long
+                )
+                .is_granted());
+        }
+        // T1 requests the upgrade first and parks; T2's upgrade then
+        // closes the cycle and is refused on the spot.
+        let lm1 = Arc::clone(&lm);
+        let t1 = std::thread::spawn(move || {
+            lm1.acquire(
+                TxnToken(1),
+                item(0),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long,
+                Duration::from_secs(5),
+            )
+        });
+        while lm.queued_waiters() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let result = lm.acquire(
+            TxnToken(2),
+            item(0),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+            Duration::from_secs(5),
+        );
+        assert!(matches!(result, Err(AcquireError::Deadlock { .. })));
+        lm.release_all(TxnToken(2));
+        assert_eq!(t1.join().unwrap(), Ok(()));
+        assert!(lm.holds(TxnToken(1), &item(0), LockMode::Exclusive));
+    }
+
+    #[test]
+    fn shared_waiters_are_granted_together_but_never_past_a_writer() {
+        let lm = Arc::new(LockManager::new());
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
+        // Queue: X(2), then S(3), S(4).  FIFO holds the readers behind
+        // the writer even though they are compatible with each other.
+        let mut handles = Vec::new();
+        let order = Arc::new(Mutex::new(Vec::<u64>::new()));
+        for (t, mode) in [
+            (2u64, LockMode::Exclusive),
+            (3, LockMode::Shared),
+            (4, LockMode::Shared),
+        ] {
+            let lm2 = Arc::clone(&lm);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                lm2.acquire(
+                    TxnToken(t),
+                    item(0),
+                    mode,
+                    &[],
+                    LockDuration::Long,
+                    Duration::from_secs(10),
+                )
+                .unwrap();
+                order.lock().push(t);
+            }));
+            while lm.queued_waiters() < (t - 1) as usize {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        lm.release_all(TxnToken(1));
+        // The writer is granted alone first…
+        while order.lock().first().copied() != Some(2) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(lm.queued_waiters(), 2, "readers held behind the writer");
+        // …and its release grants both readers in one sweep.
+        lm.release_all(TxnToken(2));
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let granted = order.lock().clone();
+        assert_eq!(granted[0], 2);
+        assert_eq!(lm.queued_waiters(), 0);
+        assert!(lm.holds(TxnToken(3), &item(0), LockMode::Shared));
+        assert!(lm.holds(TxnToken(4), &item(0), LockMode::Shared));
     }
 }

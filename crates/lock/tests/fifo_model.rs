@@ -1,0 +1,279 @@
+//! Property tests modelling the FIFO wait-queue against a single-threaded
+//! reference scheduler.
+//!
+//! The model replays random acquire/release sequences through two
+//! schedulers and demands they agree after every event:
+//!
+//! * the **queue model** runs the shipped discipline: barge-free
+//!   enqueueing behind conflicts, and [`sweep_plan`] — the pure
+//!   specification the lock manager's release sweep instantiates — to
+//!   decide which waiters each release grants;
+//! * the **reference scheduler** knows nothing about sweeps: after every
+//!   release it just rescans its single arrival-ordered wait list, one
+//!   request at a time, granting the first request that conflicts with
+//!   neither a held lock nor an earlier still-waiting request, until a
+//!   full pass grants nothing.
+//!
+//! On top of the equivalence, the properties pin the two guarantees the
+//! event-driven scheduler owes its callers: **no wakeup is lost** (after a
+//! release, nothing grantable is left waiting — a parked waiter with no
+//! conflict left would sleep forever now that there is no poll) and
+//! **starvation-freedom** (releasing all held locks always grants at least
+//! the head of every non-empty queue, so draining terminates in at most
+//! one sweep per waiter).
+
+use critique_lock::{requests_conflict, sweep_plan, LockMode, LockTarget, QueuedRequest};
+use critique_storage::{RowId, TxnToken};
+use proptest::prelude::*;
+
+/// One scripted event: a transaction acquires an item lock or releases
+/// everything it holds.
+#[derive(Clone, Debug)]
+enum Event {
+    Acquire { txn: u64, row: u64, exclusive: bool },
+    Release { txn: u64 },
+}
+
+fn request(txn: u64, row: u64, exclusive: bool) -> QueuedRequest {
+    QueuedRequest {
+        txn: TxnToken(txn),
+        target: LockTarget::item("t", RowId(row)),
+        mode: if exclusive {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        },
+        images: Vec::new(),
+    }
+}
+
+/// Strategy: a short script of acquires and releases over a handful of
+/// transactions and rows.
+fn arbitrary_events() -> impl Strategy<Value = Vec<Event>> {
+    let event =
+        (1u64..=5, 0u64..3, prop::bool::ANY, 1u64..=8).prop_map(|(txn, row, exclusive, kind)| {
+            if kind <= 6 {
+                Event::Acquire {
+                    txn,
+                    row,
+                    exclusive,
+                }
+            } else {
+                Event::Release { txn }
+            }
+        });
+    proptest::collection::vec(event, 1..40)
+}
+
+/// Shared scheduler state: granted requests plus an arrival-ordered wait
+/// list.  Both schedulers use this shape; they differ only in how a
+/// release picks the grants.
+#[derive(Clone, Default)]
+struct Scheduler {
+    held: Vec<QueuedRequest>,
+    queue: Vec<QueuedRequest>,
+    grant_log: Vec<(u64, u64)>,
+}
+
+impl Scheduler {
+    /// A request is admitted immediately only if it conflicts with nothing
+    /// granted and nothing already waiting (no barging past the queue —
+    /// this is the discipline a blocking `acquire` follows once it
+    /// enqueues; the model scripts every request through it so grant
+    /// order is fully deterministic).
+    fn acquire(&mut self, req: QueuedRequest) {
+        // A transaction re-requesting while already granted or queued on
+        // the same row merges in the real manager; keep the model simple
+        // by ignoring exact re-requests.
+        let same = |r: &QueuedRequest| r.txn == req.txn && r.target == req.target;
+        if self.held.iter().any(same) || self.queue.iter().any(same) {
+            return;
+        }
+        let blocked = self.held.iter().any(|h| requests_conflict(h, &req))
+            || self.queue.iter().any(|q| requests_conflict(q, &req));
+        if blocked {
+            self.queue.push(req);
+        } else {
+            self.grant_log.push((req.txn.0, row_of(&req)));
+            self.held.push(req);
+        }
+    }
+
+    fn release(
+        &mut self,
+        txn: u64,
+        sweep: impl Fn(&[QueuedRequest], &[QueuedRequest]) -> Vec<usize>,
+    ) {
+        let before = self.held.len();
+        self.held.retain(|h| h.txn.0 != txn);
+        if self.held.len() == before && !self.queue.iter().any(|q| q.txn.0 == txn) {
+            return;
+        }
+        // A queued request of the releasing transaction retires too (the
+        // real waiter would observe its own abort and stop waiting).
+        self.queue.retain(|q| q.txn.0 != txn);
+        loop {
+            let granted = sweep(&self.held, &self.queue);
+            if granted.is_empty() {
+                return;
+            }
+            // Move granted requests, in queue order, from queue to held.
+            for &i in &granted {
+                let req = self.queue[i].clone();
+                self.grant_log.push((req.txn.0, row_of(&req)));
+                self.held.push(req);
+            }
+            let mut idx = 0usize;
+            self.queue.retain(|_| {
+                let keep = !granted.contains(&idx);
+                idx += 1;
+                keep
+            });
+            // One sweep reaches a fixpoint for the model (nothing new was
+            // released), but loop for reference schedulers that grant one
+            // request per pass.
+        }
+    }
+
+    /// True when some waiting request conflicts with nothing held and no
+    /// earlier still-waiting request — i.e. a wakeup has been lost.
+    fn has_lost_wakeup(&self) -> bool {
+        self.queue.iter().enumerate().any(|(i, req)| {
+            !self.held.iter().any(|h| requests_conflict(h, req))
+                && !self.queue[..i].iter().any(|q| requests_conflict(q, req))
+        })
+    }
+}
+
+fn row_of(req: &QueuedRequest) -> u64 {
+    match &req.target {
+        LockTarget::Item { row, .. } => row.0,
+        LockTarget::Predicate(_) => u64::MAX,
+    }
+}
+
+/// The reference sweep: one grant per pass, first eligible request in
+/// arrival order.  Deliberately dumber than [`sweep_plan`].
+fn reference_sweep(held: &[QueuedRequest], queue: &[QueuedRequest]) -> Vec<usize> {
+    for (i, req) in queue.iter().enumerate() {
+        let eligible = !held.iter().any(|h| requests_conflict(h, req))
+            && !queue[..i].iter().any(|q| requests_conflict(q, req));
+        if eligible {
+            return vec![i];
+        }
+    }
+    Vec::new()
+}
+
+fn replay(events: &[Event]) -> (Scheduler, Scheduler) {
+    let mut model = Scheduler::default();
+    let mut reference = Scheduler::default();
+    for event in events {
+        match event {
+            Event::Acquire {
+                txn,
+                row,
+                exclusive,
+            } => {
+                model.acquire(request(*txn, *row, *exclusive));
+                reference.acquire(request(*txn, *row, *exclusive));
+            }
+            Event::Release { txn } => {
+                model.release(*txn, sweep_plan);
+                reference.release(*txn, reference_sweep);
+            }
+        }
+    }
+    (model, reference)
+}
+
+fn keyset(requests: &[QueuedRequest]) -> Vec<(u64, u64, bool)> {
+    let mut keys: Vec<_> = requests
+        .iter()
+        .map(|r| (r.txn.0, row_of(r), r.mode == LockMode::Exclusive))
+        .collect();
+    keys.sort();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn queue_model_matches_the_reference_scheduler(events in arbitrary_events()) {
+        let (model, reference) = replay(&events);
+        // Same grants, same order: the batched FIFO sweep is equivalent to
+        // granting one eligible request at a time in arrival order.
+        prop_assert_eq!(&model.grant_log, &reference.grant_log);
+        prop_assert_eq!(keyset(&model.held), keyset(&reference.held));
+        prop_assert_eq!(keyset(&model.queue), keyset(&reference.queue));
+    }
+
+    #[test]
+    fn no_wakeup_is_ever_lost(events in arbitrary_events()) {
+        let mut model = Scheduler::default();
+        for event in &events {
+            match event {
+                Event::Acquire { txn, row, exclusive } => {
+                    model.acquire(request(*txn, *row, *exclusive));
+                }
+                Event::Release { txn } => model.release(*txn, sweep_plan),
+            }
+            // Invariant after every event: nothing grantable is parked.
+            prop_assert!(!model.has_lost_wakeup());
+        }
+    }
+
+    #[test]
+    fn draining_all_holders_starves_no_waiter(events in arbitrary_events()) {
+        let (mut model, _) = replay(&events);
+        // Keep releasing every holder; FIFO must grant at least the head
+        // of each queue per round, so the queue drains in bounded rounds.
+        let mut rounds = 0usize;
+        while !model.queue.is_empty() {
+            let waiting_before = model.queue.len();
+            let holders: Vec<u64> = model.held.iter().map(|h| h.txn.0).collect();
+            if holders.is_empty() {
+                // Every waiter conflicts only with other waiters: the
+                // sweep of an empty release set must still admit the
+                // head (no lost wakeup), which `release` of a absent txn
+                // skips — drive it via a no-op holder release.
+                model.release(u64::MAX, sweep_plan);
+                prop_assert!(model.queue.len() < waiting_before || model.queue.is_empty(),
+                    "head of queue starved with no holders");
+                break;
+            }
+            for txn in holders {
+                model.release(txn, sweep_plan);
+            }
+            prop_assert!(model.queue.len() < waiting_before,
+                "a full release round granted nothing: starvation");
+            rounds += 1;
+            prop_assert!(rounds <= events.len() + 1, "drain did not terminate");
+        }
+        prop_assert!(!model.has_lost_wakeup());
+    }
+
+    #[test]
+    fn fifo_order_is_strict_for_exclusive_same_row_requests(txns in proptest::collection::vec(1u64..=6, 2..6)) {
+        // All-exclusive requests on one row: grants must come out in
+        // exactly arrival order when the holders release one by one.
+        let mut model = Scheduler::default();
+        let mut distinct: Vec<u64> = Vec::new();
+        for t in txns {
+            if !distinct.contains(&t) {
+                distinct.push(t);
+            }
+        }
+        for &t in &distinct {
+            model.acquire(request(t, 0, true));
+        }
+        let mut order: Vec<u64> = Vec::new();
+        for _ in 0..distinct.len() {
+            let holder = model.held.first().expect("one exclusive holder").txn.0;
+            order.push(holder);
+            model.release(holder, sweep_plan);
+        }
+        prop_assert_eq!(order, distinct);
+    }
+}

@@ -33,13 +33,17 @@ pub mod scenarios;
 
 pub use crate::bank::BankFixture;
 pub use crate::mixed::{MixedWorkload, WorkloadStats};
-pub use crate::scaling::{ScalingPoint, ScalingReport, ScalingSeries};
+pub use crate::scaling::{
+    HandoffComparison, HandoffPoint, ScalingPoint, ScalingReport, ScalingSeries, ScalingSuite,
+};
 pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::bank::BankFixture;
     pub use crate::mixed::{MixedWorkload, WorkloadStats};
-    pub use crate::scaling::{ScalingPoint, ScalingReport, ScalingSeries};
+    pub use crate::scaling::{
+        HandoffComparison, HandoffPoint, ScalingPoint, ScalingReport, ScalingSeries, ScalingSuite,
+    };
     pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 }

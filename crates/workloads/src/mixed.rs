@@ -11,7 +11,7 @@
 //! levels.
 
 use critique_core::IsolationLevel;
-use critique_engine::{Database, EngineConfig, TxnError};
+use critique_engine::{Database, EngineConfig, GrantPolicy, TxnError};
 use critique_storage::{Row, RowId, RowPredicate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +45,10 @@ pub struct MixedWorkload {
     /// Substrate shard count handed to [`EngineConfig::with_shards`].
     /// `1` reproduces the old global-lock layout as a baseline.
     pub shards: usize,
+    /// Contended-grant policy handed to
+    /// [`EngineConfig::with_grant_policy`]: FIFO direct handoff, or the
+    /// wake-all baseline the handoff benchmark compares against.
+    pub grant: GrantPolicy,
 }
 
 impl Default for MixedWorkload {
@@ -59,6 +63,7 @@ impl Default for MixedWorkload {
             seed: 42,
             think_micros: 0,
             shards: critique_storage::DEFAULT_SHARDS,
+            grant: GrantPolicy::default(),
         }
     }
 }
@@ -130,13 +135,21 @@ impl MixedWorkload {
         self
     }
 
+    /// This workload with a different contended-grant policy (used by the
+    /// handoff comparison).
+    pub fn with_grant(mut self, grant: GrantPolicy) -> Self {
+        self.grant = grant;
+        self
+    }
+
     /// Seed a database for this workload (every account starts at 100) and
     /// return it together with the row ids.
     pub fn seed_database(&self, level: IsolationLevel) -> (Database, Vec<RowId>) {
         let config = EngineConfig::new(level)
             .blocking(200)
             .without_history()
-            .with_shards(self.shards);
+            .with_shards(self.shards)
+            .with_grant_policy(self.grant);
         let db = Database::with_config(config);
         let setup = db.begin();
         let ids: Vec<RowId> = (0..self.accounts)
@@ -289,6 +302,19 @@ mod tests {
             seed: 7,
             think_micros: 0,
             shards: critique_storage::DEFAULT_SHARDS,
+            grant: GrantPolicy::DirectHandoff,
+        }
+    }
+
+    #[test]
+    fn contended_workload_completes_under_both_grant_policies() {
+        let mut spec = small();
+        spec.read_fraction = 0.0;
+        spec.hot_fraction = 1.0;
+        for grant in [GrantPolicy::DirectHandoff, GrantPolicy::WakeAll] {
+            let stats = spec.with_grant(grant).run(IsolationLevel::Serializable);
+            assert_eq!(stats.attempted(), 90, "{grant:?}");
+            assert!(stats.committed > 0, "{grant:?}");
         }
     }
 

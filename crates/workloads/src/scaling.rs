@@ -15,11 +15,15 @@
 //! overlap — including on a single CPU, where raw parallel speedup is not
 //! available but concurrency overlap still is.
 //!
-//! [`ScalingReport::to_json`] renders the whole sweep as hand-rolled JSON
-//! (the offline build ships a no-op `serde` shim) for `BENCH_scaling.json`.
+//! [`ScalingReport::to_json`] renders one sweep as hand-rolled JSON (the
+//! offline build ships a no-op `serde` shim); [`ScalingSuite`] bundles the
+//! per-isolation-level sweeps with the contended-handoff comparison
+//! ([`HandoffComparison`]: FIFO direct handoff vs the wake-all baseline on
+//! a hot-key workload) into the single `BENCH_scaling.json` document.
 
 use crate::mixed::{MixedWorkload, WorkloadStats};
 use critique_core::IsolationLevel;
+use critique_engine::GrantPolicy;
 
 /// One measured point of a sweep: the workload run at a worker count.
 #[derive(Clone, Copy, Debug)]
@@ -159,10 +163,10 @@ impl ScalingReport {
         out
     }
 
-    /// Render the sweep as JSON (hand-rolled — the offline `serde` shim
-    /// does not serialise), in the same spirit as the harness report's
-    /// `to_json`.
-    pub fn to_json(&self) -> String {
+    /// The sweep's JSON fields (everything but the `"bench"` tag),
+    /// indented for embedding at `indent` spaces.
+    fn json_fields(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
         let thread_counts = self
             .thread_counts
             .iter()
@@ -178,7 +182,7 @@ impl ScalingReport {
                     .iter()
                     .map(|p| {
                         format!(
-                            "        {{\"threads\": {}, \"committed\": {}, \"aborted\": {}, \
+                            "{pad}      {{\"threads\": {}, \"committed\": {}, \"aborted\": {}, \
                              \"abort_rate\": {:.4}, \"elapsed_ms\": {:.3}, \
                              \"throughput_txn_per_s\": {:.1}}}",
                             p.threads,
@@ -192,8 +196,8 @@ impl ScalingReport {
                     .collect::<Vec<_>>()
                     .join(",\n");
                 format!(
-                    "    {{\n      \"label\": \"{}\",\n      \"shards\": {},\n      \
-                     \"monotonic_throughput\": {},\n      \"points\": [\n{}\n      ]\n    }}",
+                    "{pad}  {{\n{pad}    \"label\": \"{}\",\n{pad}    \"shards\": {},\n{pad}    \
+                     \"monotonic_throughput\": {},\n{pad}    \"points\": [\n{}\n{pad}    ]\n{pad}  }}",
                     series.label,
                     series.shards,
                     series.monotonic(),
@@ -203,11 +207,10 @@ impl ScalingReport {
             .collect::<Vec<_>>()
             .join(",\n");
         format!(
-            "{{\n  \"bench\": \"scaling_sweep\",\n  \"level\": \"{}\",\n  \
-             \"thread_counts\": [{}],\n  \"workload\": {{\"accounts\": {}, \
-             \"read_fraction\": {:.2}, \"ops_per_txn\": {}, \"hot_fraction\": {:.2}, \
-             \"txns_per_thread\": {}, \"think_micros\": {}, \"seed\": {}}},\n  \
-             \"series\": [\n{}\n  ]\n}}\n",
+            "{pad}\"level\": \"{}\",\n{pad}\"thread_counts\": [{}],\n{pad}\"workload\": \
+             {{\"accounts\": {}, \"read_fraction\": {:.2}, \"ops_per_txn\": {}, \
+             \"hot_fraction\": {:.2}, \"txns_per_thread\": {}, \"think_micros\": {}, \
+             \"seed\": {}}},\n{pad}\"series\": [\n{}\n{pad}]",
             self.level.name(),
             thread_counts,
             self.workload.accounts,
@@ -218,6 +221,202 @@ impl ScalingReport {
             self.workload.think_micros,
             self.workload.seed,
             series,
+        )
+    }
+
+    /// Render the sweep as JSON (hand-rolled — the offline `serde` shim
+    /// does not serialise), in the same spirit as the harness report's
+    /// `to_json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"scaling_sweep\",\n{}\n}}\n",
+            self.json_fields(2)
+        )
+    }
+}
+
+/// One grant policy's measurement in a [`HandoffComparison`].
+#[derive(Clone, Copy, Debug)]
+pub struct HandoffPoint {
+    /// The contended-grant policy measured.
+    pub policy: GrantPolicy,
+    /// Worker threads the workload ran with.
+    pub threads: usize,
+    /// Aggregate statistics of the kept run.
+    pub stats: WorkloadStats,
+}
+
+impl HandoffPoint {
+    /// Mean wall-clock latency of one attempted transaction, in
+    /// milliseconds: every worker loops transactions back-to-back, so
+    /// per-transaction latency is worker-seconds divided by attempts.
+    pub fn mean_txn_latency_ms(&self) -> f64 {
+        let attempts = self.stats.attempted();
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.stats.elapsed.as_secs_f64() * 1e3 * self.threads as f64 / attempts as f64
+    }
+}
+
+/// The contended-handoff comparison: the same hot-key workload run under
+/// FIFO direct handoff and under the wake-all baseline, so the win of
+/// handing grants straight to waiters is *measured, not asserted* — this
+/// is the "before/after" record next to the scaling sweeps in
+/// `BENCH_scaling.json` (the "before" being the thundering-herd behaviour
+/// of the old condvar scheduler, minus its 10ms poll).
+#[derive(Clone, Debug)]
+pub struct HandoffComparison {
+    /// Isolation level the comparison ran at.
+    pub level: IsolationLevel,
+    /// The contended workload (its `grant` field is overridden per point).
+    pub workload: MixedWorkload,
+    /// One point per grant policy.
+    pub points: Vec<HandoffPoint>,
+}
+
+impl HandoffComparison {
+    /// Run the same workload once per grant policy, keeping the
+    /// best-of-`runs_per_point` run by committed throughput.
+    pub fn run(base: MixedWorkload, level: IsolationLevel, runs_per_point: usize) -> Self {
+        let runs_per_point = runs_per_point.max(1);
+        let points = [GrantPolicy::DirectHandoff, GrantPolicy::WakeAll]
+            .into_iter()
+            .map(|policy| {
+                let spec = base.with_grant(policy);
+                let stats = (0..runs_per_point)
+                    .map(|_| spec.run(level))
+                    .max_by(|a, b| {
+                        a.throughput()
+                            .partial_cmp(&b.throughput())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("runs_per_point >= 1");
+                HandoffPoint {
+                    policy,
+                    threads: base.threads,
+                    stats,
+                }
+            })
+            .collect();
+        HandoffComparison {
+            level,
+            workload: base,
+            points,
+        }
+    }
+
+    /// The point for one policy, if measured.
+    pub fn point(&self, policy: GrantPolicy) -> Option<&HandoffPoint> {
+        self.points.iter().find(|p| p.policy == policy)
+    }
+
+    /// Render as an aligned text block.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "--- contended handoff at {} ({} threads on {} hot account(s)) ---\n",
+            self.level.name(),
+            self.workload.threads,
+            (self.workload.accounts as f64 * self.workload.hot_fraction).max(1.0) as usize,
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:<14} committed={:<6} deadlock-aborts={:<4} timeouts={:<4} \
+                 {:9.0} txn/s  {:8.3} ms/txn\n",
+                format!("{:?}", p.policy),
+                p.stats.committed,
+                p.stats.aborted_deadlock,
+                p.stats.aborted_timeout,
+                p.stats.throughput(),
+                p.mean_txn_latency_ms(),
+            ));
+        }
+        out
+    }
+
+    fn json_object(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{pad}    {{\"policy\": \"{:?}\", \"committed\": {}, \
+                     \"aborted_deadlock\": {}, \"aborted_timeout\": {}, \
+                     \"elapsed_ms\": {:.3}, \"throughput_txn_per_s\": {:.1}, \
+                     \"mean_txn_latency_ms\": {:.4}}}",
+                    p.policy,
+                    p.stats.committed,
+                    p.stats.aborted_deadlock,
+                    p.stats.aborted_timeout,
+                    p.stats.elapsed.as_secs_f64() * 1e3,
+                    p.stats.throughput(),
+                    p.mean_txn_latency_ms(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{pad}{{\n{pad}  \"level\": \"{}\",\n{pad}  \"workload\": {{\"accounts\": {}, \
+             \"read_fraction\": {:.2}, \"ops_per_txn\": {}, \"hot_fraction\": {:.2}, \
+             \"txns_per_thread\": {}, \"threads\": {}, \"seed\": {}}},\n{pad}  \
+             \"policies\": [\n{}\n{pad}  ]\n{pad}}}",
+            self.level.name(),
+            self.workload.accounts,
+            self.workload.read_fraction,
+            self.workload.ops_per_txn,
+            self.workload.hot_fraction,
+            self.workload.txns_per_thread,
+            self.workload.threads,
+            self.workload.seed,
+            points,
+        )
+    }
+}
+
+/// The whole `BENCH_scaling.json` document: one scaling sweep per swept
+/// isolation level, plus the contended-handoff comparison.
+#[derive(Clone, Debug)]
+pub struct ScalingSuite {
+    /// One sweep per isolation level, in sweep order.
+    pub sweeps: Vec<ScalingReport>,
+    /// The direct-handoff vs wake-all comparison, if run.
+    pub handoff: Option<HandoffComparison>,
+}
+
+impl ScalingSuite {
+    /// The sweep for `level`, if present.
+    pub fn sweep_at(&self, level: IsolationLevel) -> Option<&ScalingReport> {
+        self.sweeps.iter().find(|s| s.level == level)
+    }
+
+    /// Render every sweep and the handoff comparison as text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for sweep in &self.sweeps {
+            out.push_str(&sweep.to_text());
+        }
+        if let Some(handoff) = &self.handoff {
+            out.push_str(&handoff.to_text());
+        }
+        out
+    }
+
+    /// Render the whole suite as the `BENCH_scaling.json` document.
+    pub fn to_json(&self) -> String {
+        let sweeps = self
+            .sweeps
+            .iter()
+            .map(|s| format!("    {{\n{}\n    }}", s.json_fields(6)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let handoff = match &self.handoff {
+            Some(h) => format!(",\n  \"contended_handoff\":\n{}", h.json_object(2)),
+            None => String::new(),
+        };
+        format!(
+            "{{\n  \"bench\": \"scaling_suite\",\n  \"sweeps\": [\n{}\n  ]{}\n}}\n",
+            sweeps, handoff,
         )
     }
 }
@@ -237,6 +436,7 @@ mod tests {
             seed: 11,
             think_micros: 0,
             shards: 8,
+            grant: GrantPolicy::DirectHandoff,
         }
     }
 
@@ -309,5 +509,58 @@ mod tests {
             points: vec![point(1, 10), point(2, 9)],
         };
         assert!(!sagging.monotonic());
+    }
+
+    #[test]
+    fn handoff_comparison_measures_both_policies() {
+        let mut spec = tiny();
+        spec.read_fraction = 0.0;
+        spec.hot_fraction = 1.0;
+        spec.threads = 3;
+        let cmp = HandoffComparison::run(spec, IsolationLevel::Serializable, 1);
+        assert_eq!(cmp.points.len(), 2);
+        let direct = cmp.point(GrantPolicy::DirectHandoff).unwrap();
+        let wake = cmp.point(GrantPolicy::WakeAll).unwrap();
+        assert!(direct.stats.attempted() > 0);
+        assert!(wake.stats.attempted() > 0);
+        assert!(direct.mean_txn_latency_ms() > 0.0);
+        let text = cmp.to_text();
+        assert!(text.contains("DirectHandoff"));
+        assert!(text.contains("WakeAll"));
+    }
+
+    #[test]
+    fn suite_json_embeds_every_sweep_and_the_handoff() {
+        let sweeps = vec![
+            ScalingReport::run(
+                tiny(),
+                IsolationLevel::ReadCommitted,
+                &[1, 2],
+                &[(4, "sharded")],
+                1,
+            ),
+            ScalingReport::run(
+                tiny(),
+                IsolationLevel::SnapshotIsolation,
+                &[1, 2],
+                &[(4, "sharded")],
+                1,
+            ),
+        ];
+        let handoff = HandoffComparison::run(tiny(), IsolationLevel::Serializable, 1);
+        let suite = ScalingSuite {
+            sweeps,
+            handoff: Some(handoff),
+        };
+        assert!(suite.sweep_at(IsolationLevel::ReadCommitted).is_some());
+        assert!(suite.sweep_at(IsolationLevel::Serializable).is_none());
+        let json = suite.to_json();
+        assert!(json.contains("\"bench\": \"scaling_suite\""));
+        assert!(json.contains("\"level\": \"READ COMMITTED\""));
+        assert!(json.contains("\"level\": \"Snapshot Isolation\""));
+        assert!(json.contains("\"contended_handoff\""));
+        assert!(json.contains("\"mean_txn_latency_ms\""));
+        let text = suite.to_text();
+        assert!(text.contains("contended handoff"));
     }
 }
