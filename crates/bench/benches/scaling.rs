@@ -2,17 +2,26 @@
 //!
 //! Runs [`critique_workloads::ScalingReport`] over 1/2/4/8 workers at READ
 //! COMMITTED, SNAPSHOT ISOLATION, and SERIALIZABLE — for the sharded
-//! substrate and for the `shards = 1` configuration that reproduces the
-//! old global-lock layout — plus the [`HandoffComparison`]: a hot-key
-//! workload under FIFO direct handoff vs the wake-all baseline, so the
-//! event-driven wait-queue's win is recorded next to the sweeps.  The
-//! whole suite is written as hand-rolled JSON to `BENCH_scaling.json` at
-//! the workspace root so the perf trajectory is tracked from PR to PR.
+//! chain-store substrate, for the `shards = 1` configuration that
+//! reproduces the old global-lock layout, and for the log-structured
+//! backend behind the same schedulers (the `StorageBackend` comparison:
+//! same isolation verdicts, different storage representation and cost) —
+//! plus the [`HandoffComparison`]: a hot-key workload under FIFO direct
+//! handoff vs the wake-all baseline, recorded next to the sweeps.  On
+//! this read-modify-write workload the comparison is *bimodal* for
+//! DirectHandoff: once a queue forms, the sweep batch-grants compatible
+//! Shared locks to several parked readers whose subsequent Exclusive
+//! upgrades then deadlock each other (see the ROADMAP's upgrade-deadlock
+//! item) — a run either stays out of that mode entirely or cascades
+//! through it, and the recorded JSON shows whichever mode the run fell
+//! into.  The whole suite is written as hand-rolled JSON to
+//! `BENCH_scaling.json` at the workspace root so the perf trajectory is
+//! tracked from PR to PR.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use critique_bench::{handoff_workload, scaling_workload, SCALING_LEVELS, SCALING_THREADS};
 use critique_core::IsolationLevel;
-use critique_workloads::{HandoffComparison, ScalingReport, ScalingSuite};
+use critique_workloads::{HandoffComparison, ScalingReport, ScalingSuite, SubstrateConfig};
 
 /// Where the machine-readable suite results land (workspace root).
 const OUTPUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
@@ -26,8 +35,9 @@ fn run_suite() -> ScalingSuite {
                 level,
                 &SCALING_THREADS,
                 &[
-                    (scaling_workload().shards, "sharded"),
-                    (1, "single-shard baseline"),
+                    SubstrateConfig::mvstore(scaling_workload().shards, "sharded"),
+                    SubstrateConfig::mvstore(1, "single-shard baseline"),
+                    SubstrateConfig::logstore("logstore"),
                 ],
                 3,
             )

@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use critique_core::IsolationLevel;
-use critique_engine::GrantPolicy;
+use critique_engine::{BackendKind, GrantPolicy};
 use critique_workloads::MixedWorkload;
 
 /// The isolation levels compared in the throughput studies.
@@ -44,6 +44,7 @@ pub fn bench_workload(read_fraction: f64, hot_fraction: f64) -> MixedWorkload {
         think_micros: 0,
         shards: critique_storage::DEFAULT_SHARDS,
         grant: GrantPolicy::DirectHandoff,
+        backend: BackendKind::MvStore,
     }
 }
 
@@ -63,6 +64,7 @@ pub fn scaling_workload() -> MixedWorkload {
         think_micros: 250,
         shards: critique_storage::DEFAULT_SHARDS,
         grant: GrantPolicy::DirectHandoff,
+        backend: BackendKind::MvStore,
     }
 }
 
@@ -95,5 +97,6 @@ pub fn handoff_workload() -> MixedWorkload {
         think_micros: 0,
         shards: critique_storage::DEFAULT_SHARDS,
         grant: GrantPolicy::DirectHandoff,
+        backend: BackendKind::MvStore,
     }
 }

@@ -36,12 +36,22 @@ fn lost_update_pattern(history: &History, cursor_read_required: bool) -> Vec<Occ
             {
                 continue;
             }
-            // T1 writes the same item after the foreign write and then commits.
+            // T1 writes the same item after the foreign write and then
+            // commits.  For the cursor variant the rewrite must itself be
+            // the positioned write (`wc`, as in H4C): Cursor Stability's
+            // lock travels with the cursor, so only updates through the
+            // still-positioned cursor are protected — a plain rewrite of a
+            // previously fetched row is an ordinary P4, which CS admits.
             for (k, own_write) in ops.iter().enumerate().skip(j + 1) {
                 if k >= t1_commit {
                     break;
                 }
-                if own_write.txn == t1 && own_write.is_write() && own_write.item() == Some(item) {
+                let write_matches = if cursor_read_required {
+                    matches!(own_write.kind, OpKind::CursorWrite(_))
+                } else {
+                    own_write.is_write()
+                };
+                if own_write.txn == t1 && write_matches && own_write.item() == Some(item) {
                     let phenomenon = if cursor_read_required {
                         Phenomenon::P4C
                     } else {
@@ -68,9 +78,10 @@ pub fn lost_updates(history: &History) -> Vec<Occurrence> {
     lost_update_pattern(history, false)
 }
 
-/// P4C Cursor Lost Update: `rc1[x]...w2[x]...w1[x]...c1` — the variant of
-/// P4 where T1's read was performed through a cursor positioned on the item
-/// (Cursor Stability prevents exactly this case).
+/// P4C Cursor Lost Update: `rc1[x]...w2[x]...wc1[x]...c1` — the variant of
+/// P4 where T1 both read the item through a cursor and rewrote it through
+/// the still-positioned cursor (Cursor Stability prevents exactly this
+/// case: the cursor lock is held from the fetch to the positioned write).
 pub fn cursor_lost_updates(history: &History) -> Vec<Occurrence> {
     lost_update_pattern(history, true)
 }
@@ -95,6 +106,15 @@ mod tests {
         assert_eq!(cursor_lost_updates(&h4c).len(), 1);
         // Every P4C is also a P4.
         assert_eq!(lost_updates(&h4c).len(), 1);
+    }
+
+    #[test]
+    fn plain_rewrite_after_cursor_read_is_p4_not_p4c() {
+        // The cursor moved on (its lock with it) before the plain rewrite:
+        // Cursor Stability admits this, so it must not count as P4C.
+        let h = History::parse("rc1[x] w2[x] w1[x] c1 c2").unwrap();
+        assert!(cursor_lost_updates(&h).is_empty());
+        assert_eq!(lost_updates(&h).len(), 1);
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! The database facade: one storage engine + one concurrency control
 //! discipline + one recorded history.
+//!
+//! The storage engine is chosen by [`EngineConfig::with_backend`] and held
+//! as a [`StorageBackend`] trait object: every scheduler in
+//! [`crate::txn`] is backend-agnostic, and the isolation guarantees it
+//! enforces must not depend on how versions are represented.
 
 use crate::config::EngineConfig;
 use crate::recorder::HistoryRecorder;
@@ -8,7 +13,7 @@ use critique_core::locking::LockProfile;
 use critique_core::IsolationLevel;
 use critique_history::History;
 use critique_lock::LockManager;
-use critique_storage::{MvStore, Row, RowId, RowPredicate, TimestampOracle, TxnToken};
+use critique_storage::{Row, RowId, RowPredicate, StorageBackend, TimestampOracle, TxnToken};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -16,7 +21,7 @@ use std::sync::Arc;
 pub(crate) struct DbInner {
     pub(crate) config: EngineConfig,
     pub(crate) profile: Option<LockProfile>,
-    pub(crate) store: MvStore,
+    pub(crate) store: Box<dyn StorageBackend>,
     pub(crate) locks: LockManager,
     pub(crate) ts: TimestampOracle,
     pub(crate) recorder: HistoryRecorder,
@@ -53,7 +58,9 @@ impl Database {
         Database {
             inner: Arc::new(DbInner {
                 profile: LockProfile::for_level(config.level),
-                store: MvStore::with_shards(config.shards),
+                // The only place a concrete backend is named is behind
+                // this `BackendKind` constructor.
+                store: config.backend.build(config.shards),
                 locks: LockManager::with_shards(config.shards).with_policy(config.grant),
                 ts: TimestampOracle::new(),
                 recorder: HistoryRecorder::with_shards(config.record_history, config.shards),
@@ -122,10 +129,11 @@ impl Database {
         self.scan_committed(predicate).len()
     }
 
-    /// Direct access to the underlying store (read-only uses in tests and
-    /// benches; transactions should go through [`Database::begin`]).
-    pub fn store(&self) -> &MvStore {
-        &self.inner.store
+    /// Direct access to the underlying storage backend (read-only uses in
+    /// tests and benches; transactions should go through
+    /// [`Database::begin`]).
+    pub fn store(&self) -> &dyn StorageBackend {
+        &*self.inner.store
     }
 
     /// Number of locks currently held across all transactions.
@@ -139,6 +147,7 @@ impl std::fmt::Debug for Database {
         f.debug_struct("Database")
             .field("level", &self.inner.config.level)
             .field("lock_wait", &self.inner.config.lock_wait)
+            .field("backend", &self.inner.store.backend_name())
             .finish()
     }
 }
@@ -185,6 +194,32 @@ mod tests {
         assert!(!db.recorded_history().is_empty());
         db.clear_history();
         assert!(db.recorded_history().is_empty());
+    }
+
+    #[test]
+    fn every_backend_serves_the_same_facade() {
+        use crate::config::BackendKind;
+        for backend in BackendKind::ALL {
+            let db = Database::with_config(
+                EngineConfig::new(IsolationLevel::Serializable).with_backend(backend),
+            );
+            assert_eq!(db.store().backend_name(), backend.label());
+            let t1 = db.begin();
+            let id = t1
+                .insert("accounts", Row::new().with("balance", 10))
+                .unwrap();
+            t1.commit().unwrap();
+            let all = RowPredicate::whole_table("accounts");
+            assert_eq!(db.sum_committed(&all, "balance"), 10, "{backend}");
+            assert_eq!(
+                db.read_committed("accounts", id)
+                    .unwrap()
+                    .get_int("balance"),
+                Some(10),
+                "{backend}"
+            );
+            assert!(format!("{db:?}").contains(backend.label()));
+        }
     }
 
     #[test]

@@ -1,0 +1,1198 @@
+//! An append-only, log-structured storage backend.
+//!
+//! Where [`crate::store::MvStore`] keeps each row's versions in a chain
+//! owned by that row, `LogStore` writes every versioned record into a
+//! global sequence of **log segments** in arrival order and finds them
+//! again through a **per-table hash index** mapping `row id → record
+//! positions` (oldest first).  A row's "version chain" is therefore a
+//! *view* computed from index pointers — the same visibility rules as the
+//! chain store, read off a different representation, which is exactly the
+//! point: the Table 3/4 isolation verdicts must not care.
+//!
+//! Mechanics:
+//!
+//! * **append path** — `insert`/`update`/`delete` append one record
+//!   (table, row id, writer, payload-or-tombstone) to the open segment;
+//!   a segment that reaches [`LogStoreConfig::segment_records`] is sealed
+//!   and a fresh one opened.  Data records are never rewritten in place;
+//! * **commit/abort** — commit resolves the writer's pending records to a
+//!   commit timestamp (the in-memory equivalent of appending a COMMIT
+//!   record and consulting it on reads); abort unlinks the writer's
+//!   records from the index, leaving dead space in the log;
+//! * **compaction** — when dead (aborted) records cross
+//!   [`LogStoreConfig::compact_watermark`], the segments are rewritten
+//!   without them and the index repointed, synchronously on the aborting
+//!   caller's thread — there is no background thread to coordinate with.
+//!   Committed versions are *never* dropped: historical reads at arbitrary
+//!   timestamps stay answerable;
+//! * **spill** (optional) — with [`LogStoreConfig::spill`] on, sealing a
+//!   segment writes its row payloads to an unlinked temp file and keeps
+//!   only (offset, length) in memory; reads decode on demand.  Commit
+//!   state, the index, and tombstones stay in memory, so only payload
+//!   bytes leave the heap.  The unlinked file vanishes with the process.
+//!
+//! Concurrency: one `RwLock` around the whole log + index.  This is
+//! deliberately the simple layout — the backend exists to prove the
+//! isolation schedulers are storage-independent, and the scaling bench
+//! records what the single-lock log costs next to the sharded chain store.
+
+use crate::backend::StorageBackend;
+use crate::predicate::RowPredicate;
+use crate::row::{Row, RowId};
+use crate::snapshot::Snapshot;
+use crate::store::{StorageError, TableName, WriteKind};
+use crate::timestamp::{Timestamp, TxnToken};
+use crate::value::ColumnValue;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs::File;
+use std::sync::Arc;
+
+/// Tuning knobs of the log-structured backend.
+#[derive(Clone, Copy, Debug)]
+pub struct LogStoreConfig {
+    /// Records per segment; a full segment is sealed (and spilled, if
+    /// spilling is on) and a new one opened.  Clamped to at least 1.
+    pub segment_records: usize,
+    /// Dead (aborted) records tolerated before the log is compacted.
+    /// Clamped to at least 1 — every abort checks the watermark, so
+    /// compaction is always caller-driven, never a background task.
+    pub compact_watermark: usize,
+    /// Spill sealed segments' row payloads to an unlinked temporary file
+    /// instead of keeping them on the heap.
+    pub spill: bool,
+}
+
+impl Default for LogStoreConfig {
+    fn default() -> Self {
+        LogStoreConfig {
+            segment_records: 1024,
+            compact_watermark: 4096,
+            spill: false,
+        }
+    }
+}
+
+/// Position of a record: (segment index, offset within segment).
+type RecordPtr = (usize, usize);
+
+/// Where a record's row contents live.
+enum Payload {
+    /// On the heap; `None` is a tombstone (tombstones never spill).
+    Inline(Option<Row>),
+    /// Encoded in the spill file at `offset..offset + len`.
+    Spilled { offset: u64, len: u32 },
+}
+
+/// One versioned record in the log.
+struct LogRecord {
+    table: Arc<str>,
+    row: RowId,
+    writer: TxnToken,
+    /// Set when the writer commits; `None` while pending.
+    commit_ts: Option<Timestamp>,
+    /// Unlinked from the index by abort; reclaimed by compaction.
+    aborted: bool,
+    payload: Payload,
+}
+
+/// A run of records; full segments are sealed and never appended to again.
+#[derive(Default)]
+struct Segment {
+    records: Vec<LogRecord>,
+    sealed: bool,
+}
+
+/// Per-table state: interned name, the row-id allocator, and the hash
+/// index from row id to that row's record positions in append order.
+struct TableIndex {
+    name: Arc<str>,
+    next_row_id: u64,
+    /// Row id → positions of its live (non-aborted) records, oldest first.
+    /// An entry outlives its records: a row whose only version was aborted
+    /// keeps an empty slot, exactly like an empty version chain.
+    rows: HashMap<RowId, Vec<RecordPtr>>,
+}
+
+/// The spill file: append-only, unlinked at creation so the OS reclaims it
+/// when the store is dropped (or the process dies).
+struct SpillFile {
+    file: File,
+    len: u64,
+}
+
+#[derive(Default)]
+struct LogInner {
+    /// Table name → index, sorted so `tables()` is deterministic.
+    tables: BTreeMap<Arc<str>, TableIndex>,
+    segments: Vec<Segment>,
+    /// In-flight write sets, in write order (the input to commit, abort,
+    /// and First-Committer-Wins).
+    write_sets: BTreeMap<TxnToken, Vec<(Arc<str>, RowId, WriteKind)>>,
+    /// Positions of each in-flight writer's uncommitted records.
+    pending: HashMap<TxnToken, Vec<RecordPtr>>,
+    /// Aborted records awaiting compaction.
+    dead: usize,
+    /// Live (non-aborted) records — the backend's version count.
+    live: usize,
+    spill: Option<SpillFile>,
+}
+
+/// The append-only log-structured store.  See the module docs for the
+/// design; see [`StorageBackend`] for the semantics every method must
+/// share with the chain store.
+pub struct LogStore {
+    config: LogStoreConfig,
+    inner: RwLock<LogInner>,
+}
+
+impl Default for LogStore {
+    fn default() -> Self {
+        Self::with_config(LogStoreConfig::default())
+    }
+}
+
+impl LogStore {
+    /// An empty log store with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty log store with explicit tuning knobs.
+    pub fn with_config(config: LogStoreConfig) -> Self {
+        LogStore {
+            config: LogStoreConfig {
+                segment_records: config.segment_records.max(1),
+                compact_watermark: config.compact_watermark.max(1),
+                spill: config.spill,
+            },
+            inner: RwLock::new(LogInner::default()),
+        }
+    }
+
+    /// The configuration this store runs with.
+    pub fn config(&self) -> LogStoreConfig {
+        self.config
+    }
+
+    /// Number of segments currently in the log (sealed + open).
+    pub fn segment_count(&self) -> usize {
+        self.inner.read().segments.len()
+    }
+
+    /// Dead (aborted, not yet compacted) records currently in the log.
+    pub fn dead_record_count(&self) -> usize {
+        self.inner.read().dead
+    }
+
+    /// Bytes written to the spill file so far (0 when spilling is off).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.inner.read().spill.as_ref().map_or(0, |s| s.len)
+    }
+
+    // ------------------------------------------------------------------
+    // Append path.
+    // ------------------------------------------------------------------
+
+    fn append(
+        &self,
+        inner: &mut LogInner,
+        table: Arc<str>,
+        row: RowId,
+        writer: TxnToken,
+        payload: Option<Row>,
+        kind: WriteKind,
+    ) {
+        if inner
+            .segments
+            .last()
+            .is_none_or(|s| s.sealed || s.records.len() >= self.config.segment_records)
+        {
+            self.seal_last(inner);
+            inner.segments.push(Segment::default());
+        }
+        let seg = inner.segments.len() - 1;
+        let segment = inner
+            .segments
+            .last_mut()
+            .expect("open segment just ensured");
+        let ptr = (seg, segment.records.len());
+        segment.records.push(LogRecord {
+            table: Arc::clone(&table),
+            row,
+            writer,
+            commit_ts: None,
+            aborted: false,
+            payload: Payload::Inline(payload),
+        });
+        inner.live += 1;
+        inner
+            .tables
+            .get_mut(&*table)
+            .expect("append targets an interned table")
+            .rows
+            .entry(row)
+            .or_default()
+            .push(ptr);
+        inner.pending.entry(writer).or_default().push(ptr);
+        inner
+            .write_sets
+            .entry(writer)
+            .or_default()
+            .push((table, row, kind));
+    }
+
+    /// Seal the open segment (if any) and, with spilling on, move its row
+    /// payloads out to the spill file.
+    fn seal_last(&self, inner: &mut LogInner) {
+        let Some(last) = inner.segments.len().checked_sub(1) else {
+            return;
+        };
+        if inner.segments[last].sealed {
+            return;
+        }
+        inner.segments[last].sealed = true;
+        self.spill_segment(inner, last);
+    }
+
+    /// Move a sealed segment's inline row payloads out to the spill file
+    /// (no-op unless spilling is enabled).
+    fn spill_segment(&self, inner: &mut LogInner, seg: usize) {
+        // Spilling relies on positioned reads (`spill_read`); where those
+        // are unavailable the payloads simply stay inline.
+        if !self.config.spill || cfg!(not(unix)) {
+            return;
+        }
+        // Encode first, then borrow the spill file mutably: a record's
+        // payload moves to `Spilled` only once its bytes are durably in
+        // the file buffer.
+        for offset in 0..inner.segments[seg].records.len() {
+            let encoded = match &inner.segments[seg].records[offset].payload {
+                Payload::Inline(Some(row)) => encode_row(row),
+                // Tombstones and already-spilled payloads stay put.
+                Payload::Inline(None) | Payload::Spilled { .. } => continue,
+            };
+            let Some(at) = spill_write(inner, &encoded) else {
+                // The temp file could not be created/written (exotic
+                // environments); keep the payload inline — spilling is an
+                // optimisation, never a correctness requirement.
+                continue;
+            };
+            inner.segments[seg].records[offset].payload = Payload::Spilled {
+                offset: at,
+                len: encoded.len() as u32,
+            };
+        }
+    }
+
+    fn intern(&self, inner: &mut LogInner, table: &str) -> Arc<str> {
+        if let Some(index) = inner.tables.get(table) {
+            return Arc::clone(&index.name);
+        }
+        let name: Arc<str> = Arc::from(table);
+        inner.tables.insert(
+            Arc::clone(&name),
+            TableIndex {
+                name: Arc::clone(&name),
+                next_row_id: 0,
+                rows: HashMap::new(),
+            },
+        );
+        name
+    }
+
+    // ------------------------------------------------------------------
+    // Read path: a row's records viewed as a version chain.
+    // ------------------------------------------------------------------
+
+    fn read_row<F>(&self, table: &str, id: RowId, pick: F) -> Option<Row>
+    where
+        F: Fn(&LogInner, &[RecordPtr]) -> Option<Row>,
+    {
+        let inner = self.inner.read();
+        let ptrs = inner.tables.get(table)?.rows.get(&id)?;
+        pick(&inner, ptrs)
+    }
+
+    fn scan<F>(&self, predicate: &RowPredicate, pick: F) -> Vec<(RowId, Row)>
+    where
+        F: Fn(&LogInner, &[RecordPtr]) -> Option<Row>,
+    {
+        let inner = self.inner.read();
+        let Some(index) = inner.tables.get(predicate.table.as_str()) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<RowId> = index.rows.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .filter_map(|id| {
+                let ptrs = &index.rows[id];
+                pick(&inner, ptrs)
+                    .filter(|row| predicate.matches(&predicate.table, row))
+                    .map(|row| (*id, row))
+            })
+            .collect()
+    }
+
+    /// Compaction: rewrite the segments without dead records and repoint
+    /// the index and pending sets.  Runs synchronously under the write
+    /// lock; spilled payload bytes stay where they are in the spill file
+    /// (the file is append-only garbage-tolerant — its size is bounded by
+    /// total bytes ever sealed, and it lives unlinked in tmp).
+    fn compact(&self, inner: &mut LogInner) {
+        let old_segments = std::mem::take(&mut inner.segments);
+        let mut remap: HashMap<RecordPtr, RecordPtr> = HashMap::new();
+        let mut segments: Vec<Segment> = Vec::new();
+        for (old_seg, segment) in old_segments.into_iter().enumerate() {
+            for (old_off, record) in segment.records.into_iter().enumerate() {
+                if record.aborted {
+                    continue;
+                }
+                if segments
+                    .last()
+                    .is_none_or(|s| s.records.len() >= self.config.segment_records)
+                {
+                    if let Some(full) = segments.last_mut() {
+                        full.sealed = true;
+                    }
+                    segments.push(Segment::default());
+                }
+                let seg = segments.len() - 1;
+                let target = segments.last_mut().expect("open segment just ensured");
+                remap.insert((old_seg, old_off), (seg, target.records.len()));
+                target.records.push(record);
+            }
+        }
+        inner.segments = segments;
+        inner.dead = 0;
+        let repoint = |ptrs: &mut Vec<RecordPtr>| {
+            for ptr in ptrs.iter_mut() {
+                *ptr = *remap
+                    .get(ptr)
+                    .expect("index pointer names a record that compaction dropped — only aborted (unindexed) records may be dropped");
+            }
+        };
+        for index in inner.tables.values_mut() {
+            for ptrs in index.rows.values_mut() {
+                repoint(ptrs);
+            }
+        }
+        for ptrs in inner.pending.values_mut() {
+            repoint(ptrs);
+        }
+        // Segments sealed by the repack above never pass through
+        // `seal_last`, so spill their surviving inline payloads here —
+        // otherwise records carried over from the formerly-open segment
+        // would stay on the heap forever and spill mode would silently
+        // stop bounding memory after the first compaction.
+        for seg in 0..inner.segments.len() {
+            if inner.segments[seg].sealed {
+                self.spill_segment(inner, seg);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record access helpers (free functions so closures can borrow `LogInner`
+// immutably while the store's methods hold the lock guard).
+// ---------------------------------------------------------------------
+
+fn record<'a>(inner: &'a LogInner, ptr: &RecordPtr) -> &'a LogRecord {
+    &inner.segments[ptr.0].records[ptr.1]
+}
+
+fn payload_row(inner: &LogInner, rec: &LogRecord) -> Option<Row> {
+    match &rec.payload {
+        Payload::Inline(row) => row.clone(),
+        Payload::Spilled { offset, len } => {
+            let bytes = spill_read(inner, *offset, *len)
+                .expect("spilled payload must be readable back from the spill file");
+            Some(decode_row(&bytes).expect("spilled payload bytes must decode as a row"))
+        }
+    }
+}
+
+fn is_tombstone(rec: &LogRecord) -> bool {
+    matches!(rec.payload, Payload::Inline(None))
+}
+
+/// The most recent record regardless of commit state (dirty read).
+fn latest_any(inner: &LogInner, ptrs: &[RecordPtr]) -> Option<Row> {
+    ptrs.last()
+        .and_then(|p| payload_row(inner, record(inner, p)))
+}
+
+/// The most recent committed record.
+fn latest_committed(inner: &LogInner, ptrs: &[RecordPtr]) -> Option<Row> {
+    ptrs.iter()
+        .rev()
+        .map(|p| record(inner, p))
+        .find(|r| r.commit_ts.is_some())
+        .and_then(|r| payload_row(inner, r))
+}
+
+/// The most recent record committed at or before `ts`.
+fn committed_as_of<'a>(
+    inner: &'a LogInner,
+    ptrs: &[RecordPtr],
+    ts: Timestamp,
+) -> Option<&'a LogRecord> {
+    ptrs.iter()
+        .rev()
+        .map(|p| record(inner, p))
+        .find(|r| matches!(r.commit_ts, Some(c) if c <= ts))
+}
+
+/// Snapshot Isolation visibility (own uncommitted write first).
+fn visible_for(
+    inner: &LogInner,
+    ptrs: &[RecordPtr],
+    reader: TxnToken,
+    start_ts: Timestamp,
+) -> Option<Row> {
+    ptrs.iter()
+        .rev()
+        .map(|p| record(inner, p))
+        .find(|r| r.writer == reader && r.commit_ts.is_none())
+        .or_else(|| committed_as_of(inner, ptrs, start_ts))
+        .and_then(|r| payload_row(inner, r))
+}
+
+impl StorageBackend for LogStore {
+    fn backend_name(&self) -> &'static str {
+        "logstore"
+    }
+
+    fn create_table(&self, table: &str) {
+        let mut inner = self.inner.write();
+        self.intern(&mut inner, table);
+    }
+
+    fn tables(&self) -> Vec<TableName> {
+        self.inner
+            .read()
+            .tables
+            .keys()
+            .map(|k| k.to_string())
+            .collect()
+    }
+
+    fn row_ids(&self, table: &str) -> Vec<RowId> {
+        let inner = self.inner.read();
+        let mut ids: Vec<RowId> = inner
+            .tables
+            .get(table)
+            .map(|t| t.rows.keys().copied().collect())
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn insert(&self, table: &str, writer: TxnToken, row: Row) -> RowId {
+        let mut inner = self.inner.write();
+        let name = self.intern(&mut inner, table);
+        let index = inner.tables.get_mut(&*name).expect("table just interned");
+        let id = RowId(index.next_row_id);
+        index.next_row_id += 1;
+        self.append(&mut inner, name, id, writer, Some(row), WriteKind::Insert);
+        id
+    }
+
+    fn update(
+        &self,
+        table: &str,
+        writer: TxnToken,
+        id: RowId,
+        row: Row,
+    ) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        let name = match inner.tables.get(table) {
+            Some(index) => Arc::clone(&index.name),
+            None => return Err(StorageError::NoSuchTable(table.to_string())),
+        };
+        if !inner.tables[&*name].rows.contains_key(&id) {
+            return Err(StorageError::NoSuchRow(table.to_string(), id));
+        }
+        self.append(&mut inner, name, id, writer, Some(row), WriteKind::Update);
+        Ok(())
+    }
+
+    fn delete(&self, table: &str, writer: TxnToken, id: RowId) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        let name = match inner.tables.get(table) {
+            Some(index) => Arc::clone(&index.name),
+            None => return Err(StorageError::NoSuchTable(table.to_string())),
+        };
+        if !inner.tables[&*name].rows.contains_key(&id) {
+            return Err(StorageError::NoSuchRow(table.to_string(), id));
+        }
+        self.append(&mut inner, name, id, writer, None, WriteKind::Delete);
+        Ok(())
+    }
+
+    fn get_latest_any(&self, table: &str, id: RowId) -> Option<Row> {
+        self.read_row(table, id, latest_any)
+    }
+
+    fn get_latest_committed(&self, table: &str, id: RowId) -> Option<Row> {
+        self.read_row(table, id, latest_committed)
+    }
+
+    fn get_committed_as_of(&self, table: &str, id: RowId, ts: Timestamp) -> Option<Row> {
+        self.read_row(table, id, |inner, ptrs| {
+            committed_as_of(inner, ptrs, ts).and_then(|r| payload_row(inner, r))
+        })
+    }
+
+    fn get_visible(
+        &self,
+        table: &str,
+        id: RowId,
+        reader: TxnToken,
+        start_ts: Timestamp,
+    ) -> Option<Row> {
+        self.read_row(table, id, |inner, ptrs| {
+            visible_for(inner, ptrs, reader, start_ts)
+        })
+    }
+
+    fn scan_latest_any(&self, predicate: &RowPredicate) -> Vec<(RowId, Row)> {
+        self.scan(predicate, latest_any)
+    }
+
+    fn scan_latest_committed(&self, predicate: &RowPredicate) -> Vec<(RowId, Row)> {
+        self.scan(predicate, latest_committed)
+    }
+
+    fn scan_committed_as_of(&self, predicate: &RowPredicate, ts: Timestamp) -> Vec<(RowId, Row)> {
+        self.scan(predicate, |inner, ptrs| {
+            committed_as_of(inner, ptrs, ts).and_then(|r| payload_row(inner, r))
+        })
+    }
+
+    fn scan_visible(
+        &self,
+        predicate: &RowPredicate,
+        reader: TxnToken,
+        start_ts: Timestamp,
+    ) -> Vec<(RowId, Row)> {
+        self.scan(predicate, |inner, ptrs| {
+            visible_for(inner, ptrs, reader, start_ts)
+        })
+    }
+
+    fn writes_of(&self, writer: TxnToken) -> Vec<(TableName, RowId, WriteKind)> {
+        self.inner
+            .read()
+            .write_sets
+            .get(&writer)
+            .map(|writes| {
+                writes
+                    .iter()
+                    .map(|(table, id, kind)| (table.to_string(), *id, *kind))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn first_committer_conflict(
+        &self,
+        writer: TxnToken,
+        start_ts: Timestamp,
+    ) -> Option<(TableName, RowId)> {
+        let inner = self.inner.read();
+        let writes = inner.write_sets.get(&writer)?;
+        for (table, id, _) in writes {
+            let conflict = inner
+                .tables
+                .get(&**table)
+                .and_then(|t| t.rows.get(id))
+                .expect("write-set entry names an indexed row — the append path indexes before recording")
+                .iter()
+                .map(|p| record(&inner, p))
+                .any(|r| r.writer != writer && matches!(r.commit_ts, Some(c) if c > start_ts));
+            if conflict {
+                return Some((table.to_string(), *id));
+            }
+        }
+        None
+    }
+
+    fn has_foreign_uncommitted_on_writes(&self, writer: TxnToken) -> bool {
+        let inner = self.inner.read();
+        let Some(writes) = inner.write_sets.get(&writer) else {
+            return false;
+        };
+        writes.iter().any(|(table, id, _)| {
+            inner
+                .tables
+                .get(&**table)
+                .and_then(|t| t.rows.get(id))
+                .expect("write-set entry names an indexed row — the append path indexes before recording")
+                .iter()
+                .map(|p| record(&inner, p))
+                .any(|r| r.writer != writer && r.commit_ts.is_none())
+        })
+    }
+
+    fn commit(&self, writer: TxnToken, ts: Timestamp) {
+        let mut inner = self.inner.write();
+        inner.write_sets.remove(&writer);
+        let pending = inner.pending.remove(&writer).unwrap_or_default();
+        for ptr in pending {
+            let rec = &mut inner.segments[ptr.0].records[ptr.1];
+            assert_eq!(
+                rec.writer, writer,
+                "commit({writer}): pending pointer resolves to a record owned by {} — the pending set and the log disagree",
+                rec.writer,
+            );
+            assert!(
+                rec.commit_ts.is_none(),
+                "commit({writer}): record at {ptr:?} is already committed at {:?} — a version must be stamped exactly once",
+                rec.commit_ts,
+            );
+            rec.commit_ts = Some(ts);
+        }
+    }
+
+    fn abort(&self, writer: TxnToken) {
+        let mut inner = self.inner.write();
+        inner.write_sets.remove(&writer);
+        let pending = inner.pending.remove(&writer).unwrap_or_default();
+        for ptr in &pending {
+            let rec = &mut inner.segments[ptr.0].records[ptr.1];
+            assert!(
+                rec.commit_ts.is_none(),
+                "abort({writer}): record at {ptr:?} was already committed — commit and abort are mutually exclusive",
+            );
+            rec.aborted = true;
+            // Unlink from the row's index entry; the (possibly empty)
+            // entry itself stays, like an empty version chain.
+            let table = Arc::clone(&rec.table);
+            let row = rec.row;
+            let ptrs = inner
+                .tables
+                .get_mut(&*table)
+                .and_then(|t| t.rows.get_mut(&row))
+                .expect("aborting an indexed record — the append path indexes before recording");
+            ptrs.retain(|p| p != ptr);
+            inner.dead += 1;
+            inner.live -= 1;
+        }
+        if inner.dead >= self.config.compact_watermark {
+            self.compact(&mut inner);
+        }
+    }
+
+    fn snapshot(&self, ts: Timestamp) -> Snapshot<'_> {
+        Snapshot::new(self, ts)
+    }
+
+    fn committed_row_count(&self, table: &str) -> usize {
+        let inner = self.inner.read();
+        let Some(index) = inner.tables.get(table) else {
+            return 0;
+        };
+        index
+            .rows
+            .values()
+            .filter(|ptrs| {
+                ptrs.iter()
+                    .rev()
+                    .map(|p| record(&inner, p))
+                    .find(|r| r.commit_ts.is_some())
+                    .is_some_and(|r| !is_tombstone(r))
+            })
+            .count()
+    }
+
+    fn version_count(&self) -> usize {
+        self.inner.read().live
+    }
+}
+
+impl fmt::Debug for LogStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("LogStore")
+            .field("segments", &inner.segments.len())
+            .field("live", &inner.live)
+            .field("dead", &inner.dead)
+            .field("tables", &inner.tables.keys().collect::<Vec<_>>())
+            .field("spill", &self.config.spill)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spill file plumbing.
+// ---------------------------------------------------------------------
+
+/// Append `bytes` to the spill file (creating it on first use), returning
+/// the offset they start at, or `None` if the file cannot be created or
+/// written (the caller then keeps the payload inline).
+#[cfg(unix)]
+fn spill_write(inner: &mut LogInner, bytes: &[u8]) -> Option<u64> {
+    use std::os::unix::fs::FileExt;
+    if inner.spill.is_none() {
+        inner.spill = create_spill_file().map(|file| SpillFile { file, len: 0 });
+    }
+    let spill = inner.spill.as_mut()?;
+    // Positioned write at the recorded length, like `spill_read`: a failed
+    // or partial write then never desynchronises `len` from where later
+    // payloads actually land — the recorded offset stays authoritative.
+    spill.file.write_all_at(bytes, spill.len).ok()?;
+    let offset = spill.len;
+    spill.len += bytes.len() as u64;
+    Some(offset)
+}
+
+#[cfg(not(unix))]
+fn spill_write(_inner: &mut LogInner, _bytes: &[u8]) -> Option<u64> {
+    // Spilling uses positioned IO; off unix the payloads stay inline
+    // (`spill_segment` never runs there, this is just the symmetric stub).
+    None
+}
+
+/// Create the unlinked temp file: open, then immediately remove the path,
+/// so the data is reclaimed by the OS no matter how the process exits.
+fn create_spill_file() -> Option<File> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir();
+    let unique = format!(
+        "critique-logstore-{}-{}.spill",
+        std::process::id(),
+        SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+    );
+    let path = dir.join(unique);
+    let file = File::options()
+        .read(true)
+        .write(true)
+        .create_new(true)
+        .open(&path)
+        .ok()?;
+    // Unlink immediately; the open handle keeps the inode alive.
+    let _ = std::fs::remove_file(&path);
+    Some(file)
+}
+
+#[cfg(unix)]
+fn spill_read(inner: &LogInner, offset: u64, len: u32) -> Option<Vec<u8>> {
+    use std::os::unix::fs::FileExt;
+    let spill = inner.spill.as_ref()?;
+    let mut buf = vec![0u8; len as usize];
+    spill.file.read_exact_at(&mut buf, offset).ok()?;
+    Some(buf)
+}
+
+#[cfg(not(unix))]
+fn spill_read(_inner: &LogInner, _offset: u64, _len: u32) -> Option<Vec<u8>> {
+    // Spilling uses positioned reads; off unix the payloads simply stay
+    // inline (see `seal_last` — a failed spill keeps the inline copy).
+    None
+}
+
+// ---------------------------------------------------------------------
+// Row codec (the offline serde shim does not serialise, so the spill
+// format is hand-rolled: length-prefixed column names and tagged values).
+// ---------------------------------------------------------------------
+
+fn encode_row(row: &Row) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+    for (name, value) in row.columns() {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        match value {
+            ColumnValue::Int(v) => {
+                out.push(0);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            ColumnValue::Text(s) => {
+                out.push(1);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            ColumnValue::Bool(b) => {
+                out.push(2);
+                out.push(u8::from(*b));
+            }
+            ColumnValue::Null => out.push(3),
+        }
+    }
+    out
+}
+
+fn decode_row(bytes: &[u8]) -> Option<Row> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let slice = bytes.get(*at..*at + n)?;
+        *at += n;
+        Some(slice)
+    };
+    let take_u32 =
+        |at: &mut usize| -> Option<u32> { Some(u32::from_le_bytes(take(at, 4)?.try_into().ok()?)) };
+    let ncols = take_u32(&mut at)?;
+    let mut row = Row::new();
+    for _ in 0..ncols {
+        let name_len = take_u32(&mut at)? as usize;
+        let name = std::str::from_utf8(take(&mut at, name_len)?)
+            .ok()?
+            .to_string();
+        let tag = *take(&mut at, 1)?.first()?;
+        match tag {
+            0 => {
+                let v = i64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
+                row.set(&name, v);
+            }
+            1 => {
+                let len = take_u32(&mut at)? as usize;
+                let s = std::str::from_utf8(take(&mut at, len)?).ok()?.to_string();
+                row.set(&name, s.as_str());
+            }
+            2 => {
+                let b = *take(&mut at, 1)?.first()? != 0;
+                row.set(&name, b);
+            }
+            3 => row.set(&name, ColumnValue::Null),
+            _ => return None,
+        }
+    }
+    (at == bytes.len()).then_some(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Condition, RowPredicate};
+
+    fn balance_row(v: i64) -> Row {
+        Row::new().with("balance", v)
+    }
+
+    fn tiny(spill: bool) -> LogStore {
+        LogStore::with_config(LogStoreConfig {
+            segment_records: 4,
+            compact_watermark: 3,
+            spill,
+        })
+    }
+
+    #[test]
+    fn insert_commit_read_cycle() {
+        let store = LogStore::new();
+        let id = store.insert("accounts", TxnToken(1), balance_row(50));
+        assert!(store.get_latest_committed("accounts", id).is_none());
+        assert_eq!(
+            store
+                .get_latest_any("accounts", id)
+                .unwrap()
+                .get_int("balance"),
+            Some(50)
+        );
+        store.commit(TxnToken(1), Timestamp(1));
+        assert_eq!(
+            store
+                .get_latest_committed("accounts", id)
+                .unwrap()
+                .get_int("balance"),
+            Some(50)
+        );
+        assert_eq!(store.version_count(), 1);
+        assert_eq!(store.committed_row_count("accounts"), 1);
+    }
+
+    #[test]
+    fn update_requires_existing_row_and_table() {
+        let store = LogStore::new();
+        store.create_table("accounts");
+        let err = store
+            .update("accounts", TxnToken(1), RowId(99), balance_row(1))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::NoSuchRow(_, _)));
+        let err = store
+            .update("missing", TxnToken(1), RowId(0), balance_row(1))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::NoSuchTable(_)));
+        let err = store.delete("missing", TxnToken(1), RowId(0)).unwrap_err();
+        assert!(matches!(err, StorageError::NoSuchTable(_)));
+    }
+
+    #[test]
+    fn abort_unlinks_versions_and_keeps_the_row_slot() {
+        let store = LogStore::new();
+        let id = store.insert("accounts", TxnToken(1), balance_row(100));
+        store.commit(TxnToken(1), Timestamp(1));
+        store
+            .update("accounts", TxnToken(2), id, balance_row(999))
+            .unwrap();
+        store.abort(TxnToken(2));
+        assert_eq!(
+            store
+                .get_latest_any("accounts", id)
+                .unwrap()
+                .get_int("balance"),
+            Some(100)
+        );
+        assert!(store.writes_of(TxnToken(2)).is_empty());
+        assert_eq!(store.version_count(), 1);
+
+        // A row whose only version aborted keeps its (empty) slot: a later
+        // update through the same id succeeds, exactly like an empty chain.
+        let ghost = store.insert("accounts", TxnToken(3), balance_row(5));
+        store.abort(TxnToken(3));
+        assert!(store.get_latest_any("accounts", ghost).is_none());
+        assert!(store.row_ids("accounts").contains(&ghost));
+        store
+            .update("accounts", TxnToken(4), ghost, balance_row(6))
+            .unwrap();
+        store.commit(TxnToken(4), Timestamp(2));
+        assert_eq!(
+            store
+                .get_latest_committed("accounts", ghost)
+                .unwrap()
+                .get_int("balance"),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn compaction_reclaims_aborted_records_and_preserves_reads() {
+        let store = tiny(false);
+        let id = store.insert("t", TxnToken(1), balance_row(1));
+        store.commit(TxnToken(1), Timestamp(1));
+        // Burn through aborted versions until the watermark trips.
+        for round in 0..5u64 {
+            let txn = TxnToken(10 + round);
+            store.update("t", txn, id, balance_row(-1)).unwrap();
+            store.update("t", txn, id, balance_row(-2)).unwrap();
+            store.abort(txn);
+        }
+        assert!(
+            store.dead_record_count() < 3,
+            "watermark should have compacted: {} dead",
+            store.dead_record_count()
+        );
+        store.update("t", TxnToken(99), id, balance_row(2)).unwrap();
+        store.commit(TxnToken(99), Timestamp(5));
+        assert_eq!(
+            store
+                .get_latest_committed("t", id)
+                .unwrap()
+                .get_int("balance"),
+            Some(2)
+        );
+        // Historical reads survive compaction.
+        assert_eq!(
+            store
+                .get_committed_as_of("t", id, Timestamp(1))
+                .unwrap()
+                .get_int("balance"),
+            Some(1)
+        );
+        assert_eq!(store.version_count(), 2);
+    }
+
+    #[test]
+    fn commit_spanning_segments_and_pending_remap() {
+        let store = tiny(false);
+        // One transaction writes enough to span several 4-record segments,
+        // while another aborts in between to force a compaction that must
+        // remap the first transaction's pending pointers.
+        let id = store.insert("t", TxnToken(1), balance_row(0));
+        store.commit(TxnToken(1), Timestamp(1));
+        for i in 0..6 {
+            store.update("t", TxnToken(2), id, balance_row(i)).unwrap();
+        }
+        for round in 0..3u64 {
+            let txn = TxnToken(50 + round);
+            store.update("t", txn, id, balance_row(-1)).unwrap();
+            store.abort(txn); // third abort trips the watermark
+        }
+        assert!(store.segment_count() >= 1);
+        store.commit(TxnToken(2), Timestamp(2));
+        assert_eq!(
+            store
+                .get_latest_committed("t", id)
+                .unwrap()
+                .get_int("balance"),
+            Some(5)
+        );
+        assert_eq!(store.version_count(), 7);
+    }
+
+    #[test]
+    fn snapshot_and_predicate_scans() {
+        let store = tiny(false);
+        let active = RowPredicate::new("employees", Condition::eq("active", true));
+        let e1 = store.insert("employees", TxnToken(1), Row::new().with("active", true));
+        store.insert("employees", TxnToken(1), Row::new().with("active", false));
+        store.commit(TxnToken(1), Timestamp(1));
+        store.insert("employees", TxnToken(2), Row::new().with("active", true));
+
+        let committed = store.scan_latest_committed(&active);
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].0, e1);
+        assert_eq!(store.scan_latest_any(&active).len(), 2);
+        assert_eq!(
+            store.scan_visible(&active, TxnToken(3), Timestamp(1)).len(),
+            1
+        );
+        assert_eq!(
+            store.scan_visible(&active, TxnToken(2), Timestamp(1)).len(),
+            2
+        );
+
+        store.commit(TxnToken(2), Timestamp(2));
+        let snap1 = store.snapshot(Timestamp(1));
+        assert_eq!(snap1.count(&active), 1);
+        let snap2 = store.snapshot(Timestamp(2));
+        assert_eq!(snap2.count(&active), 2);
+    }
+
+    #[test]
+    fn first_committer_conflict_detection() {
+        let store = LogStore::new();
+        let id = store.insert("accounts", TxnToken(1), balance_row(100));
+        store.commit(TxnToken(1), Timestamp(1));
+        store
+            .update("accounts", TxnToken(2), id, balance_row(120))
+            .unwrap();
+        store
+            .update("accounts", TxnToken(3), id, balance_row(130))
+            .unwrap();
+        assert!(store.has_foreign_uncommitted_on_writes(TxnToken(2)));
+        store.commit(TxnToken(2), Timestamp(2));
+        assert_eq!(
+            store.first_committer_conflict(TxnToken(3), Timestamp(1)),
+            Some(("accounts".to_string(), id))
+        );
+        assert!(store
+            .first_committer_conflict(TxnToken(9), Timestamp(0))
+            .is_none());
+    }
+
+    // Spilling is a no-op off unix (no positioned IO), so these two
+    // tests only make sense there.
+    #[cfg(unix)]
+    #[test]
+    fn spill_round_trips_sealed_segments() {
+        let store = tiny(true);
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            ids.push(
+                store.insert(
+                    "t",
+                    TxnToken(1),
+                    Row::new()
+                        .with("balance", i)
+                        .with("owner", format!("user-{i}").as_str())
+                        .with("active", i % 2 == 0)
+                        .with("note", ColumnValue::Null),
+                ),
+            );
+        }
+        store.commit(TxnToken(1), Timestamp(1));
+        // 10 records at 4 per segment: at least two sealed, bytes spilled.
+        assert!(store.spilled_bytes() > 0, "sealed segments should spill");
+        for (i, id) in ids.iter().enumerate() {
+            let row = store.get_latest_committed("t", *id).unwrap();
+            assert_eq!(row.get_int("balance"), Some(i as i64));
+            assert_eq!(row.get_text("owner"), Some(format!("user-{i}").as_str()));
+            assert_eq!(row.get_bool("active"), Some(i % 2 == 0));
+            assert!(row.get("note").unwrap().is_null());
+        }
+        // Tombstones never spill and still read as deletions.
+        store.delete("t", TxnToken(2), ids[0]).unwrap();
+        store.commit(TxnToken(2), Timestamp(2));
+        assert!(store.get_latest_committed("t", ids[0]).is_none());
+        assert_eq!(store.committed_row_count("t"), 9);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn compaction_spills_carried_over_payloads() {
+        let store = LogStore::with_config(LogStoreConfig {
+            segment_records: 4,
+            compact_watermark: 2,
+            spill: true,
+        });
+        // Three live rows plus one abort fill segment 0; two more live
+        // rows land in segment 1 (inline, segment still open).
+        let mut ids: Vec<RowId> = (0..3)
+            .map(|i| store.insert("t", TxnToken(1), balance_row(i)))
+            .collect();
+        store
+            .update("t", TxnToken(10), ids[0], balance_row(-1))
+            .unwrap();
+        store.abort(TxnToken(10));
+        ids.push(store.insert("t", TxnToken(1), balance_row(3)));
+        ids.push(store.insert("t", TxnToken(1), balance_row(4)));
+        store.commit(TxnToken(1), Timestamp(1));
+        let before = store.spilled_bytes();
+        assert!(before > 0, "sealing segment 0 should have spilled");
+
+        // A second abort trips the watermark; the repack packs the five
+        // live records as [4 sealed, 1 open], and the inline record
+        // carried into the sealed segment must spill there too.
+        store
+            .update("t", TxnToken(11), ids[1], balance_row(-2))
+            .unwrap();
+        store.abort(TxnToken(11));
+        assert_eq!(
+            store.dead_record_count(),
+            0,
+            "watermark should have compacted"
+        );
+        assert!(
+            store.spilled_bytes() > before,
+            "compaction-sealed segments must spill their inline payloads"
+        );
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                store
+                    .get_latest_committed("t", *id)
+                    .unwrap()
+                    .get_int("balance"),
+                Some(i as i64),
+                "row {i} after compaction + spill"
+            );
+        }
+    }
+
+    #[test]
+    fn row_codec_round_trips() {
+        let row = Row::new()
+            .with("a", -42)
+            .with("b", "héllo")
+            .with("c", true)
+            .with("d", ColumnValue::Null);
+        assert_eq!(decode_row(&encode_row(&row)), Some(row));
+        assert_eq!(decode_row(&encode_row(&Row::new())), Some(Row::new()));
+        assert_eq!(decode_row(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn row_ids_are_sequential_per_table_and_sorted() {
+        let store = tiny(false);
+        let a0 = store.insert("a", TxnToken(1), balance_row(0));
+        let b0 = store.insert("b", TxnToken(1), balance_row(0));
+        let a1 = store.insert("a", TxnToken(1), balance_row(0));
+        assert_eq!((a0, b0, a1), (RowId(0), RowId(0), RowId(1)));
+        assert_eq!(store.row_ids("a"), vec![RowId(0), RowId(1)]);
+        assert_eq!(store.tables(), vec!["a".to_string(), "b".to_string()]);
+        assert!(store.row_ids("missing").is_empty());
+    }
+
+    #[test]
+    fn debug_and_config_accessors() {
+        let store = tiny(true);
+        assert_eq!(store.config().segment_records, 4);
+        assert_eq!(store.backend_name(), "logstore");
+        let text = format!("{store:?}");
+        assert!(text.contains("LogStore"));
+    }
+}

@@ -7,21 +7,24 @@
 //! timestamp and take a historical perspective of the database without
 //! blocking or being blocked by writers.
 
+use crate::backend::StorageBackend;
 use crate::predicate::RowPredicate;
 use crate::row::{Row, RowId};
-use crate::store::MvStore;
 use crate::timestamp::Timestamp;
 
 /// A read-only view of the committed database state as of a timestamp.
+///
+/// Snapshots are backend-agnostic: they hold any [`StorageBackend`] and
+/// answer every read through its `*_committed_as_of` surface.
 #[derive(Clone, Copy)]
 pub struct Snapshot<'a> {
-    store: &'a MvStore,
+    store: &'a dyn StorageBackend,
     ts: Timestamp,
 }
 
 impl<'a> Snapshot<'a> {
     /// Create a snapshot of `store` as of `ts`.
-    pub fn new(store: &'a MvStore, ts: Timestamp) -> Self {
+    pub fn new(store: &'a dyn StorageBackend, ts: Timestamp) -> Self {
         Snapshot { store, ts }
     }
 
@@ -66,6 +69,7 @@ impl std::fmt::Debug for Snapshot<'_> {
 mod tests {
     use super::*;
     use crate::predicate::{Condition, RowPredicate};
+    use crate::store::MvStore;
     use crate::timestamp::TxnToken;
 
     fn seeded_store() -> MvStore {

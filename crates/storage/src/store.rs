@@ -416,7 +416,13 @@ impl MvStore {
                 .tables
                 .get(&*table)
                 .and_then(|rows| rows.get(&id))
-                .is_some_and(|chain| chain.committed_after(start_ts, writer));
+                .unwrap_or_else(|| {
+                    panic!(
+                        "first_committer_conflict({writer}): write set names {table}{id} but its \
+                         version chain is gone — chains must outlive every write-set reference"
+                    )
+                })
+                .committed_after(start_ts, writer);
             if conflict {
                 return Some((table.to_string(), id));
             }
@@ -434,7 +440,14 @@ impl MvStore {
                 .tables
                 .get(&**table)
                 .and_then(|rows| rows.get(id))
-                .is_some_and(|chain| chain.has_foreign_uncommitted(writer))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "has_foreign_uncommitted_on_writes({writer}): write set names \
+                         {table}{id} but its version chain is gone — chains must outlive \
+                         every write-set reference"
+                    )
+                })
+                .has_foreign_uncommitted(writer)
         })
     }
 
@@ -462,13 +475,18 @@ impl MvStore {
         for (idx, rows) in self.writes_by_shard(&writes) {
             let mut shard = self.shards[idx].write();
             for (table, id) in rows {
-                if let Some(chain) = shard
+                shard
                     .tables
                     .get_mut(&table)
                     .and_then(|rows| rows.get_mut(&id))
-                {
-                    chain.commit(writer, ts);
-                }
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "commit({writer} at {ts}): write set names {table}{id} but shard \
+                             {idx} has no version chain for it — every recorded write must \
+                             have installed a version"
+                        )
+                    })
+                    .commit(writer, ts);
             }
         }
     }
@@ -484,13 +502,18 @@ impl MvStore {
         for (idx, rows) in self.writes_by_shard(&writes) {
             let mut shard = self.shards[idx].write();
             for (table, id) in rows {
-                if let Some(chain) = shard
+                shard
                     .tables
                     .get_mut(&table)
                     .and_then(|rows| rows.get_mut(&id))
-                {
-                    chain.abort(writer);
-                }
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "abort({writer}): write set names {table}{id} but shard {idx} has \
+                             no version chain for it — rollback would silently leak the \
+                             uncommitted version"
+                        )
+                    })
+                    .abort(writer);
             }
         }
     }

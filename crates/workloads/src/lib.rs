@@ -35,6 +35,7 @@ pub use crate::bank::BankFixture;
 pub use crate::mixed::{MixedWorkload, WorkloadStats};
 pub use crate::scaling::{
     HandoffComparison, HandoffPoint, ScalingPoint, ScalingReport, ScalingSeries, ScalingSuite,
+    SubstrateConfig,
 };
 pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 
@@ -44,6 +45,7 @@ pub mod prelude {
     pub use crate::mixed::{MixedWorkload, WorkloadStats};
     pub use crate::scaling::{
         HandoffComparison, HandoffPoint, ScalingPoint, ScalingReport, ScalingSeries, ScalingSuite,
+        SubstrateConfig,
     };
     pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 }

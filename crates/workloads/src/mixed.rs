@@ -11,7 +11,7 @@
 //! levels.
 
 use critique_core::IsolationLevel;
-use critique_engine::{Database, EngineConfig, GrantPolicy, TxnError};
+use critique_engine::{BackendKind, Database, EngineConfig, GrantPolicy, TxnError};
 use critique_storage::{Row, RowId, RowPredicate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,6 +49,10 @@ pub struct MixedWorkload {
     /// [`EngineConfig::with_grant_policy`]: FIFO direct handoff, or the
     /// wake-all baseline the handoff benchmark compares against.
     pub grant: GrantPolicy,
+    /// Storage backend handed to [`EngineConfig::with_backend`]: the
+    /// sharded version-chain store by default, or the log-structured
+    /// engine the scaling sweep compares against.
+    pub backend: BackendKind,
 }
 
 impl Default for MixedWorkload {
@@ -64,6 +68,7 @@ impl Default for MixedWorkload {
             think_micros: 0,
             shards: critique_storage::DEFAULT_SHARDS,
             grant: GrantPolicy::default(),
+            backend: BackendKind::default(),
         }
     }
 }
@@ -142,6 +147,13 @@ impl MixedWorkload {
         self
     }
 
+    /// This workload on a different storage backend (used by the
+    /// backend-comparison sweep).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Seed a database for this workload (every account starts at 100) and
     /// return it together with the row ids.
     pub fn seed_database(&self, level: IsolationLevel) -> (Database, Vec<RowId>) {
@@ -149,7 +161,8 @@ impl MixedWorkload {
             .blocking(200)
             .without_history()
             .with_shards(self.shards)
-            .with_grant_policy(self.grant);
+            .with_grant_policy(self.grant)
+            .with_backend(self.backend);
         let db = Database::with_config(config);
         let setup = db.begin();
         let ids: Vec<RowId> = (0..self.accounts)
@@ -303,6 +316,18 @@ mod tests {
             think_micros: 0,
             shards: critique_storage::DEFAULT_SHARDS,
             grant: GrantPolicy::DirectHandoff,
+            backend: BackendKind::MvStore,
+        }
+    }
+
+    #[test]
+    fn workload_completes_on_every_backend() {
+        for backend in BackendKind::ALL {
+            let stats = small()
+                .with_backend(backend)
+                .run(IsolationLevel::Serializable);
+            assert_eq!(stats.attempted(), 90, "{backend}");
+            assert!(stats.committed > 0, "{backend}");
         }
     }
 

@@ -23,7 +23,44 @@
 
 use crate::mixed::{MixedWorkload, WorkloadStats};
 use critique_core::IsolationLevel;
-use critique_engine::GrantPolicy;
+use critique_engine::{BackendKind, GrantPolicy};
+
+/// One substrate configuration a sweep visits: a storage backend, its
+/// shard count, and the label the series carries in reports.
+#[derive(Clone, Copy, Debug)]
+pub struct SubstrateConfig {
+    /// Substrate shard count ([`MixedWorkload::shards`]); honoured by the
+    /// sharded chain store, ignored by the single-log backend.
+    pub shards: usize,
+    /// Storage backend the series runs on.
+    pub backend: BackendKind,
+    /// Human-readable series label (`"sharded"`, `"logstore"`, …).
+    pub label: &'static str,
+}
+
+impl SubstrateConfig {
+    /// The default-backend configuration at a given shard count.
+    pub fn mvstore(shards: usize, label: &'static str) -> Self {
+        SubstrateConfig {
+            shards,
+            backend: BackendKind::MvStore,
+            label,
+        }
+    }
+
+    /// The log-structured configuration.
+    pub fn logstore(label: &'static str) -> Self {
+        SubstrateConfig {
+            // The log store itself ignores the shard knob (it is one
+            // log), but `shards` also sizes the lock manager and the
+            // history recorder — keep those at the default so the series
+            // isolates the *storage* representation, not lock sharding.
+            shards: critique_storage::DEFAULT_SHARDS,
+            backend: BackendKind::LogStructured,
+            label,
+        }
+    }
+}
 
 /// One measured point of a sweep: the workload run at a worker count.
 #[derive(Clone, Copy, Debug)]
@@ -41,13 +78,16 @@ impl ScalingPoint {
     }
 }
 
-/// One swept configuration: a label, its shard count, and its points.
+/// One swept configuration: a label, its substrate, and its points.
 #[derive(Clone, Debug)]
 pub struct ScalingSeries {
-    /// Human-readable label (`"sharded"`, `"single-shard baseline"`, …).
+    /// Human-readable label (`"sharded"`, `"single-shard baseline"`,
+    /// `"logstore"`, …).
     pub label: String,
     /// Substrate shard count this series ran with.
     pub shards: usize,
+    /// Storage backend this series ran on.
+    pub backend: BackendKind,
     /// One point per worker count, in sweep order.
     pub points: Vec<ScalingPoint>,
 }
@@ -77,23 +117,24 @@ pub struct ScalingReport {
 }
 
 impl ScalingReport {
-    /// Run the sweep.  For every `(shards, label)` configuration and every
-    /// worker count, the workload runs `runs_per_point` times and the run
-    /// with the highest committed throughput is kept (best-of-k damps
-    /// scheduler noise; each run is itself thousands of transactions).
+    /// Run the sweep.  For every [`SubstrateConfig`] and every worker
+    /// count, the workload runs `runs_per_point` times and the run with
+    /// the highest committed throughput is kept (best-of-k damps scheduler
+    /// noise; each run is itself thousands of transactions).
     pub fn run(
         base: MixedWorkload,
         level: IsolationLevel,
         thread_counts: &[usize],
-        configurations: &[(usize, &str)],
+        configurations: &[SubstrateConfig],
         runs_per_point: usize,
     ) -> Self {
         let runs_per_point = runs_per_point.max(1);
         let series = configurations
             .iter()
-            .map(|(shards, label)| {
+            .map(|config| {
                 let mut spec = base;
-                spec.shards = (*shards).max(1);
+                spec.shards = config.shards.max(1);
+                spec.backend = config.backend;
                 let points = thread_counts
                     .iter()
                     .map(|&threads| {
@@ -110,8 +151,9 @@ impl ScalingReport {
                     })
                     .collect();
                 ScalingSeries {
-                    label: label.to_string(),
-                    shards: (*shards).max(1),
+                    label: config.label.to_string(),
+                    shards: config.shards.max(1),
+                    backend: config.backend,
                     points,
                 }
             })
@@ -141,8 +183,9 @@ impl ScalingReport {
         ));
         for series in &self.series {
             out.push_str(&format!(
-                "{} (shards={}){}:\n",
+                "{} (backend={}, shards={}){}:\n",
                 series.label,
+                series.backend,
                 series.shards,
                 if series.monotonic() {
                     " — monotonic"
@@ -196,9 +239,11 @@ impl ScalingReport {
                     .collect::<Vec<_>>()
                     .join(",\n");
                 format!(
-                    "{pad}  {{\n{pad}    \"label\": \"{}\",\n{pad}    \"shards\": {},\n{pad}    \
+                    "{pad}  {{\n{pad}    \"label\": \"{}\",\n{pad}    \"backend\": \"{}\",\n\
+                     {pad}    \"shards\": {},\n{pad}    \
                      \"monotonic_throughput\": {},\n{pad}    \"points\": [\n{}\n{pad}    ]\n{pad}  }}",
                     series.label,
+                    series.backend,
                     series.shards,
                     series.monotonic(),
                     points,
@@ -437,6 +482,7 @@ mod tests {
             think_micros: 0,
             shards: 8,
             grant: GrantPolicy::DirectHandoff,
+            backend: BackendKind::MvStore,
         }
     }
 
@@ -446,10 +492,14 @@ mod tests {
             tiny(),
             IsolationLevel::ReadCommitted,
             &[1, 2],
-            &[(8, "sharded"), (1, "single-shard baseline")],
+            &[
+                SubstrateConfig::mvstore(8, "sharded"),
+                SubstrateConfig::mvstore(1, "single-shard baseline"),
+                SubstrateConfig::logstore("logstore"),
+            ],
             1,
         );
-        assert_eq!(report.series.len(), 2);
+        assert_eq!(report.series.len(), 3);
         for series in &report.series {
             assert_eq!(series.points.len(), 2);
             assert_eq!(series.points[0].threads, 1);
@@ -464,6 +514,10 @@ mod tests {
             }
         }
         assert_eq!(report.series_named("sharded").unwrap().shards, 8);
+        assert_eq!(
+            report.series_named("logstore").unwrap().backend,
+            BackendKind::LogStructured
+        );
         assert!(report.series_named("missing").is_none());
     }
 
@@ -473,13 +527,14 @@ mod tests {
             tiny(),
             IsolationLevel::SnapshotIsolation,
             &[1, 2],
-            &[(4, "sharded")],
+            &[SubstrateConfig::mvstore(4, "sharded")],
             1,
         );
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"scaling_sweep\""));
         assert!(json.contains("\"thread_counts\": [1, 2]"));
         assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"backend\": \"mvstore\""));
         assert_eq!(json.matches("\"threads\":").count(), 2);
         let text = report.to_text();
         assert!(text.contains("threads=1"));
@@ -500,12 +555,14 @@ mod tests {
         let rising = ScalingSeries {
             label: "r".into(),
             shards: 2,
+            backend: BackendKind::MvStore,
             points: vec![point(1, 10), point(2, 20), point(4, 30)],
         };
         assert!(rising.monotonic());
         let sagging = ScalingSeries {
             label: "s".into(),
             shards: 2,
+            backend: BackendKind::MvStore,
             points: vec![point(1, 10), point(2, 9)],
         };
         assert!(!sagging.monotonic());
@@ -536,14 +593,17 @@ mod tests {
                 tiny(),
                 IsolationLevel::ReadCommitted,
                 &[1, 2],
-                &[(4, "sharded")],
+                &[
+                    SubstrateConfig::mvstore(4, "sharded"),
+                    SubstrateConfig::logstore("logstore"),
+                ],
                 1,
             ),
             ScalingReport::run(
                 tiny(),
                 IsolationLevel::SnapshotIsolation,
                 &[1, 2],
-                &[(4, "sharded")],
+                &[SubstrateConfig::mvstore(4, "sharded")],
                 1,
             ),
         ];
@@ -556,6 +616,7 @@ mod tests {
         assert!(suite.sweep_at(IsolationLevel::Serializable).is_none());
         let json = suite.to_json();
         assert!(json.contains("\"bench\": \"scaling_suite\""));
+        assert!(json.contains("\"backend\": \"logstore\""));
         assert!(json.contains("\"level\": \"READ COMMITTED\""));
         assert!(json.contains("\"level\": \"Snapshot Isolation\""));
         assert!(json.contains("\"contended_handoff\""));

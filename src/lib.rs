@@ -13,7 +13,10 @@
 //!   detectors, the isolation level taxonomy, locking profiles (Table 2),
 //!   the characterisation tables (Tables 1, 3, 4) and the Figure 2
 //!   hierarchy (crate `critique-core`);
-//! * [`storage`] — the multi-version row store (crate `critique-storage`);
+//! * [`storage`] — the multi-version storage substrate: the
+//!   `StorageBackend` trait with two engines behind it, the sharded
+//!   version-chain store and an append-only log-structured store (crate
+//!   `critique-storage`);
 //! * [`lock`] — the lock manager with item/predicate locks and deadlock
 //!   detection (crate `critique-lock`);
 //! * [`engine`] — the transaction engine with locking, Cursor Stability,
@@ -54,8 +57,9 @@ pub mod prelude {
     // avoid clashing with `critique_core::lattice::Comparison`; reach it via
     // `critique_storage::Comparison` when needed.
     pub use critique_storage::prelude::{
-        ColumnValue, Condition, MvStore, Row, RowId, RowPredicate, Snapshot, StorageError,
-        TableName, Timestamp, TimestampOracle, TxnToken, Version, VersionChain, WriteKind,
+        BackendKind, ColumnValue, Condition, LogStore, LogStoreConfig, MvStore, Row, RowId,
+        RowPredicate, Snapshot, StorageBackend, StorageError, TableName, Timestamp,
+        TimestampOracle, TxnToken, Version, VersionChain, WriteKind,
     };
     pub use critique_workloads::prelude::*;
 }
