@@ -1,0 +1,369 @@
+//! Bench smoke gate: prove the scaling recorder works end-to-end and that
+//! the committed `BENCH_scaling.json` is not a stale or truncated artefact.
+//!
+//! Two checks, both fatal on failure (CI runs this as a step):
+//!
+//! 1. **Recorder round-trip** — run a *reduced* scaling sweep (tiny
+//!    workload, two worker counts, one run per point) plus the contended
+//!    handoff grid, render the suite with the same hand-rolled
+//!    `ScalingSuite::to_json` the real bench uses, and parse the result
+//!    with the strict little JSON parser below.  A recorder that emits
+//!    unparsable or structurally empty JSON fails here, before it can
+//!    silently ship a broken `BENCH_scaling.json`.
+//! 2. **Committed-file validation** — parse the `BENCH_scaling.json` at
+//!    the workspace root and require every sweep to carry non-empty
+//!    series, every series non-empty points, and the contended-handoff
+//!    record to cover the full `{policy} × {strategy}` grid.
+
+use critique_core::IsolationLevel;
+use critique_engine::{GrantPolicy, UpgradeStrategy};
+use critique_workloads::{
+    HandoffComparison, MixedWorkload, ScalingReport, ScalingSuite, SubstrateConfig,
+};
+
+/// Where the real bench records the suite (workspace root).
+const RECORDED_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+
+// ---------------------------------------------------------------------
+// A strict, minimal JSON parser (the offline serde shim does not parse;
+// the point of this gate is to prove the *hand-rolled* output is valid).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != byte {
+            return Err(format!(
+                "expected {:?} at offset {}, got {:?}",
+                byte as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| format!("invalid number {text:?} at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        // Accumulate raw bytes and decode once at the end, so multi-byte
+        // UTF-8 sequences (the level names contain none today, but labels
+        // are free text) survive instead of being mangled byte-by-byte.
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            let byte = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string".to_string())?;
+            self.pos += 1;
+            match byte {
+                b'"' => {
+                    return String::from_utf8(out)
+                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))
+                }
+                b'\\' => {
+                    let escape = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural validation of a scaling-suite document.
+// ---------------------------------------------------------------------
+
+fn validate_suite(doc: &Json, context: &str) {
+    assert_eq!(
+        doc.get("bench").and_then(Json::as_str),
+        Some("scaling_suite"),
+        "{context}: missing or wrong \"bench\" tag"
+    );
+    let sweeps = doc
+        .get("sweeps")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{context}: no \"sweeps\" array"));
+    assert!(!sweeps.is_empty(), "{context}: zero sweeps recorded");
+    for sweep in sweeps {
+        let level = sweep
+            .get("level")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{context}: sweep without a level"));
+        let series = sweep
+            .get("series")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{context}: sweep {level} has no series array"));
+        assert!(!series.is_empty(), "{context}: sweep {level} has no series");
+        for entry in series {
+            let label = entry
+                .get("label")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{context}: {level} series without a label"));
+            let points = entry
+                .get("points")
+                .and_then(Json::as_array)
+                .unwrap_or_else(|| panic!("{context}: {level}/{label} has no points array"));
+            assert!(
+                !points.is_empty(),
+                "{context}: {level}/{label} recorded zero points"
+            );
+            for point in points {
+                for field in ["threads", "committed", "throughput_txn_per_s"] {
+                    assert!(
+                        point.get(field).and_then(Json::as_number).is_some(),
+                        "{context}: {level}/{label} point lacks numeric {field:?}"
+                    );
+                }
+            }
+        }
+    }
+    let handoff = doc
+        .get("contended_handoff")
+        .unwrap_or_else(|| panic!("{context}: no contended_handoff record"));
+    let policies = handoff
+        .get("policies")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{context}: contended_handoff has no policies array"));
+    // The full grid: both grant policies under both upgrade strategies.
+    for policy in ["DirectHandoff", "WakeAll"] {
+        for strategy in ["shared-then-upgrade", "update-lock"] {
+            let cell = policies.iter().find(|p| {
+                p.get("policy").and_then(Json::as_str) == Some(policy)
+                    && p.get("strategy").and_then(Json::as_str) == Some(strategy)
+            });
+            let cell = cell.unwrap_or_else(|| {
+                panic!("{context}: contended_handoff lacks the {policy}/{strategy} cell")
+            });
+            assert!(
+                cell.get("worst_deadlocks_across_runs")
+                    .and_then(Json::as_number)
+                    .is_some(),
+                "{context}: {policy}/{strategy} lacks worst_deadlocks_across_runs"
+            );
+        }
+    }
+}
+
+/// A few-second sweep: enough to drive every code path of the recorder
+/// without turning CI into a benchmark run.
+fn reduced_suite() -> ScalingSuite {
+    let tiny = MixedWorkload {
+        accounts: 16,
+        read_fraction: 0.6,
+        ops_per_txn: 2,
+        hot_fraction: 0.1,
+        txns_per_thread: 10,
+        threads: 1,
+        seed: 11,
+        think_micros: 0,
+        shards: 4,
+        grant: GrantPolicy::DirectHandoff,
+        backend: critique_engine::BackendKind::MvStore,
+        upgrade: UpgradeStrategy::SharedThenUpgrade,
+    };
+    let sweeps = vec![ScalingReport::run(
+        tiny,
+        IsolationLevel::ReadCommitted,
+        &[1, 2],
+        &[
+            SubstrateConfig::mvstore(4, "sharded"),
+            SubstrateConfig::logstore("logstore"),
+        ],
+        1,
+    )];
+    let mut contended = tiny;
+    contended.read_fraction = 0.0;
+    contended.hot_fraction = 1.0;
+    contended.threads = 3;
+    let handoff = HandoffComparison::run(contended, IsolationLevel::Serializable, 1);
+    ScalingSuite {
+        sweeps,
+        handoff: Some(handoff),
+    }
+}
+
+fn main() {
+    // 1. Recorder round-trip on a reduced sweep.
+    let suite = reduced_suite();
+    let rendered = suite.to_json();
+    let parsed = Parser::parse(&rendered)
+        .unwrap_or_else(|e| panic!("reduced sweep rendered invalid JSON: {e}\n{rendered}"));
+    validate_suite(&parsed, "reduced sweep");
+    println!("bench smoke: reduced sweep rendered and re-parsed OK");
+
+    // 2. The committed BENCH_scaling.json must be equally well-formed.
+    let recorded = std::fs::read_to_string(RECORDED_PATH)
+        .unwrap_or_else(|e| panic!("cannot read {RECORDED_PATH}: {e}"));
+    let doc = Parser::parse(&recorded)
+        .unwrap_or_else(|e| panic!("{RECORDED_PATH} is not valid JSON: {e}"));
+    validate_suite(&doc, "BENCH_scaling.json");
+    println!("bench smoke: BENCH_scaling.json validated (every series non-empty)");
+}

@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use critique_core::IsolationLevel;
-use critique_engine::{BackendKind, GrantPolicy};
+use critique_engine::{BackendKind, GrantPolicy, UpgradeStrategy};
 use critique_workloads::MixedWorkload;
 
 /// The isolation levels compared in the throughput studies.
@@ -45,6 +45,7 @@ pub fn bench_workload(read_fraction: f64, hot_fraction: f64) -> MixedWorkload {
         shards: critique_storage::DEFAULT_SHARDS,
         grant: GrantPolicy::DirectHandoff,
         backend: BackendKind::MvStore,
+        upgrade: UpgradeStrategy::SharedThenUpgrade,
     }
 }
 
@@ -65,6 +66,7 @@ pub fn scaling_workload() -> MixedWorkload {
         shards: critique_storage::DEFAULT_SHARDS,
         grant: GrantPolicy::DirectHandoff,
         backend: BackendKind::MvStore,
+        upgrade: UpgradeStrategy::SharedThenUpgrade,
     }
 }
 
@@ -98,5 +100,6 @@ pub fn handoff_workload() -> MixedWorkload {
         shards: critique_storage::DEFAULT_SHARDS,
         grant: GrantPolicy::DirectHandoff,
         backend: BackendKind::MvStore,
+        upgrade: UpgradeStrategy::SharedThenUpgrade,
     }
 }

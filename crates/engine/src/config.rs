@@ -1,7 +1,7 @@
 //! Engine configuration.
 
 use critique_core::IsolationLevel;
-pub use critique_lock::GrantPolicy;
+pub use critique_lock::{GrantPolicy, UpgradeStrategy};
 pub use critique_storage::BackendKind;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -63,6 +63,13 @@ pub struct EngineConfig {
     /// the representation of versions — never the Table 3/4 verdicts (the
     /// conformance exerciser proves this per backend).
     pub backend: BackendKind,
+    /// How [`crate::Transaction::read_for_update`] locks the read half of
+    /// a read-modify-write at the locking levels: Shared now and an
+    /// Exclusive upgrade at the write (the historical baseline), or an
+    /// update-mode (U) lock taken at the read, which serialises would-be
+    /// upgraders and removes the S→X upgrade-deadlock cascade.  Plain
+    /// reads and the multiversion levels are unaffected.
+    pub upgrade: UpgradeStrategy,
 }
 
 impl EngineConfig {
@@ -76,6 +83,7 @@ impl EngineConfig {
             shards: critique_storage::DEFAULT_SHARDS,
             grant: GrantPolicy::default(),
             backend: BackendKind::default(),
+            upgrade: UpgradeStrategy::default(),
         }
     }
 
@@ -108,6 +116,12 @@ impl EngineConfig {
         self.backend = backend;
         self
     }
+
+    /// Override the read-modify-write locking strategy.
+    pub fn with_upgrade_strategy(mut self, upgrade: UpgradeStrategy) -> Self {
+        self.upgrade = upgrade;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +137,15 @@ mod tests {
         assert_eq!(cfg.shards, critique_storage::DEFAULT_SHARDS);
         assert_eq!(cfg.grant, GrantPolicy::DirectHandoff);
         assert_eq!(cfg.backend, BackendKind::MvStore);
+        assert_eq!(cfg.upgrade, UpgradeStrategy::SharedThenUpgrade);
         assert_eq!(LockWaitPolicy::default(), LockWaitPolicy::Fail);
+    }
+
+    #[test]
+    fn upgrade_strategy_override() {
+        let cfg = EngineConfig::new(IsolationLevel::Serializable)
+            .with_upgrade_strategy(UpgradeStrategy::UpdateLock);
+        assert_eq!(cfg.upgrade, UpgradeStrategy::UpdateLock);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod error;
 pub mod recorder;
 pub mod txn;
 
-pub use crate::config::{BackendKind, EngineConfig, GrantPolicy, LockWaitPolicy};
+pub use crate::config::{BackendKind, EngineConfig, GrantPolicy, LockWaitPolicy, UpgradeStrategy};
 pub use crate::cursor::CursorId;
 pub use crate::db::Database;
 pub use crate::error::TxnError;
@@ -52,7 +52,9 @@ pub use crate::txn::{Transaction, TxnStatus};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
-    pub use crate::config::{BackendKind, EngineConfig, GrantPolicy, LockWaitPolicy};
+    pub use crate::config::{
+        BackendKind, EngineConfig, GrantPolicy, LockWaitPolicy, UpgradeStrategy,
+    };
     pub use crate::cursor::CursorId;
     pub use crate::db::Database;
     pub use crate::error::TxnError;

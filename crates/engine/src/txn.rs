@@ -6,7 +6,7 @@ use crate::error::TxnError;
 use crate::LockWaitPolicy;
 use critique_core::locking::{LockDuration, LockRequirement};
 use critique_core::IsolationLevel;
-use critique_lock::{AcquireError, LockMode, LockOutcome, LockTarget};
+use critique_lock::{AcquireError, LockMode, LockOutcome, LockTarget, UpgradeStrategy};
 use critique_storage::{Row, RowId, RowPredicate, Timestamp, TxnToken};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -238,6 +238,57 @@ impl Transaction {
         self.db
             .recorder
             .read(self.token, table, row, value.as_ref());
+        Ok(value)
+    }
+
+    /// Read a single row with declared intent to write it (`SELECT … FOR
+    /// UPDATE`).  The configured
+    /// [`UpgradeStrategy`](crate::config::UpgradeStrategy) decides how the
+    /// read locks at the locking levels:
+    ///
+    /// * under [`UpgradeStrategy::SharedThenUpgrade`] this is exactly
+    ///   [`Transaction::read`] — a Shared lock now, the Exclusive upgrade
+    ///   at the write (the historical read-modify-write baseline);
+    /// * under [`UpgradeStrategy::UpdateLock`] the read takes an
+    ///   update-mode (U) lock held for the *write* duration, so at most
+    ///   one would-be upgrader holds the item at a time and the later
+    ///   U→X conversion waits only for plain Shared holders to drain —
+    ///   the S→X upgrade-deadlock cascade cannot form.
+    ///
+    /// The multiversion levels (Snapshot Isolation, Oracle Read
+    /// Consistency) take no read locks either way; their write conflicts
+    /// are resolved by First-Committer-Wins / first-writer-wins as usual.
+    pub fn read_for_update(&self, table: &str, row: RowId) -> Result<Option<Row>, TxnError> {
+        self.ensure_active()?;
+        let locking = !matches!(
+            self.db.config.level,
+            IsolationLevel::SnapshotIsolation | IsolationLevel::OracleReadConsistency
+        );
+        if !locking || self.db.config.upgrade == UpgradeStrategy::SharedThenUpgrade {
+            return self.read(table, row);
+        }
+        // A declaration of write intent: the U lock lives as long as the
+        // write lock it announces would (long at every level above
+        // Degree 0), not as long as the level's plain read locks.
+        let duration = match self.write_requirement() {
+            LockRequirement::WellFormed(duration) => {
+                self.acquire(
+                    LockTarget::item(table, row),
+                    LockMode::Update,
+                    &[],
+                    duration,
+                )?;
+                Some(duration)
+            }
+            LockRequirement::NotRequired => None,
+        };
+        let value = self.db.store.get_latest_any(table, row);
+        self.db
+            .recorder
+            .read(self.token, table, row, value.as_ref());
+        if duration == Some(LockDuration::Short) {
+            self.db.locks.release_short(self.token);
+        }
         Ok(value)
     }
 

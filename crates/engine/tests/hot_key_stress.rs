@@ -1,27 +1,34 @@
 //! Engine-level hot-key stress: N workers hammer one row with
-//! read-modify-write transactions under SERIALIZABLE and blocking waits.
+//! read-modify-write transactions under SERIALIZABLE and blocking waits,
+//! across the `{grant policy} × {upgrade strategy}` matrix (CI runs each
+//! cell as a name-filtered job: `hot_key_<policy>_<strategy>`).
 //!
-//! Every transaction reads the hot balance (long shared lock) and then
-//! updates it (exclusive upgrade), which is the canonical deadlock mill.
-//! With the event-driven wait-queues, every wait must end in a grant or a
-//! prompt deadlock verdict: at a sane deadline there must be **zero**
+//! Every transaction reads the hot balance with declared write intent
+//! (`read_for_update`) and then updates it.  Under
+//! `UpgradeStrategy::SharedThenUpgrade` that is the canonical deadlock
+//! mill (long Shared lock, then the Exclusive upgrade); under
+//! `UpgradeStrategy::UpdateLock` the read takes a U lock and the mill
+//! *cannot* turn — the update-lock legs assert **zero** deadlock victims.
+//! Either way, with the event-driven wait-queues every wait must end in a
+//! grant or a prompt verdict: at a sane deadline there must be zero
 //! timeouts, deadlock victims retry, and the final balance must equal the
 //! number of committed increments exactly.
 
 use critique_core::IsolationLevel;
-use critique_engine::{Database, EngineConfig, GrantPolicy, TxnError};
+use critique_engine::{Database, EngineConfig, GrantPolicy, TxnError, UpgradeStrategy};
 use critique_storage::Row;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-fn hammer(grant: GrantPolicy) {
+fn hammer(grant: GrantPolicy, upgrade: UpgradeStrategy) -> u64 {
     const WORKERS: u64 = 8;
     const INCREMENTS_PER_WORKER: u64 = 20;
 
     let config = EngineConfig::new(IsolationLevel::Serializable)
         .blocking(20_000)
         .without_history()
-        .with_grant_policy(grant);
+        .with_grant_policy(grant)
+        .with_upgrade_strategy(upgrade);
     let db = Database::with_config(config);
     let setup = db.begin();
     let hot = setup
@@ -49,7 +56,7 @@ fn hammer(grant: GrantPolicy) {
                         assert!(attempts < 10_000, "increment livelocked");
                         let txn = db.begin();
                         let result = txn
-                            .read("accounts", hot)
+                            .read_for_update("accounts", hot)
                             .and_then(|row| {
                                 let balance = row.and_then(|r| r.get_int("balance")).unwrap_or(0);
                                 txn.update("accounts", hot, Row::new().with("balance", balance + 1))
@@ -77,21 +84,44 @@ fn hammer(grant: GrantPolicy) {
         .read_committed("accounts", hot)
         .and_then(|r| r.get_int("balance"))
         .unwrap_or(-1);
+    let deadlocks = deadlocks.load(Ordering::Relaxed);
     assert_eq!(
-        balance,
-        expected,
-        "every committed increment lands exactly once ({grant:?}, {} deadlock retries)",
-        deadlocks.load(Ordering::Relaxed)
+        balance, expected,
+        "every committed increment lands exactly once ({grant:?}/{upgrade:?}, \
+         {deadlocks} deadlock retries)"
     );
-    assert_eq!(db.locks_held(), 0, "no lock leaked ({grant:?})");
+    assert_eq!(db.locks_held(), 0, "no lock leaked ({grant:?}/{upgrade:?})");
+    deadlocks
 }
 
 #[test]
-fn serializable_hot_key_storm_with_direct_handoff() {
-    hammer(GrantPolicy::DirectHandoff);
+fn hot_key_direct_handoff_shared_then_upgrade() {
+    hammer(
+        GrantPolicy::DirectHandoff,
+        UpgradeStrategy::SharedThenUpgrade,
+    );
 }
 
 #[test]
-fn serializable_hot_key_storm_with_wake_all() {
-    hammer(GrantPolicy::WakeAll);
+fn hot_key_wake_all_shared_then_upgrade() {
+    hammer(GrantPolicy::WakeAll, UpgradeStrategy::SharedThenUpgrade);
+}
+
+#[test]
+fn hot_key_direct_handoff_update_lock() {
+    let deadlocks = hammer(GrantPolicy::DirectHandoff, UpgradeStrategy::UpdateLock);
+    assert_eq!(
+        deadlocks, 0,
+        "U-lock reads leave nothing to deadlock on a single hot key: \
+         the batch-grant cascade is gone"
+    );
+}
+
+#[test]
+fn hot_key_wake_all_update_lock() {
+    let deadlocks = hammer(GrantPolicy::WakeAll, UpgradeStrategy::UpdateLock);
+    assert_eq!(
+        deadlocks, 0,
+        "U-lock reads leave nothing to deadlock on a single hot key"
+    );
 }

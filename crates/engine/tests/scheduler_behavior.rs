@@ -685,3 +685,109 @@ fn locking_serializable_histories_are_conflict_serializable() {
     let report = critique_history::conflict_serializable(&db.recorded_history());
     assert!(report.is_serializable());
 }
+
+// ---------------------------------------------------------------------
+// Update-mode (U) locks: SELECT … FOR UPDATE under UpgradeStrategy.
+// ---------------------------------------------------------------------
+
+fn bank_with_upgrade(level: IsolationLevel, upgrade: UpgradeStrategy) -> (Database, RowId) {
+    let db = Database::with_config(EngineConfig::new(level).with_upgrade_strategy(upgrade));
+    let setup = db.begin();
+    let x = setup
+        .insert("accounts", Row::new().with("balance", 50))
+        .unwrap();
+    setup.commit().unwrap();
+    db.clear_history();
+    (db, x)
+}
+
+#[test]
+fn update_lock_serialises_would_be_upgraders_at_the_read() {
+    let (db, x) = bank_with_upgrade(IsolationLevel::Serializable, UpgradeStrategy::UpdateLock);
+    let t1 = db.begin();
+    let t2 = db.begin();
+    assert!(t1.read_for_update("accounts", x).unwrap().is_some());
+    // A second read-for-update conflicts at the *read*: U vs U — the
+    // collision that used to happen only later, as an upgrade deadlock.
+    assert!(matches!(
+        t2.read_for_update("accounts", x),
+        Err(TxnError::WouldBlock { .. })
+    ));
+    // The asymmetric half: a held U admits no new Shared readers either,
+    // so the pending upgrade cannot be starved by arriving readers.
+    let t3 = db.begin();
+    assert!(matches!(
+        t3.read("accounts", x),
+        Err(TxnError::WouldBlock { .. })
+    ));
+    // The U→X conversion itself has nothing to wait for.
+    t1.update("accounts", x, Row::new().with("balance", 60))
+        .unwrap();
+    t1.commit().unwrap();
+    assert!(t2.read_for_update("accounts", x).unwrap().is_some());
+    assert_eq!(
+        t2.read_for_update("accounts", x)
+            .unwrap()
+            .unwrap()
+            .get_int("balance"),
+        Some(60)
+    );
+}
+
+#[test]
+fn update_lock_is_granted_while_shared_readers_hold_the_item() {
+    let (db, x) = bank_with_upgrade(IsolationLevel::Serializable, UpgradeStrategy::UpdateLock);
+    let reader = db.begin();
+    assert!(reader.read("accounts", x).unwrap().is_some());
+    // U is compatible with held S: the updater announces itself while the
+    // reader is still active…
+    let updater = db.begin();
+    assert!(updater.read_for_update("accounts", x).unwrap().is_some());
+    // …but its X conversion waits for the reader to drain.
+    assert!(matches!(
+        updater.update("accounts", x, Row::new().with("balance", 70)),
+        Err(TxnError::WouldBlock { .. })
+    ));
+    reader.commit().unwrap();
+    updater
+        .update("accounts", x, Row::new().with("balance", 70))
+        .unwrap();
+    updater.commit().unwrap();
+    assert_eq!(balance(&db, x), 70);
+}
+
+#[test]
+fn shared_then_upgrade_strategy_reads_for_update_like_plain_reads() {
+    let (db, x) = bank_with_upgrade(
+        IsolationLevel::Serializable,
+        UpgradeStrategy::SharedThenUpgrade,
+    );
+    let t1 = db.begin();
+    let t2 = db.begin();
+    // The baseline strategy changes nothing: both RMW reads are granted
+    // Shared, and the upgrade collision is still possible later.
+    assert!(t1.read_for_update("accounts", x).unwrap().is_some());
+    assert!(t2.read_for_update("accounts", x).unwrap().is_some());
+    assert!(matches!(
+        t1.update("accounts", x, Row::new().with("balance", 1)),
+        Err(TxnError::WouldBlock { .. })
+    ));
+}
+
+#[test]
+fn multiversion_levels_ignore_the_update_lock_strategy() {
+    for level in [
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::OracleReadConsistency,
+    ] {
+        let (db, x) = bank_with_upgrade(level, UpgradeStrategy::UpdateLock);
+        let t1 = db.begin();
+        let t2 = db.begin();
+        // No read locks at the multiversion levels, FOR UPDATE or not.
+        assert!(t1.read_for_update("accounts", x).unwrap().is_some());
+        assert!(t2.read_for_update("accounts", x).unwrap().is_some());
+        assert_eq!(db.locks_held(), 0, "{level}");
+        let _ = t1.abort();
+        let _ = t2.abort();
+    }
+}

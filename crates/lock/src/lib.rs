@@ -2,10 +2,13 @@
 //!
 //! The lock manager behind the locking isolation levels of Table 2.
 //!
-//! Transactions request **Shared** (read) and **Exclusive** (write) locks on
-//! *data items* or on *predicates* (Section 2.3).  Two locks by different
-//! transactions conflict if they cover a common (possibly phantom) data item
-//! and at least one of them is exclusive.  The lock manager supports:
+//! Transactions request **Shared** (read), **Update** (read with declared
+//! intent to write — the classic asymmetric U mode from the Gray locking
+//! lineage), and **Exclusive** (write) locks on *data items* or on
+//! *predicates* (Section 2.3).  Two locks by different transactions
+//! conflict if they cover a common (possibly phantom) data item and their
+//! modes conflict under the asymmetric compatibility matrix
+//! ([`LockMode::conflicts_with`]).  The lock manager supports:
 //!
 //! * item locks and predicate locks, with item-vs-predicate conflicts
 //!   decided against the row images supplied by the caller;
@@ -47,17 +50,23 @@ pub mod waitqueue;
 
 pub use crate::deadlock::WaitsForGraph;
 pub use crate::manager::{AcquireError, LockManager, LockOutcome, DEFAULT_LOCK_SHARDS};
-pub use crate::mode::LockMode;
+pub use crate::mode::{LockMode, UpgradeStrategy};
 pub use crate::target::LockTarget;
-pub use crate::waitqueue::{requests_conflict, sweep_plan, GrantPolicy, QueuedRequest};
+pub use crate::waitqueue::{
+    conversion_first, is_conversion, requests_conflict, sweep_plan, upgrade_aware_plan,
+    GrantPolicy, QueuedRequest,
+};
 pub use critique_core::locking::LockDuration;
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::deadlock::WaitsForGraph;
     pub use crate::manager::{AcquireError, LockManager, LockOutcome, DEFAULT_LOCK_SHARDS};
-    pub use crate::mode::LockMode;
+    pub use crate::mode::{LockMode, UpgradeStrategy};
     pub use crate::target::LockTarget;
-    pub use crate::waitqueue::{requests_conflict, sweep_plan, GrantPolicy, QueuedRequest};
+    pub use crate::waitqueue::{
+        conversion_first, is_conversion, requests_conflict, sweep_plan, upgrade_aware_plan,
+        GrantPolicy, QueuedRequest,
+    };
     pub use critique_core::locking::LockDuration;
 }

@@ -24,7 +24,21 @@
 //! enqueues a waiter handle and parks on the handle's own condvar; a
 //! release sweeps the queues of the tables it touched in FIFO order and,
 //! under [`GrantPolicy::DirectHandoff`], installs each compatible grant on
-//! the waiter's behalf before waking it.  A parked waiter is woken only by
+//! the waiter's behalf before waking it.  The sweep is **upgrade-aware**:
+//! queued conversion requests (a transaction strengthening a lock it
+//! already holds on the same target — S→X or U→X) are swept ahead of
+//! fresh requests, so the sweep never grants a parked Shared request
+//! while a conflicting upgrade on the same target is still waiting.
+//! Without that rule a release can batch-grant Shared to several parked
+//! readers whose subsequent Exclusive upgrades deadlock each other — and
+//! every fresh Shared grant in between adds one more holder the pending
+//! upgrade must outwait, which is what made the cascade self-sustaining.
+//! (The rule governs the wait queue only: the uncontended fast path still
+//! barges past queued requests when compatible with the *held* set — the
+//! ROADMAP's barging-fairness item.  The update-mode discipline does not
+//! rely on sweep order for its guarantee: a held U refuses new Shared at
+//! the held-lock check itself, so barging readers are refused too.)
+//! A parked waiter is woken only by
 //! a delivered grant, a deadlock verdict, or its own deadline — there is no
 //! re-poll timer anywhere in the wait path.  Deadlock detection is
 //! incremental: waits-for edges are inserted the moment a request blocks
@@ -49,7 +63,8 @@
 use crate::mode::LockMode;
 use crate::target::LockTarget;
 use crate::waitqueue::{
-    requests_conflict, sweep_scan, GrantPolicy, QueueKey, Verdict, WaitInner, WaitSet, Waiter,
+    blockers_in_order, requests_conflict, sweep_scan, GrantPolicy, QueueKey, Verdict, WaitInner,
+    WaitSet, Waiter,
 };
 use critique_core::locking::LockDuration;
 use critique_storage::{Row, RowId, TxnToken};
@@ -618,9 +633,11 @@ impl LockManager {
                 return Ok(());
             }
             // Insert this request's waits-for edges: the conflicting
-            // holders plus any earlier queued waiter FIFO holds us behind.
+            // holders plus any queued waiter the effective order holds us
+            // behind (earlier arrivals, and conversions even if they
+            // arrived later).
             let mut blockers = holders;
-            blockers.extend(wait.queue_blockers(&key, txn));
+            blockers.extend(self.queue_blockers(&wait, &key, txn));
             wait.graph.set_waits(txn, blockers);
             // Detect-on-insert: if these edges close a cycle, this request
             // is the cycle-closing one and therefore the victim.  Edges of
@@ -646,6 +663,80 @@ impl LockManager {
             drop(wait);
             waiter.park(epoch, deadline);
         }
+    }
+
+    /// The upgrade-aware effective order of `key`'s queue: conversion
+    /// requests first (FIFO among themselves), then fresh requests (FIFO).
+    /// This instantiates [`crate::waitqueue::conversion_first`] against
+    /// the real lock tables; both the release sweep and the waits-for
+    /// edges use it, so the *sweep* never grants a parked Shared request —
+    /// and never considers it unblocked — while a conflicting queued
+    /// upgrade on the same target is still waiting.  (The uncontended
+    /// fast path still barges past the queue when compatible with the
+    /// held set — the ROADMAP's barging-fairness item; under the U-lock
+    /// discipline barging is harmless, because a held U already refuses
+    /// new Shared grants at the held-lock check itself.)
+    fn ordered_queue(&self, wait: &WaitInner, key: &QueueKey) -> Vec<Arc<Waiter>> {
+        let queue = wait.queue(key);
+        if queue.is_empty() {
+            return queue;
+        }
+        // A waiter is converting when its transaction already holds a lock
+        // on exactly its own target.  Every target queued under an `Item`
+        // key hashes to the key's bucket, so all their granted locks live
+        // in one shard bucket; every target under a `Predicate` key lives
+        // in the table's domain — either way one guard classifies the
+        // whole queue.
+        let converting: Vec<bool> = match key {
+            QueueKey::Item { bucket, .. } => {
+                let guard = self.shards[self.shard_index(*bucket)].lock();
+                let held = guard.buckets.get(bucket).map(Vec::as_slice).unwrap_or(&[]);
+                queue
+                    .iter()
+                    .map(|w| {
+                        held.iter()
+                            .any(|h| h.holder == w.txn && h.target == w.target)
+                    })
+                    .collect()
+            }
+            QueueKey::Predicate { table } => match self.domain(table) {
+                Some(domain) => {
+                    let guard = domain.inner.lock();
+                    queue
+                        .iter()
+                        .map(|w| {
+                            guard
+                                .iter()
+                                .any(|h| h.holder == w.txn && h.target == w.target)
+                        })
+                        .collect()
+                }
+                None => vec![false; queue.len()],
+            },
+        };
+        let mut order: Vec<Arc<Waiter>> = Vec::with_capacity(queue.len());
+        order.extend(
+            queue
+                .iter()
+                .zip(&converting)
+                .filter(|(_, &c)| c)
+                .map(|(w, _)| Arc::clone(w)),
+        );
+        order.extend(
+            queue
+                .iter()
+                .zip(&converting)
+                .filter(|(_, &c)| !c)
+                .map(|(w, _)| Arc::clone(w)),
+        );
+        order
+    }
+
+    /// The transactions whose *queued* requests precede `txn`'s in the
+    /// effective order and conflict with it — they belong in `txn`'s
+    /// waits-for edges alongside the current holders.
+    fn queue_blockers(&self, wait: &WaitInner, key: &QueueKey, txn: TxnToken) -> Vec<TxnToken> {
+        blockers_in_order(&self.ordered_queue(wait, key), txn)
     }
 
     /// Remove `txn`'s waiter and its waits-for edges (grant found on
@@ -677,6 +768,9 @@ impl LockManager {
     /// trusted and by sweeps, so the incremental graph can never hold a
     /// stale edge long enough to fabricate or hide a deadlock.
     fn refresh_waiter_edges(&self, wait: &mut WaitInner) {
+        // The effective order of a queue is the same for every waiter on
+        // it; derive it once per key, not once per waiter.
+        let mut orders: BTreeMap<QueueKey, Vec<Arc<Waiter>>> = BTreeMap::new();
         for waiter in wait.all_waiters() {
             if !waiter.is_waiting() {
                 continue;
@@ -689,7 +783,12 @@ impl LockManager {
                 waiter.duration,
                 false,
             );
-            blockers.extend(wait.queue_blockers(&queue_key(&waiter.target), waiter.txn));
+            let key = queue_key(&waiter.target);
+            if !orders.contains_key(&key) {
+                let order = self.ordered_queue(wait, &key);
+                orders.insert(key.clone(), order);
+            }
+            blockers.extend(blockers_in_order(&orders[&key], waiter.txn));
             wait.graph.set_waits(waiter.txn, blockers);
         }
     }
@@ -712,7 +811,11 @@ impl LockManager {
     fn sweep_locked(&self, wait: &mut WaitInner, tables: &BTreeSet<String>) {
         let keys = wait.keys_for_tables(tables.iter());
         for key in keys {
-            let queue = wait.queue(&key);
+            // Upgrade-aware effective order: conversions sweep first, so a
+            // queued S→X or U→X upgrade is offered the lock before any
+            // fresh Shared request that would otherwise pile onto the held
+            // set it must outwait (the PR 4 batch-grant cascade).
+            let queue = self.ordered_queue(wait, &key);
             match self.policy {
                 GrantPolicy::WakeAll => {
                     for waiter in &queue {
@@ -744,7 +847,12 @@ impl LockManager {
                                 // this pending request is the closer and
                                 // the victim.
                                 let mut blockers = holders;
-                                blockers.extend(wait.queue_blockers(&key, w.txn));
+                                // The sweep's own ordered snapshot is
+                                // current (granted waiters are filtered
+                                // by `is_waiting`), so the edges come
+                                // from it instead of re-deriving the
+                                // order per waiter.
+                                blockers.extend(blockers_in_order(&queue, w.txn));
                                 wait.graph.set_waits(w.txn, blockers);
                                 if let Some(cycle) = wait.graph.find_cycle_from(w.txn) {
                                     self.retire_waiter(wait, &key, w.txn);

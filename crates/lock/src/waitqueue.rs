@@ -132,9 +132,83 @@ pub fn sweep_plan(held: &[QueuedRequest], queue: &[QueuedRequest]) -> Vec<usize>
     )
 }
 
+/// True when `req` is a **conversion** (upgrade) request: its transaction
+/// already holds a granted lock on the same target, so granting `req`
+/// strengthens an existing lock instead of adding a new holder.
+pub fn is_conversion(held: &[QueuedRequest], req: &QueuedRequest) -> bool {
+    held.iter()
+        .any(|h| h.txn == req.txn && h.target == req.target)
+}
+
+/// The **upgrade-aware** effective order of a wait-queue: conversion
+/// requests first (in arrival order among themselves), then everything
+/// else (in arrival order).  Returns indices into `queue`.
+///
+/// This is the classic "conversions wait ahead of new requests" rule, and
+/// it is what makes the sweep upgrade-aware: a sweep never grants a
+/// parked Shared request while a conflicting queued upgrade (S→X or U→X)
+/// on the same target is still waiting — granting it would add one more
+/// holder the upgrade has to outwait, which is exactly how the
+/// batch-grant cascade sustains itself.  (The rule orders the wait queue;
+/// it does not close the manager's barging fast path, which never
+/// consults the queue — see the ROADMAP's fairness item.)  Because the
+/// rule is an *ordering* (not a refusal), no wakeup is lost: the
+/// held-back request is simply behind the upgrade, and the retire/grant
+/// of the upgrade re-sweeps the queue as usual.
+pub fn conversion_first(held: &[QueuedRequest], queue: &[QueuedRequest]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..queue.len())
+        .filter(|&i| is_conversion(held, &queue[i]))
+        .collect();
+    order.extend((0..queue.len()).filter(|&i| !is_conversion(held, &queue[i])));
+    order
+}
+
+/// [`sweep_plan`] over the [`conversion_first`] effective order: the
+/// upgrade-aware sweep the lock manager's release path instantiates.
+/// Returns the granted indices into `queue` (original positions), in
+/// grant order.
+pub fn upgrade_aware_plan(held: &[QueuedRequest], queue: &[QueuedRequest]) -> Vec<usize> {
+    let order = conversion_first(held, queue);
+    let mut planned: Vec<usize> = Vec::new();
+    sweep_scan(
+        order.len(),
+        |j, i| requests_conflict(&queue[order[j]], &queue[order[i]]),
+        |i| {
+            let idx = order[i];
+            let ok = !held.iter().any(|h| requests_conflict(h, &queue[idx]))
+                && !planned
+                    .iter()
+                    .any(|&g| requests_conflict(&queue[g], &queue[idx]));
+            if ok {
+                planned.push(idx);
+            }
+            ok
+        },
+    );
+    planned
+}
+
 // ---------------------------------------------------------------------
 // The runtime side: waiter handles and the wait-set.
 // ---------------------------------------------------------------------
+
+/// Waiters that precede `txn` in the given effective order and whose
+/// pending request conflicts with `txn`'s — the discipline holds `txn`
+/// behind them even once the current holders release, so they belong in
+/// `txn`'s waits-for edges.  The caller supplies the order (the lock
+/// manager passes the [`conversion_first`] view of the queue).
+pub(crate) fn blockers_in_order(order: &[Arc<Waiter>], txn: TxnToken) -> Vec<TxnToken> {
+    let Some(own) = order.iter().find(|w| w.txn == txn) else {
+        return Vec::new();
+    };
+    let own_req = own.request();
+    order
+        .iter()
+        .take_while(|w| w.txn != txn)
+        .filter(|w| w.is_waiting() && requests_conflict(&w.request(), &own_req))
+        .map(|w| w.txn)
+        .collect()
+}
 
 /// Which queue a blocked request parks on.  Item requests queue under
 /// their `(table, row)` hash bucket — hash collisions merely share a FIFO
@@ -364,25 +438,6 @@ impl WaitInner {
             .unwrap_or_default()
     }
 
-    /// Earlier waiters in `key`'s queue whose pending request conflicts
-    /// with `txn`'s — FIFO holds `txn` behind them even once the current
-    /// holders release, so they belong in `txn`'s waits-for edges.
-    pub(crate) fn queue_blockers(&self, key: &QueueKey, txn: TxnToken) -> Vec<TxnToken> {
-        let Some(queue) = self.queues.get(key) else {
-            return Vec::new();
-        };
-        let Some(own) = queue.iter().find(|w| w.txn == txn) else {
-            return Vec::new();
-        };
-        let own_req = own.request();
-        queue
-            .iter()
-            .take_while(|w| w.txn != txn)
-            .filter(|w| w.is_waiting() && requests_conflict(&w.request(), &own_req))
-            .map(|w| w.txn)
-            .collect()
-    }
-
     /// Every parked waiter, across all queues, in queue order.
     pub(crate) fn all_waiters(&self) -> Vec<Arc<Waiter>> {
         self.queues.values().flatten().cloned().collect()
@@ -458,6 +513,64 @@ mod tests {
         ];
         // With nothing held, exactly the head wins (the rest conflict).
         assert_eq!(sweep_plan(&[], &queue), vec![0]);
+    }
+
+    #[test]
+    fn conversion_requests_are_ordered_first() {
+        let held = [req(2, 0, LockMode::Shared)];
+        let queue = [
+            req(3, 0, LockMode::Shared),
+            req(2, 0, LockMode::Exclusive), // upgrade: txn 2 already holds S(x)
+            req(4, 1, LockMode::Shared),
+        ];
+        assert!(!is_conversion(&held, &queue[0]));
+        assert!(is_conversion(&held, &queue[1]));
+        assert_eq!(conversion_first(&held, &queue), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn upgrade_aware_plan_grants_the_conversion_not_the_reader() {
+        // txn 2 holds S(x) and queued its X upgrade; a fresh reader queued
+        // *ahead* of the upgrade.  The plain FIFO sweep would grant the
+        // reader (compatible with the held S) and leave the upgrade with
+        // one more holder to outwait — the cascade shape.  The
+        // upgrade-aware sweep grants the conversion instead.
+        let held = [req(2, 0, LockMode::Shared)];
+        let queue = [req(3, 0, LockMode::Shared), req(2, 0, LockMode::Exclusive)];
+        assert_eq!(sweep_plan(&held, &queue), vec![0]);
+        assert_eq!(upgrade_aware_plan(&held, &queue), vec![1]);
+    }
+
+    #[test]
+    fn shared_is_never_granted_while_a_conflicting_conversion_waits() {
+        // Two S holders; one of them queued its upgrade, so the conversion
+        // itself is still blocked — and the fresh reader must be held back
+        // behind it rather than pile onto the held set.
+        let held = [req(2, 0, LockMode::Shared), req(9, 0, LockMode::Shared)];
+        let queue = [req(3, 0, LockMode::Shared), req(2, 0, LockMode::Exclusive)];
+        assert_eq!(upgrade_aware_plan(&held, &queue), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn upgrade_aware_plan_without_conversions_is_the_plain_sweep() {
+        let held = [req(9, 0, LockMode::Exclusive)];
+        let queue = [
+            req(1, 0, LockMode::Exclusive),
+            req(2, 1, LockMode::Exclusive),
+            req(3, 0, LockMode::Shared),
+        ];
+        assert_eq!(upgrade_aware_plan(&held, &queue), sweep_plan(&held, &queue));
+    }
+
+    #[test]
+    fn update_mode_requests_conflict_asymmetrically() {
+        let held_u = req(1, 0, LockMode::Update);
+        let held_s = req(2, 0, LockMode::Shared);
+        // A U request against held S is compatible; an S request against
+        // held U is not (the first argument is the held/earlier side).
+        assert!(!requests_conflict(&held_s, &req(1, 0, LockMode::Update)));
+        assert!(requests_conflict(&held_u, &req(2, 0, LockMode::Shared)));
+        assert!(requests_conflict(&held_u, &req(3, 0, LockMode::Update)));
     }
 
     #[test]

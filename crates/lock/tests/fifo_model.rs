@@ -1,65 +1,82 @@
-//! Property tests modelling the FIFO wait-queue against a single-threaded
-//! reference scheduler.
+//! Property tests modelling the upgrade-aware FIFO wait-queue against a
+//! single-threaded reference scheduler, over the full three-mode
+//! (S / U / X) matrix.
 //!
-//! The model replays random acquire/release sequences through two
+//! The model replays random acquire/release/retire sequences through two
 //! schedulers and demands they agree after every event:
 //!
 //! * the **queue model** runs the shipped discipline: barge-free
-//!   enqueueing behind conflicts, and [`sweep_plan`] — the pure
+//!   enqueueing behind conflicts, conversion requests (a transaction
+//!   strengthening a lock it already holds on the same target) ordered
+//!   ahead of fresh requests, and [`upgrade_aware_plan`] — the pure
 //!   specification the lock manager's release sweep instantiates — to
 //!   decide which waiters each release grants;
 //! * the **reference scheduler** knows nothing about sweeps: after every
-//!   release it just rescans its single arrival-ordered wait list, one
-//!   request at a time, granting the first request that conflicts with
-//!   neither a held lock nor an earlier still-waiting request, until a
-//!   full pass grants nothing.
+//!   release it just rescans its wait list in the same effective order
+//!   (conversions first, then arrival order), one request at a time,
+//!   granting the first request that conflicts with neither a held lock
+//!   nor an earlier still-waiting request, until a full pass grants
+//!   nothing.
 //!
-//! On top of the equivalence, the properties pin the two guarantees the
-//! event-driven scheduler owes its callers: **no wakeup is lost** (after a
-//! release, nothing grantable is left waiting — a parked waiter with no
-//! conflict left would sleep forever now that there is no poll) and
-//! **starvation-freedom** (releasing all held locks always grants at least
-//! the head of every non-empty queue, so draining terminates in at most
-//! one sweep per waiter).
+//! On top of the equivalence, the properties pin the guarantees the
+//! event-driven scheduler owes its callers: **no wakeup is lost** (after
+//! a release *or a retired waiter* — a timed-out or victimised request
+//! vanishing from the queue — nothing grantable in the effective order is
+//! left waiting, because a parked waiter with no conflict left would
+//! sleep forever now that there is no poll), **starvation-freedom**
+//! (releasing all held locks always grants at least the head of every
+//! non-empty queue, so draining terminates), and **upgrade priority** (a
+//! fresh Shared request is never granted while a conflicting conversion
+//! on the same target is still waiting — the rule that kills the
+//! batch-grant upgrade-deadlock cascade).
 
-use critique_lock::{requests_conflict, sweep_plan, LockMode, LockTarget, QueuedRequest};
+use critique_lock::{
+    conversion_first, is_conversion, requests_conflict, upgrade_aware_plan, LockMode, LockTarget,
+    QueuedRequest,
+};
 use critique_storage::{RowId, TxnToken};
 use proptest::prelude::*;
 
-/// One scripted event: a transaction acquires an item lock or releases
-/// everything it holds.
+/// One scripted event: a transaction acquires an item lock, releases
+/// everything it holds, or retires its queued request without releasing
+/// (the shape of a timeout / deadlock victim between its verdict and its
+/// rollback).
 #[derive(Clone, Debug)]
 enum Event {
-    Acquire { txn: u64, row: u64, exclusive: bool },
+    Acquire { txn: u64, row: u64, mode: LockMode },
     Release { txn: u64 },
+    Retire { txn: u64 },
 }
 
-fn request(txn: u64, row: u64, exclusive: bool) -> QueuedRequest {
+fn request(txn: u64, row: u64, mode: LockMode) -> QueuedRequest {
     QueuedRequest {
         txn: TxnToken(txn),
         target: LockTarget::item("t", RowId(row)),
-        mode: if exclusive {
-            LockMode::Exclusive
-        } else {
-            LockMode::Shared
-        },
+        mode,
         images: Vec::new(),
     }
 }
 
-/// Strategy: a short script of acquires and releases over a handful of
-/// transactions and rows.
+/// Strategy: a short script of acquires, releases, and retires over a
+/// handful of transactions, rows, and all three lock modes.
 fn arbitrary_events() -> impl Strategy<Value = Vec<Event>> {
-    let event =
-        (1u64..=5, 0u64..3, prop::bool::ANY, 1u64..=8).prop_map(|(txn, row, exclusive, kind)| {
-            if kind <= 6 {
-                Event::Acquire {
-                    txn,
-                    row,
-                    exclusive,
-                }
-            } else {
+    let event = (
+        1u64..=5,
+        0u64..3,
+        prop::sample::select(vec![
+            LockMode::Shared,
+            LockMode::Update,
+            LockMode::Exclusive,
+        ]),
+        1u64..=10,
+    )
+        .prop_map(|(txn, row, mode, kind)| {
+            if kind <= 7 {
+                Event::Acquire { txn, row, mode }
+            } else if kind <= 9 {
                 Event::Release { txn }
+            } else {
+                Event::Retire { txn }
             }
         });
     proptest::collection::vec(event, 1..40)
@@ -72,29 +89,59 @@ fn arbitrary_events() -> impl Strategy<Value = Vec<Event>> {
 struct Scheduler {
     held: Vec<QueuedRequest>,
     queue: Vec<QueuedRequest>,
-    grant_log: Vec<(u64, u64)>,
+    grant_log: Vec<(u64, u64, LockMode)>,
 }
 
 impl Scheduler {
     /// A request is admitted immediately only if it conflicts with nothing
-    /// granted and nothing already waiting (no barging past the queue —
-    /// this is the discipline a blocking `acquire` follows once it
-    /// enqueues; the model scripts every request through it so grant
-    /// order is fully deterministic).
+    /// granted and nothing waiting *ahead of it in the effective order*
+    /// (no barging past the queue — this is the discipline a blocking
+    /// `acquire` follows once it enqueues; the model scripts every request
+    /// through it so grant order is fully deterministic).  A conversion
+    /// request is ordered ahead of every fresh request, so only held
+    /// locks and earlier-queued conversions can block it.
     fn acquire(&mut self, req: QueuedRequest) {
-        // A transaction re-requesting while already granted or queued on
-        // the same row merges in the real manager; keep the model simple
-        // by ignoring exact re-requests.
-        let same = |r: &QueuedRequest| r.txn == req.txn && r.target == req.target;
-        if self.held.iter().any(same) || self.queue.iter().any(same) {
+        // A transaction re-requesting a target it already covers, or one
+        // it already has a request queued on, merges in the real manager;
+        // keep the model simple by ignoring such re-requests.
+        if self
+            .held
+            .iter()
+            .any(|r| r.txn == req.txn && r.target == req.target && r.mode.covers(req.mode))
+        {
             return;
         }
+        if self
+            .queue
+            .iter()
+            .any(|r| r.txn == req.txn && r.target == req.target)
+        {
+            return;
+        }
+        let conversion = is_conversion(&self.held, &req);
         let blocked = self.held.iter().any(|h| requests_conflict(h, &req))
-            || self.queue.iter().any(|q| requests_conflict(q, &req));
+            || self.queue.iter().any(|q| {
+                let q_precedes = is_conversion(&self.held, q) || !conversion;
+                q_precedes && requests_conflict(q, &req)
+            });
         if blocked {
             self.queue.push(req);
         } else {
-            self.grant_log.push((req.txn.0, row_of(&req)));
+            self.install(req);
+        }
+    }
+
+    /// Install a grant: a conversion strengthens the existing held entry
+    /// in place, a fresh request appends a new holder.
+    fn install(&mut self, req: QueuedRequest) {
+        self.grant_log.push((req.txn.0, row_of(&req), req.mode));
+        if let Some(held) = self
+            .held
+            .iter_mut()
+            .find(|h| h.txn == req.txn && h.target == req.target)
+        {
+            held.mode = held.mode.max(req.mode);
+        } else {
             self.held.push(req);
         }
     }
@@ -112,16 +159,33 @@ impl Scheduler {
         // A queued request of the releasing transaction retires too (the
         // real waiter would observe its own abort and stop waiting).
         self.queue.retain(|q| q.txn.0 != txn);
+        self.drain(sweep);
+    }
+
+    /// A queued request of `txn` vanishes without any lock being released
+    /// (timeout / victim verdict); the real manager re-sweeps the queue so
+    /// followers held back only by the dead request are not stranded.
+    fn retire(
+        &mut self,
+        txn: u64,
+        sweep: impl Fn(&[QueuedRequest], &[QueuedRequest]) -> Vec<usize>,
+    ) {
+        let before = self.queue.len();
+        self.queue.retain(|q| q.txn.0 != txn);
+        if self.queue.len() < before {
+            self.drain(sweep);
+        }
+    }
+
+    fn drain(&mut self, sweep: impl Fn(&[QueuedRequest], &[QueuedRequest]) -> Vec<usize>) {
         loop {
             let granted = sweep(&self.held, &self.queue);
             if granted.is_empty() {
                 return;
             }
-            // Move granted requests, in queue order, from queue to held.
+            // Move granted requests, in grant order, from queue to held.
             for &i in &granted {
-                let req = self.queue[i].clone();
-                self.grant_log.push((req.txn.0, row_of(&req)));
-                self.held.push(req);
+                self.install(self.queue[i].clone());
             }
             let mut idx = 0usize;
             self.queue.retain(|_| {
@@ -136,11 +200,16 @@ impl Scheduler {
     }
 
     /// True when some waiting request conflicts with nothing held and no
-    /// earlier still-waiting request — i.e. a wakeup has been lost.
+    /// request ahead of it in the effective order — i.e. a wakeup has
+    /// been lost.
     fn has_lost_wakeup(&self) -> bool {
-        self.queue.iter().enumerate().any(|(i, req)| {
+        let order = conversion_first(&self.held, &self.queue);
+        order.iter().enumerate().any(|(pos, &idx)| {
+            let req = &self.queue[idx];
             !self.held.iter().any(|h| requests_conflict(h, req))
-                && !self.queue[..i].iter().any(|q| requests_conflict(q, req))
+                && !order[..pos]
+                    .iter()
+                    .any(|&j| requests_conflict(&self.queue[j], req))
         })
     }
 }
@@ -152,14 +221,19 @@ fn row_of(req: &QueuedRequest) -> u64 {
     }
 }
 
-/// The reference sweep: one grant per pass, first eligible request in
-/// arrival order.  Deliberately dumber than [`sweep_plan`].
+/// The reference sweep: one grant per pass, first eligible request in the
+/// effective (conversions-first) order.  Deliberately dumber than
+/// [`upgrade_aware_plan`].
 fn reference_sweep(held: &[QueuedRequest], queue: &[QueuedRequest]) -> Vec<usize> {
-    for (i, req) in queue.iter().enumerate() {
+    let order = conversion_first(held, queue);
+    for (pos, &idx) in order.iter().enumerate() {
+        let req = &queue[idx];
         let eligible = !held.iter().any(|h| requests_conflict(h, req))
-            && !queue[..i].iter().any(|q| requests_conflict(q, req));
+            && !order[..pos]
+                .iter()
+                .any(|&j| requests_conflict(&queue[j], req));
         if eligible {
-            return vec![i];
+            return vec![idx];
         }
     }
     Vec::new()
@@ -170,27 +244,27 @@ fn replay(events: &[Event]) -> (Scheduler, Scheduler) {
     let mut reference = Scheduler::default();
     for event in events {
         match event {
-            Event::Acquire {
-                txn,
-                row,
-                exclusive,
-            } => {
-                model.acquire(request(*txn, *row, *exclusive));
-                reference.acquire(request(*txn, *row, *exclusive));
+            Event::Acquire { txn, row, mode } => {
+                model.acquire(request(*txn, *row, *mode));
+                reference.acquire(request(*txn, *row, *mode));
             }
             Event::Release { txn } => {
-                model.release(*txn, sweep_plan);
+                model.release(*txn, upgrade_aware_plan);
                 reference.release(*txn, reference_sweep);
+            }
+            Event::Retire { txn } => {
+                model.retire(*txn, upgrade_aware_plan);
+                reference.retire(*txn, reference_sweep);
             }
         }
     }
     (model, reference)
 }
 
-fn keyset(requests: &[QueuedRequest]) -> Vec<(u64, u64, bool)> {
+fn keyset(requests: &[QueuedRequest]) -> Vec<(u64, u64, LockMode)> {
     let mut keys: Vec<_> = requests
         .iter()
-        .map(|r| (r.txn.0, row_of(r), r.mode == LockMode::Exclusive))
+        .map(|r| (r.txn.0, row_of(r), r.mode))
         .collect();
     keys.sort();
     keys
@@ -202,8 +276,9 @@ proptest! {
     #[test]
     fn queue_model_matches_the_reference_scheduler(events in arbitrary_events()) {
         let (model, reference) = replay(&events);
-        // Same grants, same order: the batched FIFO sweep is equivalent to
-        // granting one eligible request at a time in arrival order.
+        // Same grants, same order: the batched upgrade-aware sweep is
+        // equivalent to granting one eligible request at a time in the
+        // conversions-first effective order.
         prop_assert_eq!(&model.grant_log, &reference.grant_log);
         prop_assert_eq!(keyset(&model.held), keyset(&reference.held));
         prop_assert_eq!(keyset(&model.queue), keyset(&reference.queue));
@@ -214,10 +289,16 @@ proptest! {
         let mut model = Scheduler::default();
         for event in &events {
             match event {
-                Event::Acquire { txn, row, exclusive } => {
-                    model.acquire(request(*txn, *row, *exclusive));
+                Event::Acquire { txn, row, mode } => {
+                    model.acquire(request(*txn, *row, *mode));
                 }
-                Event::Release { txn } => model.release(*txn, sweep_plan),
+                Event::Release { txn } => model.release(*txn, upgrade_aware_plan),
+                // The retired-waiter half of the invariant: a queued
+                // request vanishing (timeout / victim) must re-sweep with
+                // the same upgrade-aware discipline, or a follower that
+                // was held back only by the dead request sleeps to its
+                // own deadline.
+                Event::Retire { txn } => model.retire(*txn, upgrade_aware_plan),
             }
             // Invariant after every event: nothing grantable is parked.
             prop_assert!(!model.has_lost_wakeup());
@@ -225,10 +306,44 @@ proptest! {
     }
 
     #[test]
+    fn sweeps_never_grant_past_a_waiting_conversion(events in arbitrary_events()) {
+        // Replay, and at every state check the planned grants directly:
+        // the plan never grants a fresh request that conflicts with a
+        // conversion it leaves waiting — in particular, no fresh Shared
+        // lands on a target with a blocked upgrade (the cascade shape).
+        let mut model = Scheduler::default();
+        for event in &events {
+            match event {
+                Event::Acquire { txn, row, mode } => {
+                    model.acquire(request(*txn, *row, *mode));
+                }
+                Event::Release { txn } => model.release(*txn, upgrade_aware_plan),
+                Event::Retire { txn } => model.retire(*txn, upgrade_aware_plan),
+            }
+            let plan = upgrade_aware_plan(&model.held, &model.queue);
+            for (idx, req) in model.queue.iter().enumerate() {
+                if plan.contains(&idx) || !is_conversion(&model.held, req) {
+                    continue;
+                }
+                // `req` is a conversion the plan leaves waiting: nothing
+                // the plan grants may conflict with it.
+                for &g in &plan {
+                    prop_assert!(
+                        !requests_conflict(req, &model.queue[g]),
+                        "sweep granted {:?} past the waiting conversion {:?}",
+                        model.queue[g], req
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn draining_all_holders_starves_no_waiter(events in arbitrary_events()) {
         let (mut model, _) = replay(&events);
-        // Keep releasing every holder; FIFO must grant at least the head
-        // of each queue per round, so the queue drains in bounded rounds.
+        // Keep releasing every holder; the discipline must grant at least
+        // the head of each queue per round, so the queue drains in
+        // bounded rounds.
         let mut rounds = 0usize;
         while !model.queue.is_empty() {
             let waiting_before = model.queue.len();
@@ -236,15 +351,15 @@ proptest! {
             if holders.is_empty() {
                 // Every waiter conflicts only with other waiters: the
                 // sweep of an empty release set must still admit the
-                // head (no lost wakeup), which `release` of a absent txn
+                // head (no lost wakeup), which `release` of an absent txn
                 // skips — drive it via a no-op holder release.
-                model.release(u64::MAX, sweep_plan);
+                model.release(u64::MAX, upgrade_aware_plan);
                 prop_assert!(model.queue.len() < waiting_before || model.queue.is_empty(),
                     "head of queue starved with no holders");
                 break;
             }
             for txn in holders {
-                model.release(txn, sweep_plan);
+                model.release(txn, upgrade_aware_plan);
             }
             prop_assert!(model.queue.len() < waiting_before,
                 "a full release round granted nothing: starvation");
@@ -257,7 +372,8 @@ proptest! {
     #[test]
     fn fifo_order_is_strict_for_exclusive_same_row_requests(txns in proptest::collection::vec(1u64..=6, 2..6)) {
         // All-exclusive requests on one row: grants must come out in
-        // exactly arrival order when the holders release one by one.
+        // exactly arrival order when the holders release one by one (no
+        // conversions in play, so the effective order is plain FIFO).
         let mut model = Scheduler::default();
         let mut distinct: Vec<u64> = Vec::new();
         for t in txns {
@@ -266,14 +382,38 @@ proptest! {
             }
         }
         for &t in &distinct {
-            model.acquire(request(t, 0, true));
+            model.acquire(request(t, 0, LockMode::Exclusive));
         }
         let mut order: Vec<u64> = Vec::new();
         for _ in 0..distinct.len() {
             let holder = model.held.first().expect("one exclusive holder").txn.0;
             order.push(holder);
-            model.release(holder, sweep_plan);
+            model.release(holder, upgrade_aware_plan);
         }
         prop_assert_eq!(order, distinct);
+    }
+
+    #[test]
+    fn a_retired_upgrade_unblocks_its_fifo_followers(readers in 2u64..=4) {
+        // Holder 1 keeps S(x).  Txn 2 acquires S(x) then queues its X
+        // upgrade (blocked by holder 1); fresh Shared requests queue
+        // behind the upgrade and are held back by it.  When the upgrade
+        // retires (its transaction was victimised elsewhere), the
+        // followers must be granted by the retire's re-sweep — with no
+        // poll, nothing else would ever wake them.
+        let mut model = Scheduler::default();
+        model.acquire(request(1, 0, LockMode::Shared));
+        model.acquire(request(2, 0, LockMode::Shared));
+        model.acquire(request(2, 0, LockMode::Exclusive)); // conversion, blocked by 1
+        prop_assert_eq!(model.queue.len(), 1);
+        for t in 0..readers {
+            model.acquire(request(10 + t, 0, LockMode::Shared));
+        }
+        // All fresh readers held back behind the waiting upgrade.
+        prop_assert_eq!(model.queue.len(), 1 + readers as usize);
+        model.retire(2, upgrade_aware_plan);
+        // The upgrade is gone; every reader is granted by the re-sweep.
+        prop_assert_eq!(model.queue.len(), 0);
+        prop_assert!(!model.has_lost_wakeup());
     }
 }

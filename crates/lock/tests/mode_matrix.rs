@@ -1,0 +1,137 @@
+//! Property tests over the three-mode (S / U / X) compatibility and
+//! coverage matrix.
+//!
+//! The update-mode lock is deliberately *asymmetric* — a requested U is
+//! compatible with held S locks, but a held U refuses new S requests so
+//! its pending upgrade cannot be starved.  These properties pin down
+//! exactly that shape: the matrix is symmetric everywhere **except** the
+//! single intended U/S cell, coverage is a total order (reflexive and
+//! transitive), and walking the upgrade path S → U → X only ever
+//! strengthens a lock (monotonicity: a stronger held mode conflicts with
+//! at least everything the weaker one did, on both sides of the matrix).
+
+use critique_lock::LockMode;
+use proptest::prelude::*;
+
+const MODES: [LockMode; 3] = [LockMode::Shared, LockMode::Update, LockMode::Exclusive];
+
+fn mode() -> impl Strategy<Value = LockMode> {
+    prop::sample::select(MODES.to_vec())
+}
+
+/// The one intended asymmetry: held U vs requested S.
+fn is_the_asymmetric_pair(held: LockMode, requested: LockMode) -> bool {
+    matches!(
+        (held, requested),
+        (LockMode::Update, LockMode::Shared) | (LockMode::Shared, LockMode::Update)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cover_is_reflexive(m in mode()) {
+        prop_assert!(m.covers(m));
+    }
+
+    #[test]
+    fn cover_is_transitive(a in mode(), b in mode(), c in mode()) {
+        if a.covers(b) && b.covers(c) {
+            prop_assert!(a.covers(c));
+        }
+    }
+
+    #[test]
+    fn cover_is_antisymmetric(a in mode(), b in mode()) {
+        if a.covers(b) && b.covers(a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn conflicts_are_symmetric_except_the_intended_us_cell(a in mode(), b in mode()) {
+        if is_the_asymmetric_pair(a, b) {
+            // Exactly one direction conflicts: held U blocks new S, but a
+            // U request is granted while S locks are held.
+            prop_assert!(a.conflicts_with(b) != b.conflicts_with(a));
+            prop_assert!(LockMode::Update.conflicts_with(LockMode::Shared));
+            prop_assert!(!LockMode::Shared.conflicts_with(LockMode::Update));
+        } else {
+            prop_assert_eq!(a.conflicts_with(b), b.conflicts_with(a));
+        }
+    }
+
+    #[test]
+    fn self_compatibility_is_shared_only(m in mode()) {
+        // S is the only self-compatible mode: two U holders would both
+        // expect an uncontended upgrade, and X is exclusive by definition.
+        prop_assert_eq!(!m.conflicts_with(m), m == LockMode::Shared);
+    }
+
+    #[test]
+    fn upgrading_the_held_mode_never_sheds_conflicts(weak in mode(), strong in mode(), other in mode()) {
+        // Monotonicity on the held side: if a held `weak` blocks `other`,
+        // then any covering `strong` blocks it too — upgrading a lock can
+        // only restrict concurrency, never admit a request it previously
+        // refused (this is what makes in-place upgrade merges sound).
+        if strong.covers(weak) && weak.conflicts_with(other) {
+            prop_assert!(strong.conflicts_with(other));
+        }
+    }
+
+    #[test]
+    fn upgrading_the_requested_mode_never_sheds_conflicts(weak in mode(), strong in mode(), held in mode()) {
+        // Monotonicity on the requested side: asking for more can only be
+        // refused by more holders.
+        if strong.covers(weak) && held.conflicts_with(weak) {
+            prop_assert!(held.conflicts_with(strong));
+        }
+    }
+
+    #[test]
+    fn covering_modes_grant_every_right_of_the_covered(a in mode(), b in mode(), c in mode()) {
+        // If holding `b` suffices for a request of `c`, then holding a
+        // covering `a` suffices too.
+        if a.covers(b) && b.covers(c) {
+            prop_assert!(a.covers(c));
+            prop_assert!(a >= c);
+        }
+    }
+}
+
+#[test]
+fn the_upgrade_path_is_strictly_monotone() {
+    // S → U → X: each step covers the previous, never the reverse.
+    let path = [LockMode::Shared, LockMode::Update, LockMode::Exclusive];
+    for pair in path.windows(2) {
+        assert!(pair[1].covers(pair[0]));
+        assert!(!pair[0].covers(pair[1]));
+    }
+    assert!(LockMode::Exclusive.covers(LockMode::Shared));
+    assert!(!LockMode::Shared.covers(LockMode::Exclusive));
+}
+
+#[test]
+fn the_full_matrix_is_the_documented_one() {
+    use LockMode::*;
+    // (held, requested) → conflicts?
+    let expected = [
+        ((Shared, Shared), false),
+        ((Shared, Update), false),
+        ((Shared, Exclusive), true),
+        ((Update, Shared), true),
+        ((Update, Update), true),
+        ((Update, Exclusive), true),
+        ((Exclusive, Shared), true),
+        ((Exclusive, Update), true),
+        ((Exclusive, Exclusive), true),
+    ];
+    for ((held, requested), conflict) in expected {
+        assert_eq!(
+            held.conflicts_with(requested),
+            conflict,
+            "held {held} vs requested {requested}"
+        );
+    }
+}

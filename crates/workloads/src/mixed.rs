@@ -11,7 +11,9 @@
 //! levels.
 
 use critique_core::IsolationLevel;
-use critique_engine::{BackendKind, Database, EngineConfig, GrantPolicy, TxnError};
+use critique_engine::{
+    BackendKind, Database, EngineConfig, GrantPolicy, TxnError, UpgradeStrategy,
+};
 use critique_storage::{Row, RowId, RowPredicate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,6 +55,14 @@ pub struct MixedWorkload {
     /// sharded version-chain store by default, or the log-structured
     /// engine the scaling sweep compares against.
     pub backend: BackendKind,
+    /// Read-modify-write locking strategy handed to
+    /// [`EngineConfig::with_upgrade_strategy`]: Shared-then-upgrade (the
+    /// historical baseline, vulnerable to the batch-grant upgrade
+    /// cascade), or update-mode (U) locks taken at the RMW read.  Update
+    /// transactions route their reads through
+    /// [`critique_engine::Transaction::read_for_update`] either way, so
+    /// the strategy is the only variable.
+    pub upgrade: UpgradeStrategy,
 }
 
 impl Default for MixedWorkload {
@@ -69,6 +79,7 @@ impl Default for MixedWorkload {
             shards: critique_storage::DEFAULT_SHARDS,
             grant: GrantPolicy::default(),
             backend: BackendKind::default(),
+            upgrade: UpgradeStrategy::default(),
         }
     }
 }
@@ -154,6 +165,13 @@ impl MixedWorkload {
         self
     }
 
+    /// This workload with a different read-modify-write locking strategy
+    /// (used by the handoff comparison's U-lock legs).
+    pub fn with_upgrade(mut self, upgrade: UpgradeStrategy) -> Self {
+        self.upgrade = upgrade;
+        self
+    }
+
     /// Seed a database for this workload (every account starts at 100) and
     /// return it together with the row ids.
     pub fn seed_database(&self, level: IsolationLevel) -> (Database, Vec<RowId>) {
@@ -162,7 +180,8 @@ impl MixedWorkload {
             .without_history()
             .with_shards(self.shards)
             .with_grant_policy(self.grant)
-            .with_backend(self.backend);
+            .with_backend(self.backend)
+            .with_upgrade_strategy(self.upgrade);
         let db = Database::with_config(config);
         let setup = db.begin();
         let ids: Vec<RowId> = (0..self.accounts)
@@ -193,7 +212,13 @@ impl MixedWorkload {
                 std::thread::sleep(Duration::from_micros(self.think_micros));
             }
             let id = *self.pick_account(rng, ids);
-            let read = txn.read("accounts", id);
+            // An update transaction's read is the RMW pattern: declare the
+            // write intent so the configured UpgradeStrategy applies.
+            let read = if read_only {
+                txn.read("accounts", id)
+            } else {
+                txn.read_for_update("accounts", id)
+            };
             stats.reads += 1;
             let balance = match read {
                 Ok(row) => row.and_then(|r| r.get_int("balance")).unwrap_or(100),
@@ -317,6 +342,7 @@ mod tests {
             shards: critique_storage::DEFAULT_SHARDS,
             grant: GrantPolicy::DirectHandoff,
             backend: BackendKind::MvStore,
+            upgrade: UpgradeStrategy::SharedThenUpgrade,
         }
     }
 
@@ -339,6 +365,26 @@ mod tests {
         for grant in [GrantPolicy::DirectHandoff, GrantPolicy::WakeAll] {
             let stats = spec.with_grant(grant).run(IsolationLevel::Serializable);
             assert_eq!(stats.attempted(), 90, "{grant:?}");
+            assert!(stats.committed > 0, "{grant:?}");
+        }
+    }
+
+    #[test]
+    fn update_lock_strategy_removes_deadlocks_from_the_hot_key_workload() {
+        // Pure RMW traffic on one hot row: under U locks the would-be
+        // upgraders serialise at the read, so no deadlock is possible (a
+        // cycle would need either an upgrade collision — impossible, only
+        // one U holder at a time — or a second lock, and there is none).
+        let mut spec = small();
+        spec.read_fraction = 0.0;
+        spec.hot_fraction = 1.0;
+        for grant in [GrantPolicy::DirectHandoff, GrantPolicy::WakeAll] {
+            let stats = spec
+                .with_grant(grant)
+                .with_upgrade(UpgradeStrategy::UpdateLock)
+                .run(IsolationLevel::Serializable);
+            assert_eq!(stats.attempted(), 90, "{grant:?}");
+            assert_eq!(stats.aborted_deadlock, 0, "{grant:?}");
             assert!(stats.committed > 0, "{grant:?}");
         }
     }

@@ -23,7 +23,7 @@
 
 use crate::mixed::{MixedWorkload, WorkloadStats};
 use critique_core::IsolationLevel;
-use critique_engine::{BackendKind, GrantPolicy};
+use critique_engine::{BackendKind, GrantPolicy, UpgradeStrategy};
 
 /// One substrate configuration a sweep visits: a storage backend, its
 /// shard count, and the label the series carries in reports.
@@ -280,15 +280,24 @@ impl ScalingReport {
     }
 }
 
-/// One grant policy's measurement in a [`HandoffComparison`].
+/// One `(grant policy, upgrade strategy)` cell's measurement in a
+/// [`HandoffComparison`].
 #[derive(Clone, Copy, Debug)]
 pub struct HandoffPoint {
     /// The contended-grant policy measured.
     pub policy: GrantPolicy,
+    /// The read-modify-write locking strategy measured.
+    pub strategy: UpgradeStrategy,
     /// Worker threads the workload ran with.
     pub threads: usize,
-    /// Aggregate statistics of the kept run.
+    /// Aggregate statistics of the kept (best-throughput) run.
     pub stats: WorkloadStats,
+    /// The *worst* deadlock-victim count seen across every run of this
+    /// cell — the cascade evidence.  Best-of-k keeps the fastest run,
+    /// which on a bimodal workload is exactly the run that dodged the
+    /// cascade; this field keeps the honest record of whether any run
+    /// fell into it.
+    pub worst_deadlocks: u64,
 }
 
 impl HandoffPoint {
@@ -304,46 +313,63 @@ impl HandoffPoint {
     }
 }
 
-/// The contended-handoff comparison: the same hot-key workload run under
-/// FIFO direct handoff and under the wake-all baseline, so the win of
-/// handing grants straight to waiters is *measured, not asserted* — this
-/// is the "before/after" record next to the scaling sweeps in
-/// `BENCH_scaling.json` (the "before" being the thundering-herd behaviour
-/// of the old condvar scheduler, minus its 10ms poll).
+/// The contended-handoff comparison: the same hot-key read-modify-write
+/// workload run over the full `{grant policy} × {upgrade strategy}` grid,
+/// so both the win of handing grants straight to waiters *and* the death
+/// of the S→X upgrade cascade under U locks are measured, not asserted —
+/// this is the record next to the scaling sweeps in `BENCH_scaling.json`.
+/// Each cell also keeps the worst deadlock-victim count across its runs:
+/// the SharedThenUpgrade/DirectHandoff cell is bimodal (a run either
+/// dodges the batch-grant cascade or falls into it), and the UpdateLock
+/// cells must show zero victims in *every* run, not just the kept one.
 #[derive(Clone, Debug)]
 pub struct HandoffComparison {
     /// Isolation level the comparison ran at.
     pub level: IsolationLevel,
-    /// The contended workload (its `grant` field is overridden per point).
+    /// The contended workload (its `grant` and `upgrade` fields are
+    /// overridden per point).
     pub workload: MixedWorkload,
-    /// One point per grant policy.
+    /// One point per `(grant policy, upgrade strategy)` cell.
     pub points: Vec<HandoffPoint>,
 }
 
 impl HandoffComparison {
-    /// Run the same workload once per grant policy, keeping the
-    /// best-of-`runs_per_point` run by committed throughput.
+    /// Run the same workload once per `(grant policy, upgrade strategy)`
+    /// cell, keeping the best-of-`runs_per_point` run by committed
+    /// throughput (and the worst deadlock count across all runs).
     pub fn run(base: MixedWorkload, level: IsolationLevel, runs_per_point: usize) -> Self {
         let runs_per_point = runs_per_point.max(1);
-        let points = [GrantPolicy::DirectHandoff, GrantPolicy::WakeAll]
-            .into_iter()
-            .map(|policy| {
-                let spec = base.with_grant(policy);
-                let stats = (0..runs_per_point)
-                    .map(|_| spec.run(level))
+        let mut points = Vec::new();
+        for policy in [GrantPolicy::DirectHandoff, GrantPolicy::WakeAll] {
+            for strategy in [
+                UpgradeStrategy::SharedThenUpgrade,
+                UpgradeStrategy::UpdateLock,
+            ] {
+                let spec = base.with_grant(policy).with_upgrade(strategy);
+                let runs: Vec<WorkloadStats> =
+                    (0..runs_per_point).map(|_| spec.run(level)).collect();
+                let worst_deadlocks = runs
+                    .iter()
+                    .map(|r| r.aborted_deadlock)
+                    .max()
+                    .expect("runs_per_point >= 1");
+                let stats = runs
+                    .into_iter()
                     .max_by(|a, b| {
                         a.throughput()
                             .partial_cmp(&b.throughput())
                             .unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .expect("runs_per_point >= 1");
-                HandoffPoint {
+                points.push(HandoffPoint {
                     policy,
+                    strategy,
                     threads: base.threads,
                     stats,
-                }
-            })
-            .collect();
+                    worst_deadlocks,
+                });
+            }
+        }
         HandoffComparison {
             level,
             workload: base,
@@ -351,9 +377,11 @@ impl HandoffComparison {
         }
     }
 
-    /// The point for one policy, if measured.
-    pub fn point(&self, policy: GrantPolicy) -> Option<&HandoffPoint> {
-        self.points.iter().find(|p| p.policy == policy)
+    /// The point for one `(policy, strategy)` cell, if measured.
+    pub fn point(&self, policy: GrantPolicy, strategy: UpgradeStrategy) -> Option<&HandoffPoint> {
+        self.points
+            .iter()
+            .find(|p| p.policy == policy && p.strategy == strategy)
     }
 
     /// Render as an aligned text block.
@@ -366,11 +394,13 @@ impl HandoffComparison {
         );
         for p in &self.points {
             out.push_str(&format!(
-                "  {:<14} committed={:<6} deadlock-aborts={:<4} timeouts={:<4} \
-                 {:9.0} txn/s  {:8.3} ms/txn\n",
+                "  {:<14} {:<20} committed={:<6} deadlock-aborts={:<4} \
+                 worst-deadlocks={:<4} timeouts={:<4} {:9.0} txn/s  {:8.3} ms/txn\n",
                 format!("{:?}", p.policy),
+                p.strategy.to_string(),
                 p.stats.committed,
                 p.stats.aborted_deadlock,
+                p.worst_deadlocks,
                 p.stats.aborted_timeout,
                 p.stats.throughput(),
                 p.mean_txn_latency_ms(),
@@ -386,13 +416,17 @@ impl HandoffComparison {
             .iter()
             .map(|p| {
                 format!(
-                    "{pad}    {{\"policy\": \"{:?}\", \"committed\": {}, \
-                     \"aborted_deadlock\": {}, \"aborted_timeout\": {}, \
+                    "{pad}    {{\"policy\": \"{:?}\", \"strategy\": \"{}\", \
+                     \"committed\": {}, \
+                     \"aborted_deadlock\": {}, \"worst_deadlocks_across_runs\": {}, \
+                     \"aborted_timeout\": {}, \
                      \"elapsed_ms\": {:.3}, \"throughput_txn_per_s\": {:.1}, \
                      \"mean_txn_latency_ms\": {:.4}}}",
                     p.policy,
+                    p.strategy,
                     p.stats.committed,
                     p.stats.aborted_deadlock,
+                    p.worst_deadlocks,
                     p.stats.aborted_timeout,
                     p.stats.elapsed.as_secs_f64() * 1e3,
                     p.stats.throughput(),
@@ -483,6 +517,7 @@ mod tests {
             shards: 8,
             grant: GrantPolicy::DirectHandoff,
             backend: BackendKind::MvStore,
+            upgrade: UpgradeStrategy::SharedThenUpgrade,
         }
     }
 
@@ -569,21 +604,41 @@ mod tests {
     }
 
     #[test]
-    fn handoff_comparison_measures_both_policies() {
+    fn handoff_comparison_measures_the_full_policy_strategy_grid() {
         let mut spec = tiny();
         spec.read_fraction = 0.0;
         spec.hot_fraction = 1.0;
         spec.threads = 3;
-        let cmp = HandoffComparison::run(spec, IsolationLevel::Serializable, 1);
-        assert_eq!(cmp.points.len(), 2);
-        let direct = cmp.point(GrantPolicy::DirectHandoff).unwrap();
-        let wake = cmp.point(GrantPolicy::WakeAll).unwrap();
+        let cmp = HandoffComparison::run(spec, IsolationLevel::Serializable, 2);
+        assert_eq!(cmp.points.len(), 4);
+        let direct = cmp
+            .point(
+                GrantPolicy::DirectHandoff,
+                UpgradeStrategy::SharedThenUpgrade,
+            )
+            .unwrap();
+        let wake = cmp
+            .point(GrantPolicy::WakeAll, UpgradeStrategy::SharedThenUpgrade)
+            .unwrap();
         assert!(direct.stats.attempted() > 0);
         assert!(wake.stats.attempted() > 0);
         assert!(direct.mean_txn_latency_ms() > 0.0);
+        // The cascade evidence must be recorded honestly: the worst run is
+        // at least as deadlock-ridden as the kept (fastest) one.
+        for p in &cmp.points {
+            assert!(p.worst_deadlocks >= p.stats.aborted_deadlock);
+        }
+        // The U-lock legs cannot deadlock on a single hot item, under
+        // either grant policy, in any run.
+        for policy in [GrantPolicy::DirectHandoff, GrantPolicy::WakeAll] {
+            let point = cmp.point(policy, UpgradeStrategy::UpdateLock).unwrap();
+            assert_eq!(point.worst_deadlocks, 0, "{policy:?}");
+        }
         let text = cmp.to_text();
         assert!(text.contains("DirectHandoff"));
         assert!(text.contains("WakeAll"));
+        assert!(text.contains("update-lock"));
+        assert!(text.contains("shared-then-upgrade"));
     }
 
     #[test]
@@ -621,6 +676,8 @@ mod tests {
         assert!(json.contains("\"level\": \"Snapshot Isolation\""));
         assert!(json.contains("\"contended_handoff\""));
         assert!(json.contains("\"mean_txn_latency_ms\""));
+        assert!(json.contains("\"strategy\": \"update-lock\""));
+        assert!(json.contains("\"worst_deadlocks_across_runs\""));
         let text = suite.to_text();
         assert!(text.contains("contended handoff"));
     }

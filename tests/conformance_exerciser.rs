@@ -98,16 +98,51 @@ struct Exerciser {
     rng: StdRng,
     rows: Vec<RowId>,
     next_value: i64,
+    /// Route every update through a preceding `read_for_update` (the
+    /// read-modify-write shape), so the configured `UpgradeStrategy`
+    /// actually locks something.  Off for the default matrix, on for the
+    /// U-lock freedom matrix.
+    rmw_reads: bool,
 }
 
 impl Exerciser {
     fn run(level: IsolationLevel, seed: u64, backend: BackendKind) -> History {
-        let db = Database::with_config(EngineConfig::new(level).with_backend(backend));
+        Self::run_configured(
+            level,
+            seed,
+            backend,
+            UpgradeStrategy::SharedThenUpgrade,
+            false,
+        )
+    }
+
+    /// The same deterministic driver with update-mode locks: every update
+    /// is preceded by a `read_for_update`, and the engine takes U locks
+    /// for it.  U locks may *reorder* the interleaving (a blocked read
+    /// retries later), but they must never admit a forbidden phenomenon —
+    /// that is what "U locks alter no isolation verdict" means.
+    fn run_update_lock(level: IsolationLevel, seed: u64, backend: BackendKind) -> History {
+        Self::run_configured(level, seed, backend, UpgradeStrategy::UpdateLock, true)
+    }
+
+    fn run_configured(
+        level: IsolationLevel,
+        seed: u64,
+        backend: BackendKind,
+        upgrade: UpgradeStrategy,
+        rmw_reads: bool,
+    ) -> History {
+        let db = Database::with_config(
+            EngineConfig::new(level)
+                .with_backend(backend)
+                .with_upgrade_strategy(upgrade),
+        );
         let mut ex = Exerciser {
             db,
             rng: StdRng::seed_from_u64(seed),
             rows: Vec::new(),
             next_value: 1_000_000,
+            rmw_reads,
         };
         // Seed rows across two predicate regions, every balance unique.
         let setup = ex.db.begin();
@@ -167,7 +202,7 @@ impl Exerciser {
                         Some(op) => op,
                         None => Self::plan(&mut self.rng, &self.rows, &mut self.next_value, slot),
                     };
-                    Self::execute(&mut self.rows, slot, op)
+                    Self::execute(&mut self.rows, slot, op, self.rmw_reads)
                 }
             };
             if finished {
@@ -224,7 +259,7 @@ impl Exerciser {
     }
 
     /// Run one operation; returns true when the transaction finished.
-    fn execute(rows: &mut Vec<RowId>, slot: &mut Slot, op: PlannedOp) -> bool {
+    fn execute(rows: &mut Vec<RowId>, slot: &mut Slot, op: PlannedOp, rmw_reads: bool) -> bool {
         enum Effect {
             None,
             NewRow(RowId),
@@ -237,10 +272,23 @@ impl Exerciser {
                 let predicate = RowPredicate::new("accounts", Condition::eq("region", *region));
                 slot.txn.read_where(&predicate).map(|_| Effect::None)
             }
-            PlannedOp::Update(row, value) => slot
-                .txn
-                .update("accounts", *row, Row::new().with("balance", *value))
-                .map(|_| Effect::None),
+            PlannedOp::Update(row, value) => {
+                // In RMW mode the update declares itself at a read first,
+                // so the configured UpgradeStrategy decides the read's
+                // lock mode.  A blocked half leaves the whole op pending;
+                // the retry re-runs both halves verbatim.
+                let declared = if rmw_reads {
+                    slot.txn.read_for_update("accounts", *row).map(|_| ())
+                } else {
+                    Ok(())
+                };
+                declared
+                    .and_then(|()| {
+                        slot.txn
+                            .update("accounts", *row, Row::new().with("balance", *value))
+                    })
+                    .map(|_| Effect::None)
+            }
             PlannedOp::Insert(region, value) => slot
                 .txn
                 .insert(
@@ -617,5 +665,59 @@ fn conformance_cross_backend_cursor_ops_are_generated() {
             "[{backend}] the seed matrix generated no cursor traffic at Cursor Stability \
              (rc={cursor_reads}, wc={cursor_writes})"
         );
+    }
+}
+
+/// "U locks alter no isolation verdict", made executable: the full
+/// 8-level × 3-seed matrix re-run with `UpgradeStrategy::UpdateLock` and
+/// every update declared at a `read_for_update`.  Update-mode locks may
+/// reorder the interleaving (a U conflict retries where a Shared grant
+/// would have proceeded), so histories legitimately differ from the
+/// default matrix — but they may only ever be *more* restrictive: every
+/// "Not Possible" cell must stay impossible, the multiversion value-level
+/// guarantees must hold untouched (SI and Read Consistency take no read
+/// locks, FOR UPDATE or not), and the two storage backends must still
+/// record byte-identical histories per (level, seed) cell.
+///
+/// Naming: rides CI's `cross_backend` conformance leg (see the note on
+/// `conformance_cross_backend_cursor_ops_are_generated`).
+#[test]
+fn conformance_cross_backend_update_lock_alters_no_verdict() {
+    for level in LEVELS {
+        for seed in SEEDS {
+            let reference = Exerciser::run_update_lock(level, seed, BackendKind::MvStore);
+            let log = Exerciser::run_update_lock(level, seed, BackendKind::LogStructured);
+            assert_eq!(
+                reference.to_notation(),
+                log.to_notation(),
+                "{} seed {seed:#x}: backends diverged under update-mode locks",
+                level.name(),
+            );
+            let context = format!("[update-lock] {} seed {seed:#x}", level.name());
+            assert!(
+                !reference.is_empty(),
+                "{context}: the exerciser recorded nothing"
+            );
+            for phenomenon in forbidden_positional(level) {
+                let found = detect(&reference, phenomenon);
+                assert!(
+                    found.is_empty(),
+                    "{context}: U locks admitted forbidden {phenomenon}: {}\n{}",
+                    found[0],
+                    reference.to_notation(),
+                );
+            }
+            match level {
+                IsolationLevel::SnapshotIsolation => {
+                    assert_no_dirty_values(&reference, &context);
+                    assert_snapshot_stability(&reference, &context);
+                    assert_first_committer_wins(&reference, &context);
+                }
+                IsolationLevel::OracleReadConsistency => {
+                    assert_no_dirty_values(&reference, &context);
+                }
+                _ => {}
+            }
+        }
     }
 }
