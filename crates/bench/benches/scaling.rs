@@ -19,9 +19,14 @@
 //! tracked from PR to PR.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use critique_bench::{handoff_workload, scaling_workload, SCALING_LEVELS, SCALING_THREADS};
+use critique_bench::{
+    handoff_workload, range_workload, scaling_workload, RANGE_FRACTIONS, SCALING_LEVELS,
+    SCALING_THREADS,
+};
 use critique_core::IsolationLevel;
-use critique_workloads::{HandoffComparison, ScalingReport, ScalingSuite, SubstrateConfig};
+use critique_workloads::{
+    HandoffComparison, RangeComparison, ScalingReport, ScalingSuite, SubstrateConfig,
+};
 
 /// Where the machine-readable suite results land (workspace root).
 const OUTPUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
@@ -44,9 +49,16 @@ fn run_suite() -> ScalingSuite {
         })
         .collect();
     let handoff = HandoffComparison::run(handoff_workload(), IsolationLevel::Serializable, 3);
+    let range = RangeComparison::run(
+        range_workload(),
+        IsolationLevel::Serializable,
+        &RANGE_FRACTIONS,
+        3,
+    );
     ScalingSuite {
         sweeps,
         handoff: Some(handoff),
+        range: Some(range),
     }
 }
 

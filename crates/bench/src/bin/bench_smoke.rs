@@ -18,7 +18,7 @@
 use critique_core::IsolationLevel;
 use critique_engine::{GrantPolicy, UpgradeStrategy};
 use critique_workloads::{
-    HandoffComparison, MixedWorkload, ScalingReport, ScalingSuite, SubstrateConfig,
+    HandoffComparison, MixedWorkload, RangeComparison, ScalingReport, ScalingSuite, SubstrateConfig,
 };
 
 /// Where the real bench records the suite (workspace root).
@@ -285,6 +285,32 @@ fn validate_suite(doc: &Json, context: &str) {
             }
         }
     }
+    let range = doc
+        .get("range_scan")
+        .unwrap_or_else(|| panic!("{context}: no range_scan record"));
+    let range_points = range
+        .get("points")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{context}: range_scan has no points array"));
+    // The full grid: both backends at the point-only baseline and the
+    // range-heavy mix.
+    for backend in ["mvstore", "logstore"] {
+        for fraction in [0.0, 0.5] {
+            let cell = range_points.iter().find(|p| {
+                p.get("backend").and_then(Json::as_str) == Some(backend)
+                    && p.get("range_fraction").and_then(Json::as_number) == Some(fraction)
+            });
+            let cell = cell.unwrap_or_else(|| {
+                panic!("{context}: range_scan lacks the {backend}/{fraction} cell")
+            });
+            assert!(
+                cell.get("throughput_txn_per_s")
+                    .and_then(Json::as_number)
+                    .is_some(),
+                "{context}: range_scan {backend}/{fraction} lacks throughput"
+            );
+        }
+    }
     let handoff = doc
         .get("contended_handoff")
         .unwrap_or_else(|| panic!("{context}: no contended_handoff record"));
@@ -328,6 +354,7 @@ fn reduced_suite() -> ScalingSuite {
         grant: GrantPolicy::DirectHandoff,
         backend: critique_engine::BackendKind::MvStore,
         upgrade: UpgradeStrategy::SharedThenUpgrade,
+        range_fraction: 0.0,
     };
     let sweeps = vec![ScalingReport::run(
         tiny,
@@ -344,9 +371,11 @@ fn reduced_suite() -> ScalingSuite {
     contended.hot_fraction = 1.0;
     contended.threads = 3;
     let handoff = HandoffComparison::run(contended, IsolationLevel::Serializable, 1);
+    let range = RangeComparison::run(tiny, IsolationLevel::Serializable, &[0.0, 0.5], 1);
     ScalingSuite {
         sweeps,
         handoff: Some(handoff),
+        range: Some(range),
     }
 }
 

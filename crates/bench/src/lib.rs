@@ -46,6 +46,7 @@ pub fn bench_workload(read_fraction: f64, hot_fraction: f64) -> MixedWorkload {
         grant: GrantPolicy::DirectHandoff,
         backend: BackendKind::MvStore,
         upgrade: UpgradeStrategy::SharedThenUpgrade,
+        range_fraction: 0.0,
     }
 }
 
@@ -67,6 +68,7 @@ pub fn scaling_workload() -> MixedWorkload {
         grant: GrantPolicy::DirectHandoff,
         backend: BackendKind::MvStore,
         upgrade: UpgradeStrategy::SharedThenUpgrade,
+        range_fraction: 0.0,
     }
 }
 
@@ -81,6 +83,33 @@ pub const SCALING_LEVELS: [IsolationLevel; 3] = [
     IsolationLevel::SnapshotIsolation,
     IsolationLevel::Serializable,
 ];
+
+/// The range-scan mixes the point-vs-range comparison visits (`0.0` is
+/// the point-only baseline).
+pub const RANGE_FRACTIONS: [f64; 2] = [0.0, 0.5];
+
+/// The workload behind the point-vs-range comparison
+/// (`BENCH_scaling.json`'s `range_scan` record): the scaling mix without
+/// think time, so the measured difference is the cost of routing reads
+/// through the ordered index and interval predicate locks rather than
+/// idle client gaps.
+pub fn range_workload() -> MixedWorkload {
+    MixedWorkload {
+        accounts: 256,
+        read_fraction: 0.7,
+        ops_per_txn: 4,
+        hot_fraction: 0.05,
+        txns_per_thread: 120,
+        threads: 4,
+        seed: 1995,
+        think_micros: 0,
+        shards: critique_storage::DEFAULT_SHARDS,
+        grant: GrantPolicy::DirectHandoff,
+        backend: BackendKind::MvStore,
+        upgrade: UpgradeStrategy::UpdateLock,
+        range_fraction: 0.0,
+    }
+}
 
 /// The workload behind the contended-handoff comparison: every worker
 /// hammers one hot row with read-modify-write transactions under
@@ -101,5 +130,6 @@ pub fn handoff_workload() -> MixedWorkload {
         grant: GrantPolicy::DirectHandoff,
         backend: BackendKind::MvStore,
         upgrade: UpgradeStrategy::SharedThenUpgrade,
+        range_fraction: 0.0,
     }
 }

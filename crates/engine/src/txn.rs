@@ -7,7 +7,9 @@ use crate::LockWaitPolicy;
 use critique_core::locking::{LockDuration, LockRequirement};
 use critique_core::IsolationLevel;
 use critique_lock::{AcquireError, LockMode, LockOutcome, LockTarget, UpgradeStrategy};
-use critique_storage::{Row, RowId, RowPredicate, Timestamp, TxnToken};
+use critique_storage::{
+    Comparison, Condition, KeyInterval, Row, RowId, RowPredicate, ScanView, Timestamp, TxnToken,
+};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -324,6 +326,129 @@ impl Transaction {
             }
         };
         self.db.recorder.predicate_read(self.token, predicate);
+        Ok(rows)
+    }
+
+    /// The `<search condition>` equivalent of a key range: `lo <= column
+    /// <= hi` with either bound optional.  This is what the range read
+    /// paths lock and record, so the predicate domain sees a bounded
+    /// interval it can index instead of a whole-table condition.
+    fn range_condition(column: &str, range: &KeyInterval) -> Condition {
+        match (range.lo(), range.hi()) {
+            (None, None) => Condition::True,
+            (Some(lo), None) => Condition::compare(column, Comparison::Ge, lo),
+            (None, Some(hi)) => Condition::compare(column, Comparison::Le, hi),
+            (Some(lo), Some(hi)) => Condition::compare(column, Comparison::Ge, lo)
+                .and(Condition::compare(column, Comparison::Le, hi)),
+        }
+    }
+
+    /// Read the rows whose `column` value lies in `range`, in (key, row id)
+    /// order.  Semantically `read_where` with an interval condition, but
+    /// the scan goes through [`StorageBackend::scan_range`] (the ordered
+    /// index when one covers `column`) and the predicate lock taken at the
+    /// locking levels carries the interval, so two transactions scanning
+    /// disjoint ranges of the same table do not conflict.
+    ///
+    /// [`StorageBackend::scan_range`]: critique_storage::StorageBackend::scan_range
+    pub fn read_range(
+        &self,
+        table: &str,
+        column: &str,
+        range: &KeyInterval,
+    ) -> Result<Vec<(RowId, Row)>, TxnError> {
+        self.ensure_active()?;
+        let predicate = RowPredicate::new(table, Self::range_condition(column, range));
+        let rows = match self.db.config.level {
+            IsolationLevel::SnapshotIsolation => self.db.store.scan_range(
+                table,
+                column,
+                range,
+                ScanView::Visible {
+                    reader: self.token,
+                    start_ts: self.start_ts,
+                },
+            ),
+            IsolationLevel::OracleReadConsistency => {
+                let stmt_ts = self.db.ts.current();
+                self.db.store.scan_range(
+                    table,
+                    column,
+                    range,
+                    ScanView::Visible {
+                        reader: self.token,
+                        start_ts: stmt_ts,
+                    },
+                )
+            }
+            _ => {
+                let requirement = self.read_predicate_requirement();
+                if let LockRequirement::WellFormed(duration) = requirement {
+                    self.acquire(
+                        LockTarget::predicate(predicate.clone()),
+                        LockMode::Shared,
+                        &[],
+                        duration,
+                    )?;
+                }
+                let rows = self
+                    .db
+                    .store
+                    .scan_range(table, column, range, ScanView::LatestAny);
+                self.db.recorder.predicate_read(self.token, &predicate);
+                if requirement == LockRequirement::WellFormed(LockDuration::Short) {
+                    self.db.locks.release_short(self.token);
+                }
+                return Ok(rows);
+            }
+        };
+        self.db.recorder.predicate_read(self.token, &predicate);
+        Ok(rows)
+    }
+
+    /// [`Transaction::read_range`] with declared intent to write the rows
+    /// in the range (`SELECT … FOR UPDATE` over a key interval).  Mirrors
+    /// [`Transaction::read_for_update`]: under
+    /// [`UpgradeStrategy::SharedThenUpgrade`] this is exactly `read_range`,
+    /// and under [`UpgradeStrategy::UpdateLock`] the interval predicate is
+    /// locked in Update mode for the write duration — so two writers over
+    /// provably disjoint ranges of one table proceed concurrently while
+    /// overlapping ranges still serialize.
+    pub fn read_range_for_update(
+        &self,
+        table: &str,
+        column: &str,
+        range: &KeyInterval,
+    ) -> Result<Vec<(RowId, Row)>, TxnError> {
+        self.ensure_active()?;
+        let locking = !matches!(
+            self.db.config.level,
+            IsolationLevel::SnapshotIsolation | IsolationLevel::OracleReadConsistency
+        );
+        if !locking || self.db.config.upgrade == UpgradeStrategy::SharedThenUpgrade {
+            return self.read_range(table, column, range);
+        }
+        let predicate = RowPredicate::new(table, Self::range_condition(column, range));
+        let duration = match self.write_requirement() {
+            LockRequirement::WellFormed(duration) => {
+                self.acquire(
+                    LockTarget::predicate(predicate.clone()),
+                    LockMode::Update,
+                    &[],
+                    duration,
+                )?;
+                Some(duration)
+            }
+            LockRequirement::NotRequired => None,
+        };
+        let rows = self
+            .db
+            .store
+            .scan_range(table, column, range, ScanView::LatestAny);
+        self.db.recorder.predicate_read(self.token, &predicate);
+        if duration == Some(LockDuration::Short) {
+            self.db.locks.release_short(self.token);
+        }
         Ok(rows)
     }
 

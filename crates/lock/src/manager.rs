@@ -12,10 +12,14 @@
 //! * **predicate locks** keep a **per-table domain** rather than living in
 //!   any shard: a predicate covers phantom rows that do not exist yet and
 //!   therefore have no shard, so the phantom-prevention check must see an
-//!   insert no matter which shard its row hashes to.  An item grant on a
-//!   table with a live predicate domain checks that domain under its mutex;
-//!   a predicate grant scans every shard for conflicting item locks on its
-//!   table;
+//!   insert no matter which shard its row hashes to.  The domain is an
+//!   **ordered interval map** ([`DomainMap`]): predicates whose condition
+//!   pins an integer interval on a column are keyed by that interval's
+//!   lower bound, so a hinted predicate probe seeks its column's run in
+//!   O(log n) and disjoint ranges never conflict, while whole-table
+//!   fallbacks stay fully conservative.  An item grant on a table with a
+//!   live predicate domain checks that domain under its mutex; a predicate
+//!   grant scans every shard for conflicting item locks on its table;
 //! * **blocked requests** park on the [`crate::waitqueue`] wait-set: one
 //!   FIFO queue per contended lock, plus the waits-for graph, behind a
 //!   single mutex that is touched only when a request actually blocks.
@@ -67,7 +71,7 @@ use crate::waitqueue::{
     WaitSet, Waiter,
 };
 use critique_core::locking::LockDuration;
-use critique_storage::{Row, RowId, TxnToken};
+use critique_storage::{KeyInterval, Row, RowId, TxnToken};
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -174,11 +178,146 @@ struct ShardInner {
     buckets: HashMap<u64, Vec<HeldLock>>,
 }
 
+/// Ordering key for the lower bound of a bounded interval entry:
+/// unbounded-below intervals sort before every finite bound.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum LoKey {
+    NegInf,
+    At(i64),
+}
+
+impl LoKey {
+    fn of(interval: &KeyInterval) -> LoKey {
+        match interval.lo() {
+            None => LoKey::NegInf,
+            Some(lo) => LoKey::At(lo),
+        }
+    }
+}
+
+/// One table's predicate locks, stored as an ordered interval map.
+///
+/// A predicate whose condition pins an integer interval on some column
+/// ([`critique_storage::RowPredicate::index_hint`]) lives in `bounded`,
+/// keyed by `(column, interval lower bound, insertion seq)`: an overlap
+/// probe for another hinted request seeks to the column's run in O(log n)
+/// and walks only the entries whose lower bound does not exceed the
+/// probe's upper bound, pre-filtering by stored-interval intersection
+/// before the full conflict test.  Skipping an entry this way is sound
+/// because disjoint extracted intervals on a shared constrained column
+/// prove the predicates disjoint (`RowPredicate::may_overlap`).
+///
+/// Everything else — whole-table fallbacks, non-integer conditions,
+/// probes for item targets — takes the conservative path: `unbounded`
+/// entries and cross-column bounded entries are always given the full
+/// conflict test, so conservatism is preserved, never lost.
+#[derive(Default)]
+struct DomainMap {
+    bounded: BTreeMap<(String, LoKey, u64), (KeyInterval, HeldLock)>,
+    unbounded: Vec<HeldLock>,
+    next_seq: u64,
+}
+
+impl DomainMap {
+    fn len(&self) -> usize {
+        self.bounded.len() + self.unbounded.len()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &HeldLock> {
+        self.bounded
+            .values()
+            .map(|(_, held)| held)
+            .chain(self.unbounded.iter())
+    }
+
+    fn hint(target: &LockTarget) -> Option<(String, KeyInterval)> {
+        match target {
+            LockTarget::Predicate(p) => p.index_hint(),
+            LockTarget::Item { .. } => None,
+        }
+    }
+
+    /// Insert with the same merge semantics as the shard buckets: a lock
+    /// by the same holder on the same target strengthens in place.
+    fn insert(&mut self, lock: HeldLock) {
+        let same = |held: &HeldLock| held.holder == lock.holder && held.target == lock.target;
+        if let Some(existing) = self.unbounded.iter_mut().find(|held| same(held)) {
+            merge_into(existing, lock);
+            return;
+        }
+        if let Some((_, existing)) = self.bounded.values_mut().find(|(_, held)| same(held)) {
+            merge_into(existing, lock);
+            return;
+        }
+        match Self::hint(&lock.target) {
+            Some((column, interval)) => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.bounded
+                    .insert((column, LoKey::of(&interval), seq), (interval, lock));
+            }
+            None => self.unbounded.push(lock),
+        }
+    }
+
+    fn retain<F: FnMut(&HeldLock) -> bool>(&mut self, mut keep: F) {
+        self.bounded.retain(|_, entry| keep(&entry.1));
+        self.unbounded.retain(|held| keep(held));
+    }
+
+    /// Push the holders of entries conflicting with the request onto
+    /// `out`.  Hinted predicate probes prune the same-column bounded run
+    /// by interval intersection; everything else gets the full test.
+    fn probe(
+        &self,
+        txn: TxnToken,
+        target: &LockTarget,
+        mode: LockMode,
+        images: &[Row],
+        out: &mut Vec<TxnToken>,
+    ) {
+        match Self::hint(target) {
+            Some((column, interval)) if !interval.is_int_empty() => {
+                let lo = (column.clone(), LoKey::NegInf, 0u64);
+                let hi = (
+                    column.clone(),
+                    LoKey::At(interval.hi().unwrap_or(i64::MAX)),
+                    u64::MAX,
+                );
+                for (stored, held) in self.bounded.range(lo..=hi).map(|(_, entry)| entry) {
+                    if stored.overlaps(&interval) && held.conflicts(txn, target, mode, images) {
+                        out.push(held.holder);
+                    }
+                }
+                // Bounded entries hinted on *other* columns may still range
+                // over this probe's column — full conflict test, no pruning.
+                for ((col, _, _), (_, held)) in self.bounded.iter() {
+                    if col != &column && held.conflicts(txn, target, mode, images) {
+                        out.push(held.holder);
+                    }
+                }
+                for held in &self.unbounded {
+                    if held.conflicts(txn, target, mode, images) {
+                        out.push(held.holder);
+                    }
+                }
+            }
+            _ => {
+                for held in self.iter() {
+                    if held.conflicts(txn, target, mode, images) {
+                        out.push(held.holder);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The predicate locks on one table.  Domains are created on the first
 /// predicate *grant attempt* for a table and never removed.
 #[derive(Default)]
 struct TableDomain {
-    inner: Mutex<Vec<HeldLock>>,
+    inner: Mutex<DomainMap>,
     /// Lock-free gate for the item fast path: the number of predicate
     /// locks currently held on the table, bumped *provisionally* (before
     /// the shard scan) during a grant attempt and restored to the list
@@ -243,14 +382,18 @@ fn queue_key(target: &LockTarget) -> QueueKey {
     }
 }
 
+fn merge_into(existing: &mut HeldLock, lock: HeldLock) {
+    existing.mode = existing.mode.max(lock.mode);
+    existing.duration = existing.duration.max(lock.duration);
+    existing.images.extend(lock.images);
+}
+
 fn merge_or_push(locks: &mut Vec<HeldLock>, lock: HeldLock) {
     if let Some(existing) = locks
         .iter_mut()
         .find(|held| held.holder == lock.holder && held.target == lock.target)
     {
-        existing.mode = existing.mode.max(lock.mode);
-        existing.duration = existing.duration.max(lock.duration);
-        existing.images.extend(lock.images);
+        merge_into(existing, lock);
     } else {
         locks.push(lock);
     }
@@ -383,7 +526,7 @@ impl LockManager {
                 let mut shard_guard = shard.lock();
                 return Self::check_and_grant_item(
                     &mut shard_guard,
-                    Some(domain_guard.as_slice()),
+                    Some(&domain_guard),
                     key,
                     txn,
                     target,
@@ -415,7 +558,7 @@ impl LockManager {
     #[allow(clippy::too_many_arguments)]
     fn check_and_grant_item(
         shard: &mut ShardInner,
-        predicates: Option<&[HeldLock]>,
+        predicates: Option<&DomainMap>,
         key: u64,
         txn: TxnToken,
         target: &LockTarget,
@@ -434,12 +577,7 @@ impl LockManager {
             );
         }
         if let Some(predicates) = predicates {
-            holders.extend(
-                predicates
-                    .iter()
-                    .filter(|held| held.conflicts(txn, target, mode, images))
-                    .map(|held| held.holder),
-            );
+            predicates.probe(txn, target, mode, images, &mut holders);
         }
         let holders = sorted_holders(holders);
         if grant && holders.is_empty() {
@@ -489,14 +627,10 @@ impl LockManager {
             self.live_predicates.fetch_add(1, Ordering::SeqCst);
             domain.live.store(before_len + 1, Ordering::SeqCst);
         }
-        let mut holders: Vec<TxnToken> = domain_guard
-            .as_ref()
-            .map(|guard| guard.as_slice())
-            .unwrap_or(&[])
-            .iter()
-            .filter(|held| held.conflicts(txn, target, mode, images))
-            .map(|held| held.holder)
-            .collect();
+        let mut holders: Vec<TxnToken> = Vec::new();
+        if let Some(guard) = domain_guard.as_ref() {
+            guard.probe(txn, target, mode, images, &mut holders);
+        }
         for shard in self.shards.iter() {
             let shard_guard = shard.lock();
             holders.extend(
@@ -513,16 +647,13 @@ impl LockManager {
             let domain = domain.as_ref().expect("grant path created the domain");
             let guard = domain_guard.as_mut().expect("guard taken above");
             if holders.is_empty() {
-                merge_or_push(
-                    guard,
-                    HeldLock {
-                        holder: txn,
-                        target: target.clone(),
-                        mode,
-                        duration,
-                        images: images.to_vec(),
-                    },
-                );
+                guard.insert(HeldLock {
+                    holder: txn,
+                    target: target.clone(),
+                    mode,
+                    duration,
+                    images: images.to_vec(),
+                });
             }
             // Settle the gates to the actual count (the provisional +1
             // goes away on refusal or merge, stays — as the new entry — on
@@ -1365,6 +1496,103 @@ mod tests {
             );
             assert_eq!(blocked.blockers(), &[TxnToken(1)], "shards={shards}");
         }
+    }
+
+    #[test]
+    fn disjoint_range_predicate_locks_grant_concurrently() {
+        use critique_storage::Comparison;
+        let lm = LockManager::new();
+        let low = RowPredicate::new("tasks", Condition::compare("hours", Comparison::Lt, 5));
+        let high = RowPredicate::new("tasks", Condition::compare("hours", Comparison::Gt, 100));
+        // Both writers lock their own range exclusively: disjoint intervals
+        // on the same table must not block each other.
+        assert!(lm
+            .try_acquire(
+                TxnToken(1),
+                LockTarget::predicate(low),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long
+            )
+            .is_granted());
+        assert!(lm
+            .try_acquire(
+                TxnToken(2),
+                LockTarget::predicate(high),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long
+            )
+            .is_granted());
+        // An overlapping range still conflicts with both.
+        let overlap = RowPredicate::new("tasks", Condition::compare("hours", Comparison::Ge, 0));
+        let blocked = lm.try_acquire(
+            TxnToken(3),
+            LockTarget::predicate(overlap),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
+        let mut blockers = blocked.blockers().to_vec();
+        blockers.sort_unstable();
+        assert_eq!(blockers, vec![TxnToken(1), TxnToken(2)]);
+        // And the conservative whole-table fallback conflicts too.
+        let whole = lm.try_acquire(
+            TxnToken(4),
+            LockTarget::predicate(RowPredicate::whole_table("tasks")),
+            LockMode::Exclusive,
+            &[],
+            LockDuration::Long,
+        );
+        assert!(!whole.is_granted());
+        lm.release_all(TxnToken(1));
+        lm.release_all(TxnToken(2));
+        assert!(lm
+            .try_acquire(
+                TxnToken(4),
+                LockTarget::predicate(RowPredicate::whole_table("tasks")),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long,
+            )
+            .is_granted());
+    }
+
+    #[test]
+    fn bounded_predicate_lock_still_blocks_matching_item_writes() {
+        use critique_storage::Comparison;
+        let lm = LockManager::new();
+        let low = RowPredicate::new("tasks", Condition::compare("hours", Comparison::Lt, 5));
+        assert!(lm
+            .try_acquire(
+                TxnToken(1),
+                LockTarget::predicate(low),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long
+            )
+            .is_granted());
+        // A write whose image falls inside the locked interval conflicts…
+        let inside = Row::new().with("hours", 3);
+        let blocked = lm.try_acquire(
+            TxnToken(2),
+            LockTarget::item("tasks", RowId(1)),
+            LockMode::Exclusive,
+            std::slice::from_ref(&inside),
+            LockDuration::Long,
+        );
+        assert_eq!(blocked.blockers(), &[TxnToken(1)]);
+        // …one outside the interval does not.
+        let outside = Row::new().with("hours", 50);
+        assert!(lm
+            .try_acquire(
+                TxnToken(2),
+                LockTarget::item("tasks", RowId(2)),
+                LockMode::Exclusive,
+                std::slice::from_ref(&outside),
+                LockDuration::Long,
+            )
+            .is_granted());
     }
 
     #[test]

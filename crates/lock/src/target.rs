@@ -60,8 +60,12 @@ impl LockTarget {
     /// [`crate::mode::LockMode::conflicts_with`]).
     ///
     /// * item vs item: same table and row;
-    /// * predicate vs predicate: conservative — same table (a precise
-    ///   satisfiability test would only reduce conflicts, never add any);
+    /// * predicate vs predicate: interval intersection over every column
+    ///   either condition constrains ([`RowPredicate::may_overlap`]) —
+    ///   provably disjoint ranges on a shared column do not overlap, and
+    ///   any condition whose bounds cannot be extracted falls back to the
+    ///   whole-table interval, so the test stays conservative (it may
+    ///   report an overlap where none exists, never the reverse);
     /// * item vs predicate: decided against the row images supplied by the
     ///   caller for the item (before/after images of the write, or the
     ///   value read).  If no images are supplied the test is conservative
@@ -129,6 +133,26 @@ mod tests {
         let c = LockTarget::predicate(RowPredicate::whole_table("accounts"));
         assert!(a.overlaps(&[], &b, &[]));
         assert!(!a.overlaps(&[], &c, &[]));
+    }
+
+    #[test]
+    fn predicate_vs_predicate_disjoint_intervals_do_not_overlap() {
+        use critique_storage::Comparison;
+        let low = LockTarget::predicate(RowPredicate::new(
+            "tasks",
+            Condition::compare("hours", Comparison::Lt, 5),
+        ));
+        let high = LockTarget::predicate(RowPredicate::new(
+            "tasks",
+            Condition::compare("hours", Comparison::Gt, 100),
+        ));
+        let wide = LockTarget::predicate(RowPredicate::new(
+            "tasks",
+            Condition::compare("hours", Comparison::Ge, 0),
+        ));
+        assert!(!low.overlaps(&[], &high, &[]));
+        assert!(wide.overlaps(&[], &high, &[]));
+        assert!(wide.overlaps(&[], &low, &[]));
     }
 
     #[test]

@@ -37,13 +37,51 @@
 //! first commit.
 
 use crate::logstore::{LogStore, LogStoreConfig};
-use crate::predicate::RowPredicate;
+use crate::predicate::{KeyInterval, RowPredicate};
 use crate::row::{Row, RowId};
 use crate::snapshot::Snapshot;
 use crate::store::{MvStore, StorageError, TableName, WriteKind};
 use crate::timestamp::{Timestamp, TxnToken};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Which version of each row a scan reads: the visibility rules of the
+/// point reads, lifted into a parameter so the range scan needs a single
+/// entry point instead of one method per rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScanView {
+    /// The most recent version regardless of commit state (a dirty read).
+    LatestAny,
+    /// The most recent committed version.
+    LatestCommitted,
+    /// The committed state as of a timestamp.
+    CommittedAsOf(Timestamp),
+    /// Snapshot Isolation visibility: the reader's own uncommitted write
+    /// first, otherwise the state committed as of its start timestamp.
+    Visible {
+        /// The reading transaction.
+        reader: TxnToken,
+        /// The reader's start timestamp.
+        start_ts: Timestamp,
+    },
+}
+
+/// Sort a scan result into the pinned, backend-independent order:
+/// ascending row id — or, when the table carries an ordered secondary
+/// index, ascending `(index key, row id)` with unkeyed rows (missing or
+/// non-integer values in the indexed column) after every keyed row.  Both
+/// backends route every `scan_*` result through this one function, so the
+/// differential tests can require order-identical output.
+pub(crate) fn sort_scan_output(indexed_column: Option<&str>, rows: &mut [(RowId, Row)]) {
+    match indexed_column {
+        None => rows.sort_unstable_by_key(|(id, _)| *id),
+        Some(column) => rows.sort_unstable_by(|(ia, ra), (ib, rb)| {
+            let ka = ra.get_int(column);
+            let kb = rb.get_int(column);
+            (ka.is_none(), ka, *ia).cmp(&(kb.is_none(), kb, *ib))
+        }),
+    }
+}
 
 /// The storage surface the isolation schedulers run against.
 ///
@@ -114,7 +152,9 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
     ) -> Option<Row>;
 
     // ------------------------------------------------------------------
-    // Predicate scans (always merged in ascending row-id order).
+    // Predicate scans.  Result order is pinned and backend-independent:
+    // ascending row id, or — when the table carries an ordered secondary
+    // index — ascending (index key, row id) with unkeyed rows last.
     // ------------------------------------------------------------------
 
     /// Scan the rows satisfying `predicate`, dirty reads included.
@@ -132,6 +172,36 @@ pub trait StorageBackend: Send + Sync + fmt::Debug {
         predicate: &RowPredicate,
         reader: TxnToken,
         start_ts: Timestamp,
+    ) -> Vec<(RowId, Row)>;
+
+    // ------------------------------------------------------------------
+    // Ordered secondary indexes and range scans.
+    // ------------------------------------------------------------------
+
+    /// Register an ordered secondary index over the integer values of
+    /// `column` in `table`, creating the table on demand and backfilling
+    /// every live version already stored.  A table carries at most one
+    /// index; re-registering the same column is a no-op.  Call during
+    /// setup, before concurrent traffic — maintenance afterwards is part
+    /// of every write path.
+    fn create_index(&self, table: &str, column: &str);
+
+    /// The indexed column of `table`, if an index has been registered.
+    fn indexed_column(&self, table: &str) -> Option<String>;
+
+    /// Scan the rows whose `column` value is an integer inside `range`,
+    /// each viewed through `view`.  Result order is pinned: ascending
+    /// `(key, row id)`, identical across backends.  Rows lacking an
+    /// integer value in `column` are never returned — a range addresses
+    /// the integer key space.  When the registered index covers `column`
+    /// it prunes the candidate set; otherwise the scan falls back to a
+    /// full pass with identical results.
+    fn scan_range(
+        &self,
+        table: &str,
+        column: &str,
+        range: &KeyInterval,
+        view: ScanView,
     ) -> Vec<(RowId, Row)>;
 
     // ------------------------------------------------------------------
@@ -254,6 +324,24 @@ impl StorageBackend for MvStore {
         start_ts: Timestamp,
     ) -> Vec<(RowId, Row)> {
         MvStore::scan_visible(self, predicate, reader, start_ts)
+    }
+
+    fn create_index(&self, table: &str, column: &str) {
+        MvStore::create_index(self, table, column)
+    }
+
+    fn indexed_column(&self, table: &str) -> Option<String> {
+        MvStore::indexed_column(self, table)
+    }
+
+    fn scan_range(
+        &self,
+        table: &str,
+        column: &str,
+        range: &KeyInterval,
+        view: ScanView,
+    ) -> Vec<(RowId, Row)> {
+        MvStore::scan_range(self, table, column, range, view)
     }
 
     fn writes_of(&self, writer: TxnToken) -> Vec<(TableName, RowId, WriteKind)> {

@@ -67,9 +67,9 @@ pub mod timestamp;
 pub mod value;
 pub mod version;
 
-pub use crate::backend::{BackendKind, StorageBackend};
+pub use crate::backend::{BackendKind, ScanView, StorageBackend};
 pub use crate::logstore::{LogStore, LogStoreConfig};
-pub use crate::predicate::{Comparison, Condition, RowPredicate};
+pub use crate::predicate::{Comparison, Condition, KeyInterval, RowPredicate};
 pub use crate::row::{Row, RowId};
 pub use crate::snapshot::Snapshot;
 pub use crate::store::{MvStore, StorageError, TableName, WriteKind, DEFAULT_SHARDS};
@@ -79,9 +79,9 @@ pub use crate::version::{Version, VersionChain};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
-    pub use crate::backend::{BackendKind, StorageBackend};
+    pub use crate::backend::{BackendKind, ScanView, StorageBackend};
     pub use crate::logstore::{LogStore, LogStoreConfig};
-    pub use crate::predicate::{Comparison, Condition, RowPredicate};
+    pub use crate::predicate::{Comparison, Condition, KeyInterval, RowPredicate};
     pub use crate::row::{Row, RowId};
     pub use crate::snapshot::Snapshot;
     pub use crate::store::{MvStore, StorageError, TableName, WriteKind, DEFAULT_SHARDS};

@@ -11,7 +11,252 @@ use crate::row::Row;
 use crate::value::ColumnValue;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
+use std::collections::BTreeSet;
 use std::fmt;
+
+/// A closed interval over the integer key space of one column, extracted
+/// from a [`Condition`] by [`Condition::key_interval`].
+///
+/// The interval answers one question conservatively: *could a row match
+/// the condition with its column value here?*  Two components make the
+/// answer sound for SQL's mixed-type rows:
+///
+/// * an integer range `[lo, hi]` (either end may be infinite) covering
+///   every `Int` value a matching row could hold in the column, and
+/// * a `covers_untyped` flag: whether a matching row could carry a
+///   missing or non-`Int` value in the column.
+///
+/// Extraction is conservative by construction — it may widen, never
+/// narrow — so a non-overlap verdict between two extracted intervals
+/// proves no row can satisfy both conditions, while an overlap verdict
+/// merely fails to prove disjointness (the caller stays conservative).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct KeyInterval {
+    /// Inclusive lower bound; `None` is negative infinity.
+    lo: Option<i64>,
+    /// Inclusive upper bound; `None` is positive infinity.
+    hi: Option<i64>,
+    /// True when the integer range is empty (no `Int` value can match).
+    int_empty: bool,
+    /// True when a row whose column is missing or non-`Int` could match.
+    covers_untyped: bool,
+}
+
+impl KeyInterval {
+    /// Everything: all integers plus untyped rows.  The conservative
+    /// fallback for condition shapes the extractor does not analyse.
+    pub fn everything() -> Self {
+        KeyInterval {
+            lo: None,
+            hi: None,
+            int_empty: false,
+            covers_untyped: true,
+        }
+    }
+
+    /// No integer can match, but untyped rows might (e.g. `col = true`:
+    /// only `Bool` rows can satisfy it).
+    pub fn untyped_only() -> Self {
+        KeyInterval {
+            lo: None,
+            hi: None,
+            int_empty: true,
+            covers_untyped: true,
+        }
+    }
+
+    /// Nothing matches at all.
+    pub fn empty() -> Self {
+        KeyInterval {
+            lo: None,
+            hi: None,
+            int_empty: true,
+            covers_untyped: false,
+        }
+    }
+
+    /// Exactly the integer `v`.
+    pub fn point(v: i64) -> Self {
+        KeyInterval {
+            lo: Some(v),
+            hi: Some(v),
+            int_empty: false,
+            covers_untyped: false,
+        }
+    }
+
+    /// All integers `>= v`.
+    pub fn at_least(v: i64) -> Self {
+        KeyInterval {
+            lo: Some(v),
+            hi: None,
+            int_empty: false,
+            covers_untyped: false,
+        }
+    }
+
+    /// All integers `<= v`.
+    pub fn at_most(v: i64) -> Self {
+        KeyInterval {
+            lo: None,
+            hi: Some(v),
+            int_empty: false,
+            covers_untyped: false,
+        }
+    }
+
+    /// All integers `> v` (empty when `v` is `i64::MAX`).
+    pub fn greater_than(v: i64) -> Self {
+        match v.checked_add(1) {
+            Some(lo) => KeyInterval::at_least(lo),
+            None => KeyInterval::empty(),
+        }
+    }
+
+    /// All integers `< v` (empty when `v` is `i64::MIN`).
+    pub fn less_than(v: i64) -> Self {
+        match v.checked_sub(1) {
+            Some(hi) => KeyInterval::at_most(hi),
+            None => KeyInterval::empty(),
+        }
+    }
+
+    /// An explicit inclusive range `[lo, hi]`, either end open-ended.
+    pub fn range(lo: Option<i64>, hi: Option<i64>) -> Self {
+        let int_empty = matches!((lo, hi), (Some(l), Some(h)) if l > h);
+        KeyInterval {
+            lo: if int_empty { None } else { lo },
+            hi: if int_empty { None } else { hi },
+            int_empty,
+            covers_untyped: false,
+        }
+    }
+
+    /// Inclusive lower bound (`None` = unbounded).  Meaningless when the
+    /// integer range is empty.
+    pub fn lo(&self) -> Option<i64> {
+        self.lo
+    }
+
+    /// Inclusive upper bound (`None` = unbounded).  Meaningless when the
+    /// integer range is empty.
+    pub fn hi(&self) -> Option<i64> {
+        self.hi
+    }
+
+    /// True when no integer value lies inside the interval.
+    pub fn is_int_empty(&self) -> bool {
+        self.int_empty
+    }
+
+    /// True when rows with a missing or non-`Int` column value are covered.
+    pub fn covers_untyped(&self) -> bool {
+        self.covers_untyped
+    }
+
+    /// True when the integer `k` lies inside the interval.
+    pub fn contains(&self, k: i64) -> bool {
+        !self.int_empty && self.lo.is_none_or(|lo| lo <= k) && self.hi.is_none_or(|hi| k <= hi)
+    }
+
+    /// True when a column value (or its absence) is covered: integers are
+    /// tested against the range, everything else against `covers_untyped`.
+    pub fn covers_value(&self, value: Option<&ColumnValue>) -> bool {
+        match value {
+            Some(ColumnValue::Int(k)) => self.contains(*k),
+            _ => self.covers_untyped,
+        }
+    }
+
+    /// The intersection: covers exactly the values both intervals cover.
+    pub fn intersect(&self, other: &KeyInterval) -> KeyInterval {
+        let covers_untyped = self.covers_untyped && other.covers_untyped;
+        if self.int_empty || other.int_empty {
+            return KeyInterval {
+                lo: None,
+                hi: None,
+                int_empty: true,
+                covers_untyped,
+            };
+        }
+        let lo = match (self.lo, other.lo) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let hi = match (self.hi, other.hi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let mut out = KeyInterval::range(lo, hi);
+        out.covers_untyped = covers_untyped;
+        out
+    }
+
+    /// The hull: the smallest interval covering both inputs (a superset of
+    /// the union, hence conservative for `Or`).
+    pub fn hull(&self, other: &KeyInterval) -> KeyInterval {
+        let covers_untyped = self.covers_untyped || other.covers_untyped;
+        let (lo, hi, int_empty) = match (self.int_empty, other.int_empty) {
+            (true, true) => (None, None, true),
+            (true, false) => (other.lo, other.hi, false),
+            (false, true) => (self.lo, self.hi, false),
+            (false, false) => {
+                let lo = match (self.lo, other.lo) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    _ => None,
+                };
+                let hi = match (self.hi, other.hi) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+                (lo, hi, false)
+            }
+        };
+        KeyInterval {
+            lo,
+            hi,
+            int_empty,
+            covers_untyped,
+        }
+    }
+
+    /// True when the two intervals could cover a common value: both admit
+    /// untyped rows, or their integer ranges intersect.
+    pub fn overlaps(&self, other: &KeyInterval) -> bool {
+        if self.covers_untyped && other.covers_untyped {
+            return true;
+        }
+        if self.int_empty || other.int_empty {
+            return false;
+        }
+        let lo_le_hi = |lo: Option<i64>, hi: Option<i64>| match (lo, hi) {
+            (Some(l), Some(h)) => l <= h,
+            _ => true,
+        };
+        lo_le_hi(self.lo, other.hi) && lo_le_hi(other.lo, self.hi)
+    }
+}
+
+impl fmt::Display for KeyInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.int_empty {
+            write!(f, "∅")?;
+        } else {
+            match self.lo {
+                Some(lo) => write!(f, "[{lo}, ")?,
+                None => write!(f, "(-∞, ")?,
+            }
+            match self.hi {
+                Some(hi) => write!(f, "{hi}]")?,
+                None => write!(f, "+∞)")?,
+            }
+        }
+        if self.covers_untyped {
+            write!(f, "+untyped")?;
+        }
+        Ok(())
+    }
+}
 
 /// Comparison operators usable in a condition.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -113,6 +358,75 @@ impl Condition {
         Condition::Not(Box::new(self))
     }
 
+    /// Extract the interval of `column` values a matching row could hold.
+    ///
+    /// The extraction is **sound**: for every row `r` with
+    /// `self.matches(r)`, the returned interval covers `r`'s value in
+    /// `column` (via [`KeyInterval::covers_value`]).  It is precise for
+    /// conjunctions of integer comparisons over `column` — the shapes a
+    /// range scan produces — and falls back to [`KeyInterval::everything`]
+    /// for anything it does not analyse (`Not` subtrees, other columns),
+    /// so conservatism is preserved, never lost.
+    pub fn key_interval(&self, column: &str) -> KeyInterval {
+        match self {
+            Condition::True => KeyInterval::everything(),
+            Condition::Compare {
+                column: c,
+                op,
+                value,
+            } if c == column => match value {
+                ColumnValue::Int(v) => match op {
+                    Comparison::Eq => KeyInterval::point(*v),
+                    Comparison::Lt => KeyInterval::less_than(*v),
+                    Comparison::Le => KeyInterval::at_most(*v),
+                    Comparison::Gt => KeyInterval::greater_than(*v),
+                    Comparison::Ge => KeyInterval::at_least(*v),
+                    // `col <> 5` admits every integer but 5 plus rows of
+                    // other types — not an interval; stay conservative.
+                    Comparison::Ne => KeyInterval::everything(),
+                },
+                // A non-Int constant: `col = true` can only be satisfied
+                // by non-Int rows (cross-type comparisons are false)…
+                _ => match op {
+                    // …except `<>`, which *is* satisfied by every Int row
+                    // (incomparable values are "not equal").
+                    Comparison::Ne => KeyInterval::everything(),
+                    _ => KeyInterval::untyped_only(),
+                },
+            },
+            // A comparison on some other column constrains this one not
+            // at all.
+            Condition::Compare { .. } => KeyInterval::everything(),
+            Condition::And(a, b) => a.key_interval(column).intersect(&b.key_interval(column)),
+            Condition::Or(a, b) => a.key_interval(column).hull(&b.key_interval(column)),
+            // `NOT (col <= 5)` could be refined, but negation of the
+            // untyped flag is subtle (a missing column fails `col <= 5`
+            // and so *satisfies* the negation); whole-line fallback keeps
+            // the extraction trivially sound.
+            Condition::Not(_) => KeyInterval::everything(),
+        }
+    }
+
+    /// Every column mentioned by a comparison anywhere in the tree.
+    pub fn constrained_columns(&self) -> BTreeSet<&str> {
+        fn walk<'a>(cond: &'a Condition, out: &mut BTreeSet<&'a str>) {
+            match cond {
+                Condition::True => {}
+                Condition::Compare { column, .. } => {
+                    out.insert(column.as_str());
+                }
+                Condition::And(a, b) | Condition::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Condition::Not(inner) => walk(inner, out),
+            }
+        }
+        let mut out = BTreeSet::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// Evaluate against a row.
     pub fn matches(&self, row: &Row) -> bool {
         match self {
@@ -179,13 +493,45 @@ impl RowPredicate {
         format!("{}[{}]", self.table, self.condition)
     }
 
-    /// Two predicates *may overlap* when they range over the same table.
-    /// This is the conservative test a predicate lock manager needs: a
-    /// precise satisfiability check is unnecessary for the paper's
-    /// scenarios, and conservatism only ever blocks more, never less, which
-    /// preserves correctness of the locking levels.
+    /// Two predicates *may overlap* when some row could satisfy both.
+    ///
+    /// The test is interval-based: for every column either condition
+    /// constrains, the two extracted [`KeyInterval`]s must intersect — a
+    /// row satisfying both conditions carries, in each such column, a
+    /// value both intervals cover, so provably disjoint ranges (`hours <
+    /// 5` vs `hours > 100`) report no overlap and need not conflict.
+    /// Conservatism is preserved, never lost: extraction only ever widens
+    /// (arbitrary trees fall back to the whole key line), so a `true`
+    /// verdict may be a false positive but a `false` verdict is proof of
+    /// disjointness — the lock manager blocks more than necessary at
+    /// worst, which keeps the locking levels correct.
     pub fn may_overlap(&self, other: &RowPredicate) -> bool {
-        self.table == other.table
+        if self.table != other.table {
+            return false;
+        }
+        let mut columns = self.condition.constrained_columns();
+        columns.extend(other.condition.constrained_columns());
+        columns.into_iter().all(|column| {
+            self.condition
+                .key_interval(column)
+                .overlaps(&other.condition.key_interval(column))
+        })
+    }
+
+    /// The column (with its interval) a predicate lock manager should key
+    /// this predicate under: the first constrained column whose extracted
+    /// interval excludes untyped rows — every matching row then has an
+    /// integer value for it inside the interval, so the predicate can live
+    /// in an ordered interval map and be skipped by non-overlapping
+    /// probes.  `None` means the predicate has no such column (the
+    /// whole-table fallback) and must be checked against everything.
+    pub fn index_hint(&self) -> Option<(String, KeyInterval)> {
+        self.condition
+            .constrained_columns()
+            .into_iter()
+            .map(|column| (column, self.condition.key_interval(column)))
+            .find(|(_, interval)| !interval.covers_untyped())
+            .map(|(column, interval)| (column.to_string(), interval))
     }
 }
 
@@ -266,5 +612,233 @@ mod tests {
         // different types, hence "not equal".
         let row = Row::new().with("x", 10);
         assert!(Condition::compare("x", Comparison::Ne, "ten").matches(&row));
+    }
+
+    #[test]
+    fn interval_extraction_for_comparisons() {
+        let lt = Condition::compare("hours", Comparison::Lt, 5).key_interval("hours");
+        assert!(lt.contains(4) && !lt.contains(5) && !lt.covers_untyped());
+        let ge = Condition::compare("hours", Comparison::Ge, 100).key_interval("hours");
+        assert!(ge.contains(100) && !ge.contains(99) && ge.hi().is_none());
+        let eq = Condition::eq("hours", 8).key_interval("hours");
+        assert_eq!(eq, KeyInterval::point(8));
+        // A conjunction narrows; a disjunction hulls.
+        let band = Condition::compare("hours", Comparison::Ge, 10)
+            .and(Condition::compare("hours", Comparison::Le, 20))
+            .key_interval("hours");
+        assert_eq!(band, KeyInterval::range(Some(10), Some(20)));
+        let either = Condition::eq("hours", 1)
+            .or(Condition::eq("hours", 9))
+            .key_interval("hours");
+        assert!(either.contains(1) && either.contains(9) && either.contains(5));
+        assert!(!either.contains(0) && !either.contains(10));
+        // Other columns, negations, and Ne fall back to everything.
+        assert_eq!(
+            Condition::eq("other", 3).key_interval("hours"),
+            KeyInterval::everything()
+        );
+        assert_eq!(
+            Condition::eq("hours", 3).negate().key_interval("hours"),
+            KeyInterval::everything()
+        );
+        assert_eq!(
+            Condition::compare("hours", Comparison::Ne, 3).key_interval("hours"),
+            KeyInterval::everything()
+        );
+        // Non-Int constants exclude the integer line except under Ne.
+        let boolean = Condition::eq("active", true).key_interval("active");
+        assert!(boolean.is_int_empty() && boolean.covers_untyped());
+        assert_eq!(
+            Condition::compare("active", Comparison::Ne, true).key_interval("active"),
+            KeyInterval::everything()
+        );
+    }
+
+    #[test]
+    fn interval_edge_cases_at_the_ends_of_the_key_line() {
+        let below_min = Condition::compare("x", Comparison::Lt, i64::MIN).key_interval("x");
+        assert!(below_min.is_int_empty());
+        let above_max = Condition::compare("x", Comparison::Gt, i64::MAX).key_interval("x");
+        assert!(above_max.is_int_empty());
+        assert!(!below_min.overlaps(&above_max));
+        // An empty conjunction band is empty and overlaps nothing typed.
+        let empty = Condition::compare("x", Comparison::Gt, 10)
+            .and(Condition::compare("x", Comparison::Lt, 10))
+            .key_interval("x");
+        assert!(empty.is_int_empty());
+        assert!(!empty.overlaps(&KeyInterval::point(10)));
+    }
+
+    #[test]
+    fn disjoint_ranges_no_longer_overlap() {
+        // The motivating false conflict: `hours < 5` vs `hours > 100` on
+        // one table used to conflict under the table-granular test.
+        let a = RowPredicate::new("tasks", Condition::compare("hours", Comparison::Lt, 5));
+        let b = RowPredicate::new("tasks", Condition::compare("hours", Comparison::Gt, 100));
+        assert!(!a.may_overlap(&b));
+        assert!(!b.may_overlap(&a));
+        // Touching ranges do overlap.
+        let c = RowPredicate::new("tasks", Condition::compare("hours", Comparison::Le, 5));
+        let d = RowPredicate::new("tasks", Condition::compare("hours", Comparison::Ge, 5));
+        assert!(c.may_overlap(&d));
+        // Disjoint equality points on a second column also stay apart.
+        let r0 = RowPredicate::new("accounts", Condition::eq("region", 0));
+        let r1 = RowPredicate::new("accounts", Condition::eq("region", 1));
+        assert!(!r0.may_overlap(&r1));
+        assert!(r0.may_overlap(&r0.clone()));
+    }
+
+    #[test]
+    fn whole_table_fallback_still_conflicts_with_everything_on_the_table() {
+        let whole = RowPredicate::whole_table("tasks");
+        let narrow = RowPredicate::new("tasks", Condition::eq("hours", 3));
+        let negated = RowPredicate::new("tasks", Condition::eq("hours", 9).negate());
+        assert!(whole.may_overlap(&narrow));
+        assert!(narrow.may_overlap(&whole));
+        assert!(negated.may_overlap(&narrow));
+        assert!(!whole.may_overlap(&RowPredicate::whole_table("accounts")));
+    }
+
+    #[test]
+    fn index_hint_names_the_first_typed_column() {
+        let banded = RowPredicate::new(
+            "tasks",
+            Condition::eq("project", "apollo").and(Condition::compare("hours", Comparison::Le, 8)),
+        );
+        let (column, interval) = banded.index_hint().expect("hours is typed");
+        assert_eq!(column, "hours");
+        assert_eq!(interval, KeyInterval::at_most(8));
+        // The whole-table predicate and non-Int conditions have no hint.
+        assert!(RowPredicate::whole_table("tasks").index_hint().is_none());
+        assert!(RowPredicate::new("tasks", Condition::eq("active", true))
+            .index_hint()
+            .is_none());
+    }
+
+    mod extraction_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One comparison (or `True`) decoded from an integer seed —
+        /// the offline proptest shim has no `prop_oneof!`, so the choice
+        /// points are packed into selector bits.
+        fn build_leaf((selector, value): (u64, i64)) -> Condition {
+            if selector % 8 == 0 {
+                return Condition::True;
+            }
+            let column = if (selector >> 3) & 1 == 0 { "a" } else { "b" };
+            let op = match (selector >> 4) % 6 {
+                0 => Comparison::Eq,
+                1 => Comparison::Ne,
+                2 => Comparison::Lt,
+                3 => Comparison::Le,
+                4 => Comparison::Gt,
+                _ => Comparison::Ge,
+            };
+            let value = match (selector >> 7) % 6 {
+                0..=3 => ColumnValue::Int(value),
+                4 => ColumnValue::Bool(value & 1 == 0),
+                _ => ColumnValue::Text("t".into()),
+            };
+            Condition::Compare {
+                column: column.to_string(),
+                op,
+                value,
+            }
+        }
+
+        /// Fold decoded leaves into a tree with And/Or/Not combinators
+        /// picked from the selector bits.
+        fn build_condition(nodes: &[(u64, i64)]) -> Condition {
+            let mut acc = build_leaf(nodes[0]);
+            for &node in &nodes[1..] {
+                let next = build_leaf(node);
+                acc = match (node.0 >> 12) % 4 {
+                    0 | 1 => Condition::And(Box::new(acc), Box::new(next)),
+                    2 => Condition::Or(Box::new(acc), Box::new(next)),
+                    _ => Condition::Not(Box::new(Condition::Or(Box::new(acc), Box::new(next)))),
+                };
+            }
+            acc
+        }
+
+        /// A condition tree over columns `a`/`b` with mixed-type constants.
+        fn condition_strategy() -> impl Strategy<Value = Condition> {
+            prop::collection::vec((0u64..(1 << 15), -50i64..50), 1..6)
+                .prop_map(|nodes| build_condition(&nodes))
+        }
+
+        fn build_cell((selector, value): (u64, i64)) -> Option<ColumnValue> {
+            match selector {
+                0..=3 => Some(ColumnValue::Int(value)),
+                4 => Some(ColumnValue::Bool(value & 1 == 0)),
+                5 => Some(ColumnValue::Text("t".into())),
+                _ => None,
+            }
+        }
+
+        /// A row giving columns `a`/`b` integer, non-integer, or missing
+        /// values.
+        fn row_strategy() -> impl Strategy<Value = Row> {
+            ((0u64..7, -60i64..60), (0u64..7, -60i64..60)).prop_map(|(a, b)| {
+                let mut row = Row::new();
+                if let Some(value) = build_cell(a) {
+                    row = row.with("a", value);
+                }
+                if let Some(value) = build_cell(b) {
+                    row = row.with("b", value);
+                }
+                row
+            })
+        }
+
+        proptest! {
+            /// Soundness: a matching row's column value always lies inside
+            /// the extracted interval.
+            #[test]
+            fn extraction_covers_every_matching_row(
+                cond in condition_strategy(),
+                row in row_strategy(),
+            ) {
+                if cond.matches(&row) {
+                    for column in ["a", "b"] {
+                        let interval = cond.key_interval(column);
+                        prop_assert!(
+                            interval.covers_value(row.get(column)),
+                            "{cond} matched but {} not covered by {interval}",
+                            row.get(column).map(|v| v.to_string()).unwrap_or_default(),
+                        );
+                    }
+                }
+            }
+
+            /// Disjointness: when two predicates report no overlap, no row
+            /// satisfies both conditions.
+            #[test]
+            fn non_overlap_is_proof_of_disjointness(
+                a in condition_strategy(),
+                b in condition_strategy(),
+                row in row_strategy(),
+            ) {
+                let pa = RowPredicate::new("t", a);
+                let pb = RowPredicate::new("t", b);
+                if !pa.may_overlap(&pb) {
+                    prop_assert!(
+                        !(pa.condition.matches(&row) && pb.condition.matches(&row)),
+                        "{} and {} disjoint yet both matched a row",
+                        pa.name(),
+                        pb.name(),
+                    );
+                }
+            }
+
+            /// `may_overlap` is symmetric.
+            #[test]
+            fn overlap_is_symmetric(a in condition_strategy(), b in condition_strategy()) {
+                let pa = RowPredicate::new("t", a);
+                let pb = RowPredicate::new("t", b);
+                prop_assert_eq!(pa.may_overlap(&pb), pb.may_overlap(&pa));
+            }
+        }
     }
 }

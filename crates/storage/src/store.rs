@@ -20,7 +20,8 @@
 //!   in their own partitions keyed by `TxnToken`, so bookkeeping for one
 //!   transaction never blocks another's reads.
 
-use crate::predicate::RowPredicate;
+use crate::backend::{sort_scan_output, ScanView};
+use crate::predicate::{KeyInterval, RowPredicate};
 use crate::row::{Row, RowId};
 use crate::timestamp::{Timestamp, TxnToken};
 use crate::version::VersionChain;
@@ -77,6 +78,9 @@ impl std::error::Error for StorageError {}
 struct TableMeta {
     name: Arc<str>,
     next_row_id: AtomicU64,
+    /// Column the table's ordered secondary index covers, if one has been
+    /// registered ([`MvStore::create_index`]).
+    indexed_column: RwLock<Option<Arc<str>>>,
 }
 
 /// One write performed by an in-flight transaction.  The table name is a
@@ -88,6 +92,37 @@ type OwnedWrite = (Arc<str>, RowId, WriteKind);
 #[derive(Default)]
 struct Shard {
     tables: HashMap<Arc<str>, BTreeMap<RowId, VersionChain>>,
+    /// This shard's slice of each table's ordered secondary index:
+    /// `(key, row id) →` number of live versions of that row carrying the
+    /// key.  Refcounts, not presence bits — two versions of one row may
+    /// share a key, and an abort must not over-remove.  The index is a
+    /// *superset* of any one visibility view (it covers every live
+    /// version, committed or not), so range scans re-filter the picked
+    /// version precisely; staleness towards "too many candidates" is
+    /// harmless.
+    indexes: HashMap<Arc<str>, BTreeMap<(i64, RowId), usize>>,
+}
+
+impl Shard {
+    fn index_add(&mut self, table: &Arc<str>, key: i64, id: RowId) {
+        *self
+            .indexes
+            .entry(Arc::clone(table))
+            .or_default()
+            .entry((key, id))
+            .or_insert(0) += 1;
+    }
+
+    fn index_remove(&mut self, table: &str, key: i64, id: RowId) {
+        if let Some(index) = self.indexes.get_mut(table) {
+            if let Some(count) = index.get_mut(&(key, id)) {
+                *count -= 1;
+                if *count == 0 {
+                    index.remove(&(key, id));
+                }
+            }
+        }
+    }
 }
 
 type WriteSet = BTreeMap<TxnToken, Vec<OwnedWrite>>;
@@ -165,9 +200,62 @@ impl MvStore {
         let meta = Arc::new(TableMeta {
             name: Arc::clone(&name),
             next_row_id: AtomicU64::new(0),
+            indexed_column: RwLock::new(None),
         });
         registry.insert(name, Arc::clone(&meta));
         meta
+    }
+
+    /// The indexed column of `table`, if an index has been registered.
+    pub fn indexed_column(&self, table: &str) -> Option<String> {
+        self.meta(table)
+            .and_then(|meta| meta.indexed_column.read().as_ref().map(|c| c.to_string()))
+    }
+
+    fn indexed_column_arc(&self, table: &str) -> Option<Arc<str>> {
+        self.meta(table)
+            .and_then(|meta| meta.indexed_column.read().clone())
+    }
+
+    /// Register an ordered secondary index over the integer values of
+    /// `column`, creating the table on demand and backfilling the keys of
+    /// every live version already stored.  Setup-time API: concurrent
+    /// writers racing the backfill may be missed — register indexes
+    /// before traffic starts.
+    pub fn create_index(&self, table: &str, column: &str) {
+        let meta = self.intern(table);
+        {
+            let mut slot = meta.indexed_column.write();
+            if slot.as_deref() == Some(column) {
+                return;
+            }
+            *slot = Some(Arc::from(column));
+        }
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            let entries: Vec<(i64, RowId)> = shard
+                .tables
+                .get(&*meta.name)
+                .map(|chains| {
+                    chains
+                        .iter()
+                        .flat_map(|(id, chain)| {
+                            chain
+                                .versions()
+                                .iter()
+                                .filter_map(|v| v.row.as_ref().and_then(|r| r.get_int(column)))
+                                .map(|key| (key, *id))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let index = shard.indexes.entry(Arc::clone(&meta.name)).or_default();
+            index.clear();
+            for (key, id) in entries {
+                *index.entry((key, id)).or_insert(0) += 1;
+            }
+        }
     }
 
     fn record_write(&self, writer: TxnToken, write: OwnedWrite) {
@@ -211,6 +299,11 @@ impl MvStore {
     /// its id.  The table is created on demand.
     pub fn insert(&self, table: &str, writer: TxnToken, row: Row) -> RowId {
         let meta = self.intern(table);
+        let key = meta
+            .indexed_column
+            .read()
+            .as_deref()
+            .and_then(|col| row.get_int(col));
         // Relaxed is enough: the id only needs to be unique, and the shard
         // lock below publishes the chain before any reader can observe it.
         let id = RowId(meta.next_row_id.fetch_add(1, Ordering::Relaxed));
@@ -223,6 +316,9 @@ impl MvStore {
                 .entry(id)
                 .or_default()
                 .install(writer, Some(row));
+            if let Some(key) = key {
+                shard.index_add(&meta.name, key, id);
+            }
         }
         self.record_write(writer, (Arc::clone(&meta.name), id, WriteKind::Insert));
         id
@@ -255,6 +351,11 @@ impl MvStore {
         let meta = self
             .meta(table)
             .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        let key = meta
+            .indexed_column
+            .read()
+            .as_deref()
+            .and_then(|col| row.as_ref().and_then(|r| r.get_int(col)));
         {
             let mut shard = self.shard_for(table, id).write();
             let chain = shard
@@ -263,6 +364,9 @@ impl MvStore {
                 .and_then(|rows| rows.get_mut(&id))
                 .ok_or_else(|| StorageError::NoSuchRow(table.to_string(), id))?;
             chain.install(writer, row);
+            if let Some(key) = key {
+                shard.index_add(&meta.name, key, id);
+            }
         }
         self.record_write(writer, (Arc::clone(&meta.name), id, kind));
         Ok(())
@@ -315,8 +419,9 @@ impl MvStore {
         })
     }
 
-    /// Visit each shard once, collect the matching rows, and merge in
-    /// row-id order so the result is identical to the old single-map scan.
+    /// Visit each shard once, collect the matching rows, and merge into
+    /// the pinned scan order (see [`sort_scan_output`]): ascending row id,
+    /// or ascending (index key, row id) once the table carries an index.
     fn scan<F>(&self, predicate: &RowPredicate, pick: F) -> Vec<(RowId, Row)>
     where
         F: Fn(&VersionChain) -> Option<Row>,
@@ -339,8 +444,84 @@ impl MvStore {
                     .collect()
             })
             .collect();
-        rows.sort_unstable_by_key(|(id, _)| *id);
+        sort_scan_output(
+            self.indexed_column_arc(&predicate.table).as_deref(),
+            &mut rows,
+        );
         rows
+    }
+
+    /// Range scan over the integer key space of `column`: the rows whose
+    /// picked version holds an `Int` value inside `range`, in ascending
+    /// `(key, row id)` order.  When the table's ordered index covers
+    /// `column` the candidate set comes from an index range probe (the
+    /// index covers every live version, so it can only over-approximate —
+    /// the picked version is always re-filtered precisely); otherwise the
+    /// scan falls back to a full pass with identical results.
+    pub fn scan_range(
+        &self,
+        table: &str,
+        column: &str,
+        range: &KeyInterval,
+        view: ScanView,
+    ) -> Vec<(RowId, Row)> {
+        if range.is_int_empty() {
+            return Vec::new();
+        }
+        let pick = |chain: &VersionChain| -> Option<Row> {
+            match view {
+                ScanView::LatestAny => chain.latest_any().and_then(|v| v.row.clone()),
+                ScanView::LatestCommitted => chain.latest_committed().and_then(|v| v.row.clone()),
+                ScanView::CommittedAsOf(ts) => {
+                    chain.committed_as_of(ts).and_then(|v| v.row.clone())
+                }
+                ScanView::Visible { reader, start_ts } => chain
+                    .visible_for(reader, start_ts)
+                    .and_then(|v| v.row.clone()),
+            }
+        };
+        let use_index = self.indexed_column_arc(table).as_deref() == Some(column);
+        let mut rows: Vec<(i64, RowId, Row)> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            let Some(chains) = shard.tables.get(table) else {
+                continue;
+            };
+            if use_index {
+                let Some(index) = shard.indexes.get(table) else {
+                    continue;
+                };
+                let lo = (range.lo().unwrap_or(i64::MIN), RowId(0));
+                let hi = (range.hi().unwrap_or(i64::MAX), RowId(u64::MAX));
+                let mut visited = std::collections::HashSet::new();
+                for &(_, id) in index.range(lo..=hi).map(|(entry, _)| entry) {
+                    // One row may carry several in-range keys across its
+                    // versions; visit it once.
+                    if !visited.insert(id) {
+                        continue;
+                    }
+                    if let Some(row) = chains.get(&id).and_then(&pick) {
+                        if let Some(key) = row.get_int(column) {
+                            if range.contains(key) {
+                                rows.push((key, id, row));
+                            }
+                        }
+                    }
+                }
+            } else {
+                for (id, chain) in chains {
+                    if let Some(row) = pick(chain) {
+                        if let Some(key) = row.get_int(column) {
+                            if range.contains(key) {
+                                rows.push((key, *id, row));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        rows.sort_unstable_by_key(|(key, id, _)| (*key, *id));
+        rows.into_iter().map(|(_, id, row)| (id, row)).collect()
     }
 
     /// Scan the rows satisfying `predicate` in the latest committed state.
@@ -502,7 +683,10 @@ impl MvStore {
         for (idx, rows) in self.writes_by_shard(&writes) {
             let mut shard = self.shards[idx].write();
             for (table, id) in rows {
-                shard
+                let indexed = self
+                    .meta(&table)
+                    .and_then(|meta| meta.indexed_column.read().clone());
+                let chain = shard
                     .tables
                     .get_mut(&table)
                     .and_then(|rows| rows.get_mut(&id))
@@ -512,8 +696,24 @@ impl MvStore {
                              no version chain for it — rollback would silently leak the \
                              uncommitted version"
                         )
+                    });
+                // The keys the writer's vanishing versions contributed to
+                // the ordered index, collected before the chain drops them.
+                let removed: Vec<i64> = indexed
+                    .as_deref()
+                    .map(|col| {
+                        chain
+                            .versions()
+                            .iter()
+                            .filter(|v| !v.is_committed() && v.writer == writer)
+                            .filter_map(|v| v.row.as_ref().and_then(|r| r.get_int(col)))
+                            .collect()
                     })
-                    .abort(writer);
+                    .unwrap_or_default();
+                chain.abort(writer);
+                for key in removed {
+                    shard.index_remove(&table, key, id);
+                }
             }
         }
     }
@@ -816,6 +1016,141 @@ mod tests {
             assert_eq!(*id, RowId(i as u64));
             assert_eq!(row.get_int("balance"), Some(i as i64));
         }
+    }
+
+    #[test]
+    fn ordered_index_backfills_and_tracks_writes() {
+        let store = MvStore::with_shards(4);
+        // Rows exist before the index: create_index must backfill.
+        let a = store.insert("t", TxnToken(1), balance_row(30));
+        let b = store.insert("t", TxnToken(1), balance_row(10));
+        store.commit(TxnToken(1), Timestamp(1));
+        store.create_index("t", "balance");
+        assert_eq!(store.indexed_column("t").as_deref(), Some("balance"));
+        // Re-registering the same column is a no-op.
+        store.create_index("t", "balance");
+
+        let all = store.scan_range(
+            "t",
+            "balance",
+            &KeyInterval::everything(),
+            ScanView::LatestCommitted,
+        );
+        assert_eq!(
+            all.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![b, a],
+            "ascending (key, row id) order"
+        );
+        let low = store.scan_range(
+            "t",
+            "balance",
+            &KeyInterval::at_most(15),
+            ScanView::LatestCommitted,
+        );
+        assert_eq!(low.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![b]);
+
+        // Maintained through update/abort: an aborted rewrite of `a`'s key
+        // must leave the index where it was.
+        store.update("t", TxnToken(2), a, balance_row(5)).unwrap();
+        let dirty = store.scan_range(
+            "t",
+            "balance",
+            &KeyInterval::at_most(15),
+            ScanView::LatestAny,
+        );
+        assert_eq!(
+            dirty.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![a, b]
+        );
+        store.abort(TxnToken(2));
+        let after = store.scan_range(
+            "t",
+            "balance",
+            &KeyInterval::at_most(15),
+            ScanView::LatestAny,
+        );
+        assert_eq!(after.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![b]);
+
+        // Plain scans over an indexed table come back in key order too,
+        // with unkeyed rows after every keyed one.
+        let c = store.insert("t", TxnToken(3), Row::new().with("owner", "x"));
+        store.commit(TxnToken(3), Timestamp(2));
+        let pred = RowPredicate::whole_table("t");
+        let scanned = store.scan_latest_committed(&pred);
+        assert_eq!(
+            scanned.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![b, a, c]
+        );
+    }
+
+    #[test]
+    fn scan_range_views_and_fallback_agree() {
+        let store = MvStore::with_shards(4);
+        store.create_index("t", "balance");
+        let ids: Vec<RowId> = (0..6)
+            .map(|i| store.insert("t", TxnToken(1), balance_row(i * 10)))
+            .collect();
+        store.commit(TxnToken(1), Timestamp(1));
+        store
+            .update("t", TxnToken(2), ids[0], balance_row(25))
+            .unwrap();
+
+        let mid = store.scan_range(
+            "t",
+            "balance",
+            &KeyInterval::range(Some(10), Some(30)),
+            ScanView::LatestCommitted,
+        );
+        assert_eq!(
+            mid.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![ids[1], ids[2], ids[3]]
+        );
+        // The dirty view sees ids[0]'s uncommitted key move into range.
+        let dirty = store.scan_range(
+            "t",
+            "balance",
+            &KeyInterval::range(Some(10), Some(30)),
+            ScanView::LatestAny,
+        );
+        assert_eq!(
+            dirty.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![ids[1], ids[2], ids[0], ids[3]]
+        );
+        // SI visibility: the writer sees its own move, others do not.
+        let writer_view = store.scan_range(
+            "t",
+            "balance",
+            &KeyInterval::range(Some(10), Some(30)),
+            ScanView::Visible {
+                reader: TxnToken(2),
+                start_ts: Timestamp(1),
+            },
+        );
+        assert_eq!(writer_view.len(), 4);
+        let other_view = store.scan_range(
+            "t",
+            "balance",
+            &KeyInterval::range(Some(10), Some(30)),
+            ScanView::Visible {
+                reader: TxnToken(9),
+                start_ts: Timestamp(1),
+            },
+        );
+        assert_eq!(other_view.len(), 3);
+        store.abort(TxnToken(2));
+
+        // An unindexed column takes the full-pass fallback with the same
+        // contract; an empty interval is empty either way.
+        assert!(store
+            .scan_range("t", "balance", &KeyInterval::empty(), ScanView::LatestAny)
+            .is_empty());
+        let fallback = store.scan_range(
+            "t",
+            "missing",
+            &KeyInterval::everything(),
+            ScanView::LatestAny,
+        );
+        assert!(fallback.is_empty());
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod scenarios;
 pub use crate::bank::BankFixture;
 pub use crate::mixed::{MixedWorkload, WorkloadStats};
 pub use crate::scaling::{
-    HandoffComparison, HandoffPoint, ScalingPoint, ScalingReport, ScalingSeries, ScalingSuite,
-    SubstrateConfig,
+    HandoffComparison, HandoffPoint, RangeComparison, RangePoint, ScalingPoint, ScalingReport,
+    ScalingSeries, ScalingSuite, SubstrateConfig,
 };
 pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 
@@ -44,8 +44,8 @@ pub mod prelude {
     pub use crate::bank::BankFixture;
     pub use crate::mixed::{MixedWorkload, WorkloadStats};
     pub use crate::scaling::{
-        HandoffComparison, HandoffPoint, ScalingPoint, ScalingReport, ScalingSeries, ScalingSuite,
-        SubstrateConfig,
+        HandoffComparison, HandoffPoint, RangeComparison, RangePoint, ScalingPoint, ScalingReport,
+        ScalingSeries, ScalingSuite, SubstrateConfig,
     };
     pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 }

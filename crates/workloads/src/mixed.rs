@@ -14,7 +14,7 @@ use critique_core::IsolationLevel;
 use critique_engine::{
     BackendKind, Database, EngineConfig, GrantPolicy, TxnError, UpgradeStrategy,
 };
-use critique_storage::{Row, RowId, RowPredicate};
+use critique_storage::{KeyInterval, Row, RowId, RowPredicate};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -63,6 +63,13 @@ pub struct MixedWorkload {
     /// [`critique_engine::Transaction::read_for_update`] either way, so
     /// the strategy is the only variable.
     pub upgrade: UpgradeStrategy,
+    /// Fraction of row operations issued as *range scans* over the
+    /// ordered `bucket` index instead of point accesses.  Range reads go
+    /// through [`critique_engine::Transaction::read_range`] (or the
+    /// `FOR UPDATE` variant in update transactions), exercising the
+    /// interval predicate locks at the locking levels.  `0.0` keeps the
+    /// workload point-only.
+    pub range_fraction: f64,
 }
 
 impl Default for MixedWorkload {
@@ -80,6 +87,7 @@ impl Default for MixedWorkload {
             grant: GrantPolicy::default(),
             backend: BackendKind::default(),
             upgrade: UpgradeStrategy::default(),
+            range_fraction: 0.0,
         }
     }
 }
@@ -172,6 +180,13 @@ impl MixedWorkload {
         self
     }
 
+    /// This workload with a different range-scan mix (used by the
+    /// point-vs-range scaling comparison).
+    pub fn with_range_fraction(mut self, range_fraction: f64) -> Self {
+        self.range_fraction = range_fraction;
+        self
+    }
+
     /// Seed a database for this workload (every account starts at 100) and
     /// return it together with the row ids.
     pub fn seed_database(&self, level: IsolationLevel) -> (Database, Vec<RowId>) {
@@ -183,11 +198,18 @@ impl MixedWorkload {
             .with_backend(self.backend)
             .with_upgrade_strategy(self.upgrade);
         let db = Database::with_config(config);
+        // Every account carries an indexed `bucket` key (its seed ordinal)
+        // so range operations have an ordered index to scan.
+        db.store().create_table("accounts");
+        db.store().create_index("accounts", "bucket");
         let setup = db.begin();
         let ids: Vec<RowId> = (0..self.accounts)
-            .map(|_| {
+            .map(|i| {
                 setup
-                    .insert("accounts", Row::new().with("balance", 100))
+                    .insert(
+                        "accounts",
+                        Row::new().with("balance", 100).with("bucket", i as i64),
+                    )
                     .expect("seed insert")
             })
             .collect();
@@ -210,6 +232,43 @@ impl MixedWorkload {
         for _ in 0..self.ops_per_txn {
             if self.think_micros > 0 {
                 std::thread::sleep(Duration::from_micros(self.think_micros));
+            }
+            // A range operation: scan a small bucket window through the
+            // ordered index, and in update transactions rewrite the first
+            // row it returns (an RMW over the locked interval).
+            if self.range_fraction > 0.0 && rng.gen_bool(self.range_fraction.clamp(0.0, 1.0)) {
+                let span = (self.accounts / 8).max(1) as i64;
+                let lo = rng.gen_range(0..self.accounts) as i64;
+                let range = KeyInterval::range(Some(lo), Some(lo + span - 1));
+                let scanned = if read_only {
+                    txn.read_range("accounts", "bucket", &range)
+                } else {
+                    txn.read_range_for_update("accounts", "bucket", &range)
+                };
+                stats.reads += 1;
+                match scanned {
+                    Ok(rows) => {
+                        if !read_only {
+                            if let Some((id, row)) = rows.first() {
+                                let balance = row.get_int("balance").unwrap_or(100);
+                                stats.writes += 1;
+                                if let Err(e) = txn.update(
+                                    "accounts",
+                                    *id,
+                                    Row::new().with("balance", balance + 1),
+                                ) {
+                                    failed = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+                continue;
             }
             let id = *self.pick_account(rng, ids);
             // An update transaction's read is the RMW pattern: declare the
@@ -343,6 +402,7 @@ mod tests {
             grant: GrantPolicy::DirectHandoff,
             backend: BackendKind::MvStore,
             upgrade: UpgradeStrategy::SharedThenUpgrade,
+            range_fraction: 0.0,
         }
     }
 
@@ -386,6 +446,22 @@ mod tests {
             assert_eq!(stats.attempted(), 90, "{grant:?}");
             assert_eq!(stats.aborted_deadlock, 0, "{grant:?}");
             assert!(stats.committed > 0, "{grant:?}");
+        }
+    }
+
+    #[test]
+    fn range_mix_completes_on_every_backend_and_level() {
+        let spec = small().with_range_fraction(0.4);
+        for backend in BackendKind::ALL {
+            for level in [
+                IsolationLevel::ReadCommitted,
+                IsolationLevel::SnapshotIsolation,
+                IsolationLevel::Serializable,
+            ] {
+                let stats = spec.with_backend(backend).run(level);
+                assert_eq!(stats.attempted(), 90, "{backend} at {level}");
+                assert!(stats.committed > 0, "{backend} at {level}");
+            }
         }
     }
 

@@ -453,14 +453,151 @@ impl HandoffComparison {
     }
 }
 
+/// One measured cell of a [`RangeComparison`]: a storage backend running
+/// the workload at a given range-scan mix.
+#[derive(Clone, Copy, Debug)]
+pub struct RangePoint {
+    /// Storage backend the cell ran on.
+    pub backend: BackendKind,
+    /// Fraction of operations issued as range scans
+    /// ([`MixedWorkload::range_fraction`]; `0.0` is the point-only
+    /// baseline).
+    pub range_fraction: f64,
+    /// Aggregate statistics of the kept (best-throughput) run.
+    pub stats: WorkloadStats,
+}
+
+/// The point-vs-range comparison: the same mixed workload run with and
+/// without a range-scan mix, on both storage backends, so the cost of
+/// routing reads through the ordered index and interval predicate locks
+/// is recorded next to the scaling sweeps in `BENCH_scaling.json`.
+#[derive(Clone, Debug)]
+pub struct RangeComparison {
+    /// Isolation level the comparison ran at.
+    pub level: IsolationLevel,
+    /// The base workload (its `backend` and `range_fraction` fields are
+    /// overridden per point).
+    pub workload: MixedWorkload,
+    /// One point per `(backend, range mix)` cell.
+    pub points: Vec<RangePoint>,
+}
+
+impl RangeComparison {
+    /// Run the workload once per `(backend, range_fraction)` cell, keeping
+    /// the best-of-`runs_per_point` run by committed throughput.
+    pub fn run(
+        base: MixedWorkload,
+        level: IsolationLevel,
+        range_fractions: &[f64],
+        runs_per_point: usize,
+    ) -> Self {
+        let runs_per_point = runs_per_point.max(1);
+        let mut points = Vec::new();
+        for backend in BackendKind::ALL {
+            for &range_fraction in range_fractions {
+                let spec = base
+                    .with_backend(backend)
+                    .with_range_fraction(range_fraction);
+                let stats = (0..runs_per_point)
+                    .map(|_| spec.run(level))
+                    .max_by(|a, b| {
+                        a.throughput()
+                            .partial_cmp(&b.throughput())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("runs_per_point >= 1");
+                points.push(RangePoint {
+                    backend,
+                    range_fraction,
+                    stats,
+                });
+            }
+        }
+        RangeComparison {
+            level,
+            workload: base,
+            points,
+        }
+    }
+
+    /// The point for one `(backend, range mix)` cell, if measured.
+    pub fn point(&self, backend: BackendKind, range_fraction: f64) -> Option<&RangePoint> {
+        self.points
+            .iter()
+            .find(|p| p.backend == backend && (p.range_fraction - range_fraction).abs() < 1e-9)
+    }
+
+    /// Render as an aligned text block.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "--- point vs range scans at {} ({} accounts, {} threads) ---\n",
+            self.level.name(),
+            self.workload.accounts,
+            self.workload.threads,
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:<9} range={:>3.0}%  committed={:<6} abort-rate={:5.1}%  {:9.0} txn/s\n",
+                p.backend.to_string(),
+                p.range_fraction * 100.0,
+                p.stats.committed,
+                p.stats.abort_rate() * 100.0,
+                p.stats.throughput(),
+            ));
+        }
+        out
+    }
+
+    fn json_object(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{pad}    {{\"backend\": \"{}\", \"range_fraction\": {:.2}, \
+                     \"committed\": {}, \"aborted\": {}, \"abort_rate\": {:.4}, \
+                     \"elapsed_ms\": {:.3}, \"throughput_txn_per_s\": {:.1}}}",
+                    p.backend,
+                    p.range_fraction,
+                    p.stats.committed,
+                    p.stats.aborted(),
+                    p.stats.abort_rate(),
+                    p.stats.elapsed.as_secs_f64() * 1e3,
+                    p.stats.throughput(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{pad}{{\n{pad}  \"level\": \"{}\",\n{pad}  \"workload\": {{\"accounts\": {}, \
+             \"read_fraction\": {:.2}, \"ops_per_txn\": {}, \"hot_fraction\": {:.2}, \
+             \"txns_per_thread\": {}, \"threads\": {}, \"seed\": {}}},\n{pad}  \
+             \"points\": [\n{}\n{pad}  ]\n{pad}}}",
+            self.level.name(),
+            self.workload.accounts,
+            self.workload.read_fraction,
+            self.workload.ops_per_txn,
+            self.workload.hot_fraction,
+            self.workload.txns_per_thread,
+            self.workload.threads,
+            self.workload.seed,
+            points,
+        )
+    }
+}
+
 /// The whole `BENCH_scaling.json` document: one scaling sweep per swept
-/// isolation level, plus the contended-handoff comparison.
+/// isolation level, plus the contended-handoff comparison and the
+/// point-vs-range scan comparison.
 #[derive(Clone, Debug)]
 pub struct ScalingSuite {
     /// One sweep per isolation level, in sweep order.
     pub sweeps: Vec<ScalingReport>,
     /// The direct-handoff vs wake-all comparison, if run.
     pub handoff: Option<HandoffComparison>,
+    /// The point-vs-range scan comparison, if run.
+    pub range: Option<RangeComparison>,
 }
 
 impl ScalingSuite {
@@ -478,6 +615,9 @@ impl ScalingSuite {
         if let Some(handoff) = &self.handoff {
             out.push_str(&handoff.to_text());
         }
+        if let Some(range) = &self.range {
+            out.push_str(&range.to_text());
+        }
         out
     }
 
@@ -493,9 +633,13 @@ impl ScalingSuite {
             Some(h) => format!(",\n  \"contended_handoff\":\n{}", h.json_object(2)),
             None => String::new(),
         };
+        let range = match &self.range {
+            Some(r) => format!(",\n  \"range_scan\":\n{}", r.json_object(2)),
+            None => String::new(),
+        };
         format!(
-            "{{\n  \"bench\": \"scaling_suite\",\n  \"sweeps\": [\n{}\n  ]{}\n}}\n",
-            sweeps, handoff,
+            "{{\n  \"bench\": \"scaling_suite\",\n  \"sweeps\": [\n{}\n  ]{}{}\n}}\n",
+            sweeps, handoff, range,
         )
     }
 }
@@ -518,6 +662,7 @@ mod tests {
             grant: GrantPolicy::DirectHandoff,
             backend: BackendKind::MvStore,
             upgrade: UpgradeStrategy::SharedThenUpgrade,
+            range_fraction: 0.0,
         }
     }
 
@@ -663,9 +808,11 @@ mod tests {
             ),
         ];
         let handoff = HandoffComparison::run(tiny(), IsolationLevel::Serializable, 1);
+        let range = RangeComparison::run(tiny(), IsolationLevel::Serializable, &[0.0, 0.5], 1);
         let suite = ScalingSuite {
             sweeps,
             handoff: Some(handoff),
+            range: Some(range),
         };
         assert!(suite.sweep_at(IsolationLevel::ReadCommitted).is_some());
         assert!(suite.sweep_at(IsolationLevel::Serializable).is_none());
@@ -678,7 +825,27 @@ mod tests {
         assert!(json.contains("\"mean_txn_latency_ms\""));
         assert!(json.contains("\"strategy\": \"update-lock\""));
         assert!(json.contains("\"worst_deadlocks_across_runs\""));
+        assert!(json.contains("\"range_scan\""));
+        assert!(json.contains("\"range_fraction\": 0.50"));
         let text = suite.to_text();
         assert!(text.contains("contended handoff"));
+        assert!(text.contains("point vs range scans"));
+    }
+
+    #[test]
+    fn range_comparison_covers_every_backend_and_mix() {
+        let cmp = RangeComparison::run(tiny(), IsolationLevel::Serializable, &[0.0, 0.5], 1);
+        assert_eq!(cmp.points.len(), BackendKind::ALL.len() * 2);
+        for backend in BackendKind::ALL {
+            for fraction in [0.0, 0.5] {
+                let point = cmp
+                    .point(backend, fraction)
+                    .unwrap_or_else(|| panic!("missing {backend} at {fraction}"));
+                assert!(point.stats.attempted() > 0, "{backend} at {fraction}");
+            }
+        }
+        let text = cmp.to_text();
+        assert!(text.contains("range=  0%"));
+        assert!(text.contains("range= 50%"));
     }
 }

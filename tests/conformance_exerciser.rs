@@ -20,6 +20,12 @@
 //!   sharded chain store or the append-only log
 //!   (`conformance_cross_backend_histories_identical`).
 //!
+//! A second matrix (`conformance_range_*`) re-runs the same driver in
+//! *range mode*: interval scans over an ordered `bucket` index on
+//! `accounts` plus a predicate-read/write mix on a second `employees`
+//! table, with Table 3's phantom verdicts enforced per table by
+//! projecting each history onto one table at a time.
+//!
 //! The interleaving is driven single-threaded through the deterministic
 //! `LockWaitPolicy::Fail` driver: each step picks a random live
 //! transaction and advances it one operation, retrying blocked operations
@@ -77,6 +83,16 @@ enum PlannedOp {
     CloseCursor,
     Commit,
     Abort,
+    // Range-mode traffic (`Exerciser::run_range`): interval scans over the
+    // indexed `bucket` column of `accounts`, inserts that land inside a
+    // scannable bucket, and a second predicate-read/write mix on the
+    // `employees` table so predicates span two tables in one history.
+    RangeRead(i64, i64),
+    RangeInsert(i64, i64, i64),
+    EmpPredicateRead(i64),
+    EmpUpdate(RowId, i64),
+    EmpInsert(i64, i64),
+    EmpDelete(RowId),
 }
 
 struct Slot {
@@ -97,12 +113,19 @@ struct Exerciser {
     db: Database,
     rng: StdRng,
     rows: Vec<RowId>,
+    /// Known `employees` rows (range mode only; empty otherwise).
+    emp_rows: Vec<RowId>,
     next_value: i64,
     /// Route every update through a preceding `read_for_update` (the
     /// read-modify-write shape), so the configured `UpgradeStrategy`
     /// actually locks something.  Off for the default matrix, on for the
     /// U-lock freedom matrix.
     rmw_reads: bool,
+    /// Range mode: seed a `bucket` index on `accounts` plus a second
+    /// `employees` table, and plan interval scans and multi-table
+    /// predicate traffic instead of cursors.  Off for the default matrix
+    /// so its histories stay byte-identical to earlier revisions.
+    range_mode: bool,
 }
 
 impl Exerciser {
@@ -113,6 +136,7 @@ impl Exerciser {
             backend,
             UpgradeStrategy::SharedThenUpgrade,
             false,
+            false,
         )
     }
 
@@ -122,7 +146,28 @@ impl Exerciser {
     /// retries later), but they must never admit a forbidden phenomenon —
     /// that is what "U locks alter no isolation verdict" means.
     fn run_update_lock(level: IsolationLevel, seed: u64, backend: BackendKind) -> History {
-        Self::run_configured(level, seed, backend, UpgradeStrategy::UpdateLock, true)
+        Self::run_configured(
+            level,
+            seed,
+            backend,
+            UpgradeStrategy::UpdateLock,
+            true,
+            false,
+        )
+    }
+
+    /// The range/multi-table matrix: interval scans over an ordered index
+    /// plus predicate traffic on a second table, so one history carries
+    /// phantom material for *two* predicate domains at once.
+    fn run_range(level: IsolationLevel, seed: u64, backend: BackendKind) -> History {
+        Self::run_configured(
+            level,
+            seed,
+            backend,
+            UpgradeStrategy::SharedThenUpgrade,
+            false,
+            true,
+        )
     }
 
     fn run_configured(
@@ -131,6 +176,7 @@ impl Exerciser {
         backend: BackendKind,
         upgrade: UpgradeStrategy,
         rmw_reads: bool,
+        range_mode: bool,
     ) -> History {
         let db = Database::with_config(
             EngineConfig::new(level)
@@ -141,20 +187,40 @@ impl Exerciser {
             db,
             rng: StdRng::seed_from_u64(seed),
             rows: Vec::new(),
+            emp_rows: Vec::new(),
             next_value: 1_000_000,
             rmw_reads,
+            range_mode,
         };
+        if range_mode {
+            // Range scans route through the ordered index on `bucket`.
+            ex.db.store().create_table("accounts");
+            ex.db.store().create_index("accounts", "bucket");
+        }
         // Seed rows across two predicate regions, every balance unique.
         let setup = ex.db.begin();
         for i in 0..8 {
             let value = ex.fresh_value();
-            let row = setup
-                .insert(
-                    "accounts",
-                    Row::new().with("balance", value).with("region", i % 2),
-                )
-                .expect("seed insert");
+            let mut row = Row::new().with("balance", value).with("region", i % 2);
+            if range_mode {
+                row = row.with("bucket", i);
+            }
+            let row = setup.insert("accounts", row).expect("seed insert");
             ex.rows.push(row);
+        }
+        if range_mode {
+            // A second table with its own predicate regions (`dept`), so
+            // multi-table predicate histories have material on both sides.
+            for i in 0..8 {
+                let value = ex.fresh_value();
+                let row = setup
+                    .insert(
+                        "employees",
+                        Row::new().with("balance", value).with("dept", i % 2),
+                    )
+                    .expect("seed insert");
+                ex.emp_rows.push(row);
+            }
         }
         setup.commit().expect("seed commit");
         ex.db.clear_history();
@@ -200,9 +266,16 @@ impl Exerciser {
                 } else {
                     let op = match slot.pending.take() {
                         Some(op) => op,
-                        None => Self::plan(&mut self.rng, &self.rows, &mut self.next_value, slot),
+                        None => Self::plan(
+                            &mut self.rng,
+                            &self.rows,
+                            &self.emp_rows,
+                            &mut self.next_value,
+                            slot,
+                            self.range_mode,
+                        ),
                     };
-                    Self::execute(&mut self.rows, slot, op, self.rmw_reads)
+                    Self::execute(&mut self.rows, &mut self.emp_rows, slot, op, self.rmw_reads)
                 }
             };
             if finished {
@@ -216,12 +289,59 @@ impl Exerciser {
         }
     }
 
-    fn plan(rng: &mut StdRng, rows: &[RowId], next_value: &mut i64, slot: &mut Slot) -> PlannedOp {
+    fn plan(
+        rng: &mut StdRng,
+        rows: &[RowId],
+        emp_rows: &[RowId],
+        next_value: &mut i64,
+        slot: &mut Slot,
+        range_mode: bool,
+    ) -> PlannedOp {
         if slot.ops_done >= slot.ops_budget {
             return if rng.gen_bool(0.9) {
                 PlannedOp::Commit
             } else {
                 PlannedOp::Abort
+            };
+        }
+        if range_mode {
+            // The range/multi-table mix: interval scans over `bucket`,
+            // predicate reads and writes on both tables, no cursors.  The
+            // dice split keeps enough predicate reads *and* enough inserts
+            // and deletes on each table that phantoms materialise per
+            // table at the permissive levels.
+            let row = rows[rng.gen_range(0..rows.len())];
+            let emp = emp_rows[rng.gen_range(0..emp_rows.len())];
+            let dice = rng.gen_range(0..100u64);
+            return if dice < 18 {
+                PlannedOp::Read(row)
+            } else if dice < 28 {
+                PlannedOp::PredicateRead(rng.gen_range(0..2u64) as i64)
+            } else if dice < 42 {
+                // A three-bucket window; scannable buckets are 0..=9.
+                let lo = rng.gen_range(0..8i64);
+                PlannedOp::RangeRead(lo, lo + 2)
+            } else if dice < 54 {
+                PlannedOp::EmpPredicateRead(rng.gen_range(0..2u64) as i64)
+            } else if dice < 66 {
+                *next_value += 1;
+                PlannedOp::Update(row, *next_value)
+            } else if dice < 74 {
+                *next_value += 1;
+                PlannedOp::EmpUpdate(emp, *next_value)
+            } else if dice < 82 {
+                let region = rng.gen_range(0..2u64) as i64;
+                let bucket = rng.gen_range(0..10i64);
+                *next_value += 1;
+                PlannedOp::RangeInsert(region, *next_value, bucket)
+            } else if dice < 90 {
+                let dept = rng.gen_range(0..2u64) as i64;
+                *next_value += 1;
+                PlannedOp::EmpInsert(dept, *next_value)
+            } else if dice < 95 {
+                PlannedOp::Delete(row)
+            } else {
+                PlannedOp::EmpDelete(emp)
             };
         }
         let row = rows[rng.gen_range(0..rows.len())];
@@ -259,10 +379,17 @@ impl Exerciser {
     }
 
     /// Run one operation; returns true when the transaction finished.
-    fn execute(rows: &mut Vec<RowId>, slot: &mut Slot, op: PlannedOp, rmw_reads: bool) -> bool {
+    fn execute(
+        rows: &mut Vec<RowId>,
+        emp_rows: &mut Vec<RowId>,
+        slot: &mut Slot,
+        op: PlannedOp,
+        rmw_reads: bool,
+    ) -> bool {
         enum Effect {
             None,
             NewRow(RowId),
+            NewEmpRow(RowId),
             CursorOpened(CursorId),
             CursorClosed,
         }
@@ -317,6 +444,47 @@ impl Exerciser {
                 let cursor = slot.cursor.expect("close planned only with a cursor");
                 slot.txn.close_cursor(cursor).map(|_| Effect::CursorClosed)
             }
+            PlannedOp::RangeRead(lo, hi) => {
+                let range = KeyInterval::range(Some(*lo), Some(*hi));
+                slot.txn
+                    .read_range("accounts", "bucket", &range)
+                    .map(|_| Effect::None)
+            }
+            PlannedOp::RangeInsert(region, value, bucket) => slot
+                .txn
+                .insert(
+                    "accounts",
+                    Row::new()
+                        .with("balance", *value)
+                        .with("region", *region)
+                        .with("bucket", *bucket),
+                )
+                .map(Effect::NewRow),
+            PlannedOp::EmpPredicateRead(dept) => {
+                let predicate = RowPredicate::new("employees", Condition::eq("dept", *dept));
+                slot.txn.read_where(&predicate).map(|_| Effect::None)
+            }
+            PlannedOp::EmpUpdate(row, value) => {
+                let declared = if rmw_reads {
+                    slot.txn.read_for_update("employees", *row).map(|_| ())
+                } else {
+                    Ok(())
+                };
+                declared
+                    .and_then(|()| {
+                        slot.txn
+                            .update("employees", *row, Row::new().with("balance", *value))
+                    })
+                    .map(|_| Effect::None)
+            }
+            PlannedOp::EmpInsert(dept, value) => slot
+                .txn
+                .insert(
+                    "employees",
+                    Row::new().with("balance", *value).with("dept", *dept),
+                )
+                .map(Effect::NewEmpRow),
+            PlannedOp::EmpDelete(row) => slot.txn.delete("employees", *row).map(|_| Effect::None),
             PlannedOp::Commit => {
                 // A First-Committer-Wins refusal still terminates the
                 // transaction; either way the slot is done.
@@ -332,6 +500,7 @@ impl Exerciser {
             Ok(effect) => {
                 match effect {
                     Effect::NewRow(row) => rows.push(row),
+                    Effect::NewEmpRow(row) => emp_rows.push(row),
                     Effect::CursorOpened(cursor) => {
                         slot.cursor = Some(cursor);
                         slot.cursor_spent = true;
@@ -646,9 +815,10 @@ fn conformance_cross_backend_histories_identical() {
 ///
 /// Naming: CI's conformance job runs this file as a name-filtered matrix
 /// (`conformance_mvstore` / `conformance_logstore` /
-/// `conformance_cross_backend`) — every test here must keep one of those
-/// prefixes or it silently drops out of the release conformance gate.
-/// This one checks both backends, so it rides the cross_backend leg.
+/// `conformance_cross_backend` / `conformance_range`) — every test here
+/// must keep one of those prefixes or it silently drops out of the
+/// release conformance gate.  This one checks both backends, so it rides
+/// the cross_backend leg.
 #[test]
 fn conformance_cross_backend_cursor_ops_are_generated() {
     for backend in BackendKind::ALL {
@@ -719,5 +889,207 @@ fn conformance_cross_backend_update_lock_alters_no_verdict() {
                 _ => {}
             }
         }
+    }
+}
+
+/// The tables the range/multi-table matrix spreads its predicates over.
+const RANGE_TABLES: [&str; 2] = ["accounts", "employees"];
+
+/// Project a history onto one table: keep every terminator plus exactly
+/// the item and predicate operations that touch `table`.  The recorder
+/// names items `table.row` and predicates `table[condition]`, so string
+/// prefixes identify the table unambiguously (no table name here is a
+/// prefix of another).  Phenomenon detection on the projection yields the
+/// per-table verdict: a phantom on `employees` cannot hide behind traffic
+/// on `accounts` and vice versa.
+fn table_projection(history: &History, table: &str) -> History {
+    let item_prefix = format!("{table}.");
+    let predicate_prefix = format!("{table}[");
+    let ops = history
+        .ops()
+        .iter()
+        .filter(|op| {
+            op.kind.is_terminator()
+                || op
+                    .kind
+                    .item()
+                    .is_some_and(|item| item.name().starts_with(&item_prefix))
+                || op
+                    .kind
+                    .predicate()
+                    .is_some_and(|predicate| predicate.name().starts_with(&predicate_prefix))
+        })
+        .cloned()
+        .collect();
+    History::from_ops_unchecked(ops)
+}
+
+/// The range/multi-table conformance matrix: every (level, seed) cell run
+/// with interval scans over the ordered `bucket` index and predicate
+/// traffic on two tables, with the paper's verdicts enforced *per table*
+/// — freedom on each table's projection at the restrictive levels, and
+/// phantom evidence on **both** tables at the permissive ones.
+fn run_range_matrix(backend: BackendKind) {
+    let mut evidence: BTreeMap<IsolationLevel, BTreeSet<&'static str>> = BTreeMap::new();
+    // level → tables whose projection exhibited a phantom somewhere in the
+    // seed matrix.
+    let mut phantoms: BTreeMap<IsolationLevel, BTreeSet<&'static str>> = BTreeMap::new();
+    for level in LEVELS {
+        let mut permitted_seen: BTreeSet<&'static str> = BTreeSet::new();
+        let phantom_tables = phantoms.entry(level).or_default();
+        for seed in SEEDS {
+            let history = Exerciser::run_range(level, seed, backend);
+            let context = format!("[{backend}] range {} seed {seed:#x}", level.name());
+            assert!(
+                !history.is_empty(),
+                "{context}: the exerciser recorded nothing"
+            );
+
+            // Freedom on the whole history, then per table: a projection
+            // can only remove cross-table interleavings, so any forbidden
+            // phenomenon inside one table must also be absent there.
+            for phenomenon in forbidden_positional(level) {
+                let found = detect(&history, phenomenon);
+                assert!(
+                    found.is_empty(),
+                    "{context}: forbidden {phenomenon} occurred: {}\n{}",
+                    found[0],
+                    history.to_notation(),
+                );
+                for table in RANGE_TABLES {
+                    let projection = table_projection(&history, table);
+                    let found = detect(&projection, phenomenon);
+                    assert!(
+                        found.is_empty(),
+                        "{context}: forbidden {phenomenon} occurred in the {table} \
+                         projection: {}\n{}",
+                        found[0],
+                        projection.to_notation(),
+                    );
+                }
+            }
+            match level {
+                IsolationLevel::SnapshotIsolation => {
+                    assert_no_dirty_values(&history, &context);
+                    assert_snapshot_stability(&history, &context);
+                    assert_first_committer_wins(&history, &context);
+                }
+                IsolationLevel::OracleReadConsistency => {
+                    assert_no_dirty_values(&history, &context);
+                }
+                _ => {}
+            }
+
+            for phenomenon in Phenomenon::ALL {
+                if tables::possibility(level, phenomenon) != Possibility::NotPossible
+                    && exhibits(&history, phenomenon)
+                {
+                    permitted_seen.insert(phenomenon.code());
+                }
+            }
+            if tables::possibility(level, Phenomenon::P3) != Possibility::NotPossible {
+                for table in RANGE_TABLES {
+                    if exhibits(&table_projection(&history, table), Phenomenon::P3) {
+                        phantom_tables.insert(table);
+                    }
+                }
+            }
+        }
+        evidence.insert(level, permitted_seen);
+    }
+
+    for level in LEVELS {
+        if level == IsolationLevel::Serializable {
+            continue;
+        }
+        assert!(
+            !evidence[&level].is_empty(),
+            "[{backend}] range {}: no permitted anomaly materialised across the seed \
+             matrix — the run distinguishes nothing",
+            level.name(),
+        );
+    }
+    // The point of the multi-table mix: at the phantom-permitting locking
+    // levels, the seed matrix shows phantoms *in each table's own
+    // projection* — Table 3's P3 row holds (and fails to hold) per
+    // predicate domain, not merely somewhere in the interleaved whole.
+    for level in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+    ] {
+        for table in RANGE_TABLES {
+            assert!(
+                phantoms[&level].contains(table),
+                "[{backend}] range {}: expected a phantom in the {table} projection \
+                 across the seed matrix; saw {:?}",
+                level.name(),
+                phantoms[&level],
+            );
+        }
+    }
+}
+
+/// Naming: rides CI's `range` conformance leg (name filter
+/// `conformance_range` — see the note on
+/// `conformance_cross_backend_cursor_ops_are_generated`).
+#[test]
+fn conformance_range_mvstore_matrix() {
+    run_range_matrix(BackendKind::MvStore);
+}
+
+#[test]
+fn conformance_range_logstore_matrix() {
+    run_range_matrix(BackendKind::LogStructured);
+}
+
+/// Backend independence holds for range traffic too: interval scans go
+/// through each backend's own ordered-index implementation, yet the
+/// recorded history per (level, seed) cell must stay byte-identical.
+#[test]
+fn conformance_range_cross_backend_histories_identical() {
+    for level in LEVELS {
+        for seed in SEEDS {
+            let reference = Exerciser::run_range(level, seed, BackendKind::MvStore);
+            let log = Exerciser::run_range(level, seed, BackendKind::LogStructured);
+            assert_eq!(
+                reference.to_notation(),
+                log.to_notation(),
+                "range {} seed {seed:#x}: the log-structured backend diverged from \
+                 the chain store",
+                level.name(),
+            );
+        }
+    }
+}
+
+/// The range mix must actually generate its ingredients on every backend:
+/// interval predicate reads over `bucket` on `accounts`, and predicate
+/// reads against `employees` — otherwise the per-table verdicts above
+/// prove nothing.
+#[test]
+fn conformance_range_traffic_is_generated() {
+    for backend in BackendKind::ALL {
+        let mut interval_reads = 0usize;
+        let mut employee_reads = 0usize;
+        for seed in SEEDS {
+            let history = Exerciser::run_range(IsolationLevel::ReadCommitted, seed, backend);
+            for op in history.ops() {
+                let Some(predicate) = op.kind.predicate() else {
+                    continue;
+                };
+                if predicate.name().starts_with("accounts[") && predicate.name().contains("bucket")
+                {
+                    interval_reads += 1;
+                }
+                if predicate.name().starts_with("employees[") {
+                    employee_reads += 1;
+                }
+            }
+        }
+        assert!(
+            interval_reads > 0 && employee_reads > 0,
+            "[{backend}] the range matrix generated no multi-table range traffic \
+             (interval={interval_reads}, employees={employee_reads})"
+        );
     }
 }
