@@ -20,10 +20,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use critique_bench::{
-    handoff_workload, range_workload, scaling_workload, RANGE_FRACTIONS, SCALING_LEVELS,
-    SCALING_THREADS,
+    handoff_workload, range_workload, read_heavy_workload, scaling_workload, RANGE_FRACTIONS,
+    SCALING_LEVELS, SCALING_THREADS,
 };
 use critique_core::IsolationLevel;
+use critique_engine::ReadPath;
 use critique_workloads::{
     HandoffComparison, RangeComparison, ScalingReport, ScalingSuite, SubstrateConfig,
 };
@@ -48,6 +49,25 @@ fn run_suite() -> ScalingSuite {
             )
         })
         .collect();
+    // The read-heavy (95/5) series: the same workload on the epoch read
+    // path and on the stripe-read-lock baseline, per isolation level, so
+    // the cost of the locks the epoch path removed stays measured.
+    let read_heavy = SCALING_LEVELS
+        .into_iter()
+        .map(|level| {
+            ScalingReport::run(
+                read_heavy_workload(),
+                level,
+                &SCALING_THREADS,
+                &[
+                    SubstrateConfig::mvstore(read_heavy_workload().shards, "epoch"),
+                    SubstrateConfig::mvstore(read_heavy_workload().shards, "locked baseline")
+                        .with_read_path(ReadPath::Locked),
+                ],
+                3,
+            )
+        })
+        .collect();
     let handoff = HandoffComparison::run(handoff_workload(), IsolationLevel::Serializable, 3);
     let range = RangeComparison::run(
         range_workload(),
@@ -57,8 +77,10 @@ fn run_suite() -> ScalingSuite {
     );
     ScalingSuite {
         sweeps,
+        read_heavy,
         handoff: Some(handoff),
         range: Some(range),
+        host_cpus: ScalingSuite::detect_host_cpus(),
     }
 }
 

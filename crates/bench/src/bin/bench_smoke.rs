@@ -285,6 +285,64 @@ fn validate_suite(doc: &Json, context: &str) {
             }
         }
     }
+    // The read-heavy record: host metadata plus, per swept level, an
+    // epoch series and a locked-baseline series over the 95/5 mix.
+    let host_cpus = doc
+        .get("host_cpus")
+        .and_then(Json::as_number)
+        .unwrap_or_else(|| panic!("{context}: no numeric host_cpus metadata"));
+    assert!(host_cpus >= 1.0, "{context}: host_cpus < 1");
+    let read_heavy = doc
+        .get("read_heavy")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{context}: no \"read_heavy\" array"));
+    assert!(
+        !read_heavy.is_empty(),
+        "{context}: zero read_heavy sweeps recorded"
+    );
+    for sweep in read_heavy {
+        let level = sweep
+            .get("level")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{context}: read_heavy sweep without a level"));
+        let read_fraction = sweep
+            .get("workload")
+            .and_then(|w| w.get("read_fraction"))
+            .and_then(Json::as_number)
+            .unwrap_or_else(|| panic!("{context}: read_heavy {level} lacks read_fraction"));
+        assert!(
+            (read_fraction - 0.95).abs() < 1e-9,
+            "{context}: read_heavy {level} is not the 95/5 mix"
+        );
+        let series = sweep
+            .get("series")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{context}: read_heavy {level} has no series array"));
+        for read_path in ["epoch", "locked"] {
+            let entry = series
+                .iter()
+                .find(|s| s.get("read_path").and_then(Json::as_str) == Some(read_path))
+                .unwrap_or_else(|| {
+                    panic!("{context}: read_heavy {level} lacks the {read_path} series")
+                });
+            let points = entry
+                .get("points")
+                .and_then(Json::as_array)
+                .unwrap_or_else(|| panic!("{context}: read_heavy {level}/{read_path} no points"));
+            assert!(
+                !points.is_empty(),
+                "{context}: read_heavy {level}/{read_path} recorded zero points"
+            );
+            for point in points {
+                for field in ["threads", "committed", "throughput_txn_per_s"] {
+                    assert!(
+                        point.get(field).and_then(Json::as_number).is_some(),
+                        "{context}: read_heavy {level}/{read_path} point lacks {field:?}"
+                    );
+                }
+            }
+        }
+    }
     let range = doc
         .get("range_scan")
         .unwrap_or_else(|| panic!("{context}: no range_scan record"));
@@ -355,6 +413,7 @@ fn reduced_suite() -> ScalingSuite {
         backend: critique_engine::BackendKind::MvStore,
         upgrade: UpgradeStrategy::SharedThenUpgrade,
         range_fraction: 0.0,
+        read_path: critique_engine::ReadPath::Epoch,
     };
     let sweeps = vec![ScalingReport::run(
         tiny,
@@ -366,6 +425,19 @@ fn reduced_suite() -> ScalingSuite {
         ],
         1,
     )];
+    let mut read_heavy_spec = tiny;
+    read_heavy_spec.read_fraction = 0.95;
+    let read_heavy = vec![ScalingReport::run(
+        read_heavy_spec,
+        IsolationLevel::SnapshotIsolation,
+        &[1, 2],
+        &[
+            SubstrateConfig::mvstore(4, "epoch"),
+            SubstrateConfig::mvstore(4, "locked baseline")
+                .with_read_path(critique_engine::ReadPath::Locked),
+        ],
+        1,
+    )];
     let mut contended = tiny;
     contended.read_fraction = 0.0;
     contended.hot_fraction = 1.0;
@@ -374,8 +446,10 @@ fn reduced_suite() -> ScalingSuite {
     let range = RangeComparison::run(tiny, IsolationLevel::Serializable, &[0.0, 0.5], 1);
     ScalingSuite {
         sweeps,
+        read_heavy,
         handoff: Some(handoff),
         range: Some(range),
+        host_cpus: ScalingSuite::detect_host_cpus(),
     }
 }
 

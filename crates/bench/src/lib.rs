@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use critique_core::IsolationLevel;
-use critique_engine::{BackendKind, GrantPolicy, UpgradeStrategy};
+use critique_engine::{BackendKind, GrantPolicy, ReadPath, UpgradeStrategy};
 use critique_workloads::MixedWorkload;
 
 /// The isolation levels compared in the throughput studies.
@@ -47,6 +47,7 @@ pub fn bench_workload(read_fraction: f64, hot_fraction: f64) -> MixedWorkload {
         backend: BackendKind::MvStore,
         upgrade: UpgradeStrategy::SharedThenUpgrade,
         range_fraction: 0.0,
+        read_path: ReadPath::Epoch,
     }
 }
 
@@ -69,6 +70,25 @@ pub fn scaling_workload() -> MixedWorkload {
         backend: BackendKind::MvStore,
         upgrade: UpgradeStrategy::SharedThenUpgrade,
         range_fraction: 0.0,
+        read_path: ReadPath::Epoch,
+    }
+}
+
+/// The workload behind the read-heavy epoch-vs-locked series
+/// (`BENCH_scaling.json`'s `read_heavy` record): the
+/// [`MixedWorkload::read_heavy`] 95/5 mix over the scaling sweep's table,
+/// with no think time, so the measured difference between the epoch series
+/// and the locked-baseline series is exactly what the per-read stripe
+/// locks cost on the mix where reads dominate.
+pub fn read_heavy_workload() -> MixedWorkload {
+    MixedWorkload {
+        accounts: 256,
+        ops_per_txn: 4,
+        hot_fraction: 0.05,
+        txns_per_thread: 120,
+        threads: 1,
+        seed: 1995,
+        ..MixedWorkload::read_heavy()
     }
 }
 
@@ -108,6 +128,7 @@ pub fn range_workload() -> MixedWorkload {
         backend: BackendKind::MvStore,
         upgrade: UpgradeStrategy::UpdateLock,
         range_fraction: 0.0,
+        read_path: ReadPath::Epoch,
     }
 }
 
@@ -131,5 +152,6 @@ pub fn handoff_workload() -> MixedWorkload {
         backend: BackendKind::MvStore,
         upgrade: UpgradeStrategy::SharedThenUpgrade,
         range_fraction: 0.0,
+        read_path: ReadPath::Epoch,
     }
 }

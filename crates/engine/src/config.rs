@@ -2,7 +2,7 @@
 
 use critique_core::IsolationLevel;
 pub use critique_lock::{GrantPolicy, UpgradeStrategy};
-pub use critique_storage::BackendKind;
+pub use critique_storage::{BackendKind, ReadPath};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -70,6 +70,11 @@ pub struct EngineConfig {
     /// upgraders and removes the S→X upgrade-deadlock cascade.  Plain
     /// reads and the multiversion levels are unaffected.
     pub upgrade: UpgradeStrategy,
+    /// Which read discipline the default ([`BackendKind::MvStore`])
+    /// backend uses: the epoch-pinned lock-free path (default) or the
+    /// stripe-read-lock baseline the read-heavy bench series measures
+    /// against.  The log-structured backend ignores the knob.
+    pub read_path: ReadPath,
 }
 
 impl EngineConfig {
@@ -84,6 +89,7 @@ impl EngineConfig {
             grant: GrantPolicy::default(),
             backend: BackendKind::default(),
             upgrade: UpgradeStrategy::default(),
+            read_path: ReadPath::default(),
         }
     }
 
@@ -122,6 +128,12 @@ impl EngineConfig {
         self.upgrade = upgrade;
         self
     }
+
+    /// Override the storage read discipline (MvStore only).
+    pub fn with_read_path(mut self, read_path: ReadPath) -> Self {
+        self.read_path = read_path;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -138,7 +150,15 @@ mod tests {
         assert_eq!(cfg.grant, GrantPolicy::DirectHandoff);
         assert_eq!(cfg.backend, BackendKind::MvStore);
         assert_eq!(cfg.upgrade, UpgradeStrategy::SharedThenUpgrade);
+        assert_eq!(cfg.read_path, ReadPath::Epoch);
         assert_eq!(LockWaitPolicy::default(), LockWaitPolicy::Fail);
+    }
+
+    #[test]
+    fn read_path_override() {
+        let cfg =
+            EngineConfig::new(IsolationLevel::SnapshotIsolation).with_read_path(ReadPath::Locked);
+        assert_eq!(cfg.read_path, ReadPath::Locked);
     }
 
     #[test]

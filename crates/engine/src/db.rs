@@ -13,7 +13,9 @@ use critique_core::locking::LockProfile;
 use critique_core::IsolationLevel;
 use critique_history::History;
 use critique_lock::LockManager;
-use critique_storage::{Row, RowId, RowPredicate, StorageBackend, TimestampOracle, TxnToken};
+use critique_storage::{
+    MvReadStats, Row, RowId, RowPredicate, StorageBackend, TimestampOracle, TxnToken,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,6 +35,11 @@ pub(crate) struct DbInner {
     /// makes the Snapshot Isolation First-Committer-Wins check atomic with
     /// the commit it guards.  Reads, writes, and aborts never take it.
     pub(crate) commit_seq: Mutex<()>,
+    /// The MvStore read-path counters, when the configured backend has
+    /// them (`None` on the log-structured backend).  Handed out by the
+    /// constructor side channel so the [`StorageBackend`] trait stays
+    /// untouched.
+    pub(crate) read_stats: Option<Arc<MvReadStats>>,
     next_txn: AtomicU64,
 }
 
@@ -55,12 +62,16 @@ impl Database {
 
     /// Create a database with an explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
+        // The only place a concrete backend is named is behind this
+        // `BackendKind` constructor.
+        let (store, read_stats) = config
+            .backend
+            .build_with_stats(config.shards, config.read_path);
         Database {
             inner: Arc::new(DbInner {
                 profile: LockProfile::for_level(config.level),
-                // The only place a concrete backend is named is behind
-                // this `BackendKind` constructor.
-                store: config.backend.build(config.shards),
+                store,
+                read_stats,
                 locks: LockManager::with_shards(config.shards).with_policy(config.grant),
                 ts: TimestampOracle::new(),
                 recorder: HistoryRecorder::with_shards(config.record_history, config.shards),
@@ -139,6 +150,14 @@ impl Database {
     /// Number of locks currently held across all transactions.
     pub fn locks_held(&self) -> usize {
         self.inner.locks.total_held()
+    }
+
+    /// The MvStore read-path counters (stripe-lock acquisitions, epoch
+    /// pins), if the configured backend exposes them.  The workload
+    /// drivers assert through this that a read-only run under the epoch
+    /// path acquires zero stripe locks.
+    pub fn mv_read_stats(&self) -> Option<Arc<MvReadStats>> {
+        self.inner.read_stats.clone()
     }
 }
 

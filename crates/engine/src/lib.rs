@@ -44,7 +44,9 @@ pub mod error;
 pub mod recorder;
 pub mod txn;
 
-pub use crate::config::{BackendKind, EngineConfig, GrantPolicy, LockWaitPolicy, UpgradeStrategy};
+pub use crate::config::{
+    BackendKind, EngineConfig, GrantPolicy, LockWaitPolicy, ReadPath, UpgradeStrategy,
+};
 pub use crate::cursor::CursorId;
 pub use crate::db::Database;
 pub use crate::error::TxnError;
@@ -53,7 +55,7 @@ pub use crate::txn::{Transaction, TxnStatus};
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::config::{
-        BackendKind, EngineConfig, GrantPolicy, LockWaitPolicy, UpgradeStrategy,
+        BackendKind, EngineConfig, GrantPolicy, LockWaitPolicy, ReadPath, UpgradeStrategy,
     };
     pub use crate::cursor::CursorId;
     pub use crate::db::Database;

@@ -211,6 +211,14 @@ impl Transaction {
 
     // ------------------------------------------------------------------
     // Reads.
+    //
+    // Routing: the multiversion levels (Snapshot Isolation, Oracle Read
+    // Consistency) go straight to the storage backend's timestamped
+    // visibility surface and take no item locks at all — on the default
+    // MvStore backend that surface is the epoch-pinned lock-free read
+    // path, so these reads touch neither the lock manager nor any store
+    // stripe lock.  The locking levels acquire their Table 2 item locks
+    // first and then read through the same storage surface.
     // ------------------------------------------------------------------
 
     /// Read a single row.  Returns `Ok(None)` if the row does not exist (or

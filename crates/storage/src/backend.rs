@@ -40,10 +40,11 @@ use crate::logstore::{LogStore, LogStoreConfig};
 use crate::predicate::{KeyInterval, RowPredicate};
 use crate::row::{Row, RowId};
 use crate::snapshot::Snapshot;
-use crate::store::{MvStore, StorageError, TableName, WriteKind};
+use crate::store::{MvReadStats, MvStore, ReadPath, StorageError, TableName, WriteKind};
 use crate::timestamp::{Timestamp, TxnToken};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which version of each row a scan reads: the visibility rules of the
 /// point reads, lifted into a parameter so the range scan needs a single
@@ -417,11 +418,31 @@ impl BackendKind {
     /// honoured by [`MvStore`]; the log-structured store is a single
     /// append-only log and ignores it.
     pub fn build(self, shards: usize) -> Box<dyn StorageBackend> {
+        self.build_with_stats(shards, ReadPath::default()).0
+    }
+
+    /// Construct the backend with an explicit read path, handing back the
+    /// read-path counters when the backend has them.  [`MvStore`] honours
+    /// `read_path` and exposes its [`MvReadStats`]; the log-structured
+    /// store has neither (its sharding is a carried ROADMAP item), so it
+    /// returns `None` and ignores the knob.  The [`StorageBackend`] trait
+    /// itself is untouched — stats are a construction-time side channel,
+    /// not a scheduler-visible surface.
+    pub fn build_with_stats(
+        self,
+        shards: usize,
+        read_path: ReadPath,
+    ) -> (Box<dyn StorageBackend>, Option<Arc<MvReadStats>>) {
         match self {
-            BackendKind::MvStore => Box::new(MvStore::with_shards(shards)),
-            BackendKind::LogStructured => {
-                Box::new(LogStore::with_config(LogStoreConfig::default()))
+            BackendKind::MvStore => {
+                let store = MvStore::with_read_path(shards, read_path);
+                let stats = store.read_stats();
+                (Box::new(store), Some(stats))
             }
+            BackendKind::LogStructured => (
+                Box::new(LogStore::with_config(LogStoreConfig::default())),
+                None,
+            ),
         }
     }
 }
@@ -451,6 +472,23 @@ mod tests {
             );
         }
         assert_eq!(BackendKind::default(), BackendKind::MvStore);
+    }
+
+    #[test]
+    fn stats_side_channel_is_mvstore_only() {
+        // The chain store hands out its read-path counters; the log store
+        // has no epoch read path, so the side channel stays empty and the
+        // StorageBackend trait itself stays untouched either way.
+        let (backend, stats) = BackendKind::MvStore.build_with_stats(4, ReadPath::Locked);
+        let stats = stats.expect("mvstore exposes read stats");
+        assert_eq!(stats.read_lock_acquisitions(), 0);
+        let id = backend.insert("t", TxnToken(1), Row::new().with("v", 1));
+        backend.commit(TxnToken(1), Timestamp(1));
+        let _ = backend.get_latest_committed("t", id);
+        assert!(stats.read_lock_acquisitions() > 0, "locked path counts");
+
+        let (_, stats) = BackendKind::LogStructured.build_with_stats(4, ReadPath::Epoch);
+        assert!(stats.is_none(), "log store has no read-path counters");
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! "time travel" observation: a transaction may run with a very old
 //! timestamp and take a historical perspective of the database without
 //! blocking or being blocked by writers.
+//!
+//! "Without blocking" is literal on the default backend: every snapshot
+//! read funnels into [`crate::store::MvStore`]'s epoch-pinned read path,
+//! which pins an epoch ([`crate::ebr::Ebr`]) and traverses the atomic
+//! version chains without touching any write stripe lock.
 
 use crate::backend::StorageBackend;
 use crate::predicate::RowPredicate;

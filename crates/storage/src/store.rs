@@ -1,44 +1,116 @@
-//! The multi-version store: tables of row version chains, hash-partitioned
-//! into shards.
+//! The multi-version store: tables of row version chains with an
+//! epoch-pinned, lock-free read path.
 //!
-//! The store used to be a single `RwLock` around every table, which meant
-//! the threaded benchmark drivers measured that mutex instead of the
-//! concurrency-control disciplines above it.  The sharded layout removes
-//! the chokepoint while keeping the visibility semantics identical:
+//! The store used to be a single `RwLock` around every table, then a set
+//! of hash-partitioned shards each behind its own `RwLock`.  Sharding
+//! removed the global chokepoint, but readers of a shard still serialised
+//! against writers of the *same* shard — even though version chains are
+//! append-mostly and visibility is decided purely by timestamps.  This
+//! layout removes the read-side locks entirely:
 //!
-//! * a **table registry** maps each interned table name (`Arc<str>`) to its
-//!   metadata; row ids are allocated from a per-table atomic counter, so
-//!   inserts into different tables — or even the same table — never contend
-//!   on a global lock;
-//! * row version chains live in `N` **shards**, each behind its own
-//!   `RwLock`, selected by hashing `(table, row id)`; point reads and
-//!   writes touch exactly one shard, scans visit each shard once and merge
-//!   in row-id order (so scan output is byte-identical to the old
-//!   single-map store);
-//! * the per-transaction **write sets** (the rows a transaction has written,
-//!   in order — the input to commit, abort, and First-Committer-Wins) live
-//!   in their own partitions keyed by `TxnToken`, so bookkeeping for one
-//!   transaction never blocks another's reads.
+//! * a **table registry** is a grow-only lock-free list mapping each
+//!   interned table name (`Arc<str>`) to its metadata; lookups walk it
+//!   without locks, inserts serialise on one small mutex.  Row ids are
+//!   allocated from a per-table atomic counter;
+//! * each table owns a **chain directory** ([`ChainDir`]) — a jagged array
+//!   of chunks installed by CAS and never moved, so a row id addresses a
+//!   stable [`RowSlot`] holding the row's atomic version chain
+//!   ([`ChainHead`]).  Readers resolve table → slot → chain with atomic
+//!   loads only;
+//! * **writers** still serialise per row through striped write locks
+//!   (hash of `(table, row id)`), but publish every mutation with release
+//!   stores: a new version is fully built before the head pointer moves,
+//!   a commit stamp flips atomically, an abort splices nodes out and hands
+//!   them to the epoch domain ([`Ebr`]) instead of freeing them;
+//! * **readers** pin an epoch ([`Ebr::pin`]) for the duration of one
+//!   operation and traverse chains through the pin — no stripe lock, no
+//!   reference counting, wait-free in the common case.  Retired nodes are
+//!   reclaimed only after every pinned epoch has advanced past them;
+//! * the ordered secondary index per table is a sorted lock-free linked
+//!   list ([`OrderedIndex`]) read under the same pins and mutated only
+//!   under a per-table mutex, ordered *inside* the stripe lock;
+//! * the per-transaction **write sets** live in their own partitions keyed
+//!   by `TxnToken`, unchanged from the sharded layout.
+//!
+//! Two always-compiled counters ([`MvReadStats`]) make the core claims
+//! assertable: `read_lock_acquisitions` stays zero on the epoch path
+//! ("reads take no lock"), and the EBR domain's `reclaimed_while_pinned`
+//! stays zero ("no use-after-free").  [`ReadPath::Locked`] keeps the old
+//! discipline — stripe read-locks on every read — as the measurable A/B
+//! baseline for the `read_heavy` bench series.
+//!
+//! Bookkeeping surfaces (`version_count`, `committed_row_count`,
+//! `row_ids`, `tables`) are lock-free in **both** modes: they are
+//! final-state metrics, not visibility reads, so the locked baseline does
+//! not need to tax them.
 
 use crate::backend::{sort_scan_output, ScanView};
+use crate::ebr::{Ebr, Guard, ReclamationStats};
 use crate::predicate::{KeyInterval, RowPredicate};
 use crate::row::{Row, RowId};
 use crate::timestamp::{Timestamp, TxnToken};
-use crate::version::VersionChain;
+use crate::version::ChainHead;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A table name.
 pub type TableName = String;
 
-/// Default number of store shards (and write-set partitions).
+/// Default number of write stripes (and write-set partitions).
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Which discipline point reads, scans and range scans use.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum ReadPath {
+    /// Lock-free reads: pin an epoch, traverse atomic chains, never touch
+    /// the write stripes.  The default.
+    #[default]
+    Epoch,
+    /// The pre-epoch baseline: every row read additionally takes its
+    /// stripe's read lock (and counts the acquisition), so the bench
+    /// series can measure exactly what the locks cost.  Reclamation is
+    /// still epoch-based — the lock is pure overhead, which is the point.
+    Locked,
+}
+
+impl fmt::Display for ReadPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReadPath::Epoch => "epoch",
+            ReadPath::Locked => "locked",
+        })
+    }
+}
+
+/// Always-compiled read-path counters, one set per store instance (never
+/// global statics, so parallel tests cannot observe each other).  The
+/// `epoch_stress` CI leg asserts them in release mode.
+#[derive(Debug, Default)]
+pub struct MvReadStats {
+    read_lock_acquisitions: AtomicU64,
+    read_pins: AtomicU64,
+}
+
+impl MvReadStats {
+    /// Stripe read-locks taken by the read path so far.  Structurally zero
+    /// under [`ReadPath::Epoch`] — the "reads take no lock" invariant.
+    pub fn read_lock_acquisitions(&self) -> u64 {
+        self.read_lock_acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Epoch pins taken by read operations so far (both read paths pin —
+    /// reclamation is always epoch-based).
+    pub fn read_pins(&self) -> u64 {
+        self.read_pins.load(Ordering::Relaxed)
+    }
+}
 
 /// The kind of write a transaction performed on a row — used by the engine
 /// to decide whether the write inserts into or mutates within a predicate.
@@ -72,73 +144,524 @@ impl fmt::Display for StorageError {
 
 impl std::error::Error for StorageError {}
 
-/// Per-table metadata: the interned name and the row-id allocator.  Row ids
-/// are handed out by `fetch_add` on an atomic, so concurrent inserters into
-/// the same table get distinct, gap-free ids without taking any shard lock.
-struct TableMeta {
-    name: Arc<str>,
-    next_row_id: AtomicU64,
-    /// Column the table's ordered secondary index covers, if one has been
-    /// registered ([`MvStore::create_index`]).
-    indexed_column: RwLock<Option<Arc<str>>>,
-}
+// ---------------------------------------------------------------------------
+// Chain directory: row id → stable slot, through atomic loads only.
+// ---------------------------------------------------------------------------
 
-/// One write performed by an in-flight transaction.  The table name is a
-/// clone of the interned `Arc<str>` — recording a write allocates no new
-/// `String`.
-type OwnedWrite = (Arc<str>, RowId, WriteKind);
+/// Slots per chunk 0; chunk `k` holds `64 << k` slots.
+const BASE_CHUNK: u64 = 64;
 
-/// The version chains whose `(table, row)` pair hashes into this shard.
+/// Number of chunk pointers: `64 * (2^26 - 1)` ≈ 4.3 billion rows.
+const SPINE: usize = 26;
+
+/// One row's storage: its atomic version chain plus a "born" bit.
+///
+/// `born` records that the row id was handed out by [`MvStore::insert`];
+/// it is set under the stripe lock and never cleared, so a row whose only
+/// insert aborted still *exists* (its id appears in `row_ids`, updates
+/// against it succeed) even though its chain is empty — exactly the
+/// semantics the old map-of-chains layout had, which the log-structured
+/// backend equivalence suite pins down.  Reads ignore the bit: an empty
+/// chain answers `None` by itself.
 #[derive(Default)]
-struct Shard {
-    tables: HashMap<Arc<str>, BTreeMap<RowId, VersionChain>>,
-    /// This shard's slice of each table's ordered secondary index:
-    /// `(key, row id) →` number of live versions of that row carrying the
-    /// key.  Refcounts, not presence bits — two versions of one row may
-    /// share a key, and an abort must not over-remove.  The index is a
-    /// *superset* of any one visibility view (it covers every live
-    /// version, committed or not), so range scans re-filter the picked
-    /// version precisely; staleness towards "too many candidates" is
-    /// harmless.
-    indexes: HashMap<Arc<str>, BTreeMap<(i64, RowId), usize>>,
+struct RowSlot {
+    born: AtomicBool,
+    chain: ChainHead,
 }
 
-impl Shard {
-    fn index_add(&mut self, table: &Arc<str>, key: i64, id: RowId) {
-        *self
-            .indexes
-            .entry(Arc::clone(table))
-            .or_default()
-            .entry((key, id))
-            .or_insert(0) += 1;
+/// A jagged, grow-only directory of [`RowSlot`]s indexed by row id.
+///
+/// Chunk `k` (of `64 << k` slots, covering ids `64·(2^k − 1) ..`) is
+/// allocated on first touch and installed with a CAS; chunks are never
+/// moved or freed until the directory drops, so a `&RowSlot` obtained from
+/// any load stays valid for the store's lifetime — that stability is what
+/// lets readers hold slot references without pins or locks.
+struct ChainDir {
+    chunks: [AtomicPtr<RowSlot>; SPINE],
+}
+
+impl ChainDir {
+    fn new() -> Self {
+        ChainDir {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+        }
     }
 
-    fn index_remove(&mut self, table: &str, key: i64, id: RowId) {
-        if let Some(index) = self.indexes.get_mut(table) {
-            if let Some(count) = index.get_mut(&(key, id)) {
-                *count -= 1;
-                if *count == 0 {
-                    index.remove(&(key, id));
+    fn chunk_len(k: usize) -> usize {
+        (BASE_CHUNK as usize) << k
+    }
+
+    /// Map a row id to its (chunk, offset) address.
+    fn locate(id: u64) -> (usize, usize) {
+        let bucket = id / BASE_CHUNK + 1;
+        let k = (63 - bucket.leading_zeros()) as usize;
+        let offset = (id - BASE_CHUNK * ((1u64 << k) - 1)) as usize;
+        (k, offset)
+    }
+
+    /// The slot for `id`, if its chunk has been allocated.
+    fn slot(&self, id: RowId) -> Option<&RowSlot> {
+        let (k, offset) = Self::locate(id.0);
+        if k >= SPINE {
+            return None;
+        }
+        let chunk = self.chunks[k].load(Ordering::Acquire);
+        if chunk.is_null() {
+            return None;
+        }
+        // SAFETY: a non-null chunk pointer was published by `ensure_slot`'s
+        // CAS over a fully initialised `Box<[RowSlot]>` of `chunk_len(k)`
+        // slots and is never freed before `Drop` (&mut); `locate` keeps
+        // `offset < chunk_len(k)` by construction.
+        #[allow(unsafe_code)]
+        Some(unsafe { &*chunk.add(offset) })
+    }
+
+    /// The slot for `id`, allocating its chunk if needed.
+    fn ensure_slot(&self, id: RowId) -> &RowSlot {
+        let (k, offset) = Self::locate(id.0);
+        assert!(
+            k < SPINE,
+            "row id {} exceeds the chain directory capacity",
+            id.0
+        );
+        let mut chunk = self.chunks[k].load(Ordering::Acquire);
+        if chunk.is_null() {
+            let fresh: Box<[RowSlot]> = (0..Self::chunk_len(k))
+                .map(|_| RowSlot::default())
+                .collect();
+            let fresh = Box::into_raw(fresh) as *mut RowSlot;
+            match self.chunks[k].compare_exchange(
+                ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => chunk = fresh,
+                Err(existing) => {
+                    // SAFETY: `fresh` lost the race and was never published;
+                    // this thread still uniquely owns the allocation, whose
+                    // length is `chunk_len(k)` by construction.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        drop(Box::from_raw(ptr::slice_from_raw_parts_mut(
+                            fresh,
+                            Self::chunk_len(k),
+                        )));
+                    }
+                    chunk = existing;
+                }
+            }
+        }
+        // SAFETY: same publication/stability argument as `slot`.
+        #[allow(unsafe_code)]
+        unsafe {
+            &*chunk.add(offset)
+        }
+    }
+
+    /// Visit every allocated slot with id below `upto`, ascending.
+    fn for_each_slot(&self, upto: u64, mut f: impl FnMut(u64, &RowSlot)) {
+        let mut base = 0u64;
+        for k in 0..SPINE {
+            if base >= upto {
+                break;
+            }
+            let len = Self::chunk_len(k) as u64;
+            let chunk = self.chunks[k].load(Ordering::Acquire);
+            if !chunk.is_null() {
+                let count = len.min(upto - base);
+                for i in 0..count {
+                    // SAFETY: published chunk of `chunk_len(k)` slots (see
+                    // `slot`); `i < len` bounds the offset.
+                    #[allow(unsafe_code)]
+                    let slot = unsafe { &*chunk.add(i as usize) };
+                    f(base + i, slot);
+                }
+            }
+            base += len;
+        }
+    }
+}
+
+impl Drop for ChainDir {
+    fn drop(&mut self) {
+        for k in 0..SPINE {
+            let chunk = *self.chunks[k].get_mut();
+            if !chunk.is_null() {
+                // SAFETY: `&mut self` proves no reader holds a slot; each
+                // published chunk is a `Box<[RowSlot]>` of `chunk_len(k)`
+                // slots, freed exactly once here.
+                #[allow(unsafe_code)]
+                unsafe {
+                    drop(Box::from_raw(ptr::slice_from_raw_parts_mut(
+                        chunk,
+                        Self::chunk_len(k),
+                    )));
                 }
             }
         }
     }
 }
 
+// ---------------------------------------------------------------------------
+// Ordered secondary index: a sorted lock-free linked list.
+// ---------------------------------------------------------------------------
+
+/// One `(key, row id)` entry with a refcount: two versions of one row may
+/// carry the same key, and an abort must not over-remove.
+struct IndexNode {
+    key: i64,
+    id: RowId,
+    refs: AtomicUsize,
+    next: AtomicPtr<IndexNode>,
+}
+
+/// A table's ordered secondary index: a singly-linked list sorted by
+/// `(key, row id)`, read lock-free under an epoch pin and mutated only
+/// under its `write` mutex (acquired inside the row's stripe lock — the
+/// lock order is always stripe → index).
+///
+/// The index covers every *live* version, committed or not, so it is a
+/// superset of any one visibility view; range scans re-filter the picked
+/// version precisely, making staleness towards "too many candidates"
+/// harmless.  Unlinked nodes go to the EBR domain, never freed in place.
+struct OrderedIndex {
+    head: AtomicPtr<IndexNode>,
+    write: Mutex<()>,
+}
+
+impl OrderedIndex {
+    fn new() -> Self {
+        OrderedIndex {
+            head: AtomicPtr::new(ptr::null_mut()),
+            write: Mutex::new(()),
+        }
+    }
+
+    /// Add one reference to `(key, id)`, splicing a new node in sorted
+    /// position if absent.  The node is fully built before the release
+    /// store publishes it.
+    fn add(&self, key: i64, id: RowId) {
+        let _write = self.write.lock();
+        let mut link: &AtomicPtr<IndexNode> = &self.head;
+        loop {
+            let cur = link.load(Ordering::Acquire);
+            if !cur.is_null() {
+                // SAFETY: reachable under the index write mutex; nodes are
+                // unlinked and retired only by other holders of this mutex.
+                #[allow(unsafe_code)]
+                let node = unsafe { &*cur };
+                if (node.key, node.id) < (key, id) {
+                    link = &node.next;
+                    continue;
+                }
+                if (node.key, node.id) == (key, id) {
+                    node.refs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            let fresh = Box::into_raw(Box::new(IndexNode {
+                key,
+                id,
+                refs: AtomicUsize::new(1),
+                next: AtomicPtr::new(cur),
+            }));
+            link.store(fresh, Ordering::Release);
+            return;
+        }
+    }
+
+    /// Drop one reference to `(key, id)`; the last reference unlinks the
+    /// node and retires it to the EBR domain (an in-flight reader may
+    /// still be standing on it).
+    fn remove(&self, key: i64, id: RowId, ebr: &Ebr) {
+        let _write = self.write.lock();
+        let mut link: &AtomicPtr<IndexNode> = &self.head;
+        loop {
+            let cur = link.load(Ordering::Acquire);
+            if cur.is_null() {
+                return;
+            }
+            // SAFETY: reachable under the index write mutex (see `add`).
+            #[allow(unsafe_code)]
+            let node = unsafe { &*cur };
+            if (node.key, node.id) == (key, id) {
+                if node.refs.fetch_sub(1, Ordering::Relaxed) == 1 {
+                    link.store(node.next.load(Ordering::Acquire), Ordering::Release);
+                    ebr.retire(cur);
+                }
+                return;
+            }
+            if (node.key, node.id) > (key, id) {
+                return;
+            }
+            link = &node.next;
+        }
+    }
+
+    /// Unlink every entry and retire it (index rebuild).
+    fn clear(&self, ebr: &Ebr) {
+        let _write = self.write.lock();
+        let mut cur = self.head.swap(ptr::null_mut(), Ordering::AcqRel);
+        while !cur.is_null() {
+            // SAFETY: unlinked in one swap under the write mutex; this
+            // thread is the only one that can retire these nodes.  `next`
+            // is read *before* retiring — retire may free immediately when
+            // nothing is pinned.
+            #[allow(unsafe_code)]
+            let next = unsafe { (*cur).next.load(Ordering::Acquire) };
+            ebr.retire(cur);
+            cur = next;
+        }
+    }
+
+    /// Visit every entry with `lo <= key <= hi`, ascending `(key, id)`,
+    /// lock-free under the caller's pin.
+    fn for_each_in_range(
+        &self,
+        lo: i64,
+        hi: i64,
+        _proof: &Guard<'_>,
+        mut f: impl FnMut(i64, RowId),
+    ) {
+        let mut cur = self.head.load(Ordering::Acquire) as *const IndexNode;
+        while !cur.is_null() {
+            // SAFETY: non-null index pointers reference nodes published
+            // with a release store and freed only through epoch
+            // reclamation; the caller's pin (`_proof`) keeps every
+            // reachable node alive for the walk.
+            #[allow(unsafe_code)]
+            let node = unsafe { &*cur };
+            if node.key > hi {
+                return;
+            }
+            if node.key >= lo {
+                f(node.key, node.id);
+            }
+            cur = node.next.load(Ordering::Acquire);
+        }
+    }
+}
+
+impl Drop for OrderedIndex {
+    fn drop(&mut self) {
+        // `&mut self` proves no reader: retired nodes were unlinked first
+        // and belong to the EBR domain, so everything reachable here is
+        // owned by the list and freed exactly once.
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: exclusive access (see above).
+            #[allow(unsafe_code)]
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next.load(Ordering::Acquire);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table registry: a grow-only lock-free list of interned tables.
+// ---------------------------------------------------------------------------
+
+/// Per-table metadata: the interned name, the atomic row-id allocator, the
+/// chain directory and the ordered index.  Row ids are handed out by
+/// `fetch_add`, so concurrent inserters into the same table get distinct,
+/// gap-free ids without any lock.
+struct TableMeta {
+    name: Arc<str>,
+    next_row_id: AtomicU64,
+    /// Column the table's ordered secondary index covers, if one has been
+    /// registered: a `Box<Arc<str>>` behind an atomic pointer (`Arc<str>`
+    /// is a fat pointer, so it is boxed to fit), read with one acquire
+    /// load per scan — no lock, no per-read `Arc` clone.
+    indexed_column: AtomicPtr<Arc<str>>,
+    chains: ChainDir,
+    index: OrderedIndex,
+}
+
+impl TableMeta {
+    fn new(table: &str) -> Self {
+        TableMeta {
+            name: Arc::from(table),
+            next_row_id: AtomicU64::new(0),
+            indexed_column: AtomicPtr::new(ptr::null_mut()),
+            chains: ChainDir::new(),
+            index: OrderedIndex::new(),
+        }
+    }
+
+    /// The indexed column, borrowed for the caller's pin — resolved once
+    /// per scan call instead of a lock + `Arc` clone per call.
+    fn indexed_column_ref<'g>(&self, _proof: &'g Guard<'_>) -> Option<&'g str> {
+        let ptr = self.indexed_column.load(Ordering::Acquire);
+        if ptr.is_null() {
+            None
+        } else {
+            // SAFETY: a non-null pointer was published by
+            // `set_indexed_column` over a fully built `Box<Arc<str>>`;
+            // replacement retires the old box through the EBR domain, so
+            // the caller's pin keeps this one alive.
+            #[allow(unsafe_code)]
+            Some(unsafe { &**ptr })
+        }
+    }
+
+    /// Publish `column` as the indexed column, retiring the previous one.
+    fn set_indexed_column(&self, column: &str, ebr: &Ebr) {
+        let fresh = Box::into_raw(Box::new(Arc::<str>::from(column)));
+        let old = self.indexed_column.swap(fresh, Ordering::AcqRel);
+        if !old.is_null() {
+            ebr.retire(old);
+        }
+    }
+}
+
+impl Drop for TableMeta {
+    fn drop(&mut self) {
+        let ptr = *self.indexed_column.get_mut();
+        if !ptr.is_null() {
+            // SAFETY: exclusive access; the box was published by
+            // `set_indexed_column` and never freed (replacements retire
+            // the *old* pointer, not this one).
+            #[allow(unsafe_code)]
+            unsafe {
+                drop(Box::from_raw(ptr));
+            }
+        }
+    }
+}
+
+/// One registry entry.  `next` is written once, before publication.
+struct RegistryNode {
+    meta: TableMeta,
+    next: *const RegistryNode,
+}
+
+/// Interned table names → metadata: a grow-only lock-free singly-linked
+/// list.  Lookups walk it with acquire loads; inserts serialise on the
+/// `insert` mutex.  Nodes are never unlinked (tables are never dropped),
+/// so a `&TableMeta` borrowed from `&self` stays valid for the store's
+/// lifetime — readers resolve a table without pinning, locking, or
+/// touching an `Arc` refcount.
+struct Registry {
+    head: AtomicPtr<RegistryNode>,
+    insert: Mutex<()>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            head: AtomicPtr::new(ptr::null_mut()),
+            insert: Mutex::new(()),
+        }
+    }
+
+    fn lookup(&self, table: &str) -> Option<&TableMeta> {
+        let mut cur = self.head.load(Ordering::Acquire) as *const RegistryNode;
+        while !cur.is_null() {
+            // SAFETY: non-null registry pointers reference nodes published
+            // with a release store and freed only in `Drop` (&mut), so the
+            // `&self` borrow keeps them alive.
+            #[allow(unsafe_code)]
+            let node = unsafe { &*cur };
+            if &*node.meta.name == table {
+                return Some(&node.meta);
+            }
+            cur = node.next;
+        }
+        None
+    }
+
+    /// Look up the metadata for a table, creating it on first use.
+    fn intern(&self, table: &str) -> &TableMeta {
+        if let Some(meta) = self.lookup(table) {
+            return meta;
+        }
+        let _insert = self.insert.lock();
+        if let Some(meta) = self.lookup(table) {
+            return meta;
+        }
+        let node = Box::into_raw(Box::new(RegistryNode {
+            meta: TableMeta::new(table),
+            next: self.head.load(Ordering::Acquire),
+        }));
+        self.head.store(node, Ordering::Release);
+        // SAFETY: just published, freed only in `Drop` (see `lookup`).
+        #[allow(unsafe_code)]
+        unsafe {
+            &(*node).meta
+        }
+    }
+
+    fn for_each(&self, mut f: impl FnMut(&TableMeta)) {
+        let mut cur = self.head.load(Ordering::Acquire) as *const RegistryNode;
+        while !cur.is_null() {
+            // SAFETY: same liveness argument as `lookup`.
+            #[allow(unsafe_code)]
+            let node = unsafe { &*cur };
+            f(&node.meta);
+            cur = node.next;
+        }
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            // SAFETY: `&mut self` proves no outstanding `&TableMeta`
+            // borrows; each published node is freed exactly once.
+            #[allow(unsafe_code)]
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next as *mut RegistryNode;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store.
+// ---------------------------------------------------------------------------
+
+/// One write performed by an in-flight transaction.  The table name is a
+/// clone of the interned `Arc<str>` — recording a write allocates no new
+/// `String`.
+type OwnedWrite = (Arc<str>, RowId, WriteKind);
+
 type WriteSet = BTreeMap<TxnToken, Vec<OwnedWrite>>;
 
-/// An in-memory multi-version row store, hash-partitioned into shards.
+/// Resolve one visibility rule against a chain under the caller's pin —
+/// the four point reads and every scan funnel through this single match.
+fn read_view<'g>(
+    chain: &ChainHead,
+    view: ScanView,
+    proof: &'g Guard<'_>,
+) -> Option<&'g crate::version::VersionNode> {
+    match view {
+        ScanView::LatestAny => chain.latest_any(proof),
+        ScanView::LatestCommitted => chain.latest_committed(proof),
+        ScanView::CommittedAsOf(ts) => chain.committed_as_of(ts, proof),
+        ScanView::Visible { reader, start_ts } => chain.visible_for(reader, start_ts, proof),
+    }
+}
+
+/// An in-memory multi-version row store with an epoch-pinned lock-free
+/// read path.
 ///
-/// All methods take `&self`; each shard is internally synchronised with its
-/// own read-write lock, so the store can be shared between threads (the
-/// threaded benchmark drivers rely on this) and operations on rows in
-/// different shards proceed in parallel.
+/// All methods take `&self`; writers serialise per row on striped write
+/// locks, readers pin an epoch and take no lock at all (see the module
+/// docs).  The store can be shared between threads — the threaded
+/// benchmark drivers rely on this — and operations on different rows
+/// never contend.
 pub struct MvStore {
-    /// Interned table names → metadata, sorted so [`MvStore::tables`] is
-    /// deterministic.
-    registry: RwLock<BTreeMap<Arc<str>, Arc<TableMeta>>>,
-    shards: Box<[RwLock<Shard>]>,
+    registry: Registry,
+    /// Write stripes: `(table, row id)` hashes to the stripe whose write
+    /// lock serialises mutations of that row.  Readers touch these only
+    /// under [`ReadPath::Locked`].
+    stripes: Box<[RwLock<()>]>,
     write_sets: Box<[Mutex<WriteSet>]>,
+    ebr: Ebr,
+    read_path: ReadPath,
+    stats: Arc<MvReadStats>,
 }
 
 impl Default for MvStore {
@@ -155,66 +678,86 @@ fn chain_hash(table: &str, id: RowId) -> u64 {
 }
 
 impl MvStore {
-    /// An empty store with [`DEFAULT_SHARDS`] shards.
+    /// An empty store with [`DEFAULT_SHARDS`] write stripes and the
+    /// default (epoch) read path.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// An empty store with an explicit shard count (clamped to at least 1).
+    /// An empty store with an explicit stripe count (clamped to at least
+    /// 1) and the default (epoch) read path.
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_read_path(shards, ReadPath::default())
+    }
+
+    /// An empty store with an explicit stripe count and read path.
+    pub fn with_read_path(shards: usize, read_path: ReadPath) -> Self {
         let shards = shards.max(1);
         MvStore {
-            registry: RwLock::new(BTreeMap::new()),
-            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            registry: Registry::new(),
+            stripes: (0..shards).map(|_| RwLock::new(())).collect(),
             write_sets: (0..shards).map(|_| Mutex::new(WriteSet::new())).collect(),
+            ebr: Ebr::new(),
+            read_path,
+            stats: Arc::new(MvReadStats::default()),
         }
     }
 
-    /// Number of shards the store is partitioned into.
+    /// Number of write stripes the store is partitioned into.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.stripes.len()
     }
 
-    fn shard_for(&self, table: &str, id: RowId) -> &RwLock<Shard> {
-        &self.shards[(chain_hash(table, id) % self.shards.len() as u64) as usize]
+    /// The read discipline this store was built with.
+    pub fn read_path(&self) -> ReadPath {
+        self.read_path
+    }
+
+    /// Shared handle to the read-path counters.
+    pub fn read_stats(&self) -> Arc<MvReadStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Snapshot of the epoch domain's reclamation counters.
+    pub fn reclamation_stats(&self) -> ReclamationStats {
+        self.ebr.stats()
+    }
+
+    /// Attempt an epoch advance and reclaim whatever grace periods have
+    /// elapsed — lets quiescent callers (tests, shutdown) drain garbage.
+    pub fn flush_reclamation(&self) {
+        self.ebr.flush();
+    }
+
+    fn stripe_for(&self, table: &str, id: RowId) -> &RwLock<()> {
+        &self.stripes[(chain_hash(table, id) % self.stripes.len() as u64) as usize]
     }
 
     fn write_set_for(&self, writer: TxnToken) -> &Mutex<WriteSet> {
         &self.write_sets[(writer.0 % self.write_sets.len() as u64) as usize]
     }
 
-    fn meta(&self, table: &str) -> Option<Arc<TableMeta>> {
-        self.registry.read().get(table).cloned()
-    }
-
-    /// Look up the interned metadata for a table, creating it on first use.
-    fn intern(&self, table: &str) -> Arc<TableMeta> {
-        if let Some(meta) = self.meta(table) {
-            return meta;
+    /// Run one row read under the configured discipline: a no-op wrapper
+    /// on the epoch path, a counted stripe read-lock on the baseline.
+    fn with_read_discipline<R>(&self, table: &str, id: RowId, f: impl FnOnce() -> R) -> R {
+        match self.read_path {
+            ReadPath::Epoch => f(),
+            ReadPath::Locked => {
+                let _read = self.stripe_for(table, id).read();
+                self.stats
+                    .read_lock_acquisitions
+                    .fetch_add(1, Ordering::Relaxed);
+                f()
+            }
         }
-        let mut registry = self.registry.write();
-        if let Some(meta) = registry.get(table) {
-            return Arc::clone(meta);
-        }
-        let name: Arc<str> = Arc::from(table);
-        let meta = Arc::new(TableMeta {
-            name: Arc::clone(&name),
-            next_row_id: AtomicU64::new(0),
-            indexed_column: RwLock::new(None),
-        });
-        registry.insert(name, Arc::clone(&meta));
-        meta
     }
 
     /// The indexed column of `table`, if an index has been registered.
     pub fn indexed_column(&self, table: &str) -> Option<String> {
-        self.meta(table)
-            .and_then(|meta| meta.indexed_column.read().as_ref().map(|c| c.to_string()))
-    }
-
-    fn indexed_column_arc(&self, table: &str) -> Option<Arc<str>> {
-        self.meta(table)
-            .and_then(|meta| meta.indexed_column.read().clone())
+        let guard = self.ebr.pin();
+        self.registry
+            .lookup(table)
+            .and_then(|meta| meta.indexed_column_ref(&guard).map(|c| c.to_string()))
     }
 
     /// Register an ordered secondary index over the integer values of
@@ -223,39 +766,22 @@ impl MvStore {
     /// writers racing the backfill may be missed — register indexes
     /// before traffic starts.
     pub fn create_index(&self, table: &str, column: &str) {
-        let meta = self.intern(table);
-        {
-            let mut slot = meta.indexed_column.write();
-            if slot.as_deref() == Some(column) {
-                return;
-            }
-            *slot = Some(Arc::from(column));
+        let meta = self.registry.intern(table);
+        let guard = self.ebr.pin();
+        if meta.indexed_column_ref(&guard) == Some(column) {
+            return;
         }
-        for shard in self.shards.iter() {
-            let mut shard = shard.write();
-            let entries: Vec<(i64, RowId)> = shard
-                .tables
-                .get(&*meta.name)
-                .map(|chains| {
-                    chains
-                        .iter()
-                        .flat_map(|(id, chain)| {
-                            chain
-                                .versions()
-                                .iter()
-                                .filter_map(|v| v.row.as_ref().and_then(|r| r.get_int(column)))
-                                .map(|key| (key, *id))
-                                .collect::<Vec<_>>()
-                        })
-                        .collect()
-                })
-                .unwrap_or_default();
-            let index = shard.indexes.entry(Arc::clone(&meta.name)).or_default();
-            index.clear();
-            for (key, id) in entries {
-                *index.entry((key, id)).or_insert(0) += 1;
+        meta.set_indexed_column(column, &self.ebr);
+        meta.index.clear(&self.ebr);
+        let upto = meta.next_row_id.load(Ordering::Acquire);
+        let mut keys = Vec::new();
+        meta.chains.for_each_slot(upto, |id, slot| {
+            keys.clear();
+            slot.chain.collect_int_keys(column, &guard, &mut keys);
+            for &key in &keys {
+                meta.index.add(key, RowId(id));
             }
-        }
+        });
     }
 
     fn record_write(&self, writer: TxnToken, write: OwnedWrite) {
@@ -268,57 +794,57 @@ impl MvStore {
 
     /// Create a table if it does not already exist.
     pub fn create_table(&self, table: &str) {
-        self.intern(table);
+        self.registry.intern(table);
     }
 
-    /// All table names.
+    /// All table names, in ascending order.
     pub fn tables(&self) -> Vec<TableName> {
-        self.registry.read().keys().map(|k| k.to_string()).collect()
+        let mut names = Vec::new();
+        self.registry
+            .for_each(|meta| names.push(meta.name.to_string()));
+        names.sort_unstable();
+        names
     }
 
     /// All row ids currently allocated in a table (whatever their
     /// visibility), in ascending order.
     pub fn row_ids(&self, table: &str) -> Vec<RowId> {
-        let mut ids: Vec<RowId> = self
-            .shards
-            .iter()
-            .flat_map(|shard| {
-                shard
-                    .read()
-                    .tables
-                    .get(table)
-                    .map(|rows| rows.keys().copied().collect::<Vec<_>>())
-                    .unwrap_or_default()
-            })
-            .collect();
-        ids.sort_unstable();
+        let Some(meta) = self.registry.lookup(table) else {
+            return Vec::new();
+        };
+        let mut ids = Vec::new();
+        let upto = meta.next_row_id.load(Ordering::Acquire);
+        meta.chains.for_each_slot(upto, |id, slot| {
+            if slot.born.load(Ordering::Acquire) {
+                ids.push(RowId(id));
+            }
+        });
         ids
     }
 
     /// Insert a new row as an uncommitted version by `writer`, returning
     /// its id.  The table is created on demand.
     pub fn insert(&self, table: &str, writer: TxnToken, row: Row) -> RowId {
-        let meta = self.intern(table);
-        let key = meta
-            .indexed_column
-            .read()
-            .as_deref()
-            .and_then(|col| row.get_int(col));
-        // Relaxed is enough: the id only needs to be unique, and the shard
-        // lock below publishes the chain before any reader can observe it.
+        let meta = self.registry.intern(table);
+        let key = {
+            let guard = self.ebr.pin();
+            meta.indexed_column_ref(&guard)
+                .and_then(|col| row.get_int(col))
+        };
+        // Relaxed is enough: the id only needs to be unique, and the
+        // stripe lock below orders the slot's publication.
         let id = RowId(meta.next_row_id.fetch_add(1, Ordering::Relaxed));
         {
-            let mut shard = self.shard_for(table, id).write();
-            shard
-                .tables
-                .entry(Arc::clone(&meta.name))
-                .or_default()
-                .entry(id)
-                .or_default()
-                .install(writer, Some(row));
+            let _stripe = self.stripe_for(table, id).write();
+            let slot = meta.chains.ensure_slot(id);
+            slot.born.store(true, Ordering::Release);
+            // Index before chain publication: the index stays a superset
+            // of every chain view, so a concurrent range probe can never
+            // miss a key whose version it would pick.
             if let Some(key) = key {
-                shard.index_add(&meta.name, key, id);
+                meta.index.add(key, id);
             }
+            slot.chain.install(writer, Some(row));
         }
         self.record_write(writer, (Arc::clone(&meta.name), id, WriteKind::Insert));
         id
@@ -349,60 +875,57 @@ impl MvStore {
         kind: WriteKind,
     ) -> Result<(), StorageError> {
         let meta = self
-            .meta(table)
+            .registry
+            .lookup(table)
             .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
-        let key = meta
-            .indexed_column
-            .read()
-            .as_deref()
-            .and_then(|col| row.as_ref().and_then(|r| r.get_int(col)));
+        let key = {
+            let guard = self.ebr.pin();
+            meta.indexed_column_ref(&guard)
+                .and_then(|col| row.as_ref().and_then(|r| r.get_int(col)))
+        };
         {
-            let mut shard = self.shard_for(table, id).write();
-            let chain = shard
-                .tables
-                .get_mut(table)
-                .and_then(|rows| rows.get_mut(&id))
+            let _stripe = self.stripe_for(table, id).write();
+            let slot = meta
+                .chains
+                .slot(id)
+                .filter(|slot| slot.born.load(Ordering::Acquire))
                 .ok_or_else(|| StorageError::NoSuchRow(table.to_string(), id))?;
-            chain.install(writer, row);
             if let Some(key) = key {
-                shard.index_add(&meta.name, key, id);
+                meta.index.add(key, id);
             }
+            slot.chain.install(writer, row);
         }
         self.record_write(writer, (Arc::clone(&meta.name), id, kind));
         Ok(())
     }
 
-    fn read_row<F>(&self, table: &str, id: RowId, pick: F) -> Option<Row>
-    where
-        F: Fn(&VersionChain) -> Option<Row>,
-    {
-        let shard = self.shard_for(table, id).read();
-        shard
-            .tables
-            .get(table)
-            .and_then(|rows| rows.get(&id))
-            .and_then(pick)
+    /// One point read: pin, resolve table → slot, apply the visibility
+    /// rule under the read discipline.
+    fn point_read(&self, table: &str, id: RowId, view: ScanView) -> Option<Row> {
+        let guard = self.ebr.pin();
+        self.stats.read_pins.fetch_add(1, Ordering::Relaxed);
+        let meta = self.registry.lookup(table)?;
+        let slot = meta.chains.slot(id)?;
+        self.with_read_discipline(table, id, || {
+            read_view(&slot.chain, view, &guard).and_then(|v| v.row().cloned())
+        })
     }
 
     /// Read the most recent version regardless of commit state (a dirty
     /// read).  Returns `None` if the row does not exist or its latest
     /// version is a tombstone.
     pub fn get_latest_any(&self, table: &str, id: RowId) -> Option<Row> {
-        self.read_row(table, id, |c| c.latest_any().and_then(|v| v.row.clone()))
+        self.point_read(table, id, ScanView::LatestAny)
     }
 
     /// Read the most recent committed version.
     pub fn get_latest_committed(&self, table: &str, id: RowId) -> Option<Row> {
-        self.read_row(table, id, |c| {
-            c.latest_committed().and_then(|v| v.row.clone())
-        })
+        self.point_read(table, id, ScanView::LatestCommitted)
     }
 
     /// Read the version committed as of `ts`.
     pub fn get_committed_as_of(&self, table: &str, id: RowId, ts: Timestamp) -> Option<Row> {
-        self.read_row(table, id, |c| {
-            c.committed_as_of(ts).and_then(|v| v.row.clone())
-        })
+        self.point_read(table, id, ScanView::CommittedAsOf(ts))
     }
 
     /// Read with Snapshot Isolation visibility: `reader`'s own uncommitted
@@ -414,50 +937,46 @@ impl MvStore {
         reader: TxnToken,
         start_ts: Timestamp,
     ) -> Option<Row> {
-        self.read_row(table, id, |c| {
-            c.visible_for(reader, start_ts).and_then(|v| v.row.clone())
-        })
+        self.point_read(table, id, ScanView::Visible { reader, start_ts })
     }
 
-    /// Visit each shard once, collect the matching rows, and merge into
-    /// the pinned scan order (see [`sort_scan_output`]): ascending row id,
-    /// or ascending (index key, row id) once the table carries an index.
-    fn scan<F>(&self, predicate: &RowPredicate, pick: F) -> Vec<(RowId, Row)>
-    where
-        F: Fn(&VersionChain) -> Option<Row>,
-    {
-        let mut rows: Vec<(RowId, Row)> = self
-            .shards
-            .iter()
-            .flat_map(|shard| {
-                let shard = shard.read();
-                let Some(chains) = shard.tables.get(predicate.table.as_str()) else {
-                    return Vec::new();
-                };
-                chains
-                    .iter()
-                    .filter_map(|(id, chain)| {
-                        pick(chain)
-                            .filter(|row| predicate.matches(&predicate.table, row))
-                            .map(|row| (*id, row))
-                    })
-                    .collect()
-            })
-            .collect();
-        sort_scan_output(
-            self.indexed_column_arc(&predicate.table).as_deref(),
-            &mut rows,
-        );
+    /// Walk the table's chain directory once, collect the matching rows,
+    /// and merge into the pinned scan order (see [`sort_scan_output`]):
+    /// ascending row id, or ascending (index key, row id) once the table
+    /// carries an index.  The indexed-column handle is resolved once per
+    /// call — one acquire load, shared by the sort — instead of a lock
+    /// acquisition per call.
+    fn scan(&self, predicate: &RowPredicate, view: ScanView) -> Vec<(RowId, Row)> {
+        let guard = self.ebr.pin();
+        self.stats.read_pins.fetch_add(1, Ordering::Relaxed);
+        let Some(meta) = self.registry.lookup(predicate.table.as_str()) else {
+            return Vec::new();
+        };
+        let indexed = meta.indexed_column_ref(&guard);
+        let mut rows: Vec<(RowId, Row)> = Vec::new();
+        let upto = meta.next_row_id.load(Ordering::Acquire);
+        meta.chains.for_each_slot(upto, |id, slot| {
+            let picked = self.with_read_discipline(&predicate.table, RowId(id), || {
+                read_view(&slot.chain, view, &guard).and_then(|v| v.row().cloned())
+            });
+            if let Some(row) = picked {
+                if predicate.matches(&predicate.table, &row) {
+                    rows.push((RowId(id), row));
+                }
+            }
+        });
+        sort_scan_output(indexed, &mut rows);
         rows
     }
 
     /// Range scan over the integer key space of `column`: the rows whose
     /// picked version holds an `Int` value inside `range`, in ascending
     /// `(key, row id)` order.  When the table's ordered index covers
-    /// `column` the candidate set comes from an index range probe (the
-    /// index covers every live version, so it can only over-approximate —
-    /// the picked version is always re-filtered precisely); otherwise the
-    /// scan falls back to a full pass with identical results.
+    /// `column` the candidate set comes from a lock-free index range walk
+    /// (the index covers every live version, so it can only
+    /// over-approximate — the picked version is always re-filtered
+    /// precisely); otherwise the scan falls back to a full pass with
+    /// identical results.
     pub fn scan_range(
         &self,
         table: &str,
@@ -468,57 +987,40 @@ impl MvStore {
         if range.is_int_empty() {
             return Vec::new();
         }
-        let pick = |chain: &VersionChain| -> Option<Row> {
-            match view {
-                ScanView::LatestAny => chain.latest_any().and_then(|v| v.row.clone()),
-                ScanView::LatestCommitted => chain.latest_committed().and_then(|v| v.row.clone()),
-                ScanView::CommittedAsOf(ts) => {
-                    chain.committed_as_of(ts).and_then(|v| v.row.clone())
-                }
-                ScanView::Visible { reader, start_ts } => chain
-                    .visible_for(reader, start_ts)
-                    .and_then(|v| v.row.clone()),
-            }
+        let guard = self.ebr.pin();
+        self.stats.read_pins.fetch_add(1, Ordering::Relaxed);
+        let Some(meta) = self.registry.lookup(table) else {
+            return Vec::new();
         };
-        let use_index = self.indexed_column_arc(table).as_deref() == Some(column);
+        let pick = |id: RowId, slot: &RowSlot| -> Option<(i64, RowId, Row)> {
+            let row = self.with_read_discipline(table, id, || {
+                read_view(&slot.chain, view, &guard).and_then(|v| v.row().cloned())
+            })?;
+            let key = row.get_int(column).filter(|&key| range.contains(key))?;
+            Some((key, id, row))
+        };
         let mut rows: Vec<(i64, RowId, Row)> = Vec::new();
-        for shard in self.shards.iter() {
-            let shard = shard.read();
-            let Some(chains) = shard.tables.get(table) else {
-                continue;
-            };
-            if use_index {
-                let Some(index) = shard.indexes.get(table) else {
-                    continue;
-                };
-                let lo = (range.lo().unwrap_or(i64::MIN), RowId(0));
-                let hi = (range.hi().unwrap_or(i64::MAX), RowId(u64::MAX));
-                let mut visited = std::collections::HashSet::new();
-                for &(_, id) in index.range(lo..=hi).map(|(entry, _)| entry) {
-                    // One row may carry several in-range keys across its
-                    // versions; visit it once.
-                    if !visited.insert(id) {
-                        continue;
-                    }
-                    if let Some(row) = chains.get(&id).and_then(&pick) {
-                        if let Some(key) = row.get_int(column) {
-                            if range.contains(key) {
-                                rows.push((key, id, row));
-                            }
-                        }
-                    }
+        if meta.indexed_column_ref(&guard) == Some(column) {
+            let lo = range.lo().unwrap_or(i64::MIN);
+            let hi = range.hi().unwrap_or(i64::MAX);
+            let mut visited = HashSet::new();
+            meta.index.for_each_in_range(lo, hi, &guard, |_, id| {
+                // One row may carry several in-range keys across its
+                // versions; visit it once.
+                if !visited.insert(id) {
+                    return;
                 }
-            } else {
-                for (id, chain) in chains {
-                    if let Some(row) = pick(chain) {
-                        if let Some(key) = row.get_int(column) {
-                            if range.contains(key) {
-                                rows.push((key, *id, row));
-                            }
-                        }
-                    }
+                if let Some(hit) = meta.chains.slot(id).and_then(|slot| pick(id, slot)) {
+                    rows.push(hit);
                 }
-            }
+            });
+        } else {
+            let upto = meta.next_row_id.load(Ordering::Acquire);
+            meta.chains.for_each_slot(upto, |id, slot| {
+                if let Some(hit) = pick(RowId(id), slot) {
+                    rows.push(hit);
+                }
+            });
         }
         rows.sort_unstable_by_key(|(key, id, _)| (*key, *id));
         rows.into_iter().map(|(_, id, row)| (id, row)).collect()
@@ -526,14 +1028,12 @@ impl MvStore {
 
     /// Scan the rows satisfying `predicate` in the latest committed state.
     pub fn scan_latest_committed(&self, predicate: &RowPredicate) -> Vec<(RowId, Row)> {
-        self.scan(predicate, |c| {
-            c.latest_committed().and_then(|v| v.row.clone())
-        })
+        self.scan(predicate, ScanView::LatestCommitted)
     }
 
     /// Scan the rows satisfying `predicate`, dirty reads included.
     pub fn scan_latest_any(&self, predicate: &RowPredicate) -> Vec<(RowId, Row)> {
-        self.scan(predicate, |c| c.latest_any().and_then(|v| v.row.clone()))
+        self.scan(predicate, ScanView::LatestAny)
     }
 
     /// Scan with Snapshot Isolation visibility.
@@ -543,9 +1043,7 @@ impl MvStore {
         reader: TxnToken,
         start_ts: Timestamp,
     ) -> Vec<(RowId, Row)> {
-        self.scan(predicate, |c| {
-            c.visible_for(reader, start_ts).and_then(|v| v.row.clone())
-        })
+        self.scan(predicate, ScanView::Visible { reader, start_ts })
     }
 
     /// Scan the committed state as of `ts`.
@@ -554,9 +1052,7 @@ impl MvStore {
         predicate: &RowPredicate,
         ts: Timestamp,
     ) -> Vec<(RowId, Row)> {
-        self.scan(predicate, |c| {
-            c.committed_as_of(ts).and_then(|v| v.row.clone())
-        })
+        self.scan(predicate, ScanView::CommittedAsOf(ts))
     }
 
     /// The rows written so far by an in-flight transaction, in write order.
@@ -591,19 +1087,20 @@ impl MvStore {
         writer: TxnToken,
         start_ts: Timestamp,
     ) -> Option<(TableName, RowId)> {
+        let guard = self.ebr.pin();
         for (table, id, _) in self.owned_writes_of(writer) {
-            let shard = self.shard_for(&table, id).read();
-            let conflict = shard
-                .tables
-                .get(&*table)
-                .and_then(|rows| rows.get(&id))
+            let conflict = self
+                .registry
+                .lookup(&table)
+                .and_then(|meta| meta.chains.slot(id))
                 .unwrap_or_else(|| {
                     panic!(
                         "first_committer_conflict({writer}): write set names {table}{id} but its \
                          version chain is gone — chains must outlive every write-set reference"
                     )
                 })
-                .committed_after(start_ts, writer);
+                .chain
+                .committed_after(start_ts, writer, &guard);
             if conflict {
                 return Some((table.to_string(), id));
             }
@@ -615,12 +1112,11 @@ impl MvStore {
     /// version installed by a *different* transaction (used by
     /// first-writer-wins style schedulers).
     pub fn has_foreign_uncommitted_on_writes(&self, writer: TxnToken) -> bool {
+        let guard = self.ebr.pin();
         self.owned_writes_of(writer).iter().any(|(table, id, _)| {
-            let shard = self.shard_for(table, *id).read();
-            shard
-                .tables
-                .get(&**table)
-                .and_then(|rows| rows.get(id))
+            self.registry
+                .lookup(table)
+                .and_then(|meta| meta.chains.slot(*id))
                 .unwrap_or_else(|| {
                     panic!(
                         "has_foreign_uncommitted_on_writes({writer}): write set names \
@@ -628,22 +1124,23 @@ impl MvStore {
                          every write-set reference"
                     )
                 })
-                .has_foreign_uncommitted(writer)
+                .chain
+                .has_foreign_uncommitted(writer, &guard)
         })
     }
 
-    /// Group a write set by shard index so commit/abort lock each shard
+    /// Group a write set by stripe index so commit/abort lock each stripe
     /// exactly once, in ascending order.
-    fn writes_by_shard(&self, writes: &[OwnedWrite]) -> BTreeMap<usize, Vec<(Arc<str>, RowId)>> {
-        let mut by_shard: BTreeMap<usize, Vec<(Arc<str>, RowId)>> = BTreeMap::new();
+    fn writes_by_stripe(&self, writes: &[OwnedWrite]) -> BTreeMap<usize, Vec<(Arc<str>, RowId)>> {
+        let mut by_stripe: BTreeMap<usize, Vec<(Arc<str>, RowId)>> = BTreeMap::new();
         for (table, id, _) in writes {
-            let idx = (chain_hash(table, *id) % self.shards.len() as u64) as usize;
-            by_shard
+            let idx = (chain_hash(table, *id) % self.stripes.len() as u64) as usize;
+            by_stripe
                 .entry(idx)
                 .or_default()
                 .push((Arc::clone(table), *id));
         }
-        by_shard
+        by_stripe
     }
 
     /// Commit all of `writer`'s versions at timestamp `ts`.
@@ -653,66 +1150,63 @@ impl MvStore {
             .lock()
             .remove(&writer)
             .unwrap_or_default();
-        for (idx, rows) in self.writes_by_shard(&writes) {
-            let mut shard = self.shards[idx].write();
+        for (idx, rows) in self.writes_by_stripe(&writes) {
+            let _stripe = self.stripes[idx].write();
             for (table, id) in rows {
-                shard
-                    .tables
-                    .get_mut(&table)
-                    .and_then(|rows| rows.get_mut(&id))
+                self.registry
+                    .lookup(&table)
+                    .and_then(|meta| meta.chains.slot(id))
                     .unwrap_or_else(|| {
                         panic!(
-                            "commit({writer} at {ts}): write set names {table}{id} but shard \
+                            "commit({writer} at {ts}): write set names {table}{id} but stripe \
                              {idx} has no version chain for it — every recorded write must \
                              have installed a version"
                         )
                     })
+                    .chain
                     .commit(writer, ts);
             }
         }
     }
 
     /// Roll back all of `writer`'s uncommitted versions (before images
-    /// become current again).
+    /// become current again).  Unlinked versions are retired to the epoch
+    /// domain — an in-flight lock-free reader may still be traversing
+    /// them — and their index keys are rolled out *after* the unlink, so
+    /// the index never under-covers the chain.
     pub fn abort(&self, writer: TxnToken) {
         let writes = self
             .write_set_for(writer)
             .lock()
             .remove(&writer)
             .unwrap_or_default();
-        for (idx, rows) in self.writes_by_shard(&writes) {
-            let mut shard = self.shards[idx].write();
+        let guard = self.ebr.pin();
+        for (idx, rows) in self.writes_by_stripe(&writes) {
+            let _stripe = self.stripes[idx].write();
             for (table, id) in rows {
-                let indexed = self
-                    .meta(&table)
-                    .and_then(|meta| meta.indexed_column.read().clone());
-                let chain = shard
-                    .tables
-                    .get_mut(&table)
-                    .and_then(|rows| rows.get_mut(&id))
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "abort({writer}): write set names {table}{id} but shard {idx} has \
-                             no version chain for it — rollback would silently leak the \
-                             uncommitted version"
-                        )
-                    });
-                // The keys the writer's vanishing versions contributed to
-                // the ordered index, collected before the chain drops them.
-                let removed: Vec<i64> = indexed
-                    .as_deref()
-                    .map(|col| {
-                        chain
-                            .versions()
-                            .iter()
-                            .filter(|v| !v.is_committed() && v.writer == writer)
-                            .filter_map(|v| v.row.as_ref().and_then(|r| r.get_int(col)))
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                chain.abort(writer);
-                for key in removed {
-                    shard.index_remove(&table, key, id);
+                let meta = self.registry.lookup(&table).unwrap_or_else(|| {
+                    panic!(
+                        "abort({writer}): write set names {table}{id} but stripe {idx} has \
+                         no version chain for it — rollback would silently leak the \
+                         uncommitted version"
+                    )
+                });
+                let slot = meta.chains.slot(id).unwrap_or_else(|| {
+                    panic!(
+                        "abort({writer}): write set names {table}{id} but stripe {idx} has \
+                         no version chain for it — rollback would silently leak the \
+                         uncommitted version"
+                    )
+                });
+                let removed = slot.chain.abort(writer);
+                let indexed = meta.indexed_column_ref(&guard);
+                for version in removed {
+                    if let Some(col) = indexed {
+                        if let Some(key) = version.row().and_then(|r| r.get_int(col)) {
+                            meta.index.remove(key, id, &self.ebr);
+                        }
+                    }
+                    version.retire(&self.ebr);
                 }
             }
         }
@@ -726,50 +1220,47 @@ impl MvStore {
     /// Number of rows whose latest committed version exists (i.e. not
     /// deleted) in `table`.
     pub fn committed_row_count(&self, table: &str) -> usize {
-        self.shards
-            .iter()
-            .map(|shard| {
-                shard
-                    .read()
-                    .tables
-                    .get(table)
-                    .map(|rows| {
-                        rows.values()
-                            .filter(|c| {
-                                c.latest_committed()
-                                    .map(|v| !v.is_tombstone())
-                                    .unwrap_or(false)
-                            })
-                            .count()
-                    })
-                    .unwrap_or(0)
-            })
-            .sum()
+        let guard = self.ebr.pin();
+        let Some(meta) = self.registry.lookup(table) else {
+            return 0;
+        };
+        let mut count = 0;
+        let upto = meta.next_row_id.load(Ordering::Acquire);
+        meta.chains.for_each_slot(upto, |_, slot| {
+            if slot
+                .chain
+                .latest_committed(&guard)
+                .map(|v| !v.is_tombstone())
+                .unwrap_or(false)
+            {
+                count += 1;
+            }
+        });
+        count
     }
 
-    /// Total number of versions across all chains (storage footprint
-    /// metric used by the benches).
+    /// Total number of live (linked) versions across all chains (storage
+    /// footprint metric used by the benches).  Retired versions are
+    /// excluded by construction — they are unreachable from every head.
     pub fn version_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|shard| {
-                shard
-                    .read()
-                    .tables
-                    .values()
-                    .flat_map(|rows| rows.values())
-                    .map(|c| c.len())
-                    .sum::<usize>()
-            })
-            .sum()
+        let guard = self.ebr.pin();
+        let mut total = 0;
+        self.registry.for_each(|meta| {
+            let upto = meta.next_row_id.load(Ordering::Acquire);
+            meta.chains.for_each_slot(upto, |_, slot| {
+                total += slot.chain.len(&guard);
+            });
+        });
+        total
     }
 }
 
 impl fmt::Debug for MvStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MvStore")
-            .field("shards", &self.shards.len())
-            .field("tables", &self.registry.read().keys().collect::<Vec<_>>())
+            .field("stripes", &self.stripes.len())
+            .field("read_path", &self.read_path)
+            .field("tables", &self.tables())
             .finish()
     }
 }
@@ -979,7 +1470,7 @@ mod tests {
 
     #[test]
     fn row_ids_are_sequential_and_sorted_across_shards() {
-        // With several shards the chains scatter, but id allocation is a
+        // With several stripes the writes scatter, but id allocation is a
         // per-table counter and row_ids() must come back sorted and
         // gap-free exactly like the single-map store.
         for shards in [1, 2, 7, 16] {
@@ -1166,5 +1657,69 @@ mod tests {
                 .get_int("balance"),
             Some(5)
         );
+    }
+
+    #[test]
+    fn epoch_reads_take_no_stripe_locks() {
+        let epoch = MvStore::new();
+        let locked = MvStore::with_read_path(DEFAULT_SHARDS, ReadPath::Locked);
+        assert_eq!(epoch.read_path(), ReadPath::Epoch);
+        assert_eq!(locked.read_path(), ReadPath::Locked);
+        for store in [&epoch, &locked] {
+            store.create_index("t", "balance");
+            let id = store.insert("t", TxnToken(1), balance_row(7));
+            store.commit(TxnToken(1), Timestamp(1));
+            assert_eq!(
+                store
+                    .get_latest_committed("t", id)
+                    .unwrap()
+                    .get_int("balance"),
+                Some(7)
+            );
+            let pred = RowPredicate::whole_table("t");
+            assert_eq!(store.scan_latest_committed(&pred).len(), 1);
+            assert_eq!(
+                store
+                    .scan_range(
+                        "t",
+                        "balance",
+                        &KeyInterval::everything(),
+                        ScanView::LatestCommitted,
+                    )
+                    .len(),
+                1
+            );
+        }
+        let stats = epoch.read_stats();
+        assert!(stats.read_pins() > 0, "epoch reads pin");
+        assert_eq!(
+            stats.read_lock_acquisitions(),
+            0,
+            "the epoch read path must never take a stripe lock"
+        );
+        let stats = locked.read_stats();
+        assert!(
+            stats.read_lock_acquisitions() > 0,
+            "the locked baseline counts every stripe read-lock"
+        );
+    }
+
+    #[test]
+    fn aborted_versions_are_retired_not_leaked() {
+        let store = MvStore::new();
+        let id = store.insert("t", TxnToken(1), balance_row(1));
+        store.commit(TxnToken(1), Timestamp(1));
+        for i in 0..10 {
+            store.update("t", TxnToken(2), id, balance_row(i)).unwrap();
+        }
+        store.abort(TxnToken(2));
+        for _ in 0..4 {
+            store.flush_reclamation();
+        }
+        let stats = store.reclamation_stats();
+        assert_eq!(stats.retired, 10, "every unlinked version was retired");
+        assert_eq!(stats.reclaimed, 10, "and reclaimed once quiescent");
+        assert_eq!(stats.reclaimed_while_pinned, 0);
+        assert_eq!(store.version_count(), 1);
     }
 }

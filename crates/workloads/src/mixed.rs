@@ -12,7 +12,7 @@
 
 use critique_core::IsolationLevel;
 use critique_engine::{
-    BackendKind, Database, EngineConfig, GrantPolicy, TxnError, UpgradeStrategy,
+    BackendKind, Database, EngineConfig, GrantPolicy, ReadPath, TxnError, UpgradeStrategy,
 };
 use critique_storage::{KeyInterval, Row, RowId, RowPredicate};
 use rand::rngs::StdRng;
@@ -70,6 +70,11 @@ pub struct MixedWorkload {
     /// interval predicate locks at the locking levels.  `0.0` keeps the
     /// workload point-only.
     pub range_fraction: f64,
+    /// Storage read discipline handed to
+    /// [`EngineConfig::with_read_path`]: the epoch-pinned lock-free path
+    /// (default), or the stripe-read-lock baseline the read-heavy bench
+    /// series measures against.  Only the default backend honours it.
+    pub read_path: ReadPath,
 }
 
 impl Default for MixedWorkload {
@@ -88,6 +93,7 @@ impl Default for MixedWorkload {
             backend: BackendKind::default(),
             upgrade: UpgradeStrategy::default(),
             range_fraction: 0.0,
+            read_path: ReadPath::default(),
         }
     }
 }
@@ -152,6 +158,18 @@ impl WorkloadStats {
 }
 
 impl MixedWorkload {
+    /// The read-heavy preset of the scaling series: 95% read-only
+    /// transactions over the default table, everything else at the
+    /// defaults.  This is the mix where the epoch read path's "no stripe
+    /// lock on reads" claim dominates throughput, so it is the workload
+    /// the epoch-vs-locked bench series sweeps.
+    pub fn read_heavy() -> Self {
+        MixedWorkload {
+            read_fraction: 0.95,
+            ..MixedWorkload::default()
+        }
+    }
+
     /// This workload with a different worker count (used by the scaling
     /// sweep).
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -187,6 +205,13 @@ impl MixedWorkload {
         self
     }
 
+    /// This workload on a different storage read discipline (used by the
+    /// read-heavy epoch-vs-locked comparison).
+    pub fn with_read_path(mut self, read_path: ReadPath) -> Self {
+        self.read_path = read_path;
+        self
+    }
+
     /// Seed a database for this workload (every account starts at 100) and
     /// return it together with the row ids.
     pub fn seed_database(&self, level: IsolationLevel) -> (Database, Vec<RowId>) {
@@ -196,7 +221,8 @@ impl MixedWorkload {
             .with_shards(self.shards)
             .with_grant_policy(self.grant)
             .with_backend(self.backend)
-            .with_upgrade_strategy(self.upgrade);
+            .with_upgrade_strategy(self.upgrade)
+            .with_read_path(self.read_path);
         let db = Database::with_config(config);
         // Every account carries an indexed `bucket` key (its seed ordinal)
         // so range operations have an ordered index to scan.
@@ -319,19 +345,25 @@ impl MixedWorkload {
     /// threads and the blocking lock-wait policy.
     pub fn run(&self, level: IsolationLevel) -> WorkloadStats {
         let (db, ids) = self.seed_database(level);
+        self.run_seeded(&db, &ids)
+    }
+
+    /// Run the workload's worker threads against an already-seeded
+    /// database.  Split out of [`MixedWorkload::run`] so callers that need
+    /// to inspect the database afterwards (the epoch read-path tests check
+    /// [`Database::mv_read_stats`]) can keep hold of it.
+    pub fn run_seeded(&self, db: &Database, ids: &[RowId]) -> WorkloadStats {
         let start = Instant::now();
         let mut totals = WorkloadStats::default();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.threads)
                 .map(|worker| {
-                    let db = db.clone();
-                    let ids = ids.clone();
                     let spec = *self;
                     scope.spawn(move || {
                         let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(worker as u64));
                         let mut stats = WorkloadStats::default();
                         for _ in 0..spec.txns_per_thread {
-                            spec.run_one(&db, &ids, &mut rng, &mut stats);
+                            spec.run_one(db, ids, &mut rng, &mut stats);
                         }
                         stats
                     })
@@ -403,6 +435,7 @@ mod tests {
             backend: BackendKind::MvStore,
             upgrade: UpgradeStrategy::SharedThenUpgrade,
             range_fraction: 0.0,
+            read_path: ReadPath::Epoch,
         }
     }
 
@@ -522,6 +555,55 @@ mod tests {
         // Each committed +10 update that lands in the second half of the
         // scan is visible: the audit total drifts away from the invariant.
         assert!(drift > 0);
+    }
+
+    #[test]
+    fn read_heavy_preset_is_95_percent_reads() {
+        let spec = MixedWorkload::read_heavy();
+        assert!((spec.read_fraction - 0.95).abs() < 1e-9);
+        assert_eq!(spec.read_path, ReadPath::Epoch);
+        assert_eq!(
+            spec.with_read_path(ReadPath::Locked).read_path,
+            ReadPath::Locked
+        );
+    }
+
+    #[test]
+    fn read_only_run_takes_zero_stripe_locks_on_the_epoch_path() {
+        // The tentpole acceptance criterion, at the workload level: a
+        // read-only MixedWorkload run on the epoch path must record *zero*
+        // read-path stripe-lock acquisitions (seeding writes take stripe
+        // write locks, but those are not read-path acquisitions), while
+        // pinning an epoch for every read.
+        let mut spec = small();
+        spec.read_fraction = 1.0;
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::Serializable,
+        ] {
+            let (db, ids) = spec.seed_database(level);
+            let stats = spec.run_seeded(&db, &ids);
+            assert_eq!(stats.committed, stats.attempted(), "at {level}");
+            let read_stats = db.mv_read_stats().expect("default backend has counters");
+            assert_eq!(read_stats.read_lock_acquisitions(), 0, "at {level}");
+            assert!(read_stats.read_pins() > 0, "at {level}");
+        }
+    }
+
+    #[test]
+    fn locked_baseline_counts_its_stripe_lock_acquisitions() {
+        // Sanity check of the A/B instrument itself: the same read-only
+        // run on the locked baseline must show a nonzero acquisition
+        // count, or the epoch path's zero would be vacuous.
+        let mut spec = small().with_read_path(ReadPath::Locked);
+        spec.read_fraction = 1.0;
+        let (db, ids) = spec.seed_database(IsolationLevel::SnapshotIsolation);
+        let stats = spec.run_seeded(&db, &ids);
+        assert!(stats.committed > 0);
+        let read_stats = db.mv_read_stats().expect("default backend has counters");
+        assert!(read_stats.read_lock_acquisitions() > 0);
+        assert!(read_stats.read_pins() > 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::mixed::{MixedWorkload, WorkloadStats};
 use critique_core::IsolationLevel;
-use critique_engine::{BackendKind, GrantPolicy, UpgradeStrategy};
+use critique_engine::{BackendKind, GrantPolicy, ReadPath, UpgradeStrategy};
 
 /// One substrate configuration a sweep visits: a storage backend, its
 /// shard count, and the label the series carries in reports.
@@ -34,6 +34,11 @@ pub struct SubstrateConfig {
     pub shards: usize,
     /// Storage backend the series runs on.
     pub backend: BackendKind,
+    /// Storage read discipline the series runs with
+    /// ([`MixedWorkload::read_path`]; only the default backend honours
+    /// it).  The read-heavy sweep runs the same workload once per
+    /// discipline to measure what the stripe read locks cost.
+    pub read_path: ReadPath,
     /// Human-readable series label (`"sharded"`, `"logstore"`, …).
     pub label: &'static str,
 }
@@ -44,6 +49,7 @@ impl SubstrateConfig {
         SubstrateConfig {
             shards,
             backend: BackendKind::MvStore,
+            read_path: ReadPath::default(),
             label,
         }
     }
@@ -57,8 +63,16 @@ impl SubstrateConfig {
             // isolates the *storage* representation, not lock sharding.
             shards: critique_storage::DEFAULT_SHARDS,
             backend: BackendKind::LogStructured,
+            read_path: ReadPath::default(),
             label,
         }
+    }
+
+    /// This configuration with a different storage read discipline (used
+    /// by the read-heavy epoch-vs-locked series).
+    pub fn with_read_path(mut self, read_path: ReadPath) -> Self {
+        self.read_path = read_path;
+        self
     }
 }
 
@@ -88,6 +102,8 @@ pub struct ScalingSeries {
     pub shards: usize,
     /// Storage backend this series ran on.
     pub backend: BackendKind,
+    /// Storage read discipline this series ran with.
+    pub read_path: ReadPath,
     /// One point per worker count, in sweep order.
     pub points: Vec<ScalingPoint>,
 }
@@ -135,6 +151,7 @@ impl ScalingReport {
                 let mut spec = base;
                 spec.shards = config.shards.max(1);
                 spec.backend = config.backend;
+                spec.read_path = config.read_path;
                 let points = thread_counts
                     .iter()
                     .map(|&threads| {
@@ -154,6 +171,7 @@ impl ScalingReport {
                     label: config.label.to_string(),
                     shards: config.shards.max(1),
                     backend: config.backend,
+                    read_path: config.read_path,
                     points,
                 }
             })
@@ -183,10 +201,11 @@ impl ScalingReport {
         ));
         for series in &self.series {
             out.push_str(&format!(
-                "{} (backend={}, shards={}){}:\n",
+                "{} (backend={}, shards={}, reads={}){}:\n",
                 series.label,
                 series.backend,
                 series.shards,
+                series.read_path,
                 if series.monotonic() {
                     " — monotonic"
                 } else {
@@ -240,11 +259,12 @@ impl ScalingReport {
                     .join(",\n");
                 format!(
                     "{pad}  {{\n{pad}    \"label\": \"{}\",\n{pad}    \"backend\": \"{}\",\n\
-                     {pad}    \"shards\": {},\n{pad}    \
+                     {pad}    \"shards\": {},\n{pad}    \"read_path\": \"{}\",\n{pad}    \
                      \"monotonic_throughput\": {},\n{pad}    \"points\": [\n{}\n{pad}    ]\n{pad}  }}",
                     series.label,
                     series.backend,
                     series.shards,
+                    series.read_path,
                     series.monotonic(),
                     points,
                 )
@@ -588,28 +608,54 @@ impl RangeComparison {
 }
 
 /// The whole `BENCH_scaling.json` document: one scaling sweep per swept
-/// isolation level, plus the contended-handoff comparison and the
-/// point-vs-range scan comparison.
+/// isolation level, the read-heavy epoch-vs-locked sweeps, plus the
+/// contended-handoff comparison and the point-vs-range scan comparison.
 #[derive(Clone, Debug)]
 pub struct ScalingSuite {
     /// One sweep per isolation level, in sweep order.
     pub sweeps: Vec<ScalingReport>,
+    /// The read-heavy (95% read) sweeps: one per isolation level, each
+    /// with an epoch-path series and a stripe-read-lock baseline series on
+    /// the same workload, so what the locks cost on the dominant-read mix
+    /// is measured, not asserted.
+    pub read_heavy: Vec<ScalingReport>,
     /// The direct-handoff vs wake-all comparison, if run.
     pub handoff: Option<HandoffComparison>,
     /// The point-vs-range scan comparison, if run.
     pub range: Option<RangeComparison>,
+    /// Logical CPUs of the machine the numbers were recorded on — thread
+    /// counts above this measure oversubscription, not parallelism, so the
+    /// document carries the context.
+    pub host_cpus: usize,
 }
 
 impl ScalingSuite {
+    /// Logical CPUs available to this process (1 when undeterminable) —
+    /// what a freshly recorded suite should carry as
+    /// [`ScalingSuite::host_cpus`].
+    pub fn detect_host_cpus() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
     /// The sweep for `level`, if present.
     pub fn sweep_at(&self, level: IsolationLevel) -> Option<&ScalingReport> {
         self.sweeps.iter().find(|s| s.level == level)
+    }
+
+    /// The read-heavy sweep for `level`, if present.
+    pub fn read_heavy_at(&self, level: IsolationLevel) -> Option<&ScalingReport> {
+        self.read_heavy.iter().find(|s| s.level == level)
     }
 
     /// Render every sweep and the handoff comparison as text.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for sweep in &self.sweeps {
+            out.push_str(&sweep.to_text());
+        }
+        for sweep in &self.read_heavy {
             out.push_str(&sweep.to_text());
         }
         if let Some(handoff) = &self.handoff {
@@ -629,6 +675,17 @@ impl ScalingSuite {
             .map(|s| format!("    {{\n{}\n    }}", s.json_fields(6)))
             .collect::<Vec<_>>()
             .join(",\n");
+        let read_heavy = if self.read_heavy.is_empty() {
+            String::new()
+        } else {
+            let body = self
+                .read_heavy
+                .iter()
+                .map(|s| format!("    {{\n{}\n    }}", s.json_fields(6)))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(",\n  \"read_heavy\": [\n{}\n  ]", body)
+        };
         let handoff = match &self.handoff {
             Some(h) => format!(",\n  \"contended_handoff\":\n{}", h.json_object(2)),
             None => String::new(),
@@ -638,8 +695,9 @@ impl ScalingSuite {
             None => String::new(),
         };
         format!(
-            "{{\n  \"bench\": \"scaling_suite\",\n  \"sweeps\": [\n{}\n  ]{}{}\n}}\n",
-            sweeps, handoff, range,
+            "{{\n  \"bench\": \"scaling_suite\",\n  \"host_cpus\": {},\n  \
+             \"sweeps\": [\n{}\n  ]{}{}{}\n}}\n",
+            self.host_cpus, sweeps, read_heavy, handoff, range,
         )
     }
 }
@@ -663,6 +721,7 @@ mod tests {
             backend: BackendKind::MvStore,
             upgrade: UpgradeStrategy::SharedThenUpgrade,
             range_fraction: 0.0,
+            read_path: ReadPath::Epoch,
         }
     }
 
@@ -736,6 +795,7 @@ mod tests {
             label: "r".into(),
             shards: 2,
             backend: BackendKind::MvStore,
+            read_path: ReadPath::Epoch,
             points: vec![point(1, 10), point(2, 20), point(4, 30)],
         };
         assert!(rising.monotonic());
@@ -743,6 +803,7 @@ mod tests {
             label: "s".into(),
             shards: 2,
             backend: BackendKind::MvStore,
+            read_path: ReadPath::Epoch,
             points: vec![point(1, 10), point(2, 9)],
         };
         assert!(!sagging.monotonic());
@@ -809,15 +870,38 @@ mod tests {
         ];
         let handoff = HandoffComparison::run(tiny(), IsolationLevel::Serializable, 1);
         let range = RangeComparison::run(tiny(), IsolationLevel::Serializable, &[0.0, 0.5], 1);
+        let mut read_heavy_spec = tiny();
+        read_heavy_spec.read_fraction = 0.95;
+        let read_heavy = vec![ScalingReport::run(
+            read_heavy_spec,
+            IsolationLevel::SnapshotIsolation,
+            &[1, 2],
+            &[
+                SubstrateConfig::mvstore(4, "epoch"),
+                SubstrateConfig::mvstore(4, "locked baseline").with_read_path(ReadPath::Locked),
+            ],
+            1,
+        )];
         let suite = ScalingSuite {
             sweeps,
+            read_heavy,
             handoff: Some(handoff),
             range: Some(range),
+            host_cpus: ScalingSuite::detect_host_cpus(),
         };
         assert!(suite.sweep_at(IsolationLevel::ReadCommitted).is_some());
         assert!(suite.sweep_at(IsolationLevel::Serializable).is_none());
+        assert!(suite
+            .read_heavy_at(IsolationLevel::SnapshotIsolation)
+            .is_some());
+        assert!(suite.host_cpus >= 1);
         let json = suite.to_json();
         assert!(json.contains("\"bench\": \"scaling_suite\""));
+        assert!(json.contains("\"host_cpus\""));
+        assert!(json.contains("\"read_heavy\""));
+        assert!(json.contains("\"read_path\": \"epoch\""));
+        assert!(json.contains("\"read_path\": \"locked\""));
+        assert!(json.contains("\"read_fraction\": 0.95"));
         assert!(json.contains("\"backend\": \"logstore\""));
         assert!(json.contains("\"level\": \"READ COMMITTED\""));
         assert!(json.contains("\"level\": \"Snapshot Isolation\""));
