@@ -20,11 +20,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use critique_bench::{
-    handoff_workload, range_workload, read_heavy_workload, scaling_workload, RANGE_FRACTIONS,
-    SCALING_LEVELS, SCALING_THREADS,
+    durable_workload, handoff_workload, range_workload, read_heavy_workload, scaling_workload,
+    RANGE_FRACTIONS, SCALING_LEVELS, SCALING_THREADS,
 };
 use critique_core::IsolationLevel;
-use critique_engine::ReadPath;
+use critique_engine::{Durability, ReadPath};
 use critique_workloads::{
     HandoffComparison, RangeComparison, ScalingReport, ScalingSuite, SubstrateConfig,
 };
@@ -68,6 +68,25 @@ fn run_suite() -> ScalingSuite {
             )
         })
         .collect();
+    // The durable-logstore series: the same log-structured workload with
+    // segments kept in memory and with every commit fsync'd to a
+    // write-ahead file, per isolation level, so the durability tax the
+    // commit-record protocol pays stays measured from PR to PR.
+    let durable = SCALING_LEVELS
+        .into_iter()
+        .map(|level| {
+            ScalingReport::run(
+                durable_workload(),
+                level,
+                &SCALING_THREADS,
+                &[
+                    SubstrateConfig::logstore("logstore ephemeral"),
+                    SubstrateConfig::logstore("logstore fsync").with_durability(Durability::Fsync),
+                ],
+                3,
+            )
+        })
+        .collect();
     let handoff = HandoffComparison::run(handoff_workload(), IsolationLevel::Serializable, 3);
     let range = RangeComparison::run(
         range_workload(),
@@ -78,6 +97,7 @@ fn run_suite() -> ScalingSuite {
     ScalingSuite {
         sweeps,
         read_heavy,
+        durable,
         handoff: Some(handoff),
         range: Some(range),
         host_cpus: ScalingSuite::detect_host_cpus(),

@@ -12,11 +12,13 @@
 //!    silently ship a broken `BENCH_scaling.json`.
 //! 2. **Committed-file validation** — parse the `BENCH_scaling.json` at
 //!    the workspace root and require every sweep to carry non-empty
-//!    series, every series non-empty points, and the contended-handoff
-//!    record to cover the full `{policy} × {strategy}` grid.
+//!    series, every series non-empty points, the `durable_logstore`
+//!    record to carry both the ephemeral and the fsync series, and the
+//!    contended-handoff record to cover the full
+//!    `{policy} × {strategy} × {fairness}` grid.
 
 use critique_core::IsolationLevel;
-use critique_engine::{GrantPolicy, UpgradeStrategy};
+use critique_engine::{Durability, FairnessPolicy, GrantPolicy, UpgradeStrategy};
 use critique_workloads::{
     HandoffComparison, MixedWorkload, RangeComparison, ScalingReport, ScalingSuite, SubstrateConfig,
 };
@@ -343,6 +345,57 @@ fn validate_suite(doc: &Json, context: &str) {
             }
         }
     }
+    // The durable-logstore record: per swept level, an ephemeral series
+    // and an fsync series over the log-structured backend.
+    let durable = doc
+        .get("durable_logstore")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{context}: no \"durable_logstore\" array"));
+    assert!(
+        !durable.is_empty(),
+        "{context}: zero durable_logstore sweeps recorded"
+    );
+    for sweep in durable {
+        let level = sweep
+            .get("level")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{context}: durable_logstore sweep without a level"));
+        let series = sweep
+            .get("series")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{context}: durable_logstore {level} has no series array"));
+        for durability in ["ephemeral", "fsync"] {
+            let entry = series
+                .iter()
+                .find(|s| s.get("durability").and_then(Json::as_str) == Some(durability))
+                .unwrap_or_else(|| {
+                    panic!("{context}: durable_logstore {level} lacks the {durability} series")
+                });
+            assert_eq!(
+                entry.get("backend").and_then(Json::as_str),
+                Some("logstore"),
+                "{context}: durable_logstore {level}/{durability} is not on the logstore backend"
+            );
+            let points = entry
+                .get("points")
+                .and_then(Json::as_array)
+                .unwrap_or_else(|| {
+                    panic!("{context}: durable_logstore {level}/{durability} no points")
+                });
+            assert!(
+                !points.is_empty(),
+                "{context}: durable_logstore {level}/{durability} recorded zero points"
+            );
+            for point in points {
+                for field in ["threads", "committed", "throughput_txn_per_s"] {
+                    assert!(
+                        point.get(field).and_then(Json::as_number).is_some(),
+                        "{context}: durable_logstore {level}/{durability} point lacks {field:?}"
+                    );
+                }
+            }
+        }
+    }
     let range = doc
         .get("range_scan")
         .unwrap_or_else(|| panic!("{context}: no range_scan record"));
@@ -376,22 +429,29 @@ fn validate_suite(doc: &Json, context: &str) {
         .get("policies")
         .and_then(Json::as_array)
         .unwrap_or_else(|| panic!("{context}: contended_handoff has no policies array"));
-    // The full grid: both grant policies under both upgrade strategies.
+    // The full grid: both grant policies under both upgrade strategies
+    // under both fast-path fairness modes.
     for policy in ["DirectHandoff", "WakeAll"] {
         for strategy in ["shared-then-upgrade", "update-lock"] {
-            let cell = policies.iter().find(|p| {
-                p.get("policy").and_then(Json::as_str) == Some(policy)
-                    && p.get("strategy").and_then(Json::as_str) == Some(strategy)
-            });
-            let cell = cell.unwrap_or_else(|| {
-                panic!("{context}: contended_handoff lacks the {policy}/{strategy} cell")
-            });
-            assert!(
-                cell.get("worst_deadlocks_across_runs")
-                    .and_then(Json::as_number)
-                    .is_some(),
-                "{context}: {policy}/{strategy} lacks worst_deadlocks_across_runs"
-            );
+            for fairness in ["Barging", "QueueFifo"] {
+                let cell = policies.iter().find(|p| {
+                    p.get("policy").and_then(Json::as_str) == Some(policy)
+                        && p.get("strategy").and_then(Json::as_str) == Some(strategy)
+                        && p.get("fairness").and_then(Json::as_str) == Some(fairness)
+                });
+                let cell = cell.unwrap_or_else(|| {
+                    panic!(
+                        "{context}: contended_handoff lacks the \
+                         {policy}/{strategy}/{fairness} cell"
+                    )
+                });
+                assert!(
+                    cell.get("worst_deadlocks_across_runs")
+                        .and_then(Json::as_number)
+                        .is_some(),
+                    "{context}: {policy}/{strategy}/{fairness} lacks worst_deadlocks_across_runs"
+                );
+            }
         }
     }
 }
@@ -414,6 +474,8 @@ fn reduced_suite() -> ScalingSuite {
         upgrade: UpgradeStrategy::SharedThenUpgrade,
         range_fraction: 0.0,
         read_path: critique_engine::ReadPath::Epoch,
+        durability: Durability::Ephemeral,
+        fairness: FairnessPolicy::Barging,
     };
     let sweeps = vec![ScalingReport::run(
         tiny,
@@ -438,6 +500,18 @@ fn reduced_suite() -> ScalingSuite {
         ],
         1,
     )];
+    let mut durable_spec = tiny;
+    durable_spec.backend = critique_engine::BackendKind::LogStructured;
+    let durable = vec![ScalingReport::run(
+        durable_spec,
+        IsolationLevel::Serializable,
+        &[1, 2],
+        &[
+            SubstrateConfig::logstore("logstore ephemeral"),
+            SubstrateConfig::logstore("logstore fsync").with_durability(Durability::Fsync),
+        ],
+        1,
+    )];
     let mut contended = tiny;
     contended.read_fraction = 0.0;
     contended.hot_fraction = 1.0;
@@ -447,6 +521,7 @@ fn reduced_suite() -> ScalingSuite {
     ScalingSuite {
         sweeps,
         read_heavy,
+        durable,
         handoff: Some(handoff),
         range: Some(range),
         host_cpus: ScalingSuite::detect_host_cpus(),

@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 use critique_core::IsolationLevel;
-use critique_engine::{BackendKind, GrantPolicy, ReadPath, UpgradeStrategy};
+use critique_engine::{
+    BackendKind, Durability, FairnessPolicy, GrantPolicy, ReadPath, UpgradeStrategy,
+};
 use critique_workloads::MixedWorkload;
 
 /// The isolation levels compared in the throughput studies.
@@ -48,6 +50,8 @@ pub fn bench_workload(read_fraction: f64, hot_fraction: f64) -> MixedWorkload {
         upgrade: UpgradeStrategy::SharedThenUpgrade,
         range_fraction: 0.0,
         read_path: ReadPath::Epoch,
+        durability: Durability::Ephemeral,
+        fairness: FairnessPolicy::Barging,
     }
 }
 
@@ -71,6 +75,8 @@ pub fn scaling_workload() -> MixedWorkload {
         upgrade: UpgradeStrategy::SharedThenUpgrade,
         range_fraction: 0.0,
         read_path: ReadPath::Epoch,
+        durability: Durability::Ephemeral,
+        fairness: FairnessPolicy::Barging,
     }
 }
 
@@ -129,6 +135,36 @@ pub fn range_workload() -> MixedWorkload {
         upgrade: UpgradeStrategy::UpdateLock,
         range_fraction: 0.0,
         read_path: ReadPath::Epoch,
+        durability: Durability::Ephemeral,
+        fairness: FairnessPolicy::Barging,
+    }
+}
+
+/// The workload behind the durable-logstore comparison
+/// (`BENCH_scaling.json`'s `durable_logstore` record): the scaling mix on
+/// the log-structured backend with no think time, run once per
+/// [`Durability`] mode, so the measured difference between the series is
+/// exactly the fsync tax at each commit boundary.  Kept shorter than the
+/// main sweep because every committed transaction in the fsync series is
+/// a real `fsync(2)`.
+pub fn durable_workload() -> MixedWorkload {
+    MixedWorkload {
+        accounts: 256,
+        read_fraction: 0.7,
+        ops_per_txn: 4,
+        hot_fraction: 0.05,
+        txns_per_thread: 60,
+        threads: 1,
+        seed: 1995,
+        think_micros: 0,
+        shards: critique_storage::DEFAULT_SHARDS,
+        grant: GrantPolicy::DirectHandoff,
+        backend: BackendKind::LogStructured,
+        upgrade: UpgradeStrategy::SharedThenUpgrade,
+        range_fraction: 0.0,
+        read_path: ReadPath::Epoch,
+        durability: Durability::Ephemeral,
+        fairness: FairnessPolicy::Barging,
     }
 }
 
@@ -153,5 +189,7 @@ pub fn handoff_workload() -> MixedWorkload {
         upgrade: UpgradeStrategy::SharedThenUpgrade,
         range_fraction: 0.0,
         read_path: ReadPath::Epoch,
+        durability: Durability::Ephemeral,
+        fairness: FairnessPolicy::Barging,
     }
 }

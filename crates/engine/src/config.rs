@@ -1,8 +1,8 @@
 //! Engine configuration.
 
 use critique_core::IsolationLevel;
-pub use critique_lock::{GrantPolicy, UpgradeStrategy};
-pub use critique_storage::{BackendKind, ReadPath};
+pub use critique_lock::{FairnessPolicy, GrantPolicy, UpgradeStrategy};
+pub use critique_storage::{BackendKind, Durability, ReadPath};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -75,6 +75,16 @@ pub struct EngineConfig {
     /// stripe-read-lock baseline the read-heavy bench series measures
     /// against.  The log-structured backend ignores the knob.
     pub read_path: ReadPath,
+    /// Whether the storage backend persists to disk.  Ephemeral (default)
+    /// keeps everything in memory; [`Durability::Fsync`] gives the
+    /// log-structured backend a write-ahead directory with fsync on every
+    /// commit boundary.  [`BackendKind::MvStore`] ignores the knob.
+    pub durability: Durability,
+    /// Whether an uncontended lock acquisition may overtake conflicting
+    /// parked waiters (only observable under [`LockWaitPolicy::Block`]):
+    /// barging by default, or the strict-FIFO fast path whose throughput
+    /// cost the contended-handoff benchmark grid records.
+    pub fairness: FairnessPolicy,
 }
 
 impl EngineConfig {
@@ -90,6 +100,8 @@ impl EngineConfig {
             backend: BackendKind::default(),
             upgrade: UpgradeStrategy::default(),
             read_path: ReadPath::default(),
+            durability: Durability::default(),
+            fairness: FairnessPolicy::default(),
         }
     }
 
@@ -134,6 +146,18 @@ impl EngineConfig {
         self.read_path = read_path;
         self
     }
+
+    /// Override the storage durability mode (log-structured backend only).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Override the lock fast-path fairness policy.
+    pub fn with_fairness(mut self, fairness: FairnessPolicy) -> Self {
+        self.fairness = fairness;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +175,8 @@ mod tests {
         assert_eq!(cfg.backend, BackendKind::MvStore);
         assert_eq!(cfg.upgrade, UpgradeStrategy::SharedThenUpgrade);
         assert_eq!(cfg.read_path, ReadPath::Epoch);
+        assert_eq!(cfg.durability, Durability::Ephemeral);
+        assert_eq!(cfg.fairness, FairnessPolicy::Barging);
         assert_eq!(LockWaitPolicy::default(), LockWaitPolicy::Fail);
     }
 
@@ -188,6 +214,21 @@ mod tests {
         assert_eq!(cfg.shards, 1);
         let cfg = EngineConfig::new(IsolationLevel::ReadCommitted).with_shards(4);
         assert_eq!(cfg.shards, 4);
+    }
+
+    #[test]
+    fn durability_override() {
+        let cfg = EngineConfig::new(IsolationLevel::Serializable)
+            .with_backend(BackendKind::LogStructured)
+            .with_durability(Durability::Fsync);
+        assert_eq!(cfg.durability, Durability::Fsync);
+    }
+
+    #[test]
+    fn fairness_override() {
+        let cfg = EngineConfig::new(IsolationLevel::Serializable)
+            .with_fairness(FairnessPolicy::QueueFifo);
+        assert_eq!(cfg.fairness, FairnessPolicy::QueueFifo);
     }
 
     #[test]

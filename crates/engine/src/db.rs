@@ -64,15 +64,38 @@ impl Database {
     pub fn with_config(config: EngineConfig) -> Self {
         // The only place a concrete backend is named is behind this
         // `BackendKind` constructor.
-        let (store, read_stats) = config
-            .backend
-            .build_with_stats(config.shards, config.read_path);
+        let (store, read_stats) = config.backend.build_durable_with_stats(
+            config.shards,
+            config.read_path,
+            config.durability,
+        );
+        Self::assemble(config, store, read_stats)
+    }
+
+    /// Create a database over an existing storage backend — the recovery
+    /// path: [`critique_storage::LogStore::recover`] rebuilds the store
+    /// from its write-ahead directory, then a fresh database resumes on
+    /// top of it.  `config.backend`/`config.durability` are kept for the
+    /// record but do not re-build the store.  Callers resuming after a
+    /// crash should follow up with [`Database::advance_clock_past`] so new
+    /// commits outrank everything recovered.
+    pub fn with_store(config: EngineConfig, store: Box<dyn StorageBackend>) -> Self {
+        Self::assemble(config, store, None)
+    }
+
+    fn assemble(
+        config: EngineConfig,
+        store: Box<dyn StorageBackend>,
+        read_stats: Option<Arc<MvReadStats>>,
+    ) -> Self {
         Database {
             inner: Arc::new(DbInner {
                 profile: LockProfile::for_level(config.level),
                 store,
                 read_stats,
-                locks: LockManager::with_shards(config.shards).with_policy(config.grant),
+                locks: LockManager::with_shards(config.shards)
+                    .with_policy(config.grant)
+                    .with_fairness(config.fairness),
                 ts: TimestampOracle::new(),
                 recorder: HistoryRecorder::with_shards(config.record_history, config.shards),
                 commit_seq: Mutex::new(()),
@@ -80,6 +103,14 @@ impl Database {
                 config,
             }),
         }
+    }
+
+    /// Advance the timestamp oracle past `ts` (never backwards): recovery
+    /// harnesses pass a recovered store's
+    /// [`critique_storage::LogStore::last_commit_ts`] so the resumed clock
+    /// outranks every recovered commit.
+    pub fn advance_clock_past(&self, ts: critique_storage::Timestamp) {
+        self.inner.ts.advance_past(ts);
     }
 
     /// The isolation level of this database.

@@ -54,7 +54,7 @@ pub use crate::mode::{LockMode, UpgradeStrategy};
 pub use crate::target::LockTarget;
 pub use crate::waitqueue::{
     conversion_first, is_conversion, requests_conflict, sweep_plan, upgrade_aware_plan,
-    GrantPolicy, QueuedRequest,
+    FairnessPolicy, GrantPolicy, QueuedRequest,
 };
 pub use critique_core::locking::LockDuration;
 
@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::target::LockTarget;
     pub use crate::waitqueue::{
         conversion_first, is_conversion, requests_conflict, sweep_plan, upgrade_aware_plan,
-        GrantPolicy, QueuedRequest,
+        FairnessPolicy, GrantPolicy, QueuedRequest,
     };
     pub use critique_core::locking::LockDuration;
 }

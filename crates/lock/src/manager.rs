@@ -37,11 +37,14 @@
 //! readers whose subsequent Exclusive upgrades deadlock each other — and
 //! every fresh Shared grant in between adds one more holder the pending
 //! upgrade must outwait, which is what made the cascade self-sustaining.
-//! (The rule governs the wait queue only: the uncontended fast path still
-//! barges past queued requests when compatible with the *held* set — the
-//! ROADMAP's barging-fairness item.  The update-mode discipline does not
-//! rely on sweep order for its guarantee: a held U refuses new Shared at
-//! the held-lock check itself, so barging readers are refused too.)
+//! (The rule governs the wait queue only: under the default
+//! [`FairnessPolicy::Barging`] the uncontended fast path still barges past
+//! queued requests when compatible with the *held* set;
+//! [`FairnessPolicy::QueueFifo`] makes it defer to conflicting parked
+//! waiters instead, and the contended-handoff benchmark grid records what
+//! that strictness costs.  The update-mode discipline does not rely on
+//! sweep order for its guarantee: a held U refuses new Shared at the
+//! held-lock check itself, so barging readers are refused too.)
 //! A parked waiter is woken only by
 //! a delivered grant, a deadlock verdict, or its own deadline — there is no
 //! re-poll timer anywhere in the wait path.  Deadlock detection is
@@ -67,8 +70,8 @@
 use crate::mode::LockMode;
 use crate::target::LockTarget;
 use crate::waitqueue::{
-    blockers_in_order, requests_conflict, sweep_scan, GrantPolicy, QueueKey, Verdict, WaitInner,
-    WaitSet, Waiter,
+    blockers_in_order, requests_conflict, sweep_scan, FairnessPolicy, GrantPolicy, QueueKey,
+    QueuedRequest, Verdict, WaitInner, WaitSet, Waiter,
 };
 use critique_core::locking::LockDuration;
 use critique_storage::{KeyInterval, Row, RowId, TxnToken};
@@ -355,6 +358,7 @@ pub struct LockManager {
     index: Box<[IndexPartition]>,
     wait: WaitSet,
     policy: GrantPolicy,
+    fairness: FairnessPolicy,
 }
 
 impl Default for LockManager {
@@ -424,6 +428,7 @@ impl LockManager {
             index: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
             wait: WaitSet::new(),
             policy: GrantPolicy::DirectHandoff,
+            fairness: FairnessPolicy::default(),
         }
     }
 
@@ -436,6 +441,17 @@ impl LockManager {
     /// The contended-grant policy in effect.
     pub fn policy(&self) -> GrantPolicy {
         self.policy
+    }
+
+    /// This manager with a different fast-path fairness policy.
+    pub fn with_fairness(mut self, fairness: FairnessPolicy) -> Self {
+        self.fairness = fairness;
+        self
+    }
+
+    /// The fast-path fairness policy in effect.
+    pub fn fairness(&self) -> FairnessPolicy {
+        self.fairness
     }
 
     /// Number of item-lock shards.
@@ -692,6 +708,9 @@ impl LockManager {
     }
 
     /// Attempt to acquire a lock without blocking.
+    ///
+    /// Always barges, whatever the [`FairnessPolicy`]: a non-blocking
+    /// probe has no queue position for parked waiters to hold it behind.
     pub fn try_acquire(
         &self,
         txn: TxnToken,
@@ -726,11 +745,10 @@ impl LockManager {
         timeout: Duration,
     ) -> Result<(), AcquireError> {
         let deadline = Instant::now() + timeout;
-        // Uncontended fast path: never touches the wait-set.
-        if self
-            .attempt(txn, &target, mode, images, duration, true)
-            .is_empty()
-        {
+        // Uncontended fast path: under [`FairnessPolicy::Barging`] it never
+        // touches the wait-set; under [`FairnessPolicy::QueueFifo`] it
+        // first defers to conflicting parked waiters.
+        if self.fast_path_grant(txn, &target, mode, images, duration) {
             return Ok(());
         }
         let key = queue_key(&target);
@@ -757,9 +775,15 @@ impl LockManager {
             // mutex held: a release between our last attempt and this one
             // has either already granted us (caught above) or is about to
             // sweep (serialised behind this mutex) — a wakeup can never
-            // fall between the conflict check and the park.
-            let holders = self.attempt(txn, &target, mode, images, duration, true);
-            if holders.is_empty() {
+            // fall between the conflict check and the park.  Under
+            // [`FairnessPolicy::QueueFifo`] the retry may only self-grant
+            // when the effective queue order holds nobody ahead of us;
+            // otherwise it runs check-only, so a compatible retry cannot
+            // overtake an earlier conflicting waiter here either.
+            let queue_blockers = self.queue_blockers(&wait, &key, txn);
+            let grant_ok = self.fairness != FairnessPolicy::QueueFifo || queue_blockers.is_empty();
+            let holders = self.attempt(txn, &target, mode, images, duration, grant_ok);
+            if grant_ok && holders.is_empty() {
                 self.retire_waiter(&mut wait, &key, txn);
                 return Ok(());
             }
@@ -768,7 +792,7 @@ impl LockManager {
             // behind (earlier arrivals, and conversions even if they
             // arrived later).
             let mut blockers = holders;
-            blockers.extend(self.queue_blockers(&wait, &key, txn));
+            blockers.extend(queue_blockers);
             wait.graph.set_waits(txn, blockers);
             // Detect-on-insert: if these edges close a cycle, this request
             // is the cycle-closing one and therefore the victim.  Edges of
@@ -796,17 +820,63 @@ impl LockManager {
         }
     }
 
+    /// The uncontended fast path of [`LockManager::acquire`].
+    ///
+    /// Under [`FairnessPolicy::Barging`] this is a plain granting attempt:
+    /// compatible with the *held* set means granted, conflicting parked
+    /// waiters notwithstanding.  Under [`FairnessPolicy::QueueFifo`] a
+    /// request that conflicts with any waiting queued request on its lock
+    /// refuses the shortcut and falls into the enqueue path behind it.
+    /// The queue check runs under the wait-set mutex (taken *before* the
+    /// shard/domain mutexes the attempt needs — the documented lock
+    /// order), so a parked waiter observed here cannot be concurrently
+    /// granted-and-retired in a way the attempt would miss; the cheap
+    /// `has_waiters` gate keeps the truly uncontended case off that mutex.
+    /// ([`LockManager::try_acquire`] always barges: a non-blocking probe
+    /// has no queue position to respect.)
+    fn fast_path_grant(
+        &self,
+        txn: TxnToken,
+        target: &LockTarget,
+        mode: LockMode,
+        images: &[Row],
+        duration: LockDuration,
+    ) -> bool {
+        if self.fairness == FairnessPolicy::QueueFifo && self.wait.has_waiters() {
+            let wait = self.wait.lock();
+            let own = QueuedRequest {
+                txn,
+                target: target.clone(),
+                mode,
+                images: images.to_vec(),
+            };
+            let contested = wait
+                .queue(&queue_key(target))
+                .iter()
+                .any(|w| w.txn != txn && w.is_waiting() && requests_conflict(&w.request(), &own));
+            if contested {
+                return false;
+            }
+            return self
+                .attempt(txn, target, mode, images, duration, true)
+                .is_empty();
+        }
+        self.attempt(txn, target, mode, images, duration, true)
+            .is_empty()
+    }
+
     /// The upgrade-aware effective order of `key`'s queue: conversion
     /// requests first (FIFO among themselves), then fresh requests (FIFO).
     /// This instantiates [`crate::waitqueue::conversion_first`] against
     /// the real lock tables; both the release sweep and the waits-for
     /// edges use it, so the *sweep* never grants a parked Shared request —
     /// and never considers it unblocked — while a conflicting queued
-    /// upgrade on the same target is still waiting.  (The uncontended
-    /// fast path still barges past the queue when compatible with the
-    /// held set — the ROADMAP's barging-fairness item; under the U-lock
-    /// discipline barging is harmless, because a held U already refuses
-    /// new Shared grants at the held-lock check itself.)
+    /// upgrade on the same target is still waiting.  (Under the default
+    /// [`FairnessPolicy::Barging`] the uncontended fast path still barges
+    /// past the queue when compatible with the held set;
+    /// [`FairnessPolicy::QueueFifo`] closes that gap.  Under the U-lock
+    /// discipline barging is harmless either way, because a held U
+    /// already refuses new Shared grants at the held-lock check itself.)
     fn ordered_queue(&self, wait: &WaitInner, key: &QueueKey) -> Vec<Arc<Waiter>> {
         let queue = wait.queue(key);
         if queue.is_empty() {
@@ -1925,5 +1995,149 @@ mod tests {
         assert_eq!(lm.queued_waiters(), 0);
         assert!(lm.holds(TxnToken(3), &item(0), LockMode::Shared));
         assert!(lm.holds(TxnToken(4), &item(0), LockMode::Shared));
+    }
+
+    #[test]
+    fn barging_fast_path_overtakes_a_parked_writer_by_default() {
+        let lm = Arc::new(LockManager::new());
+        assert_eq!(lm.fairness(), FairnessPolicy::Barging);
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Shared,
+            &[],
+            LockDuration::Long,
+        );
+        let lm2 = Arc::clone(&lm);
+        let writer = std::thread::spawn(move || {
+            lm2.acquire(
+                TxnToken(2),
+                item(0),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long,
+                Duration::from_secs(10),
+            )
+        });
+        while lm.queued_waiters() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // A fresh reader is compatible with the held S and barges straight
+        // past the parked writer — the starvation pattern the QueueFifo
+        // policy exists to close.
+        lm.acquire(
+            TxnToken(3),
+            item(0),
+            LockMode::Shared,
+            &[],
+            LockDuration::Long,
+            Duration::from_secs(1),
+        )
+        .unwrap();
+        assert!(lm.holds(TxnToken(3), &item(0), LockMode::Shared));
+        lm.release_all(TxnToken(3));
+        lm.release_all(TxnToken(1));
+        assert_eq!(writer.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn queue_fifo_fast_path_defers_to_a_parked_writer() {
+        let lm = Arc::new(LockManager::new().with_fairness(FairnessPolicy::QueueFifo));
+        assert_eq!(lm.fairness(), FairnessPolicy::QueueFifo);
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Shared,
+            &[],
+            LockDuration::Long,
+        );
+        let order = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let lm2 = Arc::clone(&lm);
+        let order2 = Arc::clone(&order);
+        let writer = std::thread::spawn(move || {
+            lm2.acquire(
+                TxnToken(2),
+                item(0),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long,
+                Duration::from_secs(10),
+            )
+            .unwrap();
+            order2.lock().push(2);
+            lm2.release_all(TxnToken(2));
+        });
+        while lm.queued_waiters() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The reader is compatible with the held S but conflicts with the
+        // parked X: the FIFO fast path refuses the shortcut and enqueues
+        // it behind the writer.
+        let lm3 = Arc::clone(&lm);
+        let order3 = Arc::clone(&order);
+        let reader = std::thread::spawn(move || {
+            lm3.acquire(
+                TxnToken(3),
+                item(0),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long,
+                Duration::from_secs(10),
+            )
+            .unwrap();
+            order3.lock().push(3);
+            lm3.release_all(TxnToken(3));
+        });
+        while lm.queued_waiters() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            !lm.holds(TxnToken(3), &item(0), LockMode::Shared),
+            "the reader must not overtake the parked writer"
+        );
+        lm.release_all(TxnToken(1));
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(*order.lock(), vec![2, 3], "strict arrival order");
+        assert_eq!(lm.queued_waiters(), 0);
+    }
+
+    #[test]
+    fn try_acquire_still_barges_under_queue_fifo() {
+        let lm = Arc::new(LockManager::new().with_fairness(FairnessPolicy::QueueFifo));
+        lm.try_acquire(
+            TxnToken(1),
+            item(0),
+            LockMode::Shared,
+            &[],
+            LockDuration::Long,
+        );
+        let lm2 = Arc::clone(&lm);
+        let writer = std::thread::spawn(move || {
+            lm2.acquire(
+                TxnToken(2),
+                item(0),
+                LockMode::Exclusive,
+                &[],
+                LockDuration::Long,
+                Duration::from_secs(10),
+            )
+        });
+        while lm.queued_waiters() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // A non-blocking probe has no queue position to respect.
+        assert!(lm
+            .try_acquire(
+                TxnToken(4),
+                item(0),
+                LockMode::Shared,
+                &[],
+                LockDuration::Long
+            )
+            .is_granted());
+        lm.release_all(TxnToken(4));
+        lm.release_all(TxnToken(1));
+        assert_eq!(writer.join().unwrap(), Ok(()));
     }
 }

@@ -56,6 +56,30 @@ pub enum GrantPolicy {
     WakeAll,
 }
 
+/// Whether an *un*contended acquisition may overtake parked waiters.
+///
+/// The companion knob to [`GrantPolicy`]: grant policy decides how a
+/// release hands locks to the queue, fairness decides whether requests
+/// that never blocked may cut past it.  The contended-handoff benchmark
+/// grid records the throughput cost of strict FIFO rather than assuming
+/// it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum FairnessPolicy {
+    /// The fast path grants any request compatible with the *held* set,
+    /// even past conflicting parked waiters (the classic throughput
+    /// choice, and the default).  Under a steady stream of compatible
+    /// requests a parked conflicting waiter can starve until its
+    /// deadline.
+    #[default]
+    Barging,
+    /// The fast path defers to the queue: a request that conflicts with
+    /// any *waiting* queued request enqueues behind it instead of
+    /// grabbing the lock, buying strict global FIFO at some throughput
+    /// cost.  (`try_acquire` still barges — a non-blocking probe has no
+    /// queue position to respect.)
+    QueueFifo,
+}
+
 /// One lock request as the FIFO discipline sees it: who is asking for
 /// what.  This is the vocabulary of the pure [`sweep_plan`] specification;
 /// the lock manager's internal [`Waiter`] carries the same fields plus the

@@ -400,6 +400,42 @@ pub enum BackendKind {
     LogStructured,
 }
 
+/// Whether a backend persists committed state across a process kill.
+///
+/// Only the log-structured backend has a durable representation (a
+/// directory of fsync'd write-ahead segment files — see
+/// [`LogStore::open_durable`]); [`MvStore`] is an in-memory engine and
+/// ignores the knob.  The default stays [`Durability::Ephemeral`] so
+/// every existing workload, test, and bench keeps its semantics; the
+/// `durable_logstore` bench series records what the fsync tax costs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Durability {
+    /// Everything lives in memory and dies with the process.
+    #[default]
+    Ephemeral,
+    /// Mutations are framed into write-ahead files, fsync'd at every
+    /// commit boundary and segment seal, and recoverable with
+    /// [`LogStore::recover`].
+    Fsync,
+}
+
+impl Durability {
+    /// Short stable label (`"ephemeral"` / `"fsync"`), used by bench
+    /// series metadata.
+    pub fn label(self) -> &'static str {
+        match self {
+            Durability::Ephemeral => "ephemeral",
+            Durability::Fsync => "fsync",
+        }
+    }
+}
+
+impl fmt::Display for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 impl BackendKind {
     /// Every selectable backend, in default-first order (the conformance
     /// exerciser and the differential tests iterate this).
@@ -433,16 +469,38 @@ impl BackendKind {
         shards: usize,
         read_path: ReadPath,
     ) -> (Box<dyn StorageBackend>, Option<Arc<MvReadStats>>) {
+        self.build_durable_with_stats(shards, read_path, Durability::default())
+    }
+
+    /// Construct the backend with an explicit durability mode on top of
+    /// [`BackendKind::build_with_stats`]'s contract.  Only the
+    /// log-structured store persists: [`Durability::Fsync`] roots it in a
+    /// process-private temp directory of write-ahead files that is
+    /// removed when the store drops ([`LogStore::open_durable_temp`]).
+    /// [`MvStore`] has no durable representation and ignores the knob —
+    /// the conformance matrix's verdicts never depend on it.
+    pub fn build_durable_with_stats(
+        self,
+        shards: usize,
+        read_path: ReadPath,
+        durability: Durability,
+    ) -> (Box<dyn StorageBackend>, Option<Arc<MvReadStats>>) {
         match self {
             BackendKind::MvStore => {
                 let store = MvStore::with_read_path(shards, read_path);
                 let stats = store.read_stats();
                 (Box::new(store), Some(stats))
             }
-            BackendKind::LogStructured => (
-                Box::new(LogStore::with_config(LogStoreConfig::default())),
-                None,
-            ),
+            BackendKind::LogStructured => {
+                let store = match durability {
+                    Durability::Ephemeral => LogStore::with_config(LogStoreConfig::default()),
+                    Durability::Fsync => LogStore::open_durable_temp(LogStoreConfig::default())
+                        .unwrap_or_else(|e| {
+                            panic!("opening a durable log store in the temp directory failed: {e}")
+                        }),
+                };
+                (Box::new(store), None)
+            }
         }
     }
 }

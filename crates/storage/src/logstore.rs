@@ -30,6 +30,23 @@
 //!   only (offset, length) in memory; reads decode on demand.  Commit
 //!   state, the index, and tombstones stay in memory, so only payload
 //!   bytes leave the heap.  The unlinked file vanishes with the process.
+//!   On unix the spill file uses positioned IO; elsewhere it falls back
+//!   to seek-then-read/write behind a cursor mutex — either way
+//!   `spilled_bytes` reports what actually left the heap, and a spill
+//!   that *fails* is surfaced (counter + panic), never swallowed;
+//! * **durability** (optional) — [`LogStore::open_durable`] roots the log
+//!   in a directory of write-ahead segment files.  Every mutation appends
+//!   a frame (`Begin`/`Write`/`Commit`/`Abort`/`CreateTable`/
+//!   `CreateIndex`) through the same row codec the spill file uses;
+//!   commit appends its frame and fsyncs (the commit boundary), and an
+//!   in-memory segment seal rotates to a fresh file after syncing the old
+//!   one (segment seal = durable seal).  [`LogStore::recover`] replays
+//!   the frames to rebuild the per-table hash index, the ordered index
+//!   views, pending-transaction state, and tombstones, aborts writers
+//!   whose commit record never made it, and truncates a torn final frame.
+//!   Compaction *rewrites* the file set (a fresh generation holding only
+//!   live records plus per-table metadata, manifest-swapped atomically),
+//!   so dead records are bounded on disk exactly as they are in memory.
 //!
 //! Concurrency: one `RwLock` around the whole log + index.  This is
 //! deliberately the simple layout — the backend exists to prove the
@@ -46,7 +63,9 @@ use crate::value::ColumnValue;
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::fs::File;
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Tuning knobs of the log-structured backend.
@@ -90,6 +109,10 @@ struct LogRecord {
     table: Arc<str>,
     row: RowId,
     writer: TxnToken,
+    /// What the write was (insert/update/delete) — mirrored into the
+    /// write set at append time and needed again by the durable rewrite,
+    /// which re-emits each surviving record as a self-contained frame.
+    kind: WriteKind,
     /// Set when the writer commits; `None` while pending.
     commit_ts: Option<Timestamp>,
     /// Unlinked from the index by abort; reclaimed by compaction.
@@ -131,6 +154,78 @@ struct TableIndex {
 struct SpillFile {
     file: File,
     len: u64,
+    /// Serialises seek-then-IO pairs on platforms without positioned IO:
+    /// concurrent readers under the store's read lock share one cursor.
+    #[cfg(not(unix))]
+    cursor: std::sync::Mutex<()>,
+}
+
+impl SpillFile {
+    fn new(file: File) -> Self {
+        SpillFile {
+            file,
+            len: 0,
+            #[cfg(not(unix))]
+            cursor: std::sync::Mutex::new(()),
+        }
+    }
+
+    /// Write `bytes` at `offset` (positioned IO on unix, seek+write under
+    /// the cursor mutex elsewhere).
+    #[cfg(unix)]
+    fn write_at(&self, bytes: &[u8], offset: u64) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(bytes, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn write_at(&self, bytes: &[u8], offset: u64) -> io::Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let _cursor = self.cursor.lock().expect("spill cursor mutex poisoned");
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(bytes)
+    }
+
+    /// Read `len` bytes at `offset` (positioned IO on unix, seek+read
+    /// under the cursor mutex elsewhere).
+    #[cfg(unix)]
+    fn read_at(&self, offset: u64, len: u32) -> io::Result<Vec<u8>> {
+        use std::os::unix::fs::FileExt;
+        let mut buf = vec![0u8; len as usize];
+        self.file.read_exact_at(&mut buf, offset)?;
+        Ok(buf)
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, offset: u64, len: u32) -> io::Result<Vec<u8>> {
+        use std::io::{Read, Seek, SeekFrom};
+        let _cursor = self.cursor.lock().expect("spill cursor mutex poisoned");
+        let mut buf = vec![0u8; len as usize];
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// The durable side of the log: a directory of write-ahead segment files
+/// (`wal-<generation>-<sequence>.seg`) plus a `MANIFEST` naming the live
+/// generation and the configuration the frames were written under.
+struct DurableLog {
+    dir: PathBuf,
+    /// Live file-set generation; rewrite-on-compact bumps it and deletes
+    /// the previous generation's files after the manifest swap.
+    gen: u64,
+    /// Sequence number of the open segment file within the generation.
+    file_seq: u64,
+    /// The open segment file, positioned at its end.
+    file: File,
+    /// fsyncs issued so far (commit boundaries, seals, manifest swaps).
+    fsyncs: u64,
+    /// Remove the whole directory when the store is dropped (set for
+    /// engine-owned throwaway stores from [`LogStore::open_durable_temp`]).
+    owns_dir: bool,
 }
 
 #[derive(Default)]
@@ -148,6 +243,20 @@ struct LogInner {
     /// Live (non-aborted) records — the backend's version count.
     live: usize,
     spill: Option<SpillFile>,
+    /// Spill-file failures observed (counted immediately before each one
+    /// is surfaced as a panic, so the invariant breach stays countable
+    /// from a `catch_unwind` test).
+    spill_failures: u64,
+    /// Test hook: make the next spill write fail ([`LogStore::fail_next_spill_write`]).
+    fail_next_spill_write: bool,
+    /// Largest commit timestamp ever stamped (live or replayed); recovery
+    /// harnesses advance the engine clock past it.
+    last_commit_ts: Option<Timestamp>,
+    /// The write-ahead file set, when this store is durable.  `None` both
+    /// for plain in-memory stores and *during recovery replay*, which is
+    /// how replay reuses the ordinary mutation paths without re-emitting
+    /// the frames it is reading.
+    durable: Option<DurableLog>,
 }
 
 /// The append-only log-structured store.  See the module docs for the
@@ -202,6 +311,43 @@ impl LogStore {
         self.inner.read().spill.as_ref().map_or(0, |s| s.len)
     }
 
+    /// Spill-file failures observed.  Each failure also panics (the
+    /// payload would be silently unreadable otherwise), so this counter
+    /// is read from `catch_unwind` in tests and post-mortem tooling.
+    pub fn spill_failure_count(&self) -> u64 {
+        self.inner.read().spill_failures
+    }
+
+    /// Test hook: inject an IO error into the next spill write.
+    #[doc(hidden)]
+    pub fn fail_next_spill_write(&self) {
+        self.inner.write().fail_next_spill_write = true;
+    }
+
+    /// Largest commit timestamp ever stamped on a writing transaction
+    /// (live or replayed).  Recovery harnesses advance the engine's
+    /// timestamp oracle past this before resuming a workload.
+    pub fn last_commit_ts(&self) -> Option<Timestamp> {
+        self.inner.read().last_commit_ts
+    }
+
+    /// fsyncs issued so far: commit boundaries, segment seals, and
+    /// manifest swaps (0 for non-durable stores).
+    pub fn fsync_count(&self) -> u64 {
+        self.inner.read().durable.as_ref().map_or(0, |d| d.fsyncs)
+    }
+
+    /// The write-ahead directory, when this store is durable.
+    pub fn durable_dir(&self) -> Option<PathBuf> {
+        self.inner.read().durable.as_ref().map(|d| d.dir.clone())
+    }
+
+    /// Live write-ahead file-set generation, when this store is durable
+    /// (bumped by every rewrite-on-compact).
+    pub fn durable_generation(&self) -> Option<u64> {
+        self.inner.read().durable.as_ref().map(|d| d.gen)
+    }
+
     // ------------------------------------------------------------------
     // Append path.
     // ------------------------------------------------------------------
@@ -215,6 +361,17 @@ impl LogStore {
         payload: Option<Row>,
         kind: WriteKind,
     ) {
+        // The durable frame is built before the payload moves into the
+        // record (and before the seal decision, so replay reproduces the
+        // same file-vs-segment alignment).
+        let write_frame = inner.durable.is_some().then(|| {
+            let first_write = !inner.write_sets.contains_key(&writer);
+            let encoded = payload.as_ref().map(encode_row);
+            (
+                first_write,
+                encode_write_frame(&table, row, writer, kind, None, encoded.as_deref()),
+            )
+        });
         let index_key = inner
             .tables
             .get(&*table)
@@ -228,6 +385,12 @@ impl LogStore {
             self.seal_last(inner);
             inner.segments.push(Segment::default());
         }
+        if let Some((first_write, frame)) = write_frame {
+            if first_write {
+                durable_emit(inner, &encode_begin_frame(writer));
+            }
+            durable_emit(inner, &frame);
+        }
         let seg = inner.segments.len() - 1;
         let segment = inner
             .segments
@@ -238,6 +401,7 @@ impl LogStore {
             table: Arc::clone(&table),
             row,
             writer,
+            kind,
             commit_ts: None,
             aborted: false,
             index_key,
@@ -261,7 +425,9 @@ impl LogStore {
     }
 
     /// Seal the open segment (if any) and, with spilling on, move its row
-    /// payloads out to the spill file.
+    /// payloads out to the spill file.  A durable store also seals on
+    /// disk: the current write-ahead file is synced and a fresh one
+    /// opened, so a sealed segment's frames are never appended to again.
     fn seal_last(&self, inner: &mut LogInner) {
         let Some(last) = inner.segments.len().checked_sub(1) else {
             return;
@@ -271,14 +437,13 @@ impl LogStore {
         }
         inner.segments[last].sealed = true;
         self.spill_segment(inner, last);
+        durable_rotate(inner);
     }
 
     /// Move a sealed segment's inline row payloads out to the spill file
     /// (no-op unless spilling is enabled).
     fn spill_segment(&self, inner: &mut LogInner, seg: usize) {
-        // Spilling relies on positioned reads (`spill_read`); where those
-        // are unavailable the payloads simply stay inline.
-        if !self.config.spill || cfg!(not(unix)) {
+        if !self.config.spill {
             return;
         }
         // Encode first, then borrow the spill file mutably: a record's
@@ -290,12 +455,7 @@ impl LogStore {
                 // Tombstones and already-spilled payloads stay put.
                 Payload::Inline(None) | Payload::Spilled { .. } => continue,
             };
-            let Some(at) = spill_write(inner, &encoded) else {
-                // The temp file could not be created/written (exotic
-                // environments); keep the payload inline — spilling is an
-                // optimisation, never a correctness requirement.
-                continue;
-            };
+            let at = spill_write(inner, &encoded);
             inner.segments[seg].records[offset].payload = Payload::Spilled {
                 offset: at,
                 len: encoded.len() as u32,
@@ -307,6 +467,7 @@ impl LogStore {
         if let Some(index) = inner.tables.get(table) {
             return Arc::clone(&index.name);
         }
+        durable_emit(inner, &encode_create_table_frame(table));
         let name: Arc<str> = Arc::from(table);
         inner.tables.insert(
             Arc::clone(&name),
@@ -411,6 +572,388 @@ impl LogStore {
                 self.spill_segment(inner, seg);
             }
         }
+        // A durable log compacts on disk too: the dead frames the repack
+        // just dropped from memory are still in the write-ahead files, so
+        // rewrite the file set as a fresh generation of live records only.
+        if inner.durable.is_some() {
+            self.durable_rewrite(inner);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Durable log: open / recover / rewrite.
+    // ------------------------------------------------------------------
+
+    /// Open (or recover) a durable log store rooted at `dir`.  A fresh
+    /// directory gets a `MANIFEST` recording `config` and an empty first
+    /// write-ahead file; a directory that already holds a manifest is
+    /// recovered via [`LogStore::recover`] (its manifest configuration
+    /// wins — it is what the existing frames were written under).
+    pub fn open_durable(dir: impl Into<PathBuf>, config: LogStoreConfig) -> io::Result<Self> {
+        Self::open_durable_inner(dir.into(), config, false)
+    }
+
+    /// Open a durable store in a fresh process-private temp directory
+    /// that is deleted when the store is dropped.  This is what the
+    /// engine's durability knob uses: the fsync tax is real, the files
+    /// are throwaway.
+    pub fn open_durable_temp(config: LogStoreConfig) -> io::Result<Self> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "critique-durable-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        Self::open_durable_inner(dir, config, true)
+    }
+
+    fn open_durable_inner(
+        dir: PathBuf,
+        config: LogStoreConfig,
+        owns_dir: bool,
+    ) -> io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        if dir.join("MANIFEST").exists() {
+            let store = Self::recover(&dir)?;
+            store
+                .inner
+                .write()
+                .durable
+                .as_mut()
+                .expect("recover attaches the durable log")
+                .owns_dir = owns_dir;
+            return Ok(store);
+        }
+        let store = Self::with_config(config);
+        write_manifest(&dir, 0, store.config)?;
+        let file = open_wal_file(&dir, 0, 0)?;
+        store.inner.write().durable = Some(DurableLog {
+            dir,
+            gen: 0,
+            file_seq: 0,
+            file,
+            fsyncs: 1,
+            owns_dir,
+        });
+        Ok(store)
+    }
+
+    /// Recover a durable store from `dir`: read the manifest, replay the
+    /// live generation's write-ahead files in order (deleting orphans a
+    /// crashed rewrite left behind), abort every writer whose commit
+    /// record never made it to disk, truncate a torn final frame, and
+    /// reopen the log for appending.
+    ///
+    /// Torn-tail contract: frames are appended in mutation order and a
+    /// commit fsyncs *after* its `Commit` frame, so a complete `Commit`
+    /// frame is always preceded by every `Write` frame it covers —
+    /// dropping the unterminated suffix can therefore lose pending
+    /// writes (which recovery aborts anyway) but never a committed
+    /// record.  A torn frame anywhere but the final file is corruption
+    /// and recovery refuses it.
+    pub fn recover(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let (gen, config) = read_manifest(&dir)?;
+        let store = Self::with_config(config);
+        let mut seqs: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some((g, seq)) = parse_wal_name(name.to_str().unwrap_or("")) else {
+                continue;
+            };
+            if g == gen {
+                seqs.push(seq);
+            } else {
+                // Orphan of a rewrite that crashed around its manifest
+                // swap: the manifest decides which generation is real.
+                fs::remove_file(entry.path())?;
+            }
+        }
+        seqs.sort_unstable();
+        let mut last_valid = 0u64;
+        for (i, &seq) in seqs.iter().enumerate() {
+            let path = dir.join(wal_file_name(gen, seq));
+            let bytes = fs::read(&path)?;
+            let is_last = i + 1 == seqs.len();
+            let valid = store.replay_frames(&bytes, is_last, &path)?;
+            if is_last {
+                last_valid = valid as u64;
+            }
+        }
+        // Writers with frames but no commit/abort record lost the crash.
+        let losers: Vec<TxnToken> = store.inner.read().write_sets.keys().copied().collect();
+        for writer in losers {
+            store.abort(writer);
+        }
+        let (file, file_seq) = match seqs.last() {
+            Some(&seq) => {
+                let path = dir.join(wal_file_name(gen, seq));
+                let file = File::options().read(true).write(true).open(&path)?;
+                file.set_len(last_valid)?;
+                file.sync_data()?;
+                drop(file);
+                (File::options().append(true).open(&path)?, seq)
+            }
+            None => (open_wal_file(&dir, gen, 0)?, 0),
+        };
+        store.inner.write().durable = Some(DurableLog {
+            dir,
+            gen,
+            file_seq,
+            file,
+            fsyncs: 1,
+            owns_dir: false,
+        });
+        Ok(store)
+    }
+
+    /// Replay one write-ahead file's frames, returning the length of the
+    /// valid prefix.  An incomplete frame at the end of the *final* file
+    /// is a torn tail (dropped); anywhere else it is corruption.
+    fn replay_frames(&self, bytes: &[u8], is_last: bool, path: &Path) -> io::Result<usize> {
+        let mut at = 0usize;
+        while let Some(header) = bytes.get(at..at + 4) {
+            let body_len = u32::from_le_bytes(header.try_into().expect("4-byte slice")) as usize;
+            let Some(body) = bytes.get(at + 4..at + 4 + body_len) else {
+                break;
+            };
+            self.replay_frame(body).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: frame at byte {at}: {e}", path.display()),
+                )
+            })?;
+            at += 4 + body_len;
+        }
+        if at != bytes.len() && !is_last {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: torn frame at byte {at} of a sealed write-ahead file",
+                    path.display()
+                ),
+            ));
+        }
+        Ok(at)
+    }
+
+    /// Apply one decoded frame through the ordinary mutation paths (the
+    /// durable log is not attached yet, so nothing is re-emitted).
+    fn replay_frame(&self, body: &[u8]) -> Result<(), String> {
+        let mut cur = FrameCursor { bytes: body, at: 0 };
+        match cur.u8()? {
+            FRAME_BEGIN => {
+                // Informational: the writer's first Write frame re-opens
+                // its write set.
+                cur.u64()?;
+            }
+            FRAME_WRITE => {
+                let writer = TxnToken(cur.u64()?);
+                let table = cur.str()?;
+                let row = RowId(cur.u64()?);
+                let kind = write_kind_from_tag(cur.u8()?)?;
+                let commit_ts = (cur.u8()? == 1)
+                    .then(|| cur.u64())
+                    .transpose()?
+                    .map(Timestamp);
+                let payload = if cur.u8()? == 1 {
+                    let len = cur.u32()? as usize;
+                    Some(decode_row(cur.take(len)?).ok_or("payload bytes do not decode as a row")?)
+                } else {
+                    None
+                };
+                self.replay_write(&table, row, writer, kind, payload, commit_ts);
+            }
+            FRAME_COMMIT => {
+                let writer = TxnToken(cur.u64()?);
+                let ts = Timestamp(cur.u64()?);
+                self.commit(writer, ts);
+            }
+            FRAME_ABORT => {
+                let writer = TxnToken(cur.u64()?);
+                self.abort(writer);
+            }
+            FRAME_CREATE_TABLE => {
+                let table = cur.str()?;
+                self.create_table(&table);
+            }
+            FRAME_CREATE_INDEX => {
+                let table = cur.str()?;
+                let column = cur.str()?;
+                self.create_index(&table, &column);
+            }
+            FRAME_TABLE_META => {
+                let table = cur.str()?;
+                let next_row_id = cur.u64()?;
+                let indexed = (cur.u8()? == 1).then(|| cur.str()).transpose()?;
+                let ghost_count = cur.u32()?;
+                let mut ghosts = Vec::with_capacity(ghost_count as usize);
+                for _ in 0..ghost_count {
+                    ghosts.push(RowId(cur.u64()?));
+                }
+                let mut inner = self.inner.write();
+                let name = self.intern(&mut inner, &table);
+                let tindex = inner.tables.get_mut(&*name).expect("table just interned");
+                tindex.next_row_id = tindex.next_row_id.max(next_row_id);
+                tindex.indexed_column = indexed;
+                for ghost in ghosts {
+                    tindex.rows.entry(ghost).or_default();
+                }
+            }
+            other => return Err(format!("unknown frame tag {other}")),
+        }
+        cur.expect_end()
+    }
+
+    /// Replay one `Write` frame.  Frames from the live append path carry
+    /// no commit state (a later `Commit`/`Abort` frame resolves them);
+    /// frames from a compaction rewrite inline it, so the pending
+    /// bookkeeping the append path creates is immediately retired.
+    fn replay_write(
+        &self,
+        table: &str,
+        id: RowId,
+        writer: TxnToken,
+        kind: WriteKind,
+        payload: Option<Row>,
+        commit_ts: Option<Timestamp>,
+    ) {
+        let mut guard = self.inner.write();
+        let inner = &mut *guard;
+        let name = self.intern(inner, table);
+        if matches!(kind, WriteKind::Insert) {
+            let tindex = inner.tables.get_mut(&*name).expect("table just interned");
+            tindex.next_row_id = tindex.next_row_id.max(id.0 + 1);
+        }
+        self.append(inner, name, id, writer, payload, kind);
+        if let Some(ts) = commit_ts {
+            let ptr = inner
+                .pending
+                .get_mut(&writer)
+                .and_then(Vec::pop)
+                .expect("append just pushed a pending pointer");
+            if inner.pending.get(&writer).is_some_and(Vec::is_empty) {
+                inner.pending.remove(&writer);
+            }
+            let writes = inner
+                .write_sets
+                .get_mut(&writer)
+                .expect("append just pushed a write-set entry");
+            writes.pop();
+            if writes.is_empty() {
+                inner.write_sets.remove(&writer);
+            }
+            inner.segments[ptr.0].records[ptr.1].commit_ts = Some(ts);
+            if inner.last_commit_ts.is_none_or(|t| t < ts) {
+                inner.last_commit_ts = Some(ts);
+            }
+        }
+    }
+
+    /// Rewrite-on-compact: emit the post-compaction state as a fresh
+    /// generation of write-ahead files (per-table metadata first, then
+    /// every surviving record with its commit state inlined), fsync them,
+    /// swap the manifest, and delete the old generation — so spill
+    /// garbage and dead records are bounded on disk as they are in
+    /// memory.  A crash anywhere in between recovers consistently: the
+    /// manifest names the authoritative generation and recovery deletes
+    /// the other one's files.
+    fn durable_rewrite(&self, inner: &mut LogInner) {
+        let (dir, old_gen, owns_dir, mut fsyncs) = {
+            let durable = inner.durable.as_ref().expect("durable log attached");
+            (
+                durable.dir.clone(),
+                durable.gen,
+                durable.owns_dir,
+                durable.fsyncs,
+            )
+        };
+        let gen = old_gen + 1;
+        let fail = |what: &str, e: io::Error| -> ! {
+            panic!("durable rewrite (generation {gen}): {what} failed: {e} — the previous generation is still authoritative, but compaction cannot proceed")
+        };
+        // Per-table metadata: the row-id allocator, the indexed column,
+        // and ghost row slots (rows whose every record was aborted) —
+        // nothing in the surviving record stream re-creates these.
+        let mut head = Vec::new();
+        for (name, tindex) in &inner.tables {
+            let mut ghosts: Vec<RowId> = tindex
+                .rows
+                .iter()
+                .filter(|(_, ptrs)| ptrs.is_empty())
+                .map(|(id, _)| *id)
+                .collect();
+            ghosts.sort_unstable();
+            head.extend_from_slice(&encode_table_meta_frame(
+                name,
+                tindex.next_row_id,
+                tindex.indexed_column.as_deref(),
+                &ghosts,
+            ));
+        }
+        // One file per in-memory segment, so the durable seal boundaries
+        // track the in-memory ones; the open segment's file stays open.
+        let mut last_file: Option<(File, u64)> = None;
+        let segment_count = inner.segments.len().max(1);
+        for seg in 0..segment_count {
+            let mut buf = std::mem::take(&mut head);
+            if let Some(segment) = inner.segments.get(seg) {
+                for rec in &segment.records {
+                    let payload: Option<Vec<u8>> = match &rec.payload {
+                        Payload::Inline(Some(row)) => Some(encode_row(row)),
+                        Payload::Inline(None) => None,
+                        Payload::Spilled { offset, len } => Some(
+                            spill_read(inner, *offset, *len)
+                                .expect("spilled payload must be readable back for the rewrite"),
+                        ),
+                    };
+                    buf.extend_from_slice(&encode_write_frame(
+                        &rec.table,
+                        rec.row,
+                        rec.writer,
+                        rec.kind,
+                        rec.commit_ts,
+                        payload.as_deref(),
+                    ));
+                }
+            }
+            let path = dir.join(wal_file_name(gen, seg as u64));
+            let mut file = File::options()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)
+                .unwrap_or_else(|e| fail("creating a segment file", e));
+            file.write_all(&buf)
+                .unwrap_or_else(|e| fail("writing a segment file", e));
+            file.sync_data()
+                .unwrap_or_else(|e| fail("syncing a segment file", e));
+            fsyncs += 1;
+            last_file = Some((file, seg as u64));
+        }
+        write_manifest(&dir, gen, self.config).unwrap_or_else(|e| fail("swapping the manifest", e));
+        fsyncs += 1;
+        // The old generation is garbage the moment the manifest names the
+        // new one; recovery would delete leftovers, but don't leave any.
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if parse_wal_name(name.to_str().unwrap_or("")).is_some_and(|(g, _)| g != gen) {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        let (file, file_seq) = last_file.expect("at least one segment file was written");
+        inner.durable = Some(DurableLog {
+            dir,
+            gen,
+            file_seq,
+            file,
+            fsyncs,
+            owns_dir,
+        });
     }
 }
 
@@ -609,6 +1152,7 @@ impl StorageBackend for LogStore {
         if inner.tables[&*name].indexed_column.as_deref() == Some(column) {
             return;
         }
+        durable_emit(&mut inner, &encode_create_index_frame(table, column));
         // Backfill: stamp every live record with its key in the new
         // column, then rebuild the ordered map from those stamps.
         let ptrs: Vec<RecordPtr> = inner.tables[&*name]
@@ -758,7 +1302,7 @@ impl StorageBackend for LogStore {
 
     fn commit(&self, writer: TxnToken, ts: Timestamp) {
         let mut inner = self.inner.write();
-        inner.write_sets.remove(&writer);
+        let had_writes = inner.write_sets.remove(&writer).is_some();
         let pending = inner.pending.remove(&writer).unwrap_or_default();
         for ptr in pending {
             let rec = &mut inner.segments[ptr.0].records[ptr.1];
@@ -773,6 +1317,18 @@ impl StorageBackend for LogStore {
                 rec.commit_ts,
             );
             rec.commit_ts = Some(ts);
+        }
+        if had_writes {
+            if inner.last_commit_ts.is_none_or(|t| t < ts) {
+                inner.last_commit_ts = Some(ts);
+            }
+            // The commit boundary: the transaction is durable exactly when
+            // its Commit frame is on disk.  Read-only commits (no write
+            // set) touch nothing durable and pay no fsync.
+            if inner.durable.is_some() {
+                durable_emit(&mut inner, &encode_commit_frame(writer, ts));
+                durable_sync(&mut inner);
+            }
         }
     }
 
@@ -811,6 +1367,12 @@ impl StorageBackend for LogStore {
             }
             inner.dead += 1;
             inner.live -= 1;
+        }
+        // No fsync: a writer with no durable Commit frame is aborted by
+        // recovery anyway, so the Abort frame is an optimisation (it lets
+        // replay reclaim the records) rather than a durability point.
+        if !pending.is_empty() && inner.durable.is_some() {
+            durable_emit(&mut inner, &encode_abort_frame(writer));
         }
         if inner.dead >= self.config.compact_watermark {
             self.compact(&mut inner);
@@ -862,34 +1424,51 @@ impl fmt::Debug for LogStore {
 // ---------------------------------------------------------------------
 
 /// Append `bytes` to the spill file (creating it on first use), returning
-/// the offset they start at, or `None` if the file cannot be created or
-/// written (the caller then keeps the payload inline).
-#[cfg(unix)]
-fn spill_write(inner: &mut LogInner, bytes: &[u8]) -> Option<u64> {
-    use std::os::unix::fs::FileExt;
+/// the offset they start at.  A failed spill is an invariant breach — the
+/// caller is about to drop the payload's inline copy, so swallowing the
+/// error would make the record silently unreadable.  It is counted
+/// ([`LogStore::spill_failure_count`]) and surfaced as a panic, matching
+/// the store.rs convention for broken internal invariants.
+fn spill_write(inner: &mut LogInner, bytes: &[u8]) -> u64 {
     if inner.spill.is_none() {
-        inner.spill = create_spill_file().map(|file| SpillFile { file, len: 0 });
+        match create_spill_file() {
+            Ok(file) => inner.spill = Some(SpillFile::new(file)),
+            Err(e) => {
+                inner.spill_failures += 1;
+                panic!("spill file creation failed: {e} — a sealed segment's payloads cannot leave the heap");
+            }
+        }
     }
-    let spill = inner.spill.as_mut()?;
-    // Positioned write at the recorded length, like `spill_read`: a failed
-    // or partial write then never desynchronises `len` from where later
-    // payloads actually land — the recorded offset stays authoritative.
-    spill.file.write_all_at(bytes, spill.len).ok()?;
-    let offset = spill.len;
-    spill.len += bytes.len() as u64;
-    Some(offset)
-}
-
-#[cfg(not(unix))]
-fn spill_write(_inner: &mut LogInner, _bytes: &[u8]) -> Option<u64> {
-    // Spilling uses positioned IO; off unix the payloads stay inline
-    // (`spill_segment` never runs there, this is just the symmetric stub).
-    None
+    let injected = std::mem::take(&mut inner.fail_next_spill_write);
+    let (result, at) = {
+        let spill = inner.spill.as_mut().expect("spill file just ensured");
+        let at = spill.len;
+        // Positioned write at the recorded length: a failed or partial
+        // write never desynchronises `len` from where later payloads
+        // actually land — the recorded offset stays authoritative.
+        let result = if injected {
+            Err(io::Error::other("injected spill write failure"))
+        } else {
+            spill.write_at(bytes, at)
+        };
+        if result.is_ok() {
+            spill.len += bytes.len() as u64;
+        }
+        (result, at)
+    };
+    if let Err(e) = result {
+        inner.spill_failures += 1;
+        panic!(
+            "spill write of {} bytes at offset {at} failed: {e} — the sealed payload would be unreadable",
+            bytes.len(),
+        );
+    }
+    at
 }
 
 /// Create the unlinked temp file: open, then immediately remove the path,
 /// so the data is reclaimed by the OS no matter how the process exits.
-fn create_spill_file() -> Option<File> {
+fn create_spill_file() -> io::Result<File> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
     let dir = std::env::temp_dir();
@@ -903,27 +1482,355 @@ fn create_spill_file() -> Option<File> {
         .read(true)
         .write(true)
         .create_new(true)
-        .open(&path)
-        .ok()?;
+        .open(&path)?;
     // Unlink immediately; the open handle keeps the inode alive.
-    let _ = std::fs::remove_file(&path);
-    Some(file)
+    let _ = fs::remove_file(&path);
+    Ok(file)
 }
 
-#[cfg(unix)]
+/// Read a spilled payload back.  `None` only when no spill file exists
+/// (never written to); an IO failure on a recorded payload is — like a
+/// failed write — an invariant breach and panics.
 fn spill_read(inner: &LogInner, offset: u64, len: u32) -> Option<Vec<u8>> {
-    use std::os::unix::fs::FileExt;
     let spill = inner.spill.as_ref()?;
-    let mut buf = vec![0u8; len as usize];
-    spill.file.read_exact_at(&mut buf, offset).ok()?;
-    Some(buf)
+    Some(spill.read_at(offset, len).unwrap_or_else(|e| {
+        panic!("spill read of {len} bytes at offset {offset} failed: {e} — a recorded payload vanished")
+    }))
 }
 
-#[cfg(not(unix))]
-fn spill_read(_inner: &LogInner, _offset: u64, _len: u32) -> Option<Vec<u8>> {
-    // Spilling uses positioned reads; off unix the payloads simply stay
-    // inline (see `seal_last` — a failed spill keeps the inline copy).
-    None
+// ---------------------------------------------------------------------
+// Durable write-ahead layer: frame codec and file plumbing.
+//
+// A write-ahead file is a sequence of frames, each `[u32 LE body length]`
+// followed by the body; a body is a one-byte tag followed by the tag's
+// fields (u64/u32 little-endian, strings as u32 length + UTF-8, row
+// payloads through `encode_row`).  The length prefix is what makes the
+// torn-tail contract checkable: a frame is either wholly present or
+// wholly absent.
+// ---------------------------------------------------------------------
+
+/// A transaction's first write (informational; replay reopens the write
+/// set at the first `Write` frame).
+const FRAME_BEGIN: u8 = 1;
+/// One versioned record: writer, table, row, write kind, optional inline
+/// commit timestamp (only in rewrite output), optional row payload
+/// (absent = tombstone).
+const FRAME_WRITE: u8 = 2;
+/// Commit record: everything the writer appended is durable at this
+/// timestamp.  The append path fsyncs immediately after this frame.
+const FRAME_COMMIT: u8 = 3;
+/// Abort record: the writer's records are dead (an optimisation for
+/// replay — recovery aborts commit-less writers regardless).
+const FRAME_ABORT: u8 = 4;
+/// Table registration, in intern order.
+const FRAME_CREATE_TABLE: u8 = 5;
+/// Ordered secondary index registration; replay re-runs the backfill.
+const FRAME_CREATE_INDEX: u8 = 6;
+/// Per-table metadata at the head of a rewrite generation: row-id
+/// allocator, indexed column, and ghost row slots, none of which the
+/// surviving record stream re-creates.
+const FRAME_TABLE_META: u8 = 7;
+
+fn write_kind_tag(kind: WriteKind) -> u8 {
+    match kind {
+        WriteKind::Insert => 0,
+        WriteKind::Update => 1,
+        WriteKind::Delete => 2,
+    }
+}
+
+fn write_kind_from_tag(tag: u8) -> Result<WriteKind, String> {
+    match tag {
+        0 => Ok(WriteKind::Insert),
+        1 => Ok(WriteKind::Update),
+        2 => Ok(WriteKind::Delete),
+        other => Err(format!("unknown write-kind tag {other}")),
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Wrap a frame body in its length header.
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    push_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+fn encode_begin_frame(writer: TxnToken) -> Vec<u8> {
+    let mut body = vec![FRAME_BEGIN];
+    push_u64(&mut body, writer.0);
+    frame(body)
+}
+
+fn encode_write_frame(
+    table: &str,
+    row: RowId,
+    writer: TxnToken,
+    kind: WriteKind,
+    commit_ts: Option<Timestamp>,
+    payload: Option<&[u8]>,
+) -> Vec<u8> {
+    let mut body = vec![FRAME_WRITE];
+    push_u64(&mut body, writer.0);
+    push_str(&mut body, table);
+    push_u64(&mut body, row.0);
+    body.push(write_kind_tag(kind));
+    match commit_ts {
+        Some(ts) => {
+            body.push(1);
+            push_u64(&mut body, ts.0);
+        }
+        None => body.push(0),
+    }
+    match payload {
+        Some(bytes) => {
+            body.push(1);
+            push_u32(&mut body, bytes.len() as u32);
+            body.extend_from_slice(bytes);
+        }
+        None => body.push(0),
+    }
+    frame(body)
+}
+
+fn encode_commit_frame(writer: TxnToken, ts: Timestamp) -> Vec<u8> {
+    let mut body = vec![FRAME_COMMIT];
+    push_u64(&mut body, writer.0);
+    push_u64(&mut body, ts.0);
+    frame(body)
+}
+
+fn encode_abort_frame(writer: TxnToken) -> Vec<u8> {
+    let mut body = vec![FRAME_ABORT];
+    push_u64(&mut body, writer.0);
+    frame(body)
+}
+
+fn encode_create_table_frame(table: &str) -> Vec<u8> {
+    let mut body = vec![FRAME_CREATE_TABLE];
+    push_str(&mut body, table);
+    frame(body)
+}
+
+fn encode_create_index_frame(table: &str, column: &str) -> Vec<u8> {
+    let mut body = vec![FRAME_CREATE_INDEX];
+    push_str(&mut body, table);
+    push_str(&mut body, column);
+    frame(body)
+}
+
+fn encode_table_meta_frame(
+    table: &str,
+    next_row_id: u64,
+    indexed: Option<&str>,
+    ghosts: &[RowId],
+) -> Vec<u8> {
+    let mut body = vec![FRAME_TABLE_META];
+    push_str(&mut body, table);
+    push_u64(&mut body, next_row_id);
+    match indexed {
+        Some(column) => {
+            body.push(1);
+            push_str(&mut body, column);
+        }
+        None => body.push(0),
+    }
+    push_u32(&mut body, ghosts.len() as u32);
+    for ghost in ghosts {
+        push_u64(&mut body, ghost.0);
+    }
+    frame(body)
+}
+
+/// Bounds-checked reader over one frame body.
+struct FrameCursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> FrameCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let slice = self
+            .bytes
+            .get(self.at..self.at + n)
+            .ok_or_else(|| format!("frame body ends early at byte {}", self.at))?;
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?)
+            .map(str::to_string)
+            .map_err(|_| "frame string is not UTF-8".to_string())
+    }
+
+    fn expect_end(&self) -> Result<(), String> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after frame body",
+                self.bytes.len() - self.at
+            ))
+        }
+    }
+}
+
+/// Append an encoded frame to the open write-ahead file.  A no-op for
+/// non-durable stores and during recovery replay (when `durable` is
+/// `None`); an append failure on a live durable store is fatal — the log
+/// could no longer be the truth.
+fn durable_emit(inner: &mut LogInner, frame: &[u8]) {
+    if let Some(durable) = inner.durable.as_mut() {
+        durable.file.write_all(frame).unwrap_or_else(|e| {
+            panic!(
+                "write-ahead append under {} failed: {e} — the log can no longer be the truth",
+                durable.dir.display()
+            )
+        });
+    }
+}
+
+/// Fsync the open write-ahead file (the commit boundary).
+fn durable_sync(inner: &mut LogInner) {
+    if let Some(durable) = inner.durable.as_mut() {
+        durable.file.sync_data().unwrap_or_else(|e| {
+            panic!(
+                "write-ahead fsync under {} failed: {e} — a reported commit might not be durable",
+                durable.dir.display()
+            )
+        });
+        durable.fsyncs += 1;
+    }
+}
+
+/// Seal the open write-ahead file (sync it) and open the next one in the
+/// generation — the durable side of an in-memory segment seal.
+fn durable_rotate(inner: &mut LogInner) {
+    let Some(durable) = inner.durable.as_mut() else {
+        return;
+    };
+    durable.file.sync_data().unwrap_or_else(|e| {
+        panic!(
+            "write-ahead seal fsync under {} failed: {e} — a sealed segment might not be durable",
+            durable.dir.display()
+        )
+    });
+    durable.fsyncs += 1;
+    durable.file_seq += 1;
+    durable.file = open_wal_file(&durable.dir, durable.gen, durable.file_seq).unwrap_or_else(|e| {
+        panic!(
+            "opening the next write-ahead file under {} failed: {e}",
+            durable.dir.display()
+        )
+    });
+}
+
+fn wal_file_name(gen: u64, seq: u64) -> String {
+    format!("wal-{gen}-{seq}.seg")
+}
+
+fn parse_wal_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    let (gen, seq) = rest.split_once('-')?;
+    Some((gen.parse().ok()?, seq.parse().ok()?))
+}
+
+fn open_wal_file(dir: &Path, gen: u64, seq: u64) -> io::Result<File> {
+    File::options()
+        .append(true)
+        .create(true)
+        .open(dir.join(wal_file_name(gen, seq)))
+}
+
+/// Write the manifest atomically: temp file, sync, rename over, then a
+/// best-effort directory sync so the rename itself is on disk.
+fn write_manifest(dir: &Path, gen: u64, config: LogStoreConfig) -> io::Result<()> {
+    let body = format!(
+        "gen={gen}\nsegment_records={}\ncompact_watermark={}\nspill={}\n",
+        config.segment_records,
+        config.compact_watermark,
+        u8::from(config.spill),
+    );
+    let tmp = dir.join("MANIFEST.tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(body.as_bytes())?;
+    file.sync_data()?;
+    drop(file);
+    fs::rename(&tmp, dir.join("MANIFEST"))?;
+    if let Ok(dirf) = File::open(dir) {
+        let _ = dirf.sync_all();
+    }
+    Ok(())
+}
+
+fn read_manifest(dir: &Path) -> io::Result<(u64, LogStoreConfig)> {
+    let text = fs::read_to_string(dir.join("MANIFEST"))?;
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("MANIFEST: {what}"));
+    let mut gen = None;
+    let mut config = LogStoreConfig::default();
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        match key {
+            "gen" => gen = Some(value.parse().map_err(|_| bad("bad generation"))?),
+            "segment_records" => {
+                config.segment_records = value.parse().map_err(|_| bad("bad segment_records"))?;
+            }
+            "compact_watermark" => {
+                config.compact_watermark =
+                    value.parse().map_err(|_| bad("bad compact_watermark"))?;
+            }
+            "spill" => config.spill = value == "1",
+            _ => {}
+        }
+    }
+    Ok((gen.ok_or_else(|| bad("missing gen"))?, config))
+}
+
+impl Drop for LogStore {
+    fn drop(&mut self) {
+        let mut inner = self.inner.write();
+        if let Some(durable) = inner.durable.take() {
+            // A clean drop leaves nothing to lose at the next recovery.
+            let _ = durable.file.sync_data();
+            if durable.owns_dir {
+                drop(durable.file);
+                let _ = fs::remove_dir_all(&durable.dir);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1443,5 +2350,210 @@ mod tests {
         assert_eq!(store.backend_name(), "logstore");
         let text = format!("{store:?}");
         assert!(text.contains("LogStore"));
+    }
+
+    #[test]
+    fn spill_write_failure_is_counted_and_panics() {
+        let store = tiny(true);
+        store.fail_next_spill_write();
+        // The 5th insert seals segment 0, whose spill hits the injected
+        // IO error: the failure must surface, never be swallowed.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for i in 0..5 {
+                store.insert("t", TxnToken(1), balance_row(i));
+            }
+        }));
+        assert!(
+            result.is_err(),
+            "an injected spill write failure must surface as a panic"
+        );
+        assert_eq!(store.spill_failure_count(), 1);
+    }
+
+    fn durable_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "critique-logstore-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_empty_store_recovers_empty() {
+        let dir = durable_dir("empty");
+        drop(LogStore::open_durable(&dir, LogStoreConfig::default()).unwrap());
+        let store = LogStore::recover(&dir).unwrap();
+        assert!(store.tables().is_empty());
+        let id = store.insert("t", TxnToken(1), balance_row(1));
+        assert_eq!(id, RowId(0));
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_round_trip_recovers_committed_state_and_aborts_losers() {
+        let dir = durable_dir("round-trip");
+        let cfg = LogStoreConfig {
+            segment_records: 4,
+            compact_watermark: 64,
+            spill: false,
+        };
+        let (a, b);
+        {
+            let store = LogStore::open_durable(&dir, cfg).unwrap();
+            a = store.insert("accounts", TxnToken(1), balance_row(10));
+            b = store.insert("accounts", TxnToken(1), balance_row(20));
+            store.commit(TxnToken(1), Timestamp(5));
+            store.create_index("accounts", "balance");
+            store
+                .update("accounts", TxnToken(2), a, balance_row(11))
+                .unwrap();
+            store.commit(TxnToken(2), Timestamp(7));
+            store.delete("accounts", TxnToken(3), b).unwrap();
+            store.commit(TxnToken(3), Timestamp(8));
+            // Still in flight at the "crash": must be aborted by recovery.
+            store
+                .update("accounts", TxnToken(4), a, balance_row(999))
+                .unwrap();
+            assert!(store.fsync_count() >= 3, "each writing commit fsyncs");
+        }
+        let store = LogStore::recover(&dir).unwrap();
+        assert_eq!(store.config().segment_records, 4, "manifest config wins");
+        assert_eq!(
+            store
+                .get_latest_committed("accounts", a)
+                .unwrap()
+                .get_int("balance"),
+            Some(11)
+        );
+        assert_eq!(
+            store
+                .get_committed_as_of("accounts", a, Timestamp(5))
+                .unwrap()
+                .get_int("balance"),
+            Some(10),
+            "historical reads survive recovery"
+        );
+        assert!(
+            store.get_latest_committed("accounts", b).is_none(),
+            "tombstone survives recovery"
+        );
+        assert_eq!(store.committed_row_count("accounts"), 1);
+        assert!(
+            store.writes_of(TxnToken(4)).is_empty(),
+            "the commit-less writer lost the crash"
+        );
+        assert_eq!(
+            store
+                .get_latest_any("accounts", a)
+                .unwrap()
+                .get_int("balance"),
+            Some(11),
+            "the loser's record is unlinked"
+        );
+        assert_eq!(
+            StorageBackend::indexed_column(&store, "accounts").as_deref(),
+            Some("balance")
+        );
+        assert_eq!(
+            store.scan_range(
+                "accounts",
+                "balance",
+                &KeyInterval::everything(),
+                ScanView::LatestCommitted,
+            ),
+            vec![(a, balance_row(11))],
+            "the ordered index view is rebuilt"
+        );
+        assert_eq!(store.last_commit_ts(), Some(Timestamp(8)));
+        // The row-id allocator continues where it left off, and a second
+        // crash/recover cycle sees the post-recovery writes.
+        let c = store.insert("accounts", TxnToken(9), balance_row(30));
+        assert_eq!(c, RowId(2));
+        store.commit(TxnToken(9), Timestamp(9));
+        drop(store);
+        let store = LogStore::recover(&dir).unwrap();
+        assert_eq!(
+            store
+                .get_latest_committed("accounts", c)
+                .unwrap()
+                .get_int("balance"),
+            Some(30)
+        );
+        assert_eq!(store.last_commit_ts(), Some(Timestamp(9)));
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewrite_on_compact_bounds_disk_and_recovers() {
+        let dir = durable_dir("rewrite");
+        let cfg = LogStoreConfig {
+            segment_records: 4,
+            compact_watermark: 3,
+            spill: true,
+        };
+        let (id, ghost);
+        {
+            let store = LogStore::open_durable(&dir, cfg).unwrap();
+            id = store.insert("t", TxnToken(1), balance_row(1));
+            store.commit(TxnToken(1), Timestamp(1));
+            ghost = store.insert("t", TxnToken(2), balance_row(5));
+            store.abort(TxnToken(2));
+            for round in 0..5u64 {
+                let txn = TxnToken(10 + round);
+                store.update("t", txn, id, balance_row(-1)).unwrap();
+                store.update("t", txn, id, balance_row(-2)).unwrap();
+                store.abort(txn);
+            }
+            let gen = store.durable_generation().unwrap();
+            assert!(gen >= 1, "the watermark should have forced a rewrite");
+            // Only the live generation's files remain on disk.
+            for entry in fs::read_dir(&dir).unwrap() {
+                let name = entry.unwrap().file_name();
+                if let Some((g, _)) = parse_wal_name(name.to_str().unwrap()) {
+                    assert_eq!(g, gen, "stale generation left behind: {name:?}");
+                }
+            }
+            store.update("t", TxnToken(99), id, balance_row(2)).unwrap();
+            store.commit(TxnToken(99), Timestamp(5));
+        }
+        let store = LogStore::recover(&dir).unwrap();
+        assert_eq!(
+            store
+                .get_latest_committed("t", id)
+                .unwrap()
+                .get_int("balance"),
+            Some(2)
+        );
+        assert_eq!(
+            store
+                .get_committed_as_of("t", id, Timestamp(1))
+                .unwrap()
+                .get_int("balance"),
+            Some(1),
+            "committed history survives the rewrite"
+        );
+        assert!(
+            store.row_ids("t").contains(&ghost),
+            "ghost row slots survive the rewrite via table metadata"
+        );
+        store
+            .update("t", TxnToken(7), ghost, balance_row(6))
+            .unwrap();
+        store.commit(TxnToken(7), Timestamp(6));
+        assert_eq!(
+            store
+                .get_latest_committed("t", ghost)
+                .unwrap()
+                .get_int("balance"),
+            Some(6)
+        );
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

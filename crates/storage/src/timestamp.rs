@@ -84,6 +84,16 @@ impl TimestampOracle {
     pub fn current(&self) -> Timestamp {
         Timestamp(self.published.load(Ordering::SeqCst))
     }
+
+    /// Advance the oracle past `ts`: future allocations are strictly
+    /// larger, and `current()` is at least `ts`.  Recovery harnesses call
+    /// this with a recovered store's largest commit timestamp so a fresh
+    /// database resumes the clock where the crashed one stopped (never
+    /// moves the oracle backwards).
+    pub fn advance_past(&self, ts: Timestamp) {
+        self.allocated.fetch_max(ts.0 + 1, Ordering::SeqCst);
+        self.published.fetch_max(ts.0, Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +135,18 @@ mod tests {
         all.sort();
         all.dedup();
         assert_eq!(all.len(), len, "timestamps must be unique");
+    }
+
+    #[test]
+    fn advance_past_resumes_a_recovered_clock() {
+        let oracle = TimestampOracle::new();
+        oracle.advance_past(Timestamp(10));
+        assert_eq!(oracle.current(), Timestamp(10));
+        assert!(oracle.next() > Timestamp(10));
+        // Never backwards.
+        let at = oracle.current();
+        oracle.advance_past(Timestamp(3));
+        assert_eq!(oracle.current(), at);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   comparing the sharded substrate against the single-shard (global
 //!   lock) baseline, rendered as text and as the hand-rolled JSON behind
 //!   `BENCH_scaling.json`.
+//! * [`recovery`] — the crash-point differential harness over the durable
+//!   log store: kill a seeded workload mid-transaction, recover the
+//!   write-ahead directory, replay the remainder, and require the suffix
+//!   history to be byte-identical to an uncrashed control run.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,11 +32,13 @@
 
 pub mod bank;
 pub mod mixed;
+pub mod recovery;
 pub mod scaling;
 pub mod scenarios;
 
 pub use crate::bank::BankFixture;
 pub use crate::mixed::{MixedWorkload, WorkloadStats};
+pub use crate::recovery::{DifferentialOutcome, PlannedOp, RecoveryWorkload};
 pub use crate::scaling::{
     HandoffComparison, HandoffPoint, RangeComparison, RangePoint, ScalingPoint, ScalingReport,
     ScalingSeries, ScalingSuite, SubstrateConfig,
@@ -43,6 +49,7 @@ pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 pub mod prelude {
     pub use crate::bank::BankFixture;
     pub use crate::mixed::{MixedWorkload, WorkloadStats};
+    pub use crate::recovery::{DifferentialOutcome, PlannedOp, RecoveryWorkload};
     pub use crate::scaling::{
         HandoffComparison, HandoffPoint, RangeComparison, RangePoint, ScalingPoint, ScalingReport,
         ScalingSeries, ScalingSuite, SubstrateConfig,

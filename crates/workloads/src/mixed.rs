@@ -12,7 +12,8 @@
 
 use critique_core::IsolationLevel;
 use critique_engine::{
-    BackendKind, Database, EngineConfig, GrantPolicy, ReadPath, TxnError, UpgradeStrategy,
+    BackendKind, Database, Durability, EngineConfig, FairnessPolicy, GrantPolicy, ReadPath,
+    TxnError, UpgradeStrategy,
 };
 use critique_storage::{KeyInterval, Row, RowId, RowPredicate};
 use rand::rngs::StdRng;
@@ -75,6 +76,15 @@ pub struct MixedWorkload {
     /// (default), or the stripe-read-lock baseline the read-heavy bench
     /// series measures against.  Only the default backend honours it.
     pub read_path: ReadPath,
+    /// Storage durability handed to [`EngineConfig::with_durability`]:
+    /// ephemeral (default), or fsync'd write-ahead persistence on the
+    /// log-structured backend — the `durable_logstore` bench series
+    /// records the fsync tax through this knob.
+    pub durability: Durability,
+    /// Lock fast-path fairness handed to
+    /// [`EngineConfig::with_fairness`]: barging (default), or the
+    /// strict-FIFO fast path the handoff grid compares against.
+    pub fairness: FairnessPolicy,
 }
 
 impl Default for MixedWorkload {
@@ -94,6 +104,8 @@ impl Default for MixedWorkload {
             upgrade: UpgradeStrategy::default(),
             range_fraction: 0.0,
             read_path: ReadPath::default(),
+            durability: Durability::default(),
+            fairness: FairnessPolicy::default(),
         }
     }
 }
@@ -212,6 +224,20 @@ impl MixedWorkload {
         self
     }
 
+    /// This workload with a different storage durability mode (used by
+    /// the `durable_logstore` fsync-tax comparison).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// This workload with a different lock fast-path fairness policy
+    /// (used by the handoff grid's FIFO-vs-barging legs).
+    pub fn with_fairness(mut self, fairness: FairnessPolicy) -> Self {
+        self.fairness = fairness;
+        self
+    }
+
     /// Seed a database for this workload (every account starts at 100) and
     /// return it together with the row ids.
     pub fn seed_database(&self, level: IsolationLevel) -> (Database, Vec<RowId>) {
@@ -222,7 +248,9 @@ impl MixedWorkload {
             .with_grant_policy(self.grant)
             .with_backend(self.backend)
             .with_upgrade_strategy(self.upgrade)
-            .with_read_path(self.read_path);
+            .with_read_path(self.read_path)
+            .with_durability(self.durability)
+            .with_fairness(self.fairness);
         let db = Database::with_config(config);
         // Every account carries an indexed `bucket` key (its seed ordinal)
         // so range operations have an ordered index to scan.
@@ -436,6 +464,8 @@ mod tests {
             upgrade: UpgradeStrategy::SharedThenUpgrade,
             range_fraction: 0.0,
             read_path: ReadPath::Epoch,
+            durability: Durability::Ephemeral,
+            fairness: FairnessPolicy::Barging,
         }
     }
 
@@ -460,6 +490,28 @@ mod tests {
             assert_eq!(stats.attempted(), 90, "{grant:?}");
             assert!(stats.committed > 0, "{grant:?}");
         }
+    }
+
+    #[test]
+    fn durable_logstore_workload_completes() {
+        let stats = small()
+            .with_backend(BackendKind::LogStructured)
+            .with_durability(Durability::Fsync)
+            .run(IsolationLevel::Serializable);
+        assert_eq!(stats.attempted(), 90);
+        assert!(stats.committed > 0);
+    }
+
+    #[test]
+    fn contended_workload_completes_under_queue_fifo_fairness() {
+        let mut spec = small();
+        spec.read_fraction = 0.0;
+        spec.hot_fraction = 1.0;
+        let stats = spec
+            .with_fairness(FairnessPolicy::QueueFifo)
+            .run(IsolationLevel::Serializable);
+        assert_eq!(stats.attempted(), 90);
+        assert!(stats.committed > 0);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 
 use crate::mixed::{MixedWorkload, WorkloadStats};
 use critique_core::IsolationLevel;
-use critique_engine::{BackendKind, GrantPolicy, ReadPath, UpgradeStrategy};
+use critique_engine::{
+    BackendKind, Durability, FairnessPolicy, GrantPolicy, ReadPath, UpgradeStrategy,
+};
 
 /// One substrate configuration a sweep visits: a storage backend, its
 /// shard count, and the label the series carries in reports.
@@ -39,6 +41,11 @@ pub struct SubstrateConfig {
     /// it).  The read-heavy sweep runs the same workload once per
     /// discipline to measure what the stripe read locks cost.
     pub read_path: ReadPath,
+    /// Storage durability the series runs with
+    /// ([`MixedWorkload::durability`]; only the log-structured backend
+    /// honours it).  The `durable_logstore` sweep runs the same workload
+    /// once per mode to measure the fsync tax.
+    pub durability: Durability,
     /// Human-readable series label (`"sharded"`, `"logstore"`, …).
     pub label: &'static str,
 }
@@ -50,6 +57,7 @@ impl SubstrateConfig {
             shards,
             backend: BackendKind::MvStore,
             read_path: ReadPath::default(),
+            durability: Durability::default(),
             label,
         }
     }
@@ -64,6 +72,7 @@ impl SubstrateConfig {
             shards: critique_storage::DEFAULT_SHARDS,
             backend: BackendKind::LogStructured,
             read_path: ReadPath::default(),
+            durability: Durability::default(),
             label,
         }
     }
@@ -72,6 +81,13 @@ impl SubstrateConfig {
     /// by the read-heavy epoch-vs-locked series).
     pub fn with_read_path(mut self, read_path: ReadPath) -> Self {
         self.read_path = read_path;
+        self
+    }
+
+    /// This configuration with a different storage durability mode (used
+    /// by the `durable_logstore` fsync-tax series).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 }
@@ -104,6 +120,8 @@ pub struct ScalingSeries {
     pub backend: BackendKind,
     /// Storage read discipline this series ran with.
     pub read_path: ReadPath,
+    /// Storage durability this series ran with.
+    pub durability: Durability,
     /// One point per worker count, in sweep order.
     pub points: Vec<ScalingPoint>,
 }
@@ -152,6 +170,7 @@ impl ScalingReport {
                 spec.shards = config.shards.max(1);
                 spec.backend = config.backend;
                 spec.read_path = config.read_path;
+                spec.durability = config.durability;
                 let points = thread_counts
                     .iter()
                     .map(|&threads| {
@@ -172,6 +191,7 @@ impl ScalingReport {
                     shards: config.shards.max(1),
                     backend: config.backend,
                     read_path: config.read_path,
+                    durability: config.durability,
                     points,
                 }
             })
@@ -201,11 +221,12 @@ impl ScalingReport {
         ));
         for series in &self.series {
             out.push_str(&format!(
-                "{} (backend={}, shards={}, reads={}){}:\n",
+                "{} (backend={}, shards={}, reads={}, durability={}){}:\n",
                 series.label,
                 series.backend,
                 series.shards,
                 series.read_path,
+                series.durability,
                 if series.monotonic() {
                     " — monotonic"
                 } else {
@@ -260,11 +281,13 @@ impl ScalingReport {
                 format!(
                     "{pad}  {{\n{pad}    \"label\": \"{}\",\n{pad}    \"backend\": \"{}\",\n\
                      {pad}    \"shards\": {},\n{pad}    \"read_path\": \"{}\",\n{pad}    \
+                     \"durability\": \"{}\",\n{pad}    \
                      \"monotonic_throughput\": {},\n{pad}    \"points\": [\n{}\n{pad}    ]\n{pad}  }}",
                     series.label,
                     series.backend,
                     series.shards,
                     series.read_path,
+                    series.durability,
                     series.monotonic(),
                     points,
                 )
@@ -300,14 +323,16 @@ impl ScalingReport {
     }
 }
 
-/// One `(grant policy, upgrade strategy)` cell's measurement in a
-/// [`HandoffComparison`].
+/// One `(grant policy, upgrade strategy, fairness)` cell's measurement in
+/// a [`HandoffComparison`].
 #[derive(Clone, Copy, Debug)]
 pub struct HandoffPoint {
     /// The contended-grant policy measured.
     pub policy: GrantPolicy,
     /// The read-modify-write locking strategy measured.
     pub strategy: UpgradeStrategy,
+    /// The lock fast-path fairness policy measured.
+    pub fairness: FairnessPolicy,
     /// Worker threads the workload ran with.
     pub threads: usize,
     /// Aggregate statistics of the kept (best-throughput) run.
@@ -334,10 +359,12 @@ impl HandoffPoint {
 }
 
 /// The contended-handoff comparison: the same hot-key read-modify-write
-/// workload run over the full `{grant policy} × {upgrade strategy}` grid,
-/// so both the win of handing grants straight to waiters *and* the death
-/// of the S→X upgrade cascade under U locks are measured, not asserted —
-/// this is the record next to the scaling sweeps in `BENCH_scaling.json`.
+/// workload run over the full `{grant policy} × {upgrade strategy} ×
+/// {fairness}` grid, so the win of handing grants straight to waiters,
+/// the death of the S→X upgrade cascade under U locks, *and* the
+/// throughput cost of the strict-FIFO fast path are measured, not
+/// asserted — this is the record next to the scaling sweeps in
+/// `BENCH_scaling.json`.
 /// Each cell also keeps the worst deadlock-victim count across its runs:
 /// the SharedThenUpgrade/DirectHandoff cell is bimodal (a run either
 /// dodges the batch-grant cascade or falls into it), and the UpdateLock
@@ -349,14 +376,15 @@ pub struct HandoffComparison {
     /// The contended workload (its `grant` and `upgrade` fields are
     /// overridden per point).
     pub workload: MixedWorkload,
-    /// One point per `(grant policy, upgrade strategy)` cell.
+    /// One point per `(grant policy, upgrade strategy, fairness)` cell.
     pub points: Vec<HandoffPoint>,
 }
 
 impl HandoffComparison {
-    /// Run the same workload once per `(grant policy, upgrade strategy)`
-    /// cell, keeping the best-of-`runs_per_point` run by committed
-    /// throughput (and the worst deadlock count across all runs).
+    /// Run the same workload once per `(grant policy, upgrade strategy,
+    /// fairness)` cell, keeping the best-of-`runs_per_point` run by
+    /// committed throughput (and the worst deadlock count across all
+    /// runs).
     pub fn run(base: MixedWorkload, level: IsolationLevel, runs_per_point: usize) -> Self {
         let runs_per_point = runs_per_point.max(1);
         let mut points = Vec::new();
@@ -365,29 +393,35 @@ impl HandoffComparison {
                 UpgradeStrategy::SharedThenUpgrade,
                 UpgradeStrategy::UpdateLock,
             ] {
-                let spec = base.with_grant(policy).with_upgrade(strategy);
-                let runs: Vec<WorkloadStats> =
-                    (0..runs_per_point).map(|_| spec.run(level)).collect();
-                let worst_deadlocks = runs
-                    .iter()
-                    .map(|r| r.aborted_deadlock)
-                    .max()
-                    .expect("runs_per_point >= 1");
-                let stats = runs
-                    .into_iter()
-                    .max_by(|a, b| {
-                        a.throughput()
-                            .partial_cmp(&b.throughput())
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .expect("runs_per_point >= 1");
-                points.push(HandoffPoint {
-                    policy,
-                    strategy,
-                    threads: base.threads,
-                    stats,
-                    worst_deadlocks,
-                });
+                for fairness in [FairnessPolicy::Barging, FairnessPolicy::QueueFifo] {
+                    let spec = base
+                        .with_grant(policy)
+                        .with_upgrade(strategy)
+                        .with_fairness(fairness);
+                    let runs: Vec<WorkloadStats> =
+                        (0..runs_per_point).map(|_| spec.run(level)).collect();
+                    let worst_deadlocks = runs
+                        .iter()
+                        .map(|r| r.aborted_deadlock)
+                        .max()
+                        .expect("runs_per_point >= 1");
+                    let stats = runs
+                        .into_iter()
+                        .max_by(|a, b| {
+                            a.throughput()
+                                .partial_cmp(&b.throughput())
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .expect("runs_per_point >= 1");
+                    points.push(HandoffPoint {
+                        policy,
+                        strategy,
+                        fairness,
+                        threads: base.threads,
+                        stats,
+                        worst_deadlocks,
+                    });
+                }
             }
         }
         HandoffComparison {
@@ -397,11 +431,16 @@ impl HandoffComparison {
         }
     }
 
-    /// The point for one `(policy, strategy)` cell, if measured.
-    pub fn point(&self, policy: GrantPolicy, strategy: UpgradeStrategy) -> Option<&HandoffPoint> {
+    /// The point for one `(policy, strategy, fairness)` cell, if measured.
+    pub fn point(
+        &self,
+        policy: GrantPolicy,
+        strategy: UpgradeStrategy,
+        fairness: FairnessPolicy,
+    ) -> Option<&HandoffPoint> {
         self.points
             .iter()
-            .find(|p| p.policy == policy && p.strategy == strategy)
+            .find(|p| p.policy == policy && p.strategy == strategy && p.fairness == fairness)
     }
 
     /// Render as an aligned text block.
@@ -414,10 +453,11 @@ impl HandoffComparison {
         );
         for p in &self.points {
             out.push_str(&format!(
-                "  {:<14} {:<20} committed={:<6} deadlock-aborts={:<4} \
+                "  {:<14} {:<20} {:<10} committed={:<6} deadlock-aborts={:<4} \
                  worst-deadlocks={:<4} timeouts={:<4} {:9.0} txn/s  {:8.3} ms/txn\n",
                 format!("{:?}", p.policy),
                 p.strategy.to_string(),
+                format!("{:?}", p.fairness),
                 p.stats.committed,
                 p.stats.aborted_deadlock,
                 p.worst_deadlocks,
@@ -437,13 +477,14 @@ impl HandoffComparison {
             .map(|p| {
                 format!(
                     "{pad}    {{\"policy\": \"{:?}\", \"strategy\": \"{}\", \
-                     \"committed\": {}, \
+                     \"fairness\": \"{:?}\", \"committed\": {}, \
                      \"aborted_deadlock\": {}, \"worst_deadlocks_across_runs\": {}, \
                      \"aborted_timeout\": {}, \
                      \"elapsed_ms\": {:.3}, \"throughput_txn_per_s\": {:.1}, \
                      \"mean_txn_latency_ms\": {:.4}}}",
                     p.policy,
                     p.strategy,
+                    p.fairness,
                     p.stats.committed,
                     p.stats.aborted_deadlock,
                     p.worst_deadlocks,
@@ -619,6 +660,11 @@ pub struct ScalingSuite {
     /// the same workload, so what the locks cost on the dominant-read mix
     /// is measured, not asserted.
     pub read_heavy: Vec<ScalingReport>,
+    /// The `durable_logstore` sweeps: the log-structured backend run
+    /// ephemeral and with fsync'd write-ahead persistence on the same
+    /// workload, so the fsync tax on the commit path is measured, not
+    /// asserted.
+    pub durable: Vec<ScalingReport>,
     /// The direct-handoff vs wake-all comparison, if run.
     pub handoff: Option<HandoffComparison>,
     /// The point-vs-range scan comparison, if run.
@@ -649,6 +695,11 @@ impl ScalingSuite {
         self.read_heavy.iter().find(|s| s.level == level)
     }
 
+    /// The `durable_logstore` sweep for `level`, if present.
+    pub fn durable_at(&self, level: IsolationLevel) -> Option<&ScalingReport> {
+        self.durable.iter().find(|s| s.level == level)
+    }
+
     /// Render every sweep and the handoff comparison as text.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -656,6 +707,9 @@ impl ScalingSuite {
             out.push_str(&sweep.to_text());
         }
         for sweep in &self.read_heavy {
+            out.push_str(&sweep.to_text());
+        }
+        for sweep in &self.durable {
             out.push_str(&sweep.to_text());
         }
         if let Some(handoff) = &self.handoff {
@@ -686,6 +740,17 @@ impl ScalingSuite {
                 .join(",\n");
             format!(",\n  \"read_heavy\": [\n{}\n  ]", body)
         };
+        let durable = if self.durable.is_empty() {
+            String::new()
+        } else {
+            let body = self
+                .durable
+                .iter()
+                .map(|s| format!("    {{\n{}\n    }}", s.json_fields(6)))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(",\n  \"durable_logstore\": [\n{}\n  ]", body)
+        };
         let handoff = match &self.handoff {
             Some(h) => format!(",\n  \"contended_handoff\":\n{}", h.json_object(2)),
             None => String::new(),
@@ -696,8 +761,8 @@ impl ScalingSuite {
         };
         format!(
             "{{\n  \"bench\": \"scaling_suite\",\n  \"host_cpus\": {},\n  \
-             \"sweeps\": [\n{}\n  ]{}{}{}\n}}\n",
-            self.host_cpus, sweeps, read_heavy, handoff, range,
+             \"sweeps\": [\n{}\n  ]{}{}{}{}\n}}\n",
+            self.host_cpus, sweeps, read_heavy, durable, handoff, range,
         )
     }
 }
@@ -722,6 +787,8 @@ mod tests {
             upgrade: UpgradeStrategy::SharedThenUpgrade,
             range_fraction: 0.0,
             read_path: ReadPath::Epoch,
+            durability: Durability::Ephemeral,
+            fairness: FairnessPolicy::Barging,
         }
     }
 
@@ -796,6 +863,7 @@ mod tests {
             shards: 2,
             backend: BackendKind::MvStore,
             read_path: ReadPath::Epoch,
+            durability: Durability::Ephemeral,
             points: vec![point(1, 10), point(2, 20), point(4, 30)],
         };
         assert!(rising.monotonic());
@@ -804,6 +872,7 @@ mod tests {
             shards: 2,
             backend: BackendKind::MvStore,
             read_path: ReadPath::Epoch,
+            durability: Durability::Ephemeral,
             points: vec![point(1, 10), point(2, 9)],
         };
         assert!(!sagging.monotonic());
@@ -816,18 +885,31 @@ mod tests {
         spec.hot_fraction = 1.0;
         spec.threads = 3;
         let cmp = HandoffComparison::run(spec, IsolationLevel::Serializable, 2);
-        assert_eq!(cmp.points.len(), 4);
+        assert_eq!(cmp.points.len(), 8);
         let direct = cmp
             .point(
                 GrantPolicy::DirectHandoff,
                 UpgradeStrategy::SharedThenUpgrade,
+                FairnessPolicy::Barging,
             )
             .unwrap();
         let wake = cmp
-            .point(GrantPolicy::WakeAll, UpgradeStrategy::SharedThenUpgrade)
+            .point(
+                GrantPolicy::WakeAll,
+                UpgradeStrategy::SharedThenUpgrade,
+                FairnessPolicy::Barging,
+            )
+            .unwrap();
+        let fifo = cmp
+            .point(
+                GrantPolicy::DirectHandoff,
+                UpgradeStrategy::SharedThenUpgrade,
+                FairnessPolicy::QueueFifo,
+            )
             .unwrap();
         assert!(direct.stats.attempted() > 0);
         assert!(wake.stats.attempted() > 0);
+        assert!(fifo.stats.attempted() > 0);
         assert!(direct.mean_txn_latency_ms() > 0.0);
         // The cascade evidence must be recorded honestly: the worst run is
         // at least as deadlock-ridden as the kept (fastest) one.
@@ -835,16 +917,22 @@ mod tests {
             assert!(p.worst_deadlocks >= p.stats.aborted_deadlock);
         }
         // The U-lock legs cannot deadlock on a single hot item, under
-        // either grant policy, in any run.
+        // either grant policy or fairness, in any run.
         for policy in [GrantPolicy::DirectHandoff, GrantPolicy::WakeAll] {
-            let point = cmp.point(policy, UpgradeStrategy::UpdateLock).unwrap();
-            assert_eq!(point.worst_deadlocks, 0, "{policy:?}");
+            for fairness in [FairnessPolicy::Barging, FairnessPolicy::QueueFifo] {
+                let point = cmp
+                    .point(policy, UpgradeStrategy::UpdateLock, fairness)
+                    .unwrap();
+                assert_eq!(point.worst_deadlocks, 0, "{policy:?}/{fairness:?}");
+            }
         }
         let text = cmp.to_text();
         assert!(text.contains("DirectHandoff"));
         assert!(text.contains("WakeAll"));
         assert!(text.contains("update-lock"));
         assert!(text.contains("shared-then-upgrade"));
+        assert!(text.contains("Barging"));
+        assert!(text.contains("QueueFifo"));
     }
 
     #[test]
@@ -882,9 +970,20 @@ mod tests {
             ],
             1,
         )];
+        let durable = vec![ScalingReport::run(
+            tiny(),
+            IsolationLevel::Serializable,
+            &[1, 2],
+            &[
+                SubstrateConfig::logstore("logstore ephemeral"),
+                SubstrateConfig::logstore("logstore fsync").with_durability(Durability::Fsync),
+            ],
+            1,
+        )];
         let suite = ScalingSuite {
             sweeps,
             read_heavy,
+            durable,
             handoff: Some(handoff),
             range: Some(range),
             host_cpus: ScalingSuite::detect_host_cpus(),
@@ -894,6 +993,7 @@ mod tests {
         assert!(suite
             .read_heavy_at(IsolationLevel::SnapshotIsolation)
             .is_some());
+        assert!(suite.durable_at(IsolationLevel::Serializable).is_some());
         assert!(suite.host_cpus >= 1);
         let json = suite.to_json();
         assert!(json.contains("\"bench\": \"scaling_suite\""));
@@ -908,7 +1008,10 @@ mod tests {
         assert!(json.contains("\"contended_handoff\""));
         assert!(json.contains("\"mean_txn_latency_ms\""));
         assert!(json.contains("\"strategy\": \"update-lock\""));
+        assert!(json.contains("\"fairness\": \"QueueFifo\""));
         assert!(json.contains("\"worst_deadlocks_across_runs\""));
+        assert!(json.contains("\"durable_logstore\""));
+        assert!(json.contains("\"durability\": \"fsync\""));
         assert!(json.contains("\"range_scan\""));
         assert!(json.contains("\"range_fraction\": 0.50"));
         let text = suite.to_text();

@@ -1,0 +1,73 @@
+//! Crash-point differential matrix: for a grid of seeds and crash
+//! points, a workload killed mid-transaction and recovered from its
+//! write-ahead directory must replay to a suffix history **byte-identical**
+//! to a control run that stopped cleanly at the same transaction boundary
+//! — and to the same final state.
+//!
+//! The per-module unit tests cover single points; this integration test is
+//! the acceptance matrix from the issue: several seeds, and for each seed a
+//! spread of crash transactions and every operation offset within them
+//! (including 0 — crash before the doomed transaction does anything — and
+//! `ops_per_txn` — crash after the last operation but before commit).
+
+use critique_workloads::RecoveryWorkload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Environment knob so CI's release-mode leg can widen the matrix:
+/// `CRASH_RECOVERY_SEEDS=0,1,2,...` overrides the default seed set.
+fn seeds() -> Vec<u64> {
+    match std::env::var("CRASH_RECOVERY_SEEDS") {
+        Ok(raw) => raw
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .expect("CRASH_RECOVERY_SEEDS entries must be u64")
+            })
+            .collect(),
+        Err(_) => vec![1, 7, 42],
+    }
+}
+
+#[test]
+fn crash_point_matrix_recovers_byte_identical_histories() {
+    for seed in seeds() {
+        let spec = RecoveryWorkload {
+            accounts: 6,
+            txns: 10,
+            ops_per_txn: 3,
+            seed,
+        };
+        // Deterministically sample crash transactions across the run, and
+        // exercise every operation offset at each (0..=ops_per_txn covers
+        // "nothing written yet" through "written but not committed").
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5bd1e995));
+        let mut crash_txns = vec![0, spec.txns / 2, spec.txns - 1];
+        crash_txns.push(rng.gen_range(1..spec.txns - 1));
+        for crash_txn in crash_txns {
+            for crash_op in 0..=spec.ops_per_txn {
+                spec.differential(crash_txn, crash_op).assert_identical();
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_point_matrix_holds_at_a_random_op_index() {
+    // The issue's literal phrasing: kill the store at a *random* op index.
+    // The index is drawn from a seeded rng so failures reproduce.
+    for seed in seeds() {
+        let spec = RecoveryWorkload {
+            accounts: 8,
+            txns: 12,
+            ops_per_txn: 4,
+            seed,
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+        let crash_txn = rng.gen_range(0..spec.txns);
+        let crash_op = rng.gen_range(0..=spec.ops_per_txn);
+        spec.differential(crash_txn, crash_op).assert_identical();
+    }
+}

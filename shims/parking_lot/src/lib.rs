@@ -2,13 +2,16 @@
 //!
 //! Wraps `std::sync` primitives behind `parking_lot`'s non-poisoning API
 //! (guards come back without a `Result`, `Condvar::wait_for` takes the
-//! guard by `&mut`).  Poisoned locks panic, which matches `parking_lot`'s
-//! behaviour of never poisoning in the first place for this workspace's
-//! purposes (a panicked worker thread aborts the test run either way).
+//! guard by `&mut`).  Real `parking_lot` never poisons, so poisoned std
+//! locks are recovered with [`PoisonError::into_inner`] — a panic that
+//! unwinds past a guard (e.g. a surfaced invariant breach caught by
+//! `catch_unwind` in a test) leaves the lock usable, exactly as the real
+//! crate would.
 
 #![forbid(unsafe_code)]
 
 use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
 use std::time::Duration;
 
 /// A mutual exclusion primitive; `lock` returns the guard directly.
@@ -23,12 +26,12 @@ impl<T> Mutex<T> {
 
     /// Acquire the mutex, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(self.0.lock().expect("mutex poisoned")))
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().expect("mutex poisoned")
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -75,7 +78,7 @@ impl Condvar {
     /// Block until notified.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.0.take().expect("guard already taken");
-        guard.0 = Some(self.0.wait(inner).expect("mutex poisoned"));
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
     }
 
     /// Block until notified or `timeout` elapses.
@@ -85,7 +88,10 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let inner = guard.0.take().expect("guard already taken");
-        let (inner, result) = self.0.wait_timeout(inner, timeout).expect("mutex poisoned");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
         guard.0 = Some(inner);
         WaitTimeoutResult(result.timed_out())
     }
@@ -121,17 +127,17 @@ impl<T> RwLock<T> {
 
     /// Acquire a shared read guard.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.0.read().expect("rwlock poisoned"))
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.0.write().expect("rwlock poisoned"))
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().expect("rwlock poisoned")
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
