@@ -20,11 +20,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use critique_bench::{
-    durable_workload, handoff_workload, range_workload, read_heavy_workload, scaling_workload,
-    RANGE_FRACTIONS, SCALING_LEVELS, SCALING_THREADS,
+    durable_workload, group_commit_workload, handoff_workload, range_workload, read_heavy_workload,
+    scaling_workload, GROUP_COMMIT_SHARDS, GROUP_COMMIT_WINDOW_MICROS, RANGE_FRACTIONS,
+    SCALING_LEVELS, SCALING_THREADS,
 };
 use critique_core::IsolationLevel;
-use critique_engine::{Durability, ReadPath};
+use critique_engine::{Durability, GroupCommit, ReadPath};
 use critique_workloads::{
     HandoffComparison, RangeComparison, ScalingReport, ScalingSuite, SubstrateConfig,
 };
@@ -87,6 +88,41 @@ fn run_suite() -> ScalingSuite {
             )
         })
         .collect();
+    // The group-commit series: the same fsync'd write-heavy workload over
+    // the {per-commit, batched} x {single log, partitioned log} grid, per
+    // isolation level, so the batcher's amortisation of the fsync tax —
+    // and what write-ahead-log partitioning adds on top — stays measured
+    // from PR to PR.
+    let batched = GroupCommit::On {
+        window_micros: GROUP_COMMIT_WINDOW_MICROS,
+    };
+    let group_commit = SCALING_LEVELS
+        .into_iter()
+        .map(|level| {
+            ScalingReport::run(
+                group_commit_workload(),
+                level,
+                &SCALING_THREADS,
+                &[
+                    SubstrateConfig::logstore("fsync per-commit")
+                        .with_durability(Durability::Fsync)
+                        .with_shards(1),
+                    SubstrateConfig::logstore("fsync per-commit sharded")
+                        .with_durability(Durability::Fsync)
+                        .with_shards(GROUP_COMMIT_SHARDS),
+                    SubstrateConfig::logstore("fsync batched")
+                        .with_durability(Durability::Fsync)
+                        .with_group_commit(batched)
+                        .with_shards(1),
+                    SubstrateConfig::logstore("fsync batched sharded")
+                        .with_durability(Durability::Fsync)
+                        .with_group_commit(batched)
+                        .with_shards(GROUP_COMMIT_SHARDS),
+                ],
+                3,
+            )
+        })
+        .collect();
     let handoff = HandoffComparison::run(handoff_workload(), IsolationLevel::Serializable, 3);
     let range = RangeComparison::run(
         range_workload(),
@@ -98,6 +134,7 @@ fn run_suite() -> ScalingSuite {
         sweeps,
         read_heavy,
         durable,
+        group_commit,
         handoff: Some(handoff),
         range: Some(range),
         host_cpus: ScalingSuite::detect_host_cpus(),

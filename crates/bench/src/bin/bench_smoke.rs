@@ -13,12 +13,13 @@
 //! 2. **Committed-file validation** — parse the `BENCH_scaling.json` at
 //!    the workspace root and require every sweep to carry non-empty
 //!    series, every series non-empty points, the `durable_logstore`
-//!    record to carry both the ephemeral and the fsync series, and the
-//!    contended-handoff record to cover the full
-//!    `{policy} × {strategy} × {fairness}` grid.
+//!    record to carry both the ephemeral and the fsync series, the
+//!    `group_commit` record to cover the full `{per-commit, batched} ×
+//!    {single log, partitioned log}` grid, and the contended-handoff
+//!    record to cover the full `{policy} × {strategy} × {fairness}` grid.
 
 use critique_core::IsolationLevel;
-use critique_engine::{Durability, FairnessPolicy, GrantPolicy, UpgradeStrategy};
+use critique_engine::{Durability, FairnessPolicy, GrantPolicy, GroupCommit, UpgradeStrategy};
 use critique_workloads::{
     HandoffComparison, MixedWorkload, RangeComparison, ScalingReport, ScalingSuite, SubstrateConfig,
 };
@@ -396,6 +397,70 @@ fn validate_suite(doc: &Json, context: &str) {
             }
         }
     }
+    // The group-commit record: per swept level, the full
+    // {per-commit, batched} × {single log, partitioned log} grid over the
+    // fsync'd log-structured backend.
+    let group_commit = doc
+        .get("group_commit")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{context}: no \"group_commit\" array"));
+    assert!(
+        !group_commit.is_empty(),
+        "{context}: zero group_commit sweeps recorded"
+    );
+    for sweep in group_commit {
+        let level = sweep
+            .get("level")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{context}: group_commit sweep without a level"));
+        let series = sweep
+            .get("series")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{context}: group_commit {level} has no series array"));
+        for mode in ["off", "on"] {
+            for sharded in [false, true] {
+                let cell = series.iter().find(|s| {
+                    s.get("group_commit").and_then(Json::as_str) == Some(mode)
+                        && s.get("shards")
+                            .and_then(Json::as_number)
+                            .is_some_and(|n| (n > 1.0) == sharded)
+                });
+                let cell = cell.unwrap_or_else(|| {
+                    panic!(
+                        "{context}: group_commit {level} lacks the \
+                         {mode}/{} cell",
+                        if sharded { "sharded" } else { "single-log" }
+                    )
+                });
+                assert_eq!(
+                    cell.get("backend").and_then(Json::as_str),
+                    Some("logstore"),
+                    "{context}: group_commit {level}/{mode} is not on the logstore backend"
+                );
+                assert_eq!(
+                    cell.get("durability").and_then(Json::as_str),
+                    Some("fsync"),
+                    "{context}: group_commit {level}/{mode} is not fsync'd"
+                );
+                let points = cell
+                    .get("points")
+                    .and_then(Json::as_array)
+                    .unwrap_or_else(|| panic!("{context}: group_commit {level}/{mode} no points"));
+                assert!(
+                    !points.is_empty(),
+                    "{context}: group_commit {level}/{mode} recorded zero points"
+                );
+                for point in points {
+                    for field in ["threads", "committed", "throughput_txn_per_s"] {
+                        assert!(
+                            point.get(field).and_then(Json::as_number).is_some(),
+                            "{context}: group_commit {level}/{mode} point lacks {field:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
     let range = doc
         .get("range_scan")
         .unwrap_or_else(|| panic!("{context}: no range_scan record"));
@@ -475,6 +540,7 @@ fn reduced_suite() -> ScalingSuite {
         range_fraction: 0.0,
         read_path: critique_engine::ReadPath::Epoch,
         durability: Durability::Ephemeral,
+        group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
     };
     let sweeps = vec![ScalingReport::run(
@@ -512,6 +578,32 @@ fn reduced_suite() -> ScalingSuite {
         ],
         1,
     )];
+    let mut group_commit_spec = tiny;
+    group_commit_spec.backend = critique_engine::BackendKind::LogStructured;
+    group_commit_spec.read_fraction = 0.1;
+    let batched = GroupCommit::On { window_micros: 50 };
+    let group_commit = vec![ScalingReport::run(
+        group_commit_spec,
+        IsolationLevel::Serializable,
+        &[1, 2],
+        &[
+            SubstrateConfig::logstore("fsync per-commit")
+                .with_durability(Durability::Fsync)
+                .with_shards(1),
+            SubstrateConfig::logstore("fsync per-commit sharded")
+                .with_durability(Durability::Fsync)
+                .with_shards(4),
+            SubstrateConfig::logstore("fsync batched")
+                .with_durability(Durability::Fsync)
+                .with_group_commit(batched)
+                .with_shards(1),
+            SubstrateConfig::logstore("fsync batched sharded")
+                .with_durability(Durability::Fsync)
+                .with_group_commit(batched)
+                .with_shards(4),
+        ],
+        1,
+    )];
     let mut contended = tiny;
     contended.read_fraction = 0.0;
     contended.hot_fraction = 1.0;
@@ -522,6 +614,7 @@ fn reduced_suite() -> ScalingSuite {
         sweeps,
         read_heavy,
         durable,
+        group_commit,
         handoff: Some(handoff),
         range: Some(range),
         host_cpus: ScalingSuite::detect_host_cpus(),

@@ -19,7 +19,7 @@
 
 use critique_core::IsolationLevel;
 use critique_engine::{
-    BackendKind, Durability, FairnessPolicy, GrantPolicy, ReadPath, UpgradeStrategy,
+    BackendKind, Durability, FairnessPolicy, GrantPolicy, GroupCommit, ReadPath, UpgradeStrategy,
 };
 use critique_workloads::MixedWorkload;
 
@@ -51,6 +51,7 @@ pub fn bench_workload(read_fraction: f64, hot_fraction: f64) -> MixedWorkload {
         range_fraction: 0.0,
         read_path: ReadPath::Epoch,
         durability: Durability::Ephemeral,
+        group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
     }
 }
@@ -76,6 +77,7 @@ pub fn scaling_workload() -> MixedWorkload {
         range_fraction: 0.0,
         read_path: ReadPath::Epoch,
         durability: Durability::Ephemeral,
+        group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
     }
 }
@@ -136,6 +138,7 @@ pub fn range_workload() -> MixedWorkload {
         range_fraction: 0.0,
         read_path: ReadPath::Epoch,
         durability: Durability::Ephemeral,
+        group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
     }
 }
@@ -164,6 +167,47 @@ pub fn durable_workload() -> MixedWorkload {
         range_fraction: 0.0,
         read_path: ReadPath::Epoch,
         durability: Durability::Ephemeral,
+        group_commit: GroupCommit::Off,
+        fairness: FairnessPolicy::Barging,
+    }
+}
+
+/// The group-commit window the batched bench series runs with.  Kept
+/// short: committers that arrive while the leader is busy fsyncing batch
+/// anyway, so the window only needs to catch the stragglers — a window
+/// longer than the fsync itself would have the leader sleeping past the
+/// very cost it amortises.
+pub const GROUP_COMMIT_WINDOW_MICROS: u64 = 50;
+
+/// The write-ahead-log shard count the partitioned-log bench series runs
+/// with (the single-log legs use 1).
+pub const GROUP_COMMIT_SHARDS: usize = 4;
+
+/// The workload behind the group-commit comparison (`BENCH_scaling.json`'s
+/// `group_commit` record): a write-heavy fsync'd log-structured mix with
+/// no think time, run over the `{per-commit, batched} × {single log,
+/// partitioned log}` grid.  Write-heavy because only writing commits pay
+/// the fsync the batcher amortises, and multi-worker counts matter
+/// because the batch forms from *concurrent* committers parking behind
+/// one leader.
+pub fn group_commit_workload() -> MixedWorkload {
+    MixedWorkload {
+        accounts: 256,
+        read_fraction: 0.1,
+        ops_per_txn: 4,
+        hot_fraction: 0.05,
+        txns_per_thread: 60,
+        threads: 1,
+        seed: 1995,
+        think_micros: 0,
+        shards: 1,
+        grant: GrantPolicy::DirectHandoff,
+        backend: BackendKind::LogStructured,
+        upgrade: UpgradeStrategy::SharedThenUpgrade,
+        range_fraction: 0.0,
+        read_path: ReadPath::Epoch,
+        durability: Durability::Fsync,
+        group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
     }
 }
@@ -190,6 +234,7 @@ pub fn handoff_workload() -> MixedWorkload {
         range_fraction: 0.0,
         read_path: ReadPath::Epoch,
         durability: Durability::Ephemeral,
+        group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
     }
 }

@@ -2,7 +2,7 @@
 
 use critique_core::IsolationLevel;
 pub use critique_lock::{FairnessPolicy, GrantPolicy, UpgradeStrategy};
-pub use critique_storage::{BackendKind, Durability, ReadPath};
+pub use critique_storage::{BackendKind, Durability, GroupCommit, ReadPath};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -80,6 +80,13 @@ pub struct EngineConfig {
     /// log-structured backend a write-ahead directory with fsync on every
     /// commit boundary.  [`BackendKind::MvStore`] ignores the knob.
     pub durability: Durability,
+    /// How a durable log-structured backend schedules its commit fsyncs:
+    /// one per writing commit ([`GroupCommit::Off`], the default), or
+    /// batched behind a group-commit leader that holds a window open and
+    /// issues a single fsync for every committer that enqueued meanwhile.
+    /// Ignored unless `durability` is [`Durability::Fsync`] and the
+    /// backend is [`BackendKind::LogStructured`].
+    pub group_commit: GroupCommit,
     /// Whether an uncontended lock acquisition may overtake conflicting
     /// parked waiters (only observable under [`LockWaitPolicy::Block`]):
     /// barging by default, or the strict-FIFO fast path whose throughput
@@ -101,6 +108,7 @@ impl EngineConfig {
             upgrade: UpgradeStrategy::default(),
             read_path: ReadPath::default(),
             durability: Durability::default(),
+            group_commit: GroupCommit::default(),
             fairness: FairnessPolicy::default(),
         }
     }
@@ -153,6 +161,13 @@ impl EngineConfig {
         self
     }
 
+    /// Override the commit fsync scheduling (durable log-structured
+    /// backend only).
+    pub fn with_group_commit(mut self, group_commit: GroupCommit) -> Self {
+        self.group_commit = group_commit;
+        self
+    }
+
     /// Override the lock fast-path fairness policy.
     pub fn with_fairness(mut self, fairness: FairnessPolicy) -> Self {
         self.fairness = fairness;
@@ -176,6 +191,7 @@ mod tests {
         assert_eq!(cfg.upgrade, UpgradeStrategy::SharedThenUpgrade);
         assert_eq!(cfg.read_path, ReadPath::Epoch);
         assert_eq!(cfg.durability, Durability::Ephemeral);
+        assert_eq!(cfg.group_commit, GroupCommit::Off);
         assert_eq!(cfg.fairness, FairnessPolicy::Barging);
         assert_eq!(LockWaitPolicy::default(), LockWaitPolicy::Fail);
     }
@@ -222,6 +238,15 @@ mod tests {
             .with_backend(BackendKind::LogStructured)
             .with_durability(Durability::Fsync);
         assert_eq!(cfg.durability, Durability::Fsync);
+    }
+
+    #[test]
+    fn group_commit_override() {
+        let cfg = EngineConfig::new(IsolationLevel::Serializable)
+            .with_backend(BackendKind::LogStructured)
+            .with_durability(Durability::Fsync)
+            .with_group_commit(GroupCommit::On { window_micros: 150 });
+        assert_eq!(cfg.group_commit, GroupCommit::On { window_micros: 150 });
     }
 
     #[test]

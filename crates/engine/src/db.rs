@@ -68,6 +68,7 @@ impl Database {
             config.shards,
             config.read_path,
             config.durability,
+            config.group_commit,
         );
         Self::assemble(config, store, read_stats)
     }

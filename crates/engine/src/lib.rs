@@ -45,8 +45,8 @@ pub mod recorder;
 pub mod txn;
 
 pub use crate::config::{
-    BackendKind, Durability, EngineConfig, FairnessPolicy, GrantPolicy, LockWaitPolicy, ReadPath,
-    UpgradeStrategy,
+    BackendKind, Durability, EngineConfig, FairnessPolicy, GrantPolicy, GroupCommit,
+    LockWaitPolicy, ReadPath, UpgradeStrategy,
 };
 pub use crate::cursor::CursorId;
 pub use crate::db::Database;
@@ -56,8 +56,8 @@ pub use crate::txn::{Transaction, TxnStatus};
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::config::{
-        BackendKind, Durability, EngineConfig, FairnessPolicy, GrantPolicy, LockWaitPolicy,
-        ReadPath, UpgradeStrategy,
+        BackendKind, Durability, EngineConfig, FairnessPolicy, GrantPolicy, GroupCommit,
+        LockWaitPolicy, ReadPath, UpgradeStrategy,
     };
     pub use crate::cursor::CursorId;
     pub use crate::db::Database;

@@ -804,6 +804,13 @@ impl Transaction {
             self.db.store.commit(self.token, commit_ts);
             self.db.ts.publish(commit_ts);
         }
+        // Outside the commit sequence: under group commit the store only
+        // *enqueued* its commit record above, and this call parks until a
+        // batch leader has fsynced it.  Parking outside the mutex is what
+        // lets concurrent committers pile into one batch — the whole
+        // point; the enqueue order under the mutex is what keeps the
+        // durable commit-record order identical to the timestamp order.
+        self.db.store.flush_commit(self.token);
         self.db.locks.release_all(self.token);
         self.db.recorder.commit(self.token);
         self.state.lock().status = TxnStatus::Committed;

@@ -72,7 +72,7 @@ pub mod timestamp;
 pub mod value;
 pub mod version;
 
-pub use crate::backend::{BackendKind, Durability, ScanView, StorageBackend};
+pub use crate::backend::{BackendKind, Durability, GroupCommit, ScanView, StorageBackend};
 pub use crate::ebr::{Ebr, Guard, ReclamationStats};
 pub use crate::logstore::{LogStore, LogStoreConfig};
 pub use crate::predicate::{Comparison, Condition, KeyInterval, RowPredicate};
@@ -87,7 +87,7 @@ pub use crate::version::{ChainHead, Version, VersionChain, VersionNode};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
-    pub use crate::backend::{BackendKind, Durability, ScanView, StorageBackend};
+    pub use crate::backend::{BackendKind, Durability, GroupCommit, ScanView, StorageBackend};
     pub use crate::ebr::{Ebr, Guard, ReclamationStats};
     pub use crate::logstore::{LogStore, LogStoreConfig};
     pub use crate::predicate::{Comparison, Condition, KeyInterval, RowPredicate};

@@ -1,71 +1,80 @@
 //! An append-only, log-structured storage backend.
 //!
 //! Where [`crate::store::MvStore`] keeps each row's versions in a chain
-//! owned by that row, `LogStore` writes every versioned record into a
-//! global sequence of **log segments** in arrival order and finds them
-//! again through a **per-table hash index** mapping `row id → record
-//! positions` (oldest first).  A row's "version chain" is therefore a
-//! *view* computed from index pointers — the same visibility rules as the
-//! chain store, read off a different representation, which is exactly the
-//! point: the Table 3/4 isolation verdicts must not care.
+//! owned by that row, `LogStore` writes every versioned record into
+//! **log segments** in arrival order and finds them again through a
+//! **per-table hash index** mapping `row id → record positions` (oldest
+//! first).  A row's "version chain" is therefore a *view* computed from
+//! index pointers — the same visibility rules as the chain store, read
+//! off a different representation, which is exactly the point: the
+//! Table 3/4 isolation verdicts must not care.
 //!
 //! Mechanics:
 //!
+//! * **sharding** — the log is hash-partitioned into
+//!   [`LogStoreConfig::shards`] shards, each with its own segments, hash
+//!   index, spill file, and write-ahead file chain.  A record's shard is
+//!   `fnv1a(table, row) % shards`, so every version of one row lives in
+//!   one shard and per-row version order is shard-local.  Control frames
+//!   (`Begin`/`Commit`/`Abort`/`CreateTable`/`CreateIndex`) always go to
+//!   shard 0, which makes shard 0's chain the single serialization point
+//!   for commit order;
 //! * **append path** — `insert`/`update`/`delete` append one record
-//!   (table, row id, writer, payload-or-tombstone) to the open segment;
-//!   a segment that reaches [`LogStoreConfig::segment_records`] is sealed
-//!   and a fresh one opened.  Data records are never rewritten in place;
+//!   (table, row id, writer, payload-or-tombstone) to the owning shard's
+//!   open segment; a segment that reaches
+//!   [`LogStoreConfig::segment_records`] is sealed and a fresh one
+//!   opened.  Data records are never rewritten in place;
 //! * **commit/abort** — commit resolves the writer's pending records to a
-//!   commit timestamp (the in-memory equivalent of appending a COMMIT
-//!   record and consulting it on reads); abort unlinks the writer's
-//!   records from the index, leaving dead space in the log;
-//! * **compaction** — when dead (aborted) records cross
-//!   [`LogStoreConfig::compact_watermark`], the segments are rewritten
-//!   without them and the index repointed, synchronously on the aborting
-//!   caller's thread — there is no background thread to coordinate with.
-//!   Committed versions are *never* dropped: historical reads at arbitrary
-//!   timestamps stay answerable;
+//!   commit timestamp; abort unlinks the writer's records from the index,
+//!   leaving dead space in the owning shards;
+//! * **compaction** — when a shard's dead (aborted) records cross
+//!   [`LogStoreConfig::compact_watermark`], that shard's segments are
+//!   rewritten without them and the index repointed, synchronously on the
+//!   aborting caller's thread.  Committed versions are *never* dropped;
 //! * **spill** (optional) — with [`LogStoreConfig::spill`] on, sealing a
-//!   segment writes its row payloads to an unlinked temp file and keeps
-//!   only (offset, length) in memory; reads decode on demand.  Commit
-//!   state, the index, and tombstones stay in memory, so only payload
-//!   bytes leave the heap.  The unlinked file vanishes with the process.
-//!   On unix the spill file uses positioned IO; elsewhere it falls back
-//!   to seek-then-read/write behind a cursor mutex — either way
-//!   `spilled_bytes` reports what actually left the heap, and a spill
-//!   that *fails* is surfaced (counter + panic), never swallowed;
+//!   segment writes its row payloads to the shard's unlinked temp file
+//!   and keeps only (offset, length) in memory; reads decode on demand;
 //! * **durability** (optional) — [`LogStore::open_durable`] roots the log
-//!   in a directory of write-ahead segment files.  Every mutation appends
-//!   a frame (`Begin`/`Write`/`Commit`/`Abort`/`CreateTable`/
-//!   `CreateIndex`) through the same row codec the spill file uses;
-//!   commit appends its frame and fsyncs (the commit boundary), and an
-//!   in-memory segment seal rotates to a fresh file after syncing the old
-//!   one (segment seal = durable seal).  [`LogStore::recover`] replays
-//!   the frames to rebuild the per-table hash index, the ordered index
-//!   views, pending-transaction state, and tombstones, aborts writers
-//!   whose commit record never made it, and truncates a torn final frame.
-//!   Compaction *rewrites* the file set (a fresh generation holding only
-//!   live records plus per-table metadata, manifest-swapped atomically),
-//!   so dead records are bounded on disk exactly as they are in memory.
+//!   in a directory of per-shard write-ahead chains
+//!   (`wal-<shard>-<generation>-<sequence>.seg`) under one `MANIFEST`
+//!   that names every shard's live generation atomically.  A commit
+//!   fsyncs the writer's dirty data shards first, then appends its
+//!   `Commit` frame to shard 0 and fsyncs that — so a durable `Commit`
+//!   frame always covers durable data frames, in every shard.
+//!   [`LogStore::recover`] replays shard chains in two passes (writes
+//!   first, then the deferred `Commit`/`Abort` stream in shard-0 order),
+//!   aborts writers whose commit record never made it, truncates each
+//!   shard's torn final frame, and merges the shards back into one store;
+//! * **group commit** (optional) — with [`GroupCommit::On`], commit only
+//!   appends in memory and enqueues the commit record; the follow-up
+//!   [`StorageBackend::flush_commit`] parks the committer until a leader
+//!   (the first committer in, after holding the window open) emits the
+//!   whole batch's `Commit` frames to shard 0 and issues **one** fsync
+//!   for all of them.  Commit-frame order is the enqueue order, which the
+//!   engine serialises under its commit-sequence lock, so recovery's
+//!   replay order matches the history recorder's commit order.  A crash
+//!   mid-batch loses exactly the unflushed tail: un-fsynced commit
+//!   frames truncate away like any torn suffix.
 //!
-//! Concurrency: one `RwLock` around the whole log + index.  This is
-//! deliberately the simple layout — the backend exists to prove the
-//! isolation schedulers are storage-independent, and the scaling bench
-//! records what the single-lock log costs next to the sharded chain store.
+//! Concurrency and lock order: `registry → txns → shards (ascending) →
+//! {durable, group, last_commit}`.  The registry (table metadata) and
+//! transaction table are global; everything per-record is shard-local.
 
-use crate::backend::{sort_scan_output, ScanView, StorageBackend};
+use crate::backend::{sort_scan_output, GroupCommit, ScanView, StorageBackend};
 use crate::predicate::{KeyInterval, RowPredicate};
 use crate::row::{Row, RowId};
 use crate::snapshot::Snapshot;
 use crate::store::{StorageError, TableName, WriteKind};
 use crate::timestamp::{Timestamp, TxnToken};
 use crate::value::ColumnValue;
-use parking_lot::RwLock;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tuning knobs of the log-structured backend.
@@ -74,13 +83,20 @@ pub struct LogStoreConfig {
     /// Records per segment; a full segment is sealed (and spilled, if
     /// spilling is on) and a new one opened.  Clamped to at least 1.
     pub segment_records: usize,
-    /// Dead (aborted) records tolerated before the log is compacted.
-    /// Clamped to at least 1 — every abort checks the watermark, so
-    /// compaction is always caller-driven, never a background task.
+    /// Dead (aborted) records tolerated in one shard before that shard is
+    /// compacted.  Clamped to at least 1 — every abort checks the
+    /// watermark, so compaction is always caller-driven, never a
+    /// background task.
     pub compact_watermark: usize,
     /// Spill sealed segments' row payloads to an unlinked temporary file
     /// instead of keeping them on the heap.
     pub spill: bool,
+    /// Hash-partition count for the log + index (and the write-ahead
+    /// chains of a durable store).  Clamped to at least 1.
+    pub shards: usize,
+    /// How `Durability::Fsync` commits reach disk: one fsync per commit,
+    /// or batched behind a group-commit leader.
+    pub group_commit: GroupCommit,
 }
 
 impl Default for LogStoreConfig {
@@ -89,18 +105,20 @@ impl Default for LogStoreConfig {
             segment_records: 1024,
             compact_watermark: 4096,
             spill: false,
+            shards: 1,
+            group_commit: GroupCommit::Off,
         }
     }
 }
 
-/// Position of a record: (segment index, offset within segment).
+/// Position of a record within its shard: (segment index, offset).
 type RecordPtr = (usize, usize);
 
 /// Where a record's row contents live.
 enum Payload {
     /// On the heap; `None` is a tombstone (tombstones never spill).
     Inline(Option<Row>),
-    /// Encoded in the spill file at `offset..offset + len`.
+    /// Encoded in the shard's spill file at `offset..offset + len`.
     Spilled { offset: u64, len: u32 },
 }
 
@@ -131,21 +149,27 @@ struct Segment {
     sealed: bool,
 }
 
-/// Per-table state: interned name, the row-id allocator, and the hash
-/// index from row id to that row's record positions in append order.
-struct TableIndex {
+/// Global per-table metadata: interned name, the row-id allocator, and
+/// the ordered index's column.  The per-row hash index lives in the
+/// shards ([`ShardTable`]).
+struct TableMeta {
     name: Arc<str>,
     next_row_id: u64,
+    /// The ordered secondary index's column, once registered.
+    indexed_column: Option<String>,
+}
+
+/// One shard's slice of a table's index.
+#[derive(Default)]
+struct ShardTable {
     /// Row id → positions of its live (non-aborted) records, oldest first.
     /// An entry outlives its records: a row whose only version was aborted
     /// keeps an empty slot, exactly like an empty version chain.
     rows: HashMap<RowId, Vec<RecordPtr>>,
-    /// The ordered secondary index's column, once registered.
-    indexed_column: Option<String>,
-    /// Ordered index: `(key, row id) → refcount` over every live record
-    /// that carries that key — committed and uncommitted alike, so it can
-    /// only over-approximate any one visibility rule.  `scan_range`
-    /// re-checks the picked version precisely.
+    /// Ordered index slice: `(key, row id) → refcount` over every live
+    /// record in this shard that carries that key — committed and
+    /// uncommitted alike, so it can only over-approximate any one
+    /// visibility rule.  `scan_range` re-checks the picked version.
     ordered: BTreeMap<(i64, RowId), usize>,
 }
 
@@ -155,7 +179,7 @@ struct SpillFile {
     file: File,
     len: u64,
     /// Serialises seek-then-IO pairs on platforms without positioned IO:
-    /// concurrent readers under the store's read lock share one cursor.
+    /// concurrent readers under the shard's read lock share one cursor.
     #[cfg(not(unix))]
     cursor: std::sync::Mutex<()>,
 }
@@ -209,54 +233,94 @@ impl SpillFile {
     }
 }
 
-/// The durable side of the log: a directory of write-ahead segment files
-/// (`wal-<generation>-<sequence>.seg`) plus a `MANIFEST` naming the live
-/// generation and the configuration the frames were written under.
-struct DurableLog {
+/// One shard's write-ahead chain: the open segment file of
+/// `wal-<shard>-<gen>-<seq>.seg`, with absolute written/synced byte
+/// counters so crash-simulation harnesses can ask exactly how much of the
+/// open file is durable ([`LogStore::durable_file_tails`]).
+struct ShardWal {
     dir: PathBuf,
-    /// Live file-set generation; rewrite-on-compact bumps it and deletes
-    /// the previous generation's files after the manifest swap.
+    shard: usize,
+    /// This shard's live generation; per-shard rewrite-on-compact bumps
+    /// it (and the shared manifest) and deletes the previous generation.
     gen: u64,
     /// Sequence number of the open segment file within the generation.
     file_seq: u64,
     /// The open segment file, positioned at its end.
     file: File,
-    /// fsyncs issued so far (commit boundaries, seals, manifest swaps).
-    fsyncs: u64,
-    /// Remove the whole directory when the store is dropped (set for
-    /// engine-owned throwaway stores from [`LogStore::open_durable_temp`]).
-    owns_dir: bool,
+    /// Bytes written to the open file so far.
+    written: u64,
+    /// Bytes of the open file covered by an fsync.
+    synced: u64,
 }
 
+/// One hash partition of the log: segments, index slices, spill file, and
+/// (for durable stores) the shard's write-ahead chain.
 #[derive(Default)]
-struct LogInner {
-    /// Table name → index, sorted so `tables()` is deterministic.
-    tables: BTreeMap<Arc<str>, TableIndex>,
+struct LogShard {
+    tables: HashMap<Arc<str>, ShardTable>,
     segments: Vec<Segment>,
-    /// In-flight write sets, in write order (the input to commit, abort,
-    /// and First-Committer-Wins).
-    write_sets: BTreeMap<TxnToken, Vec<(Arc<str>, RowId, WriteKind)>>,
-    /// Positions of each in-flight writer's uncommitted records.
-    pending: HashMap<TxnToken, Vec<RecordPtr>>,
-    /// Aborted records awaiting compaction.
+    /// Aborted records awaiting compaction (per-shard watermark).
     dead: usize,
-    /// Live (non-aborted) records — the backend's version count.
+    /// Live (non-aborted) records in this shard.
     live: usize,
     spill: Option<SpillFile>,
     /// Spill-file failures observed (counted immediately before each one
     /// is surfaced as a panic, so the invariant breach stays countable
     /// from a `catch_unwind` test).
     spill_failures: u64,
-    /// Test hook: make the next spill write fail ([`LogStore::fail_next_spill_write`]).
+    /// Test hook: make the next spill write fail.
     fail_next_spill_write: bool,
-    /// Largest commit timestamp ever stamped (live or replayed); recovery
-    /// harnesses advance the engine clock past it.
-    last_commit_ts: Option<Timestamp>,
-    /// The write-ahead file set, when this store is durable.  `None` both
-    /// for plain in-memory stores and *during recovery replay*, which is
-    /// how replay reuses the ordinary mutation paths without re-emitting
-    /// the frames it is reading.
-    durable: Option<DurableLog>,
+    /// This shard's write-ahead chain, when the store is durable.  `None`
+    /// both for plain in-memory stores and *during recovery replay*,
+    /// which is how replay reuses the ordinary mutation paths without
+    /// re-emitting the frames it is reading.
+    wal: Option<ShardWal>,
+}
+
+/// Global in-flight transaction state, shared across shards.
+#[derive(Default)]
+struct TxnTable {
+    /// In-flight write sets, in write order (the input to commit, abort,
+    /// and First-Committer-Wins).
+    write_sets: BTreeMap<TxnToken, Vec<(Arc<str>, RowId, WriteKind)>>,
+    /// Positions of each in-flight writer's uncommitted records, as
+    /// (shard, pointer-within-shard) in append order.
+    pending: HashMap<TxnToken, Vec<(usize, RecordPtr)>>,
+}
+
+/// Durable state shared by every shard: the directory, each shard's live
+/// generation (mirrored in `MANIFEST`), and directory ownership.
+struct DurableShared {
+    dir: PathBuf,
+    /// Per-shard live generations, indexed by shard.
+    gens: Vec<u64>,
+    /// Remove the whole directory when the store is dropped (set for
+    /// engine-owned throwaway stores from [`LogStore::open_durable_temp`]).
+    owns_dir: bool,
+}
+
+/// Group-commit coordination: the queue of commit records awaiting the
+/// batched fsync, and who is currently flushing it.
+#[derive(Default)]
+struct GroupState {
+    /// Commit records enqueued but not yet durably flushed, in commit
+    /// order (the engine enqueues under its commit-sequence lock).
+    queue: Vec<(TxnToken, Timestamp)>,
+    /// Writers with an entry in `queue` or in the batch being flushed.
+    queued: HashSet<TxnToken>,
+    /// A leader is currently holding the window open / flushing.
+    leader: bool,
+    /// Test hook: batches are held open ([`LogStore::suspend_commit_flushes`])
+    /// until [`LogStore::flush_held_commits`] releases them.
+    hold: bool,
+}
+
+/// A control frame deferred by recovery's first pass: commits and aborts
+/// replay only after every shard's `Write` frames are back, in the order
+/// shard 0's chain recorded them.
+enum DeferredControl {
+    Commit(TxnToken, Timestamp),
+    Abort(TxnToken),
 }
 
 /// The append-only log-structured store.  See the module docs for the
@@ -264,7 +328,23 @@ struct LogInner {
 /// share with the chain store.
 pub struct LogStore {
     config: LogStoreConfig,
-    inner: RwLock<LogInner>,
+    /// Table name → global metadata, sorted so `tables()` is deterministic.
+    registry: RwLock<BTreeMap<Arc<str>, TableMeta>>,
+    txns: Mutex<TxnTable>,
+    shards: Vec<RwLock<LogShard>>,
+    durable: Mutex<Option<DurableShared>>,
+    /// Mirror of `durable.is_some()`, readable without the mutex (the
+    /// append path checks it on every mutation).
+    durable_on: AtomicBool,
+    /// fsyncs issued so far (commit boundaries, seals, manifest swaps) —
+    /// always-on, so the group-commit proof (`fsync_count` < committed
+    /// transactions under a concurrent storm) is assertable.
+    fsyncs: AtomicU64,
+    /// Largest commit timestamp ever stamped (live or replayed); recovery
+    /// harnesses advance the engine clock past it.
+    last_commit: Mutex<Option<Timestamp>>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
 }
 
 impl Default for LogStore {
@@ -281,13 +361,26 @@ impl LogStore {
 
     /// An empty log store with explicit tuning knobs.
     pub fn with_config(config: LogStoreConfig) -> Self {
+        let config = LogStoreConfig {
+            segment_records: config.segment_records.max(1),
+            compact_watermark: config.compact_watermark.max(1),
+            spill: config.spill,
+            shards: config.shards.max(1),
+            group_commit: config.group_commit,
+        };
         LogStore {
-            config: LogStoreConfig {
-                segment_records: config.segment_records.max(1),
-                compact_watermark: config.compact_watermark.max(1),
-                spill: config.spill,
-            },
-            inner: RwLock::new(LogInner::default()),
+            shards: (0..config.shards)
+                .map(|_| RwLock::new(LogShard::default()))
+                .collect(),
+            config,
+            registry: RwLock::new(BTreeMap::new()),
+            txns: Mutex::new(TxnTable::default()),
+            durable: Mutex::new(None),
+            durable_on: AtomicBool::new(false),
+            fsyncs: AtomicU64::new(0),
+            last_commit: Mutex::new(None),
+            group: Mutex::new(GroupState::default()),
+            group_cv: Condvar::new(),
         }
     }
 
@@ -296,103 +389,191 @@ impl LogStore {
         self.config
     }
 
-    /// Number of segments currently in the log (sealed + open).
+    /// Number of segments currently in the log, summed over shards.
     pub fn segment_count(&self) -> usize {
-        self.inner.read().segments.len()
+        self.shards.iter().map(|s| s.read().segments.len()).sum()
     }
 
     /// Dead (aborted, not yet compacted) records currently in the log.
     pub fn dead_record_count(&self) -> usize {
-        self.inner.read().dead
+        self.shards.iter().map(|s| s.read().dead).sum()
     }
 
-    /// Bytes written to the spill file so far (0 when spilling is off).
+    /// Bytes written to the spill files so far (0 when spilling is off).
     pub fn spilled_bytes(&self) -> u64 {
-        self.inner.read().spill.as_ref().map_or(0, |s| s.len)
+        self.shards
+            .iter()
+            .map(|s| s.read().spill.as_ref().map_or(0, |f| f.len))
+            .sum()
     }
 
     /// Spill-file failures observed.  Each failure also panics (the
     /// payload would be silently unreadable otherwise), so this counter
     /// is read from `catch_unwind` in tests and post-mortem tooling.
     pub fn spill_failure_count(&self) -> u64 {
-        self.inner.read().spill_failures
+        self.shards.iter().map(|s| s.read().spill_failures).sum()
     }
 
-    /// Test hook: inject an IO error into the next spill write.
+    /// Test hook: inject an IO error into the next spill write of every
+    /// shard.
     #[doc(hidden)]
     pub fn fail_next_spill_write(&self) {
-        self.inner.write().fail_next_spill_write = true;
+        for shard in &self.shards {
+            shard.write().fail_next_spill_write = true;
+        }
     }
 
     /// Largest commit timestamp ever stamped on a writing transaction
     /// (live or replayed).  Recovery harnesses advance the engine's
     /// timestamp oracle past this before resuming a workload.
     pub fn last_commit_ts(&self) -> Option<Timestamp> {
-        self.inner.read().last_commit_ts
+        *self.last_commit.lock()
     }
 
     /// fsyncs issued so far: commit boundaries, segment seals, and
-    /// manifest swaps (0 for non-durable stores).
+    /// manifest swaps (0 for non-durable stores).  Always-on — the
+    /// group-commit proof asserts this against the commit count.
     pub fn fsync_count(&self) -> u64 {
-        self.inner.read().durable.as_ref().map_or(0, |d| d.fsyncs)
+        self.fsyncs.load(Ordering::Relaxed)
     }
 
     /// The write-ahead directory, when this store is durable.
     pub fn durable_dir(&self) -> Option<PathBuf> {
-        self.inner.read().durable.as_ref().map(|d| d.dir.clone())
+        self.durable.lock().as_ref().map(|d| d.dir.clone())
     }
 
-    /// Live write-ahead file-set generation, when this store is durable
-    /// (bumped by every rewrite-on-compact).
+    /// Largest live write-ahead generation across shards, when this
+    /// store is durable (each shard's rewrite-on-compact bumps its own).
     pub fn durable_generation(&self) -> Option<u64> {
-        self.inner.read().durable.as_ref().map(|d| d.gen)
+        self.durable
+            .lock()
+            .as_ref()
+            .map(|d| d.gens.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Every shard's live write-ahead generation, when durable.
+    pub fn durable_generations(&self) -> Option<Vec<u64>> {
+        self.durable.lock().as_ref().map(|d| d.gens.clone())
+    }
+
+    /// Crash-simulation hook: hold every group-commit batch open — a
+    /// following [`StorageBackend::flush_commit`] returns immediately
+    /// with the commit record still queued (acknowledged in process, not
+    /// durable).  [`LogStore::flush_held_commits`] releases the batch.
+    #[doc(hidden)]
+    pub fn suspend_commit_flushes(&self) {
+        self.group.lock().hold = true;
+    }
+
+    /// Crash-simulation hook: flush every held commit record (the batch
+    /// fsync a suspended leader would have issued) and resume normal
+    /// group flushing.
+    #[doc(hidden)]
+    pub fn flush_held_commits(&self) {
+        let batch = {
+            let mut group = self.group.lock();
+            group.hold = false;
+            std::mem::take(&mut group.queue)
+        };
+        self.flush_batch(&batch);
+        let mut group = self.group.lock();
+        for (writer, _) in &batch {
+            group.queued.remove(writer);
+        }
+        self.group_cv.notify_all();
+    }
+
+    /// Crash-simulation hook: each shard's open write-ahead file and how
+    /// many of its bytes are covered by an fsync.  A harness emulating
+    /// power loss truncates each file to that length — everything beyond
+    /// it was written but never synced, exactly what a crash loses.
+    /// Sealed (rotated-away) files are always fully synced.
+    #[doc(hidden)]
+    pub fn durable_file_tails(&self) -> Vec<(PathBuf, u64)> {
+        self.shards
+            .iter()
+            .filter_map(|s| {
+                let shard = s.read();
+                let wal = shard.wal.as_ref()?;
+                Some((
+                    wal.dir
+                        .join(wal_file_name(wal.shard, wal.gen, wal.file_seq)),
+                    wal.synced,
+                ))
+            })
+            .collect()
+    }
+
+    /// The shard owning `(table, row)` — FNV-1a over the table bytes then
+    /// the row id, so the routing is deterministic across processes (a
+    /// recovery replays records into the same shards that wrote them).
+    fn shard_of(&self, table: &str, row: RowId) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for &byte in table.as_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        for &byte in &row.0.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        (hash % self.shards.len() as u64) as usize
     }
 
     // ------------------------------------------------------------------
     // Append path.
     // ------------------------------------------------------------------
 
+    // One argument per field of the record being appended — splitting it
+    // into a struct would just rename the call sites.
+    #[allow(clippy::too_many_arguments)]
     fn append(
         &self,
-        inner: &mut LogInner,
+        registry: &BTreeMap<Arc<str>, TableMeta>,
+        txns: &mut TxnTable,
         table: Arc<str>,
         row: RowId,
         writer: TxnToken,
         payload: Option<Row>,
         kind: WriteKind,
     ) {
+        let sid = self.shard_of(&table, row);
+        let durable = self.durable_on.load(Ordering::Acquire);
         // The durable frame is built before the payload moves into the
         // record (and before the seal decision, so replay reproduces the
         // same file-vs-segment alignment).
-        let write_frame = inner.durable.is_some().then(|| {
-            let first_write = !inner.write_sets.contains_key(&writer);
+        let write_frame = durable.then(|| {
             let encoded = payload.as_ref().map(encode_row);
-            (
-                first_write,
-                encode_write_frame(&table, row, writer, kind, None, encoded.as_deref()),
-            )
+            encode_write_frame(&table, row, writer, kind, None, encoded.as_deref())
         });
-        let index_key = inner
-            .tables
+        if durable && !txns.write_sets.contains_key(&writer) {
+            // The writer's first write: its Begin frame goes to the
+            // control shard before any data frame exists anywhere.
+            let mut control = self.shards[0].write();
+            shard_emit(&mut control, &encode_begin_frame(writer));
+        }
+        let index_key = registry
             .get(&*table)
-            .and_then(|t| t.indexed_column.as_deref())
+            .and_then(|meta| meta.indexed_column.as_deref())
             .and_then(|col| payload.as_ref().and_then(|r| r.get_int(col)));
-        if inner
+        let mut guard = self.shards[sid].write();
+        let shard = &mut *guard;
+        if shard
             .segments
             .last()
             .is_none_or(|s| s.sealed || s.records.len() >= self.config.segment_records)
         {
-            self.seal_last(inner);
-            inner.segments.push(Segment::default());
+            self.seal_shard_segment(shard);
+            shard.segments.push(Segment::default());
         }
-        if let Some((first_write, frame)) = write_frame {
-            if first_write {
-                durable_emit(inner, &encode_begin_frame(writer));
-            }
-            durable_emit(inner, &frame);
+        if let Some(frame) = write_frame {
+            shard_emit(shard, &frame);
         }
-        let seg = inner.segments.len() - 1;
-        let segment = inner
+        let seg = shard.segments.len() - 1;
+        let segment = shard
             .segments
             .last_mut()
             .expect("open segment just ensured");
@@ -407,76 +588,77 @@ impl LogStore {
             index_key,
             payload: Payload::Inline(payload),
         });
-        inner.live += 1;
-        let tindex = inner
-            .tables
-            .get_mut(&*table)
-            .expect("append targets an interned table");
-        tindex.rows.entry(row).or_default().push(ptr);
+        shard.live += 1;
+        let stable = shard.tables.entry(Arc::clone(&table)).or_default();
+        stable.rows.entry(row).or_default().push(ptr);
         if let Some(key) = index_key {
-            *tindex.ordered.entry((key, row)).or_insert(0) += 1;
+            *stable.ordered.entry((key, row)).or_insert(0) += 1;
         }
-        inner.pending.entry(writer).or_default().push(ptr);
-        inner
-            .write_sets
+        drop(guard);
+        txns.pending.entry(writer).or_default().push((sid, ptr));
+        txns.write_sets
             .entry(writer)
             .or_default()
             .push((table, row, kind));
     }
 
-    /// Seal the open segment (if any) and, with spilling on, move its row
-    /// payloads out to the spill file.  A durable store also seals on
-    /// disk: the current write-ahead file is synced and a fresh one
-    /// opened, so a sealed segment's frames are never appended to again.
-    fn seal_last(&self, inner: &mut LogInner) {
-        let Some(last) = inner.segments.len().checked_sub(1) else {
+    /// Seal a shard's open segment (if any) and, with spilling on, move
+    /// its row payloads out to the shard's spill file.  A durable store
+    /// also seals on disk: the shard's write-ahead file is synced and a
+    /// fresh one opened, so a sealed segment's frames are never appended
+    /// to again.
+    fn seal_shard_segment(&self, shard: &mut LogShard) {
+        let Some(last) = shard.segments.len().checked_sub(1) else {
             return;
         };
-        if inner.segments[last].sealed {
+        if shard.segments[last].sealed {
             return;
         }
-        inner.segments[last].sealed = true;
-        self.spill_segment(inner, last);
-        durable_rotate(inner);
+        shard.segments[last].sealed = true;
+        self.spill_segment(shard, last);
+        shard_rotate(shard, &self.fsyncs);
     }
 
-    /// Move a sealed segment's inline row payloads out to the spill file
-    /// (no-op unless spilling is enabled).
-    fn spill_segment(&self, inner: &mut LogInner, seg: usize) {
+    /// Move a sealed segment's inline row payloads out to the shard's
+    /// spill file (no-op unless spilling is enabled).
+    fn spill_segment(&self, shard: &mut LogShard, seg: usize) {
         if !self.config.spill {
             return;
         }
         // Encode first, then borrow the spill file mutably: a record's
         // payload moves to `Spilled` only once its bytes are durably in
         // the file buffer.
-        for offset in 0..inner.segments[seg].records.len() {
-            let encoded = match &inner.segments[seg].records[offset].payload {
+        for offset in 0..shard.segments[seg].records.len() {
+            let encoded = match &shard.segments[seg].records[offset].payload {
                 Payload::Inline(Some(row)) => encode_row(row),
                 // Tombstones and already-spilled payloads stay put.
                 Payload::Inline(None) | Payload::Spilled { .. } => continue,
             };
-            let at = spill_write(inner, &encoded);
-            inner.segments[seg].records[offset].payload = Payload::Spilled {
+            let at = spill_write(shard, &encoded);
+            shard.segments[seg].records[offset].payload = Payload::Spilled {
                 offset: at,
                 len: encoded.len() as u32,
             };
         }
     }
 
-    fn intern(&self, inner: &mut LogInner, table: &str) -> Arc<str> {
-        if let Some(index) = inner.tables.get(table) {
-            return Arc::clone(&index.name);
+    /// Intern `table` in the registry, emitting its `CreateTable` frame
+    /// to the control shard on first sight of a durable store.
+    fn intern(&self, registry: &mut BTreeMap<Arc<str>, TableMeta>, table: &str) -> Arc<str> {
+        if let Some(meta) = registry.get(table) {
+            return Arc::clone(&meta.name);
         }
-        durable_emit(inner, &encode_create_table_frame(table));
+        if self.durable_on.load(Ordering::Acquire) {
+            let mut control = self.shards[0].write();
+            shard_emit(&mut control, &encode_create_table_frame(table));
+        }
         let name: Arc<str> = Arc::from(table);
-        inner.tables.insert(
+        registry.insert(
             Arc::clone(&name),
-            TableIndex {
+            TableMeta {
                 name: Arc::clone(&name),
                 next_row_id: 0,
-                rows: HashMap::new(),
                 indexed_column: None,
-                ordered: BTreeMap::new(),
             },
         );
         name
@@ -488,41 +670,53 @@ impl LogStore {
 
     fn read_row<F>(&self, table: &str, id: RowId, pick: F) -> Option<Row>
     where
-        F: Fn(&LogInner, &[RecordPtr]) -> Option<Row>,
+        F: Fn(&LogShard, &[RecordPtr]) -> Option<Row>,
     {
-        let inner = self.inner.read();
-        let ptrs = inner.tables.get(table)?.rows.get(&id)?;
-        pick(&inner, ptrs)
+        let shard = self.shards[self.shard_of(table, id)].read();
+        let ptrs = shard.tables.get(table)?.rows.get(&id)?;
+        pick(&shard, ptrs)
     }
 
     fn scan<F>(&self, predicate: &RowPredicate, pick: F) -> Vec<(RowId, Row)>
     where
-        F: Fn(&LogInner, &[RecordPtr]) -> Option<Row>,
+        F: Fn(&LogShard, &[RecordPtr]) -> Option<Row>,
     {
-        let inner = self.inner.read();
-        let Some(index) = inner.tables.get(predicate.table.as_str()) else {
-            return Vec::new();
+        let indexed = {
+            let registry = self.registry.read();
+            match registry.get(predicate.table.as_str()) {
+                Some(meta) => meta.indexed_column.clone(),
+                None => return Vec::new(),
+            }
         };
-        let mut rows: Vec<(RowId, Row)> = index
-            .rows
-            .iter()
-            .filter_map(|(id, ptrs)| {
-                pick(&inner, ptrs)
+        let mut rows: Vec<(RowId, Row)> = Vec::new();
+        for shard_lock in &self.shards {
+            let shard = shard_lock.read();
+            let Some(stable) = shard.tables.get(predicate.table.as_str()) else {
+                continue;
+            };
+            rows.extend(stable.rows.iter().filter_map(|(id, ptrs)| {
+                pick(&shard, ptrs)
                     .filter(|row| predicate.matches(&predicate.table, row))
                     .map(|row| (*id, row))
-            })
-            .collect();
-        sort_scan_output(index.indexed_column.as_deref(), &mut rows);
+            }));
+        }
+        sort_scan_output(indexed.as_deref(), &mut rows);
         rows
     }
 
-    /// Compaction: rewrite the segments without dead records and repoint
-    /// the index and pending sets.  Runs synchronously under the write
-    /// lock; spilled payload bytes stay where they are in the spill file
-    /// (the file is append-only garbage-tolerant — its size is bounded by
-    /// total bytes ever sealed, and it lives unlinked in tmp).
-    fn compact(&self, inner: &mut LogInner) {
-        let old_segments = std::mem::take(&mut inner.segments);
+    /// Compaction: rewrite one shard's segments without dead records and
+    /// repoint the index and pending sets.  Runs synchronously under the
+    /// shard's write lock (the caller holds the registry and transaction
+    /// table); other shards keep serving.
+    fn compact_shard(
+        &self,
+        registry: &BTreeMap<Arc<str>, TableMeta>,
+        txns: &mut TxnTable,
+        sid: usize,
+    ) {
+        let mut guard = self.shards[sid].write();
+        let shard = &mut *guard;
+        let old_segments = std::mem::take(&mut shard.segments);
         let mut remap: HashMap<RecordPtr, RecordPtr> = HashMap::new();
         let mut segments: Vec<Segment> = Vec::new();
         for (old_seg, segment) in old_segments.into_iter().enumerate() {
@@ -545,8 +739,8 @@ impl LogStore {
                 target.records.push(record);
             }
         }
-        inner.segments = segments;
-        inner.dead = 0;
+        shard.segments = segments;
+        shard.dead = 0;
         let repoint = |ptrs: &mut Vec<RecordPtr>| {
             for ptr in ptrs.iter_mut() {
                 *ptr = *remap
@@ -554,41 +748,195 @@ impl LogStore {
                     .expect("index pointer names a record that compaction dropped — only aborted (unindexed) records may be dropped");
             }
         };
-        for index in inner.tables.values_mut() {
-            for ptrs in index.rows.values_mut() {
+        for stable in shard.tables.values_mut() {
+            for ptrs in stable.rows.values_mut() {
                 repoint(ptrs);
             }
         }
-        for ptrs in inner.pending.values_mut() {
-            repoint(ptrs);
-        }
-        // Segments sealed by the repack above never pass through
-        // `seal_last`, so spill their surviving inline payloads here —
-        // otherwise records carried over from the formerly-open segment
-        // would stay on the heap forever and spill mode would silently
-        // stop bounding memory after the first compaction.
-        for seg in 0..inner.segments.len() {
-            if inner.segments[seg].sealed {
-                self.spill_segment(inner, seg);
+        for ptrs in txns.pending.values_mut() {
+            for entry in ptrs.iter_mut() {
+                if entry.0 == sid {
+                    entry.1 = *remap
+                        .get(&entry.1)
+                        .expect("pending pointer names a record that compaction dropped");
+                }
             }
         }
-        // A durable log compacts on disk too: the dead frames the repack
-        // just dropped from memory are still in the write-ahead files, so
-        // rewrite the file set as a fresh generation of live records only.
-        if inner.durable.is_some() {
-            self.durable_rewrite(inner);
+        // Segments sealed by the repack above never pass through
+        // `seal_shard_segment`, so spill their surviving inline payloads
+        // here — otherwise records carried over from the formerly-open
+        // segment would stay on the heap forever and spill mode would
+        // silently stop bounding memory after the first compaction.
+        for seg in 0..shard.segments.len() {
+            if shard.segments[seg].sealed {
+                self.spill_segment(shard, seg);
+            }
+        }
+        // A durable shard compacts on disk too: the dead frames the
+        // repack just dropped from memory are still in this shard's
+        // write-ahead chain, so rewrite it as a fresh generation.
+        if shard.wal.is_some() {
+            self.rewrite_shard(registry, shard, sid);
         }
     }
 
+    /// Rewrite-on-compact for one shard: emit its post-compaction state
+    /// as a fresh generation of write-ahead files (per-table metadata
+    /// first, then every surviving record with its commit state inlined),
+    /// fsync them, swap the shared manifest, and delete the shard's old
+    /// generation.  A crash anywhere in between recovers consistently:
+    /// the manifest names each shard's authoritative generation and
+    /// recovery deletes the other ones' files.
+    ///
+    /// The control shard (0) carries one extra responsibility: its chain
+    /// is the only home of `Commit` frames, including those covering
+    /// records in *other* shards whose frames carry no inline commit
+    /// state.  The rewrite therefore re-emits one `Commit` frame per
+    /// distinct live committed (timestamp, writer) pair found in the data
+    /// shards; replaying one against an already-stamped or absent write
+    /// set is a no-op.
+    fn rewrite_shard(
+        &self,
+        registry: &BTreeMap<Arc<str>, TableMeta>,
+        shard: &mut LogShard,
+        sid: usize,
+    ) {
+        // Collect the commit pairs *before* taking the durable mutex:
+        // shard read locks (ascending from this one) then `durable` is
+        // the store-wide order, and a concurrent data-shard rewrite holds
+        // its own shard lock while waiting on `durable`.
+        let mut commit_pairs: BTreeSet<(Timestamp, TxnToken)> = BTreeSet::new();
+        if sid == 0 {
+            for other in self.shards.iter().skip(1) {
+                let data = other.read();
+                for segment in &data.segments {
+                    for rec in &segment.records {
+                        if !rec.aborted {
+                            if let Some(ts) = rec.commit_ts {
+                                commit_pairs.insert((ts, rec.writer));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut durable_guard = self.durable.lock();
+        let durable = durable_guard
+            .as_mut()
+            .expect("rewrite of a shard with a wal — the durable state is attached");
+        let dir = durable.dir.clone();
+        let gen = durable.gens[sid] + 1;
+        let fail = |what: &str, e: io::Error| -> ! {
+            panic!("durable rewrite (shard {sid}, generation {gen}): {what} failed: {e} — the previous generation is still authoritative, but compaction cannot proceed")
+        };
+        // Per-table metadata: the row-id allocator, the indexed column,
+        // and this shard's ghost row slots (rows whose every record was
+        // aborted) — nothing in the surviving record stream re-creates
+        // these.
+        let mut head = Vec::new();
+        for (name, meta) in registry {
+            let mut ghosts: Vec<RowId> = shard
+                .tables
+                .get(&**name)
+                .map(|stable| {
+                    stable
+                        .rows
+                        .iter()
+                        .filter(|(_, ptrs)| ptrs.is_empty())
+                        .map(|(id, _)| *id)
+                        .collect()
+                })
+                .unwrap_or_default();
+            ghosts.sort_unstable();
+            head.extend_from_slice(&encode_table_meta_frame(
+                name,
+                meta.next_row_id,
+                meta.indexed_column.as_deref(),
+                &ghosts,
+            ));
+        }
+        for &(ts, writer) in &commit_pairs {
+            head.extend_from_slice(&encode_commit_frame(writer, ts));
+        }
+        // One file per in-memory segment, so the durable seal boundaries
+        // track the in-memory ones; the open segment's file stays open.
+        let mut last_file: Option<(File, u64, u64)> = None;
+        let segment_count = shard.segments.len().max(1);
+        for seg in 0..segment_count {
+            let mut buf = std::mem::take(&mut head);
+            if let Some(segment) = shard.segments.get(seg) {
+                for rec in &segment.records {
+                    let payload: Option<Vec<u8>> = match &rec.payload {
+                        Payload::Inline(Some(row)) => Some(encode_row(row)),
+                        Payload::Inline(None) => None,
+                        Payload::Spilled { offset, len } => Some(
+                            spill_read(shard, *offset, *len)
+                                .expect("spilled payload must be readable back for the rewrite"),
+                        ),
+                    };
+                    buf.extend_from_slice(&encode_write_frame(
+                        &rec.table,
+                        rec.row,
+                        rec.writer,
+                        rec.kind,
+                        rec.commit_ts,
+                        payload.as_deref(),
+                    ));
+                }
+            }
+            let path = dir.join(wal_file_name(sid, gen, seg as u64));
+            let mut file = File::options()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)
+                .unwrap_or_else(|e| fail("creating a segment file", e));
+            file.write_all(&buf)
+                .unwrap_or_else(|e| fail("writing a segment file", e));
+            file.sync_data()
+                .unwrap_or_else(|e| fail("syncing a segment file", e));
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            last_file = Some((file, seg as u64, buf.len() as u64));
+        }
+        durable.gens[sid] = gen;
+        write_manifest(&dir, &durable.gens, self.config)
+            .unwrap_or_else(|e| fail("swapping the manifest", e));
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        // This shard's old generation is garbage the moment the manifest
+        // names the new one; recovery would delete leftovers, but don't
+        // leave any.
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if parse_wal_name(name.to_str().unwrap_or(""))
+                    .is_some_and(|(s, g, _)| s == sid && g != gen)
+                {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        let (file, file_seq, written) = last_file.expect("at least one segment file was written");
+        shard.wal = Some(ShardWal {
+            dir,
+            shard: sid,
+            gen,
+            file_seq,
+            file,
+            written,
+            synced: written,
+        });
+    }
+
     // ------------------------------------------------------------------
-    // Durable log: open / recover / rewrite.
+    // Durable log: open / recover / replay.
     // ------------------------------------------------------------------
 
     /// Open (or recover) a durable log store rooted at `dir`.  A fresh
     /// directory gets a `MANIFEST` recording `config` and an empty first
-    /// write-ahead file; a directory that already holds a manifest is
-    /// recovered via [`LogStore::recover`] (its manifest configuration
-    /// wins — it is what the existing frames were written under).
+    /// write-ahead file per shard; a directory that already holds a
+    /// manifest is recovered via [`LogStore::recover`] (its manifest
+    /// configuration wins — it is what the existing frames were written
+    /// under).
     pub fn open_durable(dir: impl Into<PathBuf>, config: LogStoreConfig) -> io::Result<Self> {
         Self::open_durable_inner(dir.into(), config, false)
     }
@@ -598,7 +946,6 @@ impl LogStore {
     /// engine's durability knob uses: the fsync tax is real, the files
     /// are throwaway.
     pub fn open_durable_temp(config: LogStoreConfig) -> io::Result<Self> {
-        use std::sync::atomic::{AtomicU64, Ordering};
         static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let dir = std::env::temp_dir().join(format!(
             "critique-durable-{}-{}",
@@ -617,109 +964,165 @@ impl LogStore {
         if dir.join("MANIFEST").exists() {
             let store = Self::recover(&dir)?;
             store
-                .inner
-                .write()
                 .durable
+                .lock()
                 .as_mut()
-                .expect("recover attaches the durable log")
+                .expect("recover attaches the durable state")
                 .owns_dir = owns_dir;
             return Ok(store);
         }
         let store = Self::with_config(config);
-        write_manifest(&dir, 0, store.config)?;
-        let file = open_wal_file(&dir, 0, 0)?;
-        store.inner.write().durable = Some(DurableLog {
+        let gens = vec![0u64; store.shards.len()];
+        write_manifest(&dir, &gens, store.config)?;
+        for (sid, shard_lock) in store.shards.iter().enumerate() {
+            let file = open_wal_file(&dir, sid, 0, 0)?;
+            shard_lock.write().wal = Some(ShardWal {
+                dir: dir.clone(),
+                shard: sid,
+                gen: 0,
+                file_seq: 0,
+                file,
+                written: 0,
+                synced: 0,
+            });
+        }
+        *store.durable.lock() = Some(DurableShared {
             dir,
-            gen: 0,
-            file_seq: 0,
-            file,
-            fsyncs: 1,
+            gens,
             owns_dir,
         });
+        store.durable_on.store(true, Ordering::Release);
+        store.fsyncs.store(1, Ordering::Relaxed);
         Ok(store)
     }
 
-    /// Recover a durable store from `dir`: read the manifest, replay the
-    /// live generation's write-ahead files in order (deleting orphans a
-    /// crashed rewrite left behind), abort every writer whose commit
-    /// record never made it to disk, truncate a torn final frame, and
-    /// reopen the log for appending.
+    /// Recover a durable store from `dir`: read the manifest, replay each
+    /// shard's live-generation write-ahead chain (deleting orphans a
+    /// crashed rewrite left behind), merge the shards, abort every writer
+    /// whose commit record never made it to disk, truncate each shard's
+    /// torn final frame, and reopen the log for appending.
     ///
-    /// Torn-tail contract: frames are appended in mutation order and a
-    /// commit fsyncs *after* its `Commit` frame, so a complete `Commit`
-    /// frame is always preceded by every `Write` frame it covers —
-    /// dropping the unterminated suffix can therefore lose pending
-    /// writes (which recovery aborts anyway) but never a committed
-    /// record.  A torn frame anywhere but the final file is corruption
-    /// and recovery refuses it.
+    /// Replay is two passes.  Pass A walks the shards in ascending order
+    /// and applies every frame *except* `Commit`/`Abort`, which are
+    /// collected in the order shard 0's chain recorded them.  Pass B then
+    /// applies that deferred control stream — so a commit covering
+    /// records in several shards stamps all of them no matter which shard
+    /// replayed first, and the commit order recovery sees is exactly the
+    /// order the group-commit leader (or the per-commit path) wrote.
+    ///
+    /// Torn-tail contract, per shard: a commit fsyncs its writer's data
+    /// shards *before* appending and syncing the `Commit` frame in shard
+    /// 0, so a complete durable `Commit` frame is always preceded by
+    /// every durable `Write` frame it covers — dropping a shard's
+    /// unterminated suffix can therefore lose pending writes (which
+    /// recovery aborts anyway) but never a committed record.  A torn
+    /// frame anywhere but a chain's final file is corruption and recovery
+    /// refuses it.
     pub fn recover(dir: impl AsRef<Path>) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let (gen, config) = read_manifest(&dir)?;
+        let (gens, config) = read_manifest(&dir)?;
         let store = Self::with_config(config);
-        let mut seqs: Vec<u64> = Vec::new();
+        if gens.len() != store.shards.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "MANIFEST names {} shard generations but shards={}",
+                    gens.len(),
+                    store.shards.len()
+                ),
+            ));
+        }
+        let mut files: Vec<Vec<u64>> = vec![Vec::new(); store.shards.len()];
         for entry in fs::read_dir(&dir)? {
             let entry = entry?;
             let name = entry.file_name();
-            let Some((g, seq)) = parse_wal_name(name.to_str().unwrap_or("")) else {
+            let Some((sid, gen, seq)) = parse_wal_name(name.to_str().unwrap_or("")) else {
                 continue;
             };
-            if g == gen {
-                seqs.push(seq);
+            if sid < files.len() && gen == gens[sid] {
+                files[sid].push(seq);
             } else {
                 // Orphan of a rewrite that crashed around its manifest
                 // swap: the manifest decides which generation is real.
                 fs::remove_file(entry.path())?;
             }
         }
-        seqs.sort_unstable();
-        let mut last_valid = 0u64;
-        for (i, &seq) in seqs.iter().enumerate() {
-            let path = dir.join(wal_file_name(gen, seq));
-            let bytes = fs::read(&path)?;
-            let is_last = i + 1 == seqs.len();
-            let valid = store.replay_frames(&bytes, is_last, &path)?;
-            if is_last {
-                last_valid = valid as u64;
+        let mut deferred: Vec<DeferredControl> = Vec::new();
+        let mut tails: Vec<u64> = vec![0; store.shards.len()];
+        for (sid, seqs) in files.iter_mut().enumerate() {
+            seqs.sort_unstable();
+            for (i, &seq) in seqs.iter().enumerate() {
+                let path = dir.join(wal_file_name(sid, gens[sid], seq));
+                let bytes = fs::read(&path)?;
+                let is_last = i + 1 == seqs.len();
+                let valid = store.replay_frames(&bytes, is_last, &path, &mut deferred)?;
+                if is_last {
+                    tails[sid] = valid as u64;
+                }
+            }
+        }
+        // Pass B: the deferred control stream, in shard-0 chain order.
+        for control in deferred {
+            match control {
+                DeferredControl::Commit(writer, ts) => store.commit(writer, ts),
+                DeferredControl::Abort(writer) => store.abort(writer),
             }
         }
         // Writers with frames but no commit/abort record lost the crash.
-        let losers: Vec<TxnToken> = store.inner.read().write_sets.keys().copied().collect();
+        let losers: Vec<TxnToken> = store.txns.lock().write_sets.keys().copied().collect();
         for writer in losers {
             store.abort(writer);
         }
-        let (file, file_seq) = match seqs.last() {
-            Some(&seq) => {
-                let path = dir.join(wal_file_name(gen, seq));
-                let file = File::options().read(true).write(true).open(&path)?;
-                file.set_len(last_valid)?;
-                file.sync_data()?;
-                drop(file);
-                (File::options().append(true).open(&path)?, seq)
-            }
-            None => (open_wal_file(&dir, gen, 0)?, 0),
-        };
-        store.inner.write().durable = Some(DurableLog {
+        // Truncate each shard's torn tail on disk and reopen for append.
+        for (sid, seqs) in files.iter().enumerate() {
+            let (file, file_seq, len) = match seqs.last() {
+                Some(&seq) => {
+                    let path = dir.join(wal_file_name(sid, gens[sid], seq));
+                    let file = File::options().read(true).write(true).open(&path)?;
+                    file.set_len(tails[sid])?;
+                    file.sync_data()?;
+                    drop(file);
+                    (File::options().append(true).open(&path)?, seq, tails[sid])
+                }
+                None => (open_wal_file(&dir, sid, gens[sid], 0)?, 0, 0),
+            };
+            store.shards[sid].write().wal = Some(ShardWal {
+                dir: dir.clone(),
+                shard: sid,
+                gen: gens[sid],
+                file_seq,
+                file,
+                written: len,
+                synced: len,
+            });
+        }
+        *store.durable.lock() = Some(DurableShared {
             dir,
-            gen,
-            file_seq,
-            file,
-            fsyncs: 1,
+            gens,
             owns_dir: false,
         });
+        store.durable_on.store(true, Ordering::Release);
+        store.fsyncs.store(1, Ordering::Relaxed);
         Ok(store)
     }
 
     /// Replay one write-ahead file's frames, returning the length of the
-    /// valid prefix.  An incomplete frame at the end of the *final* file
-    /// is a torn tail (dropped); anywhere else it is corruption.
-    fn replay_frames(&self, bytes: &[u8], is_last: bool, path: &Path) -> io::Result<usize> {
+    /// valid prefix.  An incomplete frame at the end of a chain's *final*
+    /// file is a torn tail (dropped); anywhere else it is corruption.
+    fn replay_frames(
+        &self,
+        bytes: &[u8],
+        is_last: bool,
+        path: &Path,
+        deferred: &mut Vec<DeferredControl>,
+    ) -> io::Result<usize> {
         let mut at = 0usize;
         while let Some(header) = bytes.get(at..at + 4) {
             let body_len = u32::from_le_bytes(header.try_into().expect("4-byte slice")) as usize;
             let Some(body) = bytes.get(at + 4..at + 4 + body_len) else {
                 break;
             };
-            self.replay_frame(body).map_err(|e| {
+            self.replay_frame(body, deferred).map_err(|e| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("{}: frame at byte {at}: {e}", path.display()),
@@ -739,9 +1142,10 @@ impl LogStore {
         Ok(at)
     }
 
-    /// Apply one decoded frame through the ordinary mutation paths (the
-    /// durable log is not attached yet, so nothing is re-emitted).
-    fn replay_frame(&self, body: &[u8]) -> Result<(), String> {
+    /// Apply one decoded frame through the ordinary mutation paths (no
+    /// shard has its wal attached yet, so nothing is re-emitted).
+    /// `Commit`/`Abort` frames are deferred to recovery's second pass.
+    fn replay_frame(&self, body: &[u8], deferred: &mut Vec<DeferredControl>) -> Result<(), String> {
         let mut cur = FrameCursor { bytes: body, at: 0 };
         match cur.u8()? {
             FRAME_BEGIN => {
@@ -769,11 +1173,11 @@ impl LogStore {
             FRAME_COMMIT => {
                 let writer = TxnToken(cur.u64()?);
                 let ts = Timestamp(cur.u64()?);
-                self.commit(writer, ts);
+                deferred.push(DeferredControl::Commit(writer, ts));
             }
             FRAME_ABORT => {
                 let writer = TxnToken(cur.u64()?);
-                self.abort(writer);
+                deferred.push(DeferredControl::Abort(writer));
             }
             FRAME_CREATE_TABLE => {
                 let table = cur.str()?;
@@ -793,13 +1197,28 @@ impl LogStore {
                 for _ in 0..ghost_count {
                     ghosts.push(RowId(cur.u64()?));
                 }
-                let mut inner = self.inner.write();
-                let name = self.intern(&mut inner, &table);
-                let tindex = inner.tables.get_mut(&*name).expect("table just interned");
-                tindex.next_row_id = tindex.next_row_id.max(next_row_id);
-                tindex.indexed_column = indexed;
+                let mut registry = self.registry.write();
+                let name = self.intern(&mut registry, &table);
+                let meta = registry.get_mut(&*name).expect("table just interned");
+                meta.next_row_id = meta.next_row_id.max(next_row_id);
+                // Merge, don't clobber: a data shard's metadata may have
+                // been written before the index existed, but shard 0's
+                // CreateIndex frame (replayed earlier in this pass) is
+                // still authoritative.
+                if indexed.is_some() {
+                    meta.indexed_column = indexed;
+                }
+                drop(registry);
                 for ghost in ghosts {
-                    tindex.rows.entry(ghost).or_default();
+                    let sid = self.shard_of(&table, ghost);
+                    let mut shard = self.shards[sid].write();
+                    shard
+                        .tables
+                        .entry(Arc::clone(&name))
+                        .or_default()
+                        .rows
+                        .entry(ghost)
+                        .or_default();
                 }
             }
             other => return Err(format!("unknown frame tag {other}")),
@@ -808,9 +1227,10 @@ impl LogStore {
     }
 
     /// Replay one `Write` frame.  Frames from the live append path carry
-    /// no commit state (a later `Commit`/`Abort` frame resolves them);
-    /// frames from a compaction rewrite inline it, so the pending
-    /// bookkeeping the append path creates is immediately retired.
+    /// no commit state (a deferred `Commit`/`Abort` frame resolves them
+    /// in pass B); frames from a compaction rewrite inline it, so the
+    /// pending bookkeeping the append path creates is immediately
+    /// retired.
     fn replay_write(
         &self,
         table: &str,
@@ -820,157 +1240,126 @@ impl LogStore {
         payload: Option<Row>,
         commit_ts: Option<Timestamp>,
     ) {
-        let mut guard = self.inner.write();
-        let inner = &mut *guard;
-        let name = self.intern(inner, table);
+        let mut registry = self.registry.write();
+        let name = self.intern(&mut registry, table);
         if matches!(kind, WriteKind::Insert) {
-            let tindex = inner.tables.get_mut(&*name).expect("table just interned");
-            tindex.next_row_id = tindex.next_row_id.max(id.0 + 1);
+            let meta = registry.get_mut(&*name).expect("table just interned");
+            meta.next_row_id = meta.next_row_id.max(id.0 + 1);
         }
-        self.append(inner, name, id, writer, payload, kind);
+        let mut txns = self.txns.lock();
+        self.append(&registry, &mut txns, name, id, writer, payload, kind);
         if let Some(ts) = commit_ts {
-            let ptr = inner
+            let (sid, ptr) = txns
                 .pending
                 .get_mut(&writer)
                 .and_then(Vec::pop)
                 .expect("append just pushed a pending pointer");
-            if inner.pending.get(&writer).is_some_and(Vec::is_empty) {
-                inner.pending.remove(&writer);
+            if txns.pending.get(&writer).is_some_and(Vec::is_empty) {
+                txns.pending.remove(&writer);
             }
-            let writes = inner
+            let writes = txns
                 .write_sets
                 .get_mut(&writer)
                 .expect("append just pushed a write-set entry");
             writes.pop();
             if writes.is_empty() {
-                inner.write_sets.remove(&writer);
+                txns.write_sets.remove(&writer);
             }
-            inner.segments[ptr.0].records[ptr.1].commit_ts = Some(ts);
-            if inner.last_commit_ts.is_none_or(|t| t < ts) {
-                inner.last_commit_ts = Some(ts);
+            self.shards[sid].write().segments[ptr.0].records[ptr.1].commit_ts = Some(ts);
+            let mut last = self.last_commit.lock();
+            if last.is_none_or(|t| t < ts) {
+                *last = Some(ts);
             }
         }
     }
 
-    /// Rewrite-on-compact: emit the post-compaction state as a fresh
-    /// generation of write-ahead files (per-table metadata first, then
-    /// every surviving record with its commit state inlined), fsync them,
-    /// swap the manifest, and delete the old generation — so spill
-    /// garbage and dead records are bounded on disk as they are in
-    /// memory.  A crash anywhere in between recovers consistently: the
-    /// manifest names the authoritative generation and recovery deletes
-    /// the other one's files.
-    fn durable_rewrite(&self, inner: &mut LogInner) {
-        let (dir, old_gen, owns_dir, mut fsyncs) = {
-            let durable = inner.durable.as_ref().expect("durable log attached");
-            (
-                durable.dir.clone(),
-                durable.gen,
-                durable.owns_dir,
-                durable.fsyncs,
-            )
-        };
-        let gen = old_gen + 1;
-        let fail = |what: &str, e: io::Error| -> ! {
-            panic!("durable rewrite (generation {gen}): {what} failed: {e} — the previous generation is still authoritative, but compaction cannot proceed")
-        };
-        // Per-table metadata: the row-id allocator, the indexed column,
-        // and ghost row slots (rows whose every record was aborted) —
-        // nothing in the surviving record stream re-creates these.
-        let mut head = Vec::new();
-        for (name, tindex) in &inner.tables {
-            let mut ghosts: Vec<RowId> = tindex
-                .rows
-                .iter()
-                .filter(|(_, ptrs)| ptrs.is_empty())
-                .map(|(id, _)| *id)
-                .collect();
-            ghosts.sort_unstable();
-            head.extend_from_slice(&encode_table_meta_frame(
-                name,
-                tindex.next_row_id,
-                tindex.indexed_column.as_deref(),
-                &ghosts,
-            ));
-        }
-        // One file per in-memory segment, so the durable seal boundaries
-        // track the in-memory ones; the open segment's file stays open.
-        let mut last_file: Option<(File, u64)> = None;
-        let segment_count = inner.segments.len().max(1);
-        for seg in 0..segment_count {
-            let mut buf = std::mem::take(&mut head);
-            if let Some(segment) = inner.segments.get(seg) {
-                for rec in &segment.records {
-                    let payload: Option<Vec<u8>> = match &rec.payload {
-                        Payload::Inline(Some(row)) => Some(encode_row(row)),
-                        Payload::Inline(None) => None,
-                        Payload::Spilled { offset, len } => Some(
-                            spill_read(inner, *offset, *len)
-                                .expect("spilled payload must be readable back for the rewrite"),
-                        ),
-                    };
-                    buf.extend_from_slice(&encode_write_frame(
-                        &rec.table,
-                        rec.row,
-                        rec.writer,
-                        rec.kind,
-                        rec.commit_ts,
-                        payload.as_deref(),
-                    ));
+    // ------------------------------------------------------------------
+    // Group commit.
+    // ------------------------------------------------------------------
+
+    /// Park until `writer`'s queued commit record is durably flushed —
+    /// either by becoming the batch leader (first committer in holds the
+    /// window open, emits every queued `Commit` frame, and issues one
+    /// fsync) or by waiting a leader out.  Returns immediately when the
+    /// writer has nothing queued, or when a crash-simulation hold is on.
+    fn group_flush(&self, writer: TxnToken) {
+        loop {
+            let mut group = self.group.lock();
+            if !group.queued.contains(&writer) {
+                return;
+            }
+            if group.hold {
+                // Crash-simulation hook: acknowledge without durability;
+                // the held batch flushes via `flush_held_commits`.
+                return;
+            }
+            if group.leader {
+                self.group_cv.wait(&mut group);
+                continue;
+            }
+            group.leader = true;
+            drop(group);
+            if let GroupCommit::On { window_micros } = self.config.group_commit {
+                if window_micros > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(window_micros));
                 }
             }
-            let path = dir.join(wal_file_name(gen, seg as u64));
-            let mut file = File::options()
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(&path)
-                .unwrap_or_else(|e| fail("creating a segment file", e));
-            file.write_all(&buf)
-                .unwrap_or_else(|e| fail("writing a segment file", e));
-            file.sync_data()
-                .unwrap_or_else(|e| fail("syncing a segment file", e));
-            fsyncs += 1;
-            last_file = Some((file, seg as u64));
-        }
-        write_manifest(&dir, gen, self.config).unwrap_or_else(|e| fail("swapping the manifest", e));
-        fsyncs += 1;
-        // The old generation is garbage the moment the manifest names the
-        // new one; recovery would delete leftovers, but don't leave any.
-        if let Ok(entries) = fs::read_dir(&dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                if parse_wal_name(name.to_str().unwrap_or("")).is_some_and(|(g, _)| g != gen) {
-                    let _ = fs::remove_file(entry.path());
-                }
+            let batch = std::mem::take(&mut self.group.lock().queue);
+            self.flush_batch(&batch);
+            let mut group = self.group.lock();
+            for (w, _) in &batch {
+                group.queued.remove(w);
             }
+            group.leader = false;
+            self.group_cv.notify_all();
+            // Loop: if this writer's record was in the batch it is no
+            // longer queued and the next iteration returns.
         }
-        let (file, file_seq) = last_file.expect("at least one segment file was written");
-        inner.durable = Some(DurableLog {
-            dir,
-            gen,
-            file_seq,
-            file,
-            fsyncs,
-            owns_dir,
-        });
+    }
+
+    /// Durably flush one batch of commit records: fsync every dirty data
+    /// shard (their `Write` frames must hit disk before any `Commit`
+    /// frame covering them does), then append the batch's `Commit`
+    /// frames to the control shard in enqueue order and fsync **once**.
+    fn flush_batch(&self, batch: &[(TxnToken, Timestamp)]) {
+        if batch.is_empty() {
+            return;
+        }
+        for shard_lock in self.shards.iter().skip(1) {
+            shard_sync(&mut shard_lock.write(), &self.fsyncs);
+        }
+        let mut control = self.shards[0].write();
+        for &(writer, ts) in batch {
+            shard_emit(&mut control, &encode_commit_frame(writer, ts));
+        }
+        shard_sync(&mut control, &self.fsyncs);
+    }
+
+    /// Whether `table` has a (possibly empty) version slot for `id` in
+    /// its owning shard — the existence check behind `update`/`delete`.
+    fn row_slot_exists(&self, table: &str, id: RowId) -> bool {
+        let shard = self.shards[self.shard_of(table, id)].read();
+        shard
+            .tables
+            .get(table)
+            .is_some_and(|stable| stable.rows.contains_key(&id))
     }
 }
 
 // ---------------------------------------------------------------------
-// Record access helpers (free functions so closures can borrow `LogInner`
+// Record access helpers (free functions so closures can borrow `LogShard`
 // immutably while the store's methods hold the lock guard).
 // ---------------------------------------------------------------------
 
-fn record<'a>(inner: &'a LogInner, ptr: &RecordPtr) -> &'a LogRecord {
-    &inner.segments[ptr.0].records[ptr.1]
+fn record<'a>(shard: &'a LogShard, ptr: &RecordPtr) -> &'a LogRecord {
+    &shard.segments[ptr.0].records[ptr.1]
 }
 
-fn payload_row(inner: &LogInner, rec: &LogRecord) -> Option<Row> {
+fn payload_row(shard: &LogShard, rec: &LogRecord) -> Option<Row> {
     match &rec.payload {
         Payload::Inline(row) => row.clone(),
         Payload::Spilled { offset, len } => {
-            let bytes = spill_read(inner, *offset, *len)
+            let bytes = spill_read(shard, *offset, *len)
                 .expect("spilled payload must be readable back from the spill file");
             Some(decode_row(&bytes).expect("spilled payload bytes must decode as a row"))
         }
@@ -982,45 +1371,45 @@ fn is_tombstone(rec: &LogRecord) -> bool {
 }
 
 /// The most recent record regardless of commit state (dirty read).
-fn latest_any(inner: &LogInner, ptrs: &[RecordPtr]) -> Option<Row> {
+fn latest_any(shard: &LogShard, ptrs: &[RecordPtr]) -> Option<Row> {
     ptrs.last()
-        .and_then(|p| payload_row(inner, record(inner, p)))
+        .and_then(|p| payload_row(shard, record(shard, p)))
 }
 
 /// The most recent committed record.
-fn latest_committed(inner: &LogInner, ptrs: &[RecordPtr]) -> Option<Row> {
+fn latest_committed(shard: &LogShard, ptrs: &[RecordPtr]) -> Option<Row> {
     ptrs.iter()
         .rev()
-        .map(|p| record(inner, p))
+        .map(|p| record(shard, p))
         .find(|r| r.commit_ts.is_some())
-        .and_then(|r| payload_row(inner, r))
+        .and_then(|r| payload_row(shard, r))
 }
 
 /// The most recent record committed at or before `ts`.
 fn committed_as_of<'a>(
-    inner: &'a LogInner,
+    shard: &'a LogShard,
     ptrs: &[RecordPtr],
     ts: Timestamp,
 ) -> Option<&'a LogRecord> {
     ptrs.iter()
         .rev()
-        .map(|p| record(inner, p))
+        .map(|p| record(shard, p))
         .find(|r| matches!(r.commit_ts, Some(c) if c <= ts))
 }
 
 /// Snapshot Isolation visibility (own uncommitted write first).
 fn visible_for(
-    inner: &LogInner,
+    shard: &LogShard,
     ptrs: &[RecordPtr],
     reader: TxnToken,
     start_ts: Timestamp,
 ) -> Option<Row> {
     ptrs.iter()
         .rev()
-        .map(|p| record(inner, p))
+        .map(|p| record(shard, p))
         .find(|r| r.writer == reader && r.commit_ts.is_none())
-        .or_else(|| committed_as_of(inner, ptrs, start_ts))
-        .and_then(|r| payload_row(inner, r))
+        .or_else(|| committed_as_of(shard, ptrs, start_ts))
+        .and_then(|r| payload_row(shard, r))
 }
 
 impl StorageBackend for LogStore {
@@ -1029,37 +1418,46 @@ impl StorageBackend for LogStore {
     }
 
     fn create_table(&self, table: &str) {
-        let mut inner = self.inner.write();
-        self.intern(&mut inner, table);
+        let mut registry = self.registry.write();
+        self.intern(&mut registry, table);
     }
 
     fn tables(&self) -> Vec<TableName> {
-        self.inner
-            .read()
-            .tables
-            .keys()
-            .map(|k| k.to_string())
-            .collect()
+        self.registry.read().keys().map(|k| k.to_string()).collect()
     }
 
     fn row_ids(&self, table: &str) -> Vec<RowId> {
-        let inner = self.inner.read();
-        let mut ids: Vec<RowId> = inner
-            .tables
-            .get(table)
-            .map(|t| t.rows.keys().copied().collect())
-            .unwrap_or_default();
+        let mut ids: Vec<RowId> = Vec::new();
+        for shard_lock in &self.shards {
+            let shard = shard_lock.read();
+            if let Some(stable) = shard.tables.get(table) {
+                ids.extend(stable.rows.keys().copied());
+            }
+        }
         ids.sort_unstable();
         ids
     }
 
     fn insert(&self, table: &str, writer: TxnToken, row: Row) -> RowId {
-        let mut inner = self.inner.write();
-        let name = self.intern(&mut inner, table);
-        let index = inner.tables.get_mut(&*name).expect("table just interned");
-        let id = RowId(index.next_row_id);
-        index.next_row_id += 1;
-        self.append(&mut inner, name, id, writer, Some(row), WriteKind::Insert);
+        let (name, id) = {
+            let mut registry = self.registry.write();
+            let name = self.intern(&mut registry, table);
+            let meta = registry.get_mut(&*name).expect("table just interned");
+            let id = RowId(meta.next_row_id);
+            meta.next_row_id += 1;
+            (name, id)
+        };
+        let registry = self.registry.read();
+        let mut txns = self.txns.lock();
+        self.append(
+            &registry,
+            &mut txns,
+            name,
+            id,
+            writer,
+            Some(row),
+            WriteKind::Insert,
+        );
         id
     }
 
@@ -1070,28 +1468,46 @@ impl StorageBackend for LogStore {
         id: RowId,
         row: Row,
     ) -> Result<(), StorageError> {
-        let mut inner = self.inner.write();
-        let name = match inner.tables.get(table) {
-            Some(index) => Arc::clone(&index.name),
+        let registry = self.registry.read();
+        let name = match registry.get(table) {
+            Some(meta) => Arc::clone(&meta.name),
             None => return Err(StorageError::NoSuchTable(table.to_string())),
         };
-        if !inner.tables[&*name].rows.contains_key(&id) {
+        if !self.row_slot_exists(&name, id) {
             return Err(StorageError::NoSuchRow(table.to_string(), id));
         }
-        self.append(&mut inner, name, id, writer, Some(row), WriteKind::Update);
+        let mut txns = self.txns.lock();
+        self.append(
+            &registry,
+            &mut txns,
+            name,
+            id,
+            writer,
+            Some(row),
+            WriteKind::Update,
+        );
         Ok(())
     }
 
     fn delete(&self, table: &str, writer: TxnToken, id: RowId) -> Result<(), StorageError> {
-        let mut inner = self.inner.write();
-        let name = match inner.tables.get(table) {
-            Some(index) => Arc::clone(&index.name),
+        let registry = self.registry.read();
+        let name = match registry.get(table) {
+            Some(meta) => Arc::clone(&meta.name),
             None => return Err(StorageError::NoSuchTable(table.to_string())),
         };
-        if !inner.tables[&*name].rows.contains_key(&id) {
+        if !self.row_slot_exists(&name, id) {
             return Err(StorageError::NoSuchRow(table.to_string(), id));
         }
-        self.append(&mut inner, name, id, writer, None, WriteKind::Delete);
+        let mut txns = self.txns.lock();
+        self.append(
+            &registry,
+            &mut txns,
+            name,
+            id,
+            writer,
+            None,
+            WriteKind::Delete,
+        );
         Ok(())
     }
 
@@ -1104,8 +1520,8 @@ impl StorageBackend for LogStore {
     }
 
     fn get_committed_as_of(&self, table: &str, id: RowId, ts: Timestamp) -> Option<Row> {
-        self.read_row(table, id, |inner, ptrs| {
-            committed_as_of(inner, ptrs, ts).and_then(|r| payload_row(inner, r))
+        self.read_row(table, id, |shard, ptrs| {
+            committed_as_of(shard, ptrs, ts).and_then(|r| payload_row(shard, r))
         })
     }
 
@@ -1116,8 +1532,8 @@ impl StorageBackend for LogStore {
         reader: TxnToken,
         start_ts: Timestamp,
     ) -> Option<Row> {
-        self.read_row(table, id, |inner, ptrs| {
-            visible_for(inner, ptrs, reader, start_ts)
+        self.read_row(table, id, |shard, ptrs| {
+            visible_for(shard, ptrs, reader, start_ts)
         })
     }
 
@@ -1130,8 +1546,8 @@ impl StorageBackend for LogStore {
     }
 
     fn scan_committed_as_of(&self, predicate: &RowPredicate, ts: Timestamp) -> Vec<(RowId, Row)> {
-        self.scan(predicate, |inner, ptrs| {
-            committed_as_of(inner, ptrs, ts).and_then(|r| payload_row(inner, r))
+        self.scan(predicate, |shard, ptrs| {
+            committed_as_of(shard, ptrs, ts).and_then(|r| payload_row(shard, r))
         })
     }
 
@@ -1141,49 +1557,63 @@ impl StorageBackend for LogStore {
         reader: TxnToken,
         start_ts: Timestamp,
     ) -> Vec<(RowId, Row)> {
-        self.scan(predicate, |inner, ptrs| {
-            visible_for(inner, ptrs, reader, start_ts)
+        self.scan(predicate, |shard, ptrs| {
+            visible_for(shard, ptrs, reader, start_ts)
         })
     }
 
     fn create_index(&self, table: &str, column: &str) {
-        let mut inner = self.inner.write();
-        let name = self.intern(&mut inner, table);
-        if inner.tables[&*name].indexed_column.as_deref() == Some(column) {
+        let mut registry = self.registry.write();
+        let name = self.intern(&mut registry, table);
+        let meta = registry.get_mut(&*name).expect("table just interned");
+        if meta.indexed_column.as_deref() == Some(column) {
             return;
         }
-        durable_emit(&mut inner, &encode_create_index_frame(table, column));
-        // Backfill: stamp every live record with its key in the new
-        // column, then rebuild the ordered map from those stamps.
-        let ptrs: Vec<RecordPtr> = inner.tables[&*name]
-            .rows
-            .values()
-            .flat_map(|v| v.iter().copied())
-            .collect();
-        let mut ordered: BTreeMap<(i64, RowId), usize> = BTreeMap::new();
-        let mut stamped: Vec<(RecordPtr, Option<i64>)> = Vec::with_capacity(ptrs.len());
-        for ptr in ptrs {
-            let rec = record(&inner, &ptr);
-            let key = payload_row(&inner, rec).and_then(|r| r.get_int(column));
-            if let Some(key) = key {
-                *ordered.entry((key, rec.row)).or_insert(0) += 1;
+        meta.indexed_column = Some(column.to_string());
+        if self.durable_on.load(Ordering::Acquire) {
+            let mut control = self.shards[0].write();
+            shard_emit(&mut control, &encode_create_index_frame(table, column));
+        }
+        // Backfill shard by shard: stamp every live record with its key
+        // in the new column, then rebuild the shard's ordered slice from
+        // those stamps.
+        for shard_lock in &self.shards {
+            let mut guard = shard_lock.write();
+            let shard = &mut *guard;
+            let Some(stable) = shard.tables.get(&*name) else {
+                continue;
+            };
+            let ptrs: Vec<RecordPtr> = stable
+                .rows
+                .values()
+                .flat_map(|v| v.iter().copied())
+                .collect();
+            let mut ordered: BTreeMap<(i64, RowId), usize> = BTreeMap::new();
+            let mut stamped: Vec<(RecordPtr, Option<i64>)> = Vec::with_capacity(ptrs.len());
+            for ptr in ptrs {
+                let rec = record(shard, &ptr);
+                let key = payload_row(shard, rec).and_then(|r| r.get_int(column));
+                if let Some(key) = key {
+                    *ordered.entry((key, rec.row)).or_insert(0) += 1;
+                }
+                stamped.push((ptr, key));
             }
-            stamped.push((ptr, key));
+            for (ptr, key) in stamped {
+                shard.segments[ptr.0].records[ptr.1].index_key = key;
+            }
+            let stable = shard
+                .tables
+                .get_mut(&*name)
+                .expect("shard table just probed");
+            stable.ordered = ordered;
         }
-        for (ptr, key) in stamped {
-            inner.segments[ptr.0].records[ptr.1].index_key = key;
-        }
-        let tindex = inner.tables.get_mut(&*name).expect("table just interned");
-        tindex.indexed_column = Some(column.to_string());
-        tindex.ordered = ordered;
     }
 
     fn indexed_column(&self, table: &str) -> Option<String> {
-        self.inner
+        self.registry
             .read()
-            .tables
             .get(table)
-            .and_then(|t| t.indexed_column.clone())
+            .and_then(|meta| meta.indexed_column.clone())
     }
 
     fn scan_range(
@@ -1196,47 +1626,57 @@ impl StorageBackend for LogStore {
         if range.is_int_empty() {
             return Vec::new();
         }
-        let inner = self.inner.read();
-        let Some(index) = inner.tables.get(table) else {
-            return Vec::new();
-        };
-        let pick = |ptrs: &[RecordPtr]| -> Option<Row> {
-            match view {
-                ScanView::LatestAny => latest_any(&inner, ptrs),
-                ScanView::LatestCommitted => latest_committed(&inner, ptrs),
-                ScanView::CommittedAsOf(ts) => {
-                    committed_as_of(&inner, ptrs, ts).and_then(|r| payload_row(&inner, r))
-                }
-                ScanView::Visible { reader, start_ts } => {
-                    visible_for(&inner, ptrs, reader, start_ts)
-                }
+        let indexed = {
+            let registry = self.registry.read();
+            match registry.get(table) {
+                Some(meta) => meta.indexed_column.clone(),
+                None => return Vec::new(),
             }
         };
         let mut rows: Vec<(i64, RowId, Row)> = Vec::new();
-        if index.indexed_column.as_deref() == Some(column) {
-            // The ordered index covers every live record, so the probe can
-            // only over-approximate; the picked version is re-checked.
-            let lo = (range.lo().unwrap_or(i64::MIN), RowId(0));
-            let hi = (range.hi().unwrap_or(i64::MAX), RowId(u64::MAX));
-            let mut visited = HashSet::new();
-            for &(_, id) in index.ordered.range(lo..=hi).map(|(entry, _)| entry) {
-                if !visited.insert(id) {
-                    continue;
+        for shard_lock in &self.shards {
+            let shard = shard_lock.read();
+            let Some(stable) = shard.tables.get(table) else {
+                continue;
+            };
+            let pick = |ptrs: &[RecordPtr]| -> Option<Row> {
+                match view {
+                    ScanView::LatestAny => latest_any(&shard, ptrs),
+                    ScanView::LatestCommitted => latest_committed(&shard, ptrs),
+                    ScanView::CommittedAsOf(ts) => {
+                        committed_as_of(&shard, ptrs, ts).and_then(|r| payload_row(&shard, r))
+                    }
+                    ScanView::Visible { reader, start_ts } => {
+                        visible_for(&shard, ptrs, reader, start_ts)
+                    }
                 }
-                if let Some(row) = index.rows.get(&id).and_then(|ptrs| pick(ptrs)) {
-                    if let Some(key) = row.get_int(column) {
-                        if range.contains(key) {
-                            rows.push((key, id, row));
+            };
+            if indexed.as_deref() == Some(column) {
+                // The ordered slice covers every live record in this
+                // shard, so the probe can only over-approximate; the
+                // picked version is re-checked.
+                let lo = (range.lo().unwrap_or(i64::MIN), RowId(0));
+                let hi = (range.hi().unwrap_or(i64::MAX), RowId(u64::MAX));
+                let mut visited = HashSet::new();
+                for &(_, id) in stable.ordered.range(lo..=hi).map(|(entry, _)| entry) {
+                    if !visited.insert(id) {
+                        continue;
+                    }
+                    if let Some(row) = stable.rows.get(&id).and_then(|ptrs| pick(ptrs)) {
+                        if let Some(key) = row.get_int(column) {
+                            if range.contains(key) {
+                                rows.push((key, id, row));
+                            }
                         }
                     }
                 }
-            }
-        } else {
-            for (id, ptrs) in &index.rows {
-                if let Some(row) = pick(ptrs) {
-                    if let Some(key) = row.get_int(column) {
-                        if range.contains(key) {
-                            rows.push((key, *id, row));
+            } else {
+                for (id, ptrs) in &stable.rows {
+                    if let Some(row) = pick(ptrs) {
+                        if let Some(key) = row.get_int(column) {
+                            if range.contains(key) {
+                                rows.push((key, *id, row));
+                            }
                         }
                     }
                 }
@@ -1247,8 +1687,8 @@ impl StorageBackend for LogStore {
     }
 
     fn writes_of(&self, writer: TxnToken) -> Vec<(TableName, RowId, WriteKind)> {
-        self.inner
-            .read()
+        self.txns
+            .lock()
             .write_sets
             .get(&writer)
             .map(|writes| {
@@ -1265,117 +1705,190 @@ impl StorageBackend for LogStore {
         writer: TxnToken,
         start_ts: Timestamp,
     ) -> Option<(TableName, RowId)> {
-        let inner = self.inner.read();
-        let writes = inner.write_sets.get(&writer)?;
-        for (table, id, _) in writes {
-            let conflict = inner
+        let writes: Vec<(Arc<str>, RowId)> = {
+            let txns = self.txns.lock();
+            let writes = txns.write_sets.get(&writer)?;
+            writes
+                .iter()
+                .map(|(table, id, _)| (Arc::clone(table), *id))
+                .collect()
+        };
+        for (table, id) in writes {
+            let shard = self.shards[self.shard_of(&table, id)].read();
+            let conflict = shard
                 .tables
-                .get(&**table)
-                .and_then(|t| t.rows.get(id))
+                .get(&*table)
+                .and_then(|t| t.rows.get(&id))
                 .expect("write-set entry names an indexed row — the append path indexes before recording")
                 .iter()
-                .map(|p| record(&inner, p))
+                .map(|p| record(&shard, p))
                 .any(|r| r.writer != writer && matches!(r.commit_ts, Some(c) if c > start_ts));
             if conflict {
-                return Some((table.to_string(), *id));
+                return Some((table.to_string(), id));
             }
         }
         None
     }
 
     fn has_foreign_uncommitted_on_writes(&self, writer: TxnToken) -> bool {
-        let inner = self.inner.read();
-        let Some(writes) = inner.write_sets.get(&writer) else {
-            return false;
+        let writes: Vec<(Arc<str>, RowId)> = {
+            let txns = self.txns.lock();
+            match txns.write_sets.get(&writer) {
+                Some(writes) => writes
+                    .iter()
+                    .map(|(table, id, _)| (Arc::clone(table), *id))
+                    .collect(),
+                None => return false,
+            }
         };
-        writes.iter().any(|(table, id, _)| {
-            inner
+        writes.iter().any(|(table, id)| {
+            let shard = self.shards[self.shard_of(table, *id)].read();
+            shard
                 .tables
                 .get(&**table)
                 .and_then(|t| t.rows.get(id))
                 .expect("write-set entry names an indexed row — the append path indexes before recording")
                 .iter()
-                .map(|p| record(&inner, p))
+                .map(|p| record(&shard, p))
                 .any(|r| r.writer != writer && r.commit_ts.is_none())
         })
     }
 
     fn commit(&self, writer: TxnToken, ts: Timestamp) {
-        let mut inner = self.inner.write();
-        let had_writes = inner.write_sets.remove(&writer).is_some();
-        let pending = inner.pending.remove(&writer).unwrap_or_default();
-        for ptr in pending {
-            let rec = &mut inner.segments[ptr.0].records[ptr.1];
-            assert_eq!(
-                rec.writer, writer,
-                "commit({writer}): pending pointer resolves to a record owned by {} — the pending set and the log disagree",
-                rec.writer,
-            );
-            assert!(
-                rec.commit_ts.is_none(),
-                "commit({writer}): record at {ptr:?} is already committed at {:?} — a version must be stamped exactly once",
-                rec.commit_ts,
-            );
-            rec.commit_ts = Some(ts);
+        let mut txns = self.txns.lock();
+        let had_writes = txns.write_sets.remove(&writer).is_some();
+        let pending = txns.pending.remove(&writer).unwrap_or_default();
+        // Stamp shard by shard, ascending (the store-wide lock order).
+        let mut by_shard: BTreeMap<usize, Vec<RecordPtr>> = BTreeMap::new();
+        for (sid, ptr) in pending {
+            by_shard.entry(sid).or_default().push(ptr);
+        }
+        for (&sid, ptrs) in &by_shard {
+            let mut shard = self.shards[sid].write();
+            for ptr in ptrs {
+                let rec = &mut shard.segments[ptr.0].records[ptr.1];
+                assert_eq!(
+                    rec.writer, writer,
+                    "commit({writer}): pending pointer resolves to a record owned by {} — the pending set and the log disagree",
+                    rec.writer,
+                );
+                assert!(
+                    rec.commit_ts.is_none(),
+                    "commit({writer}): record at {ptr:?} is already committed at {:?} — a version must be stamped exactly once",
+                    rec.commit_ts,
+                );
+                rec.commit_ts = Some(ts);
+            }
         }
         if had_writes {
-            if inner.last_commit_ts.is_none_or(|t| t < ts) {
-                inner.last_commit_ts = Some(ts);
+            {
+                let mut last = self.last_commit.lock();
+                if last.is_none_or(|t| t < ts) {
+                    *last = Some(ts);
+                }
             }
-            // The commit boundary: the transaction is durable exactly when
-            // its Commit frame is on disk.  Read-only commits (no write
-            // set) touch nothing durable and pay no fsync.
-            if inner.durable.is_some() {
-                durable_emit(&mut inner, &encode_commit_frame(writer, ts));
-                durable_sync(&mut inner);
+            // The commit boundary: the transaction is durable exactly
+            // when its Commit frame (and, transitively, every data frame
+            // it covers) is on disk.  Read-only commits (no write set)
+            // touch nothing durable and pay no fsync.
+            if self.durable_on.load(Ordering::Acquire) {
+                match self.config.group_commit {
+                    GroupCommit::Off => {
+                        // Data shards first: a durable Commit frame must
+                        // never cover un-synced Write frames, even when a
+                        // concurrent committer's shard-0 fsync lands
+                        // between our emit and our sync.
+                        for &sid in by_shard.keys() {
+                            if sid != 0 {
+                                shard_sync(&mut self.shards[sid].write(), &self.fsyncs);
+                            }
+                        }
+                        let mut control = self.shards[0].write();
+                        shard_emit(&mut control, &encode_commit_frame(writer, ts));
+                        shard_sync(&mut control, &self.fsyncs);
+                    }
+                    GroupCommit::On { .. } => {
+                        // Enqueue only; the engine's follow-up
+                        // `flush_commit` (outside its commit-sequence
+                        // lock) parks behind the batch leader.  Enqueue
+                        // order is commit order — the engine serialises
+                        // calls to `commit`.
+                        let mut group = self.group.lock();
+                        group.queue.push((writer, ts));
+                        group.queued.insert(writer);
+                    }
+                }
             }
         }
     }
 
-    fn abort(&self, writer: TxnToken) {
-        let mut inner = self.inner.write();
-        inner.write_sets.remove(&writer);
-        let pending = inner.pending.remove(&writer).unwrap_or_default();
-        for ptr in &pending {
-            let rec = &mut inner.segments[ptr.0].records[ptr.1];
-            assert!(
-                rec.commit_ts.is_none(),
-                "abort({writer}): record at {ptr:?} was already committed — commit and abort are mutually exclusive",
-            );
-            rec.aborted = true;
-            // Unlink from the row's index entry; the (possibly empty)
-            // entry itself stays, like an empty version chain.
-            let table = Arc::clone(&rec.table);
-            let row = rec.row;
-            let index_key = rec.index_key;
-            let tindex = inner
-                .tables
-                .get_mut(&*table)
-                .expect("aborting an indexed record — the append path indexes before recording");
-            tindex
-                .rows
-                .get_mut(&row)
-                .expect("aborting an indexed record — the append path indexes before recording")
-                .retain(|p| p != ptr);
-            if let Some(key) = index_key {
-                if let Some(count) = tindex.ordered.get_mut(&(key, row)) {
-                    *count -= 1;
-                    if *count == 0 {
-                        tindex.ordered.remove(&(key, row));
-                    }
-                }
-            }
-            inner.dead += 1;
-            inner.live -= 1;
+    fn flush_commit(&self, writer: TxnToken) {
+        if matches!(self.config.group_commit, GroupCommit::On { .. })
+            && self.durable_on.load(Ordering::Acquire)
+        {
+            self.group_flush(writer);
         }
+    }
+
+    fn abort(&self, writer: TxnToken) {
+        // Registry first: compaction (triggered below) snapshots table
+        // metadata, and the store-wide order is registry → txns → shards.
+        let registry = self.registry.read();
+        let mut txns = self.txns.lock();
+        txns.write_sets.remove(&writer);
+        let pending = txns.pending.remove(&writer).unwrap_or_default();
         // No fsync: a writer with no durable Commit frame is aborted by
         // recovery anyway, so the Abort frame is an optimisation (it lets
         // replay reclaim the records) rather than a durability point.
-        if !pending.is_empty() && inner.durable.is_some() {
-            durable_emit(&mut inner, &encode_abort_frame(writer));
+        if !pending.is_empty() && self.durable_on.load(Ordering::Acquire) {
+            let mut control = self.shards[0].write();
+            shard_emit(&mut control, &encode_abort_frame(writer));
         }
-        if inner.dead >= self.config.compact_watermark {
-            self.compact(&mut inner);
+        let mut by_shard: BTreeMap<usize, Vec<RecordPtr>> = BTreeMap::new();
+        for (sid, ptr) in pending {
+            by_shard.entry(sid).or_default().push(ptr);
+        }
+        let mut compact: Vec<usize> = Vec::new();
+        for (&sid, ptrs) in &by_shard {
+            let mut guard = self.shards[sid].write();
+            let shard = &mut *guard;
+            for ptr in ptrs {
+                let rec = &mut shard.segments[ptr.0].records[ptr.1];
+                assert!(
+                    rec.commit_ts.is_none(),
+                    "abort({writer}): record at {ptr:?} was already committed — commit and abort are mutually exclusive",
+                );
+                rec.aborted = true;
+                // Unlink from the row's index entry; the (possibly empty)
+                // entry itself stays, like an empty version chain.
+                let table = Arc::clone(&rec.table);
+                let row = rec.row;
+                let index_key = rec.index_key;
+                let stable = shard.tables.get_mut(&*table).expect(
+                    "aborting an indexed record — the append path indexes before recording",
+                );
+                stable
+                    .rows
+                    .get_mut(&row)
+                    .expect("aborting an indexed record — the append path indexes before recording")
+                    .retain(|p| p != ptr);
+                if let Some(key) = index_key {
+                    if let Some(count) = stable.ordered.get_mut(&(key, row)) {
+                        *count -= 1;
+                        if *count == 0 {
+                            stable.ordered.remove(&(key, row));
+                        }
+                    }
+                }
+                shard.dead += 1;
+                shard.live -= 1;
+            }
+            if shard.dead >= self.config.compact_watermark {
+                compact.push(sid);
+            }
+        }
+        for sid in compact {
+            self.compact_shard(&registry, &mut txns, sid);
         }
     }
 
@@ -1384,64 +1897,95 @@ impl StorageBackend for LogStore {
     }
 
     fn committed_row_count(&self, table: &str) -> usize {
-        let inner = self.inner.read();
-        let Some(index) = inner.tables.get(table) else {
-            return 0;
-        };
-        index
-            .rows
-            .values()
-            .filter(|ptrs| {
-                ptrs.iter()
-                    .rev()
-                    .map(|p| record(&inner, p))
-                    .find(|r| r.commit_ts.is_some())
-                    .is_some_and(|r| !is_tombstone(r))
+        self.shards
+            .iter()
+            .map(|shard_lock| {
+                let shard = shard_lock.read();
+                let Some(stable) = shard.tables.get(table) else {
+                    return 0;
+                };
+                stable
+                    .rows
+                    .values()
+                    .filter(|ptrs| {
+                        ptrs.iter()
+                            .rev()
+                            .map(|p| record(&shard, p))
+                            .find(|r| r.commit_ts.is_some())
+                            .is_some_and(|r| !is_tombstone(r))
+                    })
+                    .count()
             })
-            .count()
+            .sum()
     }
 
     fn version_count(&self) -> usize {
-        self.inner.read().live
+        self.shards.iter().map(|s| s.read().live).sum()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 }
 
 impl fmt::Debug for LogStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.read();
         f.debug_struct("LogStore")
-            .field("segments", &inner.segments.len())
-            .field("live", &inner.live)
-            .field("dead", &inner.dead)
-            .field("tables", &inner.tables.keys().collect::<Vec<_>>())
+            .field("shards", &self.shards.len())
+            .field("segments", &self.segment_count())
+            .field("live", &self.version_count())
+            .field("dead", &self.dead_record_count())
+            .field("tables", &self.registry.read().keys().collect::<Vec<_>>())
             .field("spill", &self.config.spill)
             .finish()
     }
 }
 
+impl Drop for LogStore {
+    fn drop(&mut self) {
+        // A held or queued batch flushes before the files close: dropping
+        // a store must not lose commits it acknowledged.
+        let batch = std::mem::take(&mut self.group.lock().queue);
+        self.flush_batch(&batch);
+        let durable = self.durable.lock().take();
+        if let Some(durable) = durable {
+            self.durable_on.store(false, Ordering::Release);
+            for shard_lock in &self.shards {
+                if let Some(wal) = shard_lock.write().wal.take() {
+                    // A clean drop leaves nothing to lose at recovery.
+                    let _ = wal.file.sync_data();
+                }
+            }
+            if durable.owns_dir {
+                let _ = fs::remove_dir_all(&durable.dir);
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
-// Spill file plumbing.
+// Spill file plumbing (per shard).
 // ---------------------------------------------------------------------
 
-/// Append `bytes` to the spill file (creating it on first use), returning
-/// the offset they start at.  A failed spill is an invariant breach — the
-/// caller is about to drop the payload's inline copy, so swallowing the
-/// error would make the record silently unreadable.  It is counted
-/// ([`LogStore::spill_failure_count`]) and surfaced as a panic, matching
-/// the store.rs convention for broken internal invariants.
-fn spill_write(inner: &mut LogInner, bytes: &[u8]) -> u64 {
-    if inner.spill.is_none() {
+/// Append `bytes` to the shard's spill file (creating it on first use),
+/// returning the offset they start at.  A failed spill is an invariant
+/// breach — the caller is about to drop the payload's inline copy, so
+/// swallowing the error would make the record silently unreadable.  It is
+/// counted ([`LogStore::spill_failure_count`]) and surfaced as a panic,
+/// matching the store.rs convention for broken internal invariants.
+fn spill_write(shard: &mut LogShard, bytes: &[u8]) -> u64 {
+    if shard.spill.is_none() {
         match create_spill_file() {
-            Ok(file) => inner.spill = Some(SpillFile::new(file)),
+            Ok(file) => shard.spill = Some(SpillFile::new(file)),
             Err(e) => {
-                inner.spill_failures += 1;
+                shard.spill_failures += 1;
                 panic!("spill file creation failed: {e} — a sealed segment's payloads cannot leave the heap");
             }
         }
     }
-    let injected = std::mem::take(&mut inner.fail_next_spill_write);
+    let injected = std::mem::take(&mut shard.fail_next_spill_write);
     let (result, at) = {
-        let spill = inner.spill.as_mut().expect("spill file just ensured");
+        let spill = shard.spill.as_mut().expect("spill file just ensured");
         let at = spill.len;
         // Positioned write at the recorded length: a failed or partial
         // write never desynchronises `len` from where later payloads
@@ -1457,7 +2001,7 @@ fn spill_write(inner: &mut LogInner, bytes: &[u8]) -> u64 {
         (result, at)
     };
     if let Err(e) = result {
-        inner.spill_failures += 1;
+        shard.spill_failures += 1;
         panic!(
             "spill write of {} bytes at offset {at} failed: {e} — the sealed payload would be unreadable",
             bytes.len(),
@@ -1469,7 +2013,6 @@ fn spill_write(inner: &mut LogInner, bytes: &[u8]) -> u64 {
 /// Create the unlinked temp file: open, then immediately remove the path,
 /// so the data is reclaimed by the OS no matter how the process exits.
 fn create_spill_file() -> io::Result<File> {
-    use std::sync::atomic::{AtomicU64, Ordering};
     static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
     let dir = std::env::temp_dir();
     let unique = format!(
@@ -1491,8 +2034,8 @@ fn create_spill_file() -> io::Result<File> {
 /// Read a spilled payload back.  `None` only when no spill file exists
 /// (never written to); an IO failure on a recorded payload is — like a
 /// failed write — an invariant breach and panics.
-fn spill_read(inner: &LogInner, offset: u64, len: u32) -> Option<Vec<u8>> {
-    let spill = inner.spill.as_ref()?;
+fn spill_read(shard: &LogShard, offset: u64, len: u32) -> Option<Vec<u8>> {
+    let spill = shard.spill.as_ref()?;
     Some(spill.read_at(offset, len).unwrap_or_else(|e| {
         panic!("spill read of {len} bytes at offset {offset} failed: {e} — a recorded payload vanished")
     }))
@@ -1517,18 +2060,20 @@ const FRAME_BEGIN: u8 = 1;
 /// (absent = tombstone).
 const FRAME_WRITE: u8 = 2;
 /// Commit record: everything the writer appended is durable at this
-/// timestamp.  The append path fsyncs immediately after this frame.
+/// timestamp.  Always in shard 0's chain; the per-commit path fsyncs
+/// immediately after this frame, the group-commit leader after its
+/// whole batch.
 const FRAME_COMMIT: u8 = 3;
 /// Abort record: the writer's records are dead (an optimisation for
 /// replay — recovery aborts commit-less writers regardless).
 const FRAME_ABORT: u8 = 4;
-/// Table registration, in intern order.
+/// Table registration, in intern order.  Always in shard 0's chain.
 const FRAME_CREATE_TABLE: u8 = 5;
 /// Ordered secondary index registration; replay re-runs the backfill.
 const FRAME_CREATE_INDEX: u8 = 6;
 /// Per-table metadata at the head of a rewrite generation: row-id
-/// allocator, indexed column, and ghost row slots, none of which the
-/// surviving record stream re-creates.
+/// allocator, indexed column, and the rewritten shard's ghost row slots,
+/// none of which the surviving record stream re-creates.
 const FRAME_TABLE_META: u8 = 7;
 
 fn write_kind_tag(kind: WriteKind) -> u8 {
@@ -1706,78 +2251,108 @@ impl<'a> FrameCursor<'a> {
     }
 }
 
-/// Append an encoded frame to the open write-ahead file.  A no-op for
-/// non-durable stores and during recovery replay (when `durable` is
-/// `None`); an append failure on a live durable store is fatal — the log
+/// Append an encoded frame to a shard's open write-ahead file.  A no-op
+/// when the shard has no wal attached (non-durable stores and recovery
+/// replay); an append failure on a live durable store is fatal — the log
 /// could no longer be the truth.
-fn durable_emit(inner: &mut LogInner, frame: &[u8]) {
-    if let Some(durable) = inner.durable.as_mut() {
-        durable.file.write_all(frame).unwrap_or_else(|e| {
+fn shard_emit(shard: &mut LogShard, frame: &[u8]) {
+    if let Some(wal) = shard.wal.as_mut() {
+        wal.file.write_all(frame).unwrap_or_else(|e| {
             panic!(
                 "write-ahead append under {} failed: {e} — the log can no longer be the truth",
-                durable.dir.display()
+                wal.dir.display()
             )
         });
+        wal.written += frame.len() as u64;
     }
 }
 
-/// Fsync the open write-ahead file (the commit boundary).
-fn durable_sync(inner: &mut LogInner) {
-    if let Some(durable) = inner.durable.as_mut() {
-        durable.file.sync_data().unwrap_or_else(|e| {
+/// Fsync a shard's open write-ahead file (the commit boundary), bumping
+/// the store's always-on fsync counter.  Skipped when every written byte
+/// is already covered — that dirty check is what lets a commit sync only
+/// the data shards it actually touched, and the group-commit leader skip
+/// shards the batch never wrote.
+fn shard_sync(shard: &mut LogShard, fsyncs: &AtomicU64) {
+    if let Some(wal) = shard.wal.as_mut() {
+        if wal.written == wal.synced {
+            return;
+        }
+        wal.file.sync_data().unwrap_or_else(|e| {
             panic!(
                 "write-ahead fsync under {} failed: {e} — a reported commit might not be durable",
-                durable.dir.display()
+                wal.dir.display()
             )
         });
-        durable.fsyncs += 1;
+        wal.synced = wal.written;
+        fsyncs.fetch_add(1, Ordering::Relaxed);
     }
 }
 
-/// Seal the open write-ahead file (sync it) and open the next one in the
-/// generation — the durable side of an in-memory segment seal.
-fn durable_rotate(inner: &mut LogInner) {
-    let Some(durable) = inner.durable.as_mut() else {
+/// Seal a shard's open write-ahead file (sync it if dirty) and open the
+/// next one in the generation — the durable side of an in-memory segment
+/// seal.
+fn shard_rotate(shard: &mut LogShard, fsyncs: &AtomicU64) {
+    let Some(wal) = shard.wal.as_mut() else {
         return;
     };
-    durable.file.sync_data().unwrap_or_else(|e| {
-        panic!(
-            "write-ahead seal fsync under {} failed: {e} — a sealed segment might not be durable",
-            durable.dir.display()
-        )
-    });
-    durable.fsyncs += 1;
-    durable.file_seq += 1;
-    durable.file = open_wal_file(&durable.dir, durable.gen, durable.file_seq).unwrap_or_else(|e| {
+    if wal.written != wal.synced {
+        wal.file.sync_data().unwrap_or_else(|e| {
+            panic!(
+                "write-ahead seal fsync under {} failed: {e} — a sealed segment might not be durable",
+                wal.dir.display()
+            )
+        });
+        wal.synced = wal.written;
+        fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+    wal.file_seq += 1;
+    wal.file = open_wal_file(&wal.dir, wal.shard, wal.gen, wal.file_seq).unwrap_or_else(|e| {
         panic!(
             "opening the next write-ahead file under {} failed: {e}",
-            durable.dir.display()
+            wal.dir.display()
         )
     });
+    wal.written = 0;
+    wal.synced = 0;
 }
 
-fn wal_file_name(gen: u64, seq: u64) -> String {
-    format!("wal-{gen}-{seq}.seg")
+fn wal_file_name(shard: usize, gen: u64, seq: u64) -> String {
+    format!("wal-{shard}-{gen}-{seq}.seg")
 }
 
-fn parse_wal_name(name: &str) -> Option<(u64, u64)> {
+fn parse_wal_name(name: &str) -> Option<(usize, u64, u64)> {
     let rest = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    let (shard, rest) = rest.split_once('-')?;
     let (gen, seq) = rest.split_once('-')?;
-    Some((gen.parse().ok()?, seq.parse().ok()?))
+    Some((shard.parse().ok()?, gen.parse().ok()?, seq.parse().ok()?))
 }
 
-fn open_wal_file(dir: &Path, gen: u64, seq: u64) -> io::Result<File> {
+fn open_wal_file(dir: &Path, shard: usize, gen: u64, seq: u64) -> io::Result<File> {
     File::options()
         .append(true)
         .create(true)
-        .open(dir.join(wal_file_name(gen, seq)))
+        .open(dir.join(wal_file_name(shard, gen, seq)))
 }
 
 /// Write the manifest atomically: temp file, sync, rename over, then a
-/// best-effort directory sync so the rename itself is on disk.
-fn write_manifest(dir: &Path, gen: u64, config: LogStoreConfig) -> io::Result<()> {
+/// best-effort directory sync so the rename itself is on disk.  The
+/// manifest names every shard's live generation in one record — a
+/// crashed rewrite can therefore never leave half the shards on a new
+/// generation: either the rename landed (all gens new) or it did not
+/// (all gens old), and recovery deletes whichever side lost.
+fn write_manifest(dir: &Path, gens: &[u64], config: LogStoreConfig) -> io::Result<()> {
+    let gens_list = gens
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let group = match config.group_commit {
+        GroupCommit::Off => "off".to_string(),
+        GroupCommit::On { window_micros } => format!("on:{window_micros}"),
+    };
     let body = format!(
-        "gen={gen}\nsegment_records={}\ncompact_watermark={}\nspill={}\n",
+        "gens={gens_list}\nshards={}\nsegment_records={}\ncompact_watermark={}\nspill={}\ngroup_commit={group}\n",
+        config.shards,
         config.segment_records,
         config.compact_watermark,
         u8::from(config.spill),
@@ -1794,17 +2369,26 @@ fn write_manifest(dir: &Path, gen: u64, config: LogStoreConfig) -> io::Result<()
     Ok(())
 }
 
-fn read_manifest(dir: &Path) -> io::Result<(u64, LogStoreConfig)> {
+fn read_manifest(dir: &Path) -> io::Result<(Vec<u64>, LogStoreConfig)> {
     let text = fs::read_to_string(dir.join("MANIFEST"))?;
     let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("MANIFEST: {what}"));
-    let mut gen = None;
+    let mut gens: Option<Vec<u64>> = None;
     let mut config = LogStoreConfig::default();
     for line in text.lines() {
         let Some((key, value)) = line.split_once('=') else {
             continue;
         };
         match key {
-            "gen" => gen = Some(value.parse().map_err(|_| bad("bad generation"))?),
+            "gens" => {
+                gens = Some(
+                    value
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.parse().map_err(|_| bad("bad shard generation")))
+                        .collect::<io::Result<Vec<u64>>>()?,
+                );
+            }
+            "shards" => config.shards = value.parse().map_err(|_| bad("bad shards"))?,
             "segment_records" => {
                 config.segment_records = value.parse().map_err(|_| bad("bad segment_records"))?;
             }
@@ -1813,24 +2397,23 @@ fn read_manifest(dir: &Path) -> io::Result<(u64, LogStoreConfig)> {
                     value.parse().map_err(|_| bad("bad compact_watermark"))?;
             }
             "spill" => config.spill = value == "1",
+            "group_commit" => {
+                config.group_commit = if value == "off" {
+                    GroupCommit::Off
+                } else if let Some(micros) = value.strip_prefix("on:") {
+                    GroupCommit::On {
+                        window_micros: micros
+                            .parse()
+                            .map_err(|_| bad("bad group_commit window"))?,
+                    }
+                } else {
+                    return Err(bad("bad group_commit"));
+                };
+            }
             _ => {}
         }
     }
-    Ok((gen.ok_or_else(|| bad("missing gen"))?, config))
-}
-
-impl Drop for LogStore {
-    fn drop(&mut self) {
-        let mut inner = self.inner.write();
-        if let Some(durable) = inner.durable.take() {
-            // A clean drop leaves nothing to lose at the next recovery.
-            let _ = durable.file.sync_data();
-            if durable.owns_dir {
-                drop(durable.file);
-                let _ = fs::remove_dir_all(&durable.dir);
-            }
-        }
-    }
+    Ok((gens.ok_or_else(|| bad("missing gens"))?, config))
 }
 
 // ---------------------------------------------------------------------
@@ -1916,6 +2499,17 @@ mod tests {
             segment_records: 4,
             compact_watermark: 3,
             spill,
+            ..LogStoreConfig::default()
+        })
+    }
+
+    fn tiny_sharded(spill: bool) -> LogStore {
+        LogStore::with_config(LogStoreConfig {
+            segment_records: 4,
+            compact_watermark: 3,
+            spill,
+            shards: 4,
+            ..LogStoreConfig::default()
         })
     }
 
@@ -2113,6 +2707,94 @@ mod tests {
             .is_none());
     }
 
+    #[test]
+    fn sharded_store_routes_rows_and_pins_scan_order() {
+        let store = tiny_sharded(false);
+        let ids: Vec<RowId> = (0..12)
+            .map(|i| store.insert("t", TxnToken(1), balance_row(i)))
+            .collect();
+        store.commit(TxnToken(1), Timestamp(1));
+        // Rows are spread over more than one shard (FNV over 12 row ids
+        // into 4 shards cannot land in one), yet the scan order is the
+        // pinned backend-independent order.
+        let populated = store
+            .shards
+            .iter()
+            .filter(|s| s.read().tables.contains_key("t"))
+            .count();
+        assert!(populated > 1, "12 rows stayed in {populated} shard(s)");
+        assert_eq!(store.row_ids("t"), ids);
+        let scanned = store.scan_latest_committed(&RowPredicate::whole_table("t"));
+        assert_eq!(
+            scanned.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            ids,
+            "scan order is ascending row id regardless of shard layout"
+        );
+        assert_eq!(store.committed_row_count("t"), 12);
+        assert_eq!(store.version_count(), 12);
+
+        // Cross-shard visibility plumbing: conflicts and aborts find the
+        // owning shard.
+        store
+            .update("t", TxnToken(2), ids[3], balance_row(-1))
+            .unwrap();
+        assert!(!store.has_foreign_uncommitted_on_writes(TxnToken(2)));
+        store
+            .update("t", TxnToken(3), ids[3], balance_row(-2))
+            .unwrap();
+        assert!(store.has_foreign_uncommitted_on_writes(TxnToken(2)));
+        store.commit(TxnToken(2), Timestamp(2));
+        assert_eq!(
+            store.first_committer_conflict(TxnToken(3), Timestamp(1)),
+            Some(("t".to_string(), ids[3]))
+        );
+        store.abort(TxnToken(3));
+        assert_eq!(
+            store
+                .get_latest_any("t", ids[3])
+                .unwrap()
+                .get_int("balance"),
+            Some(-1)
+        );
+    }
+
+    #[test]
+    fn sharded_compaction_is_local_to_the_dirty_shard() {
+        let store = tiny_sharded(false);
+        let ids: Vec<RowId> = (0..8)
+            .map(|i| store.insert("t", TxnToken(1), balance_row(i)))
+            .collect();
+        store.commit(TxnToken(1), Timestamp(1));
+        let victim = ids[0];
+        let vsid = store.shard_of("t", victim);
+        let live_before: Vec<usize> = store.shards.iter().map(|s| s.read().live).collect();
+        for round in 0..5u64 {
+            let txn = TxnToken(10 + round);
+            store.update("t", txn, victim, balance_row(-1)).unwrap();
+            store.abort(txn);
+        }
+        assert!(
+            store.dead_record_count() < 3,
+            "the victim's shard should have compacted"
+        );
+        // Other shards were never repacked: their live counts are intact
+        // and every row still reads back.
+        for (sid, before) in live_before.iter().enumerate() {
+            if sid != vsid {
+                assert_eq!(store.shards[sid].read().live, *before, "shard {sid}");
+            }
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                store
+                    .get_latest_committed("t", *id)
+                    .unwrap()
+                    .get_int("balance"),
+                Some(i as i64)
+            );
+        }
+    }
+
     // Spilling is a no-op off unix (no positioned IO), so these two
     // tests only make sense there.
     #[cfg(unix)]
@@ -2157,6 +2839,7 @@ mod tests {
             segment_records: 4,
             compact_watermark: 2,
             spill: true,
+            ..LogStoreConfig::default()
         });
         // Three live rows plus one abort fill segment 0; two more live
         // rows land in segment 1 (inline, segment still open).
@@ -2270,6 +2953,7 @@ mod tests {
             segment_records: 4,
             compact_watermark: 2,
             spill: true,
+            ..LogStoreConfig::default()
         });
         store.create_index("t", "balance");
         let ids: Vec<RowId> = (0..6)
@@ -2332,6 +3016,36 @@ mod tests {
     }
 
     #[test]
+    fn manifest_round_trips_sharded_config() {
+        let dir = durable_dir("manifest");
+        fs::create_dir_all(&dir).unwrap();
+        let config = LogStoreConfig {
+            segment_records: 9,
+            compact_watermark: 17,
+            spill: true,
+            shards: 3,
+            group_commit: GroupCommit::On { window_micros: 250 },
+        };
+        write_manifest(&dir, &[4, 0, 7], config).unwrap();
+        let (gens, read) = read_manifest(&dir).unwrap();
+        assert_eq!(gens, vec![4, 0, 7]);
+        assert_eq!(read.segment_records, 9);
+        assert_eq!(read.compact_watermark, 17);
+        assert!(read.spill);
+        assert_eq!(read.shards, 3);
+        assert_eq!(read.group_commit, GroupCommit::On { window_micros: 250 });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_names_round_trip() {
+        assert_eq!(wal_file_name(2, 5, 9), "wal-2-5-9.seg");
+        assert_eq!(parse_wal_name("wal-2-5-9.seg"), Some((2, 5, 9)));
+        assert_eq!(parse_wal_name("wal-5-9.seg"), None, "old two-part names");
+        assert_eq!(parse_wal_name("MANIFEST"), None);
+    }
+
+    #[test]
     fn row_ids_are_sequential_per_table_and_sorted() {
         let store = tiny(false);
         let a0 = store.insert("a", TxnToken(1), balance_row(0));
@@ -2371,7 +3085,6 @@ mod tests {
     }
 
     fn durable_dir(tag: &str) -> PathBuf {
-        use std::sync::atomic::{AtomicU64, Ordering};
         static SEQ: AtomicU64 = AtomicU64::new(0);
         let dir = std::env::temp_dir().join(format!(
             "critique-logstore-test-{tag}-{}-{}",
@@ -2401,6 +3114,7 @@ mod tests {
             segment_records: 4,
             compact_watermark: 64,
             spill: false,
+            ..LogStoreConfig::default()
         };
         let (a, b);
         {
@@ -2490,12 +3204,76 @@ mod tests {
     }
 
     #[test]
+    fn sharded_durable_round_trip_merges_shards() {
+        let dir = durable_dir("sharded-round-trip");
+        let cfg = LogStoreConfig {
+            segment_records: 4,
+            compact_watermark: 64,
+            shards: 4,
+            ..LogStoreConfig::default()
+        };
+        let ids: Vec<RowId>;
+        {
+            let store = LogStore::open_durable(&dir, cfg).unwrap();
+            ids = (0..10)
+                .map(|i| store.insert("accounts", TxnToken(1), balance_row(i)))
+                .collect();
+            store.commit(TxnToken(1), Timestamp(1));
+            store.create_index("accounts", "balance");
+            for (i, id) in ids.iter().enumerate().take(5) {
+                let txn = TxnToken(10 + i as u64);
+                store
+                    .update("accounts", txn, *id, balance_row(100 + i as i64))
+                    .unwrap();
+                store.commit(txn, Timestamp(2 + i as u64));
+            }
+            // In flight at the crash.
+            store
+                .update("accounts", TxnToken(50), ids[9], balance_row(-1))
+                .unwrap();
+            // Every shard's chain exists on disk.
+            for sid in 0..4 {
+                assert!(
+                    dir.join(wal_file_name(sid, 0, 0)).exists(),
+                    "shard {sid} chain missing"
+                );
+            }
+        }
+        let store = LogStore::recover(&dir).unwrap();
+        assert_eq!(store.config().shards, 4, "manifest pins the shard count");
+        for (i, id) in ids.iter().enumerate() {
+            let want = if i < 5 { 100 + i as i64 } else { i as i64 };
+            assert_eq!(
+                store
+                    .get_latest_committed("accounts", *id)
+                    .unwrap()
+                    .get_int("balance"),
+                Some(want),
+                "row {i}"
+            );
+        }
+        assert_eq!(store.last_commit_ts(), Some(Timestamp(6)));
+        assert!(store.writes_of(TxnToken(50)).is_empty(), "loser aborted");
+        assert_eq!(
+            store
+                .get_committed_as_of("accounts", ids[0], Timestamp(1))
+                .unwrap()
+                .get_int("balance"),
+            Some(0),
+            "pre-update history survives the cross-shard merge"
+        );
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn rewrite_on_compact_bounds_disk_and_recovers() {
         let dir = durable_dir("rewrite");
         let cfg = LogStoreConfig {
             segment_records: 4,
             compact_watermark: 3,
             spill: true,
+            ..LogStoreConfig::default()
         };
         let (id, ghost);
         {
@@ -2515,7 +3293,8 @@ mod tests {
             // Only the live generation's files remain on disk.
             for entry in fs::read_dir(&dir).unwrap() {
                 let name = entry.unwrap().file_name();
-                if let Some((g, _)) = parse_wal_name(name.to_str().unwrap()) {
+                if let Some((s, g, _)) = parse_wal_name(name.to_str().unwrap()) {
+                    assert_eq!(s, 0, "a single-shard store only writes shard 0");
                     assert_eq!(g, gen, "stale generation left behind: {name:?}");
                 }
             }
@@ -2553,6 +3332,56 @@ mod tests {
                 .get_int("balance"),
             Some(6)
         );
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_rewrite_bumps_only_the_compacted_shard() {
+        let dir = durable_dir("sharded-rewrite");
+        let cfg = LogStoreConfig {
+            segment_records: 4,
+            compact_watermark: 3,
+            shards: 4,
+            ..LogStoreConfig::default()
+        };
+        let ids: Vec<RowId>;
+        let victim_sid;
+        {
+            let store = LogStore::open_durable(&dir, cfg).unwrap();
+            ids = (0..8)
+                .map(|i| store.insert("t", TxnToken(1), balance_row(i)))
+                .collect();
+            store.commit(TxnToken(1), Timestamp(1));
+            victim_sid = store.shard_of("t", ids[0]);
+            for round in 0..5u64 {
+                let txn = TxnToken(10 + round);
+                store.update("t", txn, ids[0], balance_row(-1)).unwrap();
+                store.abort(txn);
+            }
+            let gens = store.durable_generations().unwrap();
+            assert!(
+                gens[victim_sid] >= 1,
+                "the dirty shard should have been rewritten: {gens:?}"
+            );
+            for (sid, gen) in gens.iter().enumerate() {
+                if sid != victim_sid {
+                    assert_eq!(*gen, 0, "shard {sid} was rewritten needlessly");
+                }
+            }
+        }
+        let store = LogStore::recover(&dir).unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                store
+                    .get_latest_committed("t", *id)
+                    .unwrap()
+                    .get_int("balance"),
+                Some(i as i64),
+                "row {i} after the per-shard rewrite + recovery"
+            );
+        }
+        assert_eq!(store.last_commit_ts(), Some(Timestamp(1)));
         drop(store);
         let _ = fs::remove_dir_all(&dir);
     }

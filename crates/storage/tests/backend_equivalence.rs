@@ -341,6 +341,8 @@ proptest! {
             segment_records,
             compact_watermark,
             spill,
+            shards: shards as usize,
+            ..LogStoreConfig::default()
         });
         // One table gets an ordered index, the other exercises the
         // unindexed scan_range fallback.

@@ -50,7 +50,7 @@ fn build_reference_log(commits: u64) -> (Vec<u8>, Vec<u8>) {
             store.commit(TxnToken(k), Timestamp(k));
         }
     }
-    let wal = fs::read(dir.join("wal-0-0.seg")).unwrap();
+    let wal = fs::read(dir.join("wal-0-0-0.seg")).unwrap();
     let manifest = fs::read(dir.join("MANIFEST")).unwrap();
     let _ = fs::remove_dir_all(&dir);
     (wal, manifest)
@@ -66,7 +66,7 @@ fn recovery_tolerates_a_torn_tail_at_every_byte_boundary() {
 
     let mut prev_commits = 0u64;
     for len in 0..=wal.len() {
-        fs::write(dir.join("wal-0-0.seg"), &wal[..len]).unwrap();
+        fs::write(dir.join("wal-0-0-0.seg"), &wal[..len]).unwrap();
         let store = LogStore::recover(&dir)
             .unwrap_or_else(|e| panic!("recovery at truncation {len} failed: {e}"));
         let recovered = store.last_commit_ts().map_or(0, |ts| ts.0);
@@ -138,6 +138,7 @@ fn torn_frame_in_a_sealed_file_is_corruption() {
                 segment_records: 2,
                 compact_watermark: 1024,
                 spill: false,
+                ..LogStoreConfig::default()
             },
         )
         .unwrap();
@@ -147,7 +148,7 @@ fn torn_frame_in_a_sealed_file_is_corruption() {
         }
         assert!(store.segment_count() >= 2);
     }
-    let sealed = dir.join("wal-0-0.seg");
+    let sealed = dir.join("wal-0-0-0.seg");
     let bytes = fs::read(&sealed).unwrap();
     fs::write(&sealed, &bytes[..bytes.len() - 1]).unwrap();
     let err = LogStore::recover(&dir).expect_err("a torn sealed file must fail recovery");
@@ -164,8 +165,10 @@ fn recovery_deletes_orphans_of_other_generations() {
         store.commit(TxnToken(1), Timestamp(1));
     }
     // A rewrite that crashed before its manifest swap leaves files of a
-    // generation the manifest never names.
-    fs::write(dir.join("wal-9-0.seg"), b"garbage from a dead rewrite").unwrap();
+    // generation the manifest never names; a crashed re-shard can leave
+    // files of a shard the manifest does not cover.
+    fs::write(dir.join("wal-0-9-0.seg"), b"garbage from a dead rewrite").unwrap();
+    fs::write(dir.join("wal-7-0-0.seg"), b"garbage from a dead re-shard").unwrap();
     let store = LogStore::recover(&dir).unwrap();
     assert_eq!(
         store
@@ -174,7 +177,85 @@ fn recovery_deletes_orphans_of_other_generations() {
             .get_int("balance"),
         Some(7)
     );
-    assert!(!dir.join("wal-9-0.seg").exists(), "orphan must be deleted");
+    assert!(
+        !dir.join("wal-0-9-0.seg").exists(),
+        "orphan must be deleted"
+    );
+    assert!(
+        !dir.join("wal-7-0-0.seg").exists(),
+        "out-of-range shard orphan must be deleted"
+    );
     drop(store);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_shard_torn_tail_recovers_consistently_across_shards() {
+    // The sharded layout's crash surface: one shard's open file loses its
+    // un-synced tail while every other shard is clean.  Per-shard torn-tail
+    // truncation plus the cross-shard commit merge must still produce a
+    // consistent store — all committed transactions readable, the
+    // commit-less writer aborted everywhere.
+    let dir = scratch_dir("shard-tear");
+    let cfg = LogStoreConfig {
+        shards: 4,
+        ..LogStoreConfig::default()
+    };
+    {
+        let store = LogStore::open_durable(&dir, cfg).unwrap();
+        for i in 0..8 {
+            store.insert("t", TxnToken(1), balance_row(i));
+        }
+        store.commit(TxnToken(1), Timestamp(1));
+        for k in 0..8u64 {
+            store
+                .update("t", TxnToken(2 + k), RowId(k), balance_row(100 + k as i64))
+                .unwrap();
+            store.commit(TxnToken(2 + k), Timestamp(2 + k));
+        }
+        // In flight at the crash, touching every row: every data shard's
+        // open file ends in commit-less Write frames.
+        for k in 0..8u64 {
+            store
+                .update("t", TxnToken(50), RowId(k), balance_row(-1))
+                .unwrap();
+        }
+    }
+    // Tear one data shard's tail mid-frame; the others stay clean.
+    let torn = (1..4)
+        .find(|sid| {
+            let path = dir.join(format!("wal-{sid}-0-0.seg"));
+            match fs::read(&path) {
+                Ok(bytes) if !bytes.is_empty() => {
+                    fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+                    true
+                }
+                _ => false,
+            }
+        })
+        .expect("8 rows over 4 shards must populate a data shard");
+    let store = LogStore::recover(&dir).unwrap();
+    for k in 0..8u64 {
+        assert_eq!(
+            store
+                .get_latest_committed("t", RowId(k))
+                .unwrap()
+                .get_int("balance"),
+            Some(100 + k as i64),
+            "row {k} after tearing shard {torn}"
+        );
+    }
+    assert_eq!(store.last_commit_ts(), Some(Timestamp(9)));
+    assert!(
+        store.writes_of(TxnToken(50)).is_empty(),
+        "the commit-less writer lost the crash in every shard"
+    );
+    // The recovered store recovers again to the same state: the torn
+    // suffix was truncated on disk, not just skipped in memory.
+    drop(store);
+    let again = LogStore::recover(&dir).unwrap();
+    assert_eq!(again.last_commit_ts(), Some(Timestamp(9)));
+    assert_eq!(again.committed_row_count("t"), 8);
+    drop(again);
     let _ = fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,209 @@
+//! Group commit: batched fsync scheduling on the durable log store.
+//!
+//! The group-commit proof from the issue, at the storage level:
+//!
+//! * single-threaded, per-commit fsync (`GroupCommit::Off`): the fsync
+//!   counter advances by exactly one per writing commit — the baseline
+//!   tax the batcher exists to amortise;
+//! * a concurrent commit storm under `GroupCommit::On`: the counter
+//!   advances **strictly less** than the number of committed
+//!   transactions, because a batch leader's single fsync covers every
+//!   committer that enqueued behind it;
+//! * the batching is an fsync-scheduling optimisation only — every
+//!   acknowledged commit is durable, and a crash-recovery replays all of
+//!   them.
+
+use critique_storage::{
+    GroupCommit, LogStore, LogStoreConfig, Row, StorageBackend, Timestamp, TxnToken,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "critique-group-commit-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn balance_row(v: i64) -> Row {
+    Row::new().with("balance", v)
+}
+
+#[test]
+fn single_threaded_commits_fsync_exactly_once_each_without_batching() {
+    let store = LogStore::open_durable_temp(LogStoreConfig::default()).unwrap();
+    store.create_table("t");
+    let base = store.fsync_count();
+    const COMMITS: u64 = 20;
+    for k in 0..COMMITS {
+        let txn = TxnToken(1 + k);
+        store.insert("t", txn, balance_row(k as i64));
+        store.commit(txn, Timestamp(1 + k));
+        store.flush_commit(txn); // no-op under GroupCommit::Off
+        assert_eq!(
+            store.fsync_count(),
+            base + k + 1,
+            "commit {k}: exactly one fsync per writing commit"
+        );
+    }
+    // Read-only commits touch nothing durable and pay no fsync.
+    store.commit(TxnToken(900), Timestamp(900));
+    assert_eq!(store.fsync_count(), base + COMMITS);
+}
+
+#[test]
+fn concurrent_commit_storm_issues_fewer_fsyncs_than_commits() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 25;
+    const COMMITS: u64 = THREADS * PER_THREAD;
+    let dir = scratch_dir("storm");
+    let store = Arc::new(
+        LogStore::open_durable(
+            &dir,
+            LogStoreConfig {
+                group_commit: GroupCommit::On { window_micros: 300 },
+                ..LogStoreConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    store.create_table("t");
+    let base = store.fsync_count();
+    let clock = Arc::new(AtomicU64::new(1));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let txn = TxnToken(1 + t * PER_THREAD + i);
+                    store.insert("t", txn, balance_row((t * PER_THREAD + i) as i64));
+                    let ts = Timestamp(clock.fetch_add(1, Ordering::Relaxed));
+                    store.commit(txn, ts);
+                    // The acknowledgement point: parks behind the batch
+                    // leader until one fsync covers this commit record.
+                    store.flush_commit(txn);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let delta = store.fsync_count() - base;
+    assert!(
+        delta < COMMITS,
+        "group commit must batch: {delta} fsyncs for {COMMITS} commits"
+    );
+    assert_eq!(store.committed_row_count("t"), COMMITS as usize);
+    // Batched acknowledgement is still durable acknowledgement: a crash
+    // after the storm loses nothing.
+    drop(store);
+    let recovered = LogStore::recover(&dir).unwrap();
+    assert_eq!(
+        recovered.committed_row_count("t"),
+        COMMITS as usize,
+        "every batched commit survives recovery"
+    );
+    assert_eq!(recovered.last_commit_ts(), Some(Timestamp(COMMITS)));
+    drop(recovered);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_storm_batches_below_the_per_commit_floor_and_recovers() {
+    // The composed layout from the issue: sharded log + group commit.
+    // Per-commit fsync on a sharded store costs at least two fsyncs per
+    // writing commit (the row's data shard, then the control shard); the
+    // batcher must beat that floor, and recovery must merge every shard's
+    // records with the batched commit stream.
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 25;
+    const COMMITS: u64 = THREADS * PER_THREAD;
+    let dir = scratch_dir("sharded-storm");
+    let store = Arc::new(
+        LogStore::open_durable(
+            &dir,
+            LogStoreConfig {
+                shards: 4,
+                group_commit: GroupCommit::On { window_micros: 300 },
+                ..LogStoreConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    store.create_table("t");
+    let base = store.fsync_count();
+    let clock = Arc::new(AtomicU64::new(1));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let txn = TxnToken(1 + t * PER_THREAD + i);
+                    store.insert("t", txn, balance_row((t * PER_THREAD + i) as i64));
+                    let ts = Timestamp(clock.fetch_add(1, Ordering::Relaxed));
+                    store.commit(txn, ts);
+                    store.flush_commit(txn);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let delta = store.fsync_count() - base;
+    assert!(
+        delta < 2 * COMMITS,
+        "sharded group commit must beat the 2-fsync-per-commit floor: \
+         {delta} fsyncs for {COMMITS} commits"
+    );
+    drop(store);
+    let recovered = LogStore::recover(&dir).unwrap();
+    assert_eq!(recovered.committed_row_count("t"), COMMITS as usize);
+    assert_eq!(recovered.last_commit_ts(), Some(Timestamp(COMMITS)));
+    drop(recovered);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn held_batches_are_not_durable_until_released() {
+    // The crash-simulation hooks the differential harness drives: while
+    // flushes are suspended, acknowledged commits cost no fsync (their
+    // records sit in the queue); releasing the hold flushes them all
+    // behind one fsync.
+    let store = LogStore::open_durable_temp(LogStoreConfig {
+        group_commit: GroupCommit::On { window_micros: 0 },
+        ..LogStoreConfig::default()
+    })
+    .unwrap();
+    store.create_table("t");
+    store.suspend_commit_flushes();
+    let base = store.fsync_count();
+    for k in 0..3u64 {
+        let txn = TxnToken(1 + k);
+        store.insert("t", txn, balance_row(k as i64));
+        store.commit(txn, Timestamp(1 + k));
+        store.flush_commit(txn); // returns immediately under the hold
+    }
+    assert_eq!(
+        store.fsync_count(),
+        base,
+        "held commits must not have fsynced"
+    );
+    store.flush_held_commits();
+    assert_eq!(
+        store.fsync_count(),
+        base + 1,
+        "releasing the hold flushes the whole batch behind one fsync"
+    );
+    assert_eq!(store.committed_row_count("t"), 3);
+}

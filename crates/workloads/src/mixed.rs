@@ -12,8 +12,8 @@
 
 use critique_core::IsolationLevel;
 use critique_engine::{
-    BackendKind, Database, Durability, EngineConfig, FairnessPolicy, GrantPolicy, ReadPath,
-    TxnError, UpgradeStrategy,
+    BackendKind, Database, Durability, EngineConfig, FairnessPolicy, GrantPolicy, GroupCommit,
+    ReadPath, TxnError, UpgradeStrategy,
 };
 use critique_storage::{KeyInterval, Row, RowId, RowPredicate};
 use rand::rngs::StdRng;
@@ -81,6 +81,12 @@ pub struct MixedWorkload {
     /// log-structured backend — the `durable_logstore` bench series
     /// records the fsync tax through this knob.
     pub durability: Durability,
+    /// Commit fsync scheduling handed to
+    /// [`EngineConfig::with_group_commit`]: one fsync per writing commit
+    /// (default), or batched behind a group-commit leader — the
+    /// `group_commit` bench series records the amortisation through this
+    /// knob.  Only a durable log-structured backend honours it.
+    pub group_commit: GroupCommit,
     /// Lock fast-path fairness handed to
     /// [`EngineConfig::with_fairness`]: barging (default), or the
     /// strict-FIFO fast path the handoff grid compares against.
@@ -105,6 +111,7 @@ impl Default for MixedWorkload {
             range_fraction: 0.0,
             read_path: ReadPath::default(),
             durability: Durability::default(),
+            group_commit: GroupCommit::default(),
             fairness: FairnessPolicy::default(),
         }
     }
@@ -231,6 +238,13 @@ impl MixedWorkload {
         self
     }
 
+    /// This workload with a different commit fsync scheduling (used by
+    /// the `group_commit` batched-vs-per-commit comparison).
+    pub fn with_group_commit(mut self, group_commit: GroupCommit) -> Self {
+        self.group_commit = group_commit;
+        self
+    }
+
     /// This workload with a different lock fast-path fairness policy
     /// (used by the handoff grid's FIFO-vs-barging legs).
     pub fn with_fairness(mut self, fairness: FairnessPolicy) -> Self {
@@ -250,6 +264,7 @@ impl MixedWorkload {
             .with_upgrade_strategy(self.upgrade)
             .with_read_path(self.read_path)
             .with_durability(self.durability)
+            .with_group_commit(self.group_commit)
             .with_fairness(self.fairness);
         let db = Database::with_config(config);
         // Every account carries an indexed `bucket` key (its seed ordinal)
@@ -465,6 +480,7 @@ mod tests {
             range_fraction: 0.0,
             read_path: ReadPath::Epoch,
             durability: Durability::Ephemeral,
+            group_commit: GroupCommit::Off,
             fairness: FairnessPolicy::Barging,
         }
     }
@@ -497,6 +513,17 @@ mod tests {
         let stats = small()
             .with_backend(BackendKind::LogStructured)
             .with_durability(Durability::Fsync)
+            .run(IsolationLevel::Serializable);
+        assert_eq!(stats.attempted(), 90);
+        assert!(stats.committed > 0);
+    }
+
+    #[test]
+    fn group_commit_workload_completes_durably() {
+        let stats = small()
+            .with_backend(BackendKind::LogStructured)
+            .with_durability(Durability::Fsync)
+            .with_group_commit(GroupCommit::On { window_micros: 100 })
             .run(IsolationLevel::Serializable);
         assert_eq!(stats.attempted(), 90);
         assert!(stats.committed > 0);

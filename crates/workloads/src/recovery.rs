@@ -22,7 +22,7 @@
 
 use critique_core::IsolationLevel;
 use critique_engine::{BackendKind, Database, EngineConfig};
-use critique_storage::{LogStore, LogStoreConfig, Row, RowId, Timestamp};
+use critique_storage::{GroupCommit, LogStore, LogStoreConfig, Row, RowId, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fs;
@@ -51,6 +51,13 @@ pub struct RecoveryWorkload {
     pub ops_per_txn: usize,
     /// Seed deriving every plan.
     pub seed: u64,
+    /// Write-ahead log shards of the durable store under test (`1` is the
+    /// single-chain layout; the sharded matrix legs raise it).
+    pub shards: usize,
+    /// Commit fsync scheduling of the store under test.  The mid-batch
+    /// crash points ([`RecoveryWorkload::differential_mid_batch`]) only
+    /// make sense under [`GroupCommit::On`].
+    pub group_commit: GroupCommit,
 }
 
 impl Default for RecoveryWorkload {
@@ -60,6 +67,8 @@ impl Default for RecoveryWorkload {
             txns: 12,
             ops_per_txn: 3,
             seed: 42,
+            shards: 1,
+            group_commit: GroupCommit::Off,
         }
     }
 }
@@ -138,6 +147,16 @@ impl RecoveryWorkload {
         EngineConfig::new(IsolationLevel::Serializable).with_backend(BackendKind::LogStructured)
     }
 
+    /// The durable store configuration both sides open: the workload's
+    /// shard count and fsync scheduling over the default segmenting.
+    fn log_config(&self) -> LogStoreConfig {
+        LogStoreConfig {
+            shards: self.shards,
+            group_commit: self.group_commit,
+            ..LogStoreConfig::default()
+        }
+    }
+
     /// The deterministic plan of transaction `txn_index`.
     pub fn plan(&self, txn_index: usize) -> Vec<PlannedOp> {
         let mut rng =
@@ -182,8 +201,7 @@ impl RecoveryWorkload {
     /// process gets: the write-ahead file holds a commit-less suffix and
     /// nothing in memory survives to tidy it.
     fn run_prefix(&self, dir: &Path, prefix_txns: usize, crash_op: Option<usize>) {
-        let store =
-            LogStore::open_durable(dir, LogStoreConfig::default()).expect("open durable store");
+        let store = LogStore::open_durable(dir, self.log_config()).expect("open durable store");
         let db = Database::with_store(Self::config(), Box::new(store));
         db.store().create_table("accounts");
         db.store().create_index("accounts", "bucket");
@@ -208,6 +226,62 @@ impl RecoveryWorkload {
             // The crash: leak the in-flight transaction and the database.
             std::mem::forget(doomed);
             std::mem::forget(db);
+        }
+    }
+
+    /// Open a durable store in `dir`, seed the accounts, run transactions
+    /// `0..acked` to durable acknowledgement, then catch the next
+    /// `in_batch` transactions **inside one group-commit batch**: commit
+    /// flushes are suspended, so the engine acknowledges them while their
+    /// commit records sit in the batch queue, covered by no fsync.  With
+    /// `batch_fsynced` the batch is released (one fsync covers it) before
+    /// the crash; without, the crash lands between the enqueue and the
+    /// leader's fsync.  The crash itself leaks the database and then
+    /// plays the power loss the leak alone cannot: every open write-ahead
+    /// file is truncated to its last-fsynced length, dropping whatever
+    /// the OS had buffered past the durable horizon.
+    fn run_prefix_mid_batch(&self, dir: &Path, acked: usize, in_batch: usize, batch_fsynced: bool) {
+        let store = LogStore::open_durable(dir, self.log_config()).expect("open durable store");
+        let db = Database::with_store(Self::config(), Box::new(store));
+        db.store().create_table("accounts");
+        db.store().create_index("accounts", "bucket");
+        let seed_txn = db.begin();
+        for i in 0..self.accounts {
+            seed_txn
+                .insert(
+                    "accounts",
+                    Row::new().with("balance", 100).with("bucket", i as i64),
+                )
+                .expect("seed insert");
+        }
+        seed_txn.commit().expect("seed commit");
+        for k in 0..acked {
+            self.run_txn(&db, k);
+        }
+        let tails = {
+            let log = db
+                .store()
+                .as_any()
+                .downcast_ref::<LogStore>()
+                .expect("mid-batch crashes need the log-structured backend");
+            log.suspend_commit_flushes();
+            for k in acked..acked + in_batch {
+                self.run_txn(&db, k);
+            }
+            if batch_fsynced {
+                log.flush_held_commits();
+            }
+            log.durable_file_tails()
+        };
+        std::mem::forget(db);
+        for (path, synced) in tails {
+            let file = fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .expect("reopen write-ahead file for the power cut");
+            file.set_len(synced)
+                .expect("truncate to the durable prefix");
+            file.sync_all().expect("sync the truncation");
         }
     }
 
@@ -263,6 +337,54 @@ impl RecoveryWorkload {
             recovered_state,
         }
     }
+
+    /// Run one mid-batch crash-point differential: transactions
+    /// `0..acked` reach durable acknowledgement, the next `in_batch`
+    /// transactions are caught inside one group-commit batch, and the
+    /// power cut lands either before (`batch_fsynced == false`) or after
+    /// (`true`) the batch leader's fsync.  The recovered prefix must be
+    /// *exactly* the durably-acknowledged commits: without the batch
+    /// fsync the caught transactions vanish wholesale (their engine-level
+    /// acknowledgement was never durable), with it they all survive —
+    /// and either way the replayed suffix is byte-identical to a control
+    /// run that stopped cleanly at the surviving boundary.
+    ///
+    /// In the outcome, `crash_txn` is the first replayed transaction
+    /// (the surviving boundary) and `crash_op` the number of commits the
+    /// torn batch lost.
+    pub fn differential_mid_batch(
+        &self,
+        acked: usize,
+        in_batch: usize,
+        batch_fsynced: bool,
+    ) -> DifferentialOutcome {
+        assert!(
+            matches!(self.group_commit, GroupCommit::On { .. }),
+            "mid-batch crash points require GroupCommit::On"
+        );
+        let acked = acked.min(self.txns.saturating_sub(1));
+        let in_batch = in_batch.min(self.txns - acked);
+        let surviving = acked + if batch_fsynced { in_batch } else { 0 };
+
+        let control_dir = scratch_dir("mid-batch-control");
+        self.run_prefix(&control_dir, surviving, None);
+        let (control_notation, control_state) = self.run_suffix(&control_dir, surviving);
+        let _ = fs::remove_dir_all(&control_dir);
+
+        let crashed_dir = scratch_dir("mid-batch-crashed");
+        self.run_prefix_mid_batch(&crashed_dir, acked, in_batch, batch_fsynced);
+        let (recovered_notation, recovered_state) = self.run_suffix(&crashed_dir, surviving);
+        let _ = fs::remove_dir_all(&crashed_dir);
+
+        DifferentialOutcome {
+            crash_txn: surviving,
+            crash_op: if batch_fsynced { 0 } else { in_batch },
+            control_notation,
+            recovered_notation,
+            control_state,
+            recovered_state,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +409,7 @@ mod tests {
             txns: 8,
             ops_per_txn: 3,
             seed: 7,
+            ..RecoveryWorkload::default()
         };
         let outcome = spec.differential(4, 2);
         assert!(!outcome.control_notation.is_empty());
@@ -300,7 +423,43 @@ mod tests {
             txns: 5,
             ops_per_txn: 2,
             seed: 3,
+            ..RecoveryWorkload::default()
         };
         spec.differential(0, 0).assert_identical();
+    }
+
+    #[test]
+    fn torn_batch_loses_exactly_the_unfsynced_commits() {
+        let spec = RecoveryWorkload {
+            accounts: 6,
+            txns: 8,
+            ops_per_txn: 3,
+            seed: 11,
+            group_commit: GroupCommit::On { window_micros: 0 },
+            ..RecoveryWorkload::default()
+        };
+        // Three commits caught in a batch the leader never fsyncs: the
+        // recovered prefix must be exactly the four acked transactions.
+        let outcome = spec.differential_mid_batch(4, 3, false);
+        assert_eq!(outcome.crash_txn, 4);
+        assert_eq!(outcome.crash_op, 3);
+        outcome.assert_identical();
+    }
+
+    #[test]
+    fn fsynced_batch_survives_the_crash_wholesale() {
+        let spec = RecoveryWorkload {
+            accounts: 6,
+            txns: 8,
+            ops_per_txn: 3,
+            seed: 11,
+            shards: 4,
+            group_commit: GroupCommit::On { window_micros: 0 },
+        };
+        // The same batch, but the leader's single fsync lands before the
+        // power cut: all seven commits survive recovery.
+        let outcome = spec.differential_mid_batch(4, 3, true);
+        assert_eq!(outcome.crash_txn, 7);
+        outcome.assert_identical();
     }
 }

@@ -24,7 +24,7 @@
 use crate::mixed::{MixedWorkload, WorkloadStats};
 use critique_core::IsolationLevel;
 use critique_engine::{
-    BackendKind, Durability, FairnessPolicy, GrantPolicy, ReadPath, UpgradeStrategy,
+    BackendKind, Durability, FairnessPolicy, GrantPolicy, GroupCommit, ReadPath, UpgradeStrategy,
 };
 
 /// One substrate configuration a sweep visits: a storage backend, its
@@ -46,6 +46,12 @@ pub struct SubstrateConfig {
     /// honours it).  The `durable_logstore` sweep runs the same workload
     /// once per mode to measure the fsync tax.
     pub durability: Durability,
+    /// Commit fsync scheduling the series runs with
+    /// ([`MixedWorkload::group_commit`]; only a durable log-structured
+    /// backend honours it).  The `group_commit` sweep runs the same
+    /// fsync workload per-commit and batched, single-log and sharded, to
+    /// measure the batcher's amortisation.
+    pub group_commit: GroupCommit,
     /// Human-readable series label (`"sharded"`, `"logstore"`, …).
     pub label: &'static str,
 }
@@ -58,6 +64,7 @@ impl SubstrateConfig {
             backend: BackendKind::MvStore,
             read_path: ReadPath::default(),
             durability: Durability::default(),
+            group_commit: GroupCommit::default(),
             label,
         }
     }
@@ -65,16 +72,24 @@ impl SubstrateConfig {
     /// The log-structured configuration.
     pub fn logstore(label: &'static str) -> Self {
         SubstrateConfig {
-            // The log store itself ignores the shard knob (it is one
-            // log), but `shards` also sizes the lock manager and the
-            // history recorder — keep those at the default so the series
-            // isolates the *storage* representation, not lock sharding.
+            // `shards` partitions the log store's write-ahead log as well
+            // as the lock manager and the history recorder; keep the
+            // default so the backend series isolates the *storage*
+            // representation, not a sharding difference.
             shards: critique_storage::DEFAULT_SHARDS,
             backend: BackendKind::LogStructured,
             read_path: ReadPath::default(),
             durability: Durability::default(),
+            group_commit: GroupCommit::default(),
             label,
         }
+    }
+
+    /// This configuration with a different shard count (used by the
+    /// `group_commit` sweep's single-log vs partitioned-log legs).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// This configuration with a different storage read discipline (used
@@ -88,6 +103,13 @@ impl SubstrateConfig {
     /// by the `durable_logstore` fsync-tax series).
     pub fn with_durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// This configuration with a different commit fsync scheduling (used
+    /// by the `group_commit` batched-vs-per-commit series).
+    pub fn with_group_commit(mut self, group_commit: GroupCommit) -> Self {
+        self.group_commit = group_commit;
         self
     }
 }
@@ -122,6 +144,8 @@ pub struct ScalingSeries {
     pub read_path: ReadPath,
     /// Storage durability this series ran with.
     pub durability: Durability,
+    /// Commit fsync scheduling this series ran with.
+    pub group_commit: GroupCommit,
     /// One point per worker count, in sweep order.
     pub points: Vec<ScalingPoint>,
 }
@@ -171,6 +195,7 @@ impl ScalingReport {
                 spec.backend = config.backend;
                 spec.read_path = config.read_path;
                 spec.durability = config.durability;
+                spec.group_commit = config.group_commit;
                 let points = thread_counts
                     .iter()
                     .map(|&threads| {
@@ -192,6 +217,7 @@ impl ScalingReport {
                     backend: config.backend,
                     read_path: config.read_path,
                     durability: config.durability,
+                    group_commit: config.group_commit,
                     points,
                 }
             })
@@ -221,12 +247,13 @@ impl ScalingReport {
         ));
         for series in &self.series {
             out.push_str(&format!(
-                "{} (backend={}, shards={}, reads={}, durability={}){}:\n",
+                "{} (backend={}, shards={}, reads={}, durability={}, group_commit={}){}:\n",
                 series.label,
                 series.backend,
                 series.shards,
                 series.read_path,
                 series.durability,
+                series.group_commit,
                 if series.monotonic() {
                     " — monotonic"
                 } else {
@@ -281,13 +308,14 @@ impl ScalingReport {
                 format!(
                     "{pad}  {{\n{pad}    \"label\": \"{}\",\n{pad}    \"backend\": \"{}\",\n\
                      {pad}    \"shards\": {},\n{pad}    \"read_path\": \"{}\",\n{pad}    \
-                     \"durability\": \"{}\",\n{pad}    \
+                     \"durability\": \"{}\",\n{pad}    \"group_commit\": \"{}\",\n{pad}    \
                      \"monotonic_throughput\": {},\n{pad}    \"points\": [\n{}\n{pad}    ]\n{pad}  }}",
                     series.label,
                     series.backend,
                     series.shards,
                     series.read_path,
                     series.durability,
+                    series.group_commit,
                     series.monotonic(),
                     points,
                 )
@@ -665,6 +693,12 @@ pub struct ScalingSuite {
     /// workload, so the fsync tax on the commit path is measured, not
     /// asserted.
     pub durable: Vec<ScalingReport>,
+    /// The `group_commit` sweeps: the fsync'd log-structured backend run
+    /// over the `{per-commit, batched} × {single log, partitioned log}`
+    /// grid on the same workload, so the batcher's amortisation of the
+    /// fsync tax (and what log partitioning adds on top) is measured,
+    /// not asserted.
+    pub group_commit: Vec<ScalingReport>,
     /// The direct-handoff vs wake-all comparison, if run.
     pub handoff: Option<HandoffComparison>,
     /// The point-vs-range scan comparison, if run.
@@ -700,6 +734,11 @@ impl ScalingSuite {
         self.durable.iter().find(|s| s.level == level)
     }
 
+    /// The `group_commit` sweep for `level`, if present.
+    pub fn group_commit_at(&self, level: IsolationLevel) -> Option<&ScalingReport> {
+        self.group_commit.iter().find(|s| s.level == level)
+    }
+
     /// Render every sweep and the handoff comparison as text.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -710,6 +749,9 @@ impl ScalingSuite {
             out.push_str(&sweep.to_text());
         }
         for sweep in &self.durable {
+            out.push_str(&sweep.to_text());
+        }
+        for sweep in &self.group_commit {
             out.push_str(&sweep.to_text());
         }
         if let Some(handoff) = &self.handoff {
@@ -751,6 +793,17 @@ impl ScalingSuite {
                 .join(",\n");
             format!(",\n  \"durable_logstore\": [\n{}\n  ]", body)
         };
+        let group_commit = if self.group_commit.is_empty() {
+            String::new()
+        } else {
+            let body = self
+                .group_commit
+                .iter()
+                .map(|s| format!("    {{\n{}\n    }}", s.json_fields(6)))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(",\n  \"group_commit\": [\n{}\n  ]", body)
+        };
         let handoff = match &self.handoff {
             Some(h) => format!(",\n  \"contended_handoff\":\n{}", h.json_object(2)),
             None => String::new(),
@@ -761,8 +814,8 @@ impl ScalingSuite {
         };
         format!(
             "{{\n  \"bench\": \"scaling_suite\",\n  \"host_cpus\": {},\n  \
-             \"sweeps\": [\n{}\n  ]{}{}{}{}\n}}\n",
-            self.host_cpus, sweeps, read_heavy, durable, handoff, range,
+             \"sweeps\": [\n{}\n  ]{}{}{}{}{}\n}}\n",
+            self.host_cpus, sweeps, read_heavy, durable, group_commit, handoff, range,
         )
     }
 }
@@ -788,6 +841,7 @@ mod tests {
             range_fraction: 0.0,
             read_path: ReadPath::Epoch,
             durability: Durability::Ephemeral,
+            group_commit: GroupCommit::Off,
             fairness: FairnessPolicy::Barging,
         }
     }
@@ -864,6 +918,7 @@ mod tests {
             backend: BackendKind::MvStore,
             read_path: ReadPath::Epoch,
             durability: Durability::Ephemeral,
+            group_commit: GroupCommit::Off,
             points: vec![point(1, 10), point(2, 20), point(4, 30)],
         };
         assert!(rising.monotonic());
@@ -873,6 +928,7 @@ mod tests {
             backend: BackendKind::MvStore,
             read_path: ReadPath::Epoch,
             durability: Durability::Ephemeral,
+            group_commit: GroupCommit::Off,
             points: vec![point(1, 10), point(2, 9)],
         };
         assert!(!sagging.monotonic());
@@ -980,10 +1036,26 @@ mod tests {
             ],
             1,
         )];
+        let group_commit = vec![ScalingReport::run(
+            tiny(),
+            IsolationLevel::Serializable,
+            &[1, 2],
+            &[
+                SubstrateConfig::logstore("fsync per-commit")
+                    .with_durability(Durability::Fsync)
+                    .with_shards(1),
+                SubstrateConfig::logstore("fsync batched sharded")
+                    .with_durability(Durability::Fsync)
+                    .with_group_commit(GroupCommit::On { window_micros: 50 })
+                    .with_shards(4),
+            ],
+            1,
+        )];
         let suite = ScalingSuite {
             sweeps,
             read_heavy,
             durable,
+            group_commit,
             handoff: Some(handoff),
             range: Some(range),
             host_cpus: ScalingSuite::detect_host_cpus(),
@@ -994,6 +1066,9 @@ mod tests {
             .read_heavy_at(IsolationLevel::SnapshotIsolation)
             .is_some());
         assert!(suite.durable_at(IsolationLevel::Serializable).is_some());
+        assert!(suite
+            .group_commit_at(IsolationLevel::Serializable)
+            .is_some());
         assert!(suite.host_cpus >= 1);
         let json = suite.to_json();
         assert!(json.contains("\"bench\": \"scaling_suite\""));
@@ -1012,6 +1087,9 @@ mod tests {
         assert!(json.contains("\"worst_deadlocks_across_runs\""));
         assert!(json.contains("\"durable_logstore\""));
         assert!(json.contains("\"durability\": \"fsync\""));
+        assert!(json.contains("\"group_commit\": [\n"));
+        assert!(json.contains("\"group_commit\": \"on\""));
+        assert!(json.contains("\"group_commit\": \"off\""));
         assert!(json.contains("\"range_scan\""));
         assert!(json.contains("\"range_fraction\": 0.50"));
         let text = suite.to_text();

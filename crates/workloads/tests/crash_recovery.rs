@@ -10,6 +10,7 @@
 //! (including 0 — crash before the doomed transaction does anything — and
 //! `ops_per_txn` — crash after the last operation but before commit).
 
+use critique_storage::GroupCommit;
 use critique_workloads::RecoveryWorkload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +40,7 @@ fn crash_point_matrix_recovers_byte_identical_histories() {
             txns: 10,
             ops_per_txn: 3,
             seed,
+            ..RecoveryWorkload::default()
         };
         // Deterministically sample crash transactions across the run, and
         // exercise every operation offset at each (0..=ops_per_txn covers
@@ -64,10 +66,62 @@ fn crash_point_matrix_holds_at_a_random_op_index() {
             txns: 12,
             ops_per_txn: 4,
             seed,
+            ..RecoveryWorkload::default()
         };
         let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
         let crash_txn = rng.gen_range(0..spec.txns);
         let crash_op = rng.gen_range(0..=spec.ops_per_txn);
         spec.differential(crash_txn, crash_op).assert_identical();
+    }
+}
+
+#[test]
+fn crash_point_matrix_holds_on_the_sharded_group_commit_layout() {
+    // The composed layout from the issue: partitioned write-ahead log +
+    // batched fsync.  The same crash-point grid must hold — recovery
+    // merges the shards by commit timestamp and the batcher changes only
+    // *when* records become durable, never *which* acked records are.
+    for seed in seeds() {
+        let spec = RecoveryWorkload {
+            accounts: 6,
+            txns: 10,
+            ops_per_txn: 3,
+            seed,
+            shards: 4,
+            group_commit: GroupCommit::On { window_micros: 50 },
+        };
+        let mut rng = StdRng::seed_from_u64(seed.rotate_left(17) ^ 0x5ca1ab1e);
+        let crash_txn = rng.gen_range(0..spec.txns);
+        for crash_op in 0..=spec.ops_per_txn {
+            spec.differential(crash_txn, crash_op).assert_identical();
+        }
+    }
+}
+
+#[test]
+fn mid_batch_crash_points_recover_exactly_the_durable_prefix() {
+    // Kill *inside* a group-commit batch, on both sides of the leader's
+    // fsync.  Before it, every commit caught in the batch must vanish
+    // wholesale (acknowledged but not yet durable); after it, every one
+    // survives.  Either way the replayed suffix is byte-identical to a
+    // clean stop at the surviving boundary.
+    for seed in seeds() {
+        for shards in [1usize, 4] {
+            let spec = RecoveryWorkload {
+                accounts: 6,
+                txns: 10,
+                ops_per_txn: 3,
+                seed,
+                shards,
+                group_commit: GroupCommit::On { window_micros: 0 },
+            };
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b9) + shards as u64);
+            let acked = rng.gen_range(1..spec.txns - 2);
+            let in_batch = rng.gen_range(1..=3usize);
+            for batch_fsynced in [false, true] {
+                spec.differential_mid_batch(acked, in_batch, batch_fsynced)
+                    .assert_identical();
+            }
+        }
     }
 }

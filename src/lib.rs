@@ -57,9 +57,9 @@ pub mod prelude {
     // avoid clashing with `critique_core::lattice::Comparison`; reach it via
     // `critique_storage::Comparison` when needed.
     pub use critique_storage::prelude::{
-        BackendKind, ColumnValue, Condition, KeyInterval, LogStore, LogStoreConfig, MvStore, Row,
-        RowId, RowPredicate, ScanView, Snapshot, StorageBackend, StorageError, TableName,
-        Timestamp, TimestampOracle, TxnToken, Version, VersionChain, WriteKind,
+        BackendKind, ColumnValue, Condition, GroupCommit, KeyInterval, LogStore, LogStoreConfig,
+        MvStore, Row, RowId, RowPredicate, ScanView, Snapshot, StorageBackend, StorageError,
+        TableName, Timestamp, TimestampOracle, TxnToken, Version, VersionChain, WriteKind,
     };
     pub use critique_workloads::prelude::*;
 }
