@@ -54,7 +54,10 @@
 //!   engine serialises under its commit-sequence lock, so recovery's
 //!   replay order matches the history recorder's commit order.  A crash
 //!   mid-batch loses exactly the unflushed tail: un-fsynced commit
-//!   frames truncate away like any torn suffix.
+//!   frames truncate away like any torn suffix.  A compaction rewrite
+//!   racing the batch never persists a queued commit's state (see
+//!   [`LogStore::rewrite_shard`]) — the batch's own fsync stays the one
+//!   durability point.
 //!
 //! Concurrency and lock order: `registry → txns → shards (ascending) →
 //! {durable, group, last_commit}`.  The registry (table metadata) and
@@ -475,11 +478,9 @@ impl LogStore {
             group.hold = false;
             std::mem::take(&mut group.queue)
         };
+        // `flush_batch` retires the batch from `queued` itself (under
+        // the control shard's lock — see its docs).
         self.flush_batch(&batch);
-        let mut group = self.group.lock();
-        for (writer, _) in &batch {
-            group.queued.remove(writer);
-        }
         self.group_cv.notify_all();
     }
 
@@ -637,7 +638,8 @@ impl LogStore {
             let at = spill_write(shard, &encoded);
             shard.segments[seg].records[offset].payload = Payload::Spilled {
                 offset: at,
-                len: encoded.len() as u32,
+                len: u32::try_from(encoded.len())
+                    .expect("spilled payload length fits the u32 record field"),
             };
         }
     }
@@ -795,12 +797,31 @@ impl LogStore {
     /// distinct live committed (timestamp, writer) pair found in the data
     /// shards; replaying one against an already-stamped or absent write
     /// set is a no-op.
+    ///
+    /// Group-commit interplay: a writer in [`GroupState::queued`] has its
+    /// commit timestamp stamped in memory but no durable `Commit` frame
+    /// yet — its batch fsync is still pending.  Persisting that commit
+    /// state here (a re-emitted `Commit` frame, or an inline
+    /// `commit_ts`) would let a crash before the batch flush recover a
+    /// commit whose `Write` frames in other shards were never synced — a
+    /// torn commit.  The rewrite therefore emits such writers' records
+    /// exactly as the live append path did: pending, resolved only by
+    /// the batch's own durably-flushed `Commit` frame.  The snapshot of
+    /// `queued` is race-free because [`LogStore::flush_batch`] retires a
+    /// batch from `queued` while still holding the control shard's write
+    /// lock (which this rewrite's caller holds for `sid == 0`), and
+    /// because `commit`/`abort` (the compaction trigger) serialise on the
+    /// transaction-table mutex, so no writer can join `queued` mid-
+    /// rewrite.  For data shards the snapshot can only over-approximate
+    /// (a batch may finish flushing concurrently), which merely defers
+    /// those records' commit state to shard 0's durable `Commit` frame.
     fn rewrite_shard(
         &self,
         registry: &BTreeMap<Arc<str>, TableMeta>,
         shard: &mut LogShard,
         sid: usize,
     ) {
+        let unflushed: HashSet<TxnToken> = self.group.lock().queued.clone();
         // Collect the commit pairs *before* taking the durable mutex:
         // shard read locks (ascending from this one) then `durable` is
         // the store-wide order, and a concurrent data-shard rewrite holds
@@ -811,7 +832,7 @@ impl LogStore {
                 let data = other.read();
                 for segment in &data.segments {
                     for rec in &segment.records {
-                        if !rec.aborted {
+                        if !rec.aborted && !unflushed.contains(&rec.writer) {
                             if let Some(ts) = rec.commit_ts {
                                 commit_pairs.insert((ts, rec.writer));
                             }
@@ -874,12 +895,13 @@ impl LogStore {
                                 .expect("spilled payload must be readable back for the rewrite"),
                         ),
                     };
+                    let inline_ts = rec.commit_ts.filter(|_| !unflushed.contains(&rec.writer));
                     buf.extend_from_slice(&encode_write_frame(
                         &rec.table,
                         rec.row,
                         rec.writer,
                         rec.kind,
-                        rec.commit_ts,
+                        inline_ts,
                         payload.as_deref(),
                     ));
                 }
@@ -1051,6 +1073,33 @@ impl LogStore {
         let mut tails: Vec<u64> = vec![0; store.shards.len()];
         for (sid, seqs) in files.iter_mut().enumerate() {
             seqs.sort_unstable();
+            // A shard's chain always exists on disk from the moment the
+            // store opens (seq 0 is created with the manifest; a rewrite
+            // writes seqs 0.. before swapping it) and only ever grows by
+            // appending the next sequence number.  A wholly missing chain
+            // or a gap in the middle is therefore a lost file — silently
+            // replaying the remainder would turn it into data loss (or a
+            // partially stamped commit), so refuse, like any other
+            // corruption of a sealed file.
+            if seqs.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shard {sid}: no write-ahead files for live generation {}",
+                        gens[sid]
+                    ),
+                ));
+            }
+            if let Some(missing) = (0..seqs.len() as u64).find(|i| seqs[*i as usize] != *i) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shard {sid}: write-ahead chain of generation {} is missing {}",
+                        gens[sid],
+                        wal_file_name(sid, gens[sid], missing)
+                    ),
+                ));
+            }
             for (i, &seq) in seqs.iter().enumerate() {
                 let path = dir.join(wal_file_name(sid, gens[sid], seq));
                 let bytes = fs::read(&path)?;
@@ -1305,11 +1354,10 @@ impl LogStore {
                 }
             }
             let batch = std::mem::take(&mut self.group.lock().queue);
+            // `flush_batch` retires the batch from `queued` itself (under
+            // the control shard's lock — see its docs).
             self.flush_batch(&batch);
             let mut group = self.group.lock();
-            for (w, _) in &batch {
-                group.queued.remove(w);
-            }
             group.leader = false;
             self.group_cv.notify_all();
             // Loop: if this writer's record was in the batch it is no
@@ -1321,6 +1369,14 @@ impl LogStore {
     /// shard (their `Write` frames must hit disk before any `Commit`
     /// frame covering them does), then append the batch's `Commit`
     /// frames to the control shard in enqueue order and fsync **once**.
+    ///
+    /// The batch is retired from [`GroupState::queued`] *while the
+    /// control shard's write lock is still held*: a control-shard
+    /// rewrite ([`LogStore::rewrite_shard`]) snapshots `queued` under
+    /// that same lock to decide which commits are safe to persist, so
+    /// "writer still queued" must mean "commit frame not yet durable" —
+    /// clearing after releasing the lock would let a rewrite drop a
+    /// durably-flushed commit from the chain it is replacing.
     fn flush_batch(&self, batch: &[(TxnToken, Timestamp)]) {
         if batch.is_empty() {
             return;
@@ -1333,6 +1389,12 @@ impl LogStore {
             shard_emit(&mut control, &encode_commit_frame(writer, ts));
         }
         shard_sync(&mut control, &self.fsyncs);
+        let mut group = self.group.lock();
+        for (writer, _) in batch {
+            group.queued.remove(writer);
+        }
+        drop(group);
+        drop(control);
     }
 
     /// Whether `table` has a (possibly empty) version slot for `id` in
@@ -2101,15 +2163,23 @@ fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Checked length-to-`u32` conversion for the codec's length fields: a
+/// silent `as` truncation past 4 GiB would corrupt the log; fail loudly
+/// instead.
+fn frame_len(len: usize, what: &str) -> u32 {
+    u32::try_from(len)
+        .unwrap_or_else(|_| panic!("{what} of {len} bytes overflows the u32 frame length field"))
+}
+
 fn push_str(out: &mut Vec<u8>, s: &str) {
-    push_u32(out, s.len() as u32);
+    push_u32(out, frame_len(s.len(), "frame string"));
     out.extend_from_slice(s.as_bytes());
 }
 
 /// Wrap a frame body in its length header.
 fn frame(body: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + body.len());
-    push_u32(&mut out, body.len() as u32);
+    push_u32(&mut out, frame_len(body.len(), "frame body"));
     out.extend_from_slice(&body);
     out
 }
@@ -2143,7 +2213,7 @@ fn encode_write_frame(
     match payload {
         Some(bytes) => {
             body.push(1);
-            push_u32(&mut body, bytes.len() as u32);
+            push_u32(&mut body, frame_len(bytes.len(), "row payload"));
             body.extend_from_slice(bytes);
         }
         None => body.push(0),
@@ -2193,7 +2263,7 @@ fn encode_table_meta_frame(
         }
         None => body.push(0),
     }
-    push_u32(&mut body, ghosts.len() as u32);
+    push_u32(&mut body, frame_len(ghosts.len(), "ghost row list"));
     for ghost in ghosts {
         push_u64(&mut body, ghost.0);
     }

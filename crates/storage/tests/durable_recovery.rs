@@ -157,6 +157,59 @@ fn torn_frame_in_a_sealed_file_is_corruption() {
 }
 
 #[test]
+fn missing_middle_file_in_a_chain_is_refused() {
+    // A lost sealed file is corruption, not absent data: silently
+    // replaying the rest of the chain would drop committed records
+    // without a word.  Recovery must refuse the gap.
+    let dir = scratch_dir("chain-gap");
+    {
+        let store = LogStore::open_durable(
+            &dir,
+            LogStoreConfig {
+                segment_records: 2,
+                ..LogStoreConfig::default()
+            },
+        )
+        .unwrap();
+        for k in 0..6u64 {
+            store.insert("t", TxnToken(10 + k), balance_row(k as i64));
+            store.commit(TxnToken(10 + k), Timestamp(1 + k));
+        }
+        assert!(store.segment_count() >= 3);
+    }
+    fs::remove_file(dir.join("wal-0-0-1.seg")).unwrap();
+    let err = LogStore::recover(&dir).expect_err("a gapped chain must fail recovery");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wholly_missing_shard_chain_is_refused() {
+    // Every shard's chain exists from the moment the store opens; a
+    // shard with no files for its live generation lost them.  Treating
+    // it as "no data" would silently erase that shard's committed rows.
+    let dir = scratch_dir("missing-chain");
+    {
+        let store = LogStore::open_durable(
+            &dir,
+            LogStoreConfig {
+                shards: 2,
+                ..LogStoreConfig::default()
+            },
+        )
+        .unwrap();
+        for i in 0..4 {
+            store.insert("t", TxnToken(1), balance_row(i));
+        }
+        store.commit(TxnToken(1), Timestamp(1));
+    }
+    fs::remove_file(dir.join("wal-1-0-0.seg")).unwrap();
+    let err = LogStore::recover(&dir).expect_err("a missing shard chain must fail recovery");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn recovery_deletes_orphans_of_other_generations() {
     let dir = scratch_dir("orphans");
     {

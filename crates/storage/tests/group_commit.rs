@@ -207,3 +207,74 @@ fn held_batches_are_not_durable_until_released() {
     );
     assert_eq!(store.committed_row_count("t"), 3);
 }
+
+#[test]
+fn compaction_rewrite_never_persists_a_held_batch_commit() {
+    // The torn-commit hazard: a commit caught in a held batch is stamped
+    // in memory but covered by no fsync.  A compaction rewrite racing
+    // the batch durably re-emits shard state — it must write that
+    // writer's records as *pending* (no inline commit timestamp, no
+    // re-emitted Commit frame), otherwise a crash before the batch fsync
+    // recovers the commit on the rewritten shards only: a partially
+    // stamped transaction.
+    use critique_storage::RowId;
+    let dir = scratch_dir("rewrite-held");
+    let store = LogStore::open_durable(
+        &dir,
+        LogStoreConfig {
+            shards: 2,
+            compact_watermark: 1,
+            group_commit: GroupCommit::On { window_micros: 0 },
+            ..LogStoreConfig::default()
+        },
+    )
+    .unwrap();
+    store.create_table("t");
+    let seeder = TxnToken(1);
+    let ids: Vec<RowId> = (0..8)
+        .map(|_| store.insert("t", seeder, balance_row(100)))
+        .collect();
+    store.commit(seeder, Timestamp(1));
+    store.flush_commit(seeder); // durably acknowledged
+    store.suspend_commit_flushes();
+    let held = TxnToken(2);
+    for &id in &ids {
+        store.update("t", held, id, balance_row(999)).unwrap();
+    }
+    store.commit(held, Timestamp(2));
+    store.flush_commit(held); // acknowledged in process, never fsynced
+
+    // An unrelated writer dirties every row and aborts: with a watermark
+    // of 1, every shard holding a row compacts and rewrites its chain
+    // (and the control shard re-derives its Commit frames) on disk while
+    // the batch is still held.
+    let aborter = TxnToken(3);
+    for &id in &ids {
+        store.update("t", aborter, id, balance_row(0)).unwrap();
+    }
+    store.abort(aborter);
+    // Power cut before the held batch ever flushed: truncate every open
+    // write-ahead file to its durable prefix, like the crash harness.
+    let tails = store.durable_file_tails();
+    std::mem::forget(store);
+    for (path, synced) in tails {
+        let file = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(synced).unwrap();
+        file.sync_all().unwrap();
+    }
+    let recovered = LogStore::recover(&dir).unwrap();
+    // The held commit vanishes wholesale — no row may carry its value.
+    for &id in &ids {
+        assert_eq!(
+            recovered
+                .get_latest_committed("t", id)
+                .unwrap()
+                .get_int("balance"),
+            Some(100),
+            "row {id:?}: a never-fsynced commit leaked through the rewrite"
+        );
+    }
+    assert_eq!(recovered.last_commit_ts(), Some(Timestamp(1)));
+    drop(recovered);
+    let _ = fs::remove_dir_all(&dir);
+}
