@@ -21,13 +21,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use critique_bench::{
     durable_workload, group_commit_workload, handoff_workload, range_workload, read_heavy_workload,
-    scaling_workload, GROUP_COMMIT_SHARDS, GROUP_COMMIT_WINDOW_MICROS, RANGE_FRACTIONS,
-    SCALING_LEVELS, SCALING_THREADS,
+    scaling_workload, watch_fanout_workload, GROUP_COMMIT_SHARDS, GROUP_COMMIT_WINDOW_MICROS,
+    RANGE_FRACTIONS, SCALING_LEVELS, SCALING_THREADS, WATCH_FANOUT_COUNTS,
 };
 use critique_core::IsolationLevel;
 use critique_engine::{Durability, GroupCommit, ReadPath};
 use critique_workloads::{
     HandoffComparison, RangeComparison, ScalingReport, ScalingSuite, SubstrateConfig,
+    WatchFanoutComparison,
 };
 
 /// Where the machine-readable suite results land (workspace root).
@@ -130,6 +131,15 @@ fn run_suite() -> ScalingSuite {
         &RANGE_FRACTIONS,
         3,
     );
+    // The watcher fan-out comparison: one writer against 1/100/10k table
+    // watchers, so the per-subscriber cost of commit-time notification is
+    // tracked from PR to PR alongside the rest of the suite.
+    let watch_fanout = WatchFanoutComparison::run(
+        watch_fanout_workload(),
+        IsolationLevel::Serializable,
+        &WATCH_FANOUT_COUNTS,
+        3,
+    );
     ScalingSuite {
         sweeps,
         read_heavy,
@@ -137,6 +147,7 @@ fn run_suite() -> ScalingSuite {
         group_commit,
         handoff: Some(handoff),
         range: Some(range),
+        watch_fanout: Some(watch_fanout),
         host_cpus: ScalingSuite::detect_host_cpus(),
     }
 }

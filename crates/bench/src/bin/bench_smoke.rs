@@ -15,13 +15,16 @@
 //!    series, every series non-empty points, the `durable_logstore`
 //!    record to carry both the ephemeral and the fsync series, the
 //!    `group_commit` record to cover the full `{per-commit, batched} ×
-//!    {single log, partitioned log}` grid, and the contended-handoff
-//!    record to cover the full `{policy} × {strategy} × {fairness}` grid.
+//!    {single log, partitioned log}` grid, the contended-handoff
+//!    record to cover the full `{policy} × {strategy} × {fairness}` grid,
+//!    and the `watch_fanout` record to carry a strictly widening
+//!    watcher-count ladder with non-zero notification counts.
 
 use critique_core::IsolationLevel;
 use critique_engine::{Durability, FairnessPolicy, GrantPolicy, GroupCommit, UpgradeStrategy};
 use critique_workloads::{
-    HandoffComparison, MixedWorkload, RangeComparison, ScalingReport, ScalingSuite, SubstrateConfig,
+    HandoffComparison, MixedWorkload, RangeComparison, ScalingReport, ScalingSuite,
+    SubstrateConfig, WatchFanoutComparison,
 };
 
 /// Where the real bench records the suite (workspace root).
@@ -487,6 +490,54 @@ fn validate_suite(doc: &Json, context: &str) {
             );
         }
     }
+    // The watcher fan-out record: a strictly widening watcher-count
+    // ladder starting at one subscriber, every point carrying the
+    // committed-vs-notifications accounting (a watched write-only run
+    // notifies once per committed transaction, so a zero-notification
+    // point means the recorder lost the stream).
+    let watch_fanout = doc
+        .get("watch_fanout")
+        .unwrap_or_else(|| panic!("{context}: no watch_fanout record"));
+    let fanout_points = watch_fanout
+        .get("points")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("{context}: watch_fanout has no points array"));
+    assert!(
+        fanout_points.len() >= 2,
+        "{context}: watch_fanout needs at least two watcher counts"
+    );
+    let mut last_count = 0.0;
+    for (i, point) in fanout_points.iter().enumerate() {
+        let watchers = point
+            .get("watchers")
+            .and_then(Json::as_number)
+            .unwrap_or_else(|| panic!("{context}: watch_fanout point lacks numeric watchers"));
+        if i == 0 {
+            assert_eq!(
+                watchers, 1.0,
+                "{context}: watch_fanout must start at one watcher"
+            );
+        }
+        assert!(
+            watchers > last_count,
+            "{context}: watch_fanout watcher counts must strictly increase"
+        );
+        last_count = watchers;
+        for field in ["committed", "notifications", "throughput_txn_per_s"] {
+            assert!(
+                point.get(field).and_then(Json::as_number).is_some(),
+                "{context}: watch_fanout point lacks numeric {field:?}"
+            );
+        }
+        let notifications = point
+            .get("notifications")
+            .and_then(Json::as_number)
+            .unwrap();
+        assert!(
+            notifications > 0.0,
+            "{context}: watch_fanout recorded zero notifications at {watchers} watchers"
+        );
+    }
     let handoff = doc
         .get("contended_handoff")
         .unwrap_or_else(|| panic!("{context}: no contended_handoff record"));
@@ -542,6 +593,7 @@ fn reduced_suite() -> ScalingSuite {
         durability: Durability::Ephemeral,
         group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
+        watchers: 0,
     };
     let sweeps = vec![ScalingReport::run(
         tiny,
@@ -610,6 +662,10 @@ fn reduced_suite() -> ScalingSuite {
     contended.threads = 3;
     let handoff = HandoffComparison::run(contended, IsolationLevel::Serializable, 1);
     let range = RangeComparison::run(tiny, IsolationLevel::Serializable, &[0.0, 0.5], 1);
+    let mut fanout_spec = tiny;
+    fanout_spec.read_fraction = 0.0;
+    let watch_fanout =
+        WatchFanoutComparison::run(fanout_spec, IsolationLevel::Serializable, &[1, 4], 1);
     ScalingSuite {
         sweeps,
         read_heavy,
@@ -617,6 +673,7 @@ fn reduced_suite() -> ScalingSuite {
         group_commit,
         handoff: Some(handoff),
         range: Some(range),
+        watch_fanout: Some(watch_fanout),
         host_cpus: ScalingSuite::detect_host_cpus(),
     }
 }

@@ -53,6 +53,7 @@ pub fn bench_workload(read_fraction: f64, hot_fraction: f64) -> MixedWorkload {
         durability: Durability::Ephemeral,
         group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
+        watchers: 0,
     }
 }
 
@@ -79,6 +80,7 @@ pub fn scaling_workload() -> MixedWorkload {
         durability: Durability::Ephemeral,
         group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
+        watchers: 0,
     }
 }
 
@@ -140,6 +142,7 @@ pub fn range_workload() -> MixedWorkload {
         durability: Durability::Ephemeral,
         group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
+        watchers: 0,
     }
 }
 
@@ -169,6 +172,7 @@ pub fn durable_workload() -> MixedWorkload {
         durability: Durability::Ephemeral,
         group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
+        watchers: 0,
     }
 }
 
@@ -209,6 +213,7 @@ pub fn group_commit_workload() -> MixedWorkload {
         durability: Durability::Fsync,
         group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
+        watchers: 0,
     }
 }
 
@@ -236,5 +241,38 @@ pub fn handoff_workload() -> MixedWorkload {
         durability: Durability::Ephemeral,
         group_commit: GroupCommit::Off,
         fairness: FairnessPolicy::Barging,
+        watchers: 0,
+    }
+}
+
+/// The watcher counts the fan-out comparison visits: one subscriber, a
+/// dashboard's worth, and a fleet.
+pub const WATCH_FANOUT_COUNTS: [usize; 3] = [1, 100, 10_000];
+
+/// The workload behind the watcher fan-out comparison
+/// (`BENCH_scaling.json`'s `watch_fanout` record): one write-only worker
+/// committing against `WATCH_FANOUT_COUNTS` table watchers, so the
+/// recorded throughput difference between the cells is exactly what the
+/// commit path pays to fan one change event out to every subscriber.
+pub fn watch_fanout_workload() -> MixedWorkload {
+    MixedWorkload {
+        accounts: 256,
+        read_fraction: 0.0,
+        ops_per_txn: 4,
+        hot_fraction: 0.05,
+        txns_per_thread: 200,
+        threads: 1,
+        seed: 1995,
+        think_micros: 0,
+        shards: critique_storage::DEFAULT_SHARDS,
+        grant: GrantPolicy::DirectHandoff,
+        backend: BackendKind::MvStore,
+        upgrade: UpgradeStrategy::SharedThenUpgrade,
+        range_fraction: 0.0,
+        read_path: ReadPath::Epoch,
+        durability: Durability::Ephemeral,
+        group_commit: GroupCommit::Off,
+        fairness: FairnessPolicy::Barging,
+        watchers: 0,
     }
 }

@@ -21,7 +21,7 @@ use std::fmt;
 /// The isolation levels characterised by the paper (Tables 2-4, Figure 2).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub enum IsolationLevel {
-    /// [GLPT] Degree 0: only well-formed (short) writes; even dirty writes
+    /// \[GLPT\] Degree 0: only well-formed (short) writes; even dirty writes
     /// are possible.
     Degree0,
     /// Locking READ UNCOMMITTED == Degree 1: long write locks, no read
@@ -114,7 +114,7 @@ impl IsolationLevel {
         }
     }
 
-    /// The [GLPT] degree of consistency this level corresponds to, if any.
+    /// The \[GLPT\] degree of consistency this level corresponds to, if any.
     pub fn degree(&self) -> Option<u8> {
         match self {
             IsolationLevel::Degree0 => Some(0),

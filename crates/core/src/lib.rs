@@ -7,7 +7,7 @@
 //!   Read), P2/A2 (Fuzzy Read), P3/A3 (Phantom), P4 (Lost Update),
 //!   P4C (Cursor Lost Update), A5A (Read Skew), A5B (Write Skew) — each
 //!   with a *detector* that finds occurrences in any history
-//!   ([`phenomena`], [`detect`]);
+//!   ([`phenomena`], [`mod@detect`]);
 //! * the **isolation level taxonomy**: ANSI phenomena-based levels
 //!   (Table 1), locking levels / degrees of consistency (Table 2),
 //!   the corrected phenomenological levels (Table 3), and the extended

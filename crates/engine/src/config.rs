@@ -92,6 +92,13 @@ pub struct EngineConfig {
     /// barging by default, or the strict-FIFO fast path whose throughput
     /// cost the contended-handoff benchmark grid records.
     pub fairness: FairnessPolicy,
+    /// Whether commit-time change notification is available (on by
+    /// default).  With watchers enabled, a database with zero
+    /// subscriptions pays one atomic load per commit; with the knob off,
+    /// [`crate::Database::watch_key`] and friends hand out inert watchers
+    /// that never receive events — the benchmark baseline for measuring
+    /// the fan-out cost itself.
+    pub watchers: bool,
 }
 
 impl EngineConfig {
@@ -110,6 +117,7 @@ impl EngineConfig {
             durability: Durability::default(),
             group_commit: GroupCommit::default(),
             fairness: FairnessPolicy::default(),
+            watchers: true,
         }
     }
 
@@ -173,6 +181,13 @@ impl EngineConfig {
         self.fairness = fairness;
         self
     }
+
+    /// Disable commit-time change notification (subscriptions become
+    /// inert; the commit path skips the watcher fast-path check).
+    pub fn without_watchers(mut self) -> Self {
+        self.watchers = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +208,14 @@ mod tests {
         assert_eq!(cfg.durability, Durability::Ephemeral);
         assert_eq!(cfg.group_commit, GroupCommit::Off);
         assert_eq!(cfg.fairness, FairnessPolicy::Barging);
+        assert!(cfg.watchers);
         assert_eq!(LockWaitPolicy::default(), LockWaitPolicy::Fail);
+    }
+
+    #[test]
+    fn watchers_override() {
+        let cfg = EngineConfig::new(IsolationLevel::Serializable).without_watchers();
+        assert!(!cfg.watchers);
     }
 
     #[test]

@@ -9,12 +9,13 @@
 use crate::config::EngineConfig;
 use crate::recorder::HistoryRecorder;
 use crate::txn::Transaction;
+use crate::watch::{WatchHub, Watcher};
 use critique_core::locking::LockProfile;
 use critique_core::IsolationLevel;
 use critique_history::History;
 use critique_lock::LockManager;
 use critique_storage::{
-    MvReadStats, Row, RowId, RowPredicate, StorageBackend, TimestampOracle, TxnToken,
+    Condition, MvReadStats, Row, RowId, RowPredicate, StorageBackend, TimestampOracle, TxnToken,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +41,12 @@ pub(crate) struct DbInner {
     /// constructor side channel so the [`StorageBackend`] trait stays
     /// untouched.
     pub(crate) read_stats: Option<Arc<MvReadStats>>,
+    /// Commit-time change notification: the subscription registry and the
+    /// durable-prefix staging queue.  The commit path stages change-sets
+    /// under [`DbInner::commit_seq`] (so staging order is commit-timestamp
+    /// order) and publishes them only after
+    /// [`StorageBackend::flush_commit`] returns.
+    pub(crate) watch: WatchHub,
     next_txn: AtomicU64,
 }
 
@@ -99,6 +106,7 @@ impl Database {
                     .with_fairness(config.fairness),
                 ts: TimestampOracle::new(),
                 recorder: HistoryRecorder::with_shards(config.record_history, config.shards),
+                watch: WatchHub::new(config.watchers),
                 commit_seq: Mutex::new(()),
                 next_txn: AtomicU64::new(1),
                 config,
@@ -190,6 +198,34 @@ impl Database {
     /// path acquires zero stripe locks.
     pub fn mv_read_stats(&self) -> Option<Arc<MvReadStats>> {
         self.inner.read_stats.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Commit-time change notification.
+    // ------------------------------------------------------------------
+
+    /// Watch one row: the returned [`Watcher`] receives one
+    /// [`crate::watch::ChangeEvent`] per commit that changes `row`, with
+    /// the committed before/after images and the commit timestamp, in
+    /// commit order.  Aborted transactions never notify (see
+    /// [`crate::watch`] for the isolation semantics).
+    pub fn watch_key(&self, table: &str, row: RowId) -> Watcher {
+        self.inner.watch.watch_key(table, row)
+    }
+
+    /// Watch every row of a table.  Each commit touching the table
+    /// produces exactly one event carrying all of its in-table changes.
+    pub fn watch_table(&self, table: &str) -> Watcher {
+        self.inner.watch.watch_table(table)
+    }
+
+    /// Watch the rows of `table` matching `condition`.  A commit notifies
+    /// when a changed row matches in its before *or* after image (so
+    /// rows entering and leaving the predicate both fire), using the same
+    /// [`Condition`] → [`critique_storage::KeyInterval`] extraction the
+    /// interval predicate locks use to prune non-candidates cheaply.
+    pub fn watch_predicate(&self, table: &str, condition: Condition) -> Watcher {
+        self.inner.watch.watch_predicate(table, condition)
     }
 }
 

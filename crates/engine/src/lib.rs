@@ -43,6 +43,7 @@ pub mod db;
 pub mod error;
 pub mod recorder;
 pub mod txn;
+pub mod watch;
 
 pub use crate::config::{
     BackendKind, Durability, EngineConfig, FairnessPolicy, GrantPolicy, GroupCommit,
@@ -52,6 +53,7 @@ pub use crate::cursor::CursorId;
 pub use crate::db::Database;
 pub use crate::error::TxnError;
 pub use crate::txn::{Transaction, TxnStatus};
+pub use crate::watch::{ChangeEvent, ChangeKind, RowChange, Watcher};
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
@@ -63,4 +65,5 @@ pub mod prelude {
     pub use crate::db::Database;
     pub use crate::error::TxnError;
     pub use crate::txn::{Transaction, TxnStatus};
+    pub use crate::watch::{ChangeEvent, ChangeKind, RowChange, Watcher};
 }

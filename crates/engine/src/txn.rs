@@ -252,8 +252,7 @@ impl Transaction {
     }
 
     /// Read a single row with declared intent to write it (`SELECT … FOR
-    /// UPDATE`).  The configured
-    /// [`UpgradeStrategy`](crate::config::UpgradeStrategy) decides how the
+    /// UPDATE`).  The configured [`UpgradeStrategy`] decides how the
     /// read locks at the locking levels:
     ///
     /// * under [`UpgradeStrategy::SharedThenUpgrade`] this is exactly
@@ -780,6 +779,7 @@ impl Transaction {
     /// committed during this one's execution interval wrote the same data.
     pub fn commit(&self) -> Result<(), TxnError> {
         self.ensure_active()?;
+        let commit_ts;
         {
             // The commit sequence: validate, reserve a timestamp, stamp
             // every written chain, publish.  One committer at a time —
@@ -800,8 +800,22 @@ impl Transaction {
                     return Err(TxnError::FirstCommitterConflict { table, row });
                 }
             }
-            let commit_ts = self.db.ts.reserve();
+            // Watcher change-set, first half: written rows and their
+            // before-images, captured while the pre-commit state is still
+            // the latest committed state (and before `store.commit`
+            // clears the write set).  Collection under the commit
+            // sequence is what makes staging order ≡ timestamp order, so
+            // subscribers observe commits in exactly the history's commit
+            // order.  An aborting transaction never reaches this point —
+            // watchers are structurally free of P1.
+            let staged = self.db.watch.begin_collect(&*self.db.store, self.token);
+            commit_ts = self.db.ts.reserve();
             self.db.store.commit(self.token, commit_ts);
+            if let Some(staged) = staged {
+                self.db
+                    .watch
+                    .finish_collect(&*self.db.store, staged, self.token, commit_ts);
+            }
             self.db.ts.publish(commit_ts);
         }
         // Outside the commit sequence: under group commit the store only
@@ -811,6 +825,10 @@ impl Transaction {
         // point; the enqueue order under the mutex is what keeps the
         // durable commit-record order identical to the timestamp order.
         self.db.store.flush_commit(self.token);
+        // Only now — with the commit record durable — may subscribers
+        // hear about it: a group-commit batch that vanishes in a crash
+        // was never announced.
+        self.db.watch.publish(commit_ts);
         self.db.locks.release_all(self.token);
         self.db.recorder.commit(self.token);
         self.state.lock().status = TxnStatus::Committed;

@@ -1,7 +1,7 @@
 //! The MV → SV mapping used to place Snapshot Isolation in the isolation
 //! hierarchy.
 //!
-//! Section 4.2 of the paper: *"In [OOBBGM], we show that all Snapshot
+//! Section 4.2 of the paper: *"In \[OOBBGM\], we show that all Snapshot
 //! Isolation histories can be mapped to single-valued histories while
 //! preserving dataflow dependencies."*  The device is simple: a Snapshot
 //! Isolation transaction performs all of its reads against the committed

@@ -1,6 +1,6 @@
 //! Data items, values, and predicates.
 //!
-//! Following [EGLT] and the paper's Section 2.1, a *data item* is taken in a
+//! Following \[EGLT\] and the paper's Section 2.1, a *data item* is taken in a
 //! broad sense: a row, a page, a whole table, or any named lockable entity.
 //! A *predicate* names a set of data items — both those currently in the
 //! database and "phantom" items that would satisfy the predicate if they

@@ -2,7 +2,7 @@
 //!
 //! In a multi-version system, several versions of a data item may exist at
 //! one time and every read must be explicit about which version it observes
-//! (Section 2.2 and 4.2 of the paper; [BHG] Chapter 5).  The paper writes
+//! (Section 2.2 and 4.2 of the paper; \[BHG\] Chapter 5).  The paper writes
 //! versions as subscripts: `x0` is the initial version of `x`, `x1` the
 //! version installed by transaction 1, and so on — e.g. history `H1.SI`:
 //!

@@ -133,7 +133,7 @@ fn predicate_observations(
 
 /// True when two histories are *view equivalent*: they have the same
 /// committed transactions, the same reads-from relation (including predicate
-/// reads), and the same final writes ([BHG] Chapter 5; used by the paper to
+/// reads), and the same final writes (\[BHG\] Chapter 5; used by the paper to
 /// map Snapshot Isolation MV histories to single-valued histories).
 pub fn view_equivalent(a: &History, b: &History) -> bool {
     let a_txns: BTreeSet<TxnId> = a.committed().into_iter().collect();

@@ -13,7 +13,7 @@
 //!   any shard: a predicate covers phantom rows that do not exist yet and
 //!   therefore have no shard, so the phantom-prevention check must see an
 //!   insert no matter which shard its row hashes to.  The domain is an
-//!   **ordered interval map** ([`DomainMap`]): predicates whose condition
+//!   **ordered interval map** (`DomainMap`): predicates whose condition
 //!   pins an integer interval on a column are keyed by that interval's
 //!   lower bound, so a hinted predicate probe seeks its column's run in
 //!   O(log n) and disjoint ranges never conflict, while whole-table

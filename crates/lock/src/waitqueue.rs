@@ -6,7 +6,7 @@
 //! This module replaces the poll with explicit per-lock wait-queues:
 //!
 //! * every contended item or predicate lock keeps an **ordered queue** of
-//!   [`Waiter`] handles, keyed by [`QueueKey`] (the item's hash bucket, or
+//!   `Waiter` handles, keyed by `QueueKey` (the item's hash bucket, or
 //!   the table for predicate requests);
 //! * a release **sweeps** the queues whose table it touched, in FIFO
 //!   order, and installs grants *on the waiters' behalf* — a woken waiter
@@ -82,7 +82,7 @@ pub enum FairnessPolicy {
 
 /// One lock request as the FIFO discipline sees it: who is asking for
 /// what.  This is the vocabulary of the pure [`sweep_plan`] specification;
-/// the lock manager's internal [`Waiter`] carries the same fields plus the
+/// the lock manager's internal `Waiter` carries the same fields plus the
 /// parking machinery.
 #[derive(Clone, Debug)]
 pub struct QueuedRequest {

@@ -26,7 +26,7 @@
 //! read after the unlink).  The advance `tag → tag + 1` may overlap that
 //! reader (its slot can equal `tag`), but the advance `tag + 1 → tag + 2`
 //! cannot happen until the reader's slot — frozen at `v ≤ tag ≠ tag + 1` —
-//! is cleared.  On top of the epoch math, [`Ebr::reclaim`] refuses to free
+//! is cleared.  On top of the epoch math, `Ebr::reclaim` refuses to free
 //! any bag while *any* nonzero slot is at or before the bag's tag: slot
 //! values can be transiently stale (a pin writes its claimed epoch before
 //! re-verifying the global), so the conservative check defers the bag

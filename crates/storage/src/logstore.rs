@@ -56,7 +56,7 @@
 //!   mid-batch loses exactly the unflushed tail: un-fsynced commit
 //!   frames truncate away like any torn suffix.  A compaction rewrite
 //!   racing the batch never persists a queued commit's state (see
-//!   [`LogStore::rewrite_shard`]) — the batch's own fsync stays the one
+//!   `LogStore::rewrite_shard`) — the batch's own fsync stays the one
 //!   durability point.
 //!
 //! Concurrency and lock order: `registry → txns → shards (ascending) →
@@ -1372,7 +1372,7 @@ impl LogStore {
     ///
     /// The batch is retired from [`GroupState::queued`] *while the
     /// control shard's write lock is still held*: a control-shard
-    /// rewrite ([`LogStore::rewrite_shard`]) snapshots `queued` under
+    /// rewrite (`LogStore::rewrite_shard`) snapshots `queued` under
     /// that same lock to decide which commits are safe to persist, so
     /// "writer still queued" must mean "commit frame not yet durable" —
     /// clearing after releasing the lock would let a rewrite drop a

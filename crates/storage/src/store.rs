@@ -12,9 +12,9 @@
 //!   interned table name (`Arc<str>`) to its metadata; lookups walk it
 //!   without locks, inserts serialise on one small mutex.  Row ids are
 //!   allocated from a per-table atomic counter;
-//! * each table owns a **chain directory** ([`ChainDir`]) — a jagged array
+//! * each table owns a **chain directory** (`ChainDir`) — a jagged array
 //!   of chunks installed by CAS and never moved, so a row id addresses a
-//!   stable [`RowSlot`] holding the row's atomic version chain
+//!   stable `RowSlot` holding the row's atomic version chain
 //!   ([`ChainHead`]).  Readers resolve table → slot → chain with atomic
 //!   loads only;
 //! * **writers** still serialise per row through striped write locks
@@ -27,7 +27,7 @@
 //!   reference counting, wait-free in the common case.  Retired nodes are
 //!   reclaimed only after every pinned epoch has advanced past them;
 //! * the ordered secondary index per table is a sorted lock-free linked
-//!   list ([`OrderedIndex`]) read under the same pins and mutated only
+//!   list (`OrderedIndex`) read under the same pins and mutated only
 //!   under a per-table mutex, ordered *inside* the stripe lock;
 //! * the per-transaction **write sets** live in their own partitions keyed
 //!   by `TxnToken`, unchanged from the sharded layout.
@@ -169,7 +169,7 @@ struct RowSlot {
     chain: ChainHead,
 }
 
-/// A jagged, grow-only directory of [`RowSlot`]s indexed by row id.
+/// A jagged, grow-only directory of `RowSlot`s indexed by row id.
 ///
 /// Chunk `k` (of `64 << k` slots, covering ids `64·(2^k − 1) ..`) is
 /// allocated on first touch and installed with a CAS; chunks are never

@@ -41,7 +41,7 @@ pub use crate::mixed::{MixedWorkload, WorkloadStats};
 pub use crate::recovery::{DifferentialOutcome, PlannedOp, RecoveryWorkload};
 pub use crate::scaling::{
     HandoffComparison, HandoffPoint, RangeComparison, RangePoint, ScalingPoint, ScalingReport,
-    ScalingSeries, ScalingSuite, SubstrateConfig,
+    ScalingSeries, ScalingSuite, SubstrateConfig, WatchFanoutComparison, WatchFanoutPoint,
 };
 pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 
@@ -52,7 +52,7 @@ pub mod prelude {
     pub use crate::recovery::{DifferentialOutcome, PlannedOp, RecoveryWorkload};
     pub use crate::scaling::{
         HandoffComparison, HandoffPoint, RangeComparison, RangePoint, ScalingPoint, ScalingReport,
-        ScalingSeries, ScalingSuite, SubstrateConfig,
+        ScalingSeries, ScalingSuite, SubstrateConfig, WatchFanoutComparison, WatchFanoutPoint,
     };
     pub use crate::scenarios::{AnomalyScenario, ScenarioOutcome, ScenarioResult};
 }

@@ -91,6 +91,14 @@ pub struct MixedWorkload {
     /// [`EngineConfig::with_fairness`]: barging (default), or the
     /// strict-FIFO fast path the handoff grid compares against.
     pub fairness: FairnessPolicy,
+    /// Number of commit-time table watchers registered on `accounts`
+    /// before the run (`0` = none).  With watchers attached, every
+    /// committed writing transaction fans one [`critique_engine::ChangeEvent`]
+    /// out to all of them on the commit path — the `watch_fanout` bench
+    /// series sweeps this knob — and the run asserts the delivery
+    /// contract afterwards: every watcher saw the same number of events,
+    /// in strictly increasing commit-timestamp order.
+    pub watchers: usize,
 }
 
 impl Default for MixedWorkload {
@@ -113,6 +121,7 @@ impl Default for MixedWorkload {
             durability: Durability::default(),
             group_commit: GroupCommit::default(),
             fairness: FairnessPolicy::default(),
+            watchers: 0,
         }
     }
 }
@@ -132,6 +141,10 @@ pub struct WorkloadStats {
     pub reads: u64,
     /// Writes executed (committed or not).
     pub writes: u64,
+    /// Change notifications each attached watcher received (`0` when the
+    /// run had no watchers).  Every watcher of a run sees the same count —
+    /// the run asserts it — so one number describes them all.
+    pub notifications: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -249,6 +262,13 @@ impl MixedWorkload {
     /// (used by the handoff grid's FIFO-vs-barging legs).
     pub fn with_fairness(mut self, fairness: FairnessPolicy) -> Self {
         self.fairness = fairness;
+        self
+    }
+
+    /// This workload with commit-time table watchers attached (used by
+    /// the `watch_fanout` comparison).
+    pub fn with_watchers(mut self, watchers: usize) -> Self {
+        self.watchers = watchers;
         self
     }
 
@@ -396,6 +416,11 @@ impl MixedWorkload {
     /// to inspect the database afterwards (the epoch read-path tests check
     /// [`Database::mv_read_stats`]) can keep hold of it.
     pub fn run_seeded(&self, db: &Database, ids: &[RowId]) -> WorkloadStats {
+        // Fan-out mode: attach the table watchers before any worker
+        // commits, so every watcher observes the identical stream.
+        let watchers: Vec<_> = (0..self.watchers)
+            .map(|_| db.watch_table("accounts"))
+            .collect();
         let start = Instant::now();
         let mut totals = WorkloadStats::default();
         std::thread::scope(|scope| {
@@ -417,6 +442,31 @@ impl MixedWorkload {
             }
         });
         totals.elapsed = start.elapsed();
+        // The delivery contract, asserted on every watched run: strictly
+        // increasing commit timestamps, one event per notifying commit
+        // (never more events than commits), and every watcher fanned the
+        // same stream length.
+        if let Some((first, rest)) = watchers.split_first() {
+            let events = first.drain();
+            for pair in events.windows(2) {
+                assert!(
+                    pair[0].commit_ts < pair[1].commit_ts,
+                    "watcher delivery out of commit-timestamp order"
+                );
+            }
+            assert!(
+                events.len() as u64 <= totals.committed,
+                "more notifications than committed transactions"
+            );
+            for other in rest {
+                assert_eq!(
+                    other.pending(),
+                    events.len(),
+                    "fan-out watchers must all see the same stream"
+                );
+            }
+            totals.notifications = events.len() as u64;
+        }
         totals
     }
 
@@ -482,6 +532,7 @@ mod tests {
             durability: Durability::Ephemeral,
             group_commit: GroupCommit::Off,
             fairness: FairnessPolicy::Barging,
+            watchers: 0,
         }
     }
 
@@ -593,6 +644,26 @@ mod tests {
     }
 
     #[test]
+    fn fanout_watchers_all_observe_the_same_stream() {
+        // A single write-only worker with a fleet of watchers: every
+        // committed transaction must notify every watcher (the in-run
+        // assertions check ordering and stream equality; here we check
+        // the count is exact, since with one worker every commit writes).
+        let mut spec = small();
+        spec.read_fraction = 0.0;
+        spec.threads = 1;
+        let stats = spec.with_watchers(16).run(IsolationLevel::Serializable);
+        assert_eq!(stats.attempted(), 30);
+        assert_eq!(stats.notifications, stats.committed);
+    }
+
+    #[test]
+    fn unwatched_runs_record_zero_notifications() {
+        let stats = small().run(IsolationLevel::Serializable);
+        assert_eq!(stats.notifications, 0);
+    }
+
+    #[test]
     fn snapshot_isolation_aborts_are_first_committer_wins_only() {
         let mut spec = small();
         spec.read_fraction = 0.0;
@@ -694,6 +765,7 @@ mod tests {
             aborted_timeout: 5,
             reads: 300,
             writes: 150,
+            notifications: 0,
             elapsed: Duration::from_secs(2),
         };
         assert_eq!(stats.aborted(), 20);

@@ -676,6 +676,131 @@ impl RangeComparison {
     }
 }
 
+/// One measured cell of a [`WatchFanoutComparison`]: the single-writer
+/// workload run with a given number of commit-time table watchers
+/// attached.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchFanoutPoint {
+    /// Watchers subscribed for this cell ([`MixedWorkload::watchers`]).
+    pub watchers: usize,
+    /// Aggregate statistics of the kept (best-throughput) run.  Its
+    /// `notifications` field is the per-watcher event count the run
+    /// asserted identical across every watcher.
+    pub stats: WorkloadStats,
+}
+
+/// The watcher fan-out comparison: one writer committing against `{1,
+/// 100, 10_000}` table watchers, so the cost the commit path pays to fan
+/// a change event out to every subscriber — queue pushes of one shared
+/// allocation, not deep copies — is recorded next to the scaling sweeps
+/// in `BENCH_scaling.json`.  Each run also asserts the delivery contract
+/// (identical streams, strict commit-timestamp order) via
+/// [`MixedWorkload::run_seeded`].
+#[derive(Clone, Debug)]
+pub struct WatchFanoutComparison {
+    /// Isolation level the comparison ran at.
+    pub level: IsolationLevel,
+    /// The base workload (its `watchers` field is overridden per point).
+    pub workload: MixedWorkload,
+    /// One point per watcher count.
+    pub points: Vec<WatchFanoutPoint>,
+}
+
+impl WatchFanoutComparison {
+    /// Run the workload once per watcher count, keeping the
+    /// best-of-`runs_per_point` run by committed throughput.
+    pub fn run(
+        base: MixedWorkload,
+        level: IsolationLevel,
+        watcher_counts: &[usize],
+        runs_per_point: usize,
+    ) -> Self {
+        let runs_per_point = runs_per_point.max(1);
+        let points = watcher_counts
+            .iter()
+            .map(|&watchers| {
+                let spec = base.with_watchers(watchers);
+                let stats = (0..runs_per_point)
+                    .map(|_| spec.run(level))
+                    .max_by(|a, b| {
+                        a.throughput()
+                            .partial_cmp(&b.throughput())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("runs_per_point >= 1");
+                WatchFanoutPoint { watchers, stats }
+            })
+            .collect();
+        WatchFanoutComparison {
+            level,
+            workload: base,
+            points,
+        }
+    }
+
+    /// The point for one watcher count, if measured.
+    pub fn point(&self, watchers: usize) -> Option<&WatchFanoutPoint> {
+        self.points.iter().find(|p| p.watchers == watchers)
+    }
+
+    /// Render as an aligned text block.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "--- watcher fan-out at {} ({} writer(s), {} accounts) ---\n",
+            self.level.name(),
+            self.workload.threads,
+            self.workload.accounts,
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "  watchers={:<6} committed={:<6} notifications={:<6} {:9.0} txn/s\n",
+                p.watchers,
+                p.stats.committed,
+                p.stats.notifications,
+                p.stats.throughput(),
+            ));
+        }
+        out
+    }
+
+    fn json_object(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{pad}    {{\"watchers\": {}, \"committed\": {}, \"aborted\": {}, \
+                     \"notifications\": {}, \"elapsed_ms\": {:.3}, \
+                     \"throughput_txn_per_s\": {:.1}}}",
+                    p.watchers,
+                    p.stats.committed,
+                    p.stats.aborted(),
+                    p.stats.notifications,
+                    p.stats.elapsed.as_secs_f64() * 1e3,
+                    p.stats.throughput(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{pad}{{\n{pad}  \"level\": \"{}\",\n{pad}  \"workload\": {{\"accounts\": {}, \
+             \"read_fraction\": {:.2}, \"ops_per_txn\": {}, \"hot_fraction\": {:.2}, \
+             \"txns_per_thread\": {}, \"threads\": {}, \"seed\": {}}},\n{pad}  \
+             \"points\": [\n{}\n{pad}  ]\n{pad}}}",
+            self.level.name(),
+            self.workload.accounts,
+            self.workload.read_fraction,
+            self.workload.ops_per_txn,
+            self.workload.hot_fraction,
+            self.workload.txns_per_thread,
+            self.workload.threads,
+            self.workload.seed,
+            points,
+        )
+    }
+}
+
 /// The whole `BENCH_scaling.json` document: one scaling sweep per swept
 /// isolation level, the read-heavy epoch-vs-locked sweeps, plus the
 /// contended-handoff comparison and the point-vs-range scan comparison.
@@ -703,6 +828,8 @@ pub struct ScalingSuite {
     pub handoff: Option<HandoffComparison>,
     /// The point-vs-range scan comparison, if run.
     pub range: Option<RangeComparison>,
+    /// The watcher fan-out comparison, if run.
+    pub watch_fanout: Option<WatchFanoutComparison>,
     /// Logical CPUs of the machine the numbers were recorded on — thread
     /// counts above this measure oversubscription, not parallelism, so the
     /// document carries the context.
@@ -760,6 +887,9 @@ impl ScalingSuite {
         if let Some(range) = &self.range {
             out.push_str(&range.to_text());
         }
+        if let Some(watch_fanout) = &self.watch_fanout {
+            out.push_str(&watch_fanout.to_text());
+        }
         out
     }
 
@@ -812,10 +942,14 @@ impl ScalingSuite {
             Some(r) => format!(",\n  \"range_scan\":\n{}", r.json_object(2)),
             None => String::new(),
         };
+        let watch_fanout = match &self.watch_fanout {
+            Some(w) => format!(",\n  \"watch_fanout\":\n{}", w.json_object(2)),
+            None => String::new(),
+        };
         format!(
             "{{\n  \"bench\": \"scaling_suite\",\n  \"host_cpus\": {},\n  \
-             \"sweeps\": [\n{}\n  ]{}{}{}{}{}\n}}\n",
-            self.host_cpus, sweeps, read_heavy, durable, group_commit, handoff, range,
+             \"sweeps\": [\n{}\n  ]{}{}{}{}{}{}\n}}\n",
+            self.host_cpus, sweeps, read_heavy, durable, group_commit, handoff, range, watch_fanout,
         )
     }
 }
@@ -843,6 +977,7 @@ mod tests {
             durability: Durability::Ephemeral,
             group_commit: GroupCommit::Off,
             fairness: FairnessPolicy::Barging,
+            watchers: 0,
         }
     }
 
@@ -1051,6 +1186,10 @@ mod tests {
             ],
             1,
         )];
+        let mut fanout_spec = tiny();
+        fanout_spec.read_fraction = 0.0;
+        let watch_fanout =
+            WatchFanoutComparison::run(fanout_spec, IsolationLevel::Serializable, &[1, 4], 1);
         let suite = ScalingSuite {
             sweeps,
             read_heavy,
@@ -1058,6 +1197,7 @@ mod tests {
             group_commit,
             handoff: Some(handoff),
             range: Some(range),
+            watch_fanout: Some(watch_fanout),
             host_cpus: ScalingSuite::detect_host_cpus(),
         };
         assert!(suite.sweep_at(IsolationLevel::ReadCommitted).is_some());
@@ -1092,9 +1232,34 @@ mod tests {
         assert!(json.contains("\"group_commit\": \"off\""));
         assert!(json.contains("\"range_scan\""));
         assert!(json.contains("\"range_fraction\": 0.50"));
+        assert!(json.contains("\"watch_fanout\""));
+        assert!(json.contains("\"watchers\": 4"));
+        assert!(json.contains("\"notifications\""));
         let text = suite.to_text();
         assert!(text.contains("contended handoff"));
         assert!(text.contains("point vs range scans"));
+        assert!(text.contains("watcher fan-out"));
+    }
+
+    #[test]
+    fn watch_fanout_comparison_records_every_count() {
+        let mut spec = tiny();
+        spec.read_fraction = 0.0;
+        let cmp = WatchFanoutComparison::run(spec, IsolationLevel::Serializable, &[1, 8], 1);
+        assert_eq!(cmp.points.len(), 2);
+        for watchers in [1, 8] {
+            let point = cmp
+                .point(watchers)
+                .unwrap_or_else(|| panic!("missing fan-out point at {watchers}"));
+            // A write-only single-writer run: every committed transaction
+            // notified every watcher.
+            assert_eq!(point.stats.notifications, point.stats.committed);
+            assert!(point.stats.committed > 0);
+        }
+        assert!(cmp.point(2).is_none());
+        let text = cmp.to_text();
+        assert!(text.contains("watchers=1"));
+        assert!(text.contains("watchers=8"));
     }
 
     #[test]

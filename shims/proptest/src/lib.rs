@@ -2,7 +2,7 @@
 //!
 //! crates.io is unreachable in this build environment, so this crate
 //! provides a minimal property-testing harness with the API surface the
-//! workspace's tests use: the [`Strategy`] trait with `prop_map`, integer
+//! workspace's tests use: the [`strategy::Strategy`] trait with `prop_map`, integer
 //! range / tuple / `Just` / bool strategies, `collection::vec`,
 //! `sample::select`, the [`proptest!`] macro with `#![proptest_config]`,
 //! and `prop_assert!` / `prop_assert_eq!`.
@@ -76,7 +76,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinators.
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
 pub mod strategy {
     use crate::test_runner::TestRng;
 

@@ -20,8 +20,8 @@
 //! * [`lock`] — the lock manager with item/predicate locks and deadlock
 //!   detection (crate `critique-lock`);
 //! * [`engine`] — the transaction engine with locking, Cursor Stability,
-//!   Snapshot Isolation, and Oracle Read Consistency schedulers (crate
-//!   `critique-engine`);
+//!   Snapshot Isolation, and Oracle Read Consistency schedulers, plus
+//!   commit-time change notification (crate `critique-engine`);
 //! * [`workloads`] — anomaly scenarios and the mixed concurrent workload
 //!   (crate `critique-workloads`);
 //! * [`harness`] — the table/figure reproduction harness (crate
@@ -34,6 +34,40 @@
 //! // First-Committer-Wins prevents it.
 //! let result = AnomalyScenario::LostUpdate.run(IsolationLevel::SnapshotIsolation);
 //! assert!(!result.outcome.is_anomaly());
+//! ```
+//!
+//! ## Quickstart: open, write, commit, watch
+//!
+//! The five-line tour — open a database, subscribe a commit-time
+//! watcher, write and commit, and observe only the *committed* images
+//! (aborted transactions notify nothing; see the README's watchers
+//! section for the full delivery contract):
+//!
+//! ```
+//! use ansi_isolation_critique::prelude::*;
+//! use critique_storage::Row;
+//!
+//! let db = Database::new(IsolationLevel::SnapshotIsolation);
+//! let watcher = db.watch_table("accounts");
+//!
+//! let txn = db.begin();
+//! let id = txn.insert("accounts", Row::new().with("balance", 50)).unwrap();
+//! txn.commit().unwrap();
+//!
+//! let event = watcher.try_recv().expect("the commit notifies the watcher");
+//! assert_eq!(event.changes.len(), 1);
+//! assert_eq!(event.changes[0].row, id);
+//! assert_eq!(event.changes[0].kind, ChangeKind::Inserted);
+//! assert_eq!(
+//!     event.changes[0].after.as_ref().unwrap().get_int("balance"),
+//!     Some(50),
+//! );
+//!
+//! // An aborted write is invisible to observers — no P1, by construction.
+//! let txn = db.begin();
+//! txn.update("accounts", id, Row::new().with("balance", 1_000_000)).unwrap();
+//! txn.abort().unwrap();
+//! assert!(watcher.try_recv().is_none());
 //! ```
 
 #![warn(missing_docs)]

@@ -170,6 +170,28 @@ impl Exerciser {
         )
     }
 
+    /// The watcher leg's driver: the standard deterministic matrix cell
+    /// with a table watcher on `accounts` subscribed for the whole
+    /// interleaving.  Returns the recorded history *and* the notification
+    /// stream, so the tests can hold the stream against the history as
+    /// one more projection with its own forbidden phenomena ("no
+    /// notification for an aborted write" is P1 for subscribers).
+    fn run_watched(
+        level: IsolationLevel,
+        seed: u64,
+        backend: BackendKind,
+    ) -> (History, Vec<ChangeEvent>) {
+        Self::run_instrumented(
+            level,
+            seed,
+            backend,
+            UpgradeStrategy::SharedThenUpgrade,
+            false,
+            false,
+            true,
+        )
+    }
+
     fn run_configured(
         level: IsolationLevel,
         seed: u64,
@@ -178,6 +200,18 @@ impl Exerciser {
         rmw_reads: bool,
         range_mode: bool,
     ) -> History {
+        Self::run_instrumented(level, seed, backend, upgrade, rmw_reads, range_mode, false).0
+    }
+
+    fn run_instrumented(
+        level: IsolationLevel,
+        seed: u64,
+        backend: BackendKind,
+        upgrade: UpgradeStrategy,
+        rmw_reads: bool,
+        range_mode: bool,
+        watch: bool,
+    ) -> (History, Vec<ChangeEvent>) {
         let db = Database::with_config(
             EngineConfig::new(level)
                 .with_backend(backend)
@@ -224,8 +258,13 @@ impl Exerciser {
         }
         setup.commit().expect("seed commit");
         ex.db.clear_history();
+        // Subscribed after the seed commit, symmetric with clearing the
+        // history: the watcher observes exactly the commits the recorded
+        // history commits.
+        let watcher = watch.then(|| ex.db.watch_table("accounts"));
         ex.interleave();
-        ex.db.recorded_history()
+        let events = watcher.map(|w| w.drain()).unwrap_or_default();
+        (ex.db.recorded_history(), events)
     }
 
     fn fresh_value(&mut self) -> i64 {
@@ -1091,5 +1130,259 @@ fn conformance_range_traffic_is_generated() {
             "[{backend}] the range matrix generated no multi-table range traffic \
              (interval={interval_reads}, employees={employee_reads})"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watcher leg: the notification stream as one more history projection.
+//
+// A watcher is a read-only observer, so per the paper's taxonomy its
+// stream has its own forbidden phenomena: carrying a value written by a
+// transaction that did not commit is P1 (dirty read) for subscribers,
+// and delivering events out of commit order would hand observers a
+// history the engine never produced.  The leg runs the full level ×
+// seed matrix on both backends with a table watcher subscribed and
+// holds the stream against the recorded history.
+// ---------------------------------------------------------------------
+
+/// The recorder's transaction id for a notifying token (same mapping
+/// `HistoryRecorder` uses).
+fn event_txn(event: &ChangeEvent) -> critique_history::TxnId {
+    critique_history::TxnId(u32::try_from(event.txn.0).unwrap_or(u32::MAX))
+}
+
+/// Render a notification stream to a canonical string: commit order,
+/// commit timestamps, and per-change kinds and images all participate in
+/// byte-identical comparisons.
+fn render_stream(events: &[ChangeEvent]) -> String {
+    events
+        .iter()
+        .map(|event| {
+            let changes = event
+                .changes
+                .iter()
+                .map(|change| {
+                    format!(
+                        "{}.{} {} {:?}->{:?}",
+                        change.table,
+                        change.row.0,
+                        change.kind,
+                        change.before.as_ref().and_then(|r| r.get_int("balance")),
+                        change.after.as_ref().and_then(|r| r.get_int("balance")),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{} c{} [{}]", event.commit_ts, event.txn.0, changes)
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn run_watch_matrix(backend: BackendKind) {
+    let mut total_events = 0usize;
+    let mut aborted_writers = 0usize;
+    for level in LEVELS {
+        for seed in SEEDS {
+            let (history, events) = Exerciser::run_watched(level, seed, backend);
+            let context = format!("[{backend}] watch {} seed {seed:#x}", level.name());
+            let writers = writers_by_value(&history);
+
+            // 1. No notification for an aborted write (P1 for
+            //    subscribers): every event's transaction committed, its
+            //    after images are its own committed writes, and its
+            //    before images come from committed writers only.
+            for event in &events {
+                let txn = event_txn(event);
+                assert_eq!(
+                    history.outcome(txn),
+                    TxnOutcome::Committed,
+                    "{context}: notification for non-committed {txn}\n{}",
+                    history.to_notation(),
+                );
+                for change in &event.changes {
+                    if let Some(value) = change.after.as_ref().and_then(|r| r.get_int("balance")) {
+                        if let Some(&(writer, _)) = writers.get(&value) {
+                            // Committed state only — and at every level
+                            // that forbids dirty writes (P0), the after
+                            // image is the notifier's *own* write.  At
+                            // Degree 0 two committed writers may overlap
+                            // on one row, so only committedness holds.
+                            assert_eq!(
+                                history.outcome(writer),
+                                TxnOutcome::Committed,
+                                "{context}: after image {value} leaks uncommitted state \
+                                 of {writer}\n{}",
+                                history.to_notation(),
+                            );
+                            if tables::possibility(level, Phenomenon::P0)
+                                == Possibility::NotPossible
+                            {
+                                assert_eq!(
+                                    writer,
+                                    txn,
+                                    "{context}: after image {value} was written by {writer}, \
+                                     not the notifying {txn}\n{}",
+                                    history.to_notation(),
+                                );
+                            }
+                        }
+                    }
+                    if let Some(value) = change.before.as_ref().and_then(|r| r.get_int("balance")) {
+                        if let Some(&(writer, _)) = writers.get(&value) {
+                            assert_eq!(
+                                history.outcome(writer),
+                                TxnOutcome::Committed,
+                                "{context}: before image {value} leaks uncommitted state \
+                                 of {writer}\n{}",
+                                history.to_notation(),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // 2. Notification order ≡ history commit order, byte for
+            //    byte: the delivered sequence of commit terminators must
+            //    equal the same transactions sorted by their terminator's
+            //    position in the recorded history, and the carried commit
+            //    timestamps must be strictly increasing.
+            let delivered: Vec<critique_history::TxnId> = events.iter().map(event_txn).collect();
+            let mut by_history = delivered.clone();
+            by_history.sort_by_key(|txn| {
+                history
+                    .termination_index(*txn)
+                    .unwrap_or_else(|| panic!("{context}: {txn} notified without a terminator"))
+            });
+            let render = |seq: &[critique_history::TxnId]| {
+                seq.iter()
+                    .map(|t| format!("c{}", t.0))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            assert_eq!(
+                render(&delivered),
+                render(&by_history),
+                "{context}: notification order diverges from history commit order\n{}",
+                history.to_notation(),
+            );
+            for pair in events.windows(2) {
+                assert!(
+                    pair[0].commit_ts < pair[1].commit_ts,
+                    "{context}: commit timestamps not strictly increasing in the stream"
+                );
+            }
+
+            // 3. Completeness: every committed transaction whose last
+            //    write to some item was an insert or update (a valued
+            //    write — its net effect on that item is necessarily
+            //    visible) must have notified.  (A transaction whose every
+            //    written item ends in a delete may have inserted it
+            //    itself, netting to nothing; those are exempt here and
+            //    pinned by the engine-level tests instead.)
+            let delivered_set: BTreeSet<critique_history::TxnId> =
+                delivered.iter().copied().collect();
+            for txn in history.transactions() {
+                if history.outcome(txn) != TxnOutcome::Committed {
+                    continue;
+                }
+                let mut last_valued: BTreeMap<String, bool> = BTreeMap::new();
+                for (_, op) in history.ops_of(txn) {
+                    if op.is_write() {
+                        if let Some(item) = op.item() {
+                            last_valued.insert(item.name().to_string(), op.value.is_some());
+                        }
+                    }
+                }
+                if last_valued.values().any(|valued| *valued) {
+                    assert!(
+                        delivered_set.contains(&txn),
+                        "{context}: committed writer {txn} produced no notification\n{}",
+                        history.to_notation(),
+                    );
+                }
+            }
+            // Conversely, nothing notified without a write.
+            for txn in &delivered_set {
+                assert!(
+                    history.ops_of(*txn).iter().any(|(_, op)| op.is_write()),
+                    "{context}: read-only {txn} notified"
+                );
+            }
+
+            total_events += events.len();
+            aborted_writers += history
+                .transactions()
+                .into_iter()
+                .filter(|txn| {
+                    history.outcome(*txn) == TxnOutcome::Aborted
+                        && history.ops_of(*txn).iter().any(|(_, op)| op.is_write())
+                })
+                .count();
+        }
+    }
+    // The matrix must exercise both claims non-vacuously: notifications
+    // actually flowed, and writers actually aborted (so "no notification
+    // for an aborted write" had something to prove).
+    assert!(
+        total_events > 0,
+        "[{backend}] the watch matrix delivered zero notifications"
+    );
+    assert!(
+        aborted_writers > 0,
+        "[{backend}] the watch matrix aborted no writers — the P1-freedom check is vacuous"
+    );
+}
+
+#[test]
+fn conformance_watch_mvstore_matrix() {
+    run_watch_matrix(BackendKind::MvStore);
+}
+
+#[test]
+fn conformance_watch_logstore_matrix() {
+    run_watch_matrix(BackendKind::LogStructured);
+}
+
+/// Like histories, notification streams are properties of the schedule,
+/// not the storage engine: the same (level, seed) cell must deliver a
+/// byte-identical stream — commit timestamps, transaction ids, change
+/// kinds, and images — on both backends.
+#[test]
+fn conformance_watch_cross_backend_streams_identical() {
+    for level in LEVELS {
+        for seed in SEEDS {
+            let (_, mv) = Exerciser::run_watched(level, seed, BackendKind::MvStore);
+            let (_, log) = Exerciser::run_watched(level, seed, BackendKind::LogStructured);
+            assert_eq!(
+                render_stream(&mv),
+                render_stream(&log),
+                "{} seed {seed:#x}: notification streams diverge across backends",
+                level.name(),
+            );
+        }
+    }
+}
+
+/// Subscribing a watcher must not perturb the engine: the recorded
+/// history of a watched run is byte-identical to the unwatched run of
+/// the same cell.
+#[test]
+fn conformance_watch_leaves_histories_untouched() {
+    for level in [
+        IsolationLevel::Serializable,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::ReadCommitted,
+    ] {
+        for seed in SEEDS {
+            let unwatched = Exerciser::run(level, seed, BackendKind::MvStore);
+            let (watched, _) = Exerciser::run_watched(level, seed, BackendKind::MvStore);
+            assert_eq!(
+                unwatched.to_notation(),
+                watched.to_notation(),
+                "{} seed {seed:#x}: watching changed the recorded history",
+                level.name(),
+            );
+        }
     }
 }
